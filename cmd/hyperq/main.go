@@ -1,0 +1,112 @@
+// Command hyperq runs the Hyper-Q data virtualization proxy (paper Figure
+// 1): it listens on the port a kdb+ server would use, speaks QIPC to Q
+// applications, translates their queries to SQL, and executes them on a
+// PostgreSQL-compatible backend over the PG v3 protocol. Q applications run
+// unchanged; only their connection target moves from kdb+ to Hyper-Q.
+//
+// Two backend modes:
+//
+//	-backend host:port   connect to a PG v3 server (cmd/pgserver or a real
+//	                      PostgreSQL-compatible database)
+//	-embedded            run the embedded engine in-process (demo mode,
+//	                      preloaded with synthetic TAQ data)
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"hyperq/internal/core"
+	"hyperq/internal/endpoint"
+	"hyperq/internal/gateway"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/taq"
+	"hyperq/internal/wire/qipc"
+	"hyperq/internal/xc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5010", "QIPC address to listen on (the kdb+ port)")
+	backendAddr := flag.String("backend", "", "PG v3 backend address (host:port)")
+	embedded := flag.Bool("embedded", false, "use the embedded engine instead of a networked backend")
+	bUser := flag.String("backend-user", "hyperq", "backend user")
+	bPass := flag.String("backend-password", "hyperq", "backend password")
+	bDB := flag.String("backend-db", "hyperq", "backend database name")
+	qUser := flag.String("q-user", "", "required Q client user (empty accepts all)")
+	qPass := flag.String("q-password", "", "required Q client password")
+	trades := flag.Int("trades", 10000, "embedded demo trade count")
+	mdiTTL := flag.Duration("mdi-ttl", 5*time.Minute, "metadata cache expiration")
+	flag.Parse()
+
+	platform := core.NewPlatform()
+	var embeddedDB *pgdb.DB
+	if *embedded {
+		embeddedDB = pgdb.NewDB()
+		b := core.NewDirectBackend(embeddedDB)
+		data := taq.Generate(taq.Config{Seed: 1, Trades: *trades})
+		for _, t := range []struct {
+			name string
+			tbl  *qval.Table
+		}{
+			{"trades", data.Trades}, {"quotes", data.Quotes},
+			{"refdata", data.RefData}, {"daily", data.Daily},
+		} {
+			if err := core.LoadQTable(b, t.name, t.tbl); err != nil {
+				log.Fatalf("loading %s: %v", t.name, err)
+			}
+		}
+		log.Printf("embedded backend ready with demo TAQ data (%d trades)", data.Trades.Len())
+	} else if *backendAddr == "" {
+		log.Fatal("either -backend or -embedded is required")
+	}
+
+	newBackend := func() (core.Backend, error) {
+		if *embedded {
+			return core.NewDirectBackend(embeddedDB), nil
+		}
+		return gateway.Dial(*backendAddr, *bUser, *bPass, *bDB)
+	}
+
+	auth := func(user, password string) bool {
+		if *qUser == "" {
+			return true
+		}
+		return user == *qUser && password == *qPass
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("hyperq listening on %s (QIPC); backend=%s", *listen, backendDesc(*embedded, *backendAddr))
+	err = endpoint.Serve(l, endpoint.Config{
+		Auth: auth,
+		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
+			b, err := newBackend()
+			if err != nil {
+				return nil, nil, err
+			}
+			session := platform.NewSession(b, core.Config{MDITTL: *mdiTTL})
+			compiler := xc.New(session)
+			h := endpoint.HandlerFunc(func(q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(q)
+				return v, err
+			})
+			return h, func() { session.Close() }, nil
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+func backendDesc(embedded bool, addr string) string {
+	if embedded {
+		return "embedded"
+	}
+	return addr
+}

@@ -1,0 +1,73 @@
+// Command pgserver runs the embedded PostgreSQL-dialect database as a
+// standalone PG v3 server — the reproduction's stand-in for the Greenplum
+// backend of the paper's evaluation. With -demo it preloads the synthetic
+// TAQ data set so a Hyper-Q proxy can serve the Analytical Workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/taq"
+	"hyperq/internal/wire/pgv3"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5432", "address to listen on")
+	authMode := flag.String("auth", "trust", "authentication: trust, cleartext or md5")
+	user := flag.String("user", "hyperq", "accepted user name")
+	password := flag.String("password", "hyperq", "accepted password")
+	demo := flag.Bool("demo", false, "preload the synthetic TAQ data set")
+	trades := flag.Int("trades", 10000, "demo trade count")
+	seed := flag.Int64("seed", 1, "demo data seed")
+	flag.Parse()
+
+	db := pgdb.NewDB()
+	if *demo {
+		b := core.NewDirectBackend(db)
+		data := taq.Generate(taq.Config{Seed: *seed, Trades: *trades})
+		if err := core.LoadQTable(b, "trades", data.Trades); err != nil {
+			log.Fatalf("loading trades: %v", err)
+		}
+		if err := core.LoadQTable(b, "quotes", data.Quotes); err != nil {
+			log.Fatalf("loading quotes: %v", err)
+		}
+		if err := core.LoadQTable(b, "refdata", data.RefData); err != nil {
+			log.Fatalf("loading refdata: %v", err)
+		}
+		if err := core.LoadQTable(b, "daily", data.Daily); err != nil {
+			log.Fatalf("loading daily: %v", err)
+		}
+		log.Printf("demo data loaded: %d trades, %d quotes, %d-column refdata",
+			data.Trades.Len(), data.Quotes.Len(), data.RefData.NumCols())
+	}
+
+	method := pgv3.AuthMethodTrust
+	switch *authMode {
+	case "trust":
+	case "cleartext":
+		method = pgv3.AuthMethodCleartext
+	case "md5":
+		method = pgv3.AuthMethodMD5
+	default:
+		fmt.Fprintf(os.Stderr, "unknown auth mode %q\n", *authMode)
+		os.Exit(2)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("pgserver listening on %s (auth=%s)", *listen, *authMode)
+	if err := pgdb.Serve(l, db, pgdb.AuthConfig{
+		Method: method,
+		Users:  map[string]string{*user: *password},
+	}); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

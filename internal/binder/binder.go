@@ -1,0 +1,377 @@
+package binder
+
+import (
+	"fmt"
+
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+// Bound is the result of binding one Q statement.
+type Bound struct {
+	// Rel is the relational plan when the statement produces a table (or a
+	// one-row table for scalar results executed on the backend).
+	Rel xtra.Node
+	// Scalar is set instead of Rel when the statement is a pure constant
+	// expression the middleware can evaluate without the backend.
+	Scalar qval.Value
+	// ScalarExpr is set for non-constant scalar statements (e.g. "1+2"),
+	// which translate to a single-row SELECT on the backend.
+	ScalarExpr xtra.Scalar
+	// Assign names the variable this statement assigns to ("" otherwise).
+	Assign string
+	// Global marks a :: assignment.
+	Global bool
+	// FuncDef is set when the statement defines a function; the definition
+	// is stored as text and re-algebrized on invocation (paper §4.3).
+	FuncDef *VarDef
+}
+
+// Binder binds Q ASTs to XTRA using the scope hierarchy for name
+// resolution (paper §3.2.2–3.2.3).
+type Binder struct {
+	Scopes *Scopes
+}
+
+// New builds a binder over a scope hierarchy.
+func New(scopes *Scopes) *Binder { return &Binder{Scopes: scopes} }
+
+// BindError is a semantic error discovered during binding; Code mimics
+// kdb+'s terse error names ('type, 'length, 'rank, or the missing name).
+type BindError struct {
+	Code string
+	Ctx  string
+}
+
+func (e *BindError) Error() string {
+	if e.Ctx == "" {
+		return "'" + e.Code
+	}
+	return "'" + e.Code + " (" + e.Ctx + ")"
+}
+
+func berr(code, ctxFormat string, args ...any) *BindError {
+	return &BindError{Code: code, Ctx: fmt.Sprintf(ctxFormat, args...)}
+}
+
+// BindStatement binds one top-level statement.
+func (b *Binder) BindStatement(n ast.Node) (*Bound, error) {
+	switch x := n.(type) {
+	case *ast.Assign:
+		inner, err := b.BindStatement(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		inner.Assign = x.Name
+		inner.Global = x.Global
+		return inner, nil
+	case *ast.Lambda:
+		return &Bound{FuncDef: &VarDef{Kind: KindFunction, Source: x.Source}}, nil
+	case *ast.Return:
+		return b.BindStatement(x.Expr)
+	default:
+		// try relational first; fall back to constant scalar
+		rel, relErr := b.BindRel(n)
+		if relErr == nil {
+			return &Bound{Rel: rel}, nil
+		}
+		sc, scErr := b.bindScalar(n, nil)
+		if scErr == nil {
+			if c, ok := sc.(*xtra.ConstExpr); ok {
+				return &Bound{Scalar: c.Val}, nil
+			}
+			if l, ok := sc.(*xtra.ListExpr); ok {
+				if v, ok2 := constantList(l); ok2 {
+					return &Bound{Scalar: v}, nil
+				}
+			}
+			// non-constant scalar: executed as a one-row SELECT
+			return &Bound{ScalarExpr: sc}, nil
+		}
+		return nil, relErr
+	}
+}
+
+func constantList(l *xtra.ListExpr) (qval.Value, bool) {
+	atoms := make([]qval.Value, len(l.Items))
+	for i, it := range l.Items {
+		c, ok := it.(*xtra.ConstExpr)
+		if !ok {
+			return nil, false
+		}
+		atoms[i] = c.Val
+	}
+	return qval.FromAtoms(atoms), true
+}
+
+// BindRel binds an expression that must produce a table (a relational
+// property check, §3.2.2).
+func (b *Binder) BindRel(n ast.Node) (xtra.Node, error) {
+	switch x := n.(type) {
+	case *ast.Var:
+		def, err := b.Scopes.Lookup(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		if def == nil {
+			return nil, berr(x.Name, "")
+		}
+		switch def.Kind {
+		case KindTable, KindView:
+			return b.getFor(def), nil
+		default:
+			return nil, berr("type", "%s is not a table expression", x.Name)
+		}
+	case *ast.SQLTemplate:
+		return b.bindTemplate(x)
+	case *ast.Dyad:
+		switch x.Op {
+		case "lj", "ij":
+			return b.bindKeyedJoin(x.Op, x.L, x.R)
+		case "uj":
+			return b.bindUnionJoin(x.L, x.R)
+		case "xasc", "xdesc":
+			return b.bindSortVerb(x.Op, x.L, x.R)
+		case "#":
+			return b.bindTakeRel(x.L, x.R)
+		}
+		return nil, berr("type", "dyad %s does not yield a table", x.Op)
+	case *ast.Apply:
+		if v, ok := x.Fn.(*ast.Var); ok {
+			switch v.Name {
+			case "aj":
+				return b.bindAj(x.Args)
+			case "lj", "ij":
+				if len(x.Args) == 2 {
+					return b.bindKeyedJoin(v.Name, x.Args[0], x.Args[1])
+				}
+			case "select", "exec":
+				// not produced by the parser; defensive
+			}
+			// monadic verb over a table: distinct t, etc.
+			if len(x.Args) == 1 {
+				if inner, err := b.BindRel(x.Args[0]); err == nil {
+					return b.bindTableVerb(v.Name, inner)
+				}
+			}
+		}
+		return nil, berr("type", "%s does not yield a table", x.QString())
+	default:
+		return nil, berr("type", "%s is not a table expression", n.QString())
+	}
+}
+
+// getFor builds an xtra_get with derived properties from table metadata.
+func (b *Binder) getFor(def *VarDef) *xtra.Get {
+	g := &xtra.Get{Table: def.Backing, QName: def.Name}
+	for _, c := range def.Meta.Cols {
+		g.P.Cols = append(g.P.Cols, xtra.Col{Name: c.Name, QType: c.QType, SQLType: c.SQLType})
+	}
+	if def.Meta.HasOrdCol {
+		g.P.OrderCol = xtra.OrdCol
+	}
+	g.P.PreservesOrder = true
+	return g
+}
+
+// bindAj binds Q's as-of join (paper Example 2, Figure 2): property checks
+// per §3.2.2, then a left-outer-join-with-window XTRA operator.
+func (b *Binder) bindAj(args []ast.Node) (xtra.Node, error) {
+	if len(args) != 3 {
+		return nil, berr("rank", "aj takes 3 arguments, got %d", len(args))
+	}
+	colsLit, ok := args[0].(*ast.Lit)
+	if !ok {
+		return nil, berr("type", "aj join columns must be a symbol list literal")
+	}
+	var joinCols []string
+	switch v := colsLit.Val.(type) {
+	case qval.SymbolVec:
+		joinCols = v
+	case qval.Symbol:
+		joinCols = []string{string(v)}
+	default:
+		return nil, berr("type", "aj join columns must be symbols")
+	}
+	if len(joinCols) < 1 {
+		return nil, berr("length", "aj needs at least one join column")
+	}
+	left, err := b.BindRel(args[1])
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.BindRel(args[2])
+	if err != nil {
+		return nil, err
+	}
+	// property check: join columns must be in the output of both inputs
+	for _, c := range joinCols {
+		if _, ok := left.Props().Col(c); !ok {
+			return nil, berr(c, "aj join column missing from left input")
+		}
+		if _, ok := right.Props().Col(c); !ok {
+			return nil, berr(c, "aj join column missing from right input")
+		}
+	}
+	j := &xtra.AsOfJoin{
+		L:       left,
+		R:       right,
+		EqCols:  joinCols[:len(joinCols)-1],
+		TimeCol: joinCols[len(joinCols)-1],
+	}
+	// output: all left columns, then right columns not already present
+	j.P.Cols = append(j.P.Cols, left.Props().Cols...)
+	for _, c := range right.Props().Cols {
+		if _, dup := left.Props().Col(c.Name); !dup && c.Name != xtra.OrdCol {
+			j.P.Cols = append(j.P.Cols, c)
+		}
+	}
+	j.P.OrderCol = left.Props().OrderCol
+	j.P.PreservesOrder = true
+	return j, nil
+}
+
+// bindKeyedJoin binds lj/ij. In q the right operand is a keyed table; in the
+// SQL mapping the key columns are the shared columns of both inputs.
+func (b *Binder) bindKeyedJoin(op string, ln, rn ast.Node) (xtra.Node, error) {
+	left, err := b.BindRel(ln)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.BindRel(rn)
+	if err != nil {
+		return nil, err
+	}
+	var shared []string
+	for _, c := range left.Props().Cols {
+		if c.Name == xtra.OrdCol {
+			continue
+		}
+		if _, ok := right.Props().Col(c.Name); ok {
+			shared = append(shared, c.Name)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, berr("type", "%s requires shared key columns", op)
+	}
+	kind := xtra.LeftOuterJoin
+	if op == "ij" {
+		kind = xtra.InnerJoin
+	}
+	j := &xtra.Join{Kind: kind, L: left, R: right, EqCols: shared}
+	j.P.Cols = append(j.P.Cols, left.Props().Cols...)
+	for _, c := range right.Props().Cols {
+		if _, dup := left.Props().Col(c.Name); !dup && c.Name != xtra.OrdCol {
+			j.P.Cols = append(j.P.Cols, c)
+		}
+	}
+	j.P.OrderCol = left.Props().OrderCol
+	j.P.PreservesOrder = kind == xtra.LeftOuterJoin
+	return j, nil
+}
+
+func (b *Binder) bindSortVerb(op string, ln, rn ast.Node) (xtra.Node, error) {
+	colsLit, ok := ln.(*ast.Lit)
+	if !ok {
+		return nil, berr("type", "%s sort columns must be symbols", op)
+	}
+	var cols []string
+	switch v := colsLit.Val.(type) {
+	case qval.SymbolVec:
+		cols = v
+	case qval.Symbol:
+		cols = []string{string(v)}
+	default:
+		return nil, berr("type", "%s sort columns must be symbols", op)
+	}
+	input, err := b.BindRel(rn)
+	if err != nil {
+		return nil, err
+	}
+	srt := &xtra.Sort{Input: input}
+	for _, c := range cols {
+		if _, ok := input.Props().Col(c); !ok {
+			return nil, berr(c, "sort column missing")
+		}
+		srt.Keys = append(srt.Keys, xtra.SortKey{Col: c, Desc: op == "xdesc"})
+	}
+	srt.P = *input.Props()
+	srt.P.PreservesOrder = false // establishes a new order
+	srt.P.OrderCol = ""          // explicit sort replaces implicit order
+	return srt, nil
+}
+
+func (b *Binder) bindTakeRel(ln, rn ast.Node) (xtra.Node, error) {
+	nLit, ok := ln.(*ast.Lit)
+	if !ok {
+		return nil, berr("type", "take count must be a literal")
+	}
+	n, ok := qval.AsLong(nLit.Val)
+	if !ok {
+		return nil, berr("type", "take count must be an integer")
+	}
+	input, err := b.BindRel(rn)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, berr("nyi", "negative take over tables is not supported in SQL translation")
+	}
+	l := &xtra.Limit{Input: input, N: n}
+	l.P = *input.Props()
+	l.P.PreservesOrder = true
+	return l, nil
+}
+
+// bindTableVerb binds monadic verbs applied to whole tables.
+func (b *Binder) bindTableVerb(name string, input xtra.Node) (xtra.Node, error) {
+	switch name {
+	case "distinct":
+		g := &xtra.GroupAgg{Input: input}
+		for _, c := range input.Props().Cols {
+			if c.Name == xtra.OrdCol {
+				continue
+			}
+			g.Keys = append(g.Keys, xtra.NamedExpr{Name: c.Name, Expr: &xtra.ColRef{Name: c.Name, Typ: c.QType}})
+			g.P.Cols = append(g.P.Cols, c)
+		}
+		return g, nil
+	case "count":
+		g := &xtra.GroupAgg{Input: input}
+		g.Aggs = append(g.Aggs, xtra.NamedExpr{Name: "count", Expr: &xtra.AggCall{Fn: "count", Typ: qval.KLong}})
+		g.P.Cols = []xtra.Col{{Name: "count", QType: qval.KLong, SQLType: "bigint"}}
+		return g, nil
+	case "reverse":
+		ord := input.Props().OrderCol
+		if ord == "" {
+			return nil, berr("type", "reverse requires an ordered input")
+		}
+		srt := &xtra.Sort{Input: input, Keys: []xtra.SortKey{{Col: ord, Desc: true}}}
+		srt.P = *input.Props()
+		return srt, nil
+	default:
+		return nil, berr("type", "%s does not apply to tables", name)
+	}
+}
+
+// bindUnionJoin binds uj: rows of both tables over the union of columns,
+// null-padding the columns missing on either side.
+func (b *Binder) bindUnionJoin(ln, rn ast.Node) (xtra.Node, error) {
+	left, err := b.BindRel(ln)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.BindRel(rn)
+	if err != nil {
+		return nil, err
+	}
+	u := &xtra.Union{L: left, R: right}
+	u.P.Cols = append(u.P.Cols, left.Props().Cols...)
+	for _, c := range right.Props().Cols {
+		if _, dup := left.Props().Col(c.Name); !dup && c.Name != xtra.OrdCol {
+			u.P.Cols = append(u.P.Cols, c)
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,287 @@
+package binder
+
+import (
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+// aggVerbs maps Q aggregate verbs to their SQL counterparts (type given by
+// deriveAggType).
+var aggVerbs = map[string]string{
+	"sum": "sum", "avg": "avg", "min": "min", "max": "max",
+	"count": "count", "first": "first", "last": "last",
+	"med": "median", "dev": "stddev_pop", "var": "var_pop",
+	"wavg": "wavg", "wsum": "wsum",
+}
+
+// scalarVerbs are monadic Q verbs with direct SQL scalar equivalents.
+var scalarVerbs = map[string]bool{
+	"abs": true, "neg": true, "sqrt": true, "exp": true, "log": true,
+	"floor": true, "ceiling": true, "signum": true, "not": true,
+	"null": true, "lower": true, "upper": true,
+}
+
+// bindScalar binds a scalar Q expression. in supplies the available input
+// columns (nil outside a table context). Property derivation follows
+// §3.2.2: each scalar derives its output type; property checks reject
+// ill-typed applications.
+func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
+	switch x := n.(type) {
+	case *ast.Lit:
+		return &xtra.ConstExpr{Val: x.Val}, nil
+	case *ast.Var:
+		// column first (paper: template expressions see table columns)
+		if in != nil {
+			if c, ok := in.Col(x.Name); ok {
+				return &xtra.ColRef{Name: c.Name, Typ: c.QType}, nil
+			}
+		}
+		def, err := b.Scopes.Lookup(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		if def == nil {
+			// verbose diagnostics on purpose: one of the places Hyper-Q
+			// improves on kdb+'s terse 'name errors (paper §5)
+			if in != nil {
+				return nil, berr(x.Name, "%q is neither a column of the input (%v) nor a defined variable", x.Name, in.ColNames())
+			}
+			return nil, berr(x.Name, "%q is not a defined variable", x.Name)
+		}
+		switch def.Kind {
+		case KindScalar:
+			return &xtra.ConstExpr{Val: def.Value}, nil
+		default:
+			return nil, berr("type", "%s is not a scalar in this context", x.Name)
+		}
+	case *ast.Monad:
+		arg, err := b.bindScalar(x.X, in)
+		if err != nil {
+			return nil, err
+		}
+		return b.bindScalarOp(x.Op, []xtra.Scalar{arg})
+	case *ast.Dyad:
+		// right-to-left is irrelevant for pure scalars, but we bind right
+		// first to surface errors in Q's evaluation order
+		r, err := b.bindScalar(x.R, in)
+		if err != nil {
+			return nil, err
+		}
+		l, err := b.bindScalar(x.L, in)
+		if err != nil {
+			return nil, err
+		}
+		return b.bindScalarOp(x.Op, []xtra.Scalar{l, r})
+	case *ast.Apply:
+		v, ok := x.Fn.(*ast.Var)
+		if !ok {
+			return nil, berr("type", "cannot bind %s as a scalar", x.QString())
+		}
+		if v.Name == "$" && len(x.Args) == 3 {
+			// cond -> CASE WHEN
+			args := make([]xtra.Scalar, 3)
+			for i, a := range x.Args {
+				s, err := b.bindScalar(a, in)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = s
+			}
+			return &xtra.FnApp{Op: "cond", Args: args, Typ: args[1].QType()}, nil
+		}
+		args := make([]xtra.Scalar, 0, len(x.Args))
+		for _, a := range x.Args {
+			if a == nil {
+				return nil, berr("nyi", "projection in scalar context")
+			}
+			s, err := b.bindScalar(a, in)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, s)
+		}
+		return b.bindScalarOp(v.Name, args)
+	case *ast.ListExpr:
+		items := make([]xtra.Scalar, len(x.Items))
+		for i, it := range x.Items {
+			s, err := b.bindScalar(it, in)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = s
+		}
+		return &xtra.ListExpr{Items: items}, nil
+	default:
+		return nil, berr("type", "cannot bind %s as a scalar", n.QString())
+	}
+}
+
+// bindScalarOp maps a Q operator/verb application to an XTRA scalar with a
+// derived type, performing the §3.2.2 property checks.
+func (b *Binder) bindScalarOp(op string, args []xtra.Scalar) (xtra.Scalar, error) {
+	// aggregates
+	if sqlFn, isAgg := aggVerbs[op]; isAgg {
+		switch len(args) {
+		case 1:
+			return &xtra.AggCall{Fn: sqlFn, Arg: args[0], Typ: deriveAggType(sqlFn, args[0])}, nil
+		case 2: // wavg/wsum bind both operands
+			if op == "wavg" || op == "wsum" {
+				return &xtra.AggCall{
+					Fn:  sqlFn,
+					Arg: &xtra.FnApp{Op: "pair", Args: args, Typ: qval.KFloat},
+					Typ: qval.KFloat,
+				}, nil
+			}
+		}
+		return nil, berr("rank", "%s takes 1 argument", op)
+	}
+	switch op {
+	case "+", "-", "*", "%", "mod", "div", "xbar", "&", "|":
+		if len(args) == 1 && op == "-" {
+			return &xtra.FnApp{Op: "neg", Args: args, Typ: args[0].QType()}, nil
+		}
+		if len(args) != 2 {
+			return nil, berr("rank", "%s takes 2 arguments", op)
+		}
+		lt, rt := args[0].QType(), args[1].QType()
+		if !numericOrTemporal(lt) || !numericOrTemporal(rt) {
+			if !(op == "&" || op == "|") || lt != qval.KBool || rt != qval.KBool {
+				return nil, berr("type", "%s on %s and %s", op, qval.TypeName(lt), qval.TypeName(rt))
+			}
+		}
+		return &xtra.FnApp{Op: op, Args: args, Typ: deriveArithType(op, lt, rt)}, nil
+	case "=", "<>", "<", ">", "<=", ">=", "~":
+		if len(args) != 2 {
+			return nil, berr("rank", "%s takes 2 arguments", op)
+		}
+		return &xtra.FnApp{Op: op, Args: args, Typ: qval.KBool}, nil
+	case "in", "within", "like":
+		if len(args) != 2 {
+			return nil, berr("rank", "%s takes 2 arguments", op)
+		}
+		return &xtra.FnApp{Op: op, Args: args, Typ: qval.KBool}, nil
+	case "and", "or", "not":
+		for _, a := range args {
+			if a.QType() != qval.KBool {
+				return nil, berr("type", "%s on %s", op, qval.TypeName(a.QType()))
+			}
+		}
+		return &xtra.FnApp{Op: op, Args: args, Typ: qval.KBool}, nil
+	case "$":
+		if len(args) == 2 {
+			// cast: `type$x
+			c, ok := args[0].(*xtra.ConstExpr)
+			if !ok {
+				return nil, berr("type", "cast target must be a symbol literal")
+			}
+			sym, ok := c.Val.(qval.Symbol)
+			if !ok {
+				return nil, berr("type", "cast target must be a symbol")
+			}
+			t := typeNamed(string(sym))
+			if t == 0 {
+				return nil, berr("type", "unknown cast target %s", sym)
+			}
+			return &xtra.FnApp{Op: "cast", Args: []xtra.Scalar{args[1], &xtra.ConstExpr{Val: sym}}, Typ: t}, nil
+		}
+		return nil, berr("rank", "$ takes 2 arguments")
+	case "^":
+		if len(args) != 2 {
+			return nil, berr("rank", "^ takes 2 arguments")
+		}
+		return &xtra.FnApp{Op: "fill", Args: args, Typ: args[1].QType()}, nil
+	case ",":
+		return &xtra.ListExpr{Items: args}, nil
+	}
+	if scalarVerbs[op] && len(args) == 1 {
+		typ := args[0].QType()
+		switch op {
+		case "sqrt", "exp", "log":
+			typ = qval.KFloat
+		case "not", "null":
+			typ = qval.KBool
+		}
+		return &xtra.FnApp{Op: op, Args: args, Typ: typ}, nil
+	}
+	return nil, berr("nyi", "no SQL mapping for %s", op)
+}
+
+func numericOrTemporal(t qval.Type) bool {
+	return qval.IsNumeric(t) || qval.IsTemporal(t)
+}
+
+func deriveArithType(op string, lt, rt qval.Type) qval.Type {
+	if op == "%" { // q divide is float
+		return qval.KFloat
+	}
+	if qval.IsTemporal(lt) {
+		return lt
+	}
+	if qval.IsTemporal(rt) {
+		return rt
+	}
+	rank := func(t qval.Type) int {
+		switch t {
+		case qval.KBool:
+			return 1
+		case qval.KByte:
+			return 2
+		case qval.KShort:
+			return 3
+		case qval.KInt:
+			return 4
+		case qval.KLong:
+			return 5
+		case qval.KReal:
+			return 6
+		default:
+			return 7
+		}
+	}
+	if rank(lt) >= 6 || rank(rt) >= 6 {
+		return qval.KFloat
+	}
+	return qval.KLong
+}
+
+func deriveAggType(fn string, arg xtra.Scalar) qval.Type {
+	switch fn {
+	case "count":
+		return qval.KLong
+	case "avg", "median", "stddev", "variance", "wavg", "wsum":
+		return qval.KFloat
+	default:
+		if arg != nil {
+			return arg.QType()
+		}
+		return qval.KLong
+	}
+}
+
+func typeNamed(s string) qval.Type {
+	switch s {
+	case "boolean":
+		return qval.KBool
+	case "short":
+		return qval.KShort
+	case "int":
+		return qval.KInt
+	case "long":
+		return qval.KLong
+	case "real":
+		return qval.KReal
+	case "float":
+		return qval.KFloat
+	case "symbol":
+		return qval.KSymbol
+	case "date":
+		return qval.KDate
+	case "time":
+		return qval.KTime
+	case "timestamp":
+		return qval.KTimestamp
+	default:
+		return 0
+	}
+}

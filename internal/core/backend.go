@@ -1,0 +1,125 @@
+// Package core is the Hyper-Q platform (paper §3): it drives the query life
+// cycle — parse, algebrize (bind), transform, serialize, execute, convert —
+// over a pluggable backend, manages the variable-scope hierarchy and eager
+// materialization of intermediate results (§4.3), and instruments every
+// translation stage with the timers behind Figures 6 and 7.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyperq/internal/pgdb"
+)
+
+// Field is one backend result cell: text representation plus a null flag,
+// mirroring the PG v3 DataRow encoding where NULL is length -1.
+type Field struct {
+	Null bool
+	Text string
+}
+
+// BackendCol describes one result column from the backend.
+type BackendCol struct {
+	Name    string
+	SQLType string
+}
+
+// BackendResult is a backend result set in text form — what arrives over the
+// PG v3 wire before Hyper-Q pivots it into QIPC column format (§4.2).
+type BackendResult struct {
+	Cols []BackendCol
+	Rows [][]Field
+	Tag  string
+}
+
+// Backend abstracts the PostgreSQL-compatible database behind Hyper-Q. The
+// in-process implementation runs the embedded pgdb engine directly; the
+// networked implementation is the Gateway speaking PG v3 over TCP (§3.1).
+type Backend interface {
+	// Exec runs one SQL statement.
+	Exec(sql string) (*BackendResult, error)
+	// QueryCatalog runs a metadata query and returns text rows (MDI use).
+	QueryCatalog(sql string) ([][]string, error)
+	// Close releases the backend connection/session.
+	Close() error
+}
+
+// DirectBackend runs SQL against an embedded pgdb session in-process.
+type DirectBackend struct {
+	session *pgdb.Session
+	// Delay injects artificial per-statement latency, used by benchmarks to
+	// model a networked MPP backend.
+	Delay time.Duration
+}
+
+// NewDirectBackend opens a session on an embedded database.
+func NewDirectBackend(db *pgdb.DB) *DirectBackend {
+	return &DirectBackend{session: db.NewSession()}
+}
+
+// Exec implements Backend.
+func (b *DirectBackend) Exec(sql string) (*BackendResult, error) {
+	if b.Delay > 0 {
+		time.Sleep(b.Delay)
+	}
+	res, err := b.session.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return toBackendResult(res), nil
+}
+
+// QueryCatalog implements Backend.
+func (b *DirectBackend) QueryCatalog(sql string) ([][]string, error) {
+	res, err := b.session.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		r := make([]string, len(row))
+		for j, v := range row {
+			r[j] = pgdb.FormatValue(v, res.Cols[j].Type)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Close implements Backend.
+func (b *DirectBackend) Close() error {
+	b.session.Close()
+	return nil
+}
+
+func toBackendResult(res *pgdb.Result) *BackendResult {
+	out := &BackendResult{Tag: res.Tag}
+	for _, c := range res.Cols {
+		out.Cols = append(out.Cols, BackendCol{Name: c.Name, SQLType: c.Type})
+	}
+	for _, row := range res.Rows {
+		r := make([]Field, len(row))
+		for j, v := range row {
+			if v == nil {
+				r[j] = Field{Null: true}
+			} else {
+				r[j] = Field{Text: pgdb.FormatValue(v, res.Cols[j].Type)}
+			}
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// RowsAffected parses the trailing count out of a command tag.
+func RowsAffected(tag string) int {
+	parts := strings.Fields(tag)
+	if len(parts) == 0 {
+		return 0
+	}
+	var n int
+	fmt.Sscanf(parts[len(parts)-1], "%d", &n)
+	return n
+}

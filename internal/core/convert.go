@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+// ResultToQ pivots a row-oriented backend result into a column-oriented Q
+// table (paper §4.2: Hyper-Q buffers the streamed rows, then extracts
+// columns to form the single QIPC message). The implicit order column is
+// stripped — it is translation plumbing, not application data.
+func ResultToQ(res *BackendResult) (*qval.Table, error) {
+	var cols []string
+	var keep []int
+	for j, c := range res.Cols {
+		if c.Name == xtra.OrdCol || c.Name == "hq_rn" {
+			continue
+		}
+		cols = append(cols, c.Name)
+		keep = append(keep, j)
+	}
+	data := make([]qval.Value, len(keep))
+	for k, j := range keep {
+		col, err := columnToQ(res, j)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", res.Cols[j].Name, err)
+		}
+		data[k] = col
+	}
+	return qval.NewTable(cols, data), nil
+}
+
+func columnToQ(res *BackendResult, j int) (qval.Value, error) {
+	qt := xtra.QTypeForSQL(res.Cols[j].SQLType)
+	atoms := make([]qval.Value, len(res.Rows))
+	for i, row := range res.Rows {
+		f := row[j]
+		if f.Null {
+			atoms[i] = qval.Null(qt)
+			continue
+		}
+		v, err := parseQAtom(f.Text, qt)
+		if err != nil {
+			return nil, err
+		}
+		atoms[i] = v
+	}
+	if len(atoms) == 0 {
+		return qval.EmptyVec(qt), nil
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+// parseQAtom converts PostgreSQL text output into a Q atom of the mapped
+// type.
+func parseQAtom(text string, qt qval.Type) (qval.Value, error) {
+	switch qt {
+	case qval.KBool:
+		return qval.Bool(text == "t" || text == "true" || text == "1"), nil
+	case qval.KShort:
+		n, err := strconv.ParseInt(text, 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Short(int16(n)), nil
+	case qval.KInt:
+		n, err := strconv.ParseInt(text, 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Int(int32(n)), nil
+	case qval.KLong:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Long(n), nil
+	case qval.KReal:
+		f, err := strconv.ParseFloat(text, 32)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Real(float32(f)), nil
+	case qval.KFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Float(f), nil
+	case qval.KDate:
+		t, err := time.Parse("2006-01-02", text)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Temporal{T: qval.KDate, V: qval.DateFromTime(t)}, nil
+	case qval.KTime:
+		ms, err := parseTimeText(text)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Temporal{T: qval.KTime, V: ms}, nil
+	case qval.KTimestamp:
+		for _, layout := range []string{"2006-01-02 15:04:05.999999999", "2006-01-02T15:04:05.999999999", "2006-01-02"} {
+			if t, err := time.Parse(layout, text); err == nil {
+				return qval.Temporal{T: qval.KTimestamp, V: qval.TimestampFromTime(t)}, nil
+			}
+		}
+		return nil, fmt.Errorf("bad timestamp %q", text)
+	default:
+		return qval.Symbol(text), nil
+	}
+}
+
+func parseTimeText(s string) (int64, error) {
+	frac := int64(0)
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		fs := s[dot+1:]
+		for len(fs) < 3 {
+			fs += "0"
+		}
+		n, err := strconv.Atoi(fs[:3])
+		if err != nil {
+			return 0, err
+		}
+		frac = int64(n)
+		s = s[:dot]
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	h, e1 := strconv.Atoi(parts[0])
+	m, e2 := strconv.Atoi(parts[1])
+	sec, e3 := strconv.Atoi(parts[2])
+	if e1 != nil || e2 != nil || e3 != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return int64(h)*3600000 + int64(m)*60000 + int64(sec)*1000 + frac, nil
+}
+
+// QAtomToSQLText renders a Q atom as PostgreSQL text input for its mapped
+// SQL type, used when loading Q tables into the backend.
+func QAtomToSQLText(v qval.Value) (text string, null bool) {
+	if qval.IsNull(v) {
+		return "", true
+	}
+	switch x := v.(type) {
+	case qval.Bool:
+		if x {
+			return "true", false
+		}
+		return "false", false
+	case qval.Symbol:
+		return string(x), false
+	case qval.CharVec:
+		return string(x), false
+	case qval.Temporal:
+		switch x.T {
+		case qval.KDate:
+			return qval.TimeFromDate(x.V).Format("2006-01-02"), false
+		case qval.KTime:
+			ms := x.V
+			return fmt.Sprintf("%02d:%02d:%02d.%03d", ms/3600000, ms/60000%60, ms/1000%60, ms%1000), false
+		case qval.KTimestamp:
+			return qval.TimeFromTimestamp(x.V).Format("2006-01-02 15:04:05.999999999"), false
+		default:
+			return fmt.Sprint(x.V), false
+		}
+	default:
+		s := v.String()
+		s = strings.TrimSuffix(s, "f")
+		s = strings.TrimSuffix(s, "i")
+		s = strings.TrimSuffix(s, "h")
+		s = strings.TrimSuffix(s, "e")
+		return s, false
+	}
+}

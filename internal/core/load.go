@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+// LoadQTable creates a backend table for a Q table and bulk-loads its rows.
+// An explicit implicit-order column is added as the first column, giving the
+// backend the ordering anchor Q semantics require (paper §2.2: "providing
+// implicit ordering using SQL requires database schema changes"). The paper
+// assumes data is loaded into the underlying system independently (§1); this
+// loader is that independent path for examples, tests and benchmarks.
+func LoadQTable(b Backend, name string, t *qval.Table) error {
+	var defs []string
+	defs = append(defs, xtra.OrdCol+" bigint")
+	for i, c := range t.Cols {
+		defs = append(defs, quoteIdent(c)+" "+xtra.SQLTypeFor(t.Data[i].Type()))
+	}
+	if _, err := b.Exec("DROP TABLE IF EXISTS " + quoteIdent(name)); err != nil {
+		return err
+	}
+	if _, err := b.Exec("CREATE TABLE " + quoteIdent(name) + " (" + strings.Join(defs, ", ") + ")"); err != nil {
+		return err
+	}
+	n := t.Len()
+	const batch = 500
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		var rows []string
+		for r := lo; r < hi; r++ {
+			vals := make([]string, 0, len(t.Cols)+1)
+			vals = append(vals, fmt.Sprint(r))
+			for c := range t.Cols {
+				vals = append(vals, sqlLiteral(qval.Index(t.Data[c], r)))
+			}
+			rows = append(rows, "("+strings.Join(vals, ", ")+")")
+		}
+		sql := "INSERT INTO " + quoteIdent(name) + " VALUES " + strings.Join(rows, ", ")
+		if _, err := b.Exec(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sqlLiteral(v qval.Value) string {
+	text, null := QAtomToSQLText(v)
+	if null {
+		return "NULL"
+	}
+	switch v.(type) {
+	case qval.Symbol, qval.CharVec, qval.Char:
+		return "'" + strings.ReplaceAll(text, "'", "''") + "'"
+	case qval.Temporal:
+		t := v.(qval.Temporal)
+		switch t.T {
+		case qval.KDate:
+			return "'" + text + "'::date"
+		case qval.KTime:
+			return "'" + text + "'::time"
+		case qval.KTimestamp:
+			return "'" + text + "'::timestamp"
+		default:
+			return text
+		}
+	case qval.Bool:
+		return strings.ToUpper(text)
+	default:
+		return text
+	}
+}
+
+func quoteIdent(s string) string {
+	plain := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c == '_' || (i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		plain = false
+		break
+	}
+	if plain {
+		return s
+	}
+	return `"` + s + `"`
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hyperq/internal/binder"
+	"hyperq/internal/mdi"
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/parse"
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/serializer"
+	"hyperq/internal/xformer"
+	"hyperq/internal/xtra"
+)
+
+// Materialization selects how variable assignments are materialized in the
+// backend (paper §4.3): logical materialization uses views; physical
+// materialization uses temporary tables — required when subsequent
+// statements must observe side effects in situ.
+type Materialization int
+
+// Materialization modes.
+const (
+	// Physical creates CREATE TEMPORARY TABLE ... AS for assignments.
+	Physical Materialization = iota
+	// Logical creates views instead; cheaper but re-executes on reference.
+	Logical
+)
+
+// Config tunes a platform session.
+type Config struct {
+	Xformer         xformer.Config
+	Materialization Materialization
+	// MDITTL is the metadata cache expiration (0 disables caching).
+	MDITTL time.Duration
+}
+
+// StageTiming records per-stage translation times — the quantities Figures
+// 6 and 7 report.
+type StageTiming struct {
+	Parse     time.Duration
+	Bind      time.Duration // algebrization incl. metadata lookup
+	Xform     time.Duration // optimization
+	Serialize time.Duration
+}
+
+// Translation returns the total translation time across all stages.
+func (t StageTiming) Translation() time.Duration {
+	return t.Parse + t.Bind + t.Xform + t.Serialize
+}
+
+// Add accumulates another timing.
+func (t *StageTiming) Add(o StageTiming) {
+	t.Parse += o.Parse
+	t.Bind += o.Bind
+	t.Xform += o.Xform
+	t.Serialize += o.Serialize
+}
+
+// RunStats reports what one Run did: stage timings, execution time, and the
+// SQL statements sent to the backend.
+type RunStats struct {
+	Stages  StageTiming
+	Execute time.Duration
+	SQLs    []string
+}
+
+// Platform is the shared Hyper-Q state across sessions: the server-level
+// variable scope (paper §3.2.3).
+type Platform struct {
+	Server *binder.ServerStore
+}
+
+// NewPlatform creates an empty platform.
+func NewPlatform() *Platform {
+	return &Platform{Server: binder.NewServerStore()}
+}
+
+// Session is one Q client connection through Hyper-Q: its scope hierarchy,
+// its binder, Xformer, serializer and backend.
+type Session struct {
+	platform *Platform
+	backend  Backend
+	mdi      *mdi.MDI
+	binder   *binder.Binder
+	xf       *xformer.Xformer
+	cfg      Config
+	tempN    int
+}
+
+// NewSession opens a session over a backend.
+func (p *Platform) NewSession(b Backend, cfg Config) *Session {
+	opts := []mdi.Option{}
+	if cfg.MDITTL != 0 {
+		opts = append(opts, mdi.WithTTL(cfg.MDITTL))
+	}
+	m := mdi.New(b, opts...)
+	scopes := binder.NewScopes(p.Server, m)
+	return &Session{
+		platform: p,
+		backend:  b,
+		mdi:      m,
+		binder:   binder.New(scopes),
+		xf:       xformer.New(cfg.Xformer),
+		cfg:      cfg,
+	}
+}
+
+// MDI exposes the session's metadata interface (for cache statistics).
+func (s *Session) MDI() *mdi.MDI { return s.mdi }
+
+// Close destroys the session: per §3.2.3, session variables are promoted to
+// the server scope as part of session-scope destruction.
+func (s *Session) Close() error {
+	s.scopes().DestroySession()
+	return s.backend.Close()
+}
+
+// Run executes a complete Q request: parse, then per statement bind /
+// transform / serialize / execute, returning the last statement's value.
+func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
+	stats := &RunStats{}
+	t0 := time.Now()
+	prog, err := parse.Parse(qsrc)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Stages.Parse += time.Since(t0)
+	var last qval.Value = qval.Identity
+	for _, stmt := range prog.Stmts {
+		v, ret, err := s.execStatement(stmt, stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		last = v
+		if ret {
+			break
+		}
+	}
+	return last, stats, nil
+}
+
+// Translate performs translation only — the quantity Figure 6 measures —
+// returning the SQL for the (single) final statement without executing the
+// final query. Materializing assignments still execute, since later
+// statements' binding depends on them (paper §4.3).
+func (s *Session) Translate(qsrc string) (string, *RunStats, error) {
+	stats := &RunStats{}
+	t0 := time.Now()
+	prog, err := parse.Parse(qsrc)
+	if err != nil {
+		return "", stats, err
+	}
+	stats.Stages.Parse += time.Since(t0)
+	sql := ""
+	for i, stmt := range prog.Stmts {
+		if i < len(prog.Stmts)-1 {
+			if _, _, err := s.execStatement(stmt, stats); err != nil {
+				return "", stats, err
+			}
+			continue
+		}
+		sql, err = s.translateOne(stmt, stats)
+		if err != nil {
+			return "", stats, err
+		}
+	}
+	return sql, stats, nil
+}
+
+// translateOne binds, transforms and serializes a single statement without
+// executing it.
+func (s *Session) translateOne(stmt ast.Node, stats *RunStats) (string, error) {
+	t0 := time.Now()
+	bound, err := s.binder.BindStatement(stmt)
+	stats.Stages.Bind += time.Since(t0)
+	if err != nil {
+		return "", err
+	}
+	if bound.Rel == nil {
+		return "", fmt.Errorf("statement %s does not translate to SQL", stmt.QString())
+	}
+	t1 := time.Now()
+	root := s.xf.Apply(bound.Rel)
+	stats.Stages.Xform += time.Since(t1)
+	t2 := time.Now()
+	sql, err := serializer.Serialize(root)
+	stats.Stages.Serialize += time.Since(t2)
+	return sql, err
+}
+
+// execStatement runs one statement through the full pipeline. The second
+// return is true when the statement was an explicit function return.
+func (s *Session) execStatement(stmt ast.Node, stats *RunStats) (qval.Value, bool, error) {
+	// explicit return inside unrolled function bodies
+	if ret, ok := stmt.(*ast.Return); ok {
+		v, _, err := s.execStatement(ret.Expr, stats)
+		return v, true, err
+	}
+	// function invocation: f[args] where f is a stored function — unrolled
+	// by re-algebrizing the stored definition (paper §4.3)
+	if ap, ok := stmt.(*ast.Apply); ok {
+		if v, isVar := ap.Fn.(*ast.Var); isVar {
+			def, err := s.scopes().Lookup(v.Name)
+			if err == nil && def != nil && def.Kind == binder.KindFunction {
+				val, err := s.unrollFunction(v.Name, def, ap.Args, stats)
+				return val, false, err
+			}
+		}
+	}
+	t0 := time.Now()
+	bound, err := s.binder.BindStatement(stmt)
+	stats.Stages.Bind += time.Since(t0)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case bound.FuncDef != nil:
+		if bound.Assign == "" {
+			return qval.Identity, false, nil // anonymous lambda: nothing to do
+		}
+		def := *bound.FuncDef
+		def.Name = bound.Assign
+		if bound.Global {
+			s.scopes().UpsertGlobal(&def)
+		} else {
+			s.scopes().Upsert(&def)
+		}
+		return qval.Identity, false, nil
+	case bound.Scalar != nil:
+		if bound.Assign != "" {
+			def := &binder.VarDef{Name: bound.Assign, Kind: binder.KindScalar, Value: bound.Scalar}
+			if bound.Global {
+				s.scopes().UpsertGlobal(def)
+			} else {
+				s.scopes().Upsert(def)
+			}
+		}
+		return bound.Scalar, false, nil
+	case bound.ScalarExpr != nil:
+		t2 := time.Now()
+		sql, err := serializer.SerializeScalarSelect(bound.ScalarExpr)
+		stats.Stages.Serialize += time.Since(t2)
+		if err != nil {
+			return nil, false, err
+		}
+		t3 := time.Now()
+		res, err := s.backend.Exec(sql)
+		stats.Execute += time.Since(t3)
+		stats.SQLs = append(stats.SQLs, sql)
+		if err != nil {
+			return nil, false, err
+		}
+		tbl, err := ResultToQ(res)
+		if err != nil {
+			return nil, false, err
+		}
+		var out qval.Value = qval.Identity
+		if tbl.NumCols() == 1 && tbl.Len() == 1 {
+			out = qval.Index(tbl.Data[0], 0)
+		}
+		if bound.Assign != "" {
+			def := &binder.VarDef{Name: bound.Assign, Kind: binder.KindScalar, Value: out}
+			if bound.Global {
+				s.scopes().UpsertGlobal(def)
+			} else {
+				s.scopes().Upsert(def)
+			}
+		}
+		return out, false, nil
+	case bound.Rel != nil:
+		t1 := time.Now()
+		root := s.xf.Apply(bound.Rel)
+		stats.Stages.Xform += time.Since(t1)
+		t2 := time.Now()
+		sql, err := serializer.Serialize(root)
+		stats.Stages.Serialize += time.Since(t2)
+		if err != nil {
+			return nil, false, err
+		}
+		if bound.Assign != "" {
+			return s.materialize(bound, root, sql, stats)
+		}
+		t3 := time.Now()
+		res, err := s.backend.Exec(sql)
+		stats.Execute += time.Since(t3)
+		stats.SQLs = append(stats.SQLs, sql)
+		if err != nil {
+			return nil, false, err
+		}
+		tbl, err := ResultToQ(res)
+		if err != nil {
+			return nil, false, err
+		}
+		// q's exec of a single column yields the bare vector, not a table
+		if tpl, ok := stmt.(*ast.SQLTemplate); ok && tpl.Kind == ast.Exec && tbl.NumCols() == 1 {
+			return tbl.Data[0], false, nil
+		}
+		return tbl, false, nil
+	default:
+		return qval.Identity, false, nil
+	}
+}
+
+func (s *Session) scopes() *binder.Scopes { return s.binder.Scopes }
+
+// materialize implements eager materialization of variable assignments
+// (paper §4.3): physical (temporary table) or logical (view), and registers
+// the variable in the appropriate scope so subsequent statements bind
+// against it.
+func (s *Session) materialize(bound *binder.Bound, root xtra.Node, sql string, stats *RunStats) (qval.Value, bool, error) {
+	s.tempN++
+	var backing, ddl string
+	kind := binder.KindTable
+	if s.cfg.Materialization == Logical && !s.scopes().InFunction() {
+		backing = fmt.Sprintf("hq_view_%d", s.tempN)
+		ddl = "CREATE VIEW " + backing + " AS " + sql
+		kind = binder.KindView
+	} else {
+		backing = fmt.Sprintf("hq_temp_%d", s.tempN)
+		ddl = "CREATE TEMPORARY TABLE " + backing + " AS " + sql
+	}
+	t0 := time.Now()
+	_, err := s.backend.Exec(ddl)
+	stats.Execute += time.Since(t0)
+	stats.SQLs = append(stats.SQLs, ddl)
+	if err != nil {
+		return nil, false, err
+	}
+	meta := &mdi.TableMeta{Name: backing}
+	for _, c := range root.Props().Cols {
+		meta.Cols = append(meta.Cols, mdi.ColMeta{Name: c.Name, SQLType: c.SQLType, QType: c.QType})
+		if c.Name == xtra.OrdCol {
+			meta.HasOrdCol = true
+		}
+	}
+	def := &binder.VarDef{Name: bound.Assign, Kind: kind, Meta: meta, Backing: backing}
+	if bound.Global {
+		s.scopes().UpsertGlobal(def)
+	} else {
+		s.scopes().Upsert(def)
+	}
+	return qval.Identity, false, nil
+}
+
+// unrollFunction re-algebrizes a stored function definition and executes its
+// body with arguments bound in a fresh local scope (paper §4.3 and §5's
+// "unrolling a large class of Q user-defined functions without the need to
+// create user-defined functions in PG").
+func (s *Session) unrollFunction(name string, def *binder.VarDef, args []ast.Node, stats *RunStats) (qval.Value, error) {
+	t0 := time.Now()
+	node, err := parse.ParseExpr(def.Source)
+	stats.Stages.Parse += time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("re-algebrizing %s: %w", name, err)
+	}
+	lam, ok := node.(*ast.Lambda)
+	if !ok {
+		return nil, fmt.Errorf("'type (%s is not a function)", name)
+	}
+	if len(args) > len(lam.Params) {
+		return nil, fmt.Errorf("'rank (%s takes %d arguments)", name, len(lam.Params))
+	}
+	// bind arguments as constants before entering the local scope
+	argDefs := make([]*binder.VarDef, 0, len(args))
+	for i, a := range args {
+		if a == nil {
+			return nil, fmt.Errorf("'nyi (projection of %s)", name)
+		}
+		ab, err := s.binder.BindStatement(a)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case ab.Scalar != nil:
+			argDefs = append(argDefs, &binder.VarDef{Name: lam.Params[i], Kind: binder.KindScalar, Value: ab.Scalar})
+		case ab.Rel != nil:
+			// table-valued argument: materialize it and pass by reference
+			root := s.xf.Apply(ab.Rel)
+			sql, err := serializer.Serialize(root)
+			if err != nil {
+				return nil, err
+			}
+			s.tempN++
+			backing := fmt.Sprintf("hq_temp_%d", s.tempN)
+			t1 := time.Now()
+			_, err = s.backend.Exec("CREATE TEMPORARY TABLE " + backing + " AS " + sql)
+			stats.Execute += time.Since(t1)
+			stats.SQLs = append(stats.SQLs, "CREATE TEMPORARY TABLE "+backing+" AS "+sql)
+			if err != nil {
+				return nil, err
+			}
+			meta := &mdi.TableMeta{Name: backing}
+			for _, c := range root.Props().Cols {
+				meta.Cols = append(meta.Cols, mdi.ColMeta{Name: c.Name, SQLType: c.SQLType, QType: c.QType})
+				if c.Name == xtra.OrdCol {
+					meta.HasOrdCol = true
+				}
+			}
+			argDefs = append(argDefs, &binder.VarDef{Name: lam.Params[i], Kind: binder.KindTable, Meta: meta, Backing: backing})
+		default:
+			return nil, fmt.Errorf("'type (argument %d of %s)", i, name)
+		}
+	}
+	s.scopes().PushLocal()
+	defer s.scopes().PopLocal()
+	for _, d := range argDefs {
+		s.scopes().Upsert(d)
+	}
+	var last qval.Value = qval.Identity
+	for _, stmt := range lam.Body {
+		v, ret, err := s.execStatement(stmt, stats)
+		if err != nil {
+			return nil, err
+		}
+		last = v
+		if ret {
+			return v, nil
+		}
+	}
+	return last, nil
+}

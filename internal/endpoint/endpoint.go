@@ -1,0 +1,124 @@
+// Package endpoint is Hyper-Q's kdb+-specific plugin (paper §3.1, Figure 1):
+// it listens on the port the original kdb+ server used, performs the QIPC
+// handshake, parses incoming messages, extracts the query text and passes it
+// on for algebrization; responses flow back as QIPC messages. Q applications
+// run unchanged while their network packets are routed here instead of kdb+.
+package endpoint
+
+import (
+	"bufio"
+	"errors"
+	"log"
+	"net"
+
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/wire/qipc"
+)
+
+// Handler processes one extracted Q query and returns its result value.
+// The cross compiler (internal/xc) is the production handler.
+type Handler interface {
+	HandleQuery(q string) (qval.Value, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q string) (qval.Value, error)
+
+// HandleQuery implements Handler.
+func (f HandlerFunc) HandleQuery(q string) (qval.Value, error) { return f(q) }
+
+// Config configures the endpoint listener.
+type Config struct {
+	// Auth validates handshake credentials; nil accepts everyone (kdb+'s
+	// historical default, paper §2.2).
+	Auth func(user, password string) bool
+	// NewHandler builds a per-connection handler (one Hyper-Q session per
+	// client connection).
+	NewHandler func(creds *qipc.Credentials) (Handler, func(), error)
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Serve accepts QIPC connections until the listener closes.
+func Serve(l net.Listener, cfg Config) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, cfg, logf)
+	}
+}
+
+func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	creds, err := qipc.ServerHandshake(br, conn, cfg.Auth)
+	if err != nil {
+		// kdb+ closes the connection without replying on bad credentials
+		logf("endpoint: handshake failed: %v", err)
+		return
+	}
+	handler, cleanup, err := cfg.NewHandler(creds)
+	if err != nil {
+		logf("endpoint: no handler: %v", err)
+		return
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	for {
+		msg, err := qipc.ReadMessage(br)
+		if err != nil {
+			return // disconnect
+		}
+		qtext, ok := extractQuery(msg.Value)
+		if !ok {
+			if msg.Type == qipc.Sync {
+				respondErr(conn, "type")
+			}
+			continue
+		}
+		result, err := handler.HandleQuery(qtext)
+		if msg.Type != qipc.Sync {
+			continue // async: execute, no response
+		}
+		if err != nil {
+			respondErr(conn, err.Error())
+			continue
+		}
+		if err := qipc.WriteMessage(conn, qipc.Response, result); err != nil {
+			logf("endpoint: write response: %v", err)
+			return
+		}
+	}
+}
+
+// extractQuery pulls the query text out of an incoming message: a char
+// vector is raw query text (the common case, §4.2).
+func extractQuery(v qval.Value) (string, bool) {
+	switch x := v.(type) {
+	case qval.CharVec:
+		return string(x), true
+	case qval.Symbol:
+		return string(x), true
+	default:
+		return "", false
+	}
+}
+
+func respondErr(conn net.Conn, msg string) {
+	for len(msg) > 0 && msg[0] == '\'' {
+		msg = msg[1:]
+	}
+	if err := qipc.WriteMessage(conn, qipc.Response, &qval.QError{Msg: msg}); err != nil {
+		log.Printf("endpoint: failed to send error: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package gateway is Hyper-Q's PG-specific plugin (paper §3.1, Figure 1):
+// it packs translated SQL into PG v3 messages, transmits them to the
+// backend database over TCP, and extracts row sets from the result
+// messages. It implements core.Backend, so a platform session is oblivious
+// to whether it runs in-process or against a networked backend — exactly
+// the plugin boundary the paper describes.
+package gateway
+
+import (
+	"hyperq/internal/core"
+	"hyperq/internal/wire/pgv3"
+)
+
+// Gateway is a PG v3 backend connection.
+type Gateway struct {
+	conn *pgv3.ClientConn
+}
+
+// Dial connects and authenticates to a PG v3 server.
+func Dial(addr, user, password, database string) (*Gateway, error) {
+	conn, err := pgv3.Connect(addr, user, password, database)
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{conn: conn}, nil
+}
+
+// Exec implements core.Backend.
+func (g *Gateway) Exec(sql string) (*core.BackendResult, error) {
+	res, err := g.conn.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.BackendResult{Tag: res.Tag}
+	for _, c := range res.Cols {
+		out.Cols = append(out.Cols, core.BackendCol{Name: c.Name, SQLType: pgv3.TypeForOID(c.TypeOID)})
+	}
+	for _, row := range res.Rows {
+		r := make([]core.Field, len(row))
+		for j, f := range row {
+			r[j] = core.Field{Null: f.Null, Text: f.Text}
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// QueryCatalog implements core.Backend: the binder's metadata lookups run
+// as ordinary catalog queries over the same connection (paper §3.2.3).
+func (g *Gateway) QueryCatalog(sql string) ([][]string, error) {
+	res, err := g.conn.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		r := make([]string, len(row))
+		for j, f := range row {
+			r[j] = f.Text
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Close implements core.Backend.
+func (g *Gateway) Close() error { return g.conn.Close() }

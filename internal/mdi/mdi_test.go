@@ -1,0 +1,136 @@
+package mdi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperq/internal/qlang/qval"
+)
+
+type countingCatalog struct {
+	calls int
+	fail  bool
+}
+
+func (c *countingCatalog) QueryCatalog(sql string) ([][]string, error) {
+	c.calls++
+	if c.fail {
+		return nil, fmt.Errorf("backend down")
+	}
+	if strings.Contains(sql, "'trades'") {
+		return [][]string{
+			{"ordcol", "bigint"},
+			{"Symbol", "varchar"},
+			{"Price", "double precision"},
+		}, nil
+	}
+	return nil, nil
+}
+
+func TestLookupBuildsMeta(t *testing.T) {
+	cat := &countingCatalog{}
+	m := New(cat)
+	meta, err := m.LookupTable("trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "trades" || len(meta.Cols) != 3 || !meta.HasOrdCol {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Cols[2].QType != qval.KFloat {
+		t.Fatalf("Price QType = %v", meta.Cols[2].QType)
+	}
+	if len(meta.DataCols()) != 2 {
+		t.Fatalf("DataCols = %v", meta.DataCols())
+	}
+}
+
+func TestCacheHitsAvoidRoundTrips(t *testing.T) {
+	cat := &countingCatalog{}
+	m := New(cat, WithTTL(time.Minute))
+	for i := 0; i < 5; i++ {
+		if _, err := m.LookupTable("trades"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cat.calls != 1 {
+		t.Fatalf("catalog round trips = %d, want 1", cat.calls)
+	}
+	st := m.Stats()
+	if st.Lookups != 5 || st.Hits != 4 || st.Misses != 1 || st.CatalogRTs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheExpiration(t *testing.T) {
+	cat := &countingCatalog{}
+	now := time.Unix(0, 0)
+	m := New(cat, WithTTL(time.Minute), WithClock(func() time.Time { return now }))
+	m.LookupTable("trades")
+	now = now.Add(30 * time.Second)
+	m.LookupTable("trades") // still fresh
+	if cat.calls != 1 {
+		t.Fatalf("calls = %d", cat.calls)
+	}
+	now = now.Add(2 * time.Minute) // expired
+	m.LookupTable("trades")
+	if cat.calls != 2 {
+		t.Fatalf("calls after expiry = %d", cat.calls)
+	}
+}
+
+func TestExplicitInvalidation(t *testing.T) {
+	cat := &countingCatalog{}
+	m := New(cat, WithTTL(time.Hour))
+	m.LookupTable("trades")
+	m.Invalidate("trades")
+	m.LookupTable("trades")
+	if cat.calls != 2 {
+		t.Fatalf("calls = %d, invalidation ignored", cat.calls)
+	}
+	m.InvalidateAll()
+	m.LookupTable("trades")
+	if cat.calls != 3 {
+		t.Fatalf("calls = %d, InvalidateAll ignored", cat.calls)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	m := New(&countingCatalog{})
+	if _, err := m.LookupTable("nope"); err == nil {
+		t.Fatal("unknown relation should error")
+	}
+}
+
+func TestBackendErrorPropagates(t *testing.T) {
+	m := New(&countingCatalog{fail: true})
+	if _, err := m.LookupTable("trades"); err == nil {
+		t.Fatal("backend failure should propagate")
+	}
+}
+
+func TestSQLInjectionEscaped(t *testing.T) {
+	cat := &countingCatalog{}
+	m := New(cat)
+	// must not panic or produce a broken query; just a not-found
+	if _, err := m.LookupTable("x'; DROP TABLE trades; --"); err == nil {
+		t.Fatal("weird name should not resolve")
+	}
+}
+
+func TestLookupScalar(t *testing.T) {
+	v, err := LookupScalar("42", qval.KLong)
+	if err != nil || !qval.EqualValues(v, qval.Long(42)) {
+		t.Fatalf("long = %v %v", v, err)
+	}
+	v, err = LookupScalar("2.5", qval.KFloat)
+	if err != nil || !qval.EqualValues(v, qval.Float(2.5)) {
+		t.Fatalf("float = %v %v", v, err)
+	}
+	v, _ = LookupScalar("GOOG", qval.KSymbol)
+	if !qval.EqualValues(v, qval.Symbol("GOOG")) {
+		t.Fatalf("symbol = %v", v)
+	}
+}

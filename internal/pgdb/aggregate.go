@@ -1,0 +1,606 @@
+package pgdb
+
+import (
+	"math"
+	"sort"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"stddev": true, "stddev_samp": true, "stddev_pop": true,
+	"variance": true, "var_samp": true, "var_pop": true,
+	"bool_and": true, "bool_or": true, "string_agg": true,
+	// Hyper-Q toolbox extensions (paper §5: a "toolbox" of user-defined
+	// functions covers kdb+ capabilities PostgreSQL lacks): positional
+	// first/last over the input order, and median.
+	"first": true, "last": true, "median": true,
+}
+
+// selectHasAggregate reports whether any select item or the HAVING clause
+// contains a non-windowed aggregate call.
+func selectHasAggregate(sel *sqlparse.SelectStmt) bool {
+	for _, item := range sel.Items {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return sel.Having != nil && exprHasAggregate(sel.Having)
+}
+
+func exprHasAggregate(e sqlparse.Expr) bool {
+	found := false
+	walkExpr(e, func(x sqlparse.Expr) {
+		if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over == nil && aggregateNames[fc.Name] {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits every sub-expression.
+func walkExpr(e sqlparse.Expr, fn func(sqlparse.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *sqlparse.UnaryExpr:
+		walkExpr(x.X, fn)
+	case *sqlparse.IsNullExpr:
+		walkExpr(x.X, fn)
+	case *sqlparse.InExpr:
+		walkExpr(x.X, fn)
+		for _, l := range x.List {
+			walkExpr(l, fn)
+		}
+	case *sqlparse.BetweenExpr:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *sqlparse.CaseExpr:
+		walkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Then, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *sqlparse.CastExpr:
+		walkExpr(x.X, fn)
+	case *sqlparse.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+		if x.Over != nil {
+			for _, p := range x.Over.PartitionBy {
+				walkExpr(p, fn)
+			}
+			for _, o := range x.Over.OrderBy {
+				walkExpr(o.Expr, fn)
+			}
+		}
+	}
+}
+
+// execGrouped runs the GROUP BY / aggregate path: group rows by the GROUP BY
+// expressions (one global group when absent), evaluate each select item per
+// group with aggregate calls bound to the group's rows, then apply HAVING.
+func (s *Session) execGrouped(sel *sqlparse.SelectStmt, rel *relation) (*Result, error) {
+	items, err := expandStars(sel.Items, rel.schema)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keyVals []any
+		rows    [][]any
+	}
+	var order []string
+	groups := map[string]*group{}
+	if len(sel.GroupBy) == 0 {
+		g := &group{rows: rel.rows}
+		groups[""] = g
+		order = append(order, "")
+	} else {
+		for _, row := range rel.rows {
+			keyVals := make([]any, len(sel.GroupBy))
+			for i, ge := range sel.GroupBy {
+				v, err := s.evalExpr(ge, rel.schema, row)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			k := keyString(keyVals)
+			g, ok := groups[k]
+			if !ok {
+				g = &group{keyVals: keyVals}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+	res := &Result{}
+	for _, item := range items {
+		res.Cols = append(res.Cols, Column{
+			Name: itemName(item, rel.schema),
+			Type: s.inferType(item.Expr, rel.schema),
+		})
+	}
+	for _, k := range order {
+		g := groups[k]
+		if len(sel.GroupBy) == 0 && len(g.rows) == 0 {
+			// global aggregate over empty input still yields one row
+			g.rows = nil
+		}
+		out := make([]any, len(items))
+		for i, item := range items {
+			v, err := s.evalAggExpr(item.Expr, rel.schema, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		if sel.Having != nil {
+			hv, err := s.evalAggExpr(sel.Having, rel.schema, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := hv.(bool); !ok || !b {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	refineTypes(res)
+	return res, nil
+}
+
+// evalAggExpr evaluates an expression in group context: aggregate calls
+// consume the group's rows; everything else evaluates against the group's
+// first row (the PostgreSQL requirement that non-aggregated columns be
+// grouping columns makes this well-defined for valid queries).
+func (s *Session) evalAggExpr(e sqlparse.Expr, schema []colBinding, rows [][]any) (any, error) {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if x.Over == nil && aggregateNames[x.Name] {
+			return s.computeAggregate(x, schema, rows)
+		}
+	case *sqlparse.BinaryExpr:
+		if exprHasAggregate(x) {
+			l, err := s.evalAggExpr(x.L, schema, rows)
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.evalAggExpr(x.R, schema, rows)
+			if err != nil {
+				return nil, err
+			}
+			return s.evalBinary(&sqlparse.BinaryExpr{Op: x.Op, L: litFor(l), R: litFor(r)}, nil, nil, -1, nil)
+		}
+	case *sqlparse.CastExpr:
+		if exprHasAggregate(x) {
+			v, err := s.evalAggExpr(x.X, schema, rows)
+			if err != nil {
+				return nil, err
+			}
+			return castValue(v, normalizeType(x.Type))
+		}
+	case *sqlparse.UnaryExpr:
+		if exprHasAggregate(x) {
+			v, err := s.evalAggExpr(x.X, schema, rows)
+			if err != nil {
+				return nil, err
+			}
+			return s.evalExpr(&sqlparse.UnaryExpr{Op: x.Op, X: litFor(v)}, nil, nil)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return s.evalExpr(e, schema, rows[0])
+}
+
+// litFor wraps a computed value as a literal for re-evaluation.
+func litFor(v any) sqlparse.Expr {
+	switch x := v.(type) {
+	case nil:
+		return &sqlparse.NullLit{}
+	case bool:
+		return &sqlparse.BoolLit{V: x}
+	case int64:
+		return &sqlparse.NumberLit{Text: FormatValue(x, "bigint")}
+	case float64:
+		return &sqlparse.ValueLit{V: x}
+	case string:
+		return &sqlparse.StringLit{V: x}
+	default:
+		return &sqlparse.ValueLit{V: v}
+	}
+}
+
+// computeAggregate evaluates one aggregate call over the group's rows,
+// skipping NULL inputs per SQL.
+func (s *Session) computeAggregate(fc *sqlparse.FuncCall, schema []colBinding, rows [][]any) (any, error) {
+	if fc.Star { // COUNT(*)
+		return int64(len(rows)), nil
+	}
+	if len(fc.Args) == 0 {
+		return nil, errf("42883", "%s requires an argument", fc.Name)
+	}
+	// first/last are positional over the group's input order and do not
+	// skip NULLs, matching q's first/last.
+	if fc.Name == "first" || fc.Name == "last" {
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		row := rows[0]
+		if fc.Name == "last" {
+			row = rows[len(rows)-1]
+		}
+		return s.evalExpr(fc.Args[0], schema, row)
+	}
+	var vals []any
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := s.evalExpr(fc.Args[0], schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		if fc.Distinct {
+			k := keyString([]any{v})
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch fc.Name {
+	case "count":
+		return int64(len(vals)), nil
+	case "sum":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			if n, ok := v.(int64); ok {
+				isum += n
+				fsum += float64(n)
+				continue
+			}
+			allInt = false
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, errf("42804", "sum of non-number")
+			}
+			fsum += f
+		}
+		if allInt {
+			return isum, nil
+		}
+		return fsum, nil
+	case "avg":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		var sum float64
+		for _, v := range vals {
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, errf("42804", "avg of non-number")
+			}
+			sum += f
+		}
+		return sum / float64(len(vals)), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := compareVals(v, best)
+			if (fc.Name == "min" && c < 0) || (fc.Name == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "stddev", "stddev_samp", "variance", "var_samp", "stddev_pop", "var_pop":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		pop := fc.Name == "stddev_pop" || fc.Name == "var_pop"
+		if !pop && len(vals) < 2 {
+			return nil, nil
+		}
+		var sum float64
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, errf("42804", "%s of non-number", fc.Name)
+			}
+			fs[i] = f
+			sum += f
+		}
+		mean := sum / float64(len(fs))
+		var ss float64
+		for _, f := range fs {
+			ss += (f - mean) * (f - mean)
+		}
+		den := float64(len(fs) - 1)
+		if pop {
+			den = float64(len(fs))
+		}
+		v := ss / den
+		switch fc.Name {
+		case "stddev", "stddev_samp", "stddev_pop":
+			return math.Sqrt(v), nil
+		default:
+			return v, nil
+		}
+	case "bool_and", "bool_or":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		acc := fc.Name == "bool_and"
+		for _, v := range vals {
+			b, ok := v.(bool)
+			if !ok {
+				return nil, errf("42804", "%s of non-boolean", fc.Name)
+			}
+			if fc.Name == "bool_and" {
+				acc = acc && b
+			} else {
+				acc = acc || b
+			}
+		}
+		return acc, nil
+	case "median":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, errf("42804", "median of non-number")
+			}
+			fs[i] = f
+		}
+		sort.Float64s(fs)
+		m := len(fs) / 2
+		if len(fs)%2 == 1 {
+			return fs[m], nil
+		}
+		return (fs[m-1] + fs[m]) / 2, nil
+	case "string_agg":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		sep := ","
+		if len(fc.Args) > 1 {
+			if sl, ok := fc.Args[1].(*sqlparse.StringLit); ok {
+				sep = sl.V
+			}
+		}
+		out := ""
+		for i, v := range vals {
+			if i > 0 {
+				out += sep
+			}
+			out += FormatValue(v, "varchar")
+		}
+		return out, nil
+	default:
+		return nil, errf("42883", "aggregate %s does not exist", fc.Name)
+	}
+}
+
+// computeWindows precomputes all window-function values referenced by the
+// select items, keyed by the FuncCall node. Supported: row_number, rank,
+// dense_rank, lag, lead, first_value, last_value, and the aggregates
+// sum/avg/min/max/count over a partition (running when ordered, whole
+// partition otherwise — the frames Hyper-Q's order-column injection emits).
+func (s *Session) computeWindows(items []sqlparse.SelectItem, rel *relation) (map[*sqlparse.FuncCall][]any, error) {
+	var calls []*sqlparse.FuncCall
+	for _, item := range items {
+		walkExpr(item.Expr, func(e sqlparse.Expr) {
+			if fc, ok := e.(*sqlparse.FuncCall); ok && fc.Over != nil {
+				calls = append(calls, fc)
+			}
+		})
+	}
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	out := make(map[*sqlparse.FuncCall][]any, len(calls))
+	n := len(rel.rows)
+	for _, fc := range calls {
+		vals := make([]any, n)
+		// partition rows
+		parts := map[string][]int{}
+		var order []string
+		for i, row := range rel.rows {
+			kv := make([]any, len(fc.Over.PartitionBy))
+			for k, pe := range fc.Over.PartitionBy {
+				v, err := s.evalExpr(pe, rel.schema, row)
+				if err != nil {
+					return nil, err
+				}
+				kv[k] = v
+			}
+			key := keyString(kv)
+			if _, ok := parts[key]; !ok {
+				order = append(order, key)
+			}
+			parts[key] = append(parts[key], i)
+		}
+		for _, key := range order {
+			idx := parts[key]
+			// order within partition
+			if len(fc.Over.OrderBy) > 0 {
+				keys := make([][]any, len(idx))
+				for k, ri := range idx {
+					keys[k] = make([]any, len(fc.Over.OrderBy))
+					for j, ob := range fc.Over.OrderBy {
+						v, err := s.evalExpr(ob.Expr, rel.schema, rel.rows[ri])
+						if err != nil {
+							return nil, err
+						}
+						keys[k][j] = v
+					}
+				}
+				perm := make([]int, len(idx))
+				for i := range perm {
+					perm[i] = i
+				}
+				sort.SliceStable(perm, func(a, b int) bool {
+					for j, ob := range fc.Over.OrderBy {
+						av, bv := keys[perm[a]][j], keys[perm[b]][j]
+						if av == nil && bv == nil {
+							continue
+						}
+						if av == nil {
+							return ob.Desc
+						}
+						if bv == nil {
+							return !ob.Desc
+						}
+						c := compareVals(av, bv)
+						if c == 0 {
+							continue
+						}
+						if ob.Desc {
+							return c > 0
+						}
+						return c < 0
+					}
+					return false
+				})
+				sorted := make([]int, len(idx))
+				for i, p := range perm {
+					sorted[i] = idx[p]
+				}
+				idx = sorted
+			}
+			if err := s.fillWindow(fc, rel, idx, vals); err != nil {
+				return nil, err
+			}
+		}
+		out[fc] = vals
+	}
+	return out, nil
+}
+
+func (s *Session) fillWindow(fc *sqlparse.FuncCall, rel *relation, idx []int, vals []any) error {
+	argVal := func(ri int) (any, error) {
+		if len(fc.Args) == 0 {
+			return nil, nil
+		}
+		return s.evalExpr(fc.Args[0], rel.schema, rel.rows[ri])
+	}
+	switch fc.Name {
+	case "row_number":
+		for k, ri := range idx {
+			vals[ri] = int64(k + 1)
+		}
+	case "rank", "dense_rank":
+		rank := int64(0)
+		dense := int64(0)
+		var prevKeys []any
+		for k, ri := range idx {
+			cur := make([]any, len(fc.Over.OrderBy))
+			for j, ob := range fc.Over.OrderBy {
+				v, err := s.evalExpr(ob.Expr, rel.schema, rel.rows[ri])
+				if err != nil {
+					return err
+				}
+				cur[j] = v
+			}
+			if k == 0 || keyString(cur) != keyString(prevKeys) {
+				rank = int64(k + 1)
+				dense++
+			}
+			prevKeys = cur
+			if fc.Name == "rank" {
+				vals[ri] = rank
+			} else {
+				vals[ri] = dense
+			}
+		}
+	case "lag", "lead":
+		off := 1
+		if len(fc.Args) > 1 {
+			if n, ok := fc.Args[1].(*sqlparse.NumberLit); ok {
+				fmtSscan(n.Text, &off)
+			}
+		}
+		for k, ri := range idx {
+			src := k - off
+			if fc.Name == "lead" {
+				src = k + off
+			}
+			if src < 0 || src >= len(idx) {
+				vals[ri] = nil
+				continue
+			}
+			v, err := argVal(idx[src])
+			if err != nil {
+				return err
+			}
+			vals[ri] = v
+		}
+	case "first_value", "last_value":
+		for k, ri := range idx {
+			src := 0
+			if fc.Name == "last_value" {
+				// default frame: up to current row
+				src = k
+			}
+			v, err := argVal(idx[src])
+			if err != nil {
+				return err
+			}
+			vals[ri] = v
+		}
+	case "count", "sum", "avg", "min", "max":
+		running := len(fc.Over.OrderBy) > 0
+		var window [][]any
+		for k, ri := range idx {
+			if running {
+				window = append(window, rel.rows[ri])
+			} else if k == 0 {
+				for _, rj := range idx {
+					window = append(window, rel.rows[rj])
+				}
+			}
+			v, err := s.computeAggregate(fc, rel.schema, window)
+			if err != nil {
+				return err
+			}
+			vals[ri] = v
+		}
+	default:
+		return errf("42883", "window function %s does not exist", fc.Name)
+	}
+	return nil
+}
+
+func fmtSscan(s string, out *int) {
+	n := 0
+	for i := 0; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	*out = n
+}

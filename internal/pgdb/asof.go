@@ -1,0 +1,245 @@
+package pgdb
+
+import (
+	"sort"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// This file implements a top-1-per-partition pushdown: the query shape
+// Hyper-Q emits for Q's as-of join —
+//
+//	SELECT cols FROM (
+//	    SELECT ..., ROW_NUMBER() OVER (PARTITION BY l.id ORDER BY r.t DESC) AS hq_rn
+//	    FROM (left) a LEFT JOIN (right) b
+//	      ON a.k IS NOT DISTINCT FROM b.k AND b.t <= a.t
+//	) sub WHERE hq_rn = 1
+//
+// — would otherwise materialize every (trade, earlier-quote) pair before the
+// window discards all but the latest. Production MPP optimizers (e.g. Orca,
+// the Greenplum optimizer built by the Hyper-Q authors) recognize such
+// rank-filter patterns and fuse them into the join; this engine does the
+// same, turning the quadratic intermediate into a per-key sort plus binary
+// search. Results are identical to the naive plan.
+
+// asOfPattern captures a recognized rank-filter join.
+type asOfPattern struct {
+	inner    *sqlparse.SelectStmt
+	join     *sqlparse.JoinRef
+	rnAlias  string
+	eqL, eqR []*sqlparse.ColRef // equality key columns (left, right)
+	timeL    *sqlparse.ColRef   // bound columns: right.time <= left.time
+	timeR    *sqlparse.ColRef
+}
+
+// matchAsOfPattern inspects an outer select for the fused shape. It returns
+// nil when the query does not match (the generic pipeline then runs).
+func matchAsOfPattern(sel *sqlparse.SelectStmt) *asOfPattern {
+	// outer: single subquery source, WHERE <rn> = 1
+	if len(sel.From) != 1 || sel.Where == nil {
+		return nil
+	}
+	sub, ok := sel.From[0].(*sqlparse.SubqueryRef)
+	if !ok {
+		return nil
+	}
+	w, ok := sel.Where.(*sqlparse.BinaryExpr)
+	if !ok || w.Op != "=" {
+		return nil
+	}
+	rnRef, ok := w.L.(*sqlparse.ColRef)
+	if !ok {
+		return nil
+	}
+	one, ok := w.R.(*sqlparse.NumberLit)
+	if !ok || one.Text != "1" {
+		return nil
+	}
+	inner := sub.Query
+	if len(inner.GroupBy) != 0 || inner.Having != nil || inner.Union != nil ||
+		len(inner.OrderBy) != 0 || inner.Limit != nil || inner.Where != nil || inner.Distinct {
+		return nil
+	}
+	if len(inner.From) != 1 {
+		return nil
+	}
+	join, ok := inner.From[0].(*sqlparse.JoinRef)
+	if !ok || join.Type != sqlparse.LeftJoin {
+		return nil
+	}
+	// exactly one window item: ROW_NUMBER() OVER (PARTITION BY ? ORDER BY ? DESC) AS rn
+	var rn *sqlparse.FuncCall
+	for _, item := range inner.Items {
+		fc, isFn := item.Expr.(*sqlparse.FuncCall)
+		if !isFn || fc.Over == nil {
+			continue
+		}
+		if rn != nil {
+			return nil // more than one window function: bail
+		}
+		if fc.Name != "row_number" || item.Alias != rnRef.Name {
+			return nil
+		}
+		if len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 || !fc.Over.OrderBy[0].Desc {
+			return nil
+		}
+		rn = fc
+	}
+	if rn == nil {
+		return nil
+	}
+	p := &asOfPattern{inner: inner, join: join, rnAlias: rnRef.Name}
+	// decompose the ON clause: null-safe equalities + one <= bound
+	var conj []sqlparse.Expr
+	var flatten func(e sqlparse.Expr)
+	flatten = func(e sqlparse.Expr) {
+		if b, isBin := e.(*sqlparse.BinaryExpr); isBin && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conj = append(conj, e)
+	}
+	flatten(join.On)
+	for _, c := range conj {
+		b, isBin := c.(*sqlparse.BinaryExpr)
+		if !isBin {
+			return nil
+		}
+		lc, lok := b.L.(*sqlparse.ColRef)
+		rc, rok := b.R.(*sqlparse.ColRef)
+		if !lok || !rok {
+			return nil
+		}
+		switch b.Op {
+		case "IS NOT DISTINCT FROM", "=":
+			p.eqL = append(p.eqL, lc)
+			p.eqR = append(p.eqR, rc)
+		case "<=":
+			if p.timeR != nil {
+				return nil
+			}
+			p.timeR, p.timeL = lc, rc // b.t <= a.t
+		default:
+			return nil
+		}
+	}
+	if p.timeR == nil {
+		return nil
+	}
+	return p
+}
+
+// execAsOfFused executes the fused plan, producing the same relation the
+// inner subquery + rn=1 filter would: one output row per left row, joined to
+// the latest right row with equal keys and time at or before the left time.
+func (s *Session) execAsOfFused(p *asOfPattern) (*relation, error) {
+	left, err := s.buildRef(p.join.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := s.buildRef(p.join.Right)
+	if err != nil {
+		return nil, err
+	}
+	// resolve key/time columns against each side
+	lKeys := make([]int, len(p.eqL))
+	rKeys := make([]int, len(p.eqR))
+	for i := range p.eqL {
+		li, lerr := findCol(left.schema, p.eqL[i])
+		ri, rerr := findCol(right.schema, p.eqR[i])
+		if lerr != nil || rerr != nil {
+			// reversed sides in the equality
+			li, lerr = findCol(left.schema, p.eqR[i])
+			ri, rerr = findCol(right.schema, p.eqL[i])
+			if lerr != nil || rerr != nil {
+				return nil, errf("42703", "as-of keys do not resolve")
+			}
+		}
+		lKeys[i], rKeys[i] = li, ri
+	}
+	lt, err := findCol(left.schema, p.timeL)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := findCol(right.schema, p.timeR)
+	if err != nil {
+		return nil, err
+	}
+	// bucket right rows by key, sort each bucket by time ascending
+	buckets := map[string][]int{}
+	for i, rr := range right.rows {
+		key, _ := hashKey(rr, rKeys)
+		buckets[key] = append(buckets[key], i)
+	}
+	for _, idx := range buckets {
+		sort.SliceStable(idx, func(a, b int) bool {
+			av, bv := right.rows[idx[a]][rt], right.rows[idx[b]][rt]
+			if av == nil {
+				return bv != nil
+			}
+			if bv == nil {
+				return false
+			}
+			return compareVals(av, bv) < 0
+		})
+	}
+	joined := &relation{schema: append(append([]colBinding{}, left.schema...), right.schema...)}
+	for _, lr := range left.rows {
+		key, _ := hashKey(lr, lKeys)
+		idx := buckets[key]
+		t := lr[lt]
+		match := -1
+		if t != nil {
+			lo, hi := 0, len(idx)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				mv := right.rows[idx[mid]][rt]
+				if mv != nil && compareVals(mv, t) <= 0 {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo > 0 {
+				match = idx[lo-1]
+			}
+		}
+		if match >= 0 {
+			joined.rows = append(joined.rows, append(append(make([]any, 0, len(lr)+len(right.rows[match])), lr...), right.rows[match]...))
+		} else {
+			joined.rows = append(joined.rows, padRight(lr, len(right.schema)))
+		}
+	}
+	// evaluate the inner select list over the fused rows; the rank column
+	// is 1 by construction
+	items, err := expandStars(p.inner.Items, joined.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{}
+	for _, item := range items {
+		name := itemName(item, joined.schema)
+		typ := s.inferType(item.Expr, joined.schema)
+		if fc, isFn := item.Expr.(*sqlparse.FuncCall); isFn && fc.Over != nil {
+			typ = "bigint"
+		}
+		out.schema = append(out.schema, colBinding{name: name, typ: typ})
+	}
+	for _, row := range joined.rows {
+		or := make([]any, len(items))
+		for i, item := range items {
+			if fc, isFn := item.Expr.(*sqlparse.FuncCall); isFn && fc.Over != nil {
+				or[i] = int64(1)
+				continue
+			}
+			v, err := s.evalExpr(item.Expr, joined.schema, row)
+			if err != nil {
+				return nil, err
+			}
+			or[i] = v
+		}
+		out.rows = append(out.rows, or)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package pgdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// storedTable is a heap table in the catalog.
+type storedTable struct {
+	name string
+	cols []Column
+	rows [][]any
+}
+
+// storedView is a named view definition.
+type storedView struct {
+	name string
+	sql  string
+}
+
+// DB is the embedded database: a catalog of tables and views plus the query
+// engine. It is safe for concurrent use; statements take a coarse lock,
+// which is adequate for the analytics workloads this reproduction runs.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*storedTable
+	views  map[string]*storedView
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*storedTable{}, views: map[string]*storedView{}}
+}
+
+// Session is a connection-scoped view of the database holding temporary
+// tables, which shadow catalog tables by name and disappear with the
+// session — the substrate for Hyper-Q's physical materialization (§4.3).
+type Session struct {
+	db   *DB
+	temp map[string]*storedTable
+}
+
+// NewSession opens a session on the database.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, temp: map[string]*storedTable{}}
+}
+
+// Close drops all temporary tables of the session.
+func (s *Session) Close() { s.temp = map[string]*storedTable{} }
+
+// TempTableNames lists the session's temporary tables (sorted).
+func (s *Session) TempTableNames() []string {
+	out := make([]string, 0, len(s.temp))
+	for n := range s.temp {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupTable resolves a table name: session temp tables first, then the
+// shared catalog.
+func (s *Session) lookupTable(name string) (*storedTable, bool) {
+	if t, ok := s.temp[name]; ok {
+		return t, true
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	t, ok := s.db.tables[name]
+	return t, ok
+}
+
+func (s *Session) lookupView(name string) (*storedView, bool) {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	v, ok := s.db.views[name]
+	return v, ok
+}
+
+// CreateTable registers a permanent table with the given schema, replacing
+// any previous definition.
+func (db *DB) CreateTable(name string, cols []Column) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[name] = &storedTable{name: name, cols: cols}
+}
+
+// InsertRows bulk-loads rows into a permanent table.
+func (db *DB) InsertRows(name string, rows [][]any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return errf("42P01", "relation %q does not exist", name)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.cols) {
+			return errf("42601", "row width %d != %d columns", len(r), len(t.cols))
+		}
+	}
+	t.rows = append(t.rows, rows...)
+	return nil
+}
+
+// TableNames lists permanent tables (sorted).
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableColumns returns the schema of a table (or temp table via session).
+func (db *DB) TableColumns(name string) ([]Column, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]Column(nil), t.cols...), true
+}
+
+// informationSchema serves the metadata queries the MDI issues (paper
+// §3.2.3: binding resolves variables by querying the PG catalog).
+func (s *Session) informationSchema(rel string) (*Result, error) {
+	switch rel {
+	case "tables":
+		res := &Result{Cols: []Column{
+			{Name: "table_schema", Type: "varchar"},
+			{Name: "table_name", Type: "varchar"},
+			{Name: "table_type", Type: "varchar"},
+		}}
+		s.db.mu.RLock()
+		for _, t := range s.db.tables {
+			res.Rows = append(res.Rows, []any{"public", t.name, "BASE TABLE"})
+		}
+		for _, v := range s.db.views {
+			res.Rows = append(res.Rows, []any{"public", v.name, "VIEW"})
+		}
+		s.db.mu.RUnlock()
+		for _, t := range s.temp {
+			res.Rows = append(res.Rows, []any{"pg_temp", t.name, "LOCAL TEMPORARY"})
+		}
+		sortRowsByCol(res.Rows, 1)
+		return res, nil
+	case "columns":
+		res := &Result{Cols: []Column{
+			{Name: "table_schema", Type: "varchar"},
+			{Name: "table_name", Type: "varchar"},
+			{Name: "column_name", Type: "varchar"},
+			{Name: "ordinal_position", Type: "bigint"},
+			{Name: "data_type", Type: "varchar"},
+		}}
+		emit := func(schema string, t *storedTable) {
+			for i, c := range t.cols {
+				res.Rows = append(res.Rows, []any{schema, t.name, c.Name, int64(i + 1), c.Type})
+			}
+		}
+		s.db.mu.RLock()
+		for _, t := range s.db.tables {
+			emit("public", t)
+		}
+		s.db.mu.RUnlock()
+		for _, t := range s.temp {
+			emit("pg_temp", t)
+		}
+		sortRowsByCol(res.Rows, 1)
+		return res, nil
+	default:
+		return nil, errf("42P01", "relation information_schema.%s does not exist", rel)
+	}
+}
+
+func sortRowsByCol(rows [][]any, col int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, _ := rows[i][col].(string)
+		b, _ := rows[j][col].(string)
+		if a != b {
+			return a < b
+		}
+		// secondary: ordinal position when present
+		if len(rows[i]) > 3 {
+			ai, aok := rows[i][3].(int64)
+			bi, bok := rows[j][3].(int64)
+			if aok && bok {
+				return ai < bi
+			}
+		}
+		return false
+	})
+}
+
+// resolveRelation materializes a named relation: temp table, base table,
+// view (re-executed), or information_schema virtual table.
+func (s *Session) resolveRelation(schema, name string) (*Result, error) {
+	if schema == "information_schema" {
+		return s.informationSchema(name)
+	}
+	if schema == "pg_catalog" {
+		// serve pg_tables as a simple compatibility view
+		if name == "pg_tables" {
+			res := &Result{Cols: []Column{
+				{Name: "schemaname", Type: "varchar"},
+				{Name: "tablename", Type: "varchar"},
+			}}
+			s.db.mu.RLock()
+			for _, t := range s.db.tables {
+				res.Rows = append(res.Rows, []any{"public", t.name})
+			}
+			s.db.mu.RUnlock()
+			sortRowsByCol(res.Rows, 1)
+			return res, nil
+		}
+		return nil, errf("42P01", "relation pg_catalog.%s does not exist", name)
+	}
+	if t, ok := s.lookupTable(name); ok {
+		return &Result{Cols: append([]Column(nil), t.cols...), Rows: t.rows}, nil
+	}
+	if v, ok := s.lookupView(name); ok {
+		return s.Exec(v.sql)
+	}
+	return nil, errf("42P01", "relation %q does not exist", strings.TrimSpace(name))
+}

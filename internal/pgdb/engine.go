@@ -1,0 +1,319 @@
+package pgdb
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// Exec parses and executes one SQL statement in the session, returning a
+// result set for queries and a command tag for DML/DDL.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, errf("42601", "%v", err)
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated batch, returning the result of
+// each statement.
+func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, errf("42601", "%v", err)
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.ExecStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt sqlparse.Stmt) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		res, err := s.execSelect(st, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+		return res, nil
+	case *sqlparse.CreateTableStmt:
+		return s.execCreateTable(st)
+	case *sqlparse.CreateViewStmt:
+		s.db.mu.Lock()
+		s.db.views[st.Name] = &storedView{name: st.Name, sql: selectToSQL(st.AsSelect)}
+		s.db.mu.Unlock()
+		return &Result{Tag: "CREATE VIEW"}, nil
+	case *sqlparse.DropStmt:
+		return s.execDrop(st)
+	case *sqlparse.InsertStmt:
+		return s.execInsert(st)
+	case *sqlparse.UpdateStmt:
+		return s.execUpdate(st)
+	case *sqlparse.DeleteStmt:
+		return s.execDelete(st)
+	case *sqlparse.TxStmt:
+		return &Result{Tag: st.Kind}, nil
+	default:
+		return nil, errf("0A000", "unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error) {
+	if _, exists := s.lookupTable(st.Name); exists {
+		if st.IfNotExists {
+			return &Result{Tag: "CREATE TABLE"}, nil
+		}
+		if _, isTemp := s.temp[st.Name]; !isTemp && !st.Temp {
+			return nil, errf("42P07", "relation %q already exists", st.Name)
+		}
+	}
+	var t *storedTable
+	if st.AsSelect != nil {
+		res, err := s.execSelect(st.AsSelect, nil)
+		if err != nil {
+			return nil, err
+		}
+		t = &storedTable{name: st.Name, cols: res.Cols, rows: res.Rows}
+	} else {
+		t = &storedTable{name: st.Name, cols: append([]Column(nil), columnDefs(st.Cols)...)}
+	}
+	if st.Temp {
+		s.temp[st.Name] = t
+	} else {
+		s.db.mu.Lock()
+		s.db.tables[st.Name] = t
+		s.db.mu.Unlock()
+	}
+	return &Result{Tag: "CREATE TABLE"}, nil
+}
+
+func columnDefs(defs []sqlparse.ColumnDef) []Column {
+	out := make([]Column, len(defs))
+	for i, d := range defs {
+		out[i] = Column{Name: d.Name, Type: normalizeType(d.Type)}
+	}
+	return out
+}
+
+func normalizeType(t string) string {
+	switch t {
+	case "int", "int4", "integer":
+		return "integer"
+	case "int8", "bigint":
+		return "bigint"
+	case "int2", "smallint":
+		return "smallint"
+	case "float4", "real":
+		return "real"
+	case "float8", "double precision", "float":
+		return "double precision"
+	case "bool", "boolean":
+		return "boolean"
+	case "text", "varchar", "char", "character", "bpchar":
+		return "varchar"
+	default:
+		return t
+	}
+}
+
+func (s *Session) execDrop(st *sqlparse.DropStmt) (*Result, error) {
+	if st.View {
+		s.db.mu.Lock()
+		_, ok := s.db.views[st.Name]
+		delete(s.db.views, st.Name)
+		s.db.mu.Unlock()
+		if !ok && !st.IfExists {
+			return nil, errf("42P01", "view %q does not exist", st.Name)
+		}
+		return &Result{Tag: "DROP VIEW"}, nil
+	}
+	if _, ok := s.temp[st.Name]; ok {
+		delete(s.temp, st.Name)
+		return &Result{Tag: "DROP TABLE"}, nil
+	}
+	s.db.mu.Lock()
+	_, ok := s.db.tables[st.Name]
+	delete(s.db.tables, st.Name)
+	s.db.mu.Unlock()
+	if !ok && !st.IfExists {
+		return nil, errf("42P01", "table %q does not exist", st.Name)
+	}
+	return &Result{Tag: "DROP TABLE"}, nil
+}
+
+func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
+	t, ok := s.lookupTable(st.Table)
+	if !ok {
+		return nil, errf("42P01", "relation %q does not exist", st.Table)
+	}
+	// map insert columns to table positions
+	pos := make([]int, 0, len(t.cols))
+	if len(st.Cols) == 0 {
+		for i := range t.cols {
+			pos = append(pos, i)
+		}
+	} else {
+		for _, c := range st.Cols {
+			found := -1
+			for i, tc := range t.cols {
+				if tc.Name == c {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, errf("42703", "column %q of relation %q does not exist", c, st.Table)
+			}
+			pos = append(pos, found)
+		}
+	}
+	var incoming [][]any
+	if st.Select != nil {
+		res, err := s.execSelect(st.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		incoming = res.Rows
+	} else {
+		for _, rowExprs := range st.Rows {
+			row := make([]any, len(rowExprs))
+			for i, e := range rowExprs {
+				v, err := s.evalConst(e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			incoming = append(incoming, row)
+		}
+	}
+	for _, src := range incoming {
+		if len(src) != len(pos) {
+			return nil, errf("42601", "INSERT has %d expressions but %d target columns", len(src), len(pos))
+		}
+		full := make([]any, len(t.cols))
+		for k, p := range pos {
+			full[p] = coerceToColumn(src[k], t.cols[p].Type)
+		}
+		t.rows = append(t.rows, full)
+	}
+	return &Result{Tag: fmt.Sprintf("INSERT 0 %d", len(incoming))}, nil
+}
+
+// coerceToColumn nudges a value toward its column's storage type so that
+// integer columns hold int64 and float columns hold float64.
+func coerceToColumn(v any, typ string) any {
+	if v == nil {
+		return nil
+	}
+	switch typ {
+	case "smallint", "integer", "bigint", "date", "time", "timestamp", "interval":
+		if f, ok := v.(float64); ok {
+			return int64(f)
+		}
+	case "real", "double precision", "numeric":
+		if n, ok := v.(int64); ok {
+			return float64(n)
+		}
+	}
+	return v
+}
+
+func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
+	t, ok := s.lookupTable(st.Table)
+	if !ok {
+		return nil, errf("42P01", "relation %q does not exist", st.Table)
+	}
+	schema := schemaOf(t.cols, "")
+	count := 0
+	for _, row := range t.rows {
+		keep, err := s.rowMatches(st.Where, schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			continue
+		}
+		for _, set := range st.Set {
+			idx := -1
+			for i, c := range t.cols {
+				if c.Name == set.Col {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, errf("42703", "column %q does not exist", set.Col)
+			}
+			v, err := s.evalExpr(set.Expr, schema, row)
+			if err != nil {
+				return nil, err
+			}
+			row[idx] = coerceToColumn(v, t.cols[idx].Type)
+		}
+		count++
+	}
+	return &Result{Tag: fmt.Sprintf("UPDATE %d", count)}, nil
+}
+
+func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
+	t, ok := s.lookupTable(st.Table)
+	if !ok {
+		return nil, errf("42P01", "relation %q does not exist", st.Table)
+	}
+	schema := schemaOf(t.cols, "")
+	var kept [][]any
+	deleted := 0
+	for _, row := range t.rows {
+		match, err := s.rowMatches(st.Where, schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			deleted++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.rows = kept
+	return &Result{Tag: fmt.Sprintf("DELETE %d", deleted)}, nil
+}
+
+// rowMatches evaluates a WHERE predicate with 3VL: only TRUE keeps the row.
+func (s *Session) rowMatches(where sqlparse.Expr, schema []colBinding, row []any) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	v, err := s.evalExpr(where, schema, row)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	return ok && b, nil // NULL (nil) and FALSE both reject
+}
+
+// evalConst evaluates an expression with no row context (literals in
+// INSERT VALUES).
+func (s *Session) evalConst(e sqlparse.Expr) (any, error) {
+	return s.evalExpr(e, nil, nil)
+}
+
+// selectToSQL renders a parsed select back to SQL for view storage. Views
+// re-execute their definition on every reference; this keeps the engine
+// honest about logical materialization (paper §4.3).
+func selectToSQL(sel *sqlparse.SelectStmt) string {
+	// The parser's grammar is small enough that re-rendering from the AST
+	// is straightforward; the renderer lives in render.go.
+	var b strings.Builder
+	renderSelect(&b, sel)
+	return b.String()
+}

@@ -1,0 +1,582 @@
+package pgdb
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// evalExpr evaluates a scalar expression over one row with SQL three-valued
+// logic: any comparison with NULL yields NULL (Go nil), except IS NULL and
+// IS [NOT] DISTINCT FROM, which are null-safe — the construct Hyper-Q's
+// Xformer emits to impose Q's two-valued semantics (paper §3.3).
+func (s *Session) evalExpr(e sqlparse.Expr, schema []colBinding, row []any) (any, error) {
+	return s.evalExprWin(e, schema, row, -1, nil)
+}
+
+func (s *Session) evalExprWin(e sqlparse.Expr, schema []colBinding, row []any, rowIdx int, winVals map[*sqlparse.FuncCall][]any) (any, error) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		if strings.ContainsAny(x.Text, ".eE") {
+			f, err := strconv.ParseFloat(x.Text, 64)
+			if err != nil {
+				return nil, errf("22P02", "bad number %q", x.Text)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(x.Text, 10, 64)
+		if err != nil {
+			return nil, errf("22P02", "bad number %q", x.Text)
+		}
+		return n, nil
+	case *sqlparse.StringLit:
+		return x.V, nil
+	case *sqlparse.BoolLit:
+		return x.V, nil
+	case *sqlparse.NullLit:
+		return nil, nil
+	case *sqlparse.ParamRef:
+		return nil, errf("0A000", "parameters are not supported in direct execution")
+	case *sqlparse.ValueLit:
+		return x.V, nil
+	case *sqlparse.ColRef:
+		i, err := findCol(schema, x)
+		if err != nil {
+			return nil, err
+		}
+		return row[i], nil
+	case *sqlparse.UnaryExpr:
+		v, err := s.evalExprWin(x.X, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v == nil {
+				return nil, nil
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return nil, errf("42804", "argument of NOT must be boolean")
+			}
+			return !b, nil
+		case "-":
+			switch n := v.(type) {
+			case nil:
+				return nil, nil
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			default:
+				return nil, errf("42804", "cannot negate %T", v)
+			}
+		}
+		return nil, errf("0A000", "unsupported unary %s", x.Op)
+	case *sqlparse.BinaryExpr:
+		return s.evalBinary(x, schema, row, rowIdx, winVals)
+	case *sqlparse.IsNullExpr:
+		v, err := s.evalExprWin(x.X, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		isNull := v == nil
+		if x.Not {
+			return !isNull, nil
+		}
+		return isNull, nil
+	case *sqlparse.InExpr:
+		v, err := s.evalExprWin(x.X, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		sawNull := false
+		for _, le := range x.List {
+			lv, err := s.evalExprWin(le, schema, row, rowIdx, winVals)
+			if err != nil {
+				return nil, err
+			}
+			if lv == nil {
+				sawNull = true
+				continue
+			}
+			if equalVals(v, lv) {
+				return !x.Not, nil
+			}
+		}
+		if sawNull {
+			return nil, nil // unknown per 3VL
+		}
+		return x.Not, nil
+	case *sqlparse.BetweenExpr:
+		v, err := s.evalExprWin(x.X, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := s.evalExprWin(x.Lo, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := s.evalExprWin(x.Hi, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		in := compareVals(v, lo) >= 0 && compareVals(v, hi) <= 0
+		if x.Not {
+			return !in, nil
+		}
+		return in, nil
+	case *sqlparse.CaseExpr:
+		for _, w := range x.Whens {
+			var hit bool
+			if x.Operand != nil {
+				ov, err := s.evalExprWin(x.Operand, schema, row, rowIdx, winVals)
+				if err != nil {
+					return nil, err
+				}
+				cv, err := s.evalExprWin(w.Cond, schema, row, rowIdx, winVals)
+				if err != nil {
+					return nil, err
+				}
+				hit = ov != nil && cv != nil && equalVals(ov, cv)
+			} else {
+				cv, err := s.evalExprWin(w.Cond, schema, row, rowIdx, winVals)
+				if err != nil {
+					return nil, err
+				}
+				b, ok := cv.(bool)
+				hit = ok && b
+			}
+			if hit {
+				return s.evalExprWin(w.Then, schema, row, rowIdx, winVals)
+			}
+		}
+		if x.Else != nil {
+			return s.evalExprWin(x.Else, schema, row, rowIdx, winVals)
+		}
+		return nil, nil
+	case *sqlparse.CastExpr:
+		v, err := s.evalExprWin(x.X, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		return castValue(v, normalizeType(x.Type))
+	case *sqlparse.FuncCall:
+		if x.Over != nil {
+			if winVals == nil || rowIdx < 0 {
+				return nil, errf("42P20", "window function %s outside projection", x.Name)
+			}
+			vals, ok := winVals[x]
+			if !ok {
+				return nil, errf("XX000", "window values missing for %s", x.Name)
+			}
+			return vals[rowIdx], nil
+		}
+		return s.evalScalarFunc(x, schema, row, rowIdx, winVals)
+	case *sqlparse.SubqueryExpr:
+		res, err := s.execSelect(x.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Rows) == 0 {
+			return nil, nil
+		}
+		if len(res.Rows) > 1 {
+			return nil, errf("21000", "scalar subquery returned more than one row")
+		}
+		return res.Rows[0][0], nil
+	default:
+		return nil, errf("0A000", "unsupported expression %T", e)
+	}
+}
+
+func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []any, rowIdx int, winVals map[*sqlparse.FuncCall][]any) (any, error) {
+	// AND/OR have their own 3VL truth tables with short circuits
+	if x.Op == "AND" || x.Op == "OR" {
+		l, err := s.evalExprWin(x.L, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := l.(bool)
+		if x.Op == "AND" && lok && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lok && lb {
+			return true, nil
+		}
+		r, err := s.evalExprWin(x.R, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		rb, rok := r.(bool)
+		switch x.Op {
+		case "AND":
+			if rok && !rb {
+				return false, nil
+			}
+			if !lok || !rok {
+				return nil, nil
+			}
+			return lb && rb, nil
+		default: // OR
+			if rok && rb {
+				return true, nil
+			}
+			if !lok || !rok {
+				return nil, nil
+			}
+			return lb || rb, nil
+		}
+	}
+	l, err := s.evalExprWin(x.L, schema, row, rowIdx, winVals)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.evalExprWin(x.R, schema, row, rowIdx, winVals)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "IS DISTINCT FROM", "IS NOT DISTINCT FROM":
+		// null-safe equality: NULL IS NOT DISTINCT FROM NULL is TRUE —
+		// exactly Q's two-valued null equality (paper §3.3)
+		var equal bool
+		switch {
+		case l == nil && r == nil:
+			equal = true
+		case l == nil || r == nil:
+			equal = false
+		default:
+			equal = equalVals(l, r)
+		}
+		if x.Op == "IS DISTINCT FROM" {
+			return !equal, nil
+		}
+		return equal, nil
+	}
+	if l == nil || r == nil {
+		return nil, nil // 3VL: everything else is unknown with a null
+	}
+	switch x.Op {
+	case "=", "<>", "<", ">", "<=", ">=":
+		c := compareVals(l, r)
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case ">":
+			return c > 0, nil
+		case "<=":
+			return c <= 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arithSQL(x.Op, l, r)
+	case "||":
+		return FormatValue(l, "varchar") + FormatValue(r, "varchar"), nil
+	case "LIKE", "ILIKE":
+		ls, lok := l.(string)
+		rs, rok := r.(string)
+		if !lok || !rok {
+			return nil, errf("42804", "LIKE requires strings")
+		}
+		if x.Op == "ILIKE" {
+			ls, rs = strings.ToLower(ls), strings.ToLower(rs)
+		}
+		return likeMatch(rs, ls), nil
+	default:
+		return nil, errf("0A000", "unsupported operator %q", x.Op)
+	}
+}
+
+func arithSQL(op string, l, r any) (any, error) {
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt && op != "/" {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, errf("22012", "division by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, errf("42804", "non-numeric operand to %q", op)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, errf("22012", "division by zero")
+		}
+		if lIsInt && rIsInt {
+			return int64(lf / rf), nil // integer division
+		}
+		return lf / rf, nil
+	case "%":
+		if rf == 0 {
+			return nil, errf("22012", "division by zero")
+		}
+		return math.Mod(lf, rf), nil
+	}
+	return nil, errf("0A000", "unsupported arithmetic %q", op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(pat, s string) bool {
+	var pi, si, star, mark int
+	star = -1
+	for si < len(s) {
+		if pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]) {
+			pi++
+			si++
+			continue
+		}
+		if pi < len(pat) && pat[pi] == '%' {
+			star = pi
+			mark = si
+			pi++
+			continue
+		}
+		if star >= 0 {
+			pi = star + 1
+			mark++
+			si = mark
+			continue
+		}
+		return false
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+func castValue(v any, typ string) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch typ {
+	case "smallint", "integer", "bigint":
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, errf("22P02", "invalid integer %q", x)
+			}
+			return n, nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		}
+	case "real", "double precision", "numeric":
+		switch x := v.(type) {
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return nil, errf("22P02", "invalid number %q", x)
+			}
+			return f, nil
+		}
+	case "boolean":
+		switch x := v.(type) {
+		case bool:
+			return x, nil
+		case int64:
+			return x != 0, nil
+		case string:
+			return ParseValue(x, "boolean")
+		}
+	case "varchar", "text":
+		return FormatValue(v, "varchar"), nil
+	case "date", "time", "timestamp", "interval":
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			return ParseValue(x, typ)
+		}
+	}
+	return nil, errf("42846", "cannot cast %T to %s", v, typ)
+}
+
+// evalScalarFunc evaluates non-aggregate, non-window function calls.
+func (s *Session) evalScalarFunc(x *sqlparse.FuncCall, schema []colBinding, row []any, rowIdx int, winVals map[*sqlparse.FuncCall][]any) (any, error) {
+	args := make([]any, len(x.Args))
+	for i, a := range x.Args {
+		v, err := s.evalExprWin(a, schema, row, rowIdx, winVals)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "coalesce":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "nullif":
+		if len(args) == 2 && args[0] != nil && args[1] != nil && equalVals(args[0], args[1]) {
+			return nil, nil
+		}
+		return args[0], nil
+	case "abs":
+		if len(args) != 1 {
+			return nil, errf("42883", "abs takes 1 argument")
+		}
+		switch n := args[0].(type) {
+		case nil:
+			return nil, nil
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			return math.Abs(n), nil
+		}
+		return nil, errf("42804", "abs of non-number")
+	case "floor", "ceil", "ceiling", "round", "sqrt", "exp", "ln":
+		if len(args) != 1 || args[0] == nil {
+			if len(args) == 1 {
+				return nil, nil
+			}
+			return nil, errf("42883", "%s takes 1 argument", x.Name)
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return nil, errf("42804", "%s of non-number", x.Name)
+		}
+		switch x.Name {
+		case "floor":
+			return math.Floor(f), nil
+		case "ceil", "ceiling":
+			return math.Ceil(f), nil
+		case "round":
+			return math.Round(f), nil
+		case "sqrt":
+			return math.Sqrt(f), nil
+		case "exp":
+			return math.Exp(f), nil
+		default:
+			return math.Log(f), nil
+		}
+	case "power", "pow":
+		if len(args) != 2 || args[0] == nil || args[1] == nil {
+			return nil, nil
+		}
+		a, _ := toFloat(args[0])
+		b, _ := toFloat(args[1])
+		return math.Pow(a, b), nil
+	case "upper", "lower", "trim", "btrim":
+		if len(args) != 1 {
+			return nil, errf("42883", "%s takes 1 argument", x.Name)
+		}
+		if args[0] == nil {
+			return nil, nil
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, errf("42804", "%s of non-string", x.Name)
+		}
+		switch x.Name {
+		case "upper":
+			return strings.ToUpper(str), nil
+		case "lower":
+			return strings.ToLower(str), nil
+		default:
+			return strings.TrimSpace(str), nil
+		}
+	case "length", "char_length":
+		if args[0] == nil {
+			return nil, nil
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, errf("42804", "length of non-string")
+		}
+		return int64(len(str)), nil
+	case "substring", "substr":
+		if len(args) < 2 || args[0] == nil {
+			return nil, nil
+		}
+		str, _ := args[0].(string)
+		from, _ := toFloat(args[1])
+		start := int(from) - 1
+		if start < 0 {
+			start = 0
+		}
+		if start > len(str) {
+			return "", nil
+		}
+		end := len(str)
+		if len(args) == 3 {
+			cnt, _ := toFloat(args[2])
+			if start+int(cnt) < end {
+				end = start + int(cnt)
+			}
+		}
+		return str[start:end], nil
+	case "greatest", "least":
+		var best any
+		for _, a := range args {
+			if a == nil {
+				continue
+			}
+			if best == nil {
+				best = a
+				continue
+			}
+			c := compareVals(a, best)
+			if (x.Name == "greatest" && c > 0) || (x.Name == "least" && c < 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "count", "sum", "avg", "min", "max", "stddev", "stddev_samp", "stddev_pop", "variance", "var_pop", "var_samp":
+		return nil, errf("42803", "aggregate function %s called in non-aggregate context", x.Name)
+	default:
+		return nil, errf("42883", "function %s does not exist", x.Name)
+	}
+}

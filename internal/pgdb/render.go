@@ -1,0 +1,292 @@
+package pgdb
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// renderSelect renders a parsed SELECT back to SQL text. It is used to store
+// view definitions (views re-execute their definition on every reference).
+func renderSelect(b *strings.Builder, sel *sqlparse.SelectStmt) {
+	b.WriteString("SELECT ")
+	if sel.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range sel.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if item.Star {
+			if item.StarTable != "" {
+				b.WriteString(item.StarTable + ".*")
+			} else {
+				b.WriteString("*")
+			}
+			continue
+		}
+		renderExpr(b, item.Expr)
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			renderIdent(b, item.Alias)
+		}
+	}
+	if len(sel.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, tr := range sel.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderTableRef(b, tr)
+		}
+	}
+	if sel.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, sel.Where)
+	}
+	if len(sel.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range sel.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, e)
+		}
+	}
+	if sel.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, sel.Having)
+	}
+	if sel.Union != nil {
+		b.WriteString(" UNION ")
+		if sel.Union.All {
+			b.WriteString("ALL ")
+		}
+		renderSelect(b, sel.Union.Right)
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		renderOrderItems(b, sel.OrderBy)
+	}
+	if sel.Limit != nil {
+		b.WriteString(" LIMIT ")
+		renderExpr(b, sel.Limit)
+	}
+	if sel.Offset != nil {
+		b.WriteString(" OFFSET ")
+		renderExpr(b, sel.Offset)
+	}
+}
+
+func renderOrderItems(b *strings.Builder, items []sqlparse.OrderItem) {
+	for i, o := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderExpr(b, o.Expr)
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+		if o.NullsFirst != nil {
+			if *o.NullsFirst {
+				b.WriteString(" NULLS FIRST")
+			} else {
+				b.WriteString(" NULLS LAST")
+			}
+		}
+	}
+}
+
+func renderTableRef(b *strings.Builder, tr sqlparse.TableRef) {
+	switch r := tr.(type) {
+	case *sqlparse.BaseTable:
+		if r.Schema != "" {
+			renderIdent(b, r.Schema)
+			b.WriteString(".")
+		}
+		renderIdent(b, r.Name)
+		if r.Alias != "" {
+			b.WriteString(" ")
+			renderIdent(b, r.Alias)
+		}
+	case *sqlparse.SubqueryRef:
+		b.WriteString("(")
+		renderSelect(b, r.Query)
+		b.WriteString(")")
+		if r.Alias != "" {
+			b.WriteString(" ")
+			renderIdent(b, r.Alias)
+		}
+	case *sqlparse.JoinRef:
+		renderTableRef(b, r.Left)
+		switch r.Type {
+		case sqlparse.InnerJoin:
+			b.WriteString(" JOIN ")
+		case sqlparse.LeftJoin:
+			b.WriteString(" LEFT JOIN ")
+		case sqlparse.RightJoin:
+			b.WriteString(" RIGHT JOIN ")
+		case sqlparse.FullJoin:
+			b.WriteString(" FULL JOIN ")
+		case sqlparse.CrossJoin:
+			b.WriteString(" CROSS JOIN ")
+		}
+		renderTableRef(b, r.Right)
+		if r.On != nil {
+			b.WriteString(" ON ")
+			renderExpr(b, r.On)
+		}
+	}
+}
+
+// renderIdent quotes identifiers that need it (mixed case or keywords).
+func renderIdent(b *strings.Builder, s string) {
+	needQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			needQuote = true
+			break
+		}
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_') {
+			needQuote = true
+			break
+		}
+	}
+	if needQuote {
+		b.WriteString(`"` + s + `"`)
+	} else {
+		b.WriteString(s)
+	}
+}
+
+func renderExpr(b *strings.Builder, e sqlparse.Expr) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		b.WriteString(x.Text)
+	case *sqlparse.StringLit:
+		b.WriteString("'" + strings.ReplaceAll(x.V, "'", "''") + "'")
+	case *sqlparse.BoolLit:
+		if x.V {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case *sqlparse.NullLit:
+		b.WriteString("NULL")
+	case *sqlparse.ColRef:
+		if x.Table != "" {
+			renderIdent(b, x.Table)
+			b.WriteString(".")
+		}
+		renderIdent(b, x.Name)
+	case *sqlparse.ParamRef:
+		fmt.Fprintf(b, "$%d", x.N)
+	case *sqlparse.BinaryExpr:
+		b.WriteString("(")
+		renderExpr(b, x.L)
+		b.WriteString(" " + x.Op + " ")
+		renderExpr(b, x.R)
+		b.WriteString(")")
+	case *sqlparse.UnaryExpr:
+		b.WriteString("(" + x.Op + " ")
+		renderExpr(b, x.X)
+		b.WriteString(")")
+	case *sqlparse.IsNullExpr:
+		b.WriteString("(")
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	case *sqlparse.InExpr:
+		b.WriteString("(")
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, l := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, l)
+		}
+		b.WriteString("))")
+	case *sqlparse.BetweenExpr:
+		b.WriteString("(")
+		renderExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		renderExpr(b, x.Hi)
+		b.WriteString(")")
+	case *sqlparse.CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteString(" ")
+			renderExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			renderExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			renderExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			renderExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *sqlparse.CastExpr:
+		b.WriteString("CAST(")
+		renderExpr(b, x.X)
+		b.WriteString(" AS " + x.Type + ")")
+	case *sqlparse.FuncCall:
+		b.WriteString(x.Name + "(")
+		if x.Star {
+			b.WriteString("*")
+		}
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, a)
+		}
+		b.WriteString(")")
+		if x.Over != nil {
+			b.WriteString(" OVER (")
+			if len(x.Over.PartitionBy) > 0 {
+				b.WriteString("PARTITION BY ")
+				for i, p := range x.Over.PartitionBy {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					renderExpr(b, p)
+				}
+			}
+			if len(x.Over.OrderBy) > 0 {
+				if len(x.Over.PartitionBy) > 0 {
+					b.WriteString(" ")
+				}
+				b.WriteString("ORDER BY ")
+				renderOrderItems(b, x.Over.OrderBy)
+			}
+			b.WriteString(")")
+		}
+	case *sqlparse.SubqueryExpr:
+		b.WriteString("(")
+		renderSelect(b, x.Query)
+		b.WriteString(")")
+	case *sqlparse.ValueLit:
+		b.WriteString(FormatValue(x.V, "varchar"))
+	}
+}

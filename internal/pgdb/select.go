@@ -1,0 +1,605 @@
+package pgdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// colBinding is one column visible to expression evaluation, qualified by
+// the table alias it came from.
+type colBinding struct {
+	table string
+	name  string
+	typ   string
+}
+
+func schemaOf(cols []Column, alias string) []colBinding {
+	out := make([]colBinding, len(cols))
+	for i, c := range cols {
+		out[i] = colBinding{table: alias, name: c.Name, typ: c.Type}
+	}
+	return out
+}
+
+// relation is an intermediate result: bound columns plus materialized rows.
+type relation struct {
+	schema []colBinding
+	rows   [][]any
+}
+
+// execSelect runs the full select pipeline: FROM (with joins) → WHERE →
+// GROUP/aggregate → HAVING → projection (with window functions) → DISTINCT
+// → UNION → ORDER BY → LIMIT/OFFSET.
+func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result, error) {
+	var rel *relation
+	var err error
+	whereConsumed := false
+	if p := matchAsOfPattern(sel); p != nil {
+		// rank-filter pushdown (see asof.go): the WHERE rn = 1 filter is
+		// satisfied by construction
+		rel, err = s.execAsOfFused(p)
+		whereConsumed = true
+	} else {
+		rel, err = s.buildFrom(sel.From)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// WHERE
+	if sel.Where != nil && !whereConsumed {
+		var kept [][]any
+		for _, row := range rel.rows {
+			ok, err := s.rowMatches(sel.Where, rel.schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rel.rows = kept
+	}
+	var res *Result
+	if len(sel.GroupBy) > 0 || selectHasAggregate(sel) {
+		res, err = s.execGrouped(sel, rel)
+	} else {
+		res, err = s.project(sel, rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sel.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	if sel.Union != nil {
+		right, err := s.execSelect(sel.Union.Right, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Cols) != len(res.Cols) {
+			return nil, errf("42601", "UNION column count mismatch")
+		}
+		res.Rows = append(res.Rows, right.Rows...)
+		if !sel.Union.All {
+			res.Rows = dedupRows(res.Rows)
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := s.orderResult(res, rel, sel); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil {
+		n, err := s.constInt(sel.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if int(n) < len(res.Rows) {
+			res.Rows = res.Rows[n:]
+		} else {
+			res.Rows = nil
+		}
+	}
+	if sel.Limit != nil {
+		n, err := s.constInt(sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if int(n) < len(res.Rows) {
+			res.Rows = res.Rows[:n]
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) constInt(e sqlparse.Expr) (int64, error) {
+	v, err := s.evalConst(e)
+	if err != nil {
+		return 0, err
+	}
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case float64:
+		return int64(x), nil
+	default:
+		return 0, errf("42601", "LIMIT/OFFSET must be numeric")
+	}
+}
+
+// buildFrom materializes the FROM clause (cross join of refs, each possibly
+// a join tree).
+func (s *Session) buildFrom(refs []sqlparse.TableRef) (*relation, error) {
+	if len(refs) == 0 {
+		// SELECT without FROM: one empty row
+		return &relation{rows: [][]any{{}}}, nil
+	}
+	rel, err := s.buildRef(refs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs[1:] {
+		right, err := s.buildRef(r)
+		if err != nil {
+			return nil, err
+		}
+		rel = crossJoin(rel, right)
+	}
+	return rel, nil
+}
+
+func crossJoin(l, r *relation) *relation {
+	out := &relation{schema: append(append([]colBinding{}, l.schema...), r.schema...)}
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			row := make([]any, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+func (s *Session) buildRef(ref sqlparse.TableRef) (*relation, error) {
+	switch r := ref.(type) {
+	case *sqlparse.BaseTable:
+		res, err := s.resolveRelation(r.Schema, r.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		return &relation{schema: schemaOf(res.Cols, alias), rows: res.Rows}, nil
+	case *sqlparse.SubqueryRef:
+		res, err := s.execSelect(r.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &relation{schema: schemaOf(res.Cols, r.Alias), rows: res.Rows}, nil
+	case *sqlparse.JoinRef:
+		return s.buildJoin(r)
+	default:
+		return nil, errf("0A000", "unsupported table ref %T", ref)
+	}
+}
+
+// buildJoin executes a join tree. Equality joins use a hash table on the
+// right side; everything else falls back to a nested loop.
+func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
+	left, err := s.buildRef(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := s.buildRef(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if j.Type == sqlparse.CrossJoin {
+		return crossJoin(left, right), nil
+	}
+	outSchema := append(append([]colBinding{}, left.schema...), right.schema...)
+	out := &relation{schema: outSchema}
+
+	// hash path: the ON clause contains col = col equalities across sides
+	// (possibly null-safe); any remaining conjuncts — such as the b.time <=
+	// a.time bound of a translated as-of join — evaluate as a residual
+	// predicate over each candidate pair
+	if lk, rk, nullSafe, residual, ok := extractHashKeys(j.On, left.schema, right.schema); ok {
+		index := make(map[string][]int, len(right.rows))
+		for i, rr := range right.rows {
+			key, null := hashKey(rr, rk)
+			if null && !nullSafe {
+				continue // SQL: NULL keys never match under plain equality
+			}
+			index[key] = append(index[key], i)
+		}
+		for _, lr := range left.rows {
+			key, null := hashKey(lr, lk)
+			matched := false
+			if !null || nullSafe {
+				for _, ri := range index[key] {
+					row := append(append(make([]any, 0, len(lr)+len(right.rows[ri])), lr...), right.rows[ri]...)
+					if residual != nil {
+						ok, err := s.rowMatches(residual, outSchema, row)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							continue
+						}
+					}
+					out.rows = append(out.rows, row)
+					matched = true
+				}
+			}
+			if !matched && (j.Type == sqlparse.LeftJoin || j.Type == sqlparse.FullJoin) {
+				out.rows = append(out.rows, padRight(lr, len(right.schema)))
+			}
+		}
+		if j.Type == sqlparse.RightJoin || j.Type == sqlparse.FullJoin {
+			if err := s.appendUnmatchedRight(out, left, right, j.On); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// nested loop
+	for _, lr := range left.rows {
+		matched := false
+		for _, rr := range right.rows {
+			row := append(append(make([]any, 0, len(lr)+len(rr)), lr...), rr...)
+			ok, err := s.rowMatches(j.On, outSchema, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if !matched && (j.Type == sqlparse.LeftJoin || j.Type == sqlparse.FullJoin) {
+			out.rows = append(out.rows, padRight(lr, len(right.schema)))
+		}
+	}
+	if j.Type == sqlparse.RightJoin || j.Type == sqlparse.FullJoin {
+		if err := s.appendUnmatchedRight(out, left, right, j.On); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Session) appendUnmatchedRight(out *relation, left, right *relation, on sqlparse.Expr) error {
+	outSchema := out.schema
+	for _, rr := range right.rows {
+		matched := false
+		for _, lr := range left.rows {
+			row := append(append(make([]any, 0, len(lr)+len(rr)), lr...), rr...)
+			ok, err := s.rowMatches(on, outSchema, row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			row := make([]any, len(left.schema), len(left.schema)+len(rr))
+			row = append(row, rr...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return nil
+}
+
+func padRight(lr []any, rightWidth int) []any {
+	row := append(make([]any, 0, len(lr)+rightWidth), lr...)
+	for i := 0; i < rightWidth; i++ {
+		row = append(row, nil)
+	}
+	return row
+}
+
+// extractHashKeys recognizes equality conjuncts of the form l.a = r.b (or
+// IS NOT DISTINCT FROM) in the ON clause, returning the column indexes per
+// side, whether the equalities are null-safe, and the AND of any remaining
+// conjuncts as a residual predicate.
+func extractHashKeys(on sqlparse.Expr, ls, rs []colBinding) (lk, rk []int, nullSafe bool, residual sqlparse.Expr, ok bool) {
+	var conj []sqlparse.Expr
+	var flatten func(e sqlparse.Expr)
+	flatten = func(e sqlparse.Expr) {
+		if b, isBin := e.(*sqlparse.BinaryExpr); isBin && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conj = append(conj, e)
+	}
+	if on == nil {
+		return nil, nil, false, nil, false
+	}
+	flatten(on)
+	nullSafe = true
+	var rest []sqlparse.Expr
+	for _, c := range conj {
+		b, isBin := c.(*sqlparse.BinaryExpr)
+		if isBin && (b.Op == "=" || b.Op == "IS NOT DISTINCT FROM") {
+			lc, lok := b.L.(*sqlparse.ColRef)
+			rc, rok := b.R.(*sqlparse.ColRef)
+			if lok && rok {
+				li, lerr := findCol(ls, lc)
+				ri, rerr := findCol(rs, rc)
+				if lerr == nil && rerr == nil {
+					lk = append(lk, li)
+					rk = append(rk, ri)
+					if b.Op == "=" {
+						nullSafe = false
+					}
+					continue
+				}
+				// reversed sides
+				li, lerr = findCol(ls, rc)
+				ri, rerr = findCol(rs, lc)
+				if lerr == nil && rerr == nil {
+					lk = append(lk, li)
+					rk = append(rk, ri)
+					if b.Op == "=" {
+						nullSafe = false
+					}
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	if len(lk) == 0 {
+		return nil, nil, false, nil, false
+	}
+	for _, r := range rest {
+		if residual == nil {
+			residual = r
+		} else {
+			residual = &sqlparse.BinaryExpr{Op: "AND", L: residual, R: r}
+		}
+	}
+	return lk, rk, nullSafe, residual, true
+}
+
+func findCol(schema []colBinding, c *sqlparse.ColRef) (int, error) {
+	found := -1
+	for i, b := range schema {
+		if b.name != c.Name {
+			continue
+		}
+		if c.Table != "" && b.table != c.Table {
+			continue
+		}
+		if found >= 0 {
+			return 0, errf("42702", "column reference %q is ambiguous", c.Name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, errf("42703", "column %q does not exist", colRefName(c))
+	}
+	return found, nil
+}
+
+func colRefName(c *sqlparse.ColRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func hashKey(row []any, keys []int) (string, bool) {
+	vals := make([]any, len(keys))
+	for i, k := range keys {
+		if row[k] == nil {
+			return "", true
+		}
+		vals[i] = row[k]
+	}
+	return keyString(vals), false
+}
+
+func dedupRows(rows [][]any) [][]any {
+	seen := map[string]bool{}
+	var out [][]any
+	for _, r := range rows {
+		k := keyString(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// project evaluates the select items over each row (no grouping), computing
+// window functions first.
+func (s *Session) project(sel *sqlparse.SelectStmt, rel *relation) (*Result, error) {
+	items, err := expandStars(sel.Items, rel.schema)
+	if err != nil {
+		return nil, err
+	}
+	winVals, err := s.computeWindows(items, rel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, item := range items {
+		res.Cols = append(res.Cols, Column{
+			Name: itemName(item, rel.schema),
+			Type: s.inferType(item.Expr, rel.schema),
+		})
+	}
+	for ri, row := range rel.rows {
+		out := make([]any, len(items))
+		for i, item := range items {
+			v, err := s.evalExprWin(item.Expr, rel.schema, row, ri, winVals)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	refineTypes(res)
+	return res, nil
+}
+
+// expandStars replaces * and t.* with explicit column refs.
+func expandStars(items []sqlparse.SelectItem, schema []colBinding) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, item := range items {
+		if !item.Star {
+			out = append(out, item)
+			continue
+		}
+		for _, b := range schema {
+			if item.StarTable != "" && b.table != item.StarTable {
+				continue
+			}
+			out = append(out, sqlparse.SelectItem{
+				Expr:  &sqlparse.ColRef{Table: b.table, Name: b.name},
+				Alias: b.name,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, errf("42601", "empty select list")
+	}
+	return out, nil
+}
+
+func itemName(item sqlparse.SelectItem, schema []colBinding) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparse.ColRef:
+		return e.Name
+	case *sqlparse.FuncCall:
+		return e.Name
+	case *sqlparse.CastExpr:
+		if c, ok := e.X.(*sqlparse.ColRef); ok {
+			return c.Name
+		}
+		return e.Type
+	default:
+		return "?column?"
+	}
+}
+
+// orderResult sorts the result rows. Order keys may reference output aliases
+// or positions; otherwise they are evaluated against the source relation,
+// whose rows are index-aligned with the output before ordering.
+func (s *Session) orderResult(res *Result, rel *relation, sel *sqlparse.SelectStmt) error {
+	n := len(res.Rows)
+	type keyed struct {
+		out  []any
+		keys []any
+	}
+	aligned := len(rel.rows) == n
+	rows := make([]keyed, n)
+	for i := range res.Rows {
+		rows[i].out = res.Rows[i]
+		rows[i].keys = make([]any, len(sel.OrderBy))
+		for k, ob := range sel.OrderBy {
+			v, err := s.orderKey(ob.Expr, res, rel, i, aligned)
+			if err != nil {
+				return err
+			}
+			rows[i].keys[k] = v
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k, ob := range sel.OrderBy {
+			av, bv := rows[a].keys[k], rows[b].keys[k]
+			if av == nil && bv == nil {
+				continue
+			}
+			nullsFirst := ob.Desc // PG default: NULLS LAST asc, NULLS FIRST desc
+			if ob.NullsFirst != nil {
+				nullsFirst = *ob.NullsFirst
+			}
+			if av == nil {
+				return nullsFirst
+			}
+			if bv == nil {
+				return !nullsFirst
+			}
+			c := compareVals(av, bv)
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range rows {
+		res.Rows[i] = rows[i].out
+	}
+	return nil
+}
+
+func (s *Session) orderKey(e sqlparse.Expr, res *Result, rel *relation, rowIdx int, aligned bool) (any, error) {
+	// positional: ORDER BY 1
+	if n, ok := e.(*sqlparse.NumberLit); ok && !strings.Contains(n.Text, ".") {
+		var pos int
+		fmt.Sscanf(n.Text, "%d", &pos)
+		if pos >= 1 && pos <= len(res.Cols) {
+			return res.Rows[rowIdx][pos-1], nil
+		}
+	}
+	// output alias / column name
+	if c, ok := e.(*sqlparse.ColRef); ok && c.Table == "" {
+		for i, col := range res.Cols {
+			if col.Name == c.Name {
+				return res.Rows[rowIdx][i], nil
+			}
+		}
+	}
+	if aligned {
+		return s.evalExpr(e, rel.schema, rel.rows[rowIdx])
+	}
+	return nil, errf("42703", "cannot resolve ORDER BY expression")
+}
+
+// refineTypes replaces "unknown" column types by inspecting actual values.
+func refineTypes(res *Result) {
+	for i := range res.Cols {
+		if res.Cols[i].Type != "" && res.Cols[i].Type != "unknown" {
+			continue
+		}
+		t := "varchar"
+		for _, row := range res.Rows {
+			switch row[i].(type) {
+			case int64:
+				t = "bigint"
+			case float64:
+				t = "double precision"
+			case bool:
+				t = "boolean"
+			case string:
+				t = "varchar"
+			default:
+				continue
+			}
+			break
+		}
+		res.Cols[i].Type = t
+	}
+}

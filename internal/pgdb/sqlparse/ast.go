@@ -1,0 +1,308 @@
+package sqlparse
+
+// Stmt is any SQL statement.
+type Stmt interface{ stmt() }
+
+// Expr is any SQL scalar expression.
+type Expr interface{ expr() }
+
+// SelectStmt is a SELECT query, possibly with set operations chained via
+// Union.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // comma-joined table refs (cross joins)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr
+	Offset   Expr
+	Union    *UnionClause
+}
+
+func (*SelectStmt) stmt() {}
+
+// UnionClause chains a set operation onto a select.
+type UnionClause struct {
+	All   bool
+	Right *SelectStmt
+}
+
+// SelectItem is one output column: expression plus optional alias; a Star
+// item expands to all columns (optionally qualified).
+type SelectItem struct {
+	Star      bool
+	StarTable string // "t".* when set
+	Expr      Expr
+	Alias     string
+}
+
+// TableRef is an entry of the FROM clause: a base table, a subquery, or a
+// join tree.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a named table or view, with an optional alias.
+type BaseTable struct {
+	Schema string
+	Name   string
+	Alias  string
+}
+
+func (*BaseTable) tableRef() {}
+
+// SubqueryRef is a parenthesized SELECT used as a table, with an alias.
+type SubqueryRef struct {
+	Query *SelectStmt
+	Alias string
+}
+
+func (*SubqueryRef) tableRef() {}
+
+// JoinType enumerates join kinds.
+type JoinType int
+
+// Join kinds.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+	CrossJoin
+)
+
+// JoinRef is a binary join between two table refs with an ON condition.
+type JoinRef struct {
+	Type  JoinType
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*JoinRef) tableRef() {}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr       Expr
+	Desc       bool
+	NullsFirst *bool // nil means dialect default (nulls last asc / first desc)
+}
+
+// CreateTableStmt covers CREATE [TEMPORARY] TABLE name (cols) and
+// CREATE [TEMPORARY] TABLE name AS SELECT.
+type CreateTableStmt struct {
+	Temp        bool
+	IfNotExists bool
+	Name        string
+	Cols        []ColumnDef
+	AsSelect    *SelectStmt
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // normalized lowercase type name
+}
+
+// CreateViewStmt is CREATE VIEW name AS SELECT.
+type CreateViewStmt struct {
+	Name     string
+	AsSelect *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// DropStmt is DROP TABLE/VIEW [IF EXISTS] name.
+type DropStmt struct {
+	View     bool
+	IfExists bool
+	Name     string
+}
+
+func (*DropStmt) stmt() {}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...),(...) or
+// INSERT INTO name [(cols)] SELECT.
+type InsertStmt struct {
+	Table  string
+	Cols   []string
+	Rows   [][]Expr
+	Select *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE name SET col=expr,... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// SetClause is one col=expr of an UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM name [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// TxStmt is BEGIN/COMMIT/ROLLBACK (no-ops in the embedded engine).
+type TxStmt struct {
+	Kind string
+}
+
+func (*TxStmt) stmt() {}
+
+// Expressions
+
+// NumberLit is a numeric literal kept as text until typing.
+type NumberLit struct {
+	Text string
+}
+
+func (*NumberLit) expr() {}
+
+// StringLit is a string literal.
+type StringLit struct {
+	V string
+}
+
+func (*StringLit) expr() {}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct {
+	V bool
+}
+
+func (*BoolLit) expr() {}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// ColRef references a column, optionally qualified with a table alias.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+func (*ColRef) expr() {}
+
+// ParamRef is a $n placeholder.
+type ParamRef struct {
+	N int
+}
+
+func (*ParamRef) expr() {}
+
+// BinaryExpr applies a binary operator: arithmetic, comparison, AND/OR,
+// string concatenation, LIKE, and IS [NOT] DISTINCT FROM.
+type BinaryExpr struct {
+	Op   string // "+", "-", "*", "/", "%", "||", "=", "<>", "<", ">", "<=", ">=", "AND", "OR", "LIKE", "IS DISTINCT FROM", "IS NOT DISTINCT FROM"
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	Not  bool
+	List []Expr
+}
+
+func (*InExpr) expr() {}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+func (*BetweenExpr) expr() {}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// FuncCall is a function invocation, possibly an aggregate (COUNT/SUM/...)
+// or, when Over is non-nil, a window function.
+type FuncCall struct {
+	Name     string // lowercased
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Args     []Expr
+	Over     *WindowSpec
+}
+
+func (*FuncCall) expr() {}
+
+// WindowSpec is the OVER (...) clause of a window function.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+}
+
+// CastExpr is CAST(x AS type) or x::type.
+type CastExpr struct {
+	X    Expr
+	Type string // normalized lowercase
+}
+
+func (*CastExpr) expr() {}
+
+// SubqueryExpr is a scalar subquery (SELECT ...) used as an expression.
+type SubqueryExpr struct {
+	Query *SelectStmt
+}
+
+func (*SubqueryExpr) expr() {}
+
+// ValueLit is an engine-internal literal carrying an already-computed value.
+// The parser never produces it; the executor synthesizes it when folding
+// aggregate results back into scalar expressions.
+type ValueLit struct {
+	V any
+}
+
+func (*ValueLit) expr() {}

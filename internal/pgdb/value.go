@@ -1,0 +1,232 @@
+// Package pgdb implements an embedded PostgreSQL-dialect analytical database
+// that stands in for Greenplum/PostgreSQL in this reproduction (paper §6 ran
+// against Greenplum). It provides the pieces Hyper-Q relies on: a catalog
+// with information_schema metadata queries (used by the binder's MDI,
+// §3.2.3), SQL execution with three-valued logic and IS NOT DISTINCT FROM
+// (§3.3), temporary tables and views for eager materialization (§4.3),
+// window functions for implicit-order generation, and a PG v3 wire front
+// end (package pgv3 plus cmd/pgserver).
+//
+// Values are represented as Go any: nil (SQL NULL), bool, int64, float64 and
+// string. Temporal columns store int64 magnitudes in kdb-compatible units
+// (days since 2000-01-01 for date, milliseconds since midnight for time,
+// nanoseconds since 2000-01-01 for timestamp) and format to standard
+// PostgreSQL text forms on the wire.
+package pgdb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type string // normalized lowercase type name
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Cols []Column
+	Rows [][]any
+	Tag  string // command tag, e.g. "SELECT 5"
+}
+
+// Error is an execution error, carrying a PostgreSQL-style SQLSTATE code.
+type Error struct {
+	Code string
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ERROR %s: %s", e.Code, e.Msg) }
+
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+var pgEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// IsNumericType reports whether a column type is numeric.
+func IsNumericType(t string) bool {
+	switch t {
+	case "smallint", "integer", "int", "int2", "int4", "int8", "bigint",
+		"real", "float4", "float8", "double precision", "numeric", "decimal":
+		return true
+	}
+	return false
+}
+
+// IsTemporalType reports whether a column type is date/time-like.
+func IsTemporalType(t string) bool {
+	switch t {
+	case "date", "time", "timestamp", "timestamptz", "interval":
+		return true
+	}
+	return false
+}
+
+// FormatValue renders a value as PostgreSQL text output for the given
+// column type. NULL renders as an empty string at the protocol layer (the
+// DataRow encoding distinguishes it by length -1).
+func FormatValue(v any, typ string) string {
+	if v == nil {
+		return ""
+	}
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return "t"
+		}
+		return "f"
+	case int64:
+		switch typ {
+		case "date":
+			return pgEpoch.AddDate(0, 0, int(x)).Format("2006-01-02")
+		case "time":
+			ms := x
+			return fmt.Sprintf("%02d:%02d:%02d.%03d", ms/3600000, ms/60000%60, ms/1000%60, ms%1000)
+		case "timestamp", "timestamptz":
+			t := pgEpoch.Add(time.Duration(x))
+			return t.Format("2006-01-02 15:04:05.999999999")
+		case "interval":
+			return fmt.Sprintf("%d ns", x)
+		default:
+			return strconv.FormatInt(x, 10)
+		}
+	case float64:
+		if math.IsNaN(x) {
+			return "NaN"
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// ParseValue converts PostgreSQL text input into an engine value for the
+// given column type.
+func ParseValue(s string, typ string) (any, error) {
+	switch {
+	case typ == "boolean" || typ == "bool":
+		switch strings.ToLower(s) {
+		case "t", "true", "1":
+			return true, nil
+		case "f", "false", "0":
+			return false, nil
+		}
+		return nil, errf("22P02", "invalid boolean %q", s)
+	case IsNumericType(typ):
+		if strings.ContainsAny(s, ".eE") || typ == "real" || typ == "float4" ||
+			typ == "float8" || typ == "double precision" || typ == "numeric" || typ == "decimal" {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, errf("22P02", "invalid number %q", s)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, errf("22P02", "invalid integer %q", s)
+		}
+		return n, nil
+	case typ == "date":
+		t, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			return nil, errf("22007", "invalid date %q", s)
+		}
+		return int64(t.Sub(pgEpoch) / (24 * time.Hour)), nil
+	case typ == "time":
+		var h, m, sec, ms int
+		if n, _ := fmt.Sscanf(s, "%d:%d:%d.%d", &h, &m, &sec, &ms); n < 3 {
+			if n, _ := fmt.Sscanf(s, "%d:%d:%d", &h, &m, &sec); n < 2 {
+				return nil, errf("22007", "invalid time %q", s)
+			}
+		}
+		return int64(h)*3600000 + int64(m)*60000 + int64(sec)*1000 + int64(ms), nil
+	case typ == "timestamp" || typ == "timestamptz":
+		for _, layout := range []string{"2006-01-02 15:04:05.999999999", "2006-01-02T15:04:05.999999999", "2006-01-02"} {
+			if t, err := time.Parse(layout, s); err == nil {
+				return t.Sub(pgEpoch).Nanoseconds(), nil
+			}
+		}
+		return nil, errf("22007", "invalid timestamp %q", s)
+	default:
+		return s, nil
+	}
+}
+
+// compareVals orders two non-null engine values: -1, 0, 1. Numeric values
+// compare by magnitude across int64/float64; strings lexically; bools
+// false<true.
+func compareVals(a, b any) int {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return strings.Compare(as, bs)
+	}
+	ab, aok := a.(bool)
+	bb, bok := b.(bool)
+	if aok && bok {
+		switch {
+		case !ab && bb:
+			return -1
+		case ab && !bb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// mixed incomparable types: order by type name for stability
+	return strings.Compare(fmt.Sprintf("%T", a), fmt.Sprintf("%T", b))
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// equalVals is SQL equality on two non-null values (three-valued logic is
+// applied by the caller, which handles nulls before calling).
+func equalVals(a, b any) bool { return compareVals(a, b) == 0 }
+
+// keyString builds a hashable grouping key from values; nulls group
+// together, as PostgreSQL GROUP BY specifies.
+func keyString(vals []any) string {
+	var b strings.Builder
+	for _, v := range vals {
+		if v == nil {
+			b.WriteString("\x00N;")
+			continue
+		}
+		fmt.Fprintf(&b, "%T:%v;", v, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,309 @@
+// Package ast defines the abstract syntax tree the Q parser produces. As the
+// paper's Algebrizer prescribes (§3.2.1), the AST is deliberately untyped:
+// variable references carry only names, and all type decisions are deferred
+// to the binder (or the interpreter), which resolves them against metadata.
+package ast
+
+import (
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// Node is any Q syntax tree node.
+type Node interface {
+	// QString renders the node back to Q-like source, used in error
+	// messages and in the variable store, which keeps function
+	// definitions as text (paper §4.3).
+	QString() string
+}
+
+// Lit is a literal expression carrying its decoded value — an atom or a
+// vector literal such as 1 2 3 or `Symbol`Time.
+type Lit struct {
+	Val qval.Value
+}
+
+// QString implements Node.
+func (l *Lit) QString() string { return l.Val.String() }
+
+// Var references a named entity; whether it denotes a table, a function or a
+// scalar is unknown until binding (paper §3.2.1).
+type Var struct {
+	Name string
+}
+
+// QString implements Node.
+func (v *Var) QString() string { return v.Name }
+
+// Monad applies a monadic operator or verb to one argument, e.g. count x or
+// -y.
+type Monad struct {
+	Op string
+	X  Node
+}
+
+// QString implements Node.
+func (m *Monad) QString() string { return m.Op + " " + m.X.QString() }
+
+// Dyad applies a dyadic operator to two arguments. Q evaluates strictly
+// right-to-left with no precedence, so the right side of a dyad is always
+// the entire remaining expression.
+type Dyad struct {
+	Op   string
+	L, R Node
+}
+
+// QString implements Node.
+func (d *Dyad) QString() string { return d.L.QString() + d.Op + d.R.QString() }
+
+// Apply calls a function-valued expression with bracketed arguments:
+// f[x;y] or aj[`Symbol`Time;t1;t2].
+type Apply struct {
+	Fn   Node
+	Args []Node
+}
+
+// QString implements Node.
+func (a *Apply) QString() string {
+	parts := make([]string, len(a.Args))
+	for i, x := range a.Args {
+		if x == nil {
+			continue
+		}
+		parts[i] = x.QString()
+	}
+	return a.Fn.QString() + "[" + strings.Join(parts, ";") + "]"
+}
+
+// Lambda is a function literal {[a;b] body}. Source preserves the original
+// text: Hyper-Q stores definitions verbatim in the variable scope and
+// re-algebrizes them on invocation (paper §4.3).
+type Lambda struct {
+	Params []string
+	Body   []Node
+	Source string
+}
+
+// QString implements Node.
+func (l *Lambda) QString() string { return l.Source }
+
+// Assign binds a name: name:expr, or name::expr for a global amend from
+// inside a function body.
+type Assign struct {
+	Name   string
+	Global bool
+	Expr   Node
+}
+
+// QString implements Node.
+func (a *Assign) QString() string {
+	op := ":"
+	if a.Global {
+		op = "::"
+	}
+	return a.Name + op + a.Expr.QString()
+}
+
+// Return is an explicit early return `:expr` inside a function body.
+type Return struct {
+	Expr Node
+}
+
+// QString implements Node.
+func (r *Return) QString() string { return ":" + r.Expr.QString() }
+
+// ListExpr is a parenthesized list (a;b;c). A one-element parenthesis is
+// grouping, not a list, and is unwrapped by the parser.
+type ListExpr struct {
+	Items []Node
+}
+
+// QString implements Node.
+func (l *ListExpr) QString() string {
+	parts := make([]string, len(l.Items))
+	for i, x := range l.Items {
+		parts[i] = x.QString()
+	}
+	return "(" + strings.Join(parts, ";") + ")"
+}
+
+// AdverbExpr modifies a verb with an adverb: +/ (over), f' (each-both),
+// f each.
+type AdverbExpr struct {
+	Adverb string
+	Verb   Node
+}
+
+// QString implements Node.
+func (a *AdverbExpr) QString() string { return a.Verb.QString() + a.Adverb }
+
+// TemplateKind distinguishes the four q-sql templates.
+type TemplateKind int
+
+// The q-sql template kinds.
+const (
+	Select TemplateKind = iota
+	Exec
+	Update
+	Delete
+)
+
+func (k TemplateKind) String() string {
+	switch k {
+	case Select:
+		return "select"
+	case Exec:
+		return "exec"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	default:
+		return "?"
+	}
+}
+
+// ColSpec is one entry of a q-sql column or by list: an optional result name
+// and the defining expression. An empty Name means the name is inferred from
+// the expression (its trailing column reference), as q does.
+type ColSpec struct {
+	Name string
+	Expr Node
+}
+
+// QString renders the column spec.
+func (c ColSpec) QString() string {
+	if c.Name == "" {
+		return c.Expr.QString()
+	}
+	return c.Name + ":" + c.Expr.QString()
+}
+
+// SQLTemplate is a q-sql expression:
+//
+//	select cols by bycols from t where c1, c2
+//
+// Where conditions are AND-combined in order; q applies each condition to
+// the rows surviving the previous one. Update replaces columns in the query
+// output only (paper §2.2) — persistence is a separate assignment.
+type SQLTemplate struct {
+	Kind  TemplateKind
+	Cols  []ColSpec // empty for `select from t` (all columns)
+	By    []ColSpec
+	From  Node
+	Where []Node
+}
+
+// QString implements Node.
+func (s *SQLTemplate) QString() string {
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
+	for i, c := range s.Cols {
+		if i == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QString())
+	}
+	if len(s.By) > 0 {
+		b.WriteString(" by ")
+		for i, c := range s.By {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.QString())
+		}
+	}
+	b.WriteString(" from ")
+	b.WriteString(s.From.QString())
+	for i, w := range s.Where {
+		if i == 0 {
+			b.WriteString(" where ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(w.QString())
+	}
+	return b.String()
+}
+
+// Program is a sequence of top-level statements separated by semicolons.
+type Program struct {
+	Stmts []Node
+}
+
+// QString implements Node.
+func (p *Program) QString() string {
+	parts := make([]string, len(p.Stmts))
+	for i, s := range p.Stmts {
+		parts[i] = s.QString()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Walk applies fn to every node of the tree in depth-first pre-order; fn
+// returning false prunes the subtree.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Monad:
+		Walk(x.X, fn)
+	case *Dyad:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Apply:
+		Walk(x.Fn, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Lambda:
+		for _, s := range x.Body {
+			Walk(s, fn)
+		}
+	case *Assign:
+		Walk(x.Expr, fn)
+	case *Return:
+		Walk(x.Expr, fn)
+	case *ListExpr:
+		for _, it := range x.Items {
+			Walk(it, fn)
+		}
+	case *AdverbExpr:
+		Walk(x.Verb, fn)
+	case *SQLTemplate:
+		for _, c := range x.Cols {
+			Walk(c.Expr, fn)
+		}
+		for _, c := range x.By {
+			Walk(c.Expr, fn)
+		}
+		Walk(x.From, fn)
+		for _, w := range x.Where {
+			Walk(w, fn)
+		}
+	case *Program:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	}
+}
+
+// Vars returns the distinct free variable names referenced anywhere in the
+// tree, in first-appearance order. Lambda parameters are not tracked as
+// bound here; callers that care use scopes.
+func Vars(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(n, func(m Node) bool {
+		if v, ok := m.(*Var); ok && !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v.Name)
+		}
+		return true
+	})
+	return out
+}

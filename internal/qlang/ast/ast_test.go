@@ -1,0 +1,93 @@
+package ast
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func TestQStringRendering(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want string
+	}{
+		{&Lit{Val: qval.Long(42)}, "42"},
+		{&Var{Name: "trades"}, "trades"},
+		{&Monad{Op: "count", X: &Var{Name: "x"}}, "count x"},
+		{&Dyad{Op: "+", L: &Lit{Val: qval.Long(1)}, R: &Lit{Val: qval.Long(2)}}, "1+2"},
+		{&Assign{Name: "x", Expr: &Lit{Val: qval.Long(5)}}, "x:5"},
+		{&Assign{Name: "x", Global: true, Expr: &Lit{Val: qval.Long(5)}}, "x::5"},
+		{&Return{Expr: &Var{Name: "y"}}, ":y"},
+		{&Apply{Fn: &Var{Name: "f"}, Args: []Node{&Var{Name: "a"}, &Var{Name: "b"}}}, "f[a;b]"},
+		{&ListExpr{Items: []Node{&Lit{Val: qval.Long(1)}, &Var{Name: "z"}}}, "(1;z)"},
+		{&AdverbExpr{Adverb: "/", Verb: &Var{Name: "+"}}, "+/"},
+	}
+	for _, c := range cases {
+		if got := c.n.QString(); got != c.want {
+			t.Errorf("QString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTemplateQString(t *testing.T) {
+	tpl := &SQLTemplate{
+		Kind: Select,
+		Cols: []ColSpec{{Name: "mx", Expr: &Apply{Fn: &Var{Name: "max"}, Args: []Node{&Var{Name: "Price"}}}}},
+		By:   []ColSpec{{Expr: &Var{Name: "Symbol"}}},
+		From: &Var{Name: "trades"},
+		Where: []Node{
+			&Dyad{Op: "=", L: &Var{Name: "Sym"}, R: &Lit{Val: qval.Symbol("GOOG")}},
+		},
+	}
+	want := "select mx:max[Price] by Symbol from trades where Sym=`GOOG"
+	if got := tpl.QString(); got != want {
+		t.Errorf("template QString = %q, want %q", got, want)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	tpl := &SQLTemplate{
+		Kind:  Select,
+		Cols:  []ColSpec{{Expr: &Var{Name: "a"}}},
+		From:  &Var{Name: "t"},
+		Where: []Node{&Dyad{Op: ">", L: &Var{Name: "b"}, R: &Lit{Val: qval.Long(0)}}},
+	}
+	count := 0
+	Walk(tpl, func(Node) bool { count++; return true })
+	// template + col var + from var + dyad + dyad children
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	d := &Dyad{Op: "+", L: &Var{Name: "a"}, R: &Var{Name: "b"}}
+	count := 0
+	Walk(d, func(n Node) bool {
+		count++
+		return false // prune at root
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d", count)
+	}
+}
+
+func TestVarsOrderAndDedup(t *testing.T) {
+	n := &Dyad{Op: "+",
+		L: &Var{Name: "x"},
+		R: &Dyad{Op: "*", L: &Var{Name: "y"}, R: &Var{Name: "x"}}}
+	vars := Vars(n)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestTemplateKindStrings(t *testing.T) {
+	for k, want := range map[TemplateKind]string{
+		Select: "select", Exec: "exec", Update: "update", Delete: "delete",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

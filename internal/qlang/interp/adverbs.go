@@ -1,0 +1,218 @@
+package interp
+
+import (
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/qval"
+)
+
+// applyAdverb applies an adverb-modified verb to its arguments:
+//
+//	over (/)     fold:           (+/) 1 2 3          -> 6
+//	scan (\)     running fold:   (+\) 1 2 3          -> 1 3 6
+//	each         map:            count each (1 2;3)  -> 2 1
+//	' each-both  zip:            1 2 +' 10 20        -> 11 22
+//	': prior     pairwise:       -': 1 3 6           -> 1 2 3
+//	/: each-rt   right map:      1 +/: 10 20         -> 11 21
+//	\: each-lt   left map:       1 2 +\: 10          -> 11 12
+func (in *Interp) applyAdverb(a *adverbValue, args []qval.Value, e *env) (qval.Value, error) {
+	switch a.adverb {
+	case "/", "over":
+		return in.foldVerb(a, args, e, false)
+	case "\\", "scan":
+		return in.foldVerb(a, args, e, true)
+	case "each":
+		if len(args) == 1 {
+			return in.mapVerb(a, args[0], e)
+		}
+		if len(args) == 2 {
+			return in.zipVerb(a, args[0], args[1], e)
+		}
+		return nil, qval.Errorf("rank")
+	case "'":
+		if len(args) == 2 {
+			return in.zipVerb(a, args[0], args[1], e)
+		}
+		if len(args) == 1 {
+			return in.mapVerb(a, args[0], e)
+		}
+		return nil, qval.Errorf("rank")
+	case "':", "prior":
+		if len(args) != 1 {
+			return nil, qval.Errorf("rank")
+		}
+		return in.priorVerb(a, args[0], e)
+	case "/:":
+		if len(args) != 2 {
+			return nil, qval.Errorf("rank")
+		}
+		return in.eachRight(a, args[0], args[1], e)
+	case "\\:":
+		if len(args) != 2 {
+			return nil, qval.Errorf("rank")
+		}
+		return in.eachLeft(a, args[0], args[1], e)
+	default:
+		return nil, qval.Errorf("nyi adverb " + a.adverb)
+	}
+}
+
+// callVerb2 applies the underlying verb dyadically.
+func (in *Interp) callVerb2(a *adverbValue, x, y qval.Value, e *env) (qval.Value, error) {
+	if v, ok := a.verb.(*ast.Var); ok && (isOperatorName(v.Name) || infixOps[v.Name]) {
+		return in.applyDyadOp(v.Name, x, y, e)
+	}
+	fn, err := in.eval(a.verb, a.env)
+	if err != nil {
+		return nil, err
+	}
+	return in.applyValue(fn, []qval.Value{x, y}, e)
+}
+
+// callVerb1 applies the underlying verb monadically.
+func (in *Interp) callVerb1(a *adverbValue, x qval.Value, e *env) (qval.Value, error) {
+	if v, ok := a.verb.(*ast.Var); ok {
+		if mf, ok := monads[v.Name]; ok {
+			return mf(x)
+		}
+		if isOperatorName(v.Name) {
+			return in.applyMonadOp(v.Name, x, e)
+		}
+	}
+	fn, err := in.eval(a.verb, a.env)
+	if err != nil {
+		return nil, err
+	}
+	return in.applyValue(fn, []qval.Value{x}, e)
+}
+
+func (in *Interp) foldVerb(a *adverbValue, args []qval.Value, e *env, scan bool) (qval.Value, error) {
+	var acc qval.Value
+	var list qval.Value
+	switch len(args) {
+	case 1:
+		list = args[0]
+	case 2:
+		acc = args[0]
+		list = args[1]
+	default:
+		return nil, qval.Errorf("rank")
+	}
+	n := list.Len()
+	if n < 0 {
+		return list, nil
+	}
+	var out []qval.Value
+	for i := 0; i < n; i++ {
+		x := qval.Index(list, i)
+		if acc == nil {
+			acc = x
+		} else {
+			var err error
+			acc, err = in.callVerb2(a, acc, x, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if scan {
+			out = append(out, acc)
+		}
+	}
+	if scan {
+		return qval.FromAtoms(out), nil
+	}
+	if acc == nil {
+		return qval.Long(0), nil
+	}
+	return acc, nil
+}
+
+func (in *Interp) mapVerb(a *adverbValue, list qval.Value, e *env) (qval.Value, error) {
+	n := list.Len()
+	if n < 0 {
+		return in.callVerb1(a, list, e)
+	}
+	out := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := in.callVerb1(a, qval.Index(list, i), e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return qval.FromAtoms(out), nil
+}
+
+func (in *Interp) zipVerb(a *adverbValue, x, y qval.Value, e *env) (qval.Value, error) {
+	lx, ly := x.Len(), y.Len()
+	if lx < 0 && ly < 0 {
+		return in.callVerb2(a, x, y, e)
+	}
+	n := lx
+	if lx < 0 {
+		n = ly
+	}
+	if lx >= 0 && ly >= 0 && lx != ly {
+		return nil, qval.Errorf("length")
+	}
+	out := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := in.callVerb2(a, qval.Index(x, i), qval.Index(y, i), e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return qval.FromAtoms(out), nil
+}
+
+func (in *Interp) priorVerb(a *adverbValue, list qval.Value, e *env) (qval.Value, error) {
+	n := list.Len()
+	if n < 0 {
+		return list, nil
+	}
+	out := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			out[i] = qval.Index(list, 0)
+			continue
+		}
+		v, err := in.callVerb2(a, qval.Index(list, i), qval.Index(list, i-1), e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return qval.FromAtoms(out), nil
+}
+
+func (in *Interp) eachRight(a *adverbValue, x, ys qval.Value, e *env) (qval.Value, error) {
+	n := ys.Len()
+	if n < 0 {
+		return in.callVerb2(a, x, ys, e)
+	}
+	out := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := in.callVerb2(a, x, qval.Index(ys, i), e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return qval.FromAtoms(out), nil
+}
+
+func (in *Interp) eachLeft(a *adverbValue, xs, y qval.Value, e *env) (qval.Value, error) {
+	n := xs.Len()
+	if n < 0 {
+		return in.callVerb2(a, xs, y, e)
+	}
+	out := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := in.callVerb2(a, qval.Index(xs, i), y, e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return qval.FromAtoms(out), nil
+}

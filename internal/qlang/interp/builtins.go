@@ -1,0 +1,807 @@
+package interp
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// monads maps named monadic verbs to their implementations.
+var monads map[string]func(qval.Value) (qval.Value, error)
+
+// dyadFns maps named dyadic verbs (beyond the operator symbols) to their
+// implementations.
+var dyadFns map[string]func(a, b qval.Value) (qval.Value, error)
+
+func init() {
+	monads = map[string]func(qval.Value) (qval.Value, error){
+		"count":    builtinCount,
+		"first":    builtinFirst,
+		"last":     builtinLast,
+		"sum":      builtinSum,
+		"avg":      builtinAvg,
+		"min":      builtinMin,
+		"max":      builtinMax,
+		"med":      builtinMed,
+		"dev":      builtinDev,
+		"var":      builtinVar,
+		"til":      builtinTil,
+		"reverse":  builtinReverse,
+		"distinct": builtinDistinct,
+		"where":    builtinWhere,
+		"group":    builtinGroup,
+		"asc":      builtinAsc,
+		"desc":     builtinDesc,
+		"iasc":     builtinIasc,
+		"idesc":    builtinIdesc,
+		"key":      builtinKey,
+		"value":    builtinValue,
+		"flip":     builtinFlip,
+		"enlist":   func(v qval.Value) (qval.Value, error) { return qval.Enlist(v), nil },
+		"string":   builtinString,
+		"neg":      func(v qval.Value) (qval.Value, error) { return arith("-", qval.Long(0), v) },
+		"abs":      builtinAbs,
+		"sqrt":     builtinSqrt,
+		"exp":      mapFloat(math.Exp),
+		"log":      mapFloat(math.Log),
+		"floor":    builtinFloorV,
+		"ceiling":  mapFloatInt(math.Ceil),
+		"signum":   builtinSignum,
+		"not":      builtinNot,
+		"null":     builtinNullP,
+		"type":     func(v qval.Value) (qval.Value, error) { return qval.Short(int16(v.Type())), nil },
+		"cols":     builtinCols,
+		"meta":     builtinMeta,
+		"raze":     builtinRaze,
+		"ungroup":  builtinUngroup,
+		"deltas":   builtinDeltas,
+		"sums":     builtinSums,
+		"maxs":     builtinMaxs,
+		"mins":     builtinMins,
+		"fills":    builtinFills,
+		"next":     builtinNext,
+		"prev":     builtinPrev,
+		"lower":    mapString(strings.ToLower),
+		"upper":    mapString(strings.ToUpper),
+		"trim":     mapString(strings.TrimSpace),
+	}
+	dyadFns = map[string]func(a, b qval.Value) (qval.Value, error){
+		"xasc":    builtinXasc,
+		"xdesc":   builtinXdesc,
+		"xkey":    builtinXkey,
+		"xcol":    builtinXcol,
+		"wavg":    builtinWavg,
+		"wsum":    builtinWsum,
+		"cor":     builtinCor,
+		"cov":     builtinCov,
+		"mavg":    builtinMavg,
+		"msum":    builtinMsum,
+		"mmax":    builtinMmax,
+		"mmin":    builtinMmin,
+		"union":   builtinUnion,
+		"inter":   builtinInter,
+		"except":  builtinExcept,
+		"cross":   builtinCross,
+		"bin":     builtinBin,
+		"sublist": builtinSublist,
+		"vs":      builtinVs,
+		"sv":      builtinSv,
+	}
+}
+
+func builtinCount(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		n = 1
+	}
+	return qval.Long(int64(n)), nil
+}
+
+func builtinFirst(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return v, nil
+	}
+	if v.Len() == 0 {
+		return qval.Null(v.Type()), nil
+	}
+	return qval.Index(v, 0), nil
+}
+
+func builtinLast(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return v, nil
+	}
+	if v.Len() == 0 {
+		return qval.Null(v.Type()), nil
+	}
+	return qval.Index(v, v.Len()-1), nil
+}
+
+// reduceNums folds a numeric vector, skipping nulls (Q aggregates ignore
+// nulls, matching SQL aggregate behaviour — one of the few places the two
+// languages agree).
+func reduceNums(v qval.Value, f func(acc, x float64) float64, init float64) (float64, int, error) {
+	n := v.Len()
+	if n < 0 {
+		x, ok := qval.AsFloat(v)
+		if !ok {
+			return 0, 0, qval.Errorf("type")
+		}
+		if qval.IsNull(v) {
+			return init, 0, nil
+		}
+		return f(init, x), 1, nil
+	}
+	acc := init
+	cnt := 0
+	for i := 0; i < n; i++ {
+		if qval.NullAt(v, i) {
+			continue
+		}
+		x, ok := qval.AsFloat(qval.Index(v, i))
+		if !ok {
+			return 0, 0, qval.Errorf("type")
+		}
+		acc = f(acc, x)
+		cnt++
+	}
+	return acc, cnt, nil
+}
+
+func isFloatFamily(t qval.Type) bool {
+	if t < 0 {
+		t = -t
+	}
+	return t == qval.KReal || t == qval.KFloat || t == qval.KDatetime
+}
+
+func builtinSum(v qval.Value) (qval.Value, error) {
+	acc, _, err := reduceNums(v, func(a, x float64) float64 { return a + x }, 0)
+	if err != nil {
+		return nil, err
+	}
+	if isFloatFamily(v.Type()) {
+		return qval.Float(acc), nil
+	}
+	if qval.IsTemporal(v.Type()) {
+		return qval.Temporal{T: absType(v.Type()), V: int64(acc)}, nil
+	}
+	return qval.Long(int64(acc)), nil
+}
+
+func absType(t qval.Type) qval.Type {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+func builtinAvg(v qval.Value) (qval.Value, error) {
+	acc, cnt, err := reduceNums(v, func(a, x float64) float64 { return a + x }, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cnt == 0 {
+		return qval.Null(qval.KFloat), nil
+	}
+	return qval.Float(acc / float64(cnt)), nil
+}
+
+func builtinMin(v qval.Value) (qval.Value, error) { return extremum(v, true) }
+func builtinMax(v qval.Value) (qval.Value, error) { return extremum(v, false) }
+
+func extremum(v qval.Value, min bool) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	var best qval.Value
+	for i := 0; i < n; i++ {
+		if qval.NullAt(v, i) {
+			continue
+		}
+		x := qval.Index(v, i)
+		if best == nil {
+			best = x
+			continue
+		}
+		c := qval.Compare(x, best)
+		if (min && c < 0) || (!min && c > 0) {
+			best = x
+		}
+	}
+	if best == nil {
+		return qval.Null(v.Type()), nil
+	}
+	return best, nil
+}
+
+func builtinMed(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		f, _ := qval.AsFloat(v)
+		return qval.Float(f), nil
+	}
+	var xs []float64
+	for i := 0; i < n; i++ {
+		if qval.NullAt(v, i) {
+			continue
+		}
+		f, ok := qval.AsFloat(qval.Index(v, i))
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		xs = append(xs, f)
+	}
+	if len(xs) == 0 {
+		return qval.Null(qval.KFloat), nil
+	}
+	sort.Float64s(xs)
+	m := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return qval.Float(xs[m]), nil
+	}
+	return qval.Float((xs[m-1] + xs[m]) / 2), nil
+}
+
+func variance(v qval.Value) (float64, bool, error) {
+	sum, cnt, err := reduceNums(v, func(a, x float64) float64 { return a + x }, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	if cnt == 0 {
+		return 0, false, nil
+	}
+	mean := sum / float64(cnt)
+	ss, _, err := reduceNums(v, func(a, x float64) float64 { return a + (x-mean)*(x-mean) }, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	return ss / float64(cnt), true, nil
+}
+
+func builtinVar(v qval.Value) (qval.Value, error) {
+	x, ok, err := variance(v)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return qval.Null(qval.KFloat), nil
+	}
+	return qval.Float(x), nil
+}
+
+func builtinDev(v qval.Value) (qval.Value, error) {
+	x, ok, err := variance(v)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return qval.Null(qval.KFloat), nil
+	}
+	return qval.Float(math.Sqrt(x)), nil
+}
+
+func builtinTil(v qval.Value) (qval.Value, error) {
+	n, ok := qval.AsLong(v)
+	if !ok || n < 0 {
+		return nil, qval.Errorf("type")
+	}
+	return qval.Til(n), nil
+}
+
+func builtinReverse(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = n - 1 - i
+	}
+	return qval.TakeIndexes(v, idx), nil
+}
+
+func builtinDistinct(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return qval.Enlist(v), nil
+	}
+	var keep []int
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := qval.Index(v, i).String()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, i)
+		}
+	}
+	return qval.TakeIndexes(v, keep), nil
+}
+
+func builtinWhere(v qval.Value) (qval.Value, error) {
+	switch x := v.(type) {
+	case qval.BoolVec:
+		var out qval.LongVec
+		for i, b := range x {
+			if b {
+				out = append(out, int64(i))
+			}
+		}
+		if out == nil {
+			out = qval.LongVec{}
+		}
+		return out, nil
+	case qval.LongVec: // where 1 2 0 -> 0 1 1
+		var out qval.LongVec
+		for i, c := range x {
+			for k := int64(0); k < c; k++ {
+				out = append(out, int64(i))
+			}
+		}
+		if out == nil {
+			out = qval.LongVec{}
+		}
+		return out, nil
+	default:
+		return nil, qval.Errorf("type")
+	}
+}
+
+func builtinGroup(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return nil, qval.Errorf("type")
+	}
+	var order []string
+	buckets := map[string][]int64{}
+	reps := map[string]qval.Value{}
+	for i := 0; i < n; i++ {
+		x := qval.Index(v, i)
+		k := x.String()
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+			reps[k] = x
+		}
+		buckets[k] = append(buckets[k], int64(i))
+	}
+	keys := make([]qval.Value, len(order))
+	vals := make(qval.List, len(order))
+	for i, k := range order {
+		keys[i] = reps[k]
+		vals[i] = qval.LongVec(buckets[k])
+	}
+	return qval.NewDict(qval.FromAtoms(keys), vals), nil
+}
+
+func sortIndexes(v qval.Value, desc bool) []int {
+	n := v.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if desc {
+			return qval.LessAt(v, idx[b], idx[a])
+		}
+		return qval.LessAt(v, idx[a], idx[b])
+	})
+	return idx
+}
+
+func builtinAsc(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return v, nil
+	}
+	return qval.TakeIndexes(v, sortIndexes(v, false)), nil
+}
+
+func builtinDesc(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return v, nil
+	}
+	return qval.TakeIndexes(v, sortIndexes(v, true)), nil
+}
+
+func builtinIasc(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return nil, qval.Errorf("type")
+	}
+	idx := sortIndexes(v, false)
+	out := make(qval.LongVec, len(idx))
+	for i, x := range idx {
+		out[i] = int64(x)
+	}
+	return out, nil
+}
+
+func builtinIdesc(v qval.Value) (qval.Value, error) {
+	if v.Len() < 0 {
+		return nil, qval.Errorf("type")
+	}
+	idx := sortIndexes(v, true)
+	out := make(qval.LongVec, len(idx))
+	for i, x := range idx {
+		out[i] = int64(x)
+	}
+	return out, nil
+}
+
+func builtinKey(v qval.Value) (qval.Value, error) {
+	switch x := v.(type) {
+	case *qval.Dict:
+		return x.Keys, nil
+	case *qval.Table:
+		return qval.SymbolVec(append([]string(nil), x.Cols...)), nil
+	default:
+		return v, nil
+	}
+}
+
+func builtinValue(v qval.Value) (qval.Value, error) {
+	switch x := v.(type) {
+	case *qval.Dict:
+		return x.Vals, nil
+	case qval.Symbol:
+		return x, nil
+	default:
+		return v, nil
+	}
+}
+
+// builtinFlip transposes: a dict of equal-length columns becomes a table and
+// vice versa.
+func builtinFlip(v qval.Value) (qval.Value, error) {
+	switch x := v.(type) {
+	case *qval.Dict:
+		syms, ok := x.Keys.(qval.SymbolVec)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		valsList, ok := x.Vals.(qval.List)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		if len(syms) != len(valsList) {
+			return nil, qval.Errorf("length")
+		}
+		data := make([]qval.Value, len(valsList))
+		copy(data, valsList)
+		// broadcast atom-valued columns to the common row count
+		rows := 1
+		for _, c := range data {
+			if c.Len() > rows {
+				rows = c.Len()
+			}
+		}
+		for i, c := range data {
+			if c.Len() < 0 {
+				idx := make([]int, rows)
+				data[i] = qval.TakeIndexes(qval.Enlist(c), idx)
+			}
+		}
+		return qval.NewTable(append([]string(nil), syms...), data), nil
+	case *qval.Table:
+		return qval.NewDict(qval.SymbolVec(append([]string(nil), x.Cols...)), append(qval.List{}, x.Data...)), nil
+	default:
+		return nil, qval.Errorf("type")
+	}
+}
+
+func builtinString(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 || v.Type() == qval.KChar {
+		s := v.String()
+		s = strings.TrimPrefix(s, "`")
+		s = strings.Trim(s, `"`)
+		return qval.CharVec(s), nil
+	}
+	out := make(qval.List, n)
+	for i := 0; i < n; i++ {
+		s, _ := builtinString(qval.Index(v, i))
+		out[i] = s
+	}
+	return out, nil
+}
+
+func builtinAbs(v qval.Value) (qval.Value, error) {
+	return mapNumeric(v, math.Abs, false)
+}
+
+func builtinSqrt(v qval.Value) (qval.Value, error) {
+	return mapNumeric(v, math.Sqrt, true)
+}
+
+func mapFloat(f func(float64) float64) func(qval.Value) (qval.Value, error) {
+	return func(v qval.Value) (qval.Value, error) { return mapNumeric(v, f, true) }
+}
+
+func mapFloatInt(f func(float64) float64) func(qval.Value) (qval.Value, error) {
+	return func(v qval.Value) (qval.Value, error) { return mapNumeric(v, f, false) }
+}
+
+// mapNumeric applies f elementwise; toFloat forces a float result type,
+// otherwise the input type is preserved.
+func mapNumeric(v qval.Value, f func(float64) float64, toFloat bool) (qval.Value, error) {
+	rt := absType(v.Type())
+	if toFloat {
+		rt = qval.KFloat
+	}
+	n := v.Len()
+	if n < 0 {
+		x, isN, ok := scalarNum(v)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		if isN {
+			return qval.Null(rt), nil
+		}
+		return packNum(rt, f(x), false), nil
+	}
+	atoms := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		x, isN, ok := scalarNum(qval.Index(v, i))
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		if isN {
+			atoms[i] = qval.Null(rt)
+		} else {
+			atoms[i] = packNum(rt, f(x), false)
+		}
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+func builtinFloorV(v qval.Value) (qval.Value, error) {
+	return mapNumeric(v, math.Floor, false)
+}
+
+func builtinSignum(v qval.Value) (qval.Value, error) {
+	return mapNumeric(v, func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	}, false)
+}
+
+func builtinNot(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		f, _, ok := scalarNum(v)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		return qval.Bool(f == 0), nil
+	}
+	out := make(qval.BoolVec, n)
+	for i := 0; i < n; i++ {
+		f, _, ok := scalarNum(qval.Index(v, i))
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		out[i] = f == 0
+	}
+	return out, nil
+}
+
+func builtinNullP(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return qval.Bool(qval.IsNull(v)), nil
+	}
+	out := make(qval.BoolVec, n)
+	for i := 0; i < n; i++ {
+		out[i] = qval.NullAt(v, i)
+	}
+	return out, nil
+}
+
+func builtinCols(v qval.Value) (qval.Value, error) {
+	t, ok := qval.Unkey(v)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	return qval.SymbolVec(append([]string(nil), t.Cols...)), nil
+}
+
+// builtinMeta returns a table of column name, type char, like kdb+'s meta.
+func builtinMeta(v qval.Value) (qval.Value, error) {
+	t, ok := qval.Unkey(v)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	names := make(qval.SymbolVec, len(t.Cols))
+	types := make(qval.CharVec, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c
+		types[i] = qval.CharCode(t.Data[i].Type())
+	}
+	return qval.NewTable([]string{"c", "t"}, []qval.Value{names, types}), nil
+}
+
+func builtinRaze(v qval.Value) (qval.Value, error) {
+	l, ok := v.(qval.List)
+	if !ok {
+		return v, nil
+	}
+	if len(l) == 0 {
+		return qval.List{}, nil
+	}
+	out := l[0]
+	for _, x := range l[1:] {
+		var err error
+		out, err = joinValues(out, x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func builtinUngroup(v qval.Value) (qval.Value, error) {
+	t, ok := qval.Unkey(v)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	// explode list-valued columns in parallel
+	n := t.Len()
+	var counts []int
+	for i := 0; i < n; i++ {
+		c := -1
+		for _, col := range t.Data {
+			e := qval.Index(col, i)
+			if e.Len() >= 0 && e.Type() != -qval.KChar {
+				if c == -1 {
+					c = e.Len()
+				}
+			}
+		}
+		if c == -1 {
+			c = 1
+		}
+		counts = append(counts, c)
+	}
+	data := make([]qval.Value, len(t.Data))
+	for j, col := range t.Data {
+		var atoms []qval.Value
+		for i := 0; i < n; i++ {
+			e := qval.Index(col, i)
+			if e.Len() >= 0 {
+				for k := 0; k < counts[i]; k++ {
+					atoms = append(atoms, qval.Index(e, k))
+				}
+			} else {
+				for k := 0; k < counts[i]; k++ {
+					atoms = append(atoms, e)
+				}
+			}
+		}
+		data[j] = qval.FromAtoms(atoms)
+	}
+	return qval.NewTable(append([]string(nil), t.Cols...), data), nil
+}
+
+func builtinDeltas(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n <= 0 {
+		return v, nil
+	}
+	first := qval.Index(v, 0)
+	atoms := make([]qval.Value, n)
+	atoms[0] = first
+	for i := 1; i < n; i++ {
+		d, err := arith("-", qval.Index(v, i), qval.Index(v, i-1))
+		if err != nil {
+			return nil, err
+		}
+		atoms[i] = d
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+func runningFold(v qval.Value, op string) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	atoms := make([]qval.Value, n)
+	var acc qval.Value
+	for i := 0; i < n; i++ {
+		x := qval.Index(v, i)
+		if acc == nil {
+			acc = x
+		} else {
+			var err error
+			switch op {
+			case "+":
+				acc, err = arith("+", acc, x)
+			case "&":
+				acc, err = arith("&", acc, x)
+			case "|":
+				acc, err = arith("|", acc, x)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		atoms[i] = acc
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+func builtinSums(v qval.Value) (qval.Value, error) { return runningFold(v, "+") }
+func builtinMins(v qval.Value) (qval.Value, error) { return runningFold(v, "&") }
+func builtinMaxs(v qval.Value) (qval.Value, error) { return runningFold(v, "|") }
+
+// builtinFills replaces nulls with the previous non-null value.
+func builtinFills(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	atoms := make([]qval.Value, n)
+	var lastGood qval.Value
+	for i := 0; i < n; i++ {
+		x := qval.Index(v, i)
+		if qval.IsNull(x) && lastGood != nil {
+			atoms[i] = lastGood
+		} else {
+			atoms[i] = x
+			if !qval.IsNull(x) {
+				lastGood = x
+			}
+		}
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+func builtinNext(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i + 1 // last becomes null via out-of-range
+	}
+	return qval.TakeIndexes(v, idx), nil
+}
+
+func builtinPrev(v qval.Value) (qval.Value, error) {
+	n := v.Len()
+	if n < 0 {
+		return v, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i - 1
+	}
+	return qval.TakeIndexes(v, idx), nil
+}
+
+func mapString(f func(string) string) func(qval.Value) (qval.Value, error) {
+	return func(v qval.Value) (qval.Value, error) {
+		switch x := v.(type) {
+		case qval.Symbol:
+			return qval.Symbol(f(string(x))), nil
+		case qval.SymbolVec:
+			out := make(qval.SymbolVec, len(x))
+			for i, s := range x {
+				out[i] = f(s)
+			}
+			return out, nil
+		case qval.CharVec:
+			return qval.CharVec(f(string(x))), nil
+		default:
+			return nil, qval.Errorf("type")
+		}
+	}
+}

@@ -1,0 +1,896 @@
+package interp
+
+import (
+	"sort"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// joinValues implements the ',' join operator: list concatenation with
+// widening, atom,atom -> 2-vector, table,table -> row append.
+func joinValues(a, b qval.Value) (qval.Value, error) {
+	if ta, ok := a.(*qval.Table); ok {
+		if tb, ok := b.(*qval.Table); ok {
+			return appendTables(ta, tb)
+		}
+	}
+	la, lb := a.Len(), b.Len()
+	toAtoms := func(v qval.Value) []qval.Value {
+		n := v.Len()
+		if n < 0 {
+			return []qval.Value{v}
+		}
+		out := make([]qval.Value, n)
+		for i := 0; i < n; i++ {
+			out[i] = qval.Index(v, i)
+		}
+		return out
+	}
+	// fast path: same-type vectors
+	if la >= 0 && lb >= 0 && a.Type() == b.Type() && a.Type() > 0 {
+		switch x := a.(type) {
+		case qval.LongVec:
+			return append(append(qval.LongVec{}, x...), b.(qval.LongVec)...), nil
+		case qval.FloatVec:
+			return append(append(qval.FloatVec{}, x...), b.(qval.FloatVec)...), nil
+		case qval.SymbolVec:
+			return append(append(qval.SymbolVec{}, x...), b.(qval.SymbolVec)...), nil
+		case qval.CharVec:
+			return append(append(qval.CharVec{}, x...), b.(qval.CharVec)...), nil
+		case qval.BoolVec:
+			return append(append(qval.BoolVec{}, x...), b.(qval.BoolVec)...), nil
+		case qval.TemporalVec:
+			y := b.(qval.TemporalVec)
+			return qval.TemporalVec{T: x.T, V: append(append([]int64{}, x.V...), y.V...)}, nil
+		}
+	}
+	return qval.FromAtoms(append(toAtoms(a), toAtoms(b)...)), nil
+}
+
+// appendTables appends rows of b to a, matching columns by name.
+func appendTables(a, b *qval.Table) (qval.Value, error) {
+	data := make([]qval.Value, len(a.Cols))
+	for i, c := range a.Cols {
+		bc, ok := b.Column(c)
+		if !ok {
+			return nil, qval.Errorf("mismatch")
+		}
+		j, err := joinValues(a.Data[i], bc)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = j
+	}
+	return qval.NewTable(append([]string(nil), a.Cols...), data), nil
+}
+
+// builtinTake implements n#x: first n (or last -n) elements, cycling when n
+// exceeds the length; also sym#table for column selection.
+func builtinTake(a, b qval.Value) (qval.Value, error) {
+	if syms, ok := a.(qval.SymbolVec); ok {
+		if t, ok2 := qval.Unkey(b); ok2 {
+			data := make([]qval.Value, 0, len(syms))
+			names := make([]string, 0, len(syms))
+			for _, s := range syms {
+				c, ok := t.Column(s)
+				if !ok {
+					return nil, qval.Errorf(s)
+				}
+				names = append(names, s)
+				data = append(data, c)
+			}
+			return qval.NewTable(names, data), nil
+		}
+	}
+	n, ok := qval.AsLong(a)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	if t, ok := b.(*qval.Table); ok {
+		idx := takeIdx(int(n), t.Len())
+		return t.Take(idx), nil
+	}
+	ln := b.Len()
+	if ln < 0 {
+		b = qval.Enlist(b)
+		ln = 1
+	}
+	return qval.TakeIndexes(b, takeIdx(int(n), ln)), nil
+}
+
+func takeIdx(n, ln int) []int {
+	if n >= 0 {
+		idx := make([]int, n)
+		for i := range idx {
+			if ln > 0 {
+				idx[i] = i % ln
+			}
+		}
+		return idx
+	}
+	n = -n
+	idx := make([]int, n)
+	for i := range idx {
+		if ln > 0 {
+			idx[i] = (ln - n + i + n*ln) % ln
+			if ln >= n {
+				idx[i] = ln - n + i
+			}
+		}
+	}
+	return idx
+}
+
+// builtinDrop implements n_x (drop first n / last -n) and sym_table
+// (drop column).
+func builtinDrop(a, b qval.Value) (qval.Value, error) {
+	if s, ok := a.(qval.Symbol); ok {
+		if t, ok2 := qval.Unkey(b); ok2 {
+			return dropCols(t, []string{string(s)})
+		}
+	}
+	if syms, ok := a.(qval.SymbolVec); ok {
+		if t, ok2 := qval.Unkey(b); ok2 {
+			return dropCols(t, syms)
+		}
+	}
+	n, ok := qval.AsLong(a)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	ln := b.Len()
+	if ln < 0 {
+		return nil, qval.Errorf("type")
+	}
+	var lo, hi int
+	if n >= 0 {
+		lo, hi = int(n), ln
+	} else {
+		lo, hi = 0, ln+int(n)
+	}
+	if lo > ln {
+		lo = ln
+	}
+	if hi < lo {
+		hi = lo
+	}
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	if t, ok := b.(*qval.Table); ok {
+		return t.Take(idx), nil
+	}
+	return qval.TakeIndexes(b, idx), nil
+}
+
+func dropCols(t *qval.Table, names []string) (qval.Value, error) {
+	var cols []string
+	var data []qval.Value
+	for i, c := range t.Cols {
+		drop := false
+		for _, n := range names {
+			if c == n {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			cols = append(cols, c)
+			data = append(data, t.Data[i])
+		}
+	}
+	return qval.NewTable(cols, data), nil
+}
+
+// builtinFind implements x?y (index of first occurrence; len(x) when
+// missing).
+func builtinFind(a, b qval.Value) (qval.Value, error) {
+	n := a.Len()
+	if n < 0 {
+		return nil, qval.Errorf("type")
+	}
+	find := func(needle qval.Value) qval.Long {
+		for i := 0; i < n; i++ {
+			if qval.EqualValues(qval.Index(a, i), needle) {
+				return qval.Long(int64(i))
+			}
+		}
+		return qval.Long(int64(n))
+	}
+	if b.Len() < 0 {
+		return find(b), nil
+	}
+	out := make(qval.LongVec, b.Len())
+	for i := range out {
+		out[i] = int64(find(qval.Index(b, i)))
+	}
+	return out, nil
+}
+
+// indexApply implements x@i / x . i — indexing a list, dict or table.
+func indexApply(x, i qval.Value) (qval.Value, error) {
+	if d, ok := x.(*qval.Dict); ok {
+		if i.Len() < 0 {
+			return d.Lookup(i), nil
+		}
+		out := make([]qval.Value, i.Len())
+		for k := 0; k < i.Len(); k++ {
+			out[k] = d.Lookup(qval.Index(i, k))
+		}
+		return qval.FromAtoms(out), nil
+	}
+	if t, ok := x.(*qval.Table); ok {
+		if s, ok := i.(qval.Symbol); ok {
+			c, found := t.Column(string(s))
+			if !found {
+				return nil, qval.Errorf(string(s))
+			}
+			return c, nil
+		}
+	}
+	if i.Len() < 0 {
+		n, ok := qval.AsLong(i)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		return qval.Index(x, int(n)), nil
+	}
+	idx := make([]int, i.Len())
+	for k := range idx {
+		n, ok := qval.AsLong(qval.Index(i, k))
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		idx[k] = int(n)
+	}
+	return qval.TakeIndexes(x, idx), nil
+}
+
+// builtinFill implements x^y: replace nulls in y with x.
+func builtinFill(a, b qval.Value) (qval.Value, error) {
+	n := b.Len()
+	if n < 0 {
+		if qval.IsNull(b) {
+			return a, nil
+		}
+		return b, nil
+	}
+	atoms := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		if qval.NullAt(b, i) {
+			atoms[i] = qval.Index(a, i) // atom a extends
+		} else {
+			atoms[i] = qval.Index(b, i)
+		}
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+// builtinCast implements t$x for symbol type names and char codes.
+func builtinCast(a, b qval.Value) (qval.Value, error) {
+	var target qval.Type
+	switch t := a.(type) {
+	case qval.Symbol:
+		target = typeByName(string(t))
+	case qval.Char:
+		target = qval.TypeFromCharCode(byte(t))
+	case qval.Long, qval.Int, qval.Short:
+		n, _ := qval.AsLong(a)
+		target = qval.Type(n)
+	default:
+		return nil, qval.Errorf("type")
+	}
+	if target == 0 {
+		return nil, qval.Errorf("type")
+	}
+	return castTo(target, b)
+}
+
+func typeByName(s string) qval.Type {
+	switch s {
+	case "boolean":
+		return qval.KBool
+	case "byte":
+		return qval.KByte
+	case "short":
+		return qval.KShort
+	case "int":
+		return qval.KInt
+	case "long":
+		return qval.KLong
+	case "real":
+		return qval.KReal
+	case "float":
+		return qval.KFloat
+	case "char":
+		return qval.KChar
+	case "symbol":
+		return qval.KSymbol
+	case "timestamp":
+		return qval.KTimestamp
+	case "month":
+		return qval.KMonth
+	case "date":
+		return qval.KDate
+	case "datetime":
+		return qval.KDatetime
+	case "timespan":
+		return qval.KTimespan
+	case "minute":
+		return qval.KMinute
+	case "second":
+		return qval.KSecond
+	case "time":
+		return qval.KTime
+	default:
+		return 0
+	}
+}
+
+func castTo(t qval.Type, v qval.Value) (qval.Value, error) {
+	if t == qval.KSymbol {
+		switch x := v.(type) {
+		case qval.CharVec:
+			return qval.Symbol(string(x)), nil
+		case qval.Symbol:
+			return x, nil
+		case qval.List:
+			out := make(qval.SymbolVec, len(x))
+			for i, e := range x {
+				s, err := castTo(qval.KSymbol, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = string(s.(qval.Symbol))
+			}
+			return out, nil
+		}
+		return nil, qval.Errorf("type")
+	}
+	n := v.Len()
+	if n < 0 || v.Type() == qval.KChar {
+		f, isN, ok := scalarNum(v)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		return packNum(t, f, isN), nil
+	}
+	atoms := make([]qval.Value, n)
+	for i := 0; i < n; i++ {
+		f, isN, ok := scalarNum(qval.Index(v, i))
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		atoms[i] = packNum(t, f, isN)
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+// builtinIn implements x in y membership test.
+func builtinIn(a, b qval.Value) (qval.Value, error) {
+	contains := func(needle qval.Value) bool {
+		n := b.Len()
+		if n < 0 {
+			return qval.EqualValues(needle, b)
+		}
+		for i := 0; i < n; i++ {
+			if qval.EqualValues(qval.Index(b, i), needle) {
+				return true
+			}
+		}
+		return false
+	}
+	if a.Len() < 0 {
+		return qval.Bool(contains(a)), nil
+	}
+	out := make(qval.BoolVec, a.Len())
+	for i := range out {
+		out[i] = contains(qval.Index(a, i))
+	}
+	return out, nil
+}
+
+// builtinWithin implements x within (lo;hi), inclusive bounds.
+func builtinWithin(a, b qval.Value) (qval.Value, error) {
+	if b.Len() != 2 {
+		return nil, qval.Errorf("length")
+	}
+	lo, hi := qval.Index(b, 0), qval.Index(b, 1)
+	check := func(x qval.Value) bool {
+		return qval.Compare(x, lo) >= 0 && qval.Compare(x, hi) <= 0
+	}
+	if a.Len() < 0 {
+		return qval.Bool(check(a)), nil
+	}
+	out := make(qval.BoolVec, a.Len())
+	for i := range out {
+		out[i] = check(qval.Index(a, i))
+	}
+	return out, nil
+}
+
+// builtinLike implements glob matching with * and ? wildcards.
+func builtinLike(a, b qval.Value) (qval.Value, error) {
+	pat := ""
+	switch p := b.(type) {
+	case qval.CharVec:
+		pat = string(p)
+	case qval.Symbol:
+		pat = string(p)
+	default:
+		return nil, qval.Errorf("type")
+	}
+	match := func(v qval.Value) (bool, error) {
+		var s string
+		switch x := v.(type) {
+		case qval.Symbol:
+			s = string(x)
+		case qval.CharVec:
+			s = string(x)
+		default:
+			return false, qval.Errorf("type")
+		}
+		return globMatch(pat, s), nil
+	}
+	if a.Len() < 0 || a.Type() == qval.KChar {
+		ok, err := match(a)
+		if err != nil {
+			return nil, err
+		}
+		return qval.Bool(ok), nil
+	}
+	out := make(qval.BoolVec, a.Len())
+	for i := range out {
+		ok, err := match(qval.Index(a, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ok
+	}
+	return out, nil
+}
+
+func globMatch(pat, s string) bool {
+	// iterative wildcard match: * any run, ? one char
+	var pi, si, star, mark int
+	star = -1
+	for si < len(s) {
+		if pi < len(pat) && (pat[pi] == '?' || pat[pi] == s[si]) {
+			pi++
+			si++
+			continue
+		}
+		if pi < len(pat) && pat[pi] == '*' {
+			star = pi
+			mark = si
+			pi++
+			continue
+		}
+		if star >= 0 {
+			pi = star + 1
+			mark++
+			si = mark
+			continue
+		}
+		return false
+	}
+	for pi < len(pat) && pat[pi] == '*' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// builtinMakeDictOrKey implements k!v: dictionary construction, or n!table
+// to key a table on its first n columns, or syms!table? (xkey handles syms).
+func builtinMakeDictOrKey(a, b qval.Value) (qval.Value, error) {
+	if t, ok := b.(*qval.Table); ok {
+		if n, isInt := qval.AsLong(a); isInt {
+			if n == 0 {
+				return t, nil
+			}
+			if int(n) > len(t.Cols) {
+				return nil, qval.Errorf("length")
+			}
+			return qval.KeyTable(t.Cols[:n], t)
+		}
+	}
+	if d, ok := b.(*qval.Dict); ok {
+		if n, isInt := qval.AsLong(a); isInt && n == 0 {
+			flat, ok := qval.Unkey(d)
+			if !ok {
+				return nil, qval.Errorf("type")
+			}
+			return flat, nil
+		}
+	}
+	if a.Len() < 0 {
+		a = qval.Enlist(a)
+	}
+	if b.Len() < 0 {
+		b = qval.Enlist(b)
+	}
+	return qval.NewDict(a, b), nil
+}
+
+// table sort/key/rename verbs
+
+func builtinXasc(a, b qval.Value) (qval.Value, error)  { return sortTable(a, b, false) }
+func builtinXdesc(a, b qval.Value) (qval.Value, error) { return sortTable(a, b, true) }
+
+func sortTable(a, b qval.Value, desc bool) (qval.Value, error) {
+	t, ok := qval.Unkey(b)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	var keys []string
+	switch s := a.(type) {
+	case qval.Symbol:
+		keys = []string{string(s)}
+	case qval.SymbolVec:
+		keys = s
+	default:
+		return nil, qval.Errorf("type")
+	}
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	cols := make([]qval.Value, len(keys))
+	for i, k := range keys {
+		c, ok := t.Column(k)
+		if !ok {
+			return nil, qval.Errorf(k)
+		}
+		cols[i] = c
+	}
+	stableSortBy(idx, cols, desc)
+	return t.Take(idx), nil
+}
+
+func stableSortBy(idx []int, cols []qval.Value, desc bool) {
+	lessRow := func(a, b int) bool {
+		for _, c := range cols {
+			cmp := qval.Compare(qval.Index(c, a), qval.Index(c, b))
+			if cmp != 0 {
+				if desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	}
+	stableSortFunc(idx, lessRow)
+}
+
+func builtinXkey(a, b qval.Value) (qval.Value, error) {
+	t, ok := qval.Unkey(b)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	var keys []string
+	switch s := a.(type) {
+	case qval.Symbol:
+		keys = []string{string(s)}
+	case qval.SymbolVec:
+		keys = s
+	default:
+		return nil, qval.Errorf("type")
+	}
+	return qval.KeyTable(keys, t)
+}
+
+// builtinXcol renames columns: `new1`new2 xcol t (positional).
+func builtinXcol(a, b qval.Value) (qval.Value, error) {
+	t, ok := qval.Unkey(b)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	switch s := a.(type) {
+	case qval.SymbolVec:
+		cols := append([]string(nil), t.Cols...)
+		for i := 0; i < len(s) && i < len(cols); i++ {
+			cols[i] = s[i]
+		}
+		return qval.NewTable(cols, append([]qval.Value(nil), t.Data...)), nil
+	case *qval.Dict:
+		olds, ok1 := s.Keys.(qval.SymbolVec)
+		news, ok2 := s.Vals.(qval.SymbolVec)
+		if !ok1 || !ok2 {
+			return nil, qval.Errorf("type")
+		}
+		cols := append([]string(nil), t.Cols...)
+		for i, o := range olds {
+			for j, c := range cols {
+				if c == o {
+					cols[j] = news[i]
+				}
+			}
+		}
+		return qval.NewTable(cols, append([]qval.Value(nil), t.Data...)), nil
+	default:
+		return nil, qval.Errorf("type")
+	}
+}
+
+// weighted and windowed statistics
+
+func builtinWavg(w, x qval.Value) (qval.Value, error) {
+	num, err := arith("*", w, x)
+	if err != nil {
+		return nil, err
+	}
+	ns, _, err := reduceNums(num, func(a, v float64) float64 { return a + v }, 0)
+	if err != nil {
+		return nil, err
+	}
+	ws, _, err := reduceNums(w, func(a, v float64) float64 { return a + v }, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ws == 0 {
+		return qval.Null(qval.KFloat), nil
+	}
+	return qval.Float(ns / ws), nil
+}
+
+func builtinWsum(w, x qval.Value) (qval.Value, error) {
+	num, err := arith("*", w, x)
+	if err != nil {
+		return nil, err
+	}
+	return builtinSum(num)
+}
+
+func meanOf(v qval.Value) (float64, int, error) {
+	s, c, err := reduceNums(v, func(a, x float64) float64 { return a + x }, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if c == 0 {
+		return 0, 0, nil
+	}
+	return s / float64(c), c, nil
+}
+
+func builtinCov(x, y qval.Value) (qval.Value, error) {
+	mx, cx, err := meanOf(x)
+	if err != nil {
+		return nil, err
+	}
+	my, cy, err := meanOf(y)
+	if err != nil {
+		return nil, err
+	}
+	if cx == 0 || cy == 0 || x.Len() != y.Len() {
+		return qval.Null(qval.KFloat), nil
+	}
+	var acc float64
+	n := x.Len()
+	for i := 0; i < n; i++ {
+		xf, _, _ := scalarNum(qval.Index(x, i))
+		yf, _, _ := scalarNum(qval.Index(y, i))
+		acc += (xf - mx) * (yf - my)
+	}
+	return qval.Float(acc / float64(n)), nil
+}
+
+func builtinCor(x, y qval.Value) (qval.Value, error) {
+	cv, err := builtinCov(x, y)
+	if err != nil {
+		return nil, err
+	}
+	dx, err := builtinDev(x)
+	if err != nil {
+		return nil, err
+	}
+	dy, err := builtinDev(y)
+	if err != nil {
+		return nil, err
+	}
+	c, _ := qval.AsFloat(cv)
+	a, _ := qval.AsFloat(dx)
+	b, _ := qval.AsFloat(dy)
+	if a == 0 || b == 0 {
+		return qval.Null(qval.KFloat), nil
+	}
+	return qval.Float(c / (a * b)), nil
+}
+
+func windowed(nV, x qval.Value, agg func(qval.Value) (qval.Value, error)) (qval.Value, error) {
+	n, ok := qval.AsLong(nV)
+	if !ok || n <= 0 {
+		return nil, qval.Errorf("type")
+	}
+	ln := x.Len()
+	if ln < 0 {
+		return agg(x)
+	}
+	atoms := make([]qval.Value, ln)
+	for i := 0; i < ln; i++ {
+		lo := i - int(n) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		idx := make([]int, i-lo+1)
+		for k := range idx {
+			idx[k] = lo + k
+		}
+		w := qval.TakeIndexes(x, idx)
+		a, err := agg(w)
+		if err != nil {
+			return nil, err
+		}
+		atoms[i] = a
+	}
+	return qval.FromAtoms(atoms), nil
+}
+
+func builtinMavg(n, x qval.Value) (qval.Value, error) { return windowed(n, x, builtinAvg) }
+func builtinMsum(n, x qval.Value) (qval.Value, error) { return windowed(n, x, builtinSum) }
+func builtinMmax(n, x qval.Value) (qval.Value, error) { return windowed(n, x, builtinMax) }
+func builtinMmin(n, x qval.Value) (qval.Value, error) { return windowed(n, x, builtinMin) }
+
+// set operations
+
+func builtinUnion(a, b qval.Value) (qval.Value, error) {
+	j, err := joinValues(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return builtinDistinct(j)
+}
+
+func builtinInter(a, b qval.Value) (qval.Value, error) {
+	mask, err := builtinIn(a, b)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := builtinWhere(mask)
+	if err != nil {
+		return nil, err
+	}
+	return indexApply(a, idx)
+}
+
+func builtinExcept(a, b qval.Value) (qval.Value, error) {
+	mask, err := builtinIn(a, b)
+	if err != nil {
+		return nil, err
+	}
+	notMask, err := builtinNot(mask)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := builtinWhere(notMask)
+	if err != nil {
+		return nil, err
+	}
+	return indexApply(a, idx)
+}
+
+func builtinCross(a, b qval.Value) (qval.Value, error) {
+	la, lb := a.Len(), b.Len()
+	if la < 0 {
+		a, la = qval.Enlist(a), 1
+	}
+	if lb < 0 {
+		b, lb = qval.Enlist(b), 1
+	}
+	out := make(qval.List, 0, la*lb)
+	for i := 0; i < la; i++ {
+		for j := 0; j < lb; j++ {
+			out = append(out, qval.List{qval.Index(a, i), qval.Index(b, j)})
+		}
+	}
+	return out, nil
+}
+
+// builtinBin implements x bin y: for each y, the index of the rightmost
+// element of sorted x that is <= y; -1 when y is below all of x. This is
+// the primitive beneath the as-of join.
+func builtinBin(a, b qval.Value) (qval.Value, error) {
+	n := a.Len()
+	if n < 0 {
+		return nil, qval.Errorf("type")
+	}
+	search := func(y qval.Value) int64 {
+		lo, hi := 0, n // find rightmost index with a[i] <= y
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if qval.Compare(qval.Index(a, mid), y) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int64(lo - 1)
+	}
+	if b.Len() < 0 {
+		return qval.Long(search(b)), nil
+	}
+	out := make(qval.LongVec, b.Len())
+	for i := range out {
+		out[i] = search(qval.Index(b, i))
+	}
+	return out, nil
+}
+
+func builtinSublist(a, b qval.Value) (qval.Value, error) {
+	if a.Len() == 2 {
+		lo, _ := qval.AsLong(qval.Index(a, 0))
+		cnt, _ := qval.AsLong(qval.Index(a, 1))
+		idx := make([]int, 0, cnt)
+		for i := int64(0); i < cnt && int(lo+i) < b.Len(); i++ {
+			idx = append(idx, int(lo+i))
+		}
+		return qval.TakeIndexes(b, idx), nil
+	}
+	n, ok := qval.AsLong(a)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	ln := b.Len()
+	if int(n) > ln {
+		n = int64(ln)
+	}
+	if n < 0 && int(-n) > ln {
+		n = int64(-ln)
+	}
+	return builtinTake(qval.Long(n), b)
+}
+
+// builtinVs splits a string by a separator; builtinSv joins.
+func builtinVs(a, b qval.Value) (qval.Value, error) {
+	sep, ok := a.(qval.CharVec)
+	sepStr := ""
+	if ok {
+		sepStr = string(sep)
+	} else if c, ok := a.(qval.Char); ok {
+		sepStr = string(rune(c))
+	} else {
+		return nil, qval.Errorf("type")
+	}
+	s, ok := b.(qval.CharVec)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	parts := strings.Split(string(s), sepStr)
+	out := make(qval.List, len(parts))
+	for i, p := range parts {
+		out[i] = qval.CharVec(p)
+	}
+	return out, nil
+}
+
+func builtinSv(a, b qval.Value) (qval.Value, error) {
+	sepStr := ""
+	switch s := a.(type) {
+	case qval.CharVec:
+		sepStr = string(s)
+	case qval.Char:
+		sepStr = string(rune(s))
+	default:
+		return nil, qval.Errorf("type")
+	}
+	l, ok := b.(qval.List)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	parts := make([]string, len(l))
+	for i, p := range l {
+		cv, ok := p.(qval.CharVec)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		parts[i] = string(cv)
+	}
+	return qval.CharVec(strings.Join(parts, sepStr)), nil
+}
+
+// stableSortFunc stably sorts an index slice with the given row comparator.
+func stableSortFunc(idx []int, less func(a, b int) bool) {
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+}

@@ -1,0 +1,450 @@
+package interp
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func ev(t *testing.T, in *Interp, src string) qval.Value {
+	t.Helper()
+	v, err := in.Eval(src)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func evErr(t *testing.T, in *Interp, src string) error {
+	t.Helper()
+	_, err := in.Eval(src)
+	if err == nil {
+		t.Fatalf("Eval(%q) should fail", src)
+	}
+	return err
+}
+
+func wantEq(t *testing.T, got, want qval.Value) {
+	t.Helper()
+	if !qval.EqualValues(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestArithmeticRightToLeft(t *testing.T) {
+	in := New()
+	// 2*3+4 = 14 in Q (no precedence, right-to-left)
+	wantEq(t, ev(t, in, "2*3+4"), qval.Long(14))
+	wantEq(t, ev(t, in, "10-2-3"), qval.Long(11)) // 10-(2-3)
+	wantEq(t, ev(t, in, "6%3"), qval.Float(2))    // % is divide
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "1 2 3+10"), qval.LongVec{11, 12, 13})
+	wantEq(t, ev(t, in, "10+1 2 3"), qval.LongVec{11, 12, 13})
+	wantEq(t, ev(t, in, "1 2 3*1 2 3"), qval.LongVec{1, 4, 9})
+	if err := evErr(t, in, "1 2+1 2 3"); err.Error() != "'length" {
+		t.Errorf("length error, got %v", err)
+	}
+}
+
+func TestNullPropagationInArithmetic(t *testing.T) {
+	in := New()
+	got := ev(t, in, "1 0N 3+1")
+	lv := got.(qval.LongVec)
+	if lv[0] != 2 || lv[1] != qval.NullLong || lv[2] != 4 {
+		t.Fatalf("null propagation = %v", lv)
+	}
+}
+
+func TestTwoValuedLogicEquality(t *testing.T) {
+	in := New()
+	// paper §2.2: two nulls compare equal in Q
+	wantEq(t, ev(t, in, "0N=0N"), qval.Bool(true))
+	wantEq(t, ev(t, in, "0n=0n"), qval.Bool(true))
+	wantEq(t, ev(t, in, "1=0N"), qval.Bool(false))
+}
+
+func TestAssignmentAndGlobals(t *testing.T) {
+	in := New()
+	ev(t, in, "x:5")
+	wantEq(t, ev(t, in, "x+1"), qval.Long(6))
+	// globals persist across Eval calls (kdb+ server variables)
+	v, ok := in.Global("x")
+	if !ok {
+		t.Fatal("x should be global")
+	}
+	wantEq(t, v, qval.Long(5))
+}
+
+func TestDynamicRetyping(t *testing.T) {
+	// paper §3.2.1: x may be rebound to a scalar, a list, a table
+	in := New()
+	wantEq(t, ev(t, in, "x:1; x"), qval.Long(1))
+	wantEq(t, ev(t, in, "x:1 2 3; x"), qval.LongVec{1, 2, 3})
+	ev(t, in, "trades:([] Sym:`a`b; Price:1 2f); x:select from trades")
+	if v, _ := in.Global("x"); v.Type() != qval.KTable {
+		t.Fatalf("x should now be a table, got type %d", v.Type())
+	}
+}
+
+func TestMonadicBuiltins(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "count 1 2 3"), qval.Long(3))
+	wantEq(t, ev(t, in, "sum 1 2 3"), qval.Long(6))
+	wantEq(t, ev(t, in, "avg 1 2 3"), qval.Float(2))
+	wantEq(t, ev(t, in, "max 3 1 2"), qval.Long(3))
+	wantEq(t, ev(t, in, "min 3 1 2"), qval.Long(1))
+	wantEq(t, ev(t, in, "first 7 8 9"), qval.Long(7))
+	wantEq(t, ev(t, in, "last 7 8 9"), qval.Long(9))
+	wantEq(t, ev(t, in, "til 4"), qval.LongVec{0, 1, 2, 3})
+	wantEq(t, ev(t, in, "reverse 1 2 3"), qval.LongVec{3, 2, 1})
+	wantEq(t, ev(t, in, "distinct 1 2 1 3 2"), qval.LongVec{1, 2, 3})
+	wantEq(t, ev(t, in, "where 101b"), qval.LongVec{0, 2})
+	wantEq(t, ev(t, in, "abs -3"), qval.Long(3))
+	wantEq(t, ev(t, in, "neg 3"), qval.Long(-3))
+	wantEq(t, ev(t, in, "not 0"), qval.Bool(true))
+	wantEq(t, ev(t, in, "med 1 2 3 4"), qval.Float(2.5))
+	wantEq(t, ev(t, in, "asc 3 1 2"), qval.LongVec{1, 2, 3})
+	wantEq(t, ev(t, in, "desc 3 1 2"), qval.LongVec{3, 2, 1})
+	wantEq(t, ev(t, in, "iasc 30 10 20"), qval.LongVec{1, 2, 0})
+	wantEq(t, ev(t, in, "sums 1 2 3"), qval.LongVec{1, 3, 6})
+	wantEq(t, ev(t, in, "deltas 1 3 6"), qval.LongVec{1, 2, 3})
+	wantEq(t, ev(t, in, "enlist 5"), qval.LongVec{5})
+}
+
+func TestAggregatesSkipNulls(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "sum 1 0N 3"), qval.Long(4))
+	wantEq(t, ev(t, in, "avg 1 0N 3"), qval.Float(2))
+	wantEq(t, ev(t, in, "max 1 0N 3"), qval.Long(3))
+	wantEq(t, ev(t, in, "count 1 0N 3"), qval.Long(3)) // count does not skip
+}
+
+func TestDyadicBuiltins(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "2#1 2 3"), qval.LongVec{1, 2})
+	wantEq(t, ev(t, in, "-2#1 2 3"), qval.LongVec{2, 3})
+	wantEq(t, ev(t, in, "5#1 2"), qval.LongVec{1, 2, 1, 2, 1}) // cycling take
+	wantEq(t, ev(t, in, "1_1 2 3"), qval.LongVec{2, 3})
+	wantEq(t, ev(t, in, "-1_1 2 3"), qval.LongVec{1, 2})
+	wantEq(t, ev(t, in, "1 2 3?2"), qval.Long(1))
+	wantEq(t, ev(t, in, "1 2 3?9"), qval.Long(3)) // missing -> len
+	wantEq(t, ev(t, in, "2 in 1 2 3"), qval.Bool(true))
+	wantEq(t, ev(t, in, "1 5 in 1 2 3"), qval.BoolVec{true, false})
+	wantEq(t, ev(t, in, "3 within 1 5"), qval.Bool(true))
+	wantEq(t, ev(t, in, "7 mod 3"), qval.Long(1))
+	wantEq(t, ev(t, in, "7 div 3"), qval.Long(2))
+	wantEq(t, ev(t, in, "5 xbar 12"), qval.Long(10))
+	wantEq(t, ev(t, in, "0^1 0N 3"), qval.LongVec{1, 0, 3}) // fill
+	wantEq(t, ev(t, in, "1 2,3 4"), qval.LongVec{1, 2, 3, 4})
+	wantEq(t, ev(t, in, "`sym in `a`sym`b"), qval.Bool(true))
+}
+
+func TestMatchOperator(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "1 2 3~1 2 3"), qval.Bool(true))
+	wantEq(t, ev(t, in, "1 2~1 2 3"), qval.Bool(false))
+	wantEq(t, ev(t, in, "1~1f"), qval.Bool(false)) // match is type-strict
+}
+
+func TestLikeGlobbing(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "`GOOG like \"GO*\""), qval.Bool(true))
+	wantEq(t, ev(t, in, "`IBM like \"GO*\""), qval.Bool(false))
+	wantEq(t, ev(t, in, "`GOOG`IBM like \"?O*\""), qval.BoolVec{true, false})
+}
+
+func TestCast(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "`float$1 2 3"), qval.FloatVec{1, 2, 3})
+	wantEq(t, ev(t, in, "`long$2.9"), qval.Long(2))
+	wantEq(t, ev(t, in, "`symbol$\"abc\""), qval.Symbol("abc"))
+}
+
+func TestDictOperations(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "(`a`b!1 2)[`b]"), qval.Long(2))
+	wantEq(t, ev(t, in, "key `a`b!1 2"), qval.SymbolVec{"a", "b"})
+	wantEq(t, ev(t, in, "value `a`b!1 2"), qval.LongVec{1, 2})
+	d := ev(t, in, "d:`a`b!1 2; d`a")
+	wantEq(t, d, qval.Long(1))
+}
+
+func TestTableConstructionViaFlip(t *testing.T) {
+	in := New()
+	v := ev(t, in, "flip `s`p!(`a`b;1 2f)")
+	tab, ok := v.(*qval.Table)
+	if !ok {
+		t.Fatalf("flip = %T", v)
+	}
+	if tab.Len() != 2 || tab.NumCols() != 2 {
+		t.Fatalf("table shape %dx%d", tab.Len(), tab.NumCols())
+	}
+	wantEq(t, ev(t, in, "cols flip `s`p!(`a`b;1 2f)"), qval.SymbolVec{"s", "p"})
+}
+
+func setupTrades(t *testing.T, in *Interp) {
+	t.Helper()
+	trades := qval.NewTable(
+		[]string{"Symbol", "Time", "Price", "Size"},
+		[]qval.Value{
+			qval.SymbolVec{"GOOG", "IBM", "GOOG", "IBM", "GOOG"},
+			qval.TemporalVec{T: qval.KTime, V: []int64{34200000, 34201000, 34202000, 34203000, 34204000}},
+			qval.FloatVec{100, 150, 101, 151, 102},
+			qval.LongVec{10, 20, 30, 40, 50},
+		})
+	in.SetGlobal("trades", trades)
+}
+
+func TestSelectBasic(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "select from trades")
+	tab := v.(*qval.Table)
+	if tab.Len() != 5 || tab.NumCols() != 4 {
+		t.Fatalf("shape %dx%d", tab.Len(), tab.NumCols())
+	}
+}
+
+func TestSelectColumnsAndWhere(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "select Price from trades where Symbol=`GOOG")
+	tab := v.(*qval.Table)
+	if tab.Len() != 3 || tab.NumCols() != 1 {
+		t.Fatalf("shape %dx%d", tab.Len(), tab.NumCols())
+	}
+	p, _ := tab.Column("Price")
+	wantEq(t, p, qval.FloatVec{100, 101, 102})
+}
+
+func TestSelectSequentialWhereConditions(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	// conditions apply in sequence: second runs on survivors of first
+	v := ev(t, in, "select from trades where Symbol=`GOOG, Price>100.5")
+	tab := v.(*qval.Table)
+	if tab.Len() != 2 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+}
+
+func TestSelectAggregate(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "select max Price from trades")
+	tab := v.(*qval.Table)
+	if tab.Len() != 1 {
+		t.Fatalf("aggregate select rows = %d", tab.Len())
+	}
+	p, _ := tab.Column("Price")
+	wantEq(t, qval.Index(p, 0), qval.Float(151))
+}
+
+func TestSelectByGrouping(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "select mx:max Price, tot:sum Size by Symbol from trades")
+	kd, ok := v.(*qval.Dict)
+	if !ok || !kd.IsKeyedTable() {
+		t.Fatalf("grouped select = %T", v)
+	}
+	keys := kd.Keys.(*qval.Table)
+	vals := kd.Vals.(*qval.Table)
+	if keys.Len() != 2 {
+		t.Fatalf("groups = %d", keys.Len())
+	}
+	sym, _ := keys.Column("Symbol")
+	mx, _ := vals.Column("mx")
+	tot, _ := vals.Column("tot")
+	// first-appearance order: GOOG then IBM
+	wantEq(t, sym, qval.SymbolVec{"GOOG", "IBM"})
+	wantEq(t, mx, qval.FloatVec{102, 151})
+	wantEq(t, tot, qval.LongVec{90, 60})
+}
+
+func TestExecReturnsVector(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "exec Price from trades where Symbol=`IBM")
+	wantEq(t, v, qval.FloatVec{150, 151})
+}
+
+func TestUpdateDoesNotPersist(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	// paper §2.2: UPDATE replaces columns in the query output only
+	v := ev(t, in, "update Price:2*Price from trades where Symbol=`IBM")
+	tab := v.(*qval.Table)
+	p, _ := tab.Column("Price")
+	wantEq(t, p, qval.FloatVec{100, 300, 101, 302, 102})
+	// original table unchanged
+	orig, _ := in.Global("trades")
+	op, _ := orig.(*qval.Table).Column("Price")
+	wantEq(t, op, qval.FloatVec{100, 150, 101, 151, 102})
+}
+
+func TestUpdateAddsNewColumn(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "update Notional:Price*Size from trades")
+	tab := v.(*qval.Table)
+	n, ok := tab.Column("Notional")
+	if !ok {
+		t.Fatal("Notional column missing")
+	}
+	wantEq(t, qval.Index(n, 0), qval.Float(1000))
+}
+
+func TestDeleteRowsAndColumns(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "delete from trades where Symbol=`IBM")
+	if v.(*qval.Table).Len() != 3 {
+		t.Fatalf("delete rows left %d", v.(*qval.Table).Len())
+	}
+	v = ev(t, in, "delete Size from trades")
+	if v.(*qval.Table).NumCols() != 3 {
+		t.Fatalf("delete col left %d cols", v.(*qval.Table).NumCols())
+	}
+}
+
+func TestVirtualRowIndexColumn(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "select i from trades where Symbol=`IBM")
+	tab := v.(*qval.Table)
+	iv, _ := tab.Column("i")
+	wantEq(t, iv, qval.LongVec{1, 3})
+}
+
+func TestLambdaExample3Semantics(t *testing.T) {
+	// Paper Example 3 end-to-end on the interpreter.
+	in := New()
+	setupTrades(t, in)
+	src := "f:{[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt;}; f[`GOOG]"
+	v := ev(t, in, src)
+	tab := v.(*qval.Table)
+	p, _ := tab.Column("Price")
+	wantEq(t, qval.Index(p, 0), qval.Float(102))
+}
+
+func TestLocalVariablesStayLocal(t *testing.T) {
+	// paper §3.2.3: local upserts never get promoted
+	in := New()
+	ev(t, in, "g:{loc:42; loc}; g[]")
+	if _, ok := in.Global("loc"); ok {
+		t.Fatal("local variable leaked to global scope")
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	in := New()
+	ev(t, in, "x:1")
+	v := ev(t, in, "h:{x:99; x}; h[]")
+	wantEq(t, v, qval.Long(99))
+	g, _ := in.Global("x")
+	wantEq(t, g, qval.Long(1))
+}
+
+func TestGlobalAmendFromFunction(t *testing.T) {
+	in := New()
+	ev(t, in, "x:1")
+	ev(t, in, "h:{x::77; 0}; h[]")
+	g, _ := in.Global("x")
+	wantEq(t, g, qval.Long(77))
+}
+
+func TestGlobalFunctionRedefinition(t *testing.T) {
+	// paper §3.2.3: a global function may be overwritten between calls
+	in := New()
+	ev(t, in, "f:{x+1}")
+	wantEq(t, ev(t, in, "f[1]"), qval.Long(2))
+	ev(t, in, "f:{x+100}")
+	wantEq(t, ev(t, in, "f[1]"), qval.Long(101))
+}
+
+func TestAdverbs(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "(+/)1 2 3"), qval.Long(6))
+	wantEq(t, ev(t, in, "0+/1 2 3"), qval.Long(6))
+	wantEq(t, ev(t, in, "count each (1 2;3 4 5)"), qval.LongVec{2, 3})
+	wantEq(t, ev(t, in, "1 2+'10 20"), qval.LongVec{11, 22})
+	wantEq(t, ev(t, in, "{x*x} each 1 2 3"), qval.LongVec{1, 4, 9})
+}
+
+func TestCondLazyEvaluation(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "$[1;`yes;`no]"), qval.Symbol("yes"))
+	wantEq(t, ev(t, in, "$[0;`yes;`no]"), qval.Symbol("no"))
+	// the untaken branch must not evaluate: referencing an unknown name
+	wantEq(t, ev(t, in, "$[1;`ok;undefined_name_xyz]"), qval.Symbol("ok"))
+}
+
+func TestErrorsAreKdbStyle(t *testing.T) {
+	in := New()
+	err := evErr(t, in, "undefined_name_xyz")
+	if err.Error() != "'undefined_name_xyz" {
+		t.Errorf("unknown name error = %q", err.Error())
+	}
+	err = evErr(t, in, "1 2+1 2 3")
+	if err.Error() != "'length" {
+		t.Errorf("length error = %q", err.Error())
+	}
+}
+
+func TestInsertUpsert(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "`trades insert (enlist `MSFT; enlist 09:30:05.000; enlist 88.5; enlist 60)")
+	wantEq(t, v, qval.LongVec{5})
+	g, _ := in.Global("trades")
+	if g.(*qval.Table).Len() != 6 {
+		t.Fatalf("after insert len = %d", g.(*qval.Table).Len())
+	}
+}
+
+func TestXascXdescSortTable(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	v := ev(t, in, "`Price xasc trades")
+	p, _ := v.(*qval.Table).Column("Price")
+	wantEq(t, p, qval.FloatVec{100, 101, 102, 150, 151})
+	v = ev(t, in, "`Price xdesc trades")
+	p, _ = v.(*qval.Table).Column("Price")
+	wantEq(t, p, qval.FloatVec{151, 150, 102, 101, 100})
+}
+
+func TestMetaAndCols(t *testing.T) {
+	in := New()
+	setupTrades(t, in)
+	wantEq(t, ev(t, in, "cols trades"), qval.SymbolVec{"Symbol", "Time", "Price", "Size"})
+	m := ev(t, in, "meta trades").(*qval.Table)
+	tc, _ := m.Column("t")
+	wantEq(t, tc, qval.CharVec{'s', 't', 'f', 'j'})
+}
+
+func TestSerializedExecution(t *testing.T) {
+	// concurrent Evals must serialize like the kdb+ main loop
+	in := New()
+	ev(t, in, "c:0")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				if _, err := in.Eval("c:c+1"); err != nil {
+					t.Errorf("increment: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	v, _ := in.Global("c")
+	wantEq(t, v, qval.Long(400))
+}

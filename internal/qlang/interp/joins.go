@@ -1,0 +1,412 @@
+package interp
+
+import (
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/qval"
+)
+
+// evalAj implements the as-of join aj[`c1`c2...`time; t1; t2] — the paper's
+// Example 1 and 2, and q's signature time-series primitive. For each row of
+// t1, it finds the most recent row of t2 whose leading columns match exactly
+// and whose final (time) column is <= t1's; unmatched rows yield nulls.
+func (in *Interp) evalAj(args []ast.Node, e *env) (qval.Value, error) {
+	if len(args) != 3 {
+		return nil, qval.Errorf("rank: aj expects 3 arguments")
+	}
+	colsV, err := in.eval(args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	leftV, err := in.eval(args[1], e)
+	if err != nil {
+		return nil, err
+	}
+	rightV, err := in.eval(args[2], e)
+	if err != nil {
+		return nil, err
+	}
+	var joinCols []string
+	switch c := colsV.(type) {
+	case qval.SymbolVec:
+		joinCols = c
+	case qval.Symbol:
+		joinCols = []string{string(c)}
+	default:
+		return nil, qval.Errorf("type: aj join columns must be symbols")
+	}
+	if len(joinCols) == 0 {
+		return nil, qval.Errorf("length: aj needs at least one join column")
+	}
+	left, ok := qval.Unkey(leftV)
+	if !ok {
+		return nil, qval.Errorf("type: aj left input must be a table")
+	}
+	right, ok := qval.Unkey(rightV)
+	if !ok {
+		return nil, qval.Errorf("type: aj right input must be a table")
+	}
+	return AsOfJoin(joinCols, left, right)
+}
+
+// AsOfJoin is the exported as-of join used by the side-by-side tests and
+// benchmarks. The last join column is the "as of" (time) column; the
+// preceding columns match exactly.
+func AsOfJoin(joinCols []string, left, right *qval.Table) (*qval.Table, error) {
+	for _, c := range joinCols {
+		if _, ok := left.Column(c); !ok {
+			return nil, qval.Errorf(c)
+		}
+		if _, ok := right.Column(c); !ok {
+			return nil, qval.Errorf(c)
+		}
+	}
+	eqCols := joinCols[:len(joinCols)-1]
+	timeCol := joinCols[len(joinCols)-1]
+
+	// bucket right rows by exact-match key, preserving order (kdb+ requires
+	// the right table sorted by time within key; we sort defensively)
+	rightBuckets := map[string][]int{}
+	rn := right.Len()
+	rightEq := make([]qval.Value, len(eqCols))
+	for i, c := range eqCols {
+		rightEq[i], _ = right.Column(c)
+	}
+	rightTime, _ := right.Column(timeCol)
+	for i := 0; i < rn; i++ {
+		key := ""
+		for _, c := range rightEq {
+			key += qval.Index(c, i).String() + "|"
+		}
+		rightBuckets[key] = append(rightBuckets[key], i)
+	}
+	for _, rows := range rightBuckets {
+		stableSortFunc(rows, func(a, b int) bool {
+			return qval.Compare(qval.Index(rightTime, a), qval.Index(rightTime, b)) < 0
+		})
+	}
+
+	ln := left.Len()
+	leftEq := make([]qval.Value, len(eqCols))
+	for i, c := range eqCols {
+		leftEq[i], _ = left.Column(c)
+	}
+	leftTime, _ := left.Column(timeCol)
+
+	match := make([]int, ln) // right row per left row; -1 = none
+	for i := 0; i < ln; i++ {
+		key := ""
+		for _, c := range leftEq {
+			key += qval.Index(c, i).String() + "|"
+		}
+		bucket := rightBuckets[key]
+		t := qval.Index(leftTime, i)
+		// binary search: rightmost bucket row with time <= t
+		lo, hi := 0, len(bucket)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if qval.Compare(qval.Index(rightTime, bucket[mid]), t) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			match[i] = -1
+		} else {
+			match[i] = bucket[lo-1]
+		}
+	}
+
+	// output: all left columns, then right columns not already present
+	cols := append([]string(nil), left.Cols...)
+	data := append([]qval.Value(nil), left.Data...)
+	for j, c := range right.Cols {
+		if left.ColumnIndex(c) >= 0 {
+			continue
+		}
+		data = append(data, qval.TakeIndexes(right.Data[j], match))
+		cols = append(cols, c)
+	}
+	return qval.NewTable(cols, data), nil
+}
+
+// evalJoinCall dispatches lj/ij/uj/ej/pj when written call-style:
+// lj[t1;t2] or ej[cols;t1;t2].
+func (in *Interp) evalJoinCall(name string, args []ast.Node, e *env) (qval.Value, error) {
+	vals := make([]qval.Value, len(args))
+	for i, a := range args {
+		v, err := in.eval(a, e)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	switch name {
+	case "lj", "ij", "uj", "pj":
+		if len(vals) != 2 {
+			return nil, qval.Errorf("rank")
+		}
+		return applyNamedJoin(name, vals[0], vals[1])
+	case "ej":
+		if len(vals) != 3 {
+			return nil, qval.Errorf("rank")
+		}
+		return equiJoin(vals[0], vals[1], vals[2])
+	}
+	return nil, qval.Errorf("nyi join " + name)
+}
+
+// applyNamedJoin implements the infix table joins. The right operand of
+// lj/ij must be a keyed table; uj unions rows and columns.
+func applyNamedJoin(name string, l, r qval.Value) (qval.Value, error) {
+	left, ok := qval.Unkey(l)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	switch name {
+	case "uj":
+		right, ok := qval.Unkey(r)
+		if !ok {
+			return nil, qval.Errorf("type")
+		}
+		return unionJoin(left, right)
+	case "lj", "ij", "pj":
+		kd, ok := r.(*qval.Dict)
+		if !ok || !kd.IsKeyedTable() {
+			// convenience extension matching Hyper-Q's binder: a plain
+			// right table is keyed implicitly on the columns it shares
+			// with the left operand
+			rt, isTable := r.(*qval.Table)
+			if !isTable {
+				return nil, qval.Errorf("type: right operand of " + name + " must be a keyed table")
+			}
+			var shared []string
+			for _, c := range left.Cols {
+				if rt.ColumnIndex(c) >= 0 {
+					shared = append(shared, c)
+				}
+			}
+			if len(shared) == 0 {
+				return nil, qval.Errorf("type: " + name + " requires shared key columns")
+			}
+			keyed, err := qval.KeyTable(shared, rt)
+			if err != nil {
+				return nil, err
+			}
+			kd = keyed
+		}
+		keyT := kd.Keys.(*qval.Table)
+		valT := kd.Vals.(*qval.Table)
+		return keyedJoin(name, left, keyT, valT)
+	}
+	return nil, qval.Errorf("nyi join " + name)
+}
+
+// keyedJoin matches left rows against the key table; lj keeps unmatched
+// left rows with nulls, ij drops them, pj adds matched numeric values.
+func keyedJoin(name string, left, keyT, valT *qval.Table) (qval.Value, error) {
+	// index right keys
+	idx := map[string]int{}
+	kn := keyT.Len()
+	for i := 0; i < kn; i++ {
+		key := ""
+		for _, c := range keyT.Data {
+			key += qval.Index(c, i).String() + "|"
+		}
+		if _, dup := idx[key]; !dup {
+			idx[key] = i
+		}
+	}
+	leftKeyCols := make([]qval.Value, len(keyT.Cols))
+	for i, c := range keyT.Cols {
+		col, ok := left.Column(c)
+		if !ok {
+			return nil, qval.Errorf(c)
+		}
+		leftKeyCols[i] = col
+	}
+	ln := left.Len()
+	match := make([]int, ln)
+	var keepRows []int
+	for i := 0; i < ln; i++ {
+		key := ""
+		for _, c := range leftKeyCols {
+			key += qval.Index(c, i).String() + "|"
+		}
+		if j, ok := idx[key]; ok {
+			match[i] = j
+			keepRows = append(keepRows, i)
+		} else {
+			match[i] = -1
+		}
+	}
+	switch name {
+	case "ij":
+		base := left.Take(keepRows)
+		m := make([]int, len(keepRows))
+		for k, r := range keepRows {
+			m[k] = match[r]
+		}
+		return attachValCols(base, valT, m, left)
+	case "lj":
+		return attachValCols(left, valT, match, left)
+	case "pj":
+		out := qval.NewTable(append([]string(nil), left.Cols...), append([]qval.Value(nil), left.Data...))
+		for j, c := range valT.Cols {
+			li := out.ColumnIndex(c)
+			add := qval.TakeIndexes(valT.Data[j], match)
+			if li < 0 {
+				out.Cols = append(out.Cols, c)
+				out.Data = append(out.Data, add)
+				continue
+			}
+			// plus-join: add values, treating unmatched as 0
+			atoms := make([]qval.Value, out.Len())
+			for i := 0; i < out.Len(); i++ {
+				b := qval.Index(add, i)
+				if qval.IsNull(b) {
+					atoms[i] = qval.Index(out.Data[li], i)
+					continue
+				}
+				s, err := arith("+", qval.Index(out.Data[li], i), b)
+				if err != nil {
+					return nil, err
+				}
+				atoms[i] = s
+			}
+			out.Data[li] = qval.FromAtoms(atoms)
+		}
+		return out, nil
+	}
+	return nil, qval.Errorf("nyi")
+}
+
+// attachValCols appends valT's columns gathered by match to base;
+// match values of -1 produce nulls. Columns already present in base are
+// overwritten where matched (q lj semantics).
+func attachValCols(base, valT *qval.Table, match []int, left *qval.Table) (qval.Value, error) {
+	out := qval.NewTable(append([]string(nil), base.Cols...), append([]qval.Value(nil), base.Data...))
+	for j, c := range valT.Cols {
+		gathered := qval.TakeIndexes(valT.Data[j], match)
+		li := out.ColumnIndex(c)
+		if li < 0 {
+			out.Cols = append(out.Cols, c)
+			out.Data = append(out.Data, gathered)
+			continue
+		}
+		// overwrite where matched
+		atoms := make([]qval.Value, out.Len())
+		for i := 0; i < out.Len(); i++ {
+			if match[i] >= 0 {
+				atoms[i] = qval.Index(gathered, i)
+			} else {
+				atoms[i] = qval.Index(out.Data[li], i)
+			}
+		}
+		out.Data[li] = qval.FromAtoms(atoms)
+	}
+	return out, nil
+}
+
+// unionJoin implements uj: rows of both tables over the union of columns.
+func unionJoin(a, b *qval.Table) (qval.Value, error) {
+	cols := append([]string(nil), a.Cols...)
+	for _, c := range b.Cols {
+		if a.ColumnIndex(c) < 0 {
+			cols = append(cols, c)
+		}
+	}
+	an, bn := a.Len(), b.Len()
+	data := make([]qval.Value, len(cols))
+	for j, c := range cols {
+		atoms := make([]qval.Value, 0, an+bn)
+		if col, ok := a.Column(c); ok {
+			for i := 0; i < an; i++ {
+				atoms = append(atoms, qval.Index(col, i))
+			}
+		} else if bcol, ok := b.Column(c); ok {
+			nullAtom := qval.Null(bcol.Type())
+			for i := 0; i < an; i++ {
+				atoms = append(atoms, nullAtom)
+			}
+		}
+		if col, ok := b.Column(c); ok {
+			for i := 0; i < bn; i++ {
+				atoms = append(atoms, qval.Index(col, i))
+			}
+		} else if acol, ok := a.Column(c); ok {
+			nullAtom := qval.Null(acol.Type())
+			for i := 0; i < bn; i++ {
+				atoms = append(atoms, nullAtom)
+			}
+		}
+		data[j] = qval.FromAtoms(atoms)
+	}
+	return qval.NewTable(cols, data), nil
+}
+
+// equiJoin implements ej[cols; t1; t2]: inner join on the named columns.
+func equiJoin(colsV qval.Value, lV, rV qval.Value) (qval.Value, error) {
+	var joinCols []string
+	switch c := colsV.(type) {
+	case qval.SymbolVec:
+		joinCols = c
+	case qval.Symbol:
+		joinCols = []string{string(c)}
+	default:
+		return nil, qval.Errorf("type")
+	}
+	left, ok := qval.Unkey(lV)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	right, ok := qval.Unkey(rV)
+	if !ok {
+		return nil, qval.Errorf("type")
+	}
+	// hash right side
+	buckets := map[string][]int{}
+	rightKey := make([]qval.Value, len(joinCols))
+	for i, c := range joinCols {
+		col, ok := right.Column(c)
+		if !ok {
+			return nil, qval.Errorf(c)
+		}
+		rightKey[i] = col
+	}
+	for i := 0; i < right.Len(); i++ {
+		key := ""
+		for _, c := range rightKey {
+			key += qval.Index(c, i).String() + "|"
+		}
+		buckets[key] = append(buckets[key], i)
+	}
+	leftKey := make([]qval.Value, len(joinCols))
+	for i, c := range joinCols {
+		col, ok := left.Column(c)
+		if !ok {
+			return nil, qval.Errorf(c)
+		}
+		leftKey[i] = col
+	}
+	var lIdx, rIdx []int
+	for i := 0; i < left.Len(); i++ {
+		key := ""
+		for _, c := range leftKey {
+			key += qval.Index(c, i).String() + "|"
+		}
+		for _, r := range buckets[key] {
+			lIdx = append(lIdx, i)
+			rIdx = append(rIdx, r)
+		}
+	}
+	out := left.Take(lIdx)
+	for j, c := range right.Cols {
+		if out.ColumnIndex(c) >= 0 {
+			continue
+		}
+		out.Cols = append(out.Cols, c)
+		out.Data = append(out.Data, qval.TakeIndexes(right.Data[j], rIdx))
+	}
+	return out, nil
+}

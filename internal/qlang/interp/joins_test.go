@@ -1,0 +1,254 @@
+package interp
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func setupJoinTables(t *testing.T, in *Interp) {
+	t.Helper()
+	trades := qval.NewTable(
+		[]string{"Symbol", "Time", "Price"},
+		[]qval.Value{
+			qval.SymbolVec{"GOOG", "IBM", "GOOG"},
+			qval.TemporalVec{T: qval.KTime, V: []int64{1000, 2000, 3000}},
+			qval.FloatVec{100, 150, 101},
+		})
+	quotes := qval.NewTable(
+		[]string{"Symbol", "Time", "Bid"},
+		[]qval.Value{
+			qval.SymbolVec{"GOOG", "GOOG", "IBM"},
+			qval.TemporalVec{T: qval.KTime, V: []int64{500, 2500, 1500}},
+			qval.FloatVec{99, 100.5, 149},
+		})
+	daily := qval.NewTable(
+		[]string{"Symbol", "Close"},
+		[]qval.Value{qval.SymbolVec{"GOOG", "MSFT"}, qval.FloatVec{102, 55}})
+	in.SetGlobal("trades", trades)
+	in.SetGlobal("quotes", quotes)
+	in.SetGlobal("daily", daily)
+}
+
+func TestAsOfJoinSemantics(t *testing.T) {
+	in := New()
+	setupJoinTables(t, in)
+	v := ev(t, in, "aj[`Symbol`Time; trades; quotes]")
+	tbl := v.(*qval.Table)
+	bid, _ := tbl.Column("Bid")
+	// GOOG@1000 -> quote@500 (99); IBM@2000 -> quote@1500 (149);
+	// GOOG@3000 -> quote@2500 (100.5)
+	want := qval.FloatVec{99, 149, 100.5}
+	if !qval.EqualValues(bid, want) {
+		t.Fatalf("aj bids = %v, want %v", bid, want)
+	}
+}
+
+func TestAsOfJoinNoMatchGivesNull(t *testing.T) {
+	in := New()
+	setupJoinTables(t, in)
+	ev(t, in, "early: ([] Symbol:enlist `GOOG; Time:enlist 00:00:00.100)")
+	v := ev(t, in, "aj[`Symbol`Time; early; quotes]")
+	bid, _ := v.(*qval.Table).Column("Bid")
+	if !qval.NullAt(bid, 0) {
+		t.Fatalf("expected null bid, got %v", qval.Index(bid, 0))
+	}
+}
+
+func TestLeftJoinKeyedTable(t *testing.T) {
+	in := New()
+	setupJoinTables(t, in)
+	v := ev(t, in, "trades lj `Symbol xkey daily")
+	tbl := v.(*qval.Table)
+	cl, ok := tbl.Column("Close")
+	if !ok {
+		t.Fatalf("cols = %v", tbl.Cols)
+	}
+	// GOOG rows get 102, IBM row gets null
+	if !qval.EqualValues(qval.Index(cl, 0), qval.Float(102)) {
+		t.Fatalf("close[0] = %v", qval.Index(cl, 0))
+	}
+	if !qval.NullAt(cl, 1) {
+		t.Fatalf("close[1] = %v, want null", qval.Index(cl, 1))
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("lj must keep all left rows, got %d", tbl.Len())
+	}
+}
+
+func TestInnerJoinDropsUnmatched(t *testing.T) {
+	in := New()
+	setupJoinTables(t, in)
+	v := ev(t, in, "trades ij `Symbol xkey daily")
+	tbl := v.(*qval.Table)
+	if tbl.Len() != 2 { // only the two GOOG rows
+		t.Fatalf("ij rows = %d", tbl.Len())
+	}
+}
+
+func TestUnionJoin(t *testing.T) {
+	in := New()
+	ev(t, in, "a: ([] x:1 2; y:10 20)")
+	ev(t, in, "b: ([] x:3 4; z:30 40)")
+	v := ev(t, in, "a uj b")
+	tbl := v.(*qval.Table)
+	if tbl.Len() != 4 || tbl.NumCols() != 3 {
+		t.Fatalf("uj shape = %dx%d (%v)", tbl.Len(), tbl.NumCols(), tbl.Cols)
+	}
+	y, _ := tbl.Column("y")
+	if !qval.NullAt(y, 2) {
+		t.Fatal("uj should pad missing columns with nulls")
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	in := New()
+	setupJoinTables(t, in)
+	v := ev(t, in, "ej[`Symbol; trades; daily]")
+	tbl := v.(*qval.Table)
+	if tbl.Len() != 2 {
+		t.Fatalf("ej rows = %d", tbl.Len())
+	}
+	if _, ok := tbl.Column("Close"); !ok {
+		t.Fatalf("ej cols = %v", tbl.Cols)
+	}
+}
+
+func TestPlusJoin(t *testing.T) {
+	in := New()
+	ev(t, in, "a: ([] k:`x`y; v:1 2)")
+	ev(t, in, "b: ([] k:`x`z; v:10 30)")
+	v := ev(t, in, "a pj `k xkey b")
+	tbl := v.(*qval.Table)
+	vc, _ := tbl.Column("v")
+	if !qval.EqualValues(vc, qval.LongVec{11, 2}) {
+		t.Fatalf("pj v = %v", vc)
+	}
+}
+
+func TestAdverbScanAndPrior(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "(+\\)1 2 3"), qval.LongVec{1, 3, 6})
+	wantEq(t, ev(t, in, "(-':)1 3 6"), qval.LongVec{1, 2, 3})
+	wantEq(t, ev(t, in, "deltas 1 3 6"), qval.LongVec{1, 2, 3})
+}
+
+func TestAdverbEachLeftRight(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "1 2+\\:10"), qval.LongVec{11, 12})
+	wantEq(t, ev(t, in, "1+/:10 20"), qval.LongVec{11, 21})
+}
+
+func TestWindowedAggregates(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "2 mavg 1 2 3 4"), qval.FloatVec{1, 1.5, 2.5, 3.5})
+	wantEq(t, ev(t, in, "2 msum 1 2 3 4"), qval.LongVec{1, 3, 5, 7})
+	wantEq(t, ev(t, in, "2 mmax 1 5 2 4"), qval.LongVec{1, 5, 5, 4})
+	wantEq(t, ev(t, in, "2 mmin 3 1 2 0"), qval.LongVec{3, 1, 1, 0})
+}
+
+func TestFillsAndNulls(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "fills 1 0N 0N 2 0N"), qval.LongVec{1, 1, 1, 2, 2})
+	wantEq(t, ev(t, in, "null 1 0N 3"), qval.BoolVec{false, true, false})
+	wantEq(t, ev(t, in, "prev 1 2 3"), qval.LongVec{qval.NullLong, 1, 2})
+	wantEq(t, ev(t, in, "next 1 2 3"), qval.LongVec{2, 3, qval.NullLong})
+}
+
+func TestSetOperations(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "1 2 3 union 3 4"), qval.LongVec{1, 2, 3, 4})
+	wantEq(t, ev(t, in, "1 2 3 inter 2 3 4"), qval.LongVec{2, 3})
+	wantEq(t, ev(t, in, "1 2 3 except 2"), qval.LongVec{1, 3})
+}
+
+func TestBinSearch(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "0 2 4 6 bin 5"), qval.Long(2))
+	wantEq(t, ev(t, in, "0 2 4 6 bin 1 3 7"), qval.LongVec{0, 1, 3})
+	wantEq(t, ev(t, in, "2 4 bin 1"), qval.Long(-1))
+}
+
+func TestStringVerbs(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "upper `goog"), qval.Symbol("GOOG"))
+	wantEq(t, ev(t, in, "lower \"ABC\""), qval.CharVec("abc"))
+	v := ev(t, in, "\",\" vs \"a,b,c\"")
+	if v.Len() != 3 {
+		t.Fatalf("vs = %v", v)
+	}
+	wantEq(t, ev(t, in, "\"-\" sv (\"a\";\"b\")"), qval.CharVec("a-b"))
+}
+
+func TestXcolRename(t *testing.T) {
+	in := New()
+	ev(t, in, "t: ([] a:1 2; b:3 4)")
+	v := ev(t, in, "`x`y xcol t")
+	tbl := v.(*qval.Table)
+	if tbl.Cols[0] != "x" || tbl.Cols[1] != "y" {
+		t.Fatalf("xcol = %v", tbl.Cols)
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	in := New()
+	v := ev(t, in, "1 2 cross 10 20")
+	if v.Len() != 4 {
+		t.Fatalf("cross = %v", v)
+	}
+}
+
+func TestSublist(t *testing.T) {
+	in := New()
+	wantEq(t, ev(t, in, "2 sublist 1 2 3 4"), qval.LongVec{1, 2})
+	wantEq(t, ev(t, in, "10 sublist 1 2"), qval.LongVec{1, 2}) // no cycling
+}
+
+func TestGroupPrimitive(t *testing.T) {
+	in := New()
+	v := ev(t, in, "group `a`b`a")
+	d := v.(*qval.Dict)
+	if d.Len() != 2 {
+		t.Fatalf("group = %v", d)
+	}
+	if !qval.EqualValues(d.Lookup(qval.Symbol("a")), qval.LongVec{0, 2}) {
+		t.Fatalf("group[a] = %v", d.Lookup(qval.Symbol("a")))
+	}
+}
+
+func TestTakeColumnsFromTable(t *testing.T) {
+	in := New()
+	ev(t, in, "t: ([] a:1 2; b:3 4; c:5 6)")
+	v := ev(t, in, "`a`c#t")
+	tbl := v.(*qval.Table)
+	if tbl.NumCols() != 2 || tbl.Cols[0] != "a" || tbl.Cols[1] != "c" {
+		t.Fatalf("take cols = %v", tbl.Cols)
+	}
+	v = ev(t, in, "`b _ t")
+	tbl = v.(*qval.Table)
+	if tbl.NumCols() != 2 {
+		t.Fatalf("drop col = %v", tbl.Cols)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	in := New()
+	// while-loop (paper §5: among Q's complex language constructs)
+	wantEq(t, ev(t, in, "s:0; i:0; while[i<5; s:s+i; i:i+1]; s"), qval.Long(10))
+	wantEq(t, ev(t, in, "x:0; do[4; x:x+2]; x"), qval.Long(8))
+	wantEq(t, ev(t, in, "y:1; if[1; y:99]; y"), qval.Long(99))
+	wantEq(t, ev(t, in, "z:1; if[0; z:99]; z"), qval.Long(1))
+}
+
+func TestRecursion(t *testing.T) {
+	in := New()
+	ev(t, in, "fact:{$[x<2; 1; x*fact[x-1]]}")
+	wantEq(t, ev(t, in, "fact[5]"), qval.Long(120))
+}
+
+func TestWhileIterationBound(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("while[1; 0]"); err == nil {
+		t.Fatal("infinite while should hit the iteration bound")
+	}
+}

@@ -1,0 +1,179 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// Property: sum is invariant under reverse.
+func TestPropSumReverseInvariant(t *testing.T) {
+	in := New()
+	f := func(xs []int32) bool {
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x)
+		}
+		in.SetGlobal("v", v)
+		a, err1 := in.Eval("sum v")
+		b, err2 := in.Eval("sum reverse v")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return qval.EqualValues(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: count where mask equals sum mask for boolean vectors.
+func TestPropWhereCountEqualsSum(t *testing.T) {
+	in := New()
+	f := func(bits []bool) bool {
+		in.SetGlobal("m", qval.BoolVec(bits))
+		a, err1 := in.Eval("count where m")
+		b, err2 := in.Eval("sum m")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return qval.EqualValues(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: iasc produces a permutation that sorts the vector.
+func TestPropIascSorts(t *testing.T) {
+	in := New()
+	f := func(xs []int16) bool {
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x)
+		}
+		in.SetGlobal("v", v)
+		sorted, err1 := in.Eval("v[iasc v]")
+		direct, err2 := in.Eval("asc v")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return qval.EqualValues(sorted, direct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sums is the running prefix of sum — last of sums == sum.
+func TestPropSumsPrefix(t *testing.T) {
+	in := New()
+	f := func(xs []int32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x)
+		}
+		in.SetGlobal("v", v)
+		a, err1 := in.Eval("last sums v")
+		b, err2 := in.Eval("sum v")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return qval.EqualValues(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct is idempotent and a subset preserving membership.
+func TestPropDistinctIdempotent(t *testing.T) {
+	in := New()
+	f := func(xs []int8) bool {
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x)
+		}
+		in.SetGlobal("v", v)
+		once, err1 := in.Eval("distinct v")
+		twice, err2 := in.Eval("distinct distinct v")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !qval.EqualValues(once, twice) {
+			return false
+		}
+		member, err := in.Eval("all v in distinct v")
+		if err != nil {
+			// "all" is not defined; check via min
+			member, err = in.Eval("min v in distinct v")
+			if len(xs) == 0 {
+				return true
+			}
+			if err != nil {
+				return false
+			}
+		}
+		f, _ := qval.AsFloat(member)
+		return f == 1 || len(xs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: take/drop partition the vector: (n#v),(n _ v) ~ v for 0<=n<=len.
+func TestPropTakeDropPartition(t *testing.T) {
+	in := New()
+	f := func(xs []int32, nRaw uint8) bool {
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x)
+		}
+		n := 0
+		if len(xs) > 0 {
+			n = int(nRaw) % (len(xs) + 1)
+		}
+		in.SetGlobal("v", v)
+		in.SetGlobal("n", qval.Long(int64(n)))
+		got, err := in.Eval("(n#v),(n _ v)")
+		if err != nil {
+			return false
+		}
+		return qval.EqualValues(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the group dict's index lists partition til(count v).
+func TestPropGroupPartitions(t *testing.T) {
+	in := New()
+	f := func(xs []uint8) bool {
+		v := make(qval.LongVec, len(xs))
+		for i, x := range xs {
+			v[i] = int64(x % 4)
+		}
+		in.SetGlobal("v", v)
+		got, err := in.Eval("asc raze value group v")
+		if err != nil {
+			return false
+		}
+		want, err := in.Eval("til count v")
+		if err != nil {
+			return false
+		}
+		if len(xs) == 0 {
+			return got.Len() == 0
+		}
+		return qval.EqualValues(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+package interp
+
+import (
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/parse"
+	"hyperq/internal/qlang/qval"
+)
+
+// colEnv is the environment used when evaluating expressions inside a q-sql
+// template: column names resolve to (filtered) column vectors first, then
+// fall through to the enclosing scope.
+type colEnv struct {
+	table *qval.Table
+	rows  []int // nil means all rows, in order
+}
+
+func (c *colEnv) column(name string) (qval.Value, bool) {
+	col, ok := c.table.Column(name)
+	if !ok {
+		return nil, false
+	}
+	if c.rows == nil {
+		return col, true
+	}
+	return qval.TakeIndexes(col, c.rows), true
+}
+
+// evalTemplate executes select/exec/update/delete against the interpreter's
+// in-memory tables.
+func (in *Interp) evalTemplate(t *ast.SQLTemplate, e *env) (qval.Value, error) {
+	fromV, err := in.eval(t.From, e)
+	if err != nil {
+		return nil, err
+	}
+	table, ok := qval.Unkey(fromV)
+	if !ok {
+		return nil, qval.Errorf("type: from clause is not a table")
+	}
+	// Where: conditions apply in sequence, each over the survivors of the
+	// previous one (q semantics).
+	rows := make([]int, table.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	for _, cond := range t.Where {
+		rows, err = in.filterRows(table, rows, cond, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch t.Kind {
+	case ast.Select, ast.Exec:
+		return in.evalSelect(t, table, rows, e)
+	case ast.Update:
+		return in.evalUpdate(t, table, rows, e)
+	case ast.Delete:
+		return in.evalDelete(t, table, rows, e)
+	default:
+		return nil, qval.Errorf("nyi template")
+	}
+}
+
+// filterRows evaluates cond over the rows-restricted table and keeps the
+// rows where it is true.
+func (in *Interp) filterRows(table *qval.Table, rows []int, cond ast.Node, e *env) ([]int, error) {
+	ce := &colEnv{table: table, rows: rows}
+	v, err := in.evalInCols(cond, ce, e)
+	if err != nil {
+		return nil, err
+	}
+	mask, ok := boolMask(v)
+	if !ok {
+		return nil, qval.Errorf("type: where clause must be boolean")
+	}
+	if v.Len() < 0 { // scalar condition applies to all or none
+		if mask[0] {
+			return rows, nil
+		}
+		return []int{}, nil
+	}
+	if len(mask) != len(rows) {
+		return nil, qval.Errorf("length")
+	}
+	// non-nil even when empty: a nil row set means "all rows" to colEnv
+	out := make([]int, 0, len(rows))
+	for i, keep := range mask {
+		if keep {
+			out = append(out, rows[i])
+		}
+	}
+	return out, nil
+}
+
+// evalInCols evaluates an expression where variable references resolve to
+// table columns first. It is implemented by swapping a column-scope into the
+// environment chain.
+func (in *Interp) evalInCols(n ast.Node, ce *colEnv, e *env) (qval.Value, error) {
+	scope := &env{in: in, vars: map[string]qval.Value{}, parent: e}
+	// expose columns lazily by pre-binding the names; the columns are
+	// materialized once per reference
+	for _, c := range ce.table.Cols {
+		col, _ := ce.column(c)
+		scope.vars[c] = col
+	}
+	// 'i' is the virtual row-index column in q
+	if _, shadow := scope.vars["i"]; !shadow {
+		idx := make(qval.LongVec, len(ce.rowsOrAll()))
+		for k, r := range ce.rowsOrAll() {
+			idx[k] = int64(r)
+		}
+		scope.vars["i"] = idx
+	}
+	return in.eval(n, scope)
+}
+
+func (c *colEnv) rowsOrAll() []int {
+	if c.rows != nil {
+		return c.rows
+	}
+	all := make([]int, c.table.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// evalSelect handles select/exec with optional by grouping.
+func (in *Interp) evalSelect(t *ast.SQLTemplate, table *qval.Table, rows []int, e *env) (qval.Value, error) {
+	if len(t.By) > 0 {
+		return in.evalSelectBy(t, table, rows, e)
+	}
+	ce := &colEnv{table: table, rows: rows}
+	// no columns: all columns, filtered
+	if len(t.Cols) == 0 {
+		data := make([]qval.Value, len(table.Cols))
+		for i := range table.Cols {
+			data[i] = qval.TakeIndexes(table.Data[i], rows)
+		}
+		res := qval.NewTable(append([]string(nil), table.Cols...), data)
+		if t.Kind == ast.Exec {
+			return res, nil
+		}
+		return res, nil
+	}
+	names := make([]string, len(t.Cols))
+	vals := make([]qval.Value, len(t.Cols))
+	maxLen := 0
+	anyVec := false
+	for i, spec := range t.Cols {
+		v, err := in.evalInCols(spec.Expr, ce, e)
+		if err != nil {
+			return nil, err
+		}
+		name := spec.Name
+		if name == "" {
+			name = parse.InferColName(spec.Expr)
+		}
+		names[i] = name
+		vals[i] = v
+		if v.Len() >= 0 {
+			anyVec = true
+			if v.Len() > maxLen {
+				maxLen = v.Len()
+			}
+		}
+	}
+	// exec of a single column returns the bare vector/atom
+	if t.Kind == ast.Exec && len(vals) == 1 {
+		return vals[0], nil
+	}
+	if !anyVec {
+		maxLen = 1
+	}
+	// broadcast atoms to the row count
+	for i, v := range vals {
+		if v.Len() < 0 {
+			idx := make([]int, maxLen)
+			vals[i] = qval.TakeIndexes(qval.Enlist(v), idx)
+		} else if v.Len() != maxLen {
+			return nil, qval.Errorf("length")
+		}
+	}
+	if t.Kind == ast.Exec {
+		return qval.NewDict(qval.SymbolVec(names), qval.List(vals)), nil
+	}
+	return qval.NewTable(names, vals), nil
+}
+
+// evalSelectBy implements grouped select: the result is a keyed table from
+// by-columns to aggregated columns, as in q.
+func (in *Interp) evalSelectBy(t *ast.SQLTemplate, table *qval.Table, rows []int, e *env) (qval.Value, error) {
+	ce := &colEnv{table: table, rows: rows}
+	// evaluate by expressions over filtered rows
+	byNames := make([]string, len(t.By))
+	byVals := make([]qval.Value, len(t.By))
+	for i, spec := range t.By {
+		v, err := in.evalInCols(spec.Expr, ce, e)
+		if err != nil {
+			return nil, err
+		}
+		if v.Len() < 0 {
+			idx := make([]int, len(rows))
+			v = qval.TakeIndexes(qval.Enlist(v), idx)
+		}
+		name := spec.Name
+		if name == "" {
+			name = parse.InferColName(spec.Expr)
+		}
+		byNames[i] = name
+		byVals[i] = v
+	}
+	// group rows by the tuple of by values (first-appearance order, as q)
+	type group struct {
+		rep  []qval.Value
+		rows []int
+	}
+	var order []string
+	groups := map[string]*group{}
+	for k, r := range rows {
+		key := ""
+		rep := make([]qval.Value, len(byVals))
+		for j, bv := range byVals {
+			x := qval.Index(bv, k)
+			rep[j] = x
+			key += x.String() + "|"
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: rep}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, r)
+	}
+	// aggregate each column spec per group
+	specs := t.Cols
+	if len(specs) == 0 {
+		// q: select by c from t keeps last row per group of remaining cols
+		for _, c := range table.Cols {
+			if !containsName(byNames, c) {
+				specs = append(specs, ast.ColSpec{Name: c, Expr: &ast.Apply{
+					Fn:   &ast.Var{Name: "last"},
+					Args: []ast.Node{&ast.Var{Name: c}},
+				}})
+			}
+		}
+	}
+	aggNames := make([]string, len(specs))
+	aggCols := make([][]qval.Value, len(specs))
+	for i := range aggCols {
+		aggCols[i] = make([]qval.Value, 0, len(order))
+	}
+	for _, key := range order {
+		g := groups[key]
+		gce := &colEnv{table: table, rows: g.rows}
+		for i, spec := range specs {
+			v, err := in.evalInCols(spec.Expr, gce, e)
+			if err != nil {
+				return nil, err
+			}
+			name := spec.Name
+			if name == "" {
+				name = parse.InferColName(spec.Expr)
+			}
+			aggNames[i] = name
+			if v.Len() >= 0 && v.Len() == 1 {
+				v = qval.Index(v, 0)
+			}
+			aggCols[i] = append(aggCols[i], v)
+		}
+	}
+	keyData := make([]qval.Value, len(byNames))
+	for j := range byNames {
+		reps := make([]qval.Value, len(order))
+		for i, key := range order {
+			reps[i] = groups[key].rep[j]
+		}
+		keyData[j] = qval.FromAtoms(reps)
+	}
+	valData := make([]qval.Value, len(aggNames))
+	for i := range aggNames {
+		valData[i] = qval.FromAtoms(aggCols[i])
+	}
+	keyTable := qval.NewTable(byNames, keyData)
+	valTable := qval.NewTable(aggNames, valData)
+	if t.Kind == ast.Exec {
+		if len(aggNames) == 1 {
+			return qval.NewDict(keyData[0], valData[0]), nil
+		}
+	}
+	return &qval.Dict{Keys: keyTable, Vals: valTable}, nil
+}
+
+func containsName(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// evalUpdate replaces columns in the query output; per q semantics this does
+// not modify persisted state (paper §2.2) unless reassigned.
+func (in *Interp) evalUpdate(t *ast.SQLTemplate, table *qval.Table, rows []int, e *env) (qval.Value, error) {
+	cols := append([]string(nil), table.Cols...)
+	data := append([]qval.Value(nil), table.Data...)
+	out := qval.NewTable(cols, data)
+	ce := &colEnv{table: table, rows: rows}
+	for _, spec := range t.Cols {
+		v, err := in.evalInCols(spec.Expr, ce, e)
+		if err != nil {
+			return nil, err
+		}
+		name := spec.Name
+		if name == "" {
+			name = parse.InferColName(spec.Expr)
+		}
+		full := table.Len()
+		// scatter the updated values back into a copy of the column
+		var newCol qval.Value
+		if old, ok := out.Column(name); ok {
+			newCol = qval.TakeIndexes(old, seq(full))
+		} else {
+			// new column: start with nulls of the value type
+			nullAtom := qval.Null(v.Type())
+			idx := make([]int, full)
+			for i := range idx {
+				idx[i] = 1 // out of range of a 1-element vector -> null
+			}
+			newCol = qval.TakeIndexes(qval.Enlist(nullAtom), idx)
+		}
+		atoms := make([]qval.Value, full)
+		for i := 0; i < full; i++ {
+			atoms[i] = qval.Index(newCol, i)
+		}
+		for k, r := range rows {
+			if v.Len() < 0 {
+				atoms[r] = v
+			} else {
+				atoms[r] = qval.Index(v, k)
+			}
+		}
+		col := qval.FromAtoms(atoms)
+		if j := out.ColumnIndex(name); j >= 0 {
+			out.Data[j] = col
+		} else {
+			out.Cols = append(out.Cols, name)
+			out.Data = append(out.Data, col)
+		}
+	}
+	return out, nil
+}
+
+// evalDelete removes rows (with where) or columns (with names).
+func (in *Interp) evalDelete(t *ast.SQLTemplate, table *qval.Table, rows []int, e *env) (qval.Value, error) {
+	if len(t.Cols) > 0 && len(t.Where) == 0 {
+		names := make([]string, 0, len(t.Cols))
+		for _, spec := range t.Cols {
+			if v, ok := spec.Expr.(*ast.Var); ok {
+				names = append(names, v.Name)
+			} else {
+				return nil, qval.Errorf("type: delete expects column names")
+			}
+		}
+		return dropCols(table, names)
+	}
+	// delete rows matched by where: keep complement
+	matched := map[int]bool{}
+	for _, r := range rows {
+		matched[r] = true
+	}
+	if len(t.Where) == 0 {
+		// delete from t with no where: empty table
+		matched = nil
+		return table.Take(nil), nil
+	}
+	var keep []int
+	for i := 0; i < table.Len(); i++ {
+		if !matched[i] {
+			keep = append(keep, i)
+		}
+	}
+	return table.Take(keep), nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

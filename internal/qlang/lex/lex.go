@@ -1,0 +1,731 @@
+// Package lex tokenizes Q source text. The lexer is deliberately
+// lightweight (paper §3.2.1): it classifies literals — including Q's typed
+// numeric suffixes and temporal literal syntax — identifiers, operators and
+// punctuation, and leaves all type decisions to the binder. Literal tokens
+// carry their decoded qval atom.
+package lex
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF         Kind = iota
+	Ident            // names, possibly namespaced: trades, .u.upd
+	Keyword          // q-sql template words: select exec update delete by from where
+	Number           // any numeric or temporal literal; Val holds the atom
+	Str              // "char vector"
+	Sym              // `symbol (one backtick-prefixed name)
+	Op               // operators: + - * % & | < > = <> <= >= ~ ! # _ ? @ . $ , ^
+	Assign           // :
+	DoubleColon      // :: (global amend / identity)
+	Semi             // ;
+	LParen           // (
+	RParen           // )
+	LBracket         // [
+	RBracket         // ]
+	LBrace           // {
+	RBrace           // }
+	Adverb           // ' /: \: ': or the words each/over/scan
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case Keyword:
+		return "Keyword"
+	case Number:
+		return "Number"
+	case Str:
+		return "Str"
+	case Sym:
+		return "Sym"
+	case Op:
+		return "Op"
+	case Assign:
+		return "Assign"
+	case DoubleColon:
+		return "DoubleColon"
+	case Semi:
+		return "Semi"
+	case LParen:
+		return "LParen"
+	case RParen:
+		return "RParen"
+	case LBracket:
+		return "LBracket"
+	case RBracket:
+		return "RBracket"
+	case LBrace:
+		return "LBrace"
+	case RBrace:
+		return "RBrace"
+	case Adverb:
+		return "Adverb"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is one lexical unit with its source position (byte offset and
+// 1-based line/column) and, for literals, the decoded value.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  qval.Value // set for Number, Str and Sym tokens
+	Pos  int
+	Line int
+	Col  int
+}
+
+func (t Token) String() string { return fmt.Sprintf("%s(%q)", t.Kind, t.Text) }
+
+// Error is a lexical error with position information.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+var keywords = map[string]bool{
+	"select": true, "exec": true, "update": true, "delete": true,
+	"by": true, "from": true, "where": true,
+}
+
+var wordAdverbs = map[string]bool{"each": true, "over": true, "scan": true, "prior": true}
+
+// Lexer scans Q source text into tokens.
+type Lexer struct {
+	src       string
+	pos       int
+	line, col int
+	prev      Kind // kind of the previous significant token, for / and ' disambiguation
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1, prev: EOF} }
+
+// Tokenize scans the entire input and returns the token stream terminated by
+// an EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(k int) byte {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace and comments. A '/' starts a
+// comment when it appears at the start of a line or after whitespace; a
+// standalone '\' at the start of a line terminates a block comment opened by
+// a line containing only '/'.
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			wasNL := c == '\n'
+			l.advance()
+			if wasNL {
+				l.prev = EOF // newline resets juxtaposition context
+			}
+			continue
+		}
+		if c == '/' && (l.col == 1 || l.prevIsSpace()) {
+			// line comment
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *Lexer) prevIsSpace() bool {
+	if l.pos == 0 {
+		return true
+	}
+	c := l.src[l.pos-1]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start, line, col := l.pos, l.line, l.col
+	mk := func(k Kind, v qval.Value) Token {
+		l.prev = k
+		return Token{Kind: k, Text: l.src[start:l.pos], Val: v, Pos: start, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(EOF, nil), nil
+	}
+	c := l.peek()
+	switch {
+	case c == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(Str, qval.CharVec(s)), nil
+	case c == '`':
+		l.advance()
+		name := l.lexName(true)
+		return mk(Sym, qval.Symbol(name)), nil
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		v, err := l.lexNumber()
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(Number, v), nil
+	case isAlpha(c) || c == '.':
+		name := l.lexName(false)
+		if keywords[name] {
+			return mk(Keyword, nil), nil
+		}
+		if wordAdverbs[name] {
+			return mk(Adverb, nil), nil
+		}
+		return mk(Ident, nil), nil
+	}
+	// punctuation and operators
+	switch c {
+	case ';':
+		l.advance()
+		return mk(Semi, nil), nil
+	case '(':
+		l.advance()
+		return mk(LParen, nil), nil
+	case ')':
+		l.advance()
+		return mk(RParen, nil), nil
+	case '[':
+		l.advance()
+		return mk(LBracket, nil), nil
+	case ']':
+		l.advance()
+		return mk(RBracket, nil), nil
+	case '{':
+		l.advance()
+		return mk(LBrace, nil), nil
+	case '}':
+		l.advance()
+		return mk(RBrace, nil), nil
+	case ':':
+		l.advance()
+		if l.peek() == ':' {
+			l.advance()
+			return mk(DoubleColon, nil), nil
+		}
+		return mk(Assign, nil), nil
+	case '\'':
+		l.advance()
+		if l.peek() == ':' {
+			l.advance()
+			return mk(Adverb, nil), nil // ': each-prior
+		}
+		return mk(Adverb, nil), nil // ' each-both
+	case '/', '\\':
+		// adverbs over/scan when attached to a value or operator context
+		l.advance()
+		if l.peek() == ':' {
+			l.advance()
+		}
+		return mk(Adverb, nil), nil
+	case '<':
+		l.advance()
+		if l.peek() == '>' || l.peek() == '=' {
+			l.advance()
+		}
+		return mk(Op, nil), nil
+	case '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+		}
+		return mk(Op, nil), nil
+	case '+', '-', '*', '%', '&', '|', '=', '~', '!', '#', '_', '?', '@', '$', ',', '^', '.':
+		l.advance()
+		return mk(Op, nil), nil
+	}
+	return Token{}, l.errf("unexpected character %q", string(rune(c)))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// isAlnum admits '_' inside names (legal though discouraged in q), while a
+// leading '_' lexes as the drop/cut operator.
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) || c == '_' }
+
+func (l *Lexer) lexName(sym bool) string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if isAlnum(c) || c == '.' || (sym && c == ':') {
+			l.advance()
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errf("unterminated string")
+		}
+		c := l.advance()
+		if c == '"' {
+			return b.String(), nil
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+}
+
+// lexNumber scans numeric and temporal literals. The grammar distinguishes
+// by shape: 2024.01.15 is a date, 09:30 a minute, 09:30:00 a second,
+// 09:30:00.000 a time, 2024.01.15D09:30:00 a timestamp, 2024.01m a month,
+// 1D00:00:00 a timespan, 0x.. bytes, 0b/1b booleans, 0N/0W nulls and
+// infinities with optional width suffixes, and plain numbers with the
+// h/i/j/e/f suffixes.
+func (l *Lexer) lexNumber() (qval.Value, error) {
+	start := l.pos
+	// hex bytes
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		hs := l.pos
+		for isHex(l.peek()) {
+			l.advance()
+		}
+		hex := l.src[hs:l.pos]
+		if len(hex) == 0 || len(hex)%2 == 1 {
+			hex = "0" + hex
+		}
+		bs := make([]byte, len(hex)/2)
+		for i := 0; i < len(bs); i++ {
+			v, err := strconv.ParseUint(hex[2*i:2*i+2], 16, 8)
+			if err != nil {
+				return nil, l.errf("bad byte literal %q", hex)
+			}
+			bs[i] = byte(v)
+		}
+		if len(bs) == 1 {
+			return qval.Byte(bs[0]), nil
+		}
+		return qval.ByteVec(bs), nil
+	}
+	// null/infinity literals 0N 0W with optional type suffix
+	if l.peek() == '0' && (l.peekAt(1) == 'N' || l.peekAt(1) == 'W') {
+		isNull := l.peekAt(1) == 'N'
+		l.advance()
+		l.advance()
+		suf := byte(0)
+		if isAlpha(l.peek()) {
+			suf = l.advance()
+		}
+		return nullOrInf(isNull, suf)
+	}
+	// lowercase float null/infinity: 0n, 0w
+	if l.peek() == '0' && (l.peekAt(1) == 'n' || l.peekAt(1) == 'w') && !isAlnum(l.peekAt(2)) {
+		l.advance()
+		c := l.advance()
+		if c == 'n' {
+			return qval.Null(qval.KFloat), nil
+		}
+		return qval.Float(math.Inf(1)), nil
+	}
+	// scan digits, dots, colons, and a possible 'D' separator
+	for {
+		c := l.peek()
+		if isDigit(c) || c == '.' || c == ':' {
+			l.advance()
+			continue
+		}
+		if c == 'D' && looksTemporal(l.src[start:l.pos]) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	body := l.src[start:l.pos]
+	// temporal shapes
+	if v, ok := parseTemporalLiteral(body); ok {
+		// month suffix
+		if l.peek() == 'm' && strings.Count(body, ".") == 1 && !strings.Contains(body, ":") {
+			l.advance()
+			return parseMonth(body)
+		}
+		return v, nil
+	}
+	if l.peek() == 'm' && strings.Count(body, ".") == 1 && !strings.Contains(body, ":") {
+		l.advance()
+		return parseMonth(body)
+	}
+	// plain number with optional suffix
+	suf := byte(0)
+	switch l.peek() {
+	case 'b', 'h', 'i', 'j', 'e', 'f', 'c':
+		suf = l.advance()
+	}
+	return parseNumber(body, suf, l)
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func looksTemporal(s string) bool {
+	// a date prefix 2024.01.15 or a day count before D in a timespan
+	return strings.Count(s, ".") == 2 || !strings.ContainsAny(s, ".:")
+}
+
+func nullOrInf(isNull bool, suf byte) (qval.Value, error) {
+	if isNull {
+		switch suf {
+		case 0, 'j':
+			return qval.Long(qval.NullLong), nil
+		case 'h':
+			return qval.Short(qval.NullShort), nil
+		case 'i':
+			return qval.Int(qval.NullInt), nil
+		case 'e':
+			return qval.Null(qval.KReal), nil
+		case 'f', 'n':
+			if suf == 'n' {
+				return qval.Temporal{T: qval.KTimespan, V: qval.NullLong}, nil
+			}
+			return qval.Null(qval.KFloat), nil
+		case 'p':
+			return qval.Temporal{T: qval.KTimestamp, V: qval.NullLong}, nil
+		case 'm':
+			return qval.Temporal{T: qval.KMonth, V: qval.NullLong}, nil
+		case 'd':
+			return qval.Temporal{T: qval.KDate, V: qval.NullLong}, nil
+		case 'z':
+			return qval.Null(qval.KDatetime), nil
+		case 'u':
+			return qval.Temporal{T: qval.KMinute, V: qval.NullLong}, nil
+		case 'v':
+			return qval.Temporal{T: qval.KSecond, V: qval.NullLong}, nil
+		case 't':
+			return qval.Temporal{T: qval.KTime, V: qval.NullLong}, nil
+		case 'g':
+			return qval.Null(qval.KSymbol), nil
+		}
+		return qval.Long(qval.NullLong), nil
+	}
+	switch suf {
+	case 0, 'j':
+		return qval.Long(qval.InfLong), nil
+	case 'h':
+		return qval.Short(qval.InfShort), nil
+	case 'i':
+		return qval.Int(qval.InfInt), nil
+	case 'e':
+		return qval.Real(float32(math.Inf(1))), nil
+	case 'f':
+		return qval.Float(math.Inf(1)), nil
+	}
+	return qval.Long(qval.InfLong), nil
+}
+
+func parseNumber(body string, suf byte, l *Lexer) (qval.Value, error) {
+	switch suf {
+	case 'b':
+		// boolean literal(s): 1b, 0b, 101b
+		if len(body) == 1 {
+			return qval.Bool(body[0] == '1'), nil
+		}
+		out := make(qval.BoolVec, len(body))
+		for i := 0; i < len(body); i++ {
+			if body[i] != '0' && body[i] != '1' {
+				return nil, l.errf("bad boolean literal %q", body)
+			}
+			out[i] = body[i] == '1'
+		}
+		return out, nil
+	case 'h':
+		n, err := strconv.ParseInt(body, 10, 16)
+		if err != nil {
+			return nil, l.errf("bad short literal %q", body)
+		}
+		return qval.Short(int16(n)), nil
+	case 'i':
+		n, err := strconv.ParseInt(body, 10, 32)
+		if err != nil {
+			return nil, l.errf("bad int literal %q", body)
+		}
+		return qval.Int(int32(n)), nil
+	case 'j':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return nil, l.errf("bad long literal %q", body)
+		}
+		return qval.Long(n), nil
+	case 'e':
+		f, err := strconv.ParseFloat(body, 32)
+		if err != nil {
+			return nil, l.errf("bad real literal %q", body)
+		}
+		return qval.Real(float32(f)), nil
+	case 'f':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return nil, l.errf("bad float literal %q", body)
+		}
+		return qval.Float(f), nil
+	case 'c':
+		n, err := strconv.ParseInt(body, 10, 16)
+		if err != nil {
+			return nil, l.errf("bad char literal %q", body)
+		}
+		return qval.Char(byte(n)), nil
+	}
+	if strings.Contains(body, ".") || strings.ContainsAny(body, "eE") {
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return nil, l.errf("bad float literal %q", body)
+		}
+		return qval.Float(f), nil
+	}
+	n, err := strconv.ParseInt(body, 10, 64)
+	if err != nil {
+		return nil, l.errf("bad integer literal %q", body)
+	}
+	return qval.Long(n), nil
+}
+
+func parseMonth(body string) (qval.Value, error) {
+	parts := strings.SplitN(body, ".", 2)
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad month literal %q", body)
+	}
+	return qval.MkMonth(y, m), nil
+}
+
+// parseTemporalLiteral recognizes date, time, minute, second, timestamp and
+// timespan shapes; it returns ok=false when the text is a plain number.
+func parseTemporalLiteral(s string) (qval.Value, bool) {
+	dots := strings.Count(s, ".")
+	colons := strings.Count(s, ":")
+	hasD := strings.Contains(s, "D")
+	switch {
+	case hasD:
+		parts := strings.SplitN(s, "D", 2)
+		if strings.Count(parts[0], ".") == 2 {
+			// timestamp: date D time
+			d, ok := parseDate(parts[0])
+			if !ok {
+				return nil, false
+			}
+			ns, ok := parseTimeNanos(parts[1])
+			if !ok {
+				return nil, false
+			}
+			return qval.Temporal{T: qval.KTimestamp, V: d.V*int64(24)*3600*1e9 + ns}, true
+		}
+		// timespan: days D time
+		days, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		ns, ok := parseTimeNanos(parts[1])
+		if !ok {
+			return nil, false
+		}
+		return qval.Temporal{T: qval.KTimespan, V: days*int64(24)*3600*1e9 + ns}, true
+	case dots == 2 && colons == 0:
+		return parseDateOK(s)
+	case colons == 1 && dots == 0:
+		hh, mm, ok := parse2(s)
+		if !ok {
+			return nil, false
+		}
+		return qval.MkMinute(hh, mm), true
+	case colons == 2 && dots == 0:
+		hh, mm, ss, ok := parse3(s)
+		if !ok {
+			return nil, false
+		}
+		return qval.MkSecond(hh, mm, ss), true
+	case colons == 2 && dots == 1:
+		ms, ok := parseTimeMillis(s)
+		if !ok {
+			return nil, false
+		}
+		return qval.Temporal{T: qval.KTime, V: ms}, true
+	}
+	return nil, false
+}
+
+func parseDateOK(s string) (qval.Value, bool) {
+	d, ok := parseDate(s)
+	if !ok {
+		return nil, false
+	}
+	return d, true
+}
+
+func parseDate(s string) (qval.Temporal, bool) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return qval.Temporal{}, false
+	}
+	y, e1 := strconv.Atoi(parts[0])
+	m, e2 := strconv.Atoi(parts[1])
+	d, e3 := strconv.Atoi(parts[2])
+	if e1 != nil || e2 != nil || e3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return qval.Temporal{}, false
+	}
+	return qval.MkDate(y, m, d), true
+}
+
+func parse2(s string) (int, int, bool) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	a, e1 := strconv.Atoi(parts[0])
+	b, e2 := strconv.Atoi(parts[1])
+	return a, b, e1 == nil && e2 == nil
+}
+
+func parse3(s string) (int, int, int, bool) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, false
+	}
+	a, e1 := strconv.Atoi(parts[0])
+	b, e2 := strconv.Atoi(parts[1])
+	c, e3 := strconv.Atoi(parts[2])
+	return a, b, c, e1 == nil && e2 == nil && e3 == nil
+}
+
+func parseTimeMillis(s string) (int64, bool) {
+	dot := strings.IndexByte(s, '.')
+	hh, mm, ss, ok := parse3(s[:dot])
+	if !ok {
+		return 0, false
+	}
+	frac := s[dot+1:]
+	for len(frac) < 3 {
+		frac += "0"
+	}
+	ms, err := strconv.Atoi(frac[:3])
+	if err != nil {
+		return 0, false
+	}
+	return int64(hh)*3600000 + int64(mm)*60000 + int64(ss)*1000 + int64(ms), true
+}
+
+func parseTimeNanos(s string) (int64, bool) {
+	dot := strings.IndexByte(s, '.')
+	base := s
+	frac := ""
+	if dot >= 0 {
+		base, frac = s[:dot], s[dot+1:]
+	}
+	var hh, mm, ss int
+	var ok bool
+	switch strings.Count(base, ":") {
+	case 2:
+		hh, mm, ss, ok = parse3(base)
+	case 1:
+		hh, mm, ok = parse2(base)
+		ss = 0
+	default:
+		return 0, false
+	}
+	if !ok {
+		return 0, false
+	}
+	for len(frac) < 9 {
+		frac += "0"
+	}
+	ns, err := strconv.Atoi(frac[:9])
+	if err != nil {
+		return 0, false
+	}
+	return int64(hh)*3600*1e9 + int64(mm)*60*1e9 + int64(ss)*1e9 + int64(ns), true
+}

@@ -1,0 +1,365 @@
+package parse
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/ast"
+	"hyperq/internal/qlang/qval"
+)
+
+func expr(t *testing.T, src string) ast.Node {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestLiteralExpr(t *testing.T) {
+	e := expr(t, "42")
+	lit, ok := e.(*ast.Lit)
+	if !ok || !qval.EqualValues(lit.Val, qval.Long(42)) {
+		t.Fatalf("42 = %#v", e)
+	}
+}
+
+func TestVectorLiteralJuxtaposition(t *testing.T) {
+	e := expr(t, "1 2 3")
+	lit, ok := e.(*ast.Lit)
+	if !ok {
+		t.Fatalf("1 2 3 = %#v", e)
+	}
+	if !qval.EqualValues(lit.Val, qval.LongVec{1, 2, 3}) {
+		t.Fatalf("1 2 3 val = %v", lit.Val)
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	e := expr(t, "-5")
+	lit, ok := e.(*ast.Lit)
+	if !ok || !qval.EqualValues(lit.Val, qval.Long(-5)) {
+		t.Fatalf("-5 = %#v", e)
+	}
+	e = expr(t, "1 -2 3")
+	lit, ok = e.(*ast.Lit)
+	if !ok || !qval.EqualValues(lit.Val, qval.LongVec{1, -2, 3}) {
+		t.Fatalf("1 -2 3 = %#v", e)
+	}
+}
+
+func TestSymbolVectorLiteral(t *testing.T) {
+	e := expr(t, "`Symbol`Time")
+	lit, ok := e.(*ast.Lit)
+	if !ok || !qval.EqualValues(lit.Val, qval.SymbolVec{"Symbol", "Time"}) {
+		t.Fatalf("`Symbol`Time = %#v", e)
+	}
+}
+
+func TestRightToLeftNoPrecedence(t *testing.T) {
+	// Q: 2*3+4 = 2*(3+4) = 14, strictly right-to-left (paper §2.2).
+	e := expr(t, "2*3+4")
+	d, ok := e.(*ast.Dyad)
+	if !ok || d.Op != "*" {
+		t.Fatalf("2*3+4 = %#v", e)
+	}
+	r, ok := d.R.(*ast.Dyad)
+	if !ok || r.Op != "+" {
+		t.Fatalf("right side should be 3+4, got %#v", d.R)
+	}
+}
+
+func TestAssignment(t *testing.T) {
+	e := expr(t, "x:1 2 3")
+	a, ok := e.(*ast.Assign)
+	if !ok || a.Name != "x" || a.Global {
+		t.Fatalf("x:1 2 3 = %#v", e)
+	}
+	e = expr(t, "x::5")
+	a, ok = e.(*ast.Assign)
+	if !ok || !a.Global {
+		t.Fatalf("x::5 = %#v", e)
+	}
+}
+
+func TestMonadicJuxtaposition(t *testing.T) {
+	e := expr(t, "count x")
+	ap, ok := e.(*ast.Apply)
+	if !ok {
+		t.Fatalf("count x = %#v", e)
+	}
+	if v, ok := ap.Fn.(*ast.Var); !ok || v.Name != "count" {
+		t.Fatalf("fn = %#v", ap.Fn)
+	}
+	if len(ap.Args) != 1 {
+		t.Fatalf("args = %v", ap.Args)
+	}
+}
+
+func TestBracketApplication(t *testing.T) {
+	e := expr(t, "f[1;2]")
+	ap, ok := e.(*ast.Apply)
+	if !ok || len(ap.Args) != 2 {
+		t.Fatalf("f[1;2] = %#v", e)
+	}
+	// projection: empty slot
+	e = expr(t, "f[;2]")
+	ap = e.(*ast.Apply)
+	if ap.Args[0] != nil || ap.Args[1] == nil {
+		t.Fatalf("projection args = %#v", ap.Args)
+	}
+}
+
+func TestAsOfJoinExample2(t *testing.T) {
+	// Paper Example 2: aj[`Symbol`Time; trades; quotes]
+	e := expr(t, "aj[`Symbol`Time; trades; quotes]")
+	ap, ok := e.(*ast.Apply)
+	if !ok || len(ap.Args) != 3 {
+		t.Fatalf("aj = %#v", e)
+	}
+	if v := ap.Fn.(*ast.Var); v.Name != "aj" {
+		t.Fatalf("fn = %v", v.Name)
+	}
+	cols := ap.Args[0].(*ast.Lit)
+	if !qval.EqualValues(cols.Val, qval.SymbolVec{"Symbol", "Time"}) {
+		t.Fatalf("join cols = %v", cols.Val)
+	}
+}
+
+func TestSelectTemplate(t *testing.T) {
+	e := expr(t, "select Price from trades where Symbol=`GOOG")
+	tpl, ok := e.(*ast.SQLTemplate)
+	if !ok || tpl.Kind != ast.Select {
+		t.Fatalf("template = %#v", e)
+	}
+	if len(tpl.Cols) != 1 || tpl.Cols[0].Name != "" {
+		t.Fatalf("cols = %#v", tpl.Cols)
+	}
+	if v := tpl.From.(*ast.Var); v.Name != "trades" {
+		t.Fatalf("from = %#v", tpl.From)
+	}
+	if len(tpl.Where) != 1 {
+		t.Fatalf("where = %#v", tpl.Where)
+	}
+	w := tpl.Where[0].(*ast.Dyad)
+	if w.Op != "=" {
+		t.Fatalf("where op = %v", w.Op)
+	}
+}
+
+func TestSelectAllColumns(t *testing.T) {
+	e := expr(t, "select from trades")
+	tpl := e.(*ast.SQLTemplate)
+	if len(tpl.Cols) != 0 {
+		t.Fatalf("select from trades cols = %#v", tpl.Cols)
+	}
+}
+
+func TestSelectMultiColumnAndWhereList(t *testing.T) {
+	// from the paper's Example 1
+	e := expr(t, "select Symbol, Time, Bid, Ask from quotes where Date=SOMEDATE, Symbol in SYMLIST")
+	tpl := e.(*ast.SQLTemplate)
+	if len(tpl.Cols) != 4 {
+		t.Fatalf("cols = %d: %#v", len(tpl.Cols), tpl.Cols)
+	}
+	if len(tpl.Where) != 2 {
+		t.Fatalf("where = %d: %#v", len(tpl.Where), tpl.Where)
+	}
+	if d := tpl.Where[1].(*ast.Dyad); d.Op != "in" {
+		t.Fatalf("second cond op = %v", d.Op)
+	}
+}
+
+func TestSelectByClause(t *testing.T) {
+	e := expr(t, "select mx:max Price, avg Size by Symbol from trades")
+	tpl := e.(*ast.SQLTemplate)
+	if len(tpl.Cols) != 2 || tpl.Cols[0].Name != "mx" {
+		t.Fatalf("cols = %#v", tpl.Cols)
+	}
+	if len(tpl.By) != 1 {
+		t.Fatalf("by = %#v", tpl.By)
+	}
+	if InferColName(tpl.Cols[1].Expr) != "Size" {
+		t.Fatalf("inferred name = %v", InferColName(tpl.Cols[1].Expr))
+	}
+}
+
+func TestUpdateDeleteExec(t *testing.T) {
+	e := expr(t, "update Price:2*Price from trades where Symbol=`IBM")
+	tpl := e.(*ast.SQLTemplate)
+	if tpl.Kind != ast.Update || tpl.Cols[0].Name != "Price" {
+		t.Fatalf("update = %#v", tpl)
+	}
+	e = expr(t, "delete Size from trades")
+	tpl = e.(*ast.SQLTemplate)
+	if tpl.Kind != ast.Delete {
+		t.Fatalf("delete = %#v", tpl)
+	}
+	e = expr(t, "exec Price from trades")
+	tpl = e.(*ast.SQLTemplate)
+	if tpl.Kind != ast.Exec {
+		t.Fatalf("exec = %#v", tpl)
+	}
+}
+
+func TestNestedTemplateInAj(t *testing.T) {
+	// Paper Example 1, in full.
+	src := "aj[`Symbol`Time; select Price from trades where Date=SOMEDATE, Symbol in SYMLIST; select Symbol, Time, Bid, Ask from quotes where Date=SOMEDATE]"
+	e := expr(t, src)
+	ap := e.(*ast.Apply)
+	if len(ap.Args) != 3 {
+		t.Fatalf("aj args = %d", len(ap.Args))
+	}
+	if _, ok := ap.Args[1].(*ast.SQLTemplate); !ok {
+		t.Fatalf("second arg should be template, got %#v", ap.Args[1])
+	}
+	if _, ok := ap.Args[2].(*ast.SQLTemplate); !ok {
+		t.Fatalf("third arg should be template, got %#v", ap.Args[2])
+	}
+}
+
+func TestLambdaExample3(t *testing.T) {
+	// Paper Example 3.
+	src := "f:{[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt;}"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Stmts[0].(*ast.Assign)
+	if a.Name != "f" {
+		t.Fatalf("assign name = %v", a.Name)
+	}
+	fn := a.Expr.(*ast.Lambda)
+	if len(fn.Params) != 1 || fn.Params[0] != "Sym" {
+		t.Fatalf("params = %v", fn.Params)
+	}
+	if len(fn.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(fn.Body))
+	}
+	if _, ok := fn.Body[0].(*ast.Assign); !ok {
+		t.Fatalf("first stmt = %#v", fn.Body[0])
+	}
+	if _, ok := fn.Body[1].(*ast.Return); !ok {
+		t.Fatalf("second stmt = %#v", fn.Body[1])
+	}
+	if fn.Source == "" || fn.Source[0] != '{' {
+		t.Fatalf("source = %q", fn.Source)
+	}
+}
+
+func TestImplicitParams(t *testing.T) {
+	e := expr(t, "{x+y}")
+	fn := e.(*ast.Lambda)
+	if len(fn.Params) != 2 || fn.Params[0] != "x" || fn.Params[1] != "y" {
+		t.Fatalf("implicit params = %v", fn.Params)
+	}
+}
+
+func TestProgramMultipleStatements(t *testing.T) {
+	prog, err := Parse("x:1; y:2; x+y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+}
+
+func TestGeneralListLiteral(t *testing.T) {
+	e := expr(t, "(1;`a;\"s\")")
+	l, ok := e.(*ast.ListExpr)
+	if !ok || len(l.Items) != 3 {
+		t.Fatalf("list = %#v", e)
+	}
+	// single-element parens are grouping
+	e = expr(t, "(1+2)")
+	if _, ok := e.(*ast.Dyad); !ok {
+		t.Fatalf("(1+2) = %#v", e)
+	}
+}
+
+func TestAdverbs(t *testing.T) {
+	e := expr(t, "f each x")
+	ap := e.(*ast.Apply)
+	adv, ok := ap.Fn.(*ast.AdverbExpr)
+	if !ok || adv.Adverb != "each" {
+		t.Fatalf("f each x = %#v", e)
+	}
+	e = expr(t, "x+'y")
+	ap, ok = e.(*ast.Apply)
+	if !ok || len(ap.Args) != 2 {
+		t.Fatalf("x+'y = %#v", e)
+	}
+}
+
+func TestCondExpression(t *testing.T) {
+	e := expr(t, "$[x>0;`pos;`neg]")
+	ap := e.(*ast.Apply)
+	if v := ap.Fn.(*ast.Var); v.Name != "$" {
+		t.Fatalf("cond fn = %v", v.Name)
+	}
+	if len(ap.Args) != 3 {
+		t.Fatalf("cond args = %d", len(ap.Args))
+	}
+}
+
+func TestInfixJoinWords(t *testing.T) {
+	e := expr(t, "trades lj quotes")
+	d, ok := e.(*ast.Dyad)
+	if !ok || d.Op != "lj" {
+		t.Fatalf("lj = %#v", e)
+	}
+}
+
+func TestTableLiteralSyntaxViaFlip(t *testing.T) {
+	// flip `a`b!(1 2;3 4) — dict of columns flipped into a table
+	e := expr(t, "flip `a`b!(1 2;3 4)")
+	ap, ok := e.(*ast.Apply)
+	if !ok {
+		t.Fatalf("flip = %#v", e)
+	}
+	d, ok := ap.Args[0].(*ast.Dyad)
+	if !ok || d.Op != "!" {
+		t.Fatalf("dict arg = %#v", ap.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", ")", "select Price trades", "f:{[a", "(1;2", "x[1",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestQStringRoundTripParses(t *testing.T) {
+	// QString output of a parsed tree must itself parse.
+	srcs := []string{
+		"select Price from trades where Symbol=`GOOG",
+		"aj[`Symbol`Time; trades; quotes]",
+		"x:1+2",
+		"select mx:max Price by Symbol from trades",
+	}
+	for _, src := range srcs {
+		e := expr(t, src)
+		if _, err := ParseExpr(e.QString()); err != nil {
+			t.Errorf("QString of %q = %q does not reparse: %v", src, e.QString(), err)
+		}
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	e := expr(t, "select Price from trades where Symbol=Sym")
+	vars := ast.Vars(e)
+	want := map[string]bool{"Price": true, "trades": true, "Symbol": true, "Sym": true}
+	if len(vars) != len(want) {
+		t.Fatalf("vars = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected var %q", v)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package qval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Bool is a boolean atom (kx type -1).
+type Bool bool
+
+// Type implements Value.
+func (Bool) Type() Type { return -KBool }
+
+// Len implements Value; atoms report -1.
+func (Bool) Len() int { return -1 }
+
+// String renders the atom as 0b or 1b.
+func (b Bool) String() string {
+	if b {
+		return "1b"
+	}
+	return "0b"
+}
+
+// Byte is a byte atom (kx type -4).
+type Byte byte
+
+// Type implements Value.
+func (Byte) Type() Type { return -KByte }
+
+// Len implements Value.
+func (Byte) Len() int { return -1 }
+
+// String renders the atom as 0xNN.
+func (b Byte) String() string { return fmt.Sprintf("0x%02x", byte(b)) }
+
+// Short is a 16-bit integer atom (kx type -5).
+type Short int16
+
+// Type implements Value.
+func (Short) Type() Type { return -KShort }
+
+// Len implements Value.
+func (Short) Len() int { return -1 }
+
+// String renders the atom with the kdb+ "h" suffix.
+func (s Short) String() string {
+	if int16(s) == NullShort {
+		return "0Nh"
+	}
+	return strconv.Itoa(int(s)) + "h"
+}
+
+// Int is a 32-bit integer atom (kx type -6).
+type Int int32
+
+// Type implements Value.
+func (Int) Type() Type { return -KInt }
+
+// Len implements Value.
+func (Int) Len() int { return -1 }
+
+// String renders the atom with the kdb+ "i" suffix.
+func (i Int) String() string {
+	if int32(i) == NullInt {
+		return "0Ni"
+	}
+	return strconv.Itoa(int(i)) + "i"
+}
+
+// Long is a 64-bit integer atom (kx type -7), the default integer type of
+// modern kdb+.
+type Long int64
+
+// Type implements Value.
+func (Long) Type() Type { return -KLong }
+
+// Len implements Value.
+func (Long) Len() int { return -1 }
+
+// String renders the atom without a suffix, matching kdb+ 3.x display.
+func (l Long) String() string {
+	if int64(l) == NullLong {
+		return "0N"
+	}
+	return strconv.FormatInt(int64(l), 10)
+}
+
+// Real is a 32-bit float atom (kx type -8).
+type Real float32
+
+// Type implements Value.
+func (Real) Type() Type { return -KReal }
+
+// Len implements Value.
+func (Real) Len() int { return -1 }
+
+// String renders the atom with the kdb+ "e" suffix.
+func (r Real) String() string {
+	if math.IsNaN(float64(r)) {
+		return "0Ne"
+	}
+	return strconv.FormatFloat(float64(r), 'g', -1, 32) + "e"
+}
+
+// Float is a 64-bit float atom (kx type -9), the default floating type.
+type Float float64
+
+// Type implements Value.
+func (Float) Type() Type { return -KFloat }
+
+// Len implements Value.
+func (Float) Len() int { return -1 }
+
+// String renders the atom in kdb+ style (NaN displays as 0n).
+func (f Float) String() string {
+	v := float64(f)
+	if math.IsNaN(v) {
+		return "0n"
+	}
+	if math.IsInf(v, 1) {
+		return "0w"
+	}
+	if math.IsInf(v, -1) {
+		return "-0w"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if v == math.Trunc(v) && !hasExp(s) {
+		s += "f"
+	}
+	return s
+}
+
+func hasExp(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'e' || s[i] == 'E' || s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// Char is a character atom (kx type -10).
+type Char byte
+
+// Type implements Value.
+func (Char) Type() Type { return -KChar }
+
+// Len implements Value.
+func (Char) Len() int { return -1 }
+
+// String renders the atom in quotes.
+func (c Char) String() string { return `"` + string(rune(c)) + `"` }
+
+// Symbol is an interned-name atom (kx type -11). The empty symbol is the
+// symbol null.
+type Symbol string
+
+// Type implements Value.
+func (Symbol) Type() Type { return -KSymbol }
+
+// Len implements Value.
+func (Symbol) Len() int { return -1 }
+
+// String renders the atom with a leading backtick.
+func (s Symbol) String() string { return "`" + string(s) }
+
+// Temporal is an atom of one of the seven integer-backed temporal types
+// (timestamp, month, date, timespan, minute, second, time). The value is
+// held as an int64 regardless of the wire width of the type; V is
+// interpreted per T (e.g. days since 2000.01.01 for dates, nanoseconds since
+// 2000.01.01 for timestamps).
+type Temporal struct {
+	T Type  // one of KTimestamp..KTime except KDatetime; stored positive
+	V int64 // magnitude in the unit of T; NullLong encodes the null
+}
+
+// Type implements Value.
+func (t Temporal) Type() Type { return -t.T }
+
+// Len implements Value.
+func (Temporal) Len() int { return -1 }
+
+// String renders the atom in kx display format for its temporal type.
+func (t Temporal) String() string { return formatTemporal(t.T, t.V) }
+
+// Datetime is the deprecated float-backed datetime atom (kx type -15),
+// fractional days since 2000.01.01.
+type Datetime float64
+
+// Type implements Value.
+func (Datetime) Type() Type { return -KDatetime }
+
+// Len implements Value.
+func (Datetime) Len() int { return -1 }
+
+// String renders the atom as date+time.
+func (d Datetime) String() string { return formatDatetime(float64(d)) }
+
+// Lambda is a function value (kx type 100). Body holds the parsed function
+// body as an opaque value so that qval does not depend on the AST package;
+// the interpreter stores its own representation there. Source preserves the
+// original text, which Hyper-Q stores verbatim in the variable scope and
+// re-algebrizes on invocation (paper §4.3).
+type Lambda struct {
+	Params []string // formal parameter names, in order
+	Source string   // original "{[a;b] ...}" text
+	Body   any      // interpreter- or binder-specific representation
+}
+
+// Type implements Value.
+func (*Lambda) Type() Type { return KLambda }
+
+// Len implements Value.
+func (*Lambda) Len() int { return -1 }
+
+// String renders the original source of the function.
+func (l *Lambda) String() string { return l.Source }
+
+// Unary is a named unary primitive value such as the identity (::),
+// kx type 101.
+type Unary byte
+
+// Type implements Value.
+func (Unary) Type() Type { return KUnary }
+
+// Len implements Value.
+func (Unary) Len() int { return -1 }
+
+// String renders the primitive; 0 is the identity ::.
+func (u Unary) String() string {
+	if u == 0 {
+		return "::"
+	}
+	return fmt.Sprintf("unary#%d", byte(u))
+}
+
+// Identity is the Q identity value (::), used where kdb+ returns "nothing".
+var Identity = Unary(0)

@@ -1,0 +1,229 @@
+package qval
+
+import "math"
+
+// EqualValues implements Q's two-valued-logic equality: nulls of the same
+// type compare equal (in contrast to SQL, where NULL = NULL is unknown —
+// paper §2.2). Numeric values of different widths compare by magnitude, as
+// in Q. Compound values compare structurally.
+func EqualValues(a, b Value) bool {
+	if na, nb := IsNull(a), IsNull(b); na || nb {
+		if na != nb {
+			return false
+		}
+		// both null: equal when type families are comparable
+		return comparableFamily(a.Type(), b.Type())
+	}
+	af, aok := numeric(a)
+	bf, bok := numeric(b)
+	if aok && bok {
+		return af == bf
+	}
+	switch x := a.(type) {
+	case Symbol:
+		y, ok := b.(Symbol)
+		return ok && x == y
+	case Char:
+		y, ok := b.(Char)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Byte:
+		y, ok := b.(Byte)
+		return ok && x == y
+	case Temporal:
+		y, ok := b.(Temporal)
+		return ok && x.T == y.T && x.V == y.V
+	case Unary:
+		y, ok := b.(Unary)
+		return ok && x == y
+	case CharVec:
+		y, ok := b.(CharVec)
+		return ok && string(x) == string(y)
+	case *Dict:
+		y, ok := b.(*Dict)
+		return ok && EqualValues(x.Keys, y.Keys) && EqualValues(x.Vals, y.Vals)
+	case *Table:
+		y, ok := b.(*Table)
+		if !ok || len(x.Cols) != len(y.Cols) {
+			return false
+		}
+		for i := range x.Cols {
+			if x.Cols[i] != y.Cols[i] || !EqualValues(x.Data[i], y.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// vector vs vector, elementwise
+	if !IsAtom(a) && !IsAtom(b) {
+		n := a.Len()
+		if n != b.Len() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !EqualValues(Index(a, i), Index(b, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func comparableFamily(a, b Type) bool {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a == b {
+		return true
+	}
+	return IsNumeric(a) && IsNumeric(b)
+}
+
+func numeric(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case Byte:
+		return float64(x), true
+	case Short:
+		return float64(x), true
+	case Int:
+		return float64(x), true
+	case Long:
+		return float64(x), true
+	case Real:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	case Temporal:
+		return float64(x.V), true
+	case Datetime:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// AsLong extracts an integer magnitude from any integral atom.
+func AsLong(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case Bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case Byte:
+		return int64(x), true
+	case Short:
+		return int64(x), true
+	case Int:
+		return int64(x), true
+	case Long:
+		return int64(x), true
+	case Temporal:
+		return x.V, true
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat extracts a float magnitude from any numeric atom.
+func AsFloat(v Value) (float64, bool) { return numeric(v) }
+
+// Compare orders two atoms: -1, 0 or +1. Nulls sort first (kdb+ sort order),
+// then numerics by magnitude, then strings/symbols lexically. Values of
+// incomparable types order by type code, giving a stable total order for
+// sorting mixed lists.
+func Compare(a, b Value) int {
+	na, nb := IsNull(a), IsNull(b)
+	if na && nb {
+		return 0
+	}
+	if na {
+		return -1
+	}
+	if nb {
+		return 1
+	}
+	af, aok := numeric(a)
+	bf, bok := numeric(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, aok := stringy(a)
+	bs, bok := stringy(b)
+	if aok && bok {
+		switch {
+		case as < bs:
+			return -1
+		case as > bs:
+			return 1
+		default:
+			return 0
+		}
+	}
+	ta, tb := a.Type(), b.Type()
+	switch {
+	case ta < tb:
+		return -1
+	case ta > tb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func stringy(v Value) (string, bool) {
+	switch x := v.(type) {
+	case Symbol:
+		return string(x), true
+	case CharVec:
+		return string(x), true
+	case Char:
+		return string(rune(x)), true
+	default:
+		return "", false
+	}
+}
+
+// LessAt compares elements i and j of the same vector without materializing
+// atoms, used by sort routines on hot paths.
+func LessAt(v Value, i, j int) bool {
+	switch x := v.(type) {
+	case LongVec:
+		return x[i] < x[j]
+	case FloatVec:
+		xi, xj := x[i], x[j]
+		if math.IsNaN(xi) {
+			return !math.IsNaN(xj)
+		}
+		if math.IsNaN(xj) {
+			return false
+		}
+		return xi < xj
+	case IntVec:
+		return x[i] < x[j]
+	case SymbolVec:
+		return x[i] < x[j]
+	case TemporalVec:
+		return x.V[i] < x.V[j]
+	default:
+		return Compare(Index(v, i), Index(v, j)) < 0
+	}
+}

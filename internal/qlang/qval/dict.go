@@ -1,0 +1,76 @@
+package qval
+
+// Dict is a Q dictionary (kx type 99): an ordered mapping from a key list to
+// a value list of the same length. Keyed tables are dictionaries whose Keys
+// and Vals are both tables, exactly as in kdb+.
+type Dict struct {
+	Keys Value // a vector or general list (or a *Table for keyed tables)
+	Vals Value // same length as Keys
+}
+
+// Type implements Value.
+func (*Dict) Type() Type { return KDict }
+
+// Len implements Value; the length of a dict is its key count.
+func (d *Dict) Len() int { return d.Keys.Len() }
+
+// String renders the dict as keys!vals.
+func (d *Dict) String() string { return d.Keys.String() + "!" + d.Vals.String() }
+
+// NewDict builds a dictionary after validating that keys and values have
+// equal lengths; it panics on mismatch, mirroring kdb+'s 'length error.
+func NewDict(keys, vals Value) *Dict {
+	if keys.Len() != vals.Len() {
+		panic(&QError{Msg: "length"})
+	}
+	return &Dict{Keys: keys, Vals: vals}
+}
+
+// Lookup returns the value stored under key, or the null of the value list's
+// element type when the key is absent (Q indexing semantics).
+func (d *Dict) Lookup(key Value) Value {
+	n := d.Keys.Len()
+	for i := 0; i < n; i++ {
+		if EqualValues(Index(d.Keys, i), key) {
+			return Index(d.Vals, i)
+		}
+	}
+	return Null(elemType(d.Vals))
+}
+
+// IsKeyedTable reports whether the dict represents a keyed table (both
+// sides are tables).
+func (d *Dict) IsKeyedTable() bool {
+	_, kt := d.Keys.(*Table)
+	_, vt := d.Vals.(*Table)
+	return kt && vt
+}
+
+// QError is a Q-level error value, rendered as 'msg like kdb+ errors.
+type QError struct {
+	Msg string
+}
+
+// Type implements Value.
+func (*QError) Type() Type { return KError }
+
+// Len implements Value.
+func (*QError) Len() int { return -1 }
+
+// String renders the error with the leading quote kdb+ uses.
+func (e *QError) String() string { return "'" + e.Msg }
+
+// Error implements the error interface so QError values can travel through
+// Go error returns as well as through Q results.
+func (e *QError) Error() string { return "'" + e.Msg }
+
+// Errorf builds a QError from a preformatted message.
+func Errorf(msg string) *QError { return &QError{Msg: msg} }
+
+func elemType(v Value) Type {
+	t := v.Type()
+	if t > 0 && t <= KTime {
+		return t
+	}
+	return KLong
+}

@@ -1,0 +1,371 @@
+package qval
+
+// Index returns element i of a vector, list, table or dict. Out-of-range
+// indexes return the type's null, matching Q indexing semantics. Indexing an
+// atom returns the atom itself (atoms behave as infinitely replicated in Q).
+func Index(v Value, i int) Value {
+	n := v.Len()
+	if n < 0 {
+		return v
+	}
+	oob := i < 0 || i >= n
+	switch x := v.(type) {
+	case BoolVec:
+		if oob {
+			return Bool(false)
+		}
+		return Bool(x[i])
+	case ByteVec:
+		if oob {
+			return Byte(0)
+		}
+		return Byte(x[i])
+	case ShortVec:
+		if oob {
+			return Short(NullShort)
+		}
+		return Short(x[i])
+	case IntVec:
+		if oob {
+			return Int(NullInt)
+		}
+		return Int(x[i])
+	case LongVec:
+		if oob {
+			return Long(NullLong)
+		}
+		return Long(x[i])
+	case RealVec:
+		if oob {
+			return Null(KReal)
+		}
+		return Real(x[i])
+	case FloatVec:
+		if oob {
+			return Null(KFloat)
+		}
+		return Float(x[i])
+	case CharVec:
+		if oob {
+			return Char(' ')
+		}
+		return Char(x[i])
+	case SymbolVec:
+		if oob {
+			return Symbol("")
+		}
+		return Symbol(x[i])
+	case TemporalVec:
+		if oob {
+			return Temporal{T: x.T, V: NullLong}
+		}
+		return Temporal{T: x.T, V: x.V[i]}
+	case DatetimeVec:
+		if oob {
+			return Null(KDatetime)
+		}
+		return Datetime(x[i])
+	case List:
+		if oob {
+			return Long(NullLong)
+		}
+		return x[i]
+	case *Table:
+		if oob {
+			i = 0 // Row of an empty table is undefined; avoid panics
+			if n == 0 {
+				return x.Row(-1)
+			}
+		}
+		return x.Row(i)
+	default:
+		return v
+	}
+}
+
+// TakeIndexes gathers the elements of v at the given positions into a new
+// vector of the same type. Out-of-range positions become nulls.
+func TakeIndexes(v Value, idx []int) Value {
+	n := v.Len()
+	switch x := v.(type) {
+	case BoolVec:
+		out := make(BoolVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			}
+		}
+		return out
+	case ByteVec:
+		out := make(ByteVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			}
+		}
+		return out
+	case ShortVec:
+		out := make(ShortVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = NullShort
+			}
+		}
+		return out
+	case IntVec:
+		out := make(IntVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = NullInt
+			}
+		}
+		return out
+	case LongVec:
+		out := make(LongVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = NullLong
+			}
+		}
+		return out
+	case RealVec:
+		out := make(RealVec, len(idx))
+		nul := Null(KReal).(Real)
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = float32(nul)
+			}
+		}
+		return out
+	case FloatVec:
+		out := make(FloatVec, len(idx))
+		nul := float64(Null(KFloat).(Float))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = nul
+			}
+		}
+		return out
+	case CharVec:
+		out := make(CharVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = ' '
+			}
+		}
+		return out
+	case SymbolVec:
+		out := make(SymbolVec, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			}
+		}
+		return out
+	case TemporalVec:
+		out := TemporalVec{T: x.T, V: make([]int64, len(idx))}
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out.V[k] = x.V[i]
+			} else {
+				out.V[k] = NullLong
+			}
+		}
+		return out
+	case DatetimeVec:
+		out := make(DatetimeVec, len(idx))
+		nul := float64(Null(KFloat).(Float))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = nul
+			}
+		}
+		return out
+	case List:
+		out := make(List, len(idx))
+		for k, i := range idx {
+			if i >= 0 && i < n {
+				out[k] = x[i]
+			} else {
+				out[k] = Long(NullLong)
+			}
+		}
+		return out
+	case *Table:
+		return x.Take(idx)
+	default:
+		return v
+	}
+}
+
+func sliceVec(v Value, lo, hi int) Value {
+	switch x := v.(type) {
+	case BoolVec:
+		return x[lo:hi]
+	case ByteVec:
+		return x[lo:hi]
+	case ShortVec:
+		return x[lo:hi]
+	case IntVec:
+		return x[lo:hi]
+	case LongVec:
+		return x[lo:hi]
+	case RealVec:
+		return x[lo:hi]
+	case FloatVec:
+		return x[lo:hi]
+	case CharVec:
+		return x[lo:hi]
+	case SymbolVec:
+		return x[lo:hi]
+	case TemporalVec:
+		return TemporalVec{T: x.T, V: x.V[lo:hi]}
+	case DatetimeVec:
+		return x[lo:hi]
+	case List:
+		return x[lo:hi]
+	default:
+		return v
+	}
+}
+
+// AppendAtom appends atom a to vector v, widening to a general list when the
+// types are incompatible, and returns the extended vector.
+func AppendAtom(v Value, a Value) Value {
+	switch x := v.(type) {
+	case BoolVec:
+		if b, ok := a.(Bool); ok {
+			return append(x, bool(b))
+		}
+	case ByteVec:
+		if b, ok := a.(Byte); ok {
+			return append(x, byte(b))
+		}
+	case ShortVec:
+		if b, ok := a.(Short); ok {
+			return append(x, int16(b))
+		}
+	case IntVec:
+		if b, ok := a.(Int); ok {
+			return append(x, int32(b))
+		}
+	case LongVec:
+		if b, ok := a.(Long); ok {
+			return append(x, int64(b))
+		}
+	case RealVec:
+		if b, ok := a.(Real); ok {
+			return append(x, float32(b))
+		}
+	case FloatVec:
+		if b, ok := a.(Float); ok {
+			return append(x, float64(b))
+		}
+	case CharVec:
+		if b, ok := a.(Char); ok {
+			return append(x, byte(b))
+		}
+	case SymbolVec:
+		if b, ok := a.(Symbol); ok {
+			return append(x, string(b))
+		}
+	case TemporalVec:
+		if b, ok := a.(Temporal); ok && b.T == x.T {
+			return TemporalVec{T: x.T, V: append(x.V, b.V)}
+		}
+	case DatetimeVec:
+		if b, ok := a.(Datetime); ok {
+			return append(x, float64(b))
+		}
+	case List:
+		return append(x, a)
+	}
+	// widen
+	n := v.Len()
+	out := make(List, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, Index(v, i))
+	}
+	return append(out, a)
+}
+
+// FromAtoms packs a slice of atoms into the narrowest vector that can hold
+// them: a typed vector when all share a type, otherwise a general list. An
+// empty input produces an empty general list.
+func FromAtoms(atoms []Value) Value {
+	if len(atoms) == 0 {
+		return List{}
+	}
+	t := atoms[0].Type()
+	uniform := true
+	for _, a := range atoms[1:] {
+		if a.Type() != t {
+			uniform = false
+			break
+		}
+	}
+	if !uniform || t >= 0 {
+		return append(List{}, atoms...)
+	}
+	out := EmptyVec(-t)
+	for _, a := range atoms {
+		out = AppendAtom(out, a)
+	}
+	return out
+}
+
+// EmptyVec returns an empty typed vector for the given vector type code.
+func EmptyVec(t Type) Value {
+	if t < 0 {
+		t = -t
+	}
+	switch t {
+	case KBool:
+		return BoolVec{}
+	case KByte:
+		return ByteVec{}
+	case KShort:
+		return ShortVec{}
+	case KInt:
+		return IntVec{}
+	case KLong:
+		return LongVec{}
+	case KReal:
+		return RealVec{}
+	case KFloat:
+		return FloatVec{}
+	case KChar:
+		return CharVec{}
+	case KSymbol:
+		return SymbolVec{}
+	case KTimestamp, KMonth, KDate, KTimespan, KMinute, KSecond, KTime:
+		return TemporalVec{T: t, V: []int64{}}
+	case KDatetime:
+		return DatetimeVec{}
+	default:
+		return List{}
+	}
+}
+
+// Til returns the long vector 0 1 ... n-1, Q's til primitive.
+func Til(n int64) LongVec {
+	out := make(LongVec, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package qval
+
+import "math"
+
+// Per-type null payloads, following kdb+ conventions: integer nulls are the
+// minimum value of the width, float nulls are NaN, the symbol null is the
+// empty symbol, the char null is a blank.
+const (
+	NullShort = int16(math.MinInt16)
+	NullInt   = int32(math.MinInt32)
+	NullLong  = int64(math.MinInt64)
+)
+
+// Infinity payloads (0W per type).
+const (
+	InfShort = int16(math.MaxInt16)
+	InfInt   = int32(math.MaxInt32)
+	InfLong  = int64(math.MaxInt64)
+)
+
+// Null returns the null atom of the given type code (vector code or its
+// negation). Types without a dedicated null (boolean, byte) return their
+// zero value, matching kdb+.
+func Null(t Type) Value {
+	if t < 0 {
+		t = -t
+	}
+	switch t {
+	case KBool:
+		return Bool(false)
+	case KByte:
+		return Byte(0)
+	case KShort:
+		return Short(NullShort)
+	case KInt:
+		return Int(NullInt)
+	case KLong, KList:
+		return Long(NullLong)
+	case KReal:
+		return Real(float32(math.NaN()))
+	case KFloat:
+		return Float(math.NaN())
+	case KChar:
+		return Char(' ')
+	case KSymbol:
+		return Symbol("")
+	case KDatetime:
+		return Datetime(math.NaN())
+	case KTimestamp, KMonth, KDate, KTimespan, KMinute, KSecond, KTime:
+		return Temporal{T: t, V: NullLong}
+	default:
+		return Identity
+	}
+}
+
+// IsNull reports whether v is the null of its type. Q uses two-valued logic:
+// nulls are ordinary values that compare equal to each other (paper §2.2),
+// so this predicate is all that is needed — there is no "unknown" state.
+func IsNull(v Value) bool {
+	switch x := v.(type) {
+	case Short:
+		return int16(x) == NullShort
+	case Int:
+		return int32(x) == NullInt
+	case Long:
+		return int64(x) == NullLong
+	case Real:
+		return math.IsNaN(float64(x))
+	case Float:
+		return math.IsNaN(float64(x))
+	case Char:
+		return x == ' '
+	case Symbol:
+		return x == ""
+	case Temporal:
+		return x.V == NullLong
+	case Datetime:
+		return math.IsNaN(float64(x))
+	default:
+		return false
+	}
+}
+
+// NullAt reports whether element i of vector v is null. Atoms and compound
+// values report false.
+func NullAt(v Value, i int) bool {
+	switch x := v.(type) {
+	case ShortVec:
+		return x[i] == NullShort
+	case IntVec:
+		return x[i] == NullInt
+	case LongVec:
+		return x[i] == NullLong
+	case RealVec:
+		return math.IsNaN(float64(x[i]))
+	case FloatVec:
+		return math.IsNaN(x[i])
+	case CharVec:
+		return x[i] == ' '
+	case SymbolVec:
+		return x[i] == ""
+	case TemporalVec:
+		return x.V[i] == NullLong
+	case DatetimeVec:
+		return math.IsNaN(x[i])
+	case List:
+		return IsNull(x[i])
+	default:
+		return false
+	}
+}

@@ -1,0 +1,473 @@
+package qval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeCodes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Type
+	}{
+		{Bool(true), -1},
+		{Byte(7), -4},
+		{Short(1), -5},
+		{Int(1), -6},
+		{Long(1), -7},
+		{Real(1), -8},
+		{Float(1), -9},
+		{Char('a'), -10},
+		{Symbol("x"), -11},
+		{Temporal{T: KTimestamp}, -12},
+		{Temporal{T: KDate}, -14},
+		{Datetime(0), -15},
+		{BoolVec{true}, 1},
+		{LongVec{1}, 7},
+		{SymbolVec{"a"}, 11},
+		{List{Long(1)}, 0},
+		{&Table{}, 98},
+		{&Dict{Keys: LongVec{}, Vals: LongVec{}}, 99},
+		{&Lambda{}, 100},
+	}
+	for _, c := range cases {
+		if got := c.v.Type(); got != c.want {
+			t.Errorf("%v: type = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAtomLenIsMinusOne(t *testing.T) {
+	atoms := []Value{Bool(true), Byte(1), Short(1), Int(1), Long(1), Real(1), Float(1),
+		Char('a'), Symbol("s"), Temporal{T: KDate, V: 1}, Datetime(1), &Lambda{}, Identity}
+	for _, a := range atoms {
+		if a.Len() != -1 {
+			t.Errorf("%v: Len = %d, want -1", a, a.Len())
+		}
+		if !IsAtom(a) {
+			t.Errorf("%v: IsAtom = false", a)
+		}
+	}
+}
+
+func TestAtomFormatting(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Bool(true), "1b"},
+		{Bool(false), "0b"},
+		{Byte(0xab), "0xab"},
+		{Short(3), "3h"},
+		{Int(42), "42i"},
+		{Long(-7), "-7"},
+		{Long(NullLong), "0N"},
+		{Float(2.5), "2.5"},
+		{Float(3), "3f"},
+		{Float(math.NaN()), "0n"},
+		{Float(math.Inf(1)), "0w"},
+		{Float(math.Inf(-1)), "-0w"},
+		{Symbol("GOOG"), "`GOOG"},
+		{Symbol(""), "`"},
+		{Char('q'), `"q"`},
+		{MkDate(2024, 1, 15), "2024.01.15"},
+		{MkTime(9, 30, 0, 0), "09:30:00.000"},
+		{MkMinute(14, 5), "14:05"},
+		{MkSecond(1, 2, 3), "01:02:03"},
+		{MkMonth(2016, 6), "2016.06m"},
+		{Temporal{T: KDate, V: NullLong}, "0Nd"},
+		{Temporal{T: KTime, V: NullLong}, "0Nt"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestVectorFormatting(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{BoolVec{true, false, true}, "101b"},
+		{ByteVec{0xde, 0xad}, "0xdead"},
+		{LongVec{1, 2, 3}, "1 2 3"},
+		{IntVec{4, 5}, "4 5i"},
+		{FloatVec{1.5, 2.5}, "1.5 2.5"},
+		{SymbolVec{"a", "b"}, "`a`b"},
+		{CharVec("hi"), `"hi"`},
+		{CharVec(`say "hi"`), `"say \"hi\""`},
+		{LongVec{}, "`long$()"},
+		{SymbolVec{}, "`symbol$()"},
+		{List{}, "()"},
+		{List{Long(1), Symbol("x")}, "(1;`x)"},
+		{List{Long(9)}, "enlist 9"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTimestampFormat(t *testing.T) {
+	ts := MkTimestamp(2016, 6, 26, 9, 30, 15, 123456789)
+	want := "2016.06.26D09:30:15.123456789"
+	if got := ts.String(); got != want {
+		t.Errorf("timestamp = %q, want %q", got, want)
+	}
+}
+
+func TestTemporalConversionsRoundTrip(t *testing.T) {
+	base := time.Date(2016, 6, 26, 0, 0, 0, 0, time.UTC)
+	days := DateFromTime(base)
+	if got := TimeFromDate(days); !got.Equal(base) {
+		t.Errorf("date round trip: got %v want %v", got, base)
+	}
+	ns := TimestampFromTime(base.Add(90 * time.Minute))
+	if got := TimeFromTimestamp(ns); !got.Equal(base.Add(90 * time.Minute)) {
+		t.Errorf("timestamp round trip failed")
+	}
+}
+
+func TestNulls(t *testing.T) {
+	for _, tc := range []Type{KShort, KInt, KLong, KReal, KFloat, KChar, KSymbol,
+		KTimestamp, KMonth, KDate, KDatetime, KTimespan, KMinute, KSecond, KTime} {
+		n := Null(tc)
+		if !IsNull(n) {
+			t.Errorf("Null(%s) not IsNull", TypeName(tc))
+		}
+		if n.Type() != -tc {
+			t.Errorf("Null(%s).Type() = %d, want %d", TypeName(tc), n.Type(), -tc)
+		}
+	}
+	if IsNull(Long(0)) || IsNull(Symbol("x")) || IsNull(Float(0)) {
+		t.Error("non-null values reported null")
+	}
+}
+
+func TestTwoValuedNullEquality(t *testing.T) {
+	// Paper §2.2: two nulls compare equal in Q (unlike SQL).
+	if !EqualValues(Null(KLong), Null(KLong)) {
+		t.Error("0N = 0N should hold in Q")
+	}
+	if !EqualValues(Null(KFloat), Null(KFloat)) {
+		t.Error("0n = 0n should hold in Q")
+	}
+	if !EqualValues(Null(KSymbol), Null(KSymbol)) {
+		t.Error("` = ` should hold in Q")
+	}
+	if EqualValues(Null(KLong), Long(0)) {
+		t.Error("0N = 0 should not hold")
+	}
+	if EqualValues(Null(KSymbol), Null(KLong)) {
+		t.Error("nulls of unrelated families should not compare equal")
+	}
+	if !EqualValues(Null(KLong), Null(KInt)) {
+		t.Error("integer-family nulls compare equal under numeric widening")
+	}
+}
+
+func TestNumericWideningEquality(t *testing.T) {
+	if !EqualValues(Int(5), Long(5)) {
+		t.Error("5i = 5 should hold")
+	}
+	if !EqualValues(Long(5), Float(5)) {
+		t.Error("5 = 5f should hold")
+	}
+	if EqualValues(Long(5), Long(6)) {
+		t.Error("5 = 6 should not hold")
+	}
+	if !EqualValues(Bool(true), Long(1)) {
+		t.Error("1b = 1 should hold")
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	v := LongVec{10, 20, 30}
+	if got := Index(v, 1); !EqualValues(got, Long(20)) {
+		t.Errorf("Index = %v", got)
+	}
+	if got := Index(v, 5); !IsNull(got) {
+		t.Errorf("out-of-range index should be null, got %v", got)
+	}
+	if got := Index(v, -1); !IsNull(got) {
+		t.Errorf("negative index should be null, got %v", got)
+	}
+	s := SymbolVec{"a", "b"}
+	if got := Index(s, 9); got.(Symbol) != "" {
+		t.Errorf("oob symbol index = %v", got)
+	}
+	// atoms behave as constants under indexing
+	if got := Index(Long(7), 3); !EqualValues(got, Long(7)) {
+		t.Errorf("atom index = %v", got)
+	}
+}
+
+func TestTakeIndexes(t *testing.T) {
+	v := FloatVec{1, 2, 3}
+	got := TakeIndexes(v, []int{2, 0, 7}).(FloatVec)
+	if got[0] != 3 || got[1] != 1 || !math.IsNaN(got[2]) {
+		t.Errorf("TakeIndexes = %v", got)
+	}
+	tv := TemporalVec{T: KDate, V: []int64{100, 200}}
+	g2 := TakeIndexes(tv, []int{1, 5}).(TemporalVec)
+	if g2.V[0] != 200 || g2.V[1] != NullLong || g2.T != KDate {
+		t.Errorf("temporal TakeIndexes = %v", g2)
+	}
+}
+
+func TestAppendAtomWidening(t *testing.T) {
+	v := AppendAtom(LongVec{1, 2}, Long(3))
+	if v.Type() != KLong || v.Len() != 3 {
+		t.Fatalf("append same type = %v", v)
+	}
+	w := AppendAtom(LongVec{1, 2}, Symbol("x"))
+	if w.Type() != KList || w.Len() != 3 {
+		t.Fatalf("append mixed should widen to list, got %v", w)
+	}
+	if !EqualValues(Index(w, 2), Symbol("x")) {
+		t.Errorf("widened element = %v", Index(w, 2))
+	}
+}
+
+func TestFromAtoms(t *testing.T) {
+	v := FromAtoms([]Value{Long(1), Long(2)})
+	if v.Type() != KLong {
+		t.Errorf("uniform atoms should pack to typed vector, got type %d", v.Type())
+	}
+	m := FromAtoms([]Value{Long(1), Symbol("a")})
+	if m.Type() != KList {
+		t.Errorf("mixed atoms should pack to list, got type %d", m.Type())
+	}
+	e := FromAtoms(nil)
+	if e.Type() != KList || e.Len() != 0 {
+		t.Errorf("empty pack = %v", e)
+	}
+	sy := FromAtoms([]Value{Symbol("a"), Symbol("b")})
+	if sy.Type() != KSymbol {
+		t.Errorf("symbols should pack to symbol vector")
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict(SymbolVec{"a", "b"}, LongVec{1, 2})
+	if got := d.Lookup(Symbol("b")); !EqualValues(got, Long(2)) {
+		t.Errorf("lookup = %v", got)
+	}
+	if got := d.Lookup(Symbol("zz")); !IsNull(got) {
+		t.Errorf("missing key should yield null, got %v", got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("dict len = %d", d.Len())
+	}
+	if got := d.String(); got != "`a`b!1 2" {
+		t.Errorf("dict string = %q", got)
+	}
+}
+
+func TestDictLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("NewDict with mismatched lengths should panic with 'length")
+		}
+	}()
+	NewDict(SymbolVec{"a"}, LongVec{1, 2})
+}
+
+func newTradesTable() *Table {
+	return NewTable(
+		[]string{"Symbol", "Time", "Price"},
+		[]Value{
+			SymbolVec{"GOOG", "IBM", "GOOG"},
+			TemporalVec{T: KTime, V: []int64{34200000, 34201000, 34202000}},
+			FloatVec{101.5, 150.25, 101.75},
+		})
+}
+
+func TestTableBasics(t *testing.T) {
+	tr := newTradesTable()
+	if tr.Len() != 3 || tr.NumCols() != 3 {
+		t.Fatalf("table shape = %dx%d", tr.Len(), tr.NumCols())
+	}
+	col, ok := tr.Column("Price")
+	if !ok || col.Len() != 3 {
+		t.Fatal("Column(Price) lookup failed")
+	}
+	if _, ok := tr.Column("nope"); ok {
+		t.Error("Column(nope) should miss")
+	}
+	row := tr.Row(1)
+	if !EqualValues(row.Lookup(Symbol("Symbol")), Symbol("IBM")) {
+		t.Errorf("Row(1) = %v", row)
+	}
+	sub := tr.Take([]int{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("Take len = %d", sub.Len())
+	}
+	p, _ := sub.Column("Price")
+	if p.(FloatVec)[0] != 101.75 {
+		t.Errorf("Take order wrong: %v", p)
+	}
+}
+
+func TestTableSlice(t *testing.T) {
+	tr := newTradesTable()
+	s := tr.Slice(1, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Slice len = %d", s.Len())
+	}
+	sym, _ := s.Column("Symbol")
+	if sym.(SymbolVec)[0] != "IBM" {
+		t.Errorf("Slice content = %v", sym)
+	}
+}
+
+func TestKeyTableAndUnkey(t *testing.T) {
+	tr := newTradesTable()
+	kt, err := KeyTable([]string{"Symbol"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kt.IsKeyedTable() {
+		t.Fatal("KeyTable should produce a keyed table")
+	}
+	back, ok := Unkey(kt)
+	if !ok {
+		t.Fatal("Unkey failed")
+	}
+	if back.NumCols() != 3 || back.ColumnIndex("Symbol") != 0 {
+		t.Errorf("Unkey columns = %v", back.Cols)
+	}
+	if _, err := KeyTable([]string{"missing"}, tr); err == nil {
+		t.Error("KeyTable with missing column should error")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(Long(1), Long(2)) != -1 || Compare(Long(2), Long(1)) != 1 || Compare(Long(2), Long(2)) != 0 {
+		t.Error("long compare broken")
+	}
+	if Compare(Null(KLong), Long(-100)) != -1 {
+		t.Error("null should sort first")
+	}
+	if Compare(Symbol("a"), Symbol("b")) != -1 {
+		t.Error("symbol compare broken")
+	}
+	if Compare(Int(3), Float(3.5)) != -1 {
+		t.Error("cross-width numeric compare broken")
+	}
+}
+
+func TestEnlist(t *testing.T) {
+	if v := Enlist(Long(5)); v.Type() != KLong || v.Len() != 1 {
+		t.Errorf("Enlist long = %v", v)
+	}
+	if v := Enlist(Symbol("a")); v.Type() != KSymbol {
+		t.Errorf("Enlist symbol = %v", v)
+	}
+	if v := Enlist(&Table{}); v.Type() != KList {
+		t.Errorf("Enlist table = %v", v)
+	}
+}
+
+func TestCharCodeRoundTrip(t *testing.T) {
+	for _, tc := range []Type{KBool, KByte, KShort, KInt, KLong, KReal, KFloat, KChar,
+		KSymbol, KTimestamp, KMonth, KDate, KDatetime, KTimespan, KMinute, KSecond, KTime} {
+		if got := TypeFromCharCode(CharCode(tc)); got != tc {
+			t.Errorf("char code round trip %s -> %c -> %s", TypeName(tc), CharCode(tc), TypeName(got))
+		}
+	}
+}
+
+// Property: Index after FromAtoms recovers the original atoms.
+func TestPropFromAtomsIndex(t *testing.T) {
+	f := func(xs []int64) bool {
+		atoms := make([]Value, len(xs))
+		for i, x := range xs {
+			atoms[i] = Long(x)
+		}
+		v := FromAtoms(atoms)
+		for i := range xs {
+			if !EqualValues(Index(v, i), atoms[i]) {
+				return false
+			}
+		}
+		return v.Len() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EqualValues is reflexive for long/float/symbol vectors.
+func TestPropEqualReflexive(t *testing.T) {
+	f := func(xs []int64, ys []float64, zs []string) bool {
+		lv := LongVec(xs)
+		fv := FloatVec(ys)
+		sv := SymbolVec(zs)
+		return EqualValues(lv, lv) && EqualValues(fv, fv) && EqualValues(sv, sv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TakeIndexes of til(n) is the identity permutation.
+func TestPropTakeIdentity(t *testing.T) {
+	f := func(xs []int64) bool {
+		v := LongVec(xs)
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		return EqualValues(TakeIndexes(v, idx), v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric on longs.
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Long(a), Long(b)) == -Compare(Long(b), Long(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTil(t *testing.T) {
+	v := Til(4)
+	if !EqualValues(v, LongVec{0, 1, 2, 3}) {
+		t.Errorf("til 4 = %v", v)
+	}
+	if Til(0).Len() != 0 {
+		t.Error("til 0 should be empty")
+	}
+}
+
+func TestTableStringRendering(t *testing.T) {
+	s := newTradesTable().String()
+	if s == "" {
+		t.Fatal("empty table rendering")
+	}
+	for _, want := range []string{"Symbol", "Price", "GOOG", "150.25"} {
+		if !contains(s, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package qval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a Q table (kx type 98): an ordered collection of equal-length
+// named columns. Order is a first-class property — rows are identified by
+// position, which is exactly the semantics Hyper-Q must preserve when
+// translating to set-oriented SQL (paper §2.2, §3.3).
+type Table struct {
+	Cols []string // column names, in declaration order
+	Data []Value  // one vector (or general list) per column
+}
+
+// Type implements Value.
+func (*Table) Type() Type { return KTable }
+
+// Len implements Value; the length of a table is its row count.
+func (t *Table) Len() int {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Data[0].Len()
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// NewTable builds a table after validating that all columns have the same
+// length; it panics with a 'length QError on mismatch.
+func NewTable(cols []string, data []Value) *Table {
+	if len(cols) != len(data) {
+		panic(Errorf("mismatch: column names vs columns"))
+	}
+	n := -1
+	for _, d := range data {
+		if n == -1 {
+			n = d.Len()
+		} else if d.Len() != n {
+			panic(Errorf("length"))
+		}
+	}
+	return &Table{Cols: cols, Data: data}
+}
+
+// Column returns the column with the given name and whether it exists.
+func (t *Table) Column(name string) (Value, bool) {
+	for i, c := range t.Cols {
+		if c == name {
+			return t.Data[i], true
+		}
+	}
+	return nil, false
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row materializes row i as a dictionary from column names to atom values,
+// matching Q's indexing of a table by a row number.
+func (t *Table) Row(i int) *Dict {
+	vals := make(List, len(t.Data))
+	for j, col := range t.Data {
+		vals[j] = Index(col, i)
+	}
+	return NewDict(SymbolVec(append([]string(nil), t.Cols...)), vals)
+}
+
+// Take returns a new table containing the rows selected by idx, in idx
+// order. Out-of-range indexes yield nulls, matching Q indexing.
+func (t *Table) Take(idx []int) *Table {
+	data := make([]Value, len(t.Data))
+	for j, col := range t.Data {
+		data[j] = TakeIndexes(col, idx)
+	}
+	return &Table{Cols: append([]string(nil), t.Cols...), Data: data}
+}
+
+// Slice returns rows [lo,hi) as a new table sharing column storage.
+func (t *Table) Slice(lo, hi int) *Table {
+	data := make([]Value, len(t.Data))
+	for j, col := range t.Data {
+		data[j] = sliceVec(col, lo, hi)
+	}
+	return &Table{Cols: append([]string(nil), t.Cols...), Data: data}
+}
+
+// String renders the table in a bordered kx-console-like format, capped at
+// 20 rows.
+func (t *Table) String() string {
+	var b strings.Builder
+	n := t.Len()
+	shown := n
+	const cap = 20
+	if shown > cap {
+		shown = cap
+	}
+	cells := make([][]string, len(t.Cols))
+	widths := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		widths[j] = len(c)
+		cells[j] = make([]string, shown)
+		for i := 0; i < shown; i++ {
+			s := cellString(t.Data[j], i)
+			cells[j][i] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	for j, c := range t.Cols {
+		if j > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%-*s", widths[j], c)
+	}
+	b.WriteByte('\n')
+	total := 0
+	for j := range t.Cols {
+		total += widths[j] + 1
+	}
+	b.WriteString(strings.Repeat("-", max(total-1, 1)))
+	b.WriteByte('\n')
+	for i := 0; i < shown; i++ {
+		for j := range t.Cols {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], cells[j][i])
+		}
+		b.WriteByte('\n')
+	}
+	if n > shown {
+		fmt.Fprintf(&b, "..(%d rows)\n", n)
+	}
+	return b.String()
+}
+
+func cellString(col Value, i int) string {
+	v := Index(col, i)
+	if s, ok := v.(Symbol); ok {
+		return string(s) // console style: symbols in tables render bare
+	}
+	if c, ok := v.(CharVec); ok {
+		return string(c)
+	}
+	s := v.String()
+	return strings.TrimSuffix(s, "f")
+}
+
+// KeyTable splits a table into a keyed table (a dict of tables) on the given
+// key columns, mirroring Q's xkey.
+func KeyTable(keys []string, t *Table) (*Dict, error) {
+	var kc, vc []string
+	var kd, vd []Value
+	for _, k := range keys {
+		i := t.ColumnIndex(k)
+		if i < 0 {
+			return nil, Errorf(k)
+		}
+		kc = append(kc, k)
+		kd = append(kd, t.Data[i])
+	}
+	for i, c := range t.Cols {
+		if !containsStr(keys, c) {
+			vc = append(vc, c)
+			vd = append(vd, t.Data[i])
+		}
+	}
+	return &Dict{Keys: &Table{Cols: kc, Data: kd}, Vals: &Table{Cols: vc, Data: vd}}, nil
+}
+
+// Unkey flattens a keyed table back into a plain table (Q's 0!).
+func Unkey(v Value) (*Table, bool) {
+	switch x := v.(type) {
+	case *Table:
+		return x, true
+	case *Dict:
+		kt, ok1 := x.Keys.(*Table)
+		vt, ok2 := x.Vals.(*Table)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		cols := append(append([]string(nil), kt.Cols...), vt.Cols...)
+		data := append(append([]Value(nil), kt.Data...), vt.Data...)
+		return &Table{Cols: cols, Data: data}, true
+	default:
+		return nil, false
+	}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

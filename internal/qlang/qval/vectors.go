@@ -1,0 +1,296 @@
+package qval
+
+import (
+	"math"
+	"strings"
+)
+
+// BoolVec is a boolean vector (kx type 1).
+type BoolVec []bool
+
+// Type implements Value.
+func (BoolVec) Type() Type { return KBool }
+
+// Len implements Value.
+func (v BoolVec) Len() int { return len(v) }
+
+// String renders the vector as e.g. 101b.
+func (v BoolVec) String() string {
+	if len(v) == 0 {
+		return "`boolean$()"
+	}
+	var b strings.Builder
+	for _, x := range v {
+		if x {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('b')
+	return b.String()
+}
+
+// ByteVec is a byte vector (kx type 4).
+type ByteVec []byte
+
+// Type implements Value.
+func (ByteVec) Type() Type { return KByte }
+
+// Len implements Value.
+func (v ByteVec) Len() int { return len(v) }
+
+// String renders the vector as 0x hex digits.
+func (v ByteVec) String() string {
+	if len(v) == 0 {
+		return "`byte$()"
+	}
+	const hex = "0123456789abcdef"
+	b := make([]byte, 0, 2+2*len(v))
+	b = append(b, '0', 'x')
+	for _, x := range v {
+		b = append(b, hex[x>>4], hex[x&0xf])
+	}
+	return string(b)
+}
+
+// ShortVec is a 16-bit integer vector (kx type 5).
+type ShortVec []int16
+
+// Type implements Value.
+func (ShortVec) Type() Type { return KShort }
+
+// Len implements Value.
+func (v ShortVec) Len() int { return len(v) }
+
+// String renders the vector with a trailing "h".
+func (v ShortVec) String() string {
+	return joinNums(len(v), "`short$()", "h", func(i int) string { return Short(v[i]).stripSuffix() })
+}
+
+func (s Short) stripSuffix() string { return strings.TrimSuffix(s.String(), "h") }
+
+// IntVec is a 32-bit integer vector (kx type 6).
+type IntVec []int32
+
+// Type implements Value.
+func (IntVec) Type() Type { return KInt }
+
+// Len implements Value.
+func (v IntVec) Len() int { return len(v) }
+
+// String renders the vector with a trailing "i".
+func (v IntVec) String() string {
+	return joinNums(len(v), "`int$()", "i", func(i int) string { return strings.TrimSuffix(Int(v[i]).String(), "i") })
+}
+
+// LongVec is a 64-bit integer vector (kx type 7).
+type LongVec []int64
+
+// Type implements Value.
+func (LongVec) Type() Type { return KLong }
+
+// Len implements Value.
+func (v LongVec) Len() int { return len(v) }
+
+// String renders the vector space-separated.
+func (v LongVec) String() string {
+	return joinNums(len(v), "`long$()", "", func(i int) string { return Long(v[i]).String() })
+}
+
+// RealVec is a 32-bit float vector (kx type 8).
+type RealVec []float32
+
+// Type implements Value.
+func (RealVec) Type() Type { return KReal }
+
+// Len implements Value.
+func (v RealVec) Len() int { return len(v) }
+
+// String renders the vector with a trailing "e".
+func (v RealVec) String() string {
+	return joinNums(len(v), "`real$()", "e", func(i int) string {
+		s := Real(v[i]).String()
+		return strings.TrimSuffix(s, "e")
+	})
+}
+
+// FloatVec is a 64-bit float vector (kx type 9).
+type FloatVec []float64
+
+// Type implements Value.
+func (FloatVec) Type() Type { return KFloat }
+
+// Len implements Value.
+func (v FloatVec) Len() int { return len(v) }
+
+// String renders the vector space-separated.
+func (v FloatVec) String() string {
+	return joinNums(len(v), "`float$()", "", func(i int) string {
+		x := v[i]
+		if math.IsNaN(x) {
+			return "0n"
+		}
+		return strings.TrimSuffix(Float(x).String(), "f")
+	})
+}
+
+// CharVec is a character vector, i.e. a Q string (kx type 10).
+type CharVec []byte
+
+// Type implements Value.
+func (CharVec) Type() Type { return KChar }
+
+// Len implements Value.
+func (v CharVec) Len() int { return len(v) }
+
+// String renders the string in quotes with kx escaping.
+func (v CharVec) String() string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, c := range v {
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// SymbolVec is a symbol vector (kx type 11).
+type SymbolVec []string
+
+// Type implements Value.
+func (SymbolVec) Type() Type { return KSymbol }
+
+// Len implements Value.
+func (v SymbolVec) Len() int { return len(v) }
+
+// String renders the vector as `a`b`c.
+func (v SymbolVec) String() string {
+	if len(v) == 0 {
+		return "`symbol$()"
+	}
+	var b strings.Builder
+	for _, s := range v {
+		b.WriteByte('`')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// TemporalVec is a vector of one of the integer-backed temporal types.
+// Elements are held as int64 in the unit of T; NullLong encodes nulls.
+type TemporalVec struct {
+	T Type // positive temporal code (KTimestamp..KTime, excluding KDatetime)
+	V []int64
+}
+
+// Type implements Value.
+func (v TemporalVec) Type() Type { return v.T }
+
+// Len implements Value.
+func (v TemporalVec) Len() int { return len(v.V) }
+
+// String renders the vector space-separated in the display format of T.
+func (v TemporalVec) String() string {
+	if len(v.V) == 0 {
+		return "`" + TypeName(v.T) + "$()"
+	}
+	parts := make([]string, len(v.V))
+	for i, x := range v.V {
+		parts[i] = formatTemporal(v.T, x)
+	}
+	return strings.Join(parts, " ")
+}
+
+// DatetimeVec is a vector of float-backed datetimes (kx type 15).
+type DatetimeVec []float64
+
+// Type implements Value.
+func (DatetimeVec) Type() Type { return KDatetime }
+
+// Len implements Value.
+func (v DatetimeVec) Len() int { return len(v) }
+
+// String renders the vector space-separated.
+func (v DatetimeVec) String() string {
+	return joinNums(len(v), "`datetime$()", "", func(i int) string { return formatDatetime(v[i]) })
+}
+
+// List is a general (mixed) list (kx type 0).
+type List []Value
+
+// Type implements Value.
+func (List) Type() Type { return KList }
+
+// Len implements Value.
+func (v List) Len() int { return len(v) }
+
+// String renders the list in (a;b;c) form.
+func (v List) String() string {
+	if len(v) == 0 {
+		return "()"
+	}
+	if len(v) == 1 {
+		return "enlist " + v[0].String()
+	}
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ";") + ")"
+}
+
+func joinNums(n int, empty, suffix string, at func(int) string) string {
+	if n == 0 {
+		return empty
+	}
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = at(i)
+	}
+	return strings.Join(parts, " ") + suffix
+}
+
+// Enlist wraps a single value into a one-element list of the matching vector
+// type where possible, falling back to a general list.
+func Enlist(v Value) Value {
+	switch x := v.(type) {
+	case Bool:
+		return BoolVec{bool(x)}
+	case Byte:
+		return ByteVec{byte(x)}
+	case Short:
+		return ShortVec{int16(x)}
+	case Int:
+		return IntVec{int32(x)}
+	case Long:
+		return LongVec{int64(x)}
+	case Real:
+		return RealVec{float32(x)}
+	case Float:
+		return FloatVec{float64(x)}
+	case Char:
+		return CharVec{byte(x)}
+	case Symbol:
+		return SymbolVec{string(x)}
+	case Temporal:
+		return TemporalVec{T: x.T, V: []int64{x.V}}
+	case Datetime:
+		return DatetimeVec{float64(x)}
+	default:
+		return List{v}
+	}
+}

@@ -1,0 +1,781 @@
+// Package serializer turns transformed XTRA expressions into PostgreSQL SQL
+// text (paper §3.3/§3.4). Analytical plans routinely serialize to multi-
+// level subqueries — exactly the effect the paper measures in Figure 7,
+// where serialization is one of the two dominant translation stages.
+package serializer
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+// SerializeScalarSelect renders a scalar expression as a single-row SELECT,
+// used for stand-alone scalar Q statements such as "1+2".
+func SerializeScalarSelect(e xtra.Scalar) (string, error) {
+	s := &sz{}
+	sql, err := s.scalar(e)
+	if err != nil {
+		return "", err
+	}
+	return "SELECT " + sql + " AS value", nil
+}
+
+// Serialize renders an XTRA tree as one SQL SELECT statement.
+func Serialize(n xtra.Node) (string, error) {
+	s := &sz{}
+	sql, err := s.rel(n)
+	if err != nil {
+		return "", err
+	}
+	return sql, nil
+}
+
+type sz struct {
+	aliasN int
+}
+
+func (s *sz) alias() string {
+	s.aliasN++
+	return fmt.Sprintf("hq_t%d", s.aliasN)
+}
+
+// rel renders a relational operator as a complete SELECT.
+func (s *sz) rel(n xtra.Node) (string, error) {
+	switch op := n.(type) {
+	case *xtra.Get:
+		return "SELECT " + colList(op.P.Cols, "") + " FROM " + ident(op.Table), nil
+	case *xtra.ConstTable:
+		return s.constTable(op)
+	case *xtra.Filter:
+		pred, err := s.scalar(op.Pred)
+		if err != nil {
+			return "", err
+		}
+		// fuse onto a bare Get to avoid gratuitous nesting
+		if g, ok := op.Input.(*xtra.Get); ok {
+			return "SELECT " + colList(op.P.Cols, "") + " FROM " + ident(g.Table) + " WHERE " + pred, nil
+		}
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		a := s.alias()
+		return "SELECT " + colList(op.P.Cols, "") + " FROM (" + sub + ") " + a + " WHERE " + pred, nil
+	case *xtra.Project:
+		items, err := s.namedExprs(op.Exprs)
+		if err != nil {
+			return "", err
+		}
+		switch in := op.Input.(type) {
+		case *xtra.Get:
+			return "SELECT " + items + " FROM " + ident(in.Table), nil
+		case *xtra.Filter:
+			if g, ok := in.Input.(*xtra.Get); ok {
+				pred, err := s.scalar(in.Pred)
+				if err != nil {
+					return "", err
+				}
+				return "SELECT " + items + " FROM " + ident(g.Table) + " WHERE " + pred, nil
+			}
+		}
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		a := s.alias()
+		return "SELECT " + items + " FROM (" + sub + ") " + a, nil
+	case *xtra.GroupAgg:
+		return s.groupAgg(op)
+	case *xtra.Join:
+		return s.join(op)
+	case *xtra.AsOfJoin:
+		return s.asofJoin(op)
+	case *xtra.Window:
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		a := s.alias()
+		var items []string
+		items = append(items, a+".*")
+		for _, f := range op.Funcs {
+			w, err := s.windowFunc(f)
+			if err != nil {
+				return "", err
+			}
+			items = append(items, w+" AS "+ident(f.Name))
+		}
+		return "SELECT " + strings.Join(items, ", ") + " FROM (" + sub + ") " + a, nil
+	case *xtra.Union:
+		return s.union(op)
+	case *xtra.Sort:
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		var keys []string
+		for _, k := range op.Keys {
+			dir := ""
+			if k.Desc {
+				dir = " DESC"
+			}
+			keys = append(keys, ident(k.Col)+dir)
+		}
+		a := s.alias()
+		return "SELECT " + colList(op.P.Cols, "") + " FROM (" + sub + ") " + a + " ORDER BY " + strings.Join(keys, ", "), nil
+	case *xtra.Limit:
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		a := s.alias()
+		return "SELECT " + colList(op.P.Cols, "") + " FROM (" + sub + ") " + a + " LIMIT " + fmt.Sprint(op.N), nil
+	default:
+		return "", fmt.Errorf("serializer: unsupported operator %s", n.OpName())
+	}
+}
+
+func (s *sz) constTable(op *xtra.ConstTable) (string, error) {
+	var selects []string
+	for _, row := range op.Rows {
+		var items []string
+		for i, v := range row {
+			lit, err := constSQL(v)
+			if err != nil {
+				return "", err
+			}
+			items = append(items, lit+" AS "+ident(op.P.Cols[i].Name))
+		}
+		selects = append(selects, "SELECT "+strings.Join(items, ", "))
+	}
+	return strings.Join(selects, " UNION ALL "), nil
+}
+
+func (s *sz) groupAgg(op *xtra.GroupAgg) (string, error) {
+	var items, groupBy []string
+	for _, k := range op.Keys {
+		e, err := s.scalar(k.Expr)
+		if err != nil {
+			return "", err
+		}
+		items = append(items, e+" AS "+ident(k.Name))
+		groupBy = append(groupBy, e)
+	}
+	for _, a := range op.Aggs {
+		e, err := s.scalar(a.Expr)
+		if err != nil {
+			return "", err
+		}
+		items = append(items, e+" AS "+ident(a.Name))
+	}
+	var from string
+	switch in := op.Input.(type) {
+	case *xtra.Get:
+		from = ident(in.Table)
+	case *xtra.Filter:
+		if g, ok := in.Input.(*xtra.Get); ok {
+			pred, err := s.scalar(in.Pred)
+			if err != nil {
+				return "", err
+			}
+			from = ident(g.Table) + " WHERE " + pred
+		}
+	}
+	if from == "" {
+		sub, err := s.rel(op.Input)
+		if err != nil {
+			return "", err
+		}
+		from = "(" + sub + ") " + s.alias()
+	}
+	sql := "SELECT " + strings.Join(items, ", ") + " FROM " + from
+	if len(groupBy) > 0 {
+		sql += " GROUP BY " + strings.Join(groupBy, ", ")
+	}
+	return sql, nil
+}
+
+func (s *sz) join(op *xtra.Join) (string, error) {
+	lsub, err := s.rel(op.L)
+	if err != nil {
+		return "", err
+	}
+	rsub, err := s.rel(op.R)
+	if err != nil {
+		return "", err
+	}
+	la, ra := s.alias(), s.alias()
+	kw := "JOIN"
+	if op.Kind == xtra.LeftOuterJoin {
+		kw = "LEFT JOIN"
+	}
+	if op.Kind == xtra.CrossJoinKind {
+		kw = "CROSS JOIN"
+	}
+	var conds []string
+	for _, c := range op.EqCols {
+		// null-safe equality: Q's lj matches nulls as equal keys
+		conds = append(conds, la+"."+ident(c)+" IS NOT DISTINCT FROM "+ra+"."+ident(c))
+	}
+	if op.Extra != nil {
+		e, err := s.scalar(op.Extra)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, e)
+	}
+	// output columns: left side columns from la, right-only from ra
+	var items []string
+	leftCols := map[string]bool{}
+	for _, c := range op.L.Props().Cols {
+		leftCols[c.Name] = true
+	}
+	for _, c := range op.P.Cols {
+		if leftCols[c.Name] {
+			items = append(items, la+"."+ident(c.Name))
+		} else {
+			items = append(items, ra+"."+ident(c.Name))
+		}
+	}
+	sql := "SELECT " + strings.Join(items, ", ") +
+		" FROM (" + lsub + ") " + la + " " + kw + " (" + rsub + ") " + ra
+	if len(conds) > 0 {
+		sql += " ON " + strings.Join(conds, " AND ")
+	}
+	return sql, nil
+}
+
+// asofJoin serializes the as-of join into the left-outer-join-plus-window
+// shape of the paper's Figure 2: join right rows at-or-before the left time,
+// then keep the most recent via ROW_NUMBER() ... ORDER BY time DESC.
+func (s *sz) asofJoin(op *xtra.AsOfJoin) (string, error) {
+	lsub, err := s.rel(op.L)
+	if err != nil {
+		return "", err
+	}
+	rsub, err := s.rel(op.R)
+	if err != nil {
+		return "", err
+	}
+	la, ra := s.alias(), s.alias()
+	ord := op.L.Props().OrderCol
+	if ord == "" {
+		return "", fmt.Errorf("serializer: as-of join requires an ordered left input")
+	}
+	var conds []string
+	for _, c := range op.EqCols {
+		conds = append(conds, la+"."+ident(c)+" IS NOT DISTINCT FROM "+ra+"."+ident(c))
+	}
+	conds = append(conds, ra+"."+ident(op.TimeCol)+" <= "+la+"."+ident(op.TimeCol))
+
+	leftCols := map[string]bool{}
+	var inner []string
+	for _, c := range op.L.Props().Cols {
+		leftCols[c.Name] = true
+		inner = append(inner, la+"."+ident(c.Name))
+	}
+	var outCols []string
+	for _, c := range op.P.Cols {
+		outCols = append(outCols, ident(c.Name))
+		if !leftCols[c.Name] {
+			inner = append(inner, ra+"."+ident(c.Name))
+		}
+	}
+	inner = append(inner,
+		"ROW_NUMBER() OVER (PARTITION BY "+la+"."+ident(ord)+
+			" ORDER BY "+ra+"."+ident(op.TimeCol)+" DESC) AS hq_rn")
+	innerSQL := "SELECT " + strings.Join(inner, ", ") +
+		" FROM (" + lsub + ") " + la +
+		" LEFT JOIN (" + rsub + ") " + ra +
+		" ON " + strings.Join(conds, " AND ")
+	outer := s.alias()
+	return "SELECT " + strings.Join(outCols, ", ") +
+		" FROM (" + innerSQL + ") " + outer + " WHERE hq_rn = 1", nil
+}
+
+func (s *sz) windowFunc(f xtra.WindowFunc) (string, error) {
+	var arg string
+	if f.Arg != nil {
+		a, err := s.scalar(f.Arg)
+		if err != nil {
+			return "", err
+		}
+		arg = a
+	}
+	var over []string
+	if len(f.PartitionBy) > 0 {
+		cols := make([]string, len(f.PartitionBy))
+		for i, c := range f.PartitionBy {
+			cols[i] = ident(c)
+		}
+		over = append(over, "PARTITION BY "+strings.Join(cols, ", "))
+	}
+	if len(f.OrderBy) > 0 {
+		keys := make([]string, len(f.OrderBy))
+		for i, k := range f.OrderBy {
+			keys[i] = ident(k.Col)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		over = append(over, "ORDER BY "+strings.Join(keys, ", "))
+	}
+	return strings.ToUpper(f.Fn) + "(" + arg + ") OVER (" + strings.Join(over, " ") + ")", nil
+}
+
+func (s *sz) namedExprs(exprs []xtra.NamedExpr) (string, error) {
+	items := make([]string, len(exprs))
+	for i, e := range exprs {
+		sql, err := s.scalar(e.Expr)
+		if err != nil {
+			return "", err
+		}
+		items[i] = sql + " AS " + ident(e.Name)
+	}
+	return strings.Join(items, ", "), nil
+}
+
+// scalar renders a scalar XTRA expression as SQL.
+func (s *sz) scalar(e xtra.Scalar) (string, error) {
+	switch x := e.(type) {
+	case *xtra.ConstExpr:
+		return constSQL(x.Val)
+	case *xtra.ColRef:
+		return ident(x.Name), nil
+	case *xtra.AggCall:
+		return s.aggSQL(x)
+	case *xtra.ListExpr:
+		items := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			sql, err := s.scalar(it)
+			if err != nil {
+				return "", err
+			}
+			items[i] = sql
+		}
+		return "(" + strings.Join(items, ", ") + ")", nil
+	case *xtra.FnApp:
+		return s.fnSQL(x)
+	default:
+		return "", fmt.Errorf("serializer: unsupported scalar %T", e)
+	}
+}
+
+func (s *sz) aggSQL(a *xtra.AggCall) (string, error) {
+	switch a.Fn {
+	case "count":
+		if a.Arg == nil {
+			return "COUNT(*)", nil
+		}
+		arg, err := s.scalar(a.Arg)
+		if err != nil {
+			return "", err
+		}
+		return "COUNT(" + arg + ")", nil
+	case "wavg", "wsum":
+		pair, ok := a.Arg.(*xtra.FnApp)
+		if !ok || pair.Op != "pair" || len(pair.Args) != 2 {
+			return "", fmt.Errorf("serializer: malformed %s", a.Fn)
+		}
+		w, err := s.scalar(pair.Args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := s.scalar(pair.Args[1])
+		if err != nil {
+			return "", err
+		}
+		if a.Fn == "wsum" {
+			return "SUM((" + w + ") * (" + v + "))", nil
+		}
+		return "(SUM((" + w + ") * (" + v + ")) / SUM(" + w + "))", nil
+	default:
+		arg, err := s.scalar(a.Arg)
+		if err != nil {
+			return "", err
+		}
+		return strings.ToUpper(a.Fn) + "(" + arg + ")", nil
+	}
+}
+
+func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
+	bin := func(op string) (string, error) {
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + op + " " + r + ")", nil
+	}
+	switch f.Op {
+	case "+", "-", "*":
+		return bin(f.Op)
+	case "%":
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		// q divide is float division
+		return "(CAST(" + l + " AS double precision) / " + r + ")", nil
+	case "mod":
+		return bin("%")
+	case "div":
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return "FLOOR(CAST(" + l + " AS double precision) / " + r + ")", nil
+	case "xbar":
+		b, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		x, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		expr := "((" + b + ") * FLOOR(CAST(" + x + " AS double precision) / (" + b + ")))"
+		// bucketing a temporal column keeps the temporal type
+		if qval.IsTemporal(f.Typ) {
+			return "CAST(" + expr + " AS " + xtra.SQLTypeFor(f.Typ) + ")", nil
+		}
+		return expr, nil
+	case "&":
+		l, _ := s.scalar(f.Args[0])
+		r, _ := s.scalar(f.Args[1])
+		if f.Typ == qval.KBool {
+			return "(" + l + " AND " + r + ")", nil
+		}
+		return "LEAST(" + l + ", " + r + ")", nil
+	case "|":
+		l, _ := s.scalar(f.Args[0])
+		r, _ := s.scalar(f.Args[1])
+		if f.Typ == qval.KBool {
+			return "(" + l + " OR " + r + ")", nil
+		}
+		return "GREATEST(" + l + ", " + r + ")", nil
+	case "=":
+		return bin("=")
+	case "<>":
+		return bin("<>")
+	case "<", ">", "<=", ">=":
+		return bin(f.Op)
+	case "indf", "~":
+		return bin("IS NOT DISTINCT FROM")
+	case "idf":
+		return bin("IS DISTINCT FROM")
+	case "and":
+		return bin("AND")
+	case "or":
+		return bin("OR")
+	case "not":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "(NOT " + a + ")", nil
+	case "neg":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "(- " + a + ")", nil
+	case "in":
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := s.inList(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " IN " + r + ")", nil
+	case "within":
+		x, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		bounds, ok := f.Args[1].(*xtra.ListExpr)
+		var lo, hi string
+		if ok && len(bounds.Items) == 2 {
+			lo, err = s.scalar(bounds.Items[0])
+			if err != nil {
+				return "", err
+			}
+			hi, err = s.scalar(bounds.Items[1])
+			if err != nil {
+				return "", err
+			}
+		} else if c, isConst := f.Args[1].(*xtra.ConstExpr); isConst && c.Val.Len() == 2 {
+			lo, err = constSQL(qval.Index(c.Val, 0))
+			if err != nil {
+				return "", err
+			}
+			hi, err = constSQL(qval.Index(c.Val, 1))
+			if err != nil {
+				return "", err
+			}
+		} else {
+			return "", fmt.Errorf("serializer: within requires a 2-element bound")
+		}
+		return "(" + x + " BETWEEN " + lo + " AND " + hi + ")", nil
+	case "like":
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		pat, ok := f.Args[1].(*xtra.ConstExpr)
+		if !ok {
+			return "", fmt.Errorf("serializer: like requires a constant pattern")
+		}
+		return "(" + l + " LIKE " + qPatternToSQL(pat.Val) + ")", nil
+	case "cond":
+		c, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		t, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		el, err := s.scalar(f.Args[2])
+		if err != nil {
+			return "", err
+		}
+		return "(CASE WHEN " + c + " THEN " + t + " ELSE " + el + " END)", nil
+	case "fill":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return "COALESCE(" + b + ", " + a + ")", nil
+	case "cast":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "CAST(" + a + " AS " + xtra.SQLTypeFor(f.Typ) + ")", nil
+	case "abs", "sqrt", "exp", "floor", "upper", "lower":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return strings.ToUpper(f.Op) + "(" + a + ")", nil
+	case "log":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "LN(" + a + ")", nil
+	case "ceiling":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "CEIL(" + a + ")", nil
+	case "signum":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "(CASE WHEN " + a + " > 0 THEN 1 WHEN " + a + " < 0 THEN -1 ELSE 0 END)", nil
+	case "null":
+		a, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return "(" + a + " IS NULL)", nil
+	default:
+		return "", fmt.Errorf("serializer: no SQL spelling for %q", f.Op)
+	}
+}
+
+// inList renders the right operand of IN: a list literal or list expression.
+func (s *sz) inList(e xtra.Scalar) (string, error) {
+	switch x := e.(type) {
+	case *xtra.ListExpr:
+		return s.scalar(x)
+	case *xtra.ConstExpr:
+		n := x.Val.Len()
+		if n < 0 {
+			lit, err := constSQL(x.Val)
+			if err != nil {
+				return "", err
+			}
+			return "(" + lit + ")", nil
+		}
+		items := make([]string, n)
+		for i := 0; i < n; i++ {
+			lit, err := constSQL(qval.Index(x.Val, i))
+			if err != nil {
+				return "", err
+			}
+			items[i] = lit
+		}
+		return "(" + strings.Join(items, ", ") + ")", nil
+	default:
+		return "", fmt.Errorf("serializer: IN requires a list")
+	}
+}
+
+// qPatternToSQL converts a Q glob pattern (*, ?) to a SQL LIKE pattern.
+func qPatternToSQL(v qval.Value) string {
+	var src string
+	switch x := v.(type) {
+	case qval.CharVec:
+		src = string(x)
+	case qval.Symbol:
+		src = string(x)
+	}
+	src = strings.ReplaceAll(src, "%", `\%`)
+	src = strings.ReplaceAll(src, "_", `\_`)
+	src = strings.ReplaceAll(src, "*", "%")
+	src = strings.ReplaceAll(src, "?", "_")
+	return "'" + strings.ReplaceAll(src, "'", "''") + "'"
+}
+
+// constSQL renders a Q literal as a typed SQL literal (paper §3.2.2: symbol
+// maps to varchar, ints to integer types, strings to text).
+func constSQL(v qval.Value) (string, error) {
+	if qval.IsNull(v) {
+		return "NULL", nil
+	}
+	switch x := v.(type) {
+	case qval.Bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case qval.Byte:
+		return fmt.Sprint(byte(x)), nil
+	case qval.Short:
+		return fmt.Sprint(int16(x)), nil
+	case qval.Int:
+		return fmt.Sprint(int32(x)), nil
+	case qval.Long:
+		return fmt.Sprint(int64(x)), nil
+	case qval.Real:
+		return fmt.Sprint(float32(x)), nil
+	case qval.Float:
+		return fmt.Sprint(float64(x)), nil
+	case qval.Symbol:
+		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'::varchar", nil
+	case qval.CharVec:
+		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'", nil
+	case qval.Char:
+		return "'" + string(rune(x)) + "'", nil
+	case qval.Temporal:
+		return temporalSQL(x)
+	case qval.Datetime:
+		t := qval.TimeFromTimestamp(int64(float64(x) * 24 * 3600 * 1e9))
+		return "'" + t.Format("2006-01-02 15:04:05.999999999") + "'::timestamp", nil
+	default:
+		return "", fmt.Errorf("serializer: cannot render %s literal", qval.TypeName(v.Type()))
+	}
+}
+
+func temporalSQL(t qval.Temporal) (string, error) {
+	switch t.T {
+	case qval.KDate:
+		d := qval.TimeFromDate(t.V)
+		return "'" + d.Format("2006-01-02") + "'::date", nil
+	case qval.KTime:
+		ms := t.V
+		return fmt.Sprintf("'%02d:%02d:%02d.%03d'::time", ms/3600000, ms/60000%60, ms/1000%60, ms%1000), nil
+	case qval.KTimestamp:
+		w := qval.TimeFromTimestamp(t.V)
+		return "'" + w.Format("2006-01-02 15:04:05.999999999") + "'::timestamp", nil
+	case qval.KMinute:
+		return fmt.Sprint(t.V), nil
+	case qval.KSecond:
+		return fmt.Sprint(t.V), nil
+	case qval.KMonth:
+		return fmt.Sprint(t.V), nil
+	case qval.KTimespan:
+		return fmt.Sprint(t.V), nil
+	default:
+		return "", fmt.Errorf("serializer: cannot render %s literal", qval.TypeName(-t.T))
+	}
+}
+
+// colList renders a column list, optionally qualified.
+func colList(cols []xtra.Col, qual string) string {
+	items := make([]string, len(cols))
+	for i, c := range cols {
+		if qual != "" {
+			items[i] = qual + "." + ident(c.Name)
+		} else {
+			items[i] = ident(c.Name)
+		}
+	}
+	return strings.Join(items, ", ")
+}
+
+// ident quotes an identifier when it contains upper-case letters or other
+// characters the backend would fold or reject.
+func ident(s string) string {
+	plain := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c == '_' || (i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		plain = false
+		break
+	}
+	if plain {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+// union serializes uj as UNION ALL over the union of columns, null-padding
+// the side that lacks a column. When both inputs carry order columns, the
+// right side's order values are offset past the left's so the combined
+// ordcol preserves q's left-rows-then-right-rows order.
+func (s *sz) union(op *xtra.Union) (string, error) {
+	lsub, err := s.rel(op.L)
+	if err != nil {
+		return "", err
+	}
+	rsub, err := s.rel(op.R)
+	if err != nil {
+		return "", err
+	}
+	side := func(sub string, props *xtra.Props, offsetOrd bool) string {
+		a := s.alias()
+		items := make([]string, 0, len(op.P.Cols))
+		for _, c := range op.P.Cols {
+			switch {
+			case c.Name == op.P.OrderCol && offsetOrd:
+				items = append(items, "("+ident(c.Name)+" + 1000000000000) AS "+ident(c.Name))
+			default:
+				if _, ok := props.Col(c.Name); ok {
+					items = append(items, ident(c.Name))
+				} else {
+					items = append(items, "NULL AS "+ident(c.Name))
+				}
+			}
+		}
+		return "SELECT " + strings.Join(items, ", ") + " FROM (" + sub + ") " + a
+	}
+	return side(lsub, op.L.Props(), false) + " UNION ALL " + side(rsub, op.R.Props(), true), nil
+}

@@ -1,0 +1,171 @@
+// Package sidebyside implements the side-by-side testing framework the
+// paper built during the customer engagement (§5): every feature is
+// validated by running the same Q query against the original system (the
+// kdb+ substrate, package interp) and through Hyper-Q against the SQL
+// backend, then comparing results. The framework is used for internal
+// feature testing and doubles as a correctness harness in staging.
+package sidebyside
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hyperq/internal/core"
+	"hyperq/internal/qlang/interp"
+	"hyperq/internal/qlang/qval"
+)
+
+// Framework pairs a kdb+ substrate with a Hyper-Q session over a backend.
+type Framework struct {
+	Kdb     *interp.Interp
+	Session *core.Session
+	backend core.Backend
+	// FloatTol is the relative tolerance for float comparison (the two
+	// engines may legitimately differ in summation order).
+	FloatTol float64
+}
+
+// New builds a framework over an existing interpreter and session.
+func New(kdb *interp.Interp, session *core.Session, backend core.Backend) *Framework {
+	return &Framework{Kdb: kdb, Session: session, backend: backend, FloatTol: 1e-9}
+}
+
+// LoadTable installs a table on both sides.
+func (f *Framework) LoadTable(name string, t *qval.Table) error {
+	f.Kdb.SetGlobal(name, t)
+	return core.LoadQTable(f.backend, name, t)
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	Query string
+	Match bool
+	Diffs []string
+	// KdbResult and HyperQResult hold the canonicalized tables (nil for
+	// non-tabular results).
+	KdbResult    *qval.Table
+	HyperQResult *qval.Table
+}
+
+func (r *Report) String() string {
+	if r.Match {
+		return "MATCH " + r.Query
+	}
+	return "MISMATCH " + r.Query + "\n  " + strings.Join(r.Diffs, "\n  ")
+}
+
+// Compare runs q on both sides and diffs the canonicalized results.
+func (f *Framework) Compare(q string) (*Report, error) {
+	rep := &Report{Query: q}
+	kv, kerr := f.Kdb.Eval(q)
+	hv, _, herr := f.Session.Run(q)
+	if kerr != nil || herr != nil {
+		if kerr != nil && herr != nil {
+			// both sides rejecting the query counts as agreement
+			rep.Match = true
+			rep.Diffs = append(rep.Diffs, fmt.Sprintf("both error: kdb=%v hyperq=%v", kerr, herr))
+			return rep, nil
+		}
+		rep.Diffs = append(rep.Diffs, fmt.Sprintf("error divergence: kdb=%v hyperq=%v", kerr, herr))
+		return rep, nil
+	}
+	kt, kok := canonicalize(kv)
+	ht, hok := canonicalize(hv)
+	rep.KdbResult, rep.HyperQResult = kt, ht
+	if !kok || !hok {
+		// non-tabular results: compare values directly
+		if qval.EqualValues(kv, hv) {
+			rep.Match = true
+		} else {
+			rep.Diffs = append(rep.Diffs, fmt.Sprintf("scalar mismatch: kdb=%v hyperq=%v", kv, hv))
+		}
+		return rep, nil
+	}
+	rep.Diffs = f.diffTables(kt, ht)
+	rep.Match = len(rep.Diffs) == 0
+	return rep, nil
+}
+
+// MustMatch is a convenience for tests: it returns an error on mismatch.
+func (f *Framework) MustMatch(q string) error {
+	rep, err := f.Compare(q)
+	if err != nil {
+		return err
+	}
+	if !rep.Match {
+		return fmt.Errorf("side-by-side mismatch:\n%s", rep)
+	}
+	return nil
+}
+
+// canonicalize turns a result into a plain table: keyed tables are
+// flattened (a select-by returns a keyed table in q but a plain table
+// through Hyper-Q).
+func canonicalize(v qval.Value) (*qval.Table, bool) {
+	switch x := v.(type) {
+	case *qval.Table:
+		return x, true
+	case *qval.Dict:
+		if t, ok := qval.Unkey(x); ok {
+			return t, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+func (f *Framework) diffTables(a, b *qval.Table) []string {
+	var diffs []string
+	if a.NumCols() != b.NumCols() {
+		diffs = append(diffs, fmt.Sprintf("column count: kdb=%d hyperq=%d (kdb cols %v, hyperq cols %v)",
+			a.NumCols(), b.NumCols(), a.Cols, b.Cols))
+		return diffs
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			diffs = append(diffs, fmt.Sprintf("column %d name: kdb=%q hyperq=%q", i, a.Cols[i], b.Cols[i]))
+		}
+	}
+	if len(diffs) > 0 {
+		return diffs
+	}
+	if a.Len() != b.Len() {
+		diffs = append(diffs, fmt.Sprintf("row count: kdb=%d hyperq=%d", a.Len(), b.Len()))
+		return diffs
+	}
+	n := a.Len()
+	for c := range a.Cols {
+		ac, bc := a.Data[c], b.Data[c]
+		for i := 0; i < n; i++ {
+			av, bv := qval.Index(ac, i), qval.Index(bc, i)
+			if f.cellsEqual(av, bv) {
+				continue
+			}
+			diffs = append(diffs, fmt.Sprintf("cell [%d,%s]: kdb=%v hyperq=%v", i, a.Cols[c], av, bv))
+			if len(diffs) > 10 {
+				diffs = append(diffs, "... (truncated)")
+				return diffs
+			}
+		}
+	}
+	return diffs
+}
+
+func (f *Framework) cellsEqual(a, b qval.Value) bool {
+	if qval.IsNull(a) && qval.IsNull(b) {
+		return true
+	}
+	af, aok := qval.AsFloat(a)
+	bf, bok := qval.AsFloat(b)
+	if aok && bok {
+		if af == bf {
+			return true
+		}
+		diff := math.Abs(af - bf)
+		scale := math.Max(math.Abs(af), math.Abs(bf))
+		return diff <= f.FloatTol*math.Max(scale, 1)
+	}
+	return qval.EqualValues(a, b)
+}

@@ -1,0 +1,251 @@
+// Package taq generates synthetic NYSE-TAQ-shaped market data: trades and
+// quotes tables with realistic symbols, random-walk prices and monotone
+// intraday timestamps. It substitutes for the proprietary customer data the
+// paper's Analytical Workload ran over (§6): same schema family (trades,
+// quotes, wide reference tables with 500+ columns), deterministic seeds for
+// reproducible benchmarks.
+package taq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// DefaultSymbols is a realistic ticker universe.
+var DefaultSymbols = []string{
+	"AAPL", "MSFT", "GOOG", "AMZN", "IBM", "ORCL", "INTC", "CSCO",
+	"JPM", "GS", "MS", "BAC", "C", "WFC", "XOM", "CVX",
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Seed    int64
+	Symbols []string
+	// NumSymbols, when positive and Symbols is empty, generates a synthetic
+	// universe of that many tickers (SYM0000, SYM0001, ...), giving the
+	// reference tables realistic row counts.
+	NumSymbols int
+	Trades     int
+	Quotes     int
+	Date       qval.Temporal // trading date; zero value defaults to 2016.06.27
+	StartMs    int64         // session open, ms since midnight (default 09:30)
+	EndMs      int64         // session close (default 16:00)
+	BasePx     float64       // starting mid price (default 100)
+	WideCols   int           // extra attribute columns for the wide table
+}
+
+func (c *Config) defaults() {
+	if len(c.Symbols) == 0 && c.NumSymbols > 0 {
+		c.Symbols = make([]string, c.NumSymbols)
+		for i := range c.Symbols {
+			c.Symbols[i] = fmt.Sprintf("SYM%04d", i)
+		}
+	}
+	if len(c.Symbols) == 0 {
+		c.Symbols = DefaultSymbols
+	}
+	if c.Trades == 0 {
+		c.Trades = 10_000
+	}
+	if c.Quotes == 0 {
+		c.Quotes = 2 * c.Trades
+	}
+	if c.Date.T == 0 {
+		c.Date = qval.MkDate(2016, 6, 27)
+	}
+	if c.StartMs == 0 {
+		c.StartMs = 9*3600_000 + 30*60_000
+	}
+	if c.EndMs == 0 {
+		c.EndMs = 16 * 3600_000
+	}
+	if c.BasePx == 0 {
+		c.BasePx = 100
+	}
+	if c.WideCols == 0 {
+		c.WideCols = 500
+	}
+}
+
+// Data is the generated market-data set.
+type Data struct {
+	Trades *qval.Table // Date, Symbol, Time, Price, Size, Exch
+	Quotes *qval.Table // Date, Symbol, Time, Bid, Ask, BidSize, AskSize
+	// RefData is the wide reference table (Symbol + WideCols numeric
+	// attributes), standing in for the paper's 500+ column tables.
+	RefData *qval.Table
+	// Daily holds per-symbol daily statistics for multi-table joins.
+	Daily *qval.Table // Symbol, Open, High, Low, Close, Volume
+}
+
+var exchanges = []string{"N", "Q", "P", "B"}
+
+// Generate builds a deterministic data set for the configuration.
+func Generate(cfg Config) *Data {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nSym := len(cfg.Symbols)
+
+	// per-symbol random-walk mid prices
+	mids := make([]float64, nSym)
+	for i := range mids {
+		mids[i] = cfg.BasePx * (0.5 + rng.Float64()*1.5)
+	}
+
+	d := &Data{}
+	d.Trades = genTrades(cfg, rng, mids)
+	d.Quotes = genQuotes(cfg, rng, mids)
+	d.RefData = genRefData(cfg, rng)
+	d.Daily = genDaily(cfg, d.Trades)
+	return d
+}
+
+func genTrades(cfg Config, rng *rand.Rand, mids []float64) *qval.Table {
+	n := cfg.Trades
+	times := genTimesFast(rng, n, cfg.StartMs, cfg.EndMs)
+	syms := make(qval.SymbolVec, n)
+	prices := make(qval.FloatVec, n)
+	sizes := make(qval.LongVec, n)
+	exch := make(qval.SymbolVec, n)
+	dates := qval.TemporalVec{T: qval.KDate, V: make([]int64, n)}
+	walk := append([]float64(nil), mids...)
+	for i := 0; i < n; i++ {
+		s := rng.Intn(len(cfg.Symbols))
+		walk[s] *= 1 + rng.NormFloat64()*0.0005
+		syms[i] = cfg.Symbols[s]
+		prices[i] = math.Round(walk[s]*100) / 100
+		sizes[i] = int64(100 * (1 + rng.Intn(50)))
+		exch[i] = exchanges[rng.Intn(len(exchanges))]
+		dates.V[i] = cfg.Date.V
+	}
+	return qval.NewTable(
+		[]string{"Date", "Symbol", "Time", "Price", "Size", "Exch"},
+		[]qval.Value{dates, syms, qval.TemporalVec{T: qval.KTime, V: times}, prices, sizes, exch})
+}
+
+func genQuotes(cfg Config, rng *rand.Rand, mids []float64) *qval.Table {
+	n := cfg.Quotes
+	times := genTimesFast(rng, n, cfg.StartMs, cfg.EndMs)
+	syms := make(qval.SymbolVec, n)
+	bids := make(qval.FloatVec, n)
+	asks := make(qval.FloatVec, n)
+	bsz := make(qval.LongVec, n)
+	asz := make(qval.LongVec, n)
+	dates := qval.TemporalVec{T: qval.KDate, V: make([]int64, n)}
+	walk := append([]float64(nil), mids...)
+	for i := 0; i < n; i++ {
+		s := rng.Intn(len(cfg.Symbols))
+		walk[s] *= 1 + rng.NormFloat64()*0.0005
+		spread := 0.01 * (1 + rng.Float64()*4)
+		syms[i] = cfg.Symbols[s]
+		bids[i] = math.Round((walk[s]-spread/2)*100) / 100
+		asks[i] = math.Round((walk[s]+spread/2)*100) / 100
+		bsz[i] = int64(100 * (1 + rng.Intn(30)))
+		asz[i] = int64(100 * (1 + rng.Intn(30)))
+		dates.V[i] = cfg.Date.V
+	}
+	return qval.NewTable(
+		[]string{"Date", "Symbol", "Time", "Bid", "Ask", "BidSize", "AskSize"},
+		[]qval.Value{dates, syms, qval.TemporalVec{T: qval.KTime, V: times}, bids, asks, bsz, asz})
+}
+
+// genTimesFast draws sorted timestamps in O(n) by accumulating exponential
+// gaps.
+func genTimesFast(rng *rand.Rand, n int, start, end int64) []int64 {
+	if n == 0 {
+		return nil
+	}
+	gaps := make([]float64, n)
+	total := 0.0
+	for i := range gaps {
+		gaps[i] = rng.ExpFloat64()
+		total += gaps[i]
+	}
+	out := make([]int64, n)
+	span := float64(end - start)
+	acc := 0.0
+	for i := range out {
+		acc += gaps[i]
+		out[i] = start + int64(acc/total*span)
+	}
+	return out
+}
+
+// genRefData builds the wide reference table: Symbol plus WideCols numeric
+// attributes (attr_000 ... attr_NNN), reproducing the paper's "tables with
+// more than 500 columns".
+func genRefData(cfg Config, rng *rand.Rand) *qval.Table {
+	nSym := len(cfg.Symbols)
+	cols := make([]string, 0, cfg.WideCols+2)
+	data := make([]qval.Value, 0, cfg.WideCols+2)
+	cols = append(cols, "Symbol", "Sector")
+	syms := make(qval.SymbolVec, nSym)
+	sectors := make(qval.SymbolVec, nSym)
+	sectorNames := []string{"tech", "fin", "energy", "health"}
+	for i, s := range cfg.Symbols {
+		syms[i] = s
+		sectors[i] = sectorNames[i%len(sectorNames)]
+	}
+	data = append(data, syms, sectors)
+	for c := 0; c < cfg.WideCols; c++ {
+		col := make(qval.FloatVec, nSym)
+		for i := range col {
+			col[i] = math.Round(rng.Float64()*10000) / 100
+		}
+		cols = append(cols, fmt.Sprintf("attr_%03d", c))
+		data = append(data, col)
+	}
+	return qval.NewTable(cols, data)
+}
+
+// genDaily derives per-symbol daily OHLCV from the trades.
+func genDaily(cfg Config, trades *qval.Table) *qval.Table {
+	symCol, _ := trades.Column("Symbol")
+	pxCol, _ := trades.Column("Price")
+	szCol, _ := trades.Column("Size")
+	type agg struct {
+		open, high, low, close float64
+		volume                 int64
+		seen                   bool
+	}
+	stats := map[string]*agg{}
+	n := trades.Len()
+	for i := 0; i < n; i++ {
+		s := string(symCol.(qval.SymbolVec)[i])
+		p := pxCol.(qval.FloatVec)[i]
+		a, ok := stats[s]
+		if !ok {
+			a = &agg{open: p, high: p, low: p}
+			stats[s] = a
+		}
+		if p > a.high {
+			a.high = p
+		}
+		if p < a.low {
+			a.low = p
+		}
+		a.close = p
+		a.volume += szCol.(qval.LongVec)[i]
+	}
+	var syms qval.SymbolVec
+	var open, high, low, cl qval.FloatVec
+	var vol qval.LongVec
+	for _, s := range cfg.Symbols {
+		a, ok := stats[s]
+		if !ok {
+			continue
+		}
+		syms = append(syms, s)
+		open = append(open, a.open)
+		high = append(high, a.high)
+		low = append(low, a.low)
+		cl = append(cl, a.close)
+		vol = append(vol, a.volume)
+	}
+	return qval.NewTable(
+		[]string{"Symbol", "Open", "High", "Low", "Close", "Volume"},
+		[]qval.Value{syms, open, high, low, cl, vol})
+}

@@ -1,0 +1,82 @@
+package taq
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func TestDefaultsAndShapes(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Trades.Len() != 10_000 {
+		t.Fatalf("default trades = %d", d.Trades.Len())
+	}
+	if d.Quotes.Len() != 20_000 {
+		t.Fatalf("default quotes = %d", d.Quotes.Len())
+	}
+	if d.RefData.NumCols() != 502 { // Symbol + Sector + 500 attrs
+		t.Fatalf("refdata cols = %d", d.RefData.NumCols())
+	}
+	if d.Daily.Len() == 0 || d.Daily.NumCols() != 6 {
+		t.Fatalf("daily shape = %dx%d", d.Daily.Len(), d.Daily.NumCols())
+	}
+}
+
+func TestSyntheticUniverse(t *testing.T) {
+	d := Generate(Config{Seed: 1, NumSymbols: 50, Trades: 100, Quotes: 100, WideCols: 3})
+	if d.RefData.Len() != 50 {
+		t.Fatalf("refdata rows = %d", d.RefData.Len())
+	}
+	sym, _ := d.RefData.Column("Symbol")
+	if sym.(qval.SymbolVec)[0] != "SYM0000" {
+		t.Fatalf("synthetic symbols = %v", qval.Index(sym, 0))
+	}
+}
+
+func TestQuotesBidBelowAsk(t *testing.T) {
+	d := Generate(Config{Seed: 9, Trades: 10, Quotes: 500, WideCols: 1})
+	bid, _ := d.Quotes.Column("Bid")
+	ask, _ := d.Quotes.Column("Ask")
+	for i := 0; i < d.Quotes.Len(); i++ {
+		b := bid.(qval.FloatVec)[i]
+		a := ask.(qval.FloatVec)[i]
+		if b > a {
+			t.Fatalf("crossed quote at %d: bid %v > ask %v", i, b, a)
+		}
+	}
+}
+
+func TestDailyConsistentWithTrades(t *testing.T) {
+	d := Generate(Config{Seed: 4, Trades: 1000, Quotes: 10, WideCols: 1,
+		Symbols: []string{"A", "B"}})
+	hi, _ := d.Daily.Column("High")
+	lo, _ := d.Daily.Column("Low")
+	for i := 0; i < d.Daily.Len(); i++ {
+		if hi.(qval.FloatVec)[i] < lo.(qval.FloatVec)[i] {
+			t.Fatal("daily high below low")
+		}
+	}
+	vol, _ := d.Daily.Column("Volume")
+	var totalDaily int64
+	for _, v := range vol.(qval.LongVec) {
+		totalDaily += v
+	}
+	sz, _ := d.Trades.Column("Size")
+	var totalTrades int64
+	for _, v := range sz.(qval.LongVec) {
+		totalTrades += v
+	}
+	if totalDaily != totalTrades {
+		t.Fatalf("daily volume %d != trades volume %d", totalDaily, totalTrades)
+	}
+}
+
+func TestPricesArePositive(t *testing.T) {
+	d := Generate(Config{Seed: 8, Trades: 2000, Quotes: 10, WideCols: 1})
+	px, _ := d.Trades.Column("Price")
+	for _, p := range px.(qval.FloatVec) {
+		if p <= 0 {
+			t.Fatalf("non-positive price %v", p)
+		}
+	}
+}

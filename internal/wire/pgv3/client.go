@@ -1,0 +1,241 @@
+package pgv3
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+)
+
+// ClientConn is the client side of a PG v3 connection — what Hyper-Q's
+// Gateway uses to talk to the backend database (paper §3.1).
+type ClientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// QueryResult is a collected simple-query result: schema, rows in text
+// format, and the command tag.
+type QueryResult struct {
+	Cols []ColDesc
+	Rows [][]Field
+	Tag  string
+}
+
+// Connect dials a PG v3 server and completes startup + authentication.
+func Connect(addr, user, password, database string) (*ClientConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if err := c.startup(user, password, database); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *ClientConn) startup(user, password, database string) error {
+	// startup message: no type byte
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, ProtocolVersion)
+	add := func(k, v string) {
+		body = append(append(body, k...), 0)
+		body = append(append(body, v...), 0)
+	}
+	add("user", user)
+	if database != "" {
+		add("database", database)
+	}
+	body = append(body, 0)
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(len(body)+4))
+	if _, err := c.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	// authentication loop
+	for {
+		typ, msg, err := readTyped(c.r)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case 'R':
+			if len(msg) < 4 {
+				return errf("short auth message")
+			}
+			switch binary.BigEndian.Uint32(msg) {
+			case AuthOK:
+				// continue to ready loop below
+			case AuthCleartext:
+				if err := c.sendPassword(password); err != nil {
+					return err
+				}
+			case AuthMD5:
+				if len(msg) < 8 {
+					return errf("short MD5 auth message")
+				}
+				var salt [4]byte
+				copy(salt[:], msg[4:8])
+				if err := c.sendPassword(md5Password(user, password, salt)); err != nil {
+					return err
+				}
+			default:
+				return errf("unsupported auth method %d", binary.BigEndian.Uint32(msg))
+			}
+		case 'S', 'K', 'N':
+			// parameter status / key data / notice: ignore
+		case 'Z':
+			return nil // ready
+		case 'E':
+			return parseServerError(msg)
+		default:
+			return errf("unexpected startup message %q", typ)
+		}
+	}
+}
+
+func (c *ClientConn) sendPassword(pw string) error {
+	m := newMsg('p')
+	m.cstr(pw)
+	if err := m.writeTo(c.w); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Query runs one SQL statement via the simple query protocol and collects
+// the full result (Hyper-Q must buffer the result set anyway before
+// pivoting it to QIPC column format, paper §4.2).
+func (c *ClientConn) Query(sql string) (*QueryResult, error) {
+	m := newMsg('Q')
+	m.cstr(sql)
+	if err := m.writeTo(c.w); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	res := &QueryResult{}
+	var qerr error
+	for {
+		typ, body, err := readTyped(c.r)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case 'T':
+			cols, err := parseRowDescription(body)
+			if err != nil {
+				return nil, err
+			}
+			res.Cols = cols
+		case 'D':
+			row, err := parseDataRow(body)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		case 'C':
+			tag, _, err := cutCString(body)
+			if err != nil {
+				return nil, err
+			}
+			res.Tag = tag
+		case 'E':
+			qerr = parseServerError(body)
+		case 'N', 'S', 'K':
+			// notices and parameter updates: ignore
+		case 'Z':
+			if qerr != nil {
+				return nil, qerr
+			}
+			return res, nil
+		default:
+			return nil, errf("unexpected message %q during query", typ)
+		}
+	}
+}
+
+// Close sends Terminate and closes the socket.
+func (c *ClientConn) Close() error {
+	m := newMsg('X')
+	m.writeTo(c.w)
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func parseRowDescription(b []byte) ([]ColDesc, error) {
+	if len(b) < 2 {
+		return nil, errf("short RowDescription")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	cols := make([]ColDesc, 0, n)
+	for i := 0; i < n; i++ {
+		name, rest, err := cutCString(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 18 {
+			return nil, errf("short column descriptor")
+		}
+		oid := binary.BigEndian.Uint32(rest[6:10])
+		cols = append(cols, ColDesc{Name: name, TypeOID: oid})
+		b = rest[18:]
+	}
+	return cols, nil
+}
+
+func parseDataRow(b []byte) ([]Field, error) {
+	if len(b) < 2 {
+		return nil, errf("short DataRow")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	row := make([]Field, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, errf("short field length")
+		}
+		ln := int32(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if ln < 0 {
+			row = append(row, Field{Null: true})
+			continue
+		}
+		if int(ln) > len(b) {
+			return nil, errf("field overruns message")
+		}
+		row = append(row, Field{Text: string(b[:ln])})
+		b = b[ln:]
+	}
+	return row, nil
+}
+
+func parseServerError(b []byte) *ServerError {
+	e := &ServerError{Severity: "ERROR", Code: "XX000"}
+	for len(b) > 0 && b[0] != 0 {
+		code := b[0]
+		val, rest, err := cutCString(b[1:])
+		if err != nil {
+			break
+		}
+		switch code {
+		case 'S':
+			e.Severity = val
+		case 'C':
+			e.Code = val
+		case 'M':
+			e.Message = val
+		}
+		b = rest
+	}
+	return e
+}

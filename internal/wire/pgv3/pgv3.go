@@ -1,0 +1,212 @@
+// Package pgv3 implements the PostgreSQL version-3 wire protocol (paper
+// §3.1, §4.2): typed messages framed as one type byte plus a four-byte
+// length, the startup/authentication flow (cleartext and MD5 password), the
+// simple-query cycle (Query → RowDescription → DataRow* → CommandComplete →
+// ReadyForQuery), and error responses. Both the client half (used by the
+// Gateway to reach the backend) and the server half (used by cmd/pgserver to
+// expose the embedded engine) are provided.
+package pgv3
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	ProtocolVersion = 196608 // 3.0
+	sslRequestCode  = 80877103
+)
+
+// Authentication subtypes carried in 'R' messages.
+const (
+	AuthOK        = 0
+	AuthCleartext = 3
+	AuthMD5       = 5
+)
+
+// Field is one result cell in text format; Null mirrors the wire's -1
+// length marker.
+type Field struct {
+	Null bool
+	Text string
+}
+
+// ColDesc describes one result column in a RowDescription.
+type ColDesc struct {
+	Name    string
+	TypeOID uint32
+}
+
+// Error is a protocol-level error.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return "pgv3: " + e.Msg }
+
+func errf(format string, args ...any) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ServerError is an ErrorResponse received from (or to be sent by) a
+// server, with the standard severity/code/message fields.
+type ServerError struct {
+	Severity string
+	Code     string // SQLSTATE
+	Message  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("%s %s: %s", e.Severity, e.Code, e.Message)
+}
+
+// OID constants for the SQL types the engine produces.
+const (
+	OidBool    = 16
+	OidInt8    = 20
+	OidInt2    = 21
+	OidInt4    = 23
+	OidText    = 25
+	OidFloat4  = 700
+	OidFloat8  = 701
+	OidVarchar = 1043
+	OidDate    = 1082
+	OidTime    = 1083
+	OidTS      = 1114
+	OidNumeric = 1700
+)
+
+// OIDForType maps a normalized SQL type name to its wire OID.
+func OIDForType(t string) uint32 {
+	switch t {
+	case "boolean", "bool":
+		return OidBool
+	case "smallint", "int2":
+		return OidInt2
+	case "integer", "int", "int4":
+		return OidInt4
+	case "bigint", "int8", "interval":
+		return OidInt8
+	case "real", "float4":
+		return OidFloat4
+	case "double precision", "float8":
+		return OidFloat8
+	case "numeric", "decimal":
+		return OidNumeric
+	case "date":
+		return OidDate
+	case "time":
+		return OidTime
+	case "timestamp", "timestamptz":
+		return OidTS
+	case "text":
+		return OidText
+	default:
+		return OidVarchar
+	}
+}
+
+// TypeForOID is the inverse of OIDForType.
+func TypeForOID(oid uint32) string {
+	switch oid {
+	case OidBool:
+		return "boolean"
+	case OidInt2:
+		return "smallint"
+	case OidInt4:
+		return "integer"
+	case OidInt8:
+		return "bigint"
+	case OidFloat4:
+		return "real"
+	case OidFloat8:
+		return "double precision"
+	case OidNumeric:
+		return "numeric"
+	case OidDate:
+		return "date"
+	case OidTime:
+		return "time"
+	case OidTS:
+		return "timestamp"
+	case OidText:
+		return "text"
+	default:
+		return "varchar"
+	}
+}
+
+// msg is a low-level builder for typed protocol messages.
+type msg struct {
+	typ byte
+	b   []byte
+}
+
+func newMsg(typ byte) *msg { return &msg{typ: typ} }
+
+func (m *msg) byte1(v byte)  { m.b = append(m.b, v) }
+func (m *msg) int16(v int16) { m.b = binary.BigEndian.AppendUint16(m.b, uint16(v)) }
+func (m *msg) int32(v int32) { m.b = binary.BigEndian.AppendUint32(m.b, uint32(v)) }
+func (m *msg) cstr(s string) { m.b = append(append(m.b, s...), 0) }
+func (m *msg) bytes(p []byte) {
+	m.b = append(m.b, p...)
+}
+
+func (m *msg) writeTo(w io.Writer) error {
+	hdr := make([]byte, 0, 5)
+	if m.typ != 0 {
+		hdr = append(hdr, m.typ)
+	}
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(m.b)+4))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(m.b)
+	return err
+}
+
+// readTyped reads one typed message: (type byte, body).
+func readTyped(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n < 4 || n > 1<<30 {
+		return 0, nil, errf("implausible message length %d", n)
+	}
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+// md5Password computes the PostgreSQL MD5 password response:
+// "md5" + md5hex(md5hex(password + user) + salt).
+func md5Password(user, password string, salt [4]byte) string {
+	inner := md5.Sum([]byte(password + user))
+	innerHex := hex.EncodeToString(inner[:])
+	outer := md5.Sum(append([]byte(innerHex), salt[:]...))
+	return "md5" + hex.EncodeToString(outer[:])
+}
+
+// cutCString splits the leading NUL-terminated string off b.
+func cutCString(b []byte) (string, []byte, error) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), b[i+1:], nil
+		}
+	}
+	return "", nil, errf("unterminated string")
+}
+
+// MD5Response computes the expected MD5 password response for a stored
+// plaintext credential — exported so servers can verify clients.
+func MD5Response(user, password string, salt [4]byte) string {
+	return md5Password(user, password, salt)
+}

@@ -1,0 +1,163 @@
+package pgv3
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// echoServer accepts one connection and serves canned responses with the
+// given auth method.
+func echoServer(t *testing.T, l net.Listener, method AuthMethod, users map[string]string) {
+	t.Helper()
+	conn, err := l.Accept()
+	if err != nil {
+		return
+	}
+	sc := NewServerConn(conn)
+	defer sc.Close()
+	if err := sc.Startup(); err != nil {
+		t.Errorf("startup: %v", err)
+		return
+	}
+	verify := func(user, response string, salt [4]byte) bool {
+		stored, ok := users[user]
+		if !ok {
+			return false
+		}
+		if method == AuthMethodMD5 {
+			return response == MD5Response(user, stored, salt)
+		}
+		return response == stored
+	}
+	if err := sc.Authenticate(method, verify); err != nil {
+		return
+	}
+	for {
+		sql, err := sc.ReadQuery()
+		if err != nil {
+			return
+		}
+		if strings.Contains(sql, "boom") {
+			sc.SendError(&ServerError{Severity: "ERROR", Code: "42P01", Message: "relation does not exist"})
+			sc.SendReadyForQuery()
+			sc.Flush()
+			continue
+		}
+		sc.SendRowDescription([]ColDesc{
+			{Name: "a", TypeOID: OidInt8},
+			{Name: "b", TypeOID: OidVarchar},
+		})
+		sc.SendDataRow([]Field{{Text: "1"}, {Text: "x"}})
+		sc.SendDataRow([]Field{{Text: "2"}, {Null: true}})
+		sc.SendCommandComplete("SELECT 2")
+		sc.SendReadyForQuery()
+		sc.Flush()
+	}
+}
+
+func startEcho(t *testing.T, method AuthMethod, users map[string]string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			echoServer(t, l, method, users)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestTrustAuthAndSimpleQuery(t *testing.T) {
+	addr := startEcho(t, AuthMethodTrust, nil)
+	c, err := Connect(addr, "u", "", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("SELECT a, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 || res.Cols[0].Name != "a" || res.Cols[0].TypeOID != OidInt8 {
+		t.Fatalf("cols = %+v", res.Cols)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Text != "1" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if !res.Rows[1][1].Null {
+		t.Fatal("null field lost")
+	}
+	if res.Tag != "SELECT 2" {
+		t.Fatalf("tag = %q", res.Tag)
+	}
+}
+
+func TestCleartextAuth(t *testing.T) {
+	addr := startEcho(t, AuthMethodCleartext, map[string]string{"alice": "pw"})
+	c, err := Connect(addr, "alice", "pw", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := Connect(addr, "alice", "wrong", "db"); err == nil {
+		t.Fatal("wrong password should be rejected")
+	}
+}
+
+func TestMD5Auth(t *testing.T) {
+	addr := startEcho(t, AuthMethodMD5, map[string]string{"bob": "hunter2"})
+	c, err := Connect(addr, "bob", "hunter2", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := Connect(addr, "bob", "nope", "db"); err == nil {
+		t.Fatal("wrong MD5 password should be rejected")
+	}
+}
+
+func TestServerErrorSurfaces(t *testing.T) {
+	addr := startEcho(t, AuthMethodTrust, nil)
+	c, err := Connect(addr, "u", "", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("boom")
+	se, ok := err.(*ServerError)
+	if !ok || se.Code != "42P01" {
+		t.Fatalf("err = %v", err)
+	}
+	// connection still usable after an error (ReadyForQuery resumed)
+	if _, err := c.Query("SELECT 1"); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestMD5ResponseFormat(t *testing.T) {
+	// known-answer test: PostgreSQL md5 scheme
+	got := MD5Response("user", "pass", [4]byte{1, 2, 3, 4})
+	if !strings.HasPrefix(got, "md5") || len(got) != 35 {
+		t.Fatalf("md5 response = %q", got)
+	}
+	// deterministic
+	if got != MD5Response("user", "pass", [4]byte{1, 2, 3, 4}) {
+		t.Fatal("md5 response not deterministic")
+	}
+	if got == MD5Response("user", "pass", [4]byte{9, 9, 9, 9}) {
+		t.Fatal("salt ignored")
+	}
+}
+
+func TestOIDRoundTrip(t *testing.T) {
+	for _, typ := range []string{"boolean", "smallint", "integer", "bigint",
+		"real", "double precision", "numeric", "date", "time", "timestamp", "varchar", "text"} {
+		if got := TypeForOID(OIDForType(typ)); got != typ {
+			t.Errorf("OID round trip %q -> %q", typ, got)
+		}
+	}
+}

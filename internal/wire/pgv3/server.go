@@ -1,0 +1,264 @@
+package pgv3
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"io"
+	"net"
+)
+
+// AuthMethod selects the server's authentication mechanism (paper §4.2: an
+// authentication server supports clear text password, MD5 and Kerberos; we
+// implement the first two).
+type AuthMethod int
+
+// Authentication methods.
+const (
+	AuthMethodTrust AuthMethod = iota
+	AuthMethodCleartext
+	AuthMethodMD5
+)
+
+// ServerConn is the server side of one PG v3 connection.
+type ServerConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	// Params are the startup parameters the client sent (user, database).
+	Params map[string]string
+}
+
+// NewServerConn wraps an accepted connection.
+func NewServerConn(conn net.Conn) *ServerConn {
+	return &ServerConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Startup reads the startup message (transparently refusing SSL requests)
+// and stores the client parameters.
+func (s *ServerConn) Startup() error {
+	for {
+		lenBuf := make([]byte, 4)
+		if _, err := io.ReadFull(s.r, lenBuf); err != nil {
+			return err
+		}
+		n := binary.BigEndian.Uint32(lenBuf)
+		if n < 8 || n > 1<<20 {
+			return errf("implausible startup length %d", n)
+		}
+		body := make([]byte, n-4)
+		if _, err := io.ReadFull(s.r, body); err != nil {
+			return err
+		}
+		code := binary.BigEndian.Uint32(body)
+		if code == sslRequestCode {
+			// refuse SSL, client retries in plaintext
+			if _, err := s.conn.Write([]byte{'N'}); err != nil {
+				return err
+			}
+			continue
+		}
+		if code != ProtocolVersion {
+			return errf("unsupported protocol %d", code)
+		}
+		s.Params = map[string]string{}
+		rest := body[4:]
+		for len(rest) > 1 {
+			var k, v string
+			var err error
+			k, rest, err = cutCString(rest)
+			if err != nil {
+				return err
+			}
+			if k == "" {
+				break
+			}
+			v, rest, err = cutCString(rest)
+			if err != nil {
+				return err
+			}
+			s.Params[k] = v
+		}
+		return nil
+	}
+}
+
+// Authenticate runs the configured password exchange. verify receives the
+// user name and, for cleartext, the password; for MD5 it receives the md5
+// response and the salt so the caller can check against its stored
+// credential.
+func (s *ServerConn) Authenticate(method AuthMethod, verify func(user, response string, salt [4]byte) bool) error {
+	user := s.Params["user"]
+	switch method {
+	case AuthMethodTrust:
+		// fall through to AuthOK
+	case AuthMethodCleartext:
+		m := newMsg('R')
+		m.int32(AuthCleartext)
+		if err := m.writeTo(s.w); err != nil {
+			return err
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		resp, err := s.readPassword()
+		if err != nil {
+			return err
+		}
+		if verify == nil || !verify(user, resp, [4]byte{}) {
+			s.SendError(&ServerError{Severity: "FATAL", Code: "28P01", Message: "password authentication failed for user \"" + user + "\""})
+			s.w.Flush()
+			return errf("authentication failed for %q", user)
+		}
+	case AuthMethodMD5:
+		var salt [4]byte
+		if _, err := rand.Read(salt[:]); err != nil {
+			return err
+		}
+		m := newMsg('R')
+		m.int32(AuthMD5)
+		m.bytes(salt[:])
+		if err := m.writeTo(s.w); err != nil {
+			return err
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		resp, err := s.readPassword()
+		if err != nil {
+			return err
+		}
+		if verify == nil || !verify(user, resp, salt) {
+			s.SendError(&ServerError{Severity: "FATAL", Code: "28P01", Message: "password authentication failed for user \"" + user + "\""})
+			s.w.Flush()
+			return errf("authentication failed for %q", user)
+		}
+	}
+	ok := newMsg('R')
+	ok.int32(AuthOK)
+	if err := ok.writeTo(s.w); err != nil {
+		return err
+	}
+	// minimal parameter status + ready
+	ps := newMsg('S')
+	ps.cstr("server_version")
+	ps.cstr("9.2-hyperq")
+	if err := ps.writeTo(s.w); err != nil {
+		return err
+	}
+	if err := s.SendReadyForQuery(); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func (s *ServerConn) readPassword() (string, error) {
+	typ, body, err := readTyped(s.r)
+	if err != nil {
+		return "", err
+	}
+	if typ != 'p' {
+		return "", errf("expected PasswordMessage, got %q", typ)
+	}
+	pw, _, err := cutCString(body)
+	return pw, err
+}
+
+// ReadQuery reads the next Query ('Q') message, returning io.EOF after a
+// Terminate ('X'). Other frontend messages are rejected with an error
+// response.
+func (s *ServerConn) ReadQuery() (string, error) {
+	for {
+		typ, body, err := readTyped(s.r)
+		if err != nil {
+			return "", err
+		}
+		switch typ {
+		case 'Q':
+			sql, _, err := cutCString(body)
+			return sql, err
+		case 'X':
+			return "", io.EOF
+		case 'H', 'S': // Flush / Sync: acknowledge with ready
+			if err := s.SendReadyForQuery(); err != nil {
+				return "", err
+			}
+			if err := s.w.Flush(); err != nil {
+				return "", err
+			}
+		default:
+			s.SendError(&ServerError{Severity: "ERROR", Code: "0A000", Message: "unsupported frontend message"})
+			if err := s.SendReadyForQuery(); err != nil {
+				return "", err
+			}
+			if err := s.w.Flush(); err != nil {
+				return "", err
+			}
+		}
+	}
+}
+
+// SendRowDescription announces the result schema ('T').
+func (s *ServerConn) SendRowDescription(cols []ColDesc) error {
+	m := newMsg('T')
+	m.int16(int16(len(cols)))
+	for _, c := range cols {
+		m.cstr(c.Name)
+		m.int32(0) // table OID
+		m.int16(0) // attribute number
+		m.int32(int32(c.TypeOID))
+		m.int16(-1) // type size (variable)
+		m.int32(-1) // type modifier
+		m.int16(0)  // text format
+	}
+	return m.writeTo(s.w)
+}
+
+// SendDataRow streams one row ('D'); the paper contrasts this row-at-a-time
+// streaming with QIPC's single column-oriented message (§4.2).
+func (s *ServerConn) SendDataRow(fields []Field) error {
+	m := newMsg('D')
+	m.int16(int16(len(fields)))
+	for _, f := range fields {
+		if f.Null {
+			m.int32(-1)
+			continue
+		}
+		m.int32(int32(len(f.Text)))
+		m.bytes([]byte(f.Text))
+	}
+	return m.writeTo(s.w)
+}
+
+// SendCommandComplete ends a statement's results ('C').
+func (s *ServerConn) SendCommandComplete(tag string) error {
+	m := newMsg('C')
+	m.cstr(tag)
+	return m.writeTo(s.w)
+}
+
+// SendError reports an error ('E').
+func (s *ServerConn) SendError(e *ServerError) error {
+	m := newMsg('E')
+	m.byte1('S')
+	m.cstr(e.Severity)
+	m.byte1('C')
+	m.cstr(e.Code)
+	m.byte1('M')
+	m.cstr(e.Message)
+	m.byte1(0)
+	return m.writeTo(s.w)
+}
+
+// SendReadyForQuery tells the client the server is idle ('Z').
+func (s *ServerConn) SendReadyForQuery() error {
+	m := newMsg('Z')
+	m.byte1('I')
+	return m.writeTo(s.w)
+}
+
+// Flush pushes buffered output to the socket.
+func (s *ServerConn) Flush() error { return s.w.Flush() }
+
+// Close closes the connection.
+func (s *ServerConn) Close() error { return s.conn.Close() }

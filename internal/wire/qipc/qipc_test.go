@@ -1,0 +1,313 @@
+package qipc
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func roundTrip(t *testing.T, v qval.Value) qval.Value {
+	t.Helper()
+	b, err := EncodeValue(v)
+	if err != nil {
+		t.Fatalf("encode %v: %v", v, err)
+	}
+	out, n, err := DecodeValue(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", v, err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(b))
+	}
+	return out
+}
+
+func TestAtomRoundTrips(t *testing.T) {
+	atoms := []qval.Value{
+		qval.Bool(true), qval.Bool(false),
+		qval.Byte(0xab),
+		qval.Short(-3), qval.Short(qval.NullShort),
+		qval.Int(42), qval.Int(qval.NullInt),
+		qval.Long(1 << 40), qval.Long(qval.NullLong),
+		qval.Real(1.5),
+		qval.Float(3.14159), qval.Float(math.Inf(1)),
+		qval.Char('q'),
+		qval.Symbol("GOOG"), qval.Symbol(""),
+		qval.MkDate(2016, 6, 26),
+		qval.MkTime(9, 30, 0, 123),
+		qval.MkTimestamp(2016, 6, 26, 9, 30, 0, 999),
+		qval.MkMinute(14, 30),
+		qval.MkSecond(1, 2, 3),
+		qval.MkMonth(2016, 6),
+		qval.Temporal{T: qval.KTimespan, V: 86400*1e9 + 1},
+		qval.Temporal{T: qval.KDate, V: qval.NullLong}, // 32-bit wire null
+		qval.Datetime(123.5),
+		qval.Identity,
+	}
+	for _, a := range atoms {
+		got := roundTrip(t, a)
+		if !qval.EqualValues(got, a) || got.Type() != a.Type() {
+			t.Errorf("round trip %v (%s) = %v (%s)", a, qval.TypeName(a.Type()), got, qval.TypeName(got.Type()))
+		}
+	}
+}
+
+func TestVectorRoundTrips(t *testing.T) {
+	vecs := []qval.Value{
+		qval.BoolVec{true, false, true},
+		qval.ByteVec{1, 2, 3},
+		qval.ShortVec{1, qval.NullShort},
+		qval.IntVec{1, -2, qval.NullInt},
+		qval.LongVec{1, 2, qval.NullLong},
+		qval.RealVec{1.5, 2.5},
+		qval.FloatVec{1.5, math.NaN()},
+		qval.CharVec("hello world"),
+		qval.SymbolVec{"GOOG", "", "IBM"},
+		qval.TemporalVec{T: qval.KTime, V: []int64{34200000, qval.NullLong}},
+		qval.TemporalVec{T: qval.KTimestamp, V: []int64{1, 2, 3}},
+		qval.DatetimeVec{1.5, 2.5},
+		qval.List{qval.Long(1), qval.Symbol("x"), qval.CharVec("s")},
+		qval.LongVec{}, qval.SymbolVec{}, qval.List{},
+	}
+	for _, v := range vecs {
+		got := roundTrip(t, v)
+		if got.Type() != v.Type() || got.Len() != v.Len() {
+			t.Errorf("round trip %v: type/len changed: %v", v, got)
+			continue
+		}
+		for i := 0; i < v.Len(); i++ {
+			a, b := qval.Index(v, i), qval.Index(got, i)
+			if !qval.EqualValues(a, b) && !(qval.IsNull(a) && qval.IsNull(b)) {
+				t.Errorf("round trip %v[%d] = %v, want %v", v, i, b, a)
+			}
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tbl := qval.NewTable(
+		[]string{"Symbol", "Time", "Price"},
+		[]qval.Value{
+			qval.SymbolVec{"GOOG", "IBM"},
+			qval.TemporalVec{T: qval.KTime, V: []int64{34200000, 34201000}},
+			qval.FloatVec{100.5, 150.25},
+		})
+	got := roundTrip(t, tbl).(*qval.Table)
+	if !qval.EqualValues(got, tbl) {
+		t.Fatalf("table round trip:\n%v\n%v", tbl, got)
+	}
+}
+
+func TestDictAndKeyedTableRoundTrip(t *testing.T) {
+	d := qval.NewDict(qval.SymbolVec{"a", "b"}, qval.LongVec{1, 2})
+	got := roundTrip(t, d)
+	if !qval.EqualValues(got, d) {
+		t.Fatalf("dict round trip = %v", got)
+	}
+	kt, _ := qval.KeyTable([]string{"Symbol"}, qval.NewTable(
+		[]string{"Symbol", "Price"},
+		[]qval.Value{qval.SymbolVec{"A", "B"}, qval.FloatVec{1, 2}}))
+	got = roundTrip(t, kt)
+	if !qval.EqualValues(got, kt) {
+		t.Fatalf("keyed table round trip = %v", got)
+	}
+}
+
+func TestLambdaAndErrorRoundTrip(t *testing.T) {
+	lam := &qval.Lambda{Source: "{[x] x+1}"}
+	got := roundTrip(t, lam).(*qval.Lambda)
+	if got.Source != lam.Source {
+		t.Fatalf("lambda = %q", got.Source)
+	}
+	qe := &qval.QError{Msg: "type"}
+	gotE := roundTrip(t, qe).(*qval.QError)
+	if gotE.Msg != "type" {
+		t.Fatalf("error = %q", gotE.Msg)
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	v := qval.CharVec("select from trades")
+	if err := WriteMessage(&buf, Sync, v); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != Sync {
+		t.Fatalf("type = %v", msg.Type)
+	}
+	if !qval.EqualValues(msg.Value, v) {
+		t.Fatalf("value = %v", msg.Value)
+	}
+}
+
+func TestLargeMessageCompressionRoundTrip(t *testing.T) {
+	// large repetitive table compresses and round-trips
+	n := 10000
+	syms := make(qval.SymbolVec, n)
+	prices := make(qval.FloatVec, n)
+	for i := range syms {
+		syms[i] = []string{"GOOG", "IBM", "MSFT"}[i%3]
+		prices[i] = float64(100 + i%7)
+	}
+	tbl := qval.NewTable([]string{"Symbol", "Price"}, []qval.Value{syms, prices})
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Response, tbl); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := EncodeValue(tbl)
+	if buf.Len() >= len(raw)+8 {
+		t.Fatalf("message was not compressed: %d vs %d", buf.Len(), len(raw)+8)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qval.EqualValues(msg.Value, tbl) {
+		t.Fatal("compressed round trip mismatch")
+	}
+}
+
+func TestCompressDecompressRaw(t *testing.T) {
+	raw := make([]byte, 5000)
+	raw[0] = 1
+	for i := 8; i < len(raw); i++ {
+		raw[i] = byte(i % 17)
+	}
+	// patch length
+	raw[4] = byte(len(raw))
+	raw[5] = byte(len(raw) >> 8)
+	z, ok := Compress(raw)
+	if !ok {
+		t.Fatal("repetitive buffer should compress")
+	}
+	if len(z) >= len(raw) {
+		t.Fatalf("compression grew: %d vs %d", len(z), len(raw))
+	}
+	back, err := Decompress(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, raw) {
+		t.Fatal("decompress(compress(x)) != x")
+	}
+}
+
+func TestPropCompressionRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		raw := make([]byte, 8+len(payload))
+		raw[0] = 1
+		total := uint32(len(raw))
+		raw[4] = byte(total)
+		raw[5] = byte(total >> 8)
+		raw[6] = byte(total >> 16)
+		copy(raw[8:], payload)
+		z, ok := Compress(raw)
+		if !ok {
+			return true // incompressible: sent raw, nothing to verify
+		}
+		back, err := Decompress(z)
+		return err == nil && bytes.Equal(back, raw)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropValueRoundTrip(t *testing.T) {
+	f := func(longs []int64, syms []string, floats []float64) bool {
+		vals := qval.List{qval.LongVec(longs), qval.SymbolVec(cleanSyms(syms)), qval.FloatVec(floats)}
+		b, err := EncodeValue(vals)
+		if err != nil {
+			return false
+		}
+		out, n, err := DecodeValue(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		got := out.(qval.List)
+		for i := range vals {
+			if got[i].Len() != vals[i].Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// cleanSyms strips NUL bytes, which cannot appear in interned symbols.
+func cleanSyms(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		b := []byte(s)
+		var c []byte
+		for _, x := range b {
+			if x != 0 {
+				c = append(c, x)
+			}
+		}
+		out[i] = string(c)
+	}
+	return out
+}
+
+func TestHandshake(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	done := make(chan error, 1)
+	go func() {
+		br := bufio.NewReader(server)
+		creds, err := ServerHandshake(br, server, func(u, p string) bool {
+			return u == "trader" && p == "secret"
+		})
+		if err == nil && creds.User != "trader" {
+			err = errf("wrong user %q", creds.User)
+		}
+		done <- err
+	}()
+	if err := ClientHandshake(client, "trader", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeRejection(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		br := bufio.NewReader(server)
+		_, err := ServerHandshake(br, server, func(u, p string) bool { return false })
+		if err == nil {
+			t.Error("auth should fail")
+		}
+		server.Close() // kdb+ closes without replying
+	}()
+	if err := ClientHandshake(client, "intruder", "nope"); err == nil {
+		t.Fatal("client should see rejection")
+	}
+}
+
+func TestDecodeCorruptInput(t *testing.T) {
+	for _, b := range [][]byte{
+		{}, {0x07}, {0x0b, 0, 0xff, 0xff, 0xff, 0x7f}, {0x63},
+	} {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("DecodeValue(%x) should fail", b)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package xc implements the Cross Compiler (paper §3.4, Figure 4): the
+// Protocol Translator (PT) and Query Translator (QT), each designed as a
+// finite state machine that maintains translator state while providing code
+// re-entrance. FSMs fire asynchronous events that kick off processing, and
+// function callbacks trigger automatically when events occur — e.g. when
+// backend results are ready, a callback pivots them into QIPC format.
+package xc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// State identifies one FSM state.
+type State string
+
+// EventKind identifies one event type.
+type EventKind string
+
+// Event is one unit of work delivered to an FSM.
+type Event struct {
+	Kind    EventKind
+	Payload any
+}
+
+// Action is a callback fired on a transition. It receives the event payload
+// and may emit follow-up events (to this or another FSM via the router the
+// caller installed).
+type Action func(payload any) ([]Event, error)
+
+// transition is an edge of the state graph.
+type transition struct {
+	next   State
+	action Action
+}
+
+// FSM is a finite state machine with an event queue. Events enqueue without
+// blocking the sender; the owner drains them via Step or Drain — the
+// re-entrance mechanism §3.4 describes.
+type FSM struct {
+	Name string
+
+	mu     sync.Mutex
+	state  State
+	edges  map[State]map[EventKind]transition
+	queue  []Event
+	trace  []string
+	failed error
+}
+
+// NewFSM builds an FSM starting in the given state.
+func NewFSM(name string, start State) *FSM {
+	return &FSM{Name: name, state: start, edges: map[State]map[EventKind]transition{}}
+}
+
+// On registers a transition: in state `from`, event `ev` runs `action` and
+// moves to `to`.
+func (f *FSM) On(from State, ev EventKind, to State, action Action) {
+	if f.edges[from] == nil {
+		f.edges[from] = map[EventKind]transition{}
+	}
+	f.edges[from][ev] = transition{next: to, action: action}
+}
+
+// State returns the current state.
+func (f *FSM) State() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// Err returns the sticky failure, if the machine has failed.
+func (f *FSM) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// Trace returns the transition log (for tests and debugging).
+func (f *FSM) Trace() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trace...)
+}
+
+// Send enqueues an event.
+func (f *FSM) Send(ev Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queue = append(f.queue, ev)
+}
+
+// Step processes one queued event; it reports whether an event was
+// processed. An event with no registered transition in the current state is
+// a protocol error and fails the machine.
+func (f *FSM) Step() (bool, error) {
+	f.mu.Lock()
+	if f.failed != nil {
+		f.mu.Unlock()
+		return false, f.failed
+	}
+	if len(f.queue) == 0 {
+		f.mu.Unlock()
+		return false, nil
+	}
+	ev := f.queue[0]
+	f.queue = f.queue[1:]
+	cur := f.state
+	tr, ok := f.edges[cur][ev.Kind]
+	if !ok {
+		f.failed = fmt.Errorf("xc: %s: no transition for event %q in state %q", f.Name, ev.Kind, cur)
+		f.mu.Unlock()
+		return false, f.failed
+	}
+	f.state = tr.next
+	f.trace = append(f.trace, fmt.Sprintf("%s --%s--> %s", cur, ev.Kind, tr.next))
+	f.mu.Unlock()
+
+	if tr.action != nil {
+		follow, err := tr.action(ev.Payload)
+		if err != nil {
+			f.mu.Lock()
+			f.failed = err
+			f.mu.Unlock()
+			return true, err
+		}
+		for _, fe := range follow {
+			f.Send(fe)
+		}
+	}
+	return true, nil
+}
+
+// Drain processes queued events until the queue is empty or the machine
+// fails.
+func (f *FSM) Drain() error {
+	for {
+		processed, err := f.Step()
+		if err != nil {
+			return err
+		}
+		if !processed {
+			return nil
+		}
+	}
+}
+
+// Reset returns the machine to the given state and clears failure, keeping
+// the transition table — how a translator instance is reused across queries.
+func (f *FSM) Reset(start State) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.state = start
+	f.failed = nil
+	f.queue = nil
+}

@@ -1,0 +1,182 @@
+package xformer
+
+import (
+	"testing"
+
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/xtra"
+)
+
+func tradesGet(withOrd bool) *xtra.Get {
+	g := &xtra.Get{Table: "trades"}
+	if withOrd {
+		g.P.Cols = append(g.P.Cols, xtra.Col{Name: xtra.OrdCol, QType: qval.KLong, SQLType: "bigint"})
+		g.P.OrderCol = xtra.OrdCol
+	}
+	g.P.Cols = append(g.P.Cols,
+		xtra.Col{Name: "Symbol", QType: qval.KSymbol, SQLType: "varchar"},
+		xtra.Col{Name: "Price", QType: qval.KFloat, SQLType: "double precision"},
+		xtra.Col{Name: "Size", QType: qval.KLong, SQLType: "bigint"},
+	)
+	g.P.PreservesOrder = true
+	return g
+}
+
+func eqPred(col string, v qval.Value) xtra.Scalar {
+	return &xtra.FnApp{Op: "=", Typ: qval.KBool, Args: []xtra.Scalar{
+		&xtra.ColRef{Name: col, Typ: qval.KSymbol},
+		&xtra.ConstExpr{Val: v},
+	}}
+}
+
+func TestNullSemanticsRewritesEquality(t *testing.T) {
+	g := tradesGet(true)
+	f := &xtra.Filter{Input: g, Pred: eqPred("Symbol", qval.Symbol("GOOG"))}
+	f.P = g.P
+	x := New(Config{DisableOrdering: true, DisableColumnPruning: true})
+	root := x.Apply(f)
+	pred := root.(*xtra.Filter).Pred.(*xtra.FnApp)
+	if pred.Op != "indf" {
+		t.Fatalf("pred op = %q, want indf (IS NOT DISTINCT FROM)", pred.Op)
+	}
+	if x.Stats().Fired["NullSemantics"] != 1 {
+		t.Fatalf("stats = %v", x.Stats().Fired)
+	}
+}
+
+func TestNullSemanticsCanBeDisabled(t *testing.T) {
+	g := tradesGet(true)
+	f := &xtra.Filter{Input: g, Pred: eqPred("Symbol", qval.Symbol("GOOG"))}
+	f.P = g.P
+	x := New(Config{DisableNullSemantics: true, DisableOrdering: true, DisableColumnPruning: true})
+	root := x.Apply(f)
+	if root.(*xtra.Filter).Pred.(*xtra.FnApp).Op != "=" {
+		t.Fatal("disabled rule still rewrote")
+	}
+}
+
+func TestOrderInjectionForUnorderedGet(t *testing.T) {
+	// a table without ordcol gets a ROW_NUMBER window injected (§3.3)
+	g := tradesGet(false)
+	x := New(Config{DisableNullSemantics: true, DisableColumnPruning: true})
+	root := x.Apply(g)
+	srt, ok := root.(*xtra.Sort)
+	if !ok {
+		t.Fatalf("root = %T, want Sort", root)
+	}
+	w, ok := srt.Input.(*xtra.Window)
+	if !ok {
+		t.Fatalf("sort input = %T, want Window", srt.Input)
+	}
+	if len(w.Funcs) != 1 || w.Funcs[0].Fn != "row_number" || w.Funcs[0].Name != xtra.OrdCol {
+		t.Fatalf("window funcs = %+v", w.Funcs)
+	}
+}
+
+func TestRootSortAddedForOrderedPlan(t *testing.T) {
+	g := tradesGet(true)
+	x := New(Config{DisableNullSemantics: true, DisableColumnPruning: true})
+	root := x.Apply(g)
+	srt, ok := root.(*xtra.Sort)
+	if !ok || srt.Keys[0].Col != xtra.OrdCol {
+		t.Fatalf("root = %T", root)
+	}
+}
+
+func TestScalarAggregationDropsOrderingRequirement(t *testing.T) {
+	// paper §3.3: a scalar aggregation on top removes the inner ordering
+	g := tradesGet(true)
+	agg := &xtra.GroupAgg{Input: g}
+	agg.Aggs = append(agg.Aggs, xtra.NamedExpr{Name: "mx",
+		Expr: &xtra.AggCall{Fn: "max", Arg: &xtra.ColRef{Name: "Price", Typ: qval.KFloat}, Typ: qval.KFloat}})
+	agg.P.Cols = []xtra.Col{{Name: "mx", QType: qval.KFloat, SQLType: "double precision"}}
+	x := New(Config{DisableNullSemantics: true, DisableColumnPruning: true})
+	root := x.Apply(agg)
+	if _, isSort := root.(*xtra.Sort); isSort {
+		t.Fatal("scalar aggregation must not be wrapped in Sort")
+	}
+}
+
+func TestGroupedAggGetsMinOrdcol(t *testing.T) {
+	g := tradesGet(true)
+	agg := &xtra.GroupAgg{Input: g}
+	agg.Keys = append(agg.Keys, xtra.NamedExpr{Name: "Symbol",
+		Expr: &xtra.ColRef{Name: "Symbol", Typ: qval.KSymbol}})
+	agg.Aggs = append(agg.Aggs, xtra.NamedExpr{Name: "mx",
+		Expr: &xtra.AggCall{Fn: "max", Arg: &xtra.ColRef{Name: "Price", Typ: qval.KFloat}, Typ: qval.KFloat}})
+	agg.P.Cols = []xtra.Col{
+		{Name: "Symbol", QType: qval.KSymbol, SQLType: "varchar"},
+		{Name: "mx", QType: qval.KFloat, SQLType: "double precision"},
+	}
+	x := New(Config{DisableNullSemantics: true, DisableColumnPruning: true})
+	root := x.Apply(agg)
+	srt, ok := root.(*xtra.Sort)
+	if !ok {
+		t.Fatalf("grouped plan root = %T", root)
+	}
+	inner := srt.Input.(*xtra.GroupAgg)
+	found := false
+	for _, a := range inner.Aggs {
+		if a.Name == xtra.OrdCol {
+			if ac, ok := a.Expr.(*xtra.AggCall); ok && ac.Fn == "min" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("grouped agg should carry min(ordcol) for first-appearance ordering")
+	}
+}
+
+func TestColumnPruningOnGetUnderProject(t *testing.T) {
+	g := tradesGet(true)
+	p := &xtra.Project{Input: g}
+	p.Exprs = []xtra.NamedExpr{{Name: "Price", Expr: &xtra.ColRef{Name: "Price", Typ: qval.KFloat}}}
+	p.P.Cols = []xtra.Col{{Name: "Price", QType: qval.KFloat, SQLType: "double precision"}}
+	p.P.OrderCol = xtra.OrdCol // pretend ordering already plumbed
+	p.Exprs = append(p.Exprs, xtra.NamedExpr{Name: xtra.OrdCol, Expr: &xtra.ColRef{Name: xtra.OrdCol, Typ: qval.KLong}})
+	p.P.Cols = append(p.P.Cols, xtra.Col{Name: xtra.OrdCol, QType: qval.KLong, SQLType: "bigint"})
+	x := New(Config{DisableNullSemantics: true, DisableOrdering: true})
+	x.Apply(p)
+	if len(g.P.Cols) != 2 { // Price + ordcol
+		t.Fatalf("get cols after pruning = %v", g.P.ColNames())
+	}
+	if _, ok := g.P.Col("Symbol"); ok {
+		t.Fatal("Symbol should be pruned")
+	}
+	if _, ok := g.P.Col(xtra.OrdCol); !ok {
+		t.Fatal("order column must survive pruning")
+	}
+}
+
+func TestPruningKeepsFilterColumns(t *testing.T) {
+	g := tradesGet(true)
+	f := &xtra.Filter{Input: g, Pred: eqPred("Symbol", qval.Symbol("IBM"))}
+	f.P = g.P
+	p := &xtra.Project{Input: f}
+	p.Exprs = []xtra.NamedExpr{{Name: "Price", Expr: &xtra.ColRef{Name: "Price", Typ: qval.KFloat}}}
+	p.P.Cols = []xtra.Col{{Name: "Price", QType: qval.KFloat, SQLType: "double precision"}}
+	x := New(Config{DisableNullSemantics: true, DisableOrdering: true})
+	x.Apply(p)
+	if _, ok := g.P.Col("Symbol"); !ok {
+		t.Fatal("filter column must survive pruning of the scan")
+	}
+	if _, ok := g.P.Col("Size"); ok {
+		t.Fatal("unused column should be pruned")
+	}
+}
+
+func TestAllRulesComposeWithoutPanic(t *testing.T) {
+	g := tradesGet(false)
+	f := &xtra.Filter{Input: g, Pred: eqPred("Symbol", qval.Symbol("A"))}
+	f.P = g.P
+	x := New(Config{})
+	root := x.Apply(f)
+	if root == nil {
+		t.Fatal("nil root")
+	}
+	// the composed plan must still expose an order column at the root
+	if _, isSort := root.(*xtra.Sort); !isSort {
+		t.Fatalf("root = %T", root)
+	}
+}
