@@ -14,16 +14,25 @@ package hyperq_test
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"hyperq/internal/core"
+	"hyperq/internal/endpoint"
+	"hyperq/internal/gateway"
+	"hyperq/internal/mdi"
 	"hyperq/internal/pgdb"
+	"hyperq/internal/pool"
+	"hyperq/internal/qcache"
 	"hyperq/internal/qlang/interp"
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/taq"
+	"hyperq/internal/wire/pgv3"
 	"hyperq/internal/wire/qipc"
 	"hyperq/internal/workload"
+	"hyperq/internal/xc"
 	"hyperq/internal/xformer"
 )
 
@@ -326,6 +335,178 @@ func BenchmarkAblationExecutionPruning(b *testing.B) {
 				if _, _, err := s.Run(q); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTranslationCache compares a cold translation (full
+// parse/bind/xform/serialize pipeline every call) against a warm one served
+// by the shared query-translation cache — the serving-runtime ablation
+// EXPERIMENTS.md records.
+func BenchmarkTranslationCache(b *testing.B) {
+	const q = "select Symbol, Price, Close, Sector from trades lj daily lj refdata where Size>2000"
+	for _, mode := range []struct {
+		name    string
+		entries int
+	}{{"cold_no_cache", 0}, {"warm_cached", 1024}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, ok := benchStacks[5000]
+			if !ok {
+				stackFor(b, 5000)
+				db = benchStacks[5000]
+			}
+			backend := core.NewDirectBackend(db)
+			cfg := core.Config{MDITTL: 5 * time.Minute}
+			var cache *qcache.Cache
+			if mode.entries > 0 {
+				cache = qcache.New(mode.entries)
+				cfg.Cache = cache
+			}
+			s := core.NewPlatform().NewSession(backend, cfg)
+			defer s.Close()
+			// prime the MDI (both modes) and the cache (warm mode)
+			if _, _, err := s.Translate(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Translate(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if cache != nil {
+				b.ReportMetric(float64(cache.Stats().Hits)/float64(b.N), "hits/op")
+			}
+		})
+	}
+}
+
+// startServingStack brings up the full networked serving runtime for
+// benchmarks: pgdb over TCP, a bounded gateway pool, a shared translation
+// cache and MDI, and the QIPC endpoint, returning its address.
+func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
+	b.Helper()
+	db := pgdb.NewDB()
+	loader := core.NewDirectBackend(db)
+	data := taq.Generate(taq.Config{Seed: 1, Trades: 5000, NumSymbols: 100})
+	for _, tb := range []struct {
+		name string
+		tbl  *qval.Table
+	}{{"trades", data.Trades}, {"quotes", data.Quotes}, {"daily", data.Daily}} {
+		if err := core.LoadQTable(loader, tb.name, tb.tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pgL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pgL.Close() })
+	go pgdb.Serve(pgL, db, pgdb.AuthConfig{
+		Method: pgv3.AuthMethodMD5,
+		Users:  map[string]string{"hq": "pw"},
+	})
+
+	backendPool := pool.New(pool.Config{
+		Size: poolSize,
+		Dial: func() (pool.Conn, error) {
+			return gateway.Dial(pgL.Addr().String(), "hq", "pw", "db")
+		},
+		HealthCheck: true,
+	})
+	b.Cleanup(func() { backendPool.Close() })
+	var cache *qcache.Cache
+	if cacheEntries > 0 {
+		cache = qcache.New(cacheEntries)
+	}
+	sharedMDI := mdi.New(backendPool.SessionBackend(), mdi.WithTTL(5*time.Minute))
+
+	platform := core.NewPlatform()
+	qL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { qL.Close() })
+	go endpoint.Serve(qL, endpoint.Config{
+		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
+			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
+				MDI:   sharedMDI,
+				Cache: cache,
+			})
+			compiler := xc.New(session)
+			return endpoint.HandlerFunc(func(q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(q)
+				return v, err
+			}), func() { session.Close() }, nil
+		},
+	})
+	return qL.Addr().String()
+}
+
+// BenchmarkConcurrentSessions measures end-to-end throughput of the full
+// TCP stack (QIPC endpoint -> cross compiler -> pooled PG v3 gateway ->
+// backend) at increasing client fan-in; ns/op is per query across all
+// clients.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	const q = "select mx:max Price, vol:sum Size by Symbol from trades"
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			addr := startServingStack(b, 4, 1024)
+			conns := make([]net.Conn, clients)
+			for c := range conns {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { conn.Close() })
+				if err := qipc.ClientHandshake(conn, fmt.Sprintf("app%d", c), ""); err != nil {
+					b.Fatal(err)
+				}
+				conns[c] = conn
+			}
+			runQueries := func(conn net.Conn, n int) error {
+				for i := 0; i < n; i++ {
+					if err := qipc.WriteMessage(conn, qipc.Sync, qval.CharVec(q)); err != nil {
+						return err
+					}
+					msg, err := qipc.ReadMessage(conn)
+					if err != nil {
+						return err
+					}
+					if qe, ok := msg.Value.(*qval.QError); ok {
+						return fmt.Errorf("query error: %s", qe.Msg)
+					}
+				}
+				return nil
+			}
+			// warm each session once (outside the timed region)
+			for _, conn := range conns {
+				if err := runQueries(conn, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				// split b.N queries across the clients
+				n := b.N / clients
+				if c < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(conn net.Conn, n int) {
+					defer wg.Done()
+					if err := runQueries(conn, n); err != nil {
+						errs <- err
+					}
+				}(conns[c], n)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
 			}
 		})
 	}

@@ -10,18 +10,30 @@
 //	                      PostgreSQL-compatible database)
 //	-embedded            run the embedded engine in-process (demo mode,
 //	                      preloaded with synthetic TAQ data)
+//
+// The serving runtime is concurrent: all sessions share one bounded pool of
+// backend connections (-pool-size), one query-translation cache
+// (-cache-entries) and one metadata cache, so N clients replaying the same
+// workload cost one translation per distinct query and at most -pool-size
+// backend connections. SIGINT/SIGTERM drains the pool gracefully.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hyperq/internal/core"
 	"hyperq/internal/endpoint"
 	"hyperq/internal/gateway"
+	"hyperq/internal/mdi"
 	"hyperq/internal/pgdb"
+	"hyperq/internal/pool"
+	"hyperq/internal/qcache"
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/taq"
 	"hyperq/internal/wire/qipc"
@@ -39,6 +51,9 @@ func main() {
 	qPass := flag.String("q-password", "", "required Q client password")
 	trades := flag.Int("trades", 10000, "embedded demo trade count")
 	mdiTTL := flag.Duration("mdi-ttl", 5*time.Minute, "metadata cache expiration")
+	poolSize := flag.Int("pool-size", 4, "max pooled backend connections shared by all sessions")
+	cacheEntries := flag.Int("cache-entries", 1024, "query-translation cache capacity (0 disables)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query backend deadline (0 disables)")
 	flag.Parse()
 
 	platform := core.NewPlatform()
@@ -63,12 +78,26 @@ func main() {
 		log.Fatal("either -backend or -embedded is required")
 	}
 
-	newBackend := func() (core.Backend, error) {
-		if *embedded {
-			return core.NewDirectBackend(embeddedDB), nil
-		}
-		return gateway.Dial(*backendAddr, *bUser, *bPass, *bDB)
+	backendPool := pool.New(pool.Config{
+		Size: *poolSize,
+		Dial: func() (pool.Conn, error) {
+			if *embedded {
+				return core.NewDirectBackend(embeddedDB), nil
+			}
+			return gateway.Dial(*backendAddr, *bUser, *bPass, *bDB)
+		},
+		QueryTimeout: *queryTimeout,
+		HealthCheck:  true,
+		Logf:         log.Printf,
+	})
+
+	// process-wide serving state shared by every session: the metadata
+	// cache (safe for concurrent use) and the query-translation cache
+	var cache *qcache.Cache
+	if *cacheEntries > 0 {
+		cache = qcache.New(*cacheEntries)
 	}
+	sharedMDI := mdi.New(backendPool.SessionBackend(), mdi.WithTTL(*mdiTTL))
 
 	auth := func(user, password string) bool {
 		if *qUser == "" {
@@ -81,15 +110,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("hyperq listening on %s (QIPC); backend=%s", *listen, backendDesc(*embedded, *backendAddr))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v: shutting down", s)
+		l.Close()
+	}()
+
+	log.Printf("hyperq listening on %s (QIPC); backend=%s pool=%d cache=%d",
+		*listen, backendDesc(*embedded, *backendAddr), *poolSize, *cacheEntries)
 	err = endpoint.Serve(l, endpoint.Config{
 		Auth: auth,
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
-			b, err := newBackend()
-			if err != nil {
-				return nil, nil, err
-			}
-			session := platform.NewSession(b, core.Config{MDITTL: *mdiTTL})
+			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
+				MDI:   sharedMDI,
+				Cache: cache,
+			})
 			compiler := xc.New(session)
 			h := endpoint.HandlerFunc(func(q string) (qval.Value, error) {
 				v, _, err := compiler.HandleQuery(q)
@@ -100,8 +137,19 @@ func main() {
 		Logf: log.Printf,
 	})
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		log.Printf("serve: %v", err)
 	}
+	if err := backendPool.Close(); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if cache != nil {
+		cs := cache.Stats()
+		log.Printf("qcache: %d entries, %d hits, %d misses, %d dedups, %d evictions",
+			cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Evictions)
+	}
+	ps := backendPool.Stats()
+	log.Printf("pool: %d dials (%d errors), %d checkouts, %d health failures, %d discards",
+		ps.Dials, ps.DialErrors, ps.Checkouts, ps.HealthFailures, ps.Discards)
 }
 
 func backendDesc(embedded bool, addr string) string {

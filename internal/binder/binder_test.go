@@ -269,3 +269,51 @@ func TestUpdateBindsConditionalReplacement(t *testing.T) {
 		t.Fatalf("Price expr should be conditional, got %#v", cond)
 	}
 }
+
+func TestScopeFingerprint(t *testing.T) {
+	server := NewServerStore()
+	s1 := NewScopes(server, nil)
+	s2 := NewScopes(server, nil)
+
+	// fresh sessions over the same server scope share a fingerprint — they
+	// can only see shared state, so cache entries are shareable
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("fresh sessions should share a fingerprint")
+	}
+
+	fp0 := s1.Fingerprint()
+	s1.Upsert(&VarDef{Name: "x", Kind: KindScalar})
+	if s1.Fingerprint() == fp0 {
+		t.Fatal("session upsert must change the fingerprint")
+	}
+	// identical-looking private histories must NOT collide: each session's
+	// variables bind to its own backing state
+	s2.Upsert(&VarDef{Name: "x", Kind: KindScalar})
+	if s1.Fingerprint() == s2.Fingerprint() {
+		t.Fatal("two sessions with private state must have distinct fingerprints")
+	}
+
+	// server-scope mutation changes every session's fingerprint
+	a, b := s1.Fingerprint(), s2.Fingerprint()
+	server.Put(&VarDef{Name: "g", Kind: KindScalar})
+	if s1.Fingerprint() == a || s2.Fingerprint() == b {
+		t.Fatal("server-scope mutation must change all fingerprints")
+	}
+
+	// destroying the session mutates both scopes (promotion) and keeps the
+	// fingerprint moving
+	c := s1.Fingerprint()
+	s1.DestroySession()
+	if s1.Fingerprint() == c {
+		t.Fatal("session destruction must change the fingerprint")
+	}
+}
+
+func TestServerStoreGeneration(t *testing.T) {
+	server := NewServerStore()
+	g0 := server.Generation()
+	server.Put(&VarDef{Name: "a", Kind: KindScalar})
+	if server.Generation() != g0+1 {
+		t.Fatal("Put should bump the generation")
+	}
+}

@@ -6,6 +6,7 @@ package binder
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hyperq/internal/mdi"
 	"hyperq/internal/qlang/qval"
@@ -51,6 +52,9 @@ func newScope() *scope { return &scope{vars: map[string]*VarDef{}} }
 type ServerStore struct {
 	mu   sync.RWMutex
 	vars map[string]*VarDef
+	// gen counts mutations; part of the query-cache key, so any
+	// server-scope change invalidates translations that bound against it.
+	gen atomic.Uint64
 }
 
 // NewServerStore creates an empty server-scope store.
@@ -71,7 +75,11 @@ func (s *ServerStore) Put(v *VarDef) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.vars[v.Name] = v
+	s.gen.Add(1)
 }
+
+// Generation returns the store's mutation counter.
+func (s *ServerStore) Generation() uint64 { return s.gen.Load() }
 
 // Names lists defined server variables.
 func (s *ServerStore) Names() []string {
@@ -96,11 +104,36 @@ type Scopes struct {
 	mdi     *mdi.MDI
 	session *scope
 	locals  []*scope
+	// id is process-unique and gen counts session-scope mutations; both
+	// feed Fingerprint so the query cache never conflates two sessions'
+	// private state.
+	id  uint64
+	gen uint64
 }
+
+// scopesID hands out process-unique session-scope identities.
+var scopesID atomic.Uint64
 
 // NewScopes builds the hierarchy for one session.
 func NewScopes(server *ServerStore, m *mdi.MDI) *Scopes {
-	return &Scopes{server: server, mdi: m, session: newScope()}
+	return &Scopes{server: server, mdi: m, session: newScope(), id: scopesID.Add(1)}
+}
+
+// Fingerprint identifies the variable-visibility state top-level statements
+// bind against; it changes whenever the session scope or the shared server
+// scope mutates. Sessions whose session scope is empty share a fingerprint
+// (their bindings can only see shared state), so identical queries from
+// fresh sessions share query-cache entries; once a session holds private
+// variables its fingerprint mixes in its unique identity — two sessions
+// with identical-looking histories still bind to different backing temp
+// tables and must never collide.
+func (s *Scopes) Fingerprint() uint64 {
+	fp := s.server.Generation()
+	if len(s.session.vars) > 0 || s.gen > 0 {
+		const mix = 0x9e3779b97f4a7c15 // golden-ratio multiplier disperses counter bits
+		fp ^= (s.id*mix ^ s.gen) * mix
+	}
+	return fp
 }
 
 // PushLocal enters a function body (a new local scope).
@@ -150,6 +183,7 @@ func (s *Scopes) Upsert(v *VarDef) {
 		return
 	}
 	s.session.vars[v.Name] = v
+	s.gen++
 }
 
 // UpsertGlobal writes directly to the server scope (Q's :: amend).
@@ -164,6 +198,7 @@ func (s *Scopes) DestroySession() {
 	}
 	s.session = newScope()
 	s.locals = nil
+	s.gen++
 }
 
 // SessionNames lists variables currently defined at session level.

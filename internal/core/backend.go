@@ -88,6 +88,13 @@ func (b *DirectBackend) QueryCatalog(sql string) ([][]string, error) {
 	return out, nil
 }
 
+// Ping reports whether the backend session is usable (pool health checks).
+// It bypasses the artificial Delay — a health probe models no data motion.
+func (b *DirectBackend) Ping() error {
+	_, err := b.session.Exec("SELECT 1")
+	return err
+}
+
 // Close implements Backend.
 func (b *DirectBackend) Close() error {
 	b.session.Close()

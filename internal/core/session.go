@@ -6,6 +6,7 @@ import (
 
 	"hyperq/internal/binder"
 	"hyperq/internal/mdi"
+	"hyperq/internal/qcache"
 	"hyperq/internal/qlang/ast"
 	"hyperq/internal/qlang/parse"
 	"hyperq/internal/qlang/qval"
@@ -34,6 +35,13 @@ type Config struct {
 	Materialization Materialization
 	// MDITTL is the metadata cache expiration (0 disables caching).
 	MDITTL time.Duration
+	// MDI, when set, is a shared (process-wide) metadata interface used
+	// instead of a per-session one — the concurrent serving runtime shares
+	// one MDI across all sessions. MDITTL is ignored when MDI is set.
+	MDI *mdi.MDI
+	// Cache, when set, is the shared query-translation cache consulted
+	// before the translation pipeline (nil disables caching).
+	Cache *qcache.Cache
 }
 
 // StageTiming records per-stage translation times — the quantities Figures
@@ -64,6 +72,12 @@ type RunStats struct {
 	Stages  StageTiming
 	Execute time.Duration
 	SQLs    []string
+	// CacheHit marks that the translation was served from the query cache,
+	// skipping parse/bind/xform/serialize entirely.
+	CacheHit bool
+	// Saved is the per-stage translation cost the cache hit avoided — the
+	// cost the original translation paid, recorded in the cache entry.
+	Saved StageTiming
 }
 
 // Platform is the shared Hyper-Q state across sessions: the server-level
@@ -85,17 +99,21 @@ type Session struct {
 	mdi      *mdi.MDI
 	binder   *binder.Binder
 	xf       *xformer.Xformer
+	cache    *qcache.Cache
 	cfg      Config
 	tempN    int
 }
 
 // NewSession opens a session over a backend.
 func (p *Platform) NewSession(b Backend, cfg Config) *Session {
-	opts := []mdi.Option{}
-	if cfg.MDITTL != 0 {
-		opts = append(opts, mdi.WithTTL(cfg.MDITTL))
+	m := cfg.MDI
+	if m == nil {
+		opts := []mdi.Option{}
+		if cfg.MDITTL != 0 {
+			opts = append(opts, mdi.WithTTL(cfg.MDITTL))
+		}
+		m = mdi.New(b, opts...)
 	}
-	m := mdi.New(b, opts...)
 	scopes := binder.NewScopes(p.Server, m)
 	return &Session{
 		platform: p,
@@ -103,6 +121,7 @@ func (p *Platform) NewSession(b Backend, cfg Config) *Session {
 		mdi:      m,
 		binder:   binder.New(scopes),
 		xf:       xformer.New(cfg.Xformer),
+		cache:    cfg.Cache,
 		cfg:      cfg,
 	}
 }
@@ -119,8 +138,15 @@ func (s *Session) Close() error {
 
 // Run executes a complete Q request: parse, then per statement bind /
 // transform / serialize / execute, returning the last statement's value.
+// With a query cache configured, side-effect-free single-statement requests
+// are served from (and populate) the cache, skipping every translation
+// stage on a warm hit.
 func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
 	stats := &RunStats{}
+	if e, ok := s.cachedTranslation(qsrc, stats); ok {
+		v, err := s.execCached(e, stats)
+		return v, stats, err
+	}
 	t0 := time.Now()
 	prog, err := parse.Parse(qsrc)
 	if err != nil {
@@ -147,6 +173,13 @@ func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
 // statements' binding depends on them (paper §4.3).
 func (s *Session) Translate(qsrc string) (string, *RunStats, error) {
 	stats := &RunStats{}
+	if e, ok := s.cachedTranslation(qsrc, stats); ok && e.Kind == qcache.Select {
+		return e.SQL, stats, nil
+	} else if ok {
+		// scalar entries don't satisfy Translate (parity with the uncached
+		// path, which rejects statements without a relational plan)
+		stats = &RunStats{}
+	}
 	t0 := time.Now()
 	prog, err := parse.Parse(qsrc)
 	if err != nil {
@@ -304,6 +337,124 @@ func (s *Session) execStatement(stmt ast.Node, stats *RunStats) (qval.Value, boo
 }
 
 func (s *Session) scopes() *binder.Scopes { return s.binder.Scopes }
+
+// cachedTranslation consults the query cache for qsrc, translating (once,
+// under single-flight) and populating it on a miss when the request is
+// cacheable. The bool reports whether a usable entry was obtained — callers
+// fall back to the full pipeline otherwise. The cache key ties the entry to
+// the exact variable-scope and metadata state it was translated under, so
+// DDL and variable-store mutations invalidate implicitly.
+func (s *Session) cachedTranslation(qsrc string, stats *RunStats) (*qcache.Entry, bool) {
+	if s.cache == nil || s.scopes().InFunction() {
+		return nil, false
+	}
+	key := qcache.Key{
+		Query: qcache.Normalize(qsrc),
+		Scope: s.scopes().Fingerprint(),
+		Meta:  s.mdi.Generation(),
+	}
+	e, shared, err := s.cache.Do(key, func() (*qcache.Entry, error) {
+		return s.translateCacheable(qsrc)
+	})
+	if err != nil || e == nil {
+		// not cacheable (or the leader's translation failed): take the full
+		// pipeline, which reproduces any error with proper attribution
+		return nil, false
+	}
+	if shared {
+		stats.CacheHit = true
+		stats.Saved = timingFromCost(e.Cost)
+	} else {
+		stats.Stages = timingFromCost(e.Cost) // leader paid the full cost
+	}
+	return e, true
+}
+
+// translateCacheable runs the translation pipeline for requests whose
+// translation is pure: a single statement, no assignment, no function
+// invocation (unrolling executes side effects), producing either a
+// relational plan or a backend-evaluated scalar. Anything else returns
+// (nil, nil) so callers fall back to the ordinary pipeline.
+func (s *Session) translateCacheable(qsrc string) (*qcache.Entry, error) {
+	var cost qcache.Cost
+	t0 := time.Now()
+	prog, err := parse.Parse(qsrc)
+	cost.Parse = time.Since(t0)
+	if err != nil || len(prog.Stmts) != 1 {
+		return nil, nil
+	}
+	stmt := prog.Stmts[0]
+	if _, ok := stmt.(*ast.Return); ok {
+		return nil, nil
+	}
+	if ap, ok := stmt.(*ast.Apply); ok {
+		if v, isVar := ap.Fn.(*ast.Var); isVar {
+			if def, err := s.scopes().Lookup(v.Name); err == nil && def != nil && def.Kind == binder.KindFunction {
+				return nil, nil
+			}
+		}
+	}
+	t1 := time.Now()
+	bound, err := s.binder.BindStatement(stmt)
+	cost.Bind = time.Since(t1)
+	if err != nil || bound.Assign != "" || bound.Global || bound.FuncDef != nil || bound.Scalar != nil {
+		return nil, nil
+	}
+	switch {
+	case bound.ScalarExpr != nil:
+		t2 := time.Now()
+		sql, err := serializer.SerializeScalarSelect(bound.ScalarExpr)
+		cost.Serialize = time.Since(t2)
+		if err != nil {
+			return nil, nil
+		}
+		return &qcache.Entry{SQL: sql, Kind: qcache.ScalarSelect, Cost: cost}, nil
+	case bound.Rel != nil:
+		t2 := time.Now()
+		root := s.xf.Apply(bound.Rel)
+		cost.Xform = time.Since(t2)
+		t3 := time.Now()
+		sql, err := serializer.Serialize(root)
+		cost.Serialize = time.Since(t3)
+		if err != nil {
+			return nil, nil
+		}
+		tpl, isTpl := stmt.(*ast.SQLTemplate)
+		return &qcache.Entry{SQL: sql, IsExec: isTpl && tpl.Kind == ast.Exec, Cost: cost}, nil
+	}
+	return nil, nil
+}
+
+// execCached executes a cached translation, mirroring execStatement's
+// result conversion for the cacheable statement shapes.
+func (s *Session) execCached(e *qcache.Entry, stats *RunStats) (qval.Value, error) {
+	t0 := time.Now()
+	res, err := s.backend.Exec(e.SQL)
+	stats.Execute += time.Since(t0)
+	stats.SQLs = append(stats.SQLs, e.SQL)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := ResultToQ(res)
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind == qcache.ScalarSelect {
+		var out qval.Value = qval.Identity
+		if tbl.NumCols() == 1 && tbl.Len() == 1 {
+			out = qval.Index(tbl.Data[0], 0)
+		}
+		return out, nil
+	}
+	if e.IsExec && tbl.NumCols() == 1 {
+		return tbl.Data[0], nil
+	}
+	return tbl, nil
+}
+
+func timingFromCost(c qcache.Cost) StageTiming {
+	return StageTiming{Parse: c.Parse, Bind: c.Bind, Xform: c.Xform, Serialize: c.Serialize}
+}
 
 // materialize implements eager materialization of variable assignments
 // (paper §4.3): physical (temporary table) or logical (view), and registers

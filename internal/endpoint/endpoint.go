@@ -88,7 +88,12 @@ func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
 		}
 		result, err := handler.HandleQuery(qtext)
 		if msg.Type != qipc.Sync {
-			continue // async: execute, no response
+			// async: execute, no response — but a failure would otherwise
+			// vanish silently; surface the dropped work in the log
+			if err != nil {
+				logf("endpoint: async query %q failed (no response sent): %v", qtext, err)
+			}
+			continue
 		}
 		if err != nil {
 			respondErr(conn, err.Error())

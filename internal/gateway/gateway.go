@@ -7,6 +7,8 @@
 package gateway
 
 import (
+	"time"
+
 	"hyperq/internal/core"
 	"hyperq/internal/wire/pgv3"
 )
@@ -62,6 +64,18 @@ func (g *Gateway) QueryCatalog(sql string) ([][]string, error) {
 	}
 	return out, nil
 }
+
+// Ping performs a trivial round trip, verifying the connection is alive —
+// the pool's checkout health probe.
+func (g *Gateway) Ping() error {
+	_, err := g.conn.Query("SELECT 1")
+	return err
+}
+
+// SetDeadline bounds the I/O of subsequent queries on the underlying
+// socket — how the pool enforces per-query timeouts. The zero time clears
+// the deadline.
+func (g *Gateway) SetDeadline(t time.Time) error { return g.conn.SetDeadline(t) }
 
 // Close implements core.Backend.
 func (g *Gateway) Close() error { return g.conn.Close() }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyperq/internal/xtra"
@@ -60,15 +61,23 @@ type Stats struct {
 	CatalogRTs int64 // round trips issued to the backend catalog
 }
 
-// MDI resolves table metadata with caching.
+// MDI resolves table metadata with caching. It is safe for concurrent use:
+// the serving runtime shares one MDI across all sessions of a process, so
+// concurrent lookups take a read lock on the hot (cached) path and stats
+// are kept in atomics.
 type MDI struct {
 	q   CatalogQuerier
 	ttl time.Duration
 	now func() time.Time
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	cache map[string]cacheEntry
-	stats Stats
+
+	lookups, hits, misses, catalogRTs atomic.Int64
+	// gen counts explicit invalidations (DDL signals); it is part of the
+	// query-cache key, so translations bound against stale metadata are
+	// orphaned the moment the schema changes.
+	gen atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -102,17 +111,16 @@ func New(q CatalogQuerier, opts ...Option) *MDI {
 // LookupTable resolves a backend table's metadata, serving from cache when
 // fresh. A miss issues a catalog round trip (an information_schema query).
 func (m *MDI) LookupTable(name string) (*TableMeta, error) {
-	m.mu.Lock()
-	m.stats.Lookups++
-	if e, ok := m.cache[name]; ok && m.ttl > 0 && m.now().Sub(e.fetched) < m.ttl {
-		m.stats.Hits++
-		meta := e.meta
-		m.mu.Unlock()
-		return meta, nil
+	m.lookups.Add(1)
+	m.mu.RLock()
+	e, ok := m.cache[name]
+	m.mu.RUnlock()
+	if ok && m.ttl > 0 && m.now().Sub(e.fetched) < m.ttl {
+		m.hits.Add(1)
+		return e.meta, nil
 	}
-	m.stats.Misses++
-	m.stats.CatalogRTs++
-	m.mu.Unlock()
+	m.misses.Add(1)
+	m.catalogRTs.Add(1)
 
 	sql := fmt.Sprintf(
 		"SELECT column_name, data_type FROM information_schema.columns WHERE table_name = '%s' ORDER BY ordinal_position",
@@ -144,22 +152,31 @@ func (m *MDI) LookupTable(name string) (*TableMeta, error) {
 // Invalidate drops one table's cached metadata (e.g. after DDL).
 func (m *MDI) Invalidate(name string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.cache, name)
+	m.mu.Unlock()
+	m.gen.Add(1)
 }
 
 // InvalidateAll clears the cache.
 func (m *MDI) InvalidateAll() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.cache = map[string]cacheEntry{}
+	m.mu.Unlock()
+	m.gen.Add(1)
 }
+
+// Generation returns the invalidation counter — the metadata-version
+// component of the query-translation cache key.
+func (m *MDI) Generation() uint64 { return m.gen.Load() }
 
 // Stats returns a snapshot of cache statistics.
 func (m *MDI) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Lookups:    m.lookups.Load(),
+		Hits:       m.hits.Load(),
+		Misses:     m.misses.Load(),
+		CatalogRTs: m.catalogRTs.Load(),
+	}
 }
 
 // LookupScalar parses a text catalog value into a typed Q atom; used when

@@ -3,6 +3,8 @@ package mdi
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -132,5 +134,85 @@ func TestLookupScalar(t *testing.T) {
 	v, _ = LookupScalar("GOOG", qval.KSymbol)
 	if !qval.EqualValues(v, qval.Symbol("GOOG")) {
 		t.Fatalf("symbol = %v", v)
+	}
+}
+
+// raceCatalog is a concurrency-safe catalog for the race tests.
+type raceCatalog struct {
+	calls atomic.Int64
+}
+
+func (c *raceCatalog) QueryCatalog(sql string) ([][]string, error) {
+	c.calls.Add(1)
+	for _, name := range []string{"trades", "quotes", "daily", "refdata"} {
+		if strings.Contains(sql, "'"+name+"'") {
+			return [][]string{
+				{"Symbol", "varchar"},
+				{"Price", "double precision"},
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// TestConcurrentLookupAndInvalidate exercises the MDI the way the serving
+// runtime does — one shared instance, many sessions — under the race
+// detector: concurrent lookups, invalidations and stats reads.
+func TestConcurrentLookupAndInvalidate(t *testing.T) {
+	cat := &raceCatalog{}
+	m := New(cat)
+	names := []string{"trades", "quotes", "daily", "refdata"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := names[(g+i)%len(names)]
+				switch i % 10 {
+				case 7:
+					m.Invalidate(name)
+				case 8:
+					m.InvalidateAll()
+				case 9:
+					m.Stats()
+					m.Generation()
+				default:
+					meta, err := m.LookupTable(name)
+					if err != nil {
+						t.Errorf("lookup %s: %v", name, err)
+						return
+					}
+					if len(meta.Cols) != 2 {
+						t.Errorf("lookup %s: %d cols", name, len(meta.Cols))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Lookups == 0 || st.Hits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGenerationBumpsOnInvalidation(t *testing.T) {
+	m := New(&raceCatalog{})
+	g0 := m.Generation()
+	if _, err := m.LookupTable("trades"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() != g0 {
+		t.Fatal("plain lookups must not bump the generation")
+	}
+	m.Invalidate("trades")
+	if m.Generation() != g0+1 {
+		t.Fatal("Invalidate should bump the generation")
+	}
+	m.InvalidateAll()
+	if m.Generation() != g0+2 {
+		t.Fatal("InvalidateAll should bump the generation")
 	}
 }

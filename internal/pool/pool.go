@@ -1,0 +1,328 @@
+// Package pool implements the backend half of the concurrent serving
+// runtime: a bounded pool of backend connections (PG v3 gateways in the
+// networked deployment, embedded-engine sessions in demo mode) shared by
+// every Hyper-Q session of a process. The seed opened one dedicated backend
+// connection per Q client; under heavy concurrent traffic the dial cost and
+// the unbounded backend fan-out dominate, so sessions now check connections
+// out per statement and return them immediately.
+//
+// Features: lazy dialing (connections are created on demand up to Size),
+// health checks on checkout, dial retry with exponential backoff, per-query
+// deadlines on connections that support them, and graceful drain on
+// shutdown. See SessionBackend for the session-facing core.Backend wrapper
+// and its temp-table connection-pinning rules.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperq/internal/core"
+	"hyperq/internal/wire/pgv3"
+)
+
+// Conn is a pooled backend connection: a core.Backend that can also answer
+// a liveness probe.
+type Conn interface {
+	core.Backend
+	// Ping performs a cheap round trip, reporting whether the connection
+	// is still usable.
+	Ping() error
+}
+
+// deadliner is implemented by connections whose I/O can be bounded (the
+// networked Gateway); in-process backends have no transport to time out.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// Config tunes a pool.
+type Config struct {
+	// Size bounds the number of live backend connections (default 4).
+	Size int
+	// Dial opens a new backend connection; called lazily when a checkout
+	// finds no idle connection.
+	Dial func() (Conn, error)
+	// DialAttempts is the number of dial tries per checkout (default 3);
+	// DialBackoff is the initial retry delay, doubling per attempt
+	// (default 50ms).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// CheckoutTimeout bounds how long a checkout waits for a free slot
+	// when all connections are in use (default 30s).
+	CheckoutTimeout time.Duration
+	// QueryTimeout is the per-query I/O deadline applied to connections
+	// that support deadlines (0 disables).
+	QueryTimeout time.Duration
+	// HealthCheck pings idle connections on checkout, discarding dead
+	// ones and dialing replacements.
+	HealthCheck bool
+	// DrainTimeout bounds how long Close waits for checked-out
+	// connections to come back (default 5s).
+	DrainTimeout time.Duration
+	// Logf, when set, receives pool diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats reports pool activity.
+type Stats struct {
+	Dials          int64
+	DialErrors     int64
+	Checkouts      int64
+	HealthFailures int64
+	Discards       int64
+	WaitTimeouts   int64
+	InUse          int
+	Idle           int
+}
+
+// Pool errors.
+var (
+	ErrClosed          = errors.New("pool: closed")
+	ErrCheckoutTimeout = errors.New("pool: timed out waiting for a free backend connection")
+)
+
+// Pool is a bounded backend-connection pool. Safe for concurrent use.
+type Pool struct {
+	cfg Config
+	// sem holds one token per checked-out connection; its capacity is the
+	// pool bound. idle buffers connections not currently checked out.
+	sem       chan struct{}
+	idle      chan Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	dials, dialErrors, checkouts, healthFailures, discards, waitTimeouts atomic.Int64
+}
+
+// New creates a pool; no connection is dialed until the first checkout.
+func New(cfg Config) *Pool {
+	if cfg.Size <= 0 {
+		cfg.Size = 4
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 3
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 50 * time.Millisecond
+	}
+	if cfg.CheckoutTimeout <= 0 {
+		cfg.CheckoutTimeout = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Pool{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Size),
+		idle:   make(chan Conn, cfg.Size),
+		closed: make(chan struct{}),
+	}
+}
+
+// Get checks a connection out of the pool, dialing one if no idle
+// connection is available and the bound permits. It blocks up to
+// CheckoutTimeout when the pool is exhausted.
+func (p *Pool) Get() (Conn, error) {
+	select {
+	case <-p.closed:
+		return nil, ErrClosed
+	default:
+	}
+	timer := time.NewTimer(p.cfg.CheckoutTimeout)
+	defer timer.Stop()
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.closed:
+		return nil, ErrClosed
+	case <-timer.C:
+		p.waitTimeouts.Add(1)
+		return nil, ErrCheckoutTimeout
+	}
+	// slot acquired: prefer an idle connection, else dial
+	for {
+		select {
+		case c := <-p.idle:
+			if p.cfg.HealthCheck {
+				if err := c.Ping(); err != nil {
+					p.healthFailures.Add(1)
+					p.discards.Add(1)
+					c.Close()
+					p.cfg.Logf("pool: discarding unhealthy connection: %v", err)
+					continue
+				}
+			}
+			p.checkouts.Add(1)
+			return c, nil
+		default:
+			c, err := p.dialWithRetry()
+			if err != nil {
+				<-p.sem
+				return nil, err
+			}
+			p.checkouts.Add(1)
+			return c, nil
+		}
+	}
+}
+
+// Put returns a checked-out connection. reusable=false discards it (broken
+// transport, or connection-local backend state that must not leak into
+// another session).
+func (p *Pool) Put(c Conn, reusable bool) {
+	if c != nil {
+		select {
+		case <-p.closed:
+			reusable = false
+		default:
+		}
+		if reusable {
+			select {
+			case p.idle <- c:
+				c = nil
+			default:
+				// cannot happen (idle capacity == slot capacity), but never
+				// block or leak if it somehow does
+			}
+		}
+		if c != nil {
+			p.discards.Add(1)
+			c.Close()
+		}
+	}
+	<-p.sem
+}
+
+// Exec runs one statement on conn, applying the per-query deadline when the
+// connection supports one.
+func (p *Pool) Exec(c Conn, sql string) (*core.BackendResult, error) {
+	p.applyDeadline(c)
+	res, err := c.Exec(sql)
+	p.clearDeadline(c)
+	return res, err
+}
+
+// QueryCatalog runs one catalog query on conn under the per-query deadline.
+func (p *Pool) QueryCatalog(c Conn, sql string) ([][]string, error) {
+	p.applyDeadline(c)
+	rows, err := c.QueryCatalog(sql)
+	p.clearDeadline(c)
+	return rows, err
+}
+
+func (p *Pool) applyDeadline(c Conn) {
+	if p.cfg.QueryTimeout > 0 {
+		if d, ok := c.(deadliner); ok {
+			d.SetDeadline(time.Now().Add(p.cfg.QueryTimeout))
+		}
+	}
+}
+
+func (p *Pool) clearDeadline(c Conn) {
+	if p.cfg.QueryTimeout > 0 {
+		if d, ok := c.(deadliner); ok {
+			d.SetDeadline(time.Time{})
+		}
+	}
+}
+
+// Close drains the pool gracefully: new checkouts fail immediately,
+// checked-out connections are awaited up to DrainTimeout, and every
+// connection is closed. It returns an error if the drain timed out with
+// connections still in use.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	timer := time.NewTimer(p.cfg.DrainTimeout)
+	defer timer.Stop()
+	drained := 0
+	var timedOut bool
+	for drained < cap(p.sem) && !timedOut {
+		select {
+		case p.sem <- struct{}{}:
+			drained++
+		case <-timer.C:
+			timedOut = true
+		}
+	}
+	for {
+		select {
+		case c := <-p.idle:
+			c.Close()
+		default:
+			if timedOut {
+				inUse := cap(p.sem) - drained
+				p.cfg.Logf("pool: drain timed out with %d connection(s) still checked out", inUse)
+				return fmt.Errorf("pool: drain timed out with %d connection(s) still checked out", inUse)
+			}
+			return nil
+		}
+	}
+}
+
+// Stats returns a snapshot of pool statistics.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Dials:          p.dials.Load(),
+		DialErrors:     p.dialErrors.Load(),
+		Checkouts:      p.checkouts.Load(),
+		HealthFailures: p.healthFailures.Load(),
+		Discards:       p.discards.Load(),
+		WaitTimeouts:   p.waitTimeouts.Load(),
+		InUse:          len(p.sem),
+		Idle:           len(p.idle),
+	}
+}
+
+func (p *Pool) dialWithRetry() (Conn, error) {
+	backoff := p.cfg.DialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= p.cfg.DialAttempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-time.After(backoff):
+			case <-p.closed:
+				return nil, ErrClosed
+			}
+			backoff *= 2
+		}
+		p.dials.Add(1)
+		c, err := p.cfg.Dial()
+		if err == nil {
+			return c, nil
+		}
+		p.dialErrors.Add(1)
+		lastErr = err
+		p.cfg.Logf("pool: dial attempt %d/%d failed: %v", attempt, p.cfg.DialAttempts, err)
+	}
+	return nil, fmt.Errorf("pool: dial failed after %d attempts: %w", p.cfg.DialAttempts, lastErr)
+}
+
+// connBroken classifies an Exec error: transport-level failures poison the
+// connection; clean server errors (a SQL error over a healthy connection)
+// and embedded-engine errors leave it reusable.
+func connBroken(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *pgv3.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -1,0 +1,412 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperq/internal/core"
+	"hyperq/internal/wire/pgv3"
+)
+
+// fakeConn is an in-memory pool.Conn that records activity.
+type fakeConn struct {
+	id        int
+	mu        sync.Mutex
+	execs     []string
+	closed    bool
+	pingErr   error
+	execErr   error
+	deadlines []time.Time
+}
+
+func (f *fakeConn) Exec(sql string) (*core.BackendResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.execs = append(f.execs, sql)
+	if f.execErr != nil {
+		return nil, f.execErr
+	}
+	return &core.BackendResult{Tag: "OK"}, nil
+}
+
+func (f *fakeConn) QueryCatalog(sql string) ([][]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.execs = append(f.execs, sql)
+	return [][]string{{"col", "bigint"}}, nil
+}
+
+func (f *fakeConn) Ping() error { return f.pingErr }
+
+func (f *fakeConn) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *fakeConn) SetDeadline(t time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deadlines = append(f.deadlines, t)
+	return nil
+}
+
+func (f *fakeConn) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// dialer produces fakeConns and counts dials.
+type dialer struct {
+	mu    sync.Mutex
+	conns []*fakeConn
+	fails int // fail this many dials before succeeding
+}
+
+func (d *dialer) dial() (Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fails > 0 {
+		d.fails--
+		return nil, errors.New("dial refused")
+	}
+	c := &fakeConn{id: len(d.conns)}
+	d.conns = append(d.conns, c)
+	return c, nil
+}
+
+func (d *dialer) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+func TestLazyDialAndReuse(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 4, Dial: d.dial})
+	if d.count() != 0 {
+		t.Fatal("pool must not dial before first checkout")
+	}
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.count() != 1 {
+		t.Fatalf("dials = %d, want 1", d.count())
+	}
+	p.Put(c, true)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("idle connection should be reused")
+	}
+	if d.count() != 1 {
+		t.Fatalf("dials = %d, want 1 (reuse)", d.count())
+	}
+	p.Put(c2, true)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.(*fakeConn).isClosed() {
+		t.Fatal("Close should close idle connections")
+	}
+}
+
+func TestBoundAndCheckoutTimeout(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial, CheckoutTimeout: 50 * time.Millisecond})
+	a, _ := p.Get()
+	b, _ := p.Get()
+	if _, err := p.Get(); !errors.Is(err, ErrCheckoutTimeout) {
+		t.Fatalf("err = %v, want ErrCheckoutTimeout", err)
+	}
+	if p.Stats().WaitTimeouts != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+	p.Put(a, true)
+	p.Put(b, true)
+	if d.count() != 2 {
+		t.Fatalf("dials = %d, want 2 (bounded)", d.count())
+	}
+}
+
+func TestBlockedCheckoutUnblocksOnPut(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 1, Dial: d.dial, CheckoutTimeout: 2 * time.Second})
+	a, _ := p.Get()
+	got := make(chan Conn)
+	go func() {
+		c, err := p.Get()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Put(a, true)
+	select {
+	case c := <-got:
+		p.Put(c, true)
+	case <-time.After(time.Second):
+		t.Fatal("waiter never unblocked")
+	}
+}
+
+func TestHealthCheckDiscardsDeadIdle(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial, HealthCheck: true})
+	c, _ := p.Get()
+	c.(*fakeConn).pingErr = errors.New("gone")
+	p.Put(c, true)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c {
+		t.Fatal("dead idle connection should have been replaced")
+	}
+	if !c.(*fakeConn).isClosed() {
+		t.Fatal("dead connection should be closed")
+	}
+	st := p.Stats()
+	if st.HealthFailures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.Put(c2, true)
+}
+
+func TestDialRetryWithBackoff(t *testing.T) {
+	d := &dialer{fails: 2}
+	p := New(Config{Size: 1, Dial: d.dial, DialAttempts: 3, DialBackoff: time.Millisecond})
+	start := time.Now()
+	c, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after retries: %v", err)
+	}
+	// two failures with 1ms then 2ms backoff
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("backoff not applied (elapsed %v)", elapsed)
+	}
+	st := p.Stats()
+	if st.Dials != 3 || st.DialErrors != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.Put(c, true)
+}
+
+func TestDialExhaustedReleasesSlot(t *testing.T) {
+	d := &dialer{fails: 100}
+	p := New(Config{Size: 1, Dial: d.dial, DialAttempts: 2, DialBackoff: time.Millisecond})
+	if _, err := p.Get(); err == nil {
+		t.Fatal("Get should fail when dialing is impossible")
+	}
+	// the slot must have been released: a now-working dial succeeds
+	d.mu.Lock()
+	d.fails = 0
+	d.mu.Unlock()
+	c, err := p.Get()
+	if err != nil {
+		t.Fatalf("slot leaked: %v", err)
+	}
+	p.Put(c, true)
+}
+
+func TestPutDiscard(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial})
+	c, _ := p.Get()
+	p.Put(c, false)
+	if !c.(*fakeConn).isClosed() {
+		t.Fatal("discarded connection should be closed")
+	}
+	c2, _ := p.Get()
+	if c2 == c {
+		t.Fatal("discarded connection must not be reused")
+	}
+	p.Put(c2, true)
+}
+
+func TestGracefulDrain(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial, DrainTimeout: time.Second})
+	c, _ := p.Get()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		p.Put(c, true)
+	}()
+	if err := p.Close(); err != nil {
+		t.Fatalf("drain should succeed once the connection returns: %v", err)
+	}
+	if !c.(*fakeConn).isClosed() {
+		t.Fatal("connection should be closed after drain")
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 1, Dial: d.dial, DrainTimeout: 30 * time.Millisecond})
+	c, _ := p.Get() // never returned
+	if err := p.Close(); err == nil {
+		t.Fatal("Close should report the timed-out drain")
+	}
+	p.Put(c, true) // late return: discarded without blocking
+	if !c.(*fakeConn).isClosed() {
+		t.Fatal("late-returned connection should be closed")
+	}
+}
+
+func TestPerQueryDeadline(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 1, Dial: d.dial, QueryTimeout: time.Second})
+	b := p.SessionBackend()
+	if _, err := b.Exec("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	fc := d.conns[0]
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	// one deadline set before the query, one zero clear after
+	if len(fc.deadlines) != 2 || fc.deadlines[0].IsZero() || !fc.deadlines[1].IsZero() {
+		t.Fatalf("deadlines = %v", fc.deadlines)
+	}
+}
+
+func TestSessionBackendPerStatementCheckout(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial})
+	b := p.SessionBackend()
+	for i := 0; i < 5; i++ {
+		if _, err := b.Exec(fmt.Sprintf("SELECT %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.count() != 1 {
+		t.Fatalf("dials = %d, want 1 (checkout/checkin reuse)", d.count())
+	}
+	if st := p.Stats(); st.InUse != 0 || st.Idle != 1 {
+		t.Fatalf("stats after statements = %+v (connection held?)", st)
+	}
+	b.Close()
+}
+
+func TestSessionBackendPinsOnTempTable(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial})
+	b := p.SessionBackend()
+	if _, err := b.Exec("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec("CREATE TEMPORARY TABLE hq_temp_1 AS SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.InUse != 1 {
+		t.Fatalf("temp DDL should pin the connection: %+v", st)
+	}
+	// subsequent statements run on the pinned connection
+	if _, err := b.Exec("SELECT * FROM hq_temp_1"); err != nil {
+		t.Fatal(err)
+	}
+	pinned := d.conns[len(d.conns)-1]
+	pinned.mu.Lock()
+	last := pinned.execs[len(pinned.execs)-1]
+	pinned.mu.Unlock()
+	if last != "SELECT * FROM hq_temp_1" {
+		t.Fatalf("follow-up statement ran elsewhere: %q", last)
+	}
+	// closing the session retires (closes) the pinned connection
+	b.Close()
+	if !pinned.isClosed() {
+		t.Fatal("pinned connection must be retired on session close, not recycled")
+	}
+	if st := p.Stats(); st.InUse != 0 {
+		t.Fatalf("slot not released on close: %+v", st)
+	}
+}
+
+func TestSessionBackendLostPinnedConn(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 2, Dial: d.dial})
+	b := p.SessionBackend()
+	if _, err := b.Exec("CREATE TEMP TABLE t AS SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	pinned := d.conns[0]
+	pinned.mu.Lock()
+	pinned.execErr = &net.OpError{Op: "read", Err: io.EOF}
+	pinned.mu.Unlock()
+	if _, err := b.Exec("SELECT * FROM t"); err == nil {
+		t.Fatal("broken transport should surface")
+	}
+	if _, err := b.Exec("SELECT 1"); !errors.Is(err, ErrSessionConnLost) {
+		t.Fatalf("err = %v, want ErrSessionConnLost", err)
+	}
+	if st := p.Stats(); st.InUse != 0 {
+		t.Fatalf("broken pinned connection should release its slot: %+v", st)
+	}
+	b.Close()
+}
+
+func TestConnBrokenClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&pgv3.ServerError{Severity: "ERROR", Code: "42P01", Message: "no such table"}, false},
+		{errors.New("pgdb: syntax error"), false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{&net.OpError{Op: "read", Err: errors.New("reset")}, true},
+		{fmt.Errorf("query: %w", io.EOF), true},
+	}
+	for _, tc := range cases {
+		if got := connBroken(tc.err); got != tc.want {
+			t.Errorf("connBroken(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestConcurrentSessionsShareBoundedPool(t *testing.T) {
+	d := &dialer{}
+	p := New(Config{Size: 3, Dial: d.dial, CheckoutTimeout: 5 * time.Second})
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := p.SessionBackend()
+			defer b.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := b.Exec("SELECT 1"); err != nil {
+					errs.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errs.Load() != 0 {
+		t.Fatalf("%d sessions failed", errs.Load())
+	}
+	if d.count() > 3 {
+		t.Fatalf("dials = %d, bound %d violated", d.count(), 3)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

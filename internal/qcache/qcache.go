@@ -1,0 +1,282 @@
+// Package qcache implements the query-translation cache of the concurrent
+// serving runtime: a bounded LRU of translated plans shared by every session
+// of a Hyper-Q process. The paper's value proposition is that translation
+// overhead is negligible (~0.5% mean, Figure 6); once many concurrent
+// clients replay the same workload queries, even that cost is dominated by
+// repetition, so a warm hit skips parse/bind/xform/serialize entirely.
+//
+// Correctness rests on the key: a translation is only valid for the exact
+// variable-visibility and metadata state it was produced under, so the key
+// combines the normalized Q text with a scope fingerprint (session + server
+// variable stores, see binder.Scopes.Fingerprint) and the metadata
+// generation (mdi.MDI.Generation). A DDL or variable-store mutation bumps
+// the respective generation, which orphans every dependent entry — stale
+// entries are never served and age out of the LRU.
+//
+// Concurrent identical queries are deduplicated with single-flight
+// semantics: the first caller translates, the rest wait and share the
+// result, so a thundering herd of N identical queries costs one
+// translation.
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key identifies one cached translation.
+type Key struct {
+	// Query is the normalized Q source text (see Normalize).
+	Query string
+	// Scope fingerprints the variable-visibility state the translation
+	// bound against (session + server scopes).
+	Scope uint64
+	// Meta is the metadata generation of the MDI the translation used;
+	// DDL bumps it, invalidating dependent entries.
+	Meta uint64
+}
+
+// Kind classifies how a cached statement's backend result is converted.
+type Kind int
+
+// Entry kinds.
+const (
+	// Select is a relational statement: the result is a Q table.
+	Select Kind = iota
+	// ScalarSelect is a non-constant scalar statement executed as a
+	// single-row SELECT; a 1x1 result unwraps to an atom.
+	ScalarSelect
+)
+
+// Cost is the per-stage translation time the entry's producer paid — what a
+// cache hit saves, reported as RunStats.Saved.
+type Cost struct {
+	Parse     time.Duration
+	Bind      time.Duration
+	Xform     time.Duration
+	Serialize time.Duration
+}
+
+// Total returns the summed translation cost.
+func (c Cost) Total() time.Duration {
+	return c.Parse + c.Bind + c.Xform + c.Serialize
+}
+
+// Entry is one cached translation: everything needed to execute the
+// statement without re-running any pipeline stage.
+type Entry struct {
+	SQL  string
+	Kind Kind
+	// IsExec marks q's exec template, whose single-column results unwrap
+	// to a bare vector.
+	IsExec bool
+	Cost   Cost
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Dedups counts callers that waited on another caller's in-flight
+	// translation instead of translating themselves.
+	Dedups  int64
+	Entries int
+}
+
+// Cache is a bounded LRU of translated plans with single-flight
+// deduplication. Safe for concurrent use.
+type Cache struct {
+	max int
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used; elements hold *item
+	items   map[Key]*list.Element
+	flights map[Key]*flight
+
+	hits, misses, evictions, dedups int64
+}
+
+type item struct {
+	key Key
+	e   *Entry
+}
+
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// New creates a cache bounded to maxEntries (minimum 1).
+func New(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		max:     maxEntries,
+		lru:     list.New(),
+		items:   map[Key]*list.Element{},
+		flights: map[Key]*flight{},
+	}
+}
+
+// Get returns the cached entry for k, if any, marking it most recently
+// used.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*item).e, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or replaces the entry for k, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache) Put(k Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(k, e)
+}
+
+func (c *Cache) put(k Key, e *Entry) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*item).e = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.lru.PushFront(&item{key: k, e: e})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*item).key)
+		c.evictions++
+	}
+}
+
+// Do returns the cached entry for k or produces one with translate,
+// deduplicating concurrent callers: while one caller runs translate, others
+// asking for the same key wait and share its outcome. The shared return is
+// true when the entry came from the cache or another caller's flight (i.e.
+// this caller skipped translation).
+//
+// translate may return (nil, nil) to signal "not cacheable": nothing is
+// stored, and every caller receives a nil entry to fall back on its own
+// uncached path. A translate error is propagated to all waiting callers and
+// not stored.
+func (c *Cache) Do(k Key, translate func() (*Entry, error)) (e *Entry, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*item).e
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		<-f.done
+		return f.e, true, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		if f.err == nil && f.e != nil {
+			c.put(k, f.e)
+		}
+		delete(c.flights, k)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.e, f.err = translate()
+	return f.e, false, f.err
+}
+
+// Clear drops every entry (explicit invalidation; generation-keyed
+// invalidation normally makes this unnecessary).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.items = map[Key]*list.Element{}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Dedups:    c.dedups,
+		Entries:   c.lru.Len(),
+	}
+}
+
+// Normalize canonicalizes Q source for use as a cache key: runs of spaces
+// and tabs outside string literals collapse to a single space, and leading/
+// trailing whitespace is trimmed. Newlines are preserved — the Q lexer
+// treats a newline differently from a space (it resets juxtaposition
+// context), so conflating them could collide two semantically different
+// programs under one key.
+func Normalize(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(q); i++ {
+		ch := q[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\\' && i+1 < len(q) {
+				i++
+				b.WriteByte(q[i])
+				continue
+			}
+			if ch == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch ch {
+		case ' ', '\t':
+			pendingSpace = true
+		case '\n', '\r':
+			// collapse newline runs (and \r\n pairs): blank lines carry no
+			// tokens and reset nothing beyond what one newline resets
+			pendingSpace = false
+			if s := b.String(); len(s) > 0 && s[len(s)-1] != '\n' {
+				b.WriteByte('\n')
+			}
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			if ch == '"' {
+				inStr = true
+			}
+			b.WriteByte(ch)
+		}
+	}
+	return strings.Trim(b.String(), " \n")
+}

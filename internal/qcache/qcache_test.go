@@ -1,0 +1,231 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(q string) Key { return Key{Query: q} }
+
+func entry(sql string) *Entry {
+	return &Entry{SQL: sql, Cost: Cost{Parse: time.Microsecond}}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key("a"), entry("SELECT a"))
+	e, ok := c.Get(key("a"))
+	if !ok || e.SQL != "SELECT a" {
+		t.Fatalf("Get = %v, %v", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKeyComponentsDistinguish(t *testing.T) {
+	c := New(8)
+	c.Put(Key{Query: "q", Scope: 1, Meta: 1}, entry("one"))
+	for _, k := range []Key{
+		{Query: "q", Scope: 1, Meta: 2},
+		{Query: "q", Scope: 2, Meta: 1},
+		{Query: "q2", Scope: 1, Meta: 1},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %+v should not hit", k)
+		}
+	}
+	if _, ok := c.Get(Key{Query: "q", Scope: 1, Meta: 1}); !ok {
+		t.Fatal("exact key should hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key("a"), entry("a"))
+	c.Put(key("b"), entry("b"))
+	c.Get(key("a")) // a is now most recently used
+	c.Put(key("c"), entry("c"))
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get(key("c")); !ok {
+		t.Fatal("c should be present")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	c.Put(key("a"), entry("v1"))
+	c.Put(key("a"), entry("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	e, _ := c.Get(key("a"))
+	if e.SQL != "v2" {
+		t.Fatalf("SQL = %q, want v2", e.SQL)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New(8)
+	var translations atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]*Entry, waiters)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, shared, err := c.Do(key("hot"), func() (*Entry, error) {
+				close(started)
+				translations.Add(1)
+				<-release
+				return entry("SELECT hot"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = e
+		}(i)
+	}
+	<-started
+	// give the other goroutines a moment to pile up on the flight
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := translations.Load(); n != 1 {
+		t.Fatalf("translate ran %d times, want 1", n)
+	}
+	for i, e := range results {
+		if e == nil || e.SQL != "SELECT hot" {
+			t.Fatalf("caller %d got %v", i, e)
+		}
+	}
+	if sc := sharedCount.Load(); sc != waiters-1 {
+		t.Fatalf("shared count = %d, want %d", sc, waiters-1)
+	}
+	// flight result was cached
+	if _, ok := c.Get(key("hot")); !ok {
+		t.Fatal("flight result should have been cached")
+	}
+}
+
+func TestDoNotCacheable(t *testing.T) {
+	c := New(8)
+	e, shared, err := c.Do(key("assign"), func() (*Entry, error) { return nil, nil })
+	if e != nil || shared || err != nil {
+		t.Fatalf("Do = %v, %v, %v", e, shared, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil entry must not be stored")
+	}
+	// a later Do runs translate again (nothing was cached)
+	ran := false
+	c.Do(key("assign"), func() (*Entry, error) { ran = true; return nil, nil })
+	if !ran {
+		t.Fatal("translate should run again for uncacheable keys")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8)
+	boom := fmt.Errorf("boom")
+	_, _, err := c.Do(key("bad"), func() (*Entry, error) { return nil, boom })
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("errors must not be cached")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(8)
+	c.Put(key("a"), entry("a"))
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear should drop all entries")
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("hit after Clear")
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("q%d", i%50))
+				switch i % 4 {
+				case 0:
+					c.Put(k, entry(k.Query))
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Do(k, func() (*Entry, error) { return entry(k.Query), nil })
+				case 3:
+					if i%40 == 3 {
+						c.Clear()
+					} else {
+						c.Stats()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"select from trades", "select from trades"},
+		{"  select   from\ttrades  ", "select from trades"},
+		{"a:1;  b : 2", "a:1; b : 2"},
+		// newlines are statement-ish separators: preserved, runs collapsed
+		{"a:1\n\nb:2", "a:1\nb:2"},
+		{"a:1\r\nb:2", "a:1\nb:2"},
+		// string literals keep their exact spacing
+		{`x: "two  spaces"`, `x: "two  spaces"`},
+		{`x: "esc \"  q"   `, `x: "esc \"  q"`},
+		// leading space after newline is preserved (continuation lines)
+		{"a:1\n  +2", "a:1\n +2"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// distinct programs must stay distinct
+	if Normalize("a:1\nb:2") == Normalize("a:1 b:2") {
+		t.Error("newline and space must not normalize to the same key")
+	}
+}

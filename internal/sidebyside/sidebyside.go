@@ -70,21 +70,31 @@ func (f *Framework) Compare(q string) (*Report, error) {
 		rep.Diffs = append(rep.Diffs, fmt.Sprintf("error divergence: kdb=%v hyperq=%v", kerr, herr))
 		return rep, nil
 	}
-	kt, kok := canonicalize(kv)
-	ht, hok := canonicalize(hv)
+	kt, _ := canonicalize(kv)
+	ht, _ := canonicalize(hv)
 	rep.KdbResult, rep.HyperQResult = kt, ht
-	if !kok || !hok {
-		// non-tabular results: compare values directly
-		if qval.EqualValues(kv, hv) {
-			rep.Match = true
-		} else {
-			rep.Diffs = append(rep.Diffs, fmt.Sprintf("scalar mismatch: kdb=%v hyperq=%v", kv, hv))
-		}
-		return rep, nil
-	}
-	rep.Diffs = f.diffTables(kt, ht)
+	rep.Diffs = Diff(kv, hv, f.FloatTol)
 	rep.Match = len(rep.Diffs) == 0
 	return rep, nil
+}
+
+// Diff compares a kdb-side and a Hyper-Q-side result, returning human-
+// readable differences (empty means match). Tabular results are
+// canonicalized (keyed tables flatten) and cells compared with the given
+// relative float tolerance. Exported for harnesses that obtain the two
+// values themselves — e.g. the concurrent serving test, which receives the
+// Hyper-Q result over the QIPC wire.
+func Diff(kdb, hyperq qval.Value, floatTol float64) []string {
+	kt, kok := canonicalize(kdb)
+	ht, hok := canonicalize(hyperq)
+	if !kok || !hok {
+		// non-tabular results: compare values directly
+		if qval.EqualValues(kdb, hyperq) {
+			return nil
+		}
+		return []string{fmt.Sprintf("scalar mismatch: kdb=%v hyperq=%v", kdb, hyperq)}
+	}
+	return diffTables(kt, ht, floatTol)
 }
 
 // MustMatch is a convenience for tests: it returns an error on mismatch.
@@ -116,7 +126,7 @@ func canonicalize(v qval.Value) (*qval.Table, bool) {
 	}
 }
 
-func (f *Framework) diffTables(a, b *qval.Table) []string {
+func diffTables(a, b *qval.Table, floatTol float64) []string {
 	var diffs []string
 	if a.NumCols() != b.NumCols() {
 		diffs = append(diffs, fmt.Sprintf("column count: kdb=%d hyperq=%d (kdb cols %v, hyperq cols %v)",
@@ -140,7 +150,7 @@ func (f *Framework) diffTables(a, b *qval.Table) []string {
 		ac, bc := a.Data[c], b.Data[c]
 		for i := 0; i < n; i++ {
 			av, bv := qval.Index(ac, i), qval.Index(bc, i)
-			if f.cellsEqual(av, bv) {
+			if cellsEqual(av, bv, floatTol) {
 				continue
 			}
 			diffs = append(diffs, fmt.Sprintf("cell [%d,%s]: kdb=%v hyperq=%v", i, a.Cols[c], av, bv))
@@ -153,7 +163,7 @@ func (f *Framework) diffTables(a, b *qval.Table) []string {
 	return diffs
 }
 
-func (f *Framework) cellsEqual(a, b qval.Value) bool {
+func cellsEqual(a, b qval.Value, floatTol float64) bool {
 	if qval.IsNull(a) && qval.IsNull(b) {
 		return true
 	}
@@ -165,7 +175,7 @@ func (f *Framework) cellsEqual(a, b qval.Value) bool {
 		}
 		diff := math.Abs(af - bf)
 		scale := math.Max(math.Abs(af), math.Abs(bf))
-		return diff <= f.FloatTol*math.Max(scale, 1)
+		return diff <= floatTol*math.Max(scale, 1)
 	}
 	return qval.EqualValues(a, b)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"net"
+	"time"
 )
 
 // ClientConn is the client side of a PG v3 connection — what Hyper-Q's
@@ -162,6 +163,9 @@ func (c *ClientConn) Query(sql string) (*QueryResult, error) {
 		}
 	}
 }
+
+// SetDeadline sets the I/O deadline on the underlying socket (zero clears).
+func (c *ClientConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // Close sends Terminate and closes the socket.
 func (c *ClientConn) Close() error {
