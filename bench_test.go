@@ -13,6 +13,7 @@
 package hyperq_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -36,6 +37,9 @@ import (
 	"hyperq/internal/xformer"
 )
 
+// ctx for benchmark queries: benchmarks exercise the happy path, no deadline.
+var ctx = context.Background()
+
 // benchStack caches one loaded backend per data size across benchmarks.
 var benchStacks = map[int]*pgdb.DB{}
 
@@ -45,7 +49,7 @@ func stackFor(b *testing.B, trades int) (*core.Session, core.Backend) {
 	if !ok {
 		db = pgdb.NewDB()
 		loader := core.NewDirectBackend(db)
-		if _, err := workload.Setup(loader, taq.Config{Seed: 1, Trades: trades, NumSymbols: 100}); err != nil {
+		if _, err := workload.Setup(context.Background(), loader, taq.Config{Seed: 1, Trades: trades, NumSymbols: 100}); err != nil {
 			b.Fatal(err)
 		}
 		benchStacks[trades] = db
@@ -62,12 +66,12 @@ func BenchmarkFigure6_Translation(b *testing.B) {
 	for _, q := range workload.Queries() {
 		b.Run(fmt.Sprintf("q%02d", q.ID), func(b *testing.B) {
 			s, _ := stackFor(b, 5000)
-			if _, _, err := s.Run("avgpx: 100.0"); err != nil {
+			if _, _, err := s.Run(ctx, "avgpx: 100.0"); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Translate(q.Q); err != nil {
+				if _, _, err := s.Translate(ctx, q.Q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -81,12 +85,12 @@ func BenchmarkFigure6_EndToEnd(b *testing.B) {
 	for _, q := range workload.Queries() {
 		b.Run(fmt.Sprintf("q%02d", q.ID), func(b *testing.B) {
 			s, _ := stackFor(b, 5000)
-			if _, _, err := s.Run("avgpx: 100.0"); err != nil {
+			if _, _, err := s.Run(ctx, "avgpx: 100.0"); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Run(q.Q); err != nil {
+				if _, _, err := s.Run(ctx, q.Q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -98,13 +102,13 @@ func BenchmarkFigure6_EndToEnd(b *testing.B) {
 // whole workload as custom metrics (ns per stage per query).
 func BenchmarkFigure7_Stages(b *testing.B) {
 	s, _ := stackFor(b, 5000)
-	if _, _, err := s.Run("avgpx: 100.0"); err != nil {
+	if _, _, err := s.Run(ctx, "avgpx: 100.0"); err != nil {
 		b.Fatal(err)
 	}
 	var agg core.StageTiming
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ms, err := workload.TranslateAll(s)
+		ms, err := workload.TranslateAll(ctx, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +149,7 @@ func BenchmarkMetadataCache(b *testing.B) {
 			defer s.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Translate(q); err != nil {
+				if _, _, err := s.Translate(ctx, q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -172,7 +176,7 @@ func BenchmarkMaterialization(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				backend := core.NewDirectBackend(db)
 				s := core.NewPlatform().NewSession(backend, core.Config{Materialization: mode.m})
-				if _, _, err := s.Run(q); err != nil {
+				if _, _, err := s.Run(ctx, q); err != nil {
 					b.Fatal(err)
 				}
 				s.Close()
@@ -299,7 +303,7 @@ func BenchmarkAblationXformer(b *testing.B) {
 			var sqlLen int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sql, _, err := s.Translate(q)
+				sql, _, err := s.Translate(ctx, q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -332,7 +336,7 @@ func BenchmarkAblationExecutionPruning(b *testing.B) {
 			defer s.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Run(q); err != nil {
+				if _, _, err := s.Run(ctx, q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -366,12 +370,12 @@ func BenchmarkTranslationCache(b *testing.B) {
 			s := core.NewPlatform().NewSession(backend, cfg)
 			defer s.Close()
 			// prime the MDI (both modes) and the cache (warm mode)
-			if _, _, err := s.Translate(q); err != nil {
+			if _, _, err := s.Translate(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Translate(q); err != nil {
+				if _, _, err := s.Translate(ctx, q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -394,7 +398,7 @@ func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
 		name string
 		tbl  *qval.Table
 	}{{"trades", data.Trades}, {"quotes", data.Quotes}, {"daily", data.Daily}} {
-		if err := core.LoadQTable(loader, tb.name, tb.tbl); err != nil {
+		if err := core.LoadQTable(context.Background(), loader, tb.name, tb.tbl); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -403,15 +407,15 @@ func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { pgL.Close() })
-	go pgdb.Serve(pgL, db, pgdb.AuthConfig{
+	go pgdb.Serve(context.Background(), pgL, db, pgdb.AuthConfig{
 		Method: pgv3.AuthMethodMD5,
 		Users:  map[string]string{"hq": "pw"},
 	})
 
 	backendPool := pool.New(pool.Config{
 		Size: poolSize,
-		Dial: func() (pool.Conn, error) {
-			return gateway.Dial(pgL.Addr().String(), "hq", "pw", "db")
+		Dial: func(ctx context.Context) (pool.Conn, error) {
+			return gateway.Dial(ctx, pgL.Addr().String(), "hq", "pw", "db")
 		},
 		HealthCheck: true,
 	})
@@ -428,15 +432,15 @@ func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { qL.Close() })
-	go endpoint.Serve(qL, endpoint.Config{
+	go endpoint.Serve(context.Background(), qL, endpoint.Config{
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
 			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
 				MDI:   sharedMDI,
 				Cache: cache,
 			})
 			compiler := xc.New(session)
-			return endpoint.HandlerFunc(func(q string) (qval.Value, error) {
-				v, _, err := compiler.HandleQuery(q)
+			return endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
 				return v, err
 			}), func() { session.Close() }, nil
 		},
@@ -531,7 +535,7 @@ func BenchmarkKdbBaselineVsHyperQ(b *testing.B) {
 		s, _ := stackFor(b, 5000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := s.Run(q); err != nil {
+			if _, _, err := s.Run(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,14 +41,14 @@ func main() {
 	db := pgdb.NewDB()
 	b := core.NewDirectBackend(db)
 	b.Delay = *delay
-	if _, err := workload.Setup(b, taq.Config{Seed: *seed, Trades: *trades, NumSymbols: *symbols}); err != nil {
+	if _, err := workload.Setup(context.Background(), b, taq.Config{Seed: *seed, Trades: *trades, NumSymbols: *symbols}); err != nil {
 		log.Fatalf("setup: %v", err)
 	}
 	p := core.NewPlatform()
 	s := p.NewSession(b, core.Config{MDITTL: 5 * time.Minute})
 	defer s.Close()
 
-	ms, err := workload.RunAll(s, *reps)
+	ms, err := workload.RunAll(context.Background(), s, *reps)
 	if err != nil {
 		log.Fatalf("workload: %v", err)
 	}

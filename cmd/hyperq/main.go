@@ -15,10 +15,13 @@
 // backend connections (-pool-size), one query-translation cache
 // (-cache-entries) and one metadata cache, so N clients replaying the same
 // workload cost one translation per distinct query and at most -pool-size
-// backend connections. SIGINT/SIGTERM drains the pool gracefully.
+// backend connections. SIGINT/SIGTERM starts a graceful drain: the listener
+// closes immediately, in-flight requests get -drain-timeout to finish, then
+// their contexts are canceled and the pool drains.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
@@ -54,7 +57,13 @@ func main() {
 	poolSize := flag.Int("pool-size", 4, "max pooled backend connections shared by all sessions")
 	cacheEntries := flag.Int("cache-entries", 1024, "query-translation cache capacity (0 disables)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query backend deadline (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end per-request deadline (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace window for in-flight requests on shutdown")
 	flag.Parse()
+
+	// ctx is the server's life: SIGINT/SIGTERM cancels it, starting the drain
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	platform := core.NewPlatform()
 	var embeddedDB *pgdb.DB
@@ -69,7 +78,7 @@ func main() {
 			{"trades", data.Trades}, {"quotes", data.Quotes},
 			{"refdata", data.RefData}, {"daily", data.Daily},
 		} {
-			if err := core.LoadQTable(b, t.name, t.tbl); err != nil {
+			if err := core.LoadQTable(ctx, b, t.name, t.tbl); err != nil {
 				log.Fatalf("loading %s: %v", t.name, err)
 			}
 		}
@@ -80,14 +89,15 @@ func main() {
 
 	backendPool := pool.New(pool.Config{
 		Size: *poolSize,
-		Dial: func() (pool.Conn, error) {
+		Dial: func(ctx context.Context) (pool.Conn, error) {
 			if *embedded {
 				return core.NewDirectBackend(embeddedDB), nil
 			}
-			return gateway.Dial(*backendAddr, *bUser, *bPass, *bDB)
+			return gateway.Dial(ctx, *backendAddr, *bUser, *bPass, *bDB)
 		},
 		QueryTimeout: *queryTimeout,
 		HealthCheck:  true,
+		DrainTimeout: *drainTimeout,
 		Logf:         log.Printf,
 	})
 
@@ -110,17 +120,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		log.Printf("received %v: shutting down", s)
-		l.Close()
-	}()
 
 	log.Printf("hyperq listening on %s (QIPC); backend=%s pool=%d cache=%d",
 		*listen, backendDesc(*embedded, *backendAddr), *poolSize, *cacheEntries)
-	err = endpoint.Serve(l, endpoint.Config{
+	err = endpoint.Serve(ctx, l, endpoint.Config{
 		Auth: auth,
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
 			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
@@ -128,13 +131,15 @@ func main() {
 				Cache: cache,
 			})
 			compiler := xc.New(session)
-			h := endpoint.HandlerFunc(func(q string) (qval.Value, error) {
-				v, _, err := compiler.HandleQuery(q)
+			h := endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
 				return v, err
 			})
 			return h, func() { session.Close() }, nil
 		},
-		Logf: log.Printf,
+		RequestTimeout: *requestTimeout,
+		DrainTimeout:   *drainTimeout,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Printf("serve: %v", err)
@@ -148,8 +153,8 @@ func main() {
 			cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Evictions)
 	}
 	ps := backendPool.Stats()
-	log.Printf("pool: %d dials (%d errors), %d checkouts, %d health failures, %d discards",
-		ps.Dials, ps.DialErrors, ps.Checkouts, ps.HealthFailures, ps.Discards)
+	log.Printf("pool: %d dials (%d errors), %d checkouts, %d health failures (%d checks skipped), %d discards",
+		ps.Dials, ps.DialErrors, ps.Checkouts, ps.HealthFailures, ps.HealthChecksSkipped, ps.Discards)
 }
 
 func backendDesc(embedded bool, addr string) string {

@@ -5,11 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hyperq/internal/core"
 	"hyperq/internal/pgdb"
@@ -27,20 +30,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "demo data seed")
 	flag.Parse()
 
+	// ctx is the server's life: SIGINT/SIGTERM cancels it and Serve drains
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	db := pgdb.NewDB()
 	if *demo {
 		b := core.NewDirectBackend(db)
 		data := taq.Generate(taq.Config{Seed: *seed, Trades: *trades})
-		if err := core.LoadQTable(b, "trades", data.Trades); err != nil {
+		if err := core.LoadQTable(ctx, b, "trades", data.Trades); err != nil {
 			log.Fatalf("loading trades: %v", err)
 		}
-		if err := core.LoadQTable(b, "quotes", data.Quotes); err != nil {
+		if err := core.LoadQTable(ctx, b, "quotes", data.Quotes); err != nil {
 			log.Fatalf("loading quotes: %v", err)
 		}
-		if err := core.LoadQTable(b, "refdata", data.RefData); err != nil {
+		if err := core.LoadQTable(ctx, b, "refdata", data.RefData); err != nil {
 			log.Fatalf("loading refdata: %v", err)
 		}
-		if err := core.LoadQTable(b, "daily", data.Daily); err != nil {
+		if err := core.LoadQTable(ctx, b, "daily", data.Daily); err != nil {
 			log.Fatalf("loading daily: %v", err)
 		}
 		log.Printf("demo data loaded: %d trades, %d quotes, %d-column refdata",
@@ -64,7 +71,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("pgserver listening on %s (auth=%s)", *listen, *authMode)
-	if err := pgdb.Serve(l, db, pgdb.AuthConfig{
+	if err := pgdb.Serve(ctx, l, db, pgdb.AuthConfig{
 		Method: method,
 		Users:  map[string]string{*user: *password},
 	}); err != nil {

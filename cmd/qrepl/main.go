@@ -7,6 +7,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,7 +66,7 @@ func main() {
 		defer session.Close()
 		fmt.Println("local Hyper-Q stack (Q -> XTRA -> SQL -> embedded engine)")
 		eval = func(q string) (qval.Value, error) {
-			v, _, err := session.Run(q)
+			v, _, err := session.Run(context.Background(), q)
 			return v, err
 		}
 	default:
@@ -112,7 +113,7 @@ func loadDemo(b core.Backend) {
 		{"trades", data.Trades}, {"quotes", data.Quotes},
 		{"refdata", data.RefData}, {"daily", data.Daily},
 	} {
-		if err := core.LoadQTable(b, t.name, t.tbl); err != nil {
+		if err := core.LoadQTable(context.Background(), b, t.name, t.tbl); err != nil {
 			log.Fatalf("loading %s: %v", t.name, err)
 		}
 	}

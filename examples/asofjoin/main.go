@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// synthetic TAQ market data (stand-in for NYSE TAQ)
 	data := taq.Generate(taq.Config{
 		Seed: 2016, Trades: 2000, Quotes: 4000,
@@ -34,10 +36,10 @@ func main() {
 	defer session.Close()
 
 	fw := sidebyside.New(kdb, session, backend)
-	if err := fw.LoadTable("trades", data.Trades); err != nil {
+	if err := fw.LoadTable(ctx, "trades", data.Trades); err != nil {
 		log.Fatal(err)
 	}
-	if err := fw.LoadTable("quotes", data.Quotes); err != nil {
+	if err := fw.LoadTable(ctx, "quotes", data.Quotes); err != nil {
 		log.Fatal(err)
 	}
 
@@ -45,7 +47,7 @@ func main() {
 	// each GOOG trade
 	q := "aj[`Symbol`Time; select Symbol, Time, Price, Size from trades where Symbol=`GOOG; select Symbol, Time, Bid, Ask from quotes]"
 
-	sql, _, err := session.Translate(q)
+	sql, _, err := session.Translate(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 	fmt.Println(" ", truncate(sql, 240))
 	fmt.Println()
 
-	rep, err := fw.Compare(q)
+	rep, err := fw.Compare(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,17 +20,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := pgdb.NewDB()
 	backend := core.NewDirectBackend(db)
 	// a bigger "historical" data set than a single in-memory day
-	if _, err := workload.Setup(backend, taq.Config{Seed: 7, Trades: 30000}); err != nil {
+	if _, err := workload.Setup(ctx, backend, taq.Config{Seed: 7, Trades: 30000}); err != nil {
 		log.Fatal(err)
 	}
 	session := core.NewPlatform().NewSession(backend, core.Config{})
 	defer session.Close()
 
 	run := func(q string) qval.Value {
-		v, _, err := session.Run(q)
+		v, _, err := session.Run(ctx, q)
 		if err != nil {
 			log.Fatalf("%s: %v", q, err)
 		}

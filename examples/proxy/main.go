@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -33,7 +34,7 @@ func main() {
 		name string
 		tbl  *qval.Table
 	}{{"trades", data.Trades}, {"quotes", data.Quotes}, {"daily", data.Daily}} {
-		if err := core.LoadQTable(loader, t.name, t.tbl); err != nil {
+		if err := core.LoadQTable(context.Background(), loader, t.name, t.tbl); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go pgdb.Serve(pgL, db, pgdb.AuthConfig{
+	go pgdb.Serve(context.Background(), pgL, db, pgdb.AuthConfig{
 		Method: pgv3.AuthMethodMD5,
 		Users:  map[string]string{"hyperq": "s3cret"},
 	})
@@ -53,17 +54,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go endpoint.Serve(qL, endpoint.Config{
+	go endpoint.Serve(context.Background(), qL, endpoint.Config{
 		Auth: func(user, pass string) bool { return user == "trader" && pass == "moneybags" },
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
-			gw, err := gateway.Dial(pgL.Addr().String(), "hyperq", "s3cret", "hyperq")
+			gw, err := gateway.Dial(context.Background(), pgL.Addr().String(), "hyperq", "s3cret", "hyperq")
 			if err != nil {
 				return nil, nil, err
 			}
 			session := platform.NewSession(gw, core.Config{})
 			compiler := xc.New(session)
-			h := endpoint.HandlerFunc(func(q string) (qval.Value, error) {
-				v, _, err := compiler.HandleQuery(q)
+			h := endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
 				return v, err
 			})
 			return h, func() { session.Close() }, nil

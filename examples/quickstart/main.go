@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Start an embedded PG-compatible backend and load a Q table into it.
 	db := pgdb.NewDB()
 	backend := core.NewDirectBackend(db)
@@ -26,7 +28,7 @@ func main() {
 			qval.FloatVec{740.10, 150.55, 740.35, 150.60, 740.20},
 			qval.LongVec{100, 200, 300, 400, 500},
 		})
-	if err := core.LoadQTable(backend, "trades", trades); err != nil {
+	if err := core.LoadQTable(ctx, backend, "trades", trades); err != nil {
 		log.Fatal(err)
 	}
 
@@ -37,7 +39,7 @@ func main() {
 
 	// 3. Show the translation: Q in, SQL out.
 	q := "select mx:max Price, vol:sum Size by Symbol from trades where Price>100"
-	sql, _, err := session.Translate(q)
+	sql, _, err := session.Translate(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func main() {
 	fmt.Println()
 
 	// 4. Run it for real and print the Q-side result.
-	v, stats, err := session.Run(q)
+	v, stats, err := session.Run(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

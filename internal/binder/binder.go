@@ -1,6 +1,7 @@
 package binder
 
 import (
+	"context"
 	"fmt"
 
 	"hyperq/internal/qlang/ast"
@@ -56,10 +57,10 @@ func berr(code, ctxFormat string, args ...any) *BindError {
 }
 
 // BindStatement binds one top-level statement.
-func (b *Binder) BindStatement(n ast.Node) (*Bound, error) {
+func (b *Binder) BindStatement(ctx context.Context, n ast.Node) (*Bound, error) {
 	switch x := n.(type) {
 	case *ast.Assign:
-		inner, err := b.BindStatement(x.Expr)
+		inner, err := b.BindStatement(ctx, x.Expr)
 		if err != nil {
 			return nil, err
 		}
@@ -69,14 +70,14 @@ func (b *Binder) BindStatement(n ast.Node) (*Bound, error) {
 	case *ast.Lambda:
 		return &Bound{FuncDef: &VarDef{Kind: KindFunction, Source: x.Source}}, nil
 	case *ast.Return:
-		return b.BindStatement(x.Expr)
+		return b.BindStatement(ctx, x.Expr)
 	default:
 		// try relational first; fall back to constant scalar
-		rel, relErr := b.BindRel(n)
+		rel, relErr := b.BindRel(ctx, n)
 		if relErr == nil {
 			return &Bound{Rel: rel}, nil
 		}
-		sc, scErr := b.bindScalar(n, nil)
+		sc, scErr := b.bindScalar(ctx, n, nil)
 		if scErr == nil {
 			if c, ok := sc.(*xtra.ConstExpr); ok {
 				return &Bound{Scalar: c.Val}, nil
@@ -107,10 +108,10 @@ func constantList(l *xtra.ListExpr) (qval.Value, bool) {
 
 // BindRel binds an expression that must produce a table (a relational
 // property check, §3.2.2).
-func (b *Binder) BindRel(n ast.Node) (xtra.Node, error) {
+func (b *Binder) BindRel(ctx context.Context, n ast.Node) (xtra.Node, error) {
 	switch x := n.(type) {
 	case *ast.Var:
-		def, err := b.Scopes.Lookup(x.Name)
+		def, err := b.Scopes.Lookup(ctx, x.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -124,34 +125,34 @@ func (b *Binder) BindRel(n ast.Node) (xtra.Node, error) {
 			return nil, berr("type", "%s is not a table expression", x.Name)
 		}
 	case *ast.SQLTemplate:
-		return b.bindTemplate(x)
+		return b.bindTemplate(ctx, x)
 	case *ast.Dyad:
 		switch x.Op {
 		case "lj", "ij":
-			return b.bindKeyedJoin(x.Op, x.L, x.R)
+			return b.bindKeyedJoin(ctx, x.Op, x.L, x.R)
 		case "uj":
-			return b.bindUnionJoin(x.L, x.R)
+			return b.bindUnionJoin(ctx, x.L, x.R)
 		case "xasc", "xdesc":
-			return b.bindSortVerb(x.Op, x.L, x.R)
+			return b.bindSortVerb(ctx, x.Op, x.L, x.R)
 		case "#":
-			return b.bindTakeRel(x.L, x.R)
+			return b.bindTakeRel(ctx, x.L, x.R)
 		}
 		return nil, berr("type", "dyad %s does not yield a table", x.Op)
 	case *ast.Apply:
 		if v, ok := x.Fn.(*ast.Var); ok {
 			switch v.Name {
 			case "aj":
-				return b.bindAj(x.Args)
+				return b.bindAj(ctx, x.Args)
 			case "lj", "ij":
 				if len(x.Args) == 2 {
-					return b.bindKeyedJoin(v.Name, x.Args[0], x.Args[1])
+					return b.bindKeyedJoin(ctx, v.Name, x.Args[0], x.Args[1])
 				}
 			case "select", "exec":
 				// not produced by the parser; defensive
 			}
 			// monadic verb over a table: distinct t, etc.
 			if len(x.Args) == 1 {
-				if inner, err := b.BindRel(x.Args[0]); err == nil {
+				if inner, err := b.BindRel(ctx, x.Args[0]); err == nil {
 					return b.bindTableVerb(v.Name, inner)
 				}
 			}
@@ -177,7 +178,7 @@ func (b *Binder) getFor(def *VarDef) *xtra.Get {
 
 // bindAj binds Q's as-of join (paper Example 2, Figure 2): property checks
 // per §3.2.2, then a left-outer-join-with-window XTRA operator.
-func (b *Binder) bindAj(args []ast.Node) (xtra.Node, error) {
+func (b *Binder) bindAj(ctx context.Context, args []ast.Node) (xtra.Node, error) {
 	if len(args) != 3 {
 		return nil, berr("rank", "aj takes 3 arguments, got %d", len(args))
 	}
@@ -197,11 +198,11 @@ func (b *Binder) bindAj(args []ast.Node) (xtra.Node, error) {
 	if len(joinCols) < 1 {
 		return nil, berr("length", "aj needs at least one join column")
 	}
-	left, err := b.BindRel(args[1])
+	left, err := b.BindRel(ctx, args[1])
 	if err != nil {
 		return nil, err
 	}
-	right, err := b.BindRel(args[2])
+	right, err := b.BindRel(ctx, args[2])
 	if err != nil {
 		return nil, err
 	}
@@ -234,12 +235,12 @@ func (b *Binder) bindAj(args []ast.Node) (xtra.Node, error) {
 
 // bindKeyedJoin binds lj/ij. In q the right operand is a keyed table; in the
 // SQL mapping the key columns are the shared columns of both inputs.
-func (b *Binder) bindKeyedJoin(op string, ln, rn ast.Node) (xtra.Node, error) {
-	left, err := b.BindRel(ln)
+func (b *Binder) bindKeyedJoin(ctx context.Context, op string, ln, rn ast.Node) (xtra.Node, error) {
+	left, err := b.BindRel(ctx, ln)
 	if err != nil {
 		return nil, err
 	}
-	right, err := b.BindRel(rn)
+	right, err := b.BindRel(ctx, rn)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +272,7 @@ func (b *Binder) bindKeyedJoin(op string, ln, rn ast.Node) (xtra.Node, error) {
 	return j, nil
 }
 
-func (b *Binder) bindSortVerb(op string, ln, rn ast.Node) (xtra.Node, error) {
+func (b *Binder) bindSortVerb(ctx context.Context, op string, ln, rn ast.Node) (xtra.Node, error) {
 	colsLit, ok := ln.(*ast.Lit)
 	if !ok {
 		return nil, berr("type", "%s sort columns must be symbols", op)
@@ -285,7 +286,7 @@ func (b *Binder) bindSortVerb(op string, ln, rn ast.Node) (xtra.Node, error) {
 	default:
 		return nil, berr("type", "%s sort columns must be symbols", op)
 	}
-	input, err := b.BindRel(rn)
+	input, err := b.BindRel(ctx, rn)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +303,7 @@ func (b *Binder) bindSortVerb(op string, ln, rn ast.Node) (xtra.Node, error) {
 	return srt, nil
 }
 
-func (b *Binder) bindTakeRel(ln, rn ast.Node) (xtra.Node, error) {
+func (b *Binder) bindTakeRel(ctx context.Context, ln, rn ast.Node) (xtra.Node, error) {
 	nLit, ok := ln.(*ast.Lit)
 	if !ok {
 		return nil, berr("type", "take count must be a literal")
@@ -311,7 +312,7 @@ func (b *Binder) bindTakeRel(ln, rn ast.Node) (xtra.Node, error) {
 	if !ok {
 		return nil, berr("type", "take count must be an integer")
 	}
-	input, err := b.BindRel(rn)
+	input, err := b.BindRel(ctx, rn)
 	if err != nil {
 		return nil, err
 	}
@@ -357,12 +358,12 @@ func (b *Binder) bindTableVerb(name string, input xtra.Node) (xtra.Node, error) 
 
 // bindUnionJoin binds uj: rows of both tables over the union of columns,
 // null-padding the columns missing on either side.
-func (b *Binder) bindUnionJoin(ln, rn ast.Node) (xtra.Node, error) {
-	left, err := b.BindRel(ln)
+func (b *Binder) bindUnionJoin(ctx context.Context, ln, rn ast.Node) (xtra.Node, error) {
+	left, err := b.BindRel(ctx, ln)
 	if err != nil {
 		return nil, err
 	}
-	right, err := b.BindRel(rn)
+	right, err := b.BindRel(ctx, rn)
 	if err != nil {
 		return nil, err
 	}

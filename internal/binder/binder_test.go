@@ -1,6 +1,7 @@
 package binder
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ type fakeCatalog struct {
 	calls  int
 }
 
-func (f *fakeCatalog) QueryCatalog(sql string) ([][]string, error) {
+func (f *fakeCatalog) QueryCatalog(_ context.Context, sql string) ([][]string, error) {
 	f.calls++
 	for name, cols := range f.tables {
 		if strings.Contains(sql, "'"+name+"'") {
@@ -51,7 +52,7 @@ func bindQ(t *testing.T, b *Binder, src string) *Bound {
 	if err != nil {
 		t.Fatalf("parse %q: %v", src, err)
 	}
-	bound, err := b.BindStatement(n)
+	bound, err := b.BindStatement(context.Background(), n)
 	if err != nil {
 		t.Fatalf("bind %q: %v", src, err)
 	}
@@ -124,11 +125,11 @@ func TestAjPropertyChecks(t *testing.T) {
 	scopes, _ := testScopes()
 	b := New(scopes)
 	n, _ := parse.ParseExpr("aj[`Nope`Time; trades; quotes]")
-	if _, err := b.BindStatement(n); err == nil {
+	if _, err := b.BindStatement(context.Background(), n); err == nil {
 		t.Fatal("aj with missing join column should fail the §3.2.2 property check")
 	}
 	n, _ = parse.ParseExpr("aj[`Symbol`Time; trades]")
-	if _, err := b.BindStatement(n); err == nil {
+	if _, err := b.BindStatement(context.Background(), n); err == nil {
 		t.Fatal("aj with 2 args should fail the rank check")
 	}
 }
@@ -166,7 +167,7 @@ func TestBindTypeErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", src, err)
 		}
-		if _, err := b.BindStatement(n); err == nil {
+		if _, err := b.BindStatement(context.Background(), n); err == nil {
 			t.Errorf("bind %q should fail", src)
 		}
 	}
@@ -192,19 +193,19 @@ func TestScopeLookupOrder(t *testing.T) {
 	scopes, cat := testScopes()
 	// session definition shadows the catalog
 	scopes.Upsert(&VarDef{Name: "trades", Kind: KindScalar, Value: qval.Long(1)})
-	def, err := scopes.Lookup("trades")
+	def, err := scopes.Lookup(context.Background(), "trades")
 	if err != nil || def.Kind != KindScalar {
 		t.Fatalf("session shadow failed: %v %v", def, err)
 	}
 	// local shadows session
 	scopes.PushLocal()
 	scopes.Upsert(&VarDef{Name: "trades", Kind: KindScalar, Value: qval.Long(2)})
-	def, _ = scopes.Lookup("trades")
+	def, _ = scopes.Lookup(context.Background(), "trades")
 	if !qval.EqualValues(def.Value, qval.Long(2)) {
 		t.Fatal("local should shadow session")
 	}
 	scopes.PopLocal()
-	def, _ = scopes.Lookup("trades")
+	def, _ = scopes.Lookup(context.Background(), "trades")
 	if !qval.EqualValues(def.Value, qval.Long(1)) {
 		t.Fatal("pop should restore session definition")
 	}

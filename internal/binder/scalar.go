@@ -1,6 +1,8 @@
 package binder
 
 import (
+	"context"
+
 	"hyperq/internal/qlang/ast"
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/xtra"
@@ -26,7 +28,7 @@ var scalarVerbs = map[string]bool{
 // columns (nil outside a table context). Property derivation follows
 // §3.2.2: each scalar derives its output type; property checks reject
 // ill-typed applications.
-func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
+func (b *Binder) bindScalar(ctx context.Context, n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 	switch x := n.(type) {
 	case *ast.Lit:
 		return &xtra.ConstExpr{Val: x.Val}, nil
@@ -37,7 +39,7 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 				return &xtra.ColRef{Name: c.Name, Typ: c.QType}, nil
 			}
 		}
-		def, err := b.Scopes.Lookup(x.Name)
+		def, err := b.Scopes.Lookup(ctx, x.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +58,7 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 			return nil, berr("type", "%s is not a scalar in this context", x.Name)
 		}
 	case *ast.Monad:
-		arg, err := b.bindScalar(x.X, in)
+		arg, err := b.bindScalar(ctx, x.X, in)
 		if err != nil {
 			return nil, err
 		}
@@ -64,11 +66,11 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 	case *ast.Dyad:
 		// right-to-left is irrelevant for pure scalars, but we bind right
 		// first to surface errors in Q's evaluation order
-		r, err := b.bindScalar(x.R, in)
+		r, err := b.bindScalar(ctx, x.R, in)
 		if err != nil {
 			return nil, err
 		}
-		l, err := b.bindScalar(x.L, in)
+		l, err := b.bindScalar(ctx, x.L, in)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +84,7 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 			// cond -> CASE WHEN
 			args := make([]xtra.Scalar, 3)
 			for i, a := range x.Args {
-				s, err := b.bindScalar(a, in)
+				s, err := b.bindScalar(ctx, a, in)
 				if err != nil {
 					return nil, err
 				}
@@ -95,7 +97,7 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 			if a == nil {
 				return nil, berr("nyi", "projection in scalar context")
 			}
-			s, err := b.bindScalar(a, in)
+			s, err := b.bindScalar(ctx, a, in)
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +107,7 @@ func (b *Binder) bindScalar(n ast.Node, in *xtra.Props) (xtra.Scalar, error) {
 	case *ast.ListExpr:
 		items := make([]xtra.Scalar, len(x.Items))
 		for i, it := range x.Items {
-			s, err := b.bindScalar(it, in)
+			s, err := b.bindScalar(ctx, it, in)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@
 package binder
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -152,8 +153,9 @@ func (s *Scopes) InFunction() bool { return len(s.locals) > 0 }
 
 // Lookup resolves a name: local scopes innermost-first, then session, then
 // server, then the backend catalog via MDI (a table known only to the
-// database). It returns nil when nothing is found.
-func (s *Scopes) Lookup(name string) (*VarDef, error) {
+// database). The context bounds the catalog round trip a cold MDI lookup
+// issues. It returns nil when nothing is found.
+func (s *Scopes) Lookup(ctx context.Context, name string) (*VarDef, error) {
 	for i := len(s.locals) - 1; i >= 0; i-- {
 		if v, ok := s.locals[i].vars[name]; ok {
 			return v, nil
@@ -166,9 +168,13 @@ func (s *Scopes) Lookup(name string) (*VarDef, error) {
 		return v, nil
 	}
 	if s.mdi != nil {
-		meta, err := s.mdi.LookupTable(name)
+		meta, err := s.mdi.LookupTable(ctx, name)
 		if err == nil {
 			return &VarDef{Name: name, Kind: KindTable, Meta: meta, Backing: name}, nil
+		}
+		// a context abort is a hard failure, not "name unknown"
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
 	}
 	return nil, nil

@@ -1,6 +1,8 @@
 package binder
 
 import (
+	"context"
+
 	"hyperq/internal/qlang/ast"
 	"hyperq/internal/qlang/parse"
 	"hyperq/internal/qlang/qval"
@@ -11,8 +13,8 @@ import (
 // general shape is Filter over the bound From input, then Project or
 // GroupAgg depending on aggregation, mirroring Figure 2's algebrization of
 // nested select templates.
-func (b *Binder) bindTemplate(t *ast.SQLTemplate) (xtra.Node, error) {
-	input, err := b.BindRel(t.From)
+func (b *Binder) bindTemplate(ctx context.Context, t *ast.SQLTemplate) (xtra.Node, error) {
+	input, err := b.BindRel(ctx, t.From)
 	if err != nil {
 		return nil, err
 	}
@@ -22,7 +24,7 @@ func (b *Binder) bindTemplate(t *ast.SQLTemplate) (xtra.Node, error) {
 	var pred xtra.Scalar
 	if len(t.Where) > 0 {
 		for _, w := range t.Where {
-			s, err := b.bindScalar(w, input.Props())
+			s, err := b.bindScalar(ctx, w, input.Props())
 			if err != nil {
 				return nil, err
 			}
@@ -40,7 +42,7 @@ func (b *Binder) bindTemplate(t *ast.SQLTemplate) (xtra.Node, error) {
 	// predicate holds (q semantics), so its predicate folds into CASE
 	// expressions instead of a Filter
 	if t.Kind == ast.Update {
-		return b.bindUpdateCols(t, input, pred)
+		return b.bindUpdateCols(ctx, t, input, pred)
 	}
 	if pred != nil {
 		f := &xtra.Filter{Input: input, Pred: pred}
@@ -50,14 +52,14 @@ func (b *Binder) bindTemplate(t *ast.SQLTemplate) (xtra.Node, error) {
 	}
 	switch t.Kind {
 	case ast.Select, ast.Exec:
-		return b.bindSelectCols(t, input)
+		return b.bindSelectCols(ctx, t, input)
 	case ast.Delete:
 		return b.bindDeleteCols(t, input)
 	}
 	return nil, berr("nyi", "template %v", t.Kind)
 }
 
-func (b *Binder) bindSelectCols(t *ast.SQLTemplate, input xtra.Node) (xtra.Node, error) {
+func (b *Binder) bindSelectCols(ctx context.Context, t *ast.SQLTemplate, input xtra.Node) (xtra.Node, error) {
 	inProps := input.Props()
 	// select from t — all columns, order preserved
 	if len(t.Cols) == 0 && len(t.By) == 0 {
@@ -78,7 +80,7 @@ func (b *Binder) bindSelectCols(t *ast.SQLTemplate, input xtra.Node) (xtra.Node,
 	var cols []boundCol
 	agg := len(t.By) > 0
 	for _, spec := range t.Cols {
-		s, err := b.bindScalar(spec.Expr, inProps)
+		s, err := b.bindScalar(ctx, spec.Expr, inProps)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +115,7 @@ func (b *Binder) bindSelectCols(t *ast.SQLTemplate, input xtra.Node) (xtra.Node,
 	// grouped or scalar aggregation
 	g := &xtra.GroupAgg{Input: input}
 	for _, spec := range t.By {
-		s, err := b.bindScalar(spec.Expr, inProps)
+		s, err := b.bindScalar(ctx, spec.Expr, inProps)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +143,7 @@ func (b *Binder) bindSelectCols(t *ast.SQLTemplate, input xtra.Node) (xtra.Node,
 	return g, nil
 }
 
-func (b *Binder) bindUpdateCols(t *ast.SQLTemplate, input xtra.Node, pred xtra.Scalar) (xtra.Node, error) {
+func (b *Binder) bindUpdateCols(ctx context.Context, t *ast.SQLTemplate, input xtra.Node, pred xtra.Scalar) (xtra.Node, error) {
 	if len(t.By) > 0 {
 		return nil, berr("nyi", "update ... by is not supported")
 	}
@@ -150,7 +152,7 @@ func (b *Binder) bindUpdateCols(t *ast.SQLTemplate, input xtra.Node, pred xtra.S
 	replaced := map[string]xtra.Scalar{}
 	var added []xtra.NamedExpr
 	for _, spec := range t.Cols {
-		s, err := b.bindScalar(spec.Expr, inProps)
+		s, err := b.bindScalar(ctx, spec.Expr, inProps)
 		if err != nil {
 			return nil, err
 		}

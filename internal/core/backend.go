@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,11 +38,16 @@ type BackendResult struct {
 // Backend abstracts the PostgreSQL-compatible database behind Hyper-Q. The
 // in-process implementation runs the embedded pgdb engine directly; the
 // networked implementation is the Gateway speaking PG v3 over TCP (§3.1).
+// The context on every call is the request's: its deadline bounds the
+// statement (mapped onto socket I/O by networked backends, polled at
+// row-batch boundaries by the embedded engine) and its cancellation aborts
+// execution with an error satisfying errors.Is(err, ctx.Err()).
 type Backend interface {
-	// Exec runs one SQL statement.
-	Exec(sql string) (*BackendResult, error)
-	// QueryCatalog runs a metadata query and returns text rows (MDI use).
-	QueryCatalog(sql string) ([][]string, error)
+	// Exec runs one SQL statement under ctx.
+	Exec(ctx context.Context, sql string) (*BackendResult, error)
+	// QueryCatalog runs a metadata query under ctx, returning text rows
+	// (MDI use).
+	QueryCatalog(ctx context.Context, sql string) ([][]string, error)
 	// Close releases the backend connection/session.
 	Close() error
 }
@@ -59,12 +65,20 @@ func NewDirectBackend(db *pgdb.DB) *DirectBackend {
 	return &DirectBackend{session: db.NewSession()}
 }
 
-// Exec implements Backend.
-func (b *DirectBackend) Exec(sql string) (*BackendResult, error) {
+// Exec implements Backend. The artificial Delay models a networked
+// backend's data motion, so cancellation interrupts it the way it would
+// abort in-flight I/O.
+func (b *DirectBackend) Exec(ctx context.Context, sql string) (*BackendResult, error) {
 	if b.Delay > 0 {
-		time.Sleep(b.Delay)
+		timer := time.NewTimer(b.Delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
 	}
-	res, err := b.session.Exec(sql)
+	res, err := b.session.ExecContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -72,8 +86,8 @@ func (b *DirectBackend) Exec(sql string) (*BackendResult, error) {
 }
 
 // QueryCatalog implements Backend.
-func (b *DirectBackend) QueryCatalog(sql string) ([][]string, error) {
-	res, err := b.session.Exec(sql)
+func (b *DirectBackend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	res, err := b.session.ExecContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}

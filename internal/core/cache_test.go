@@ -21,7 +21,7 @@ func TestCacheWarmHitSkipsTranslation(t *testing.T) {
 	_, s, _, cache := newCachedStack(t)
 	const q = "select Price, Size from trades where Symbol=`GOOG"
 
-	cold, stats1, err := s.Run(q)
+	cold, stats1, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestCacheWarmHitSkipsTranslation(t *testing.T) {
 		t.Fatal("cold run should record translation cost")
 	}
 
-	warm, stats2, err := s.Run(q)
+	warm, stats2, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +56,10 @@ func TestCacheWarmHitSkipsTranslation(t *testing.T) {
 
 func TestCacheWhitespaceNormalization(t *testing.T) {
 	_, s, _, cache := newCachedStack(t)
-	if _, _, err := s.Run("select Price from trades where Symbol=`IBM"); err != nil {
+	if _, _, err := s.Run(ctx, "select Price from trades where Symbol=`IBM"); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := s.Run("select   Price  from\ttrades  where Symbol=`IBM")
+	_, stats, err := s.Run(ctx, "select   Price  from\ttrades  where Symbol=`IBM")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,12 +73,12 @@ func TestCacheWhitespaceNormalization(t *testing.T) {
 
 func TestCacheInvalidatesOnSessionVariableChange(t *testing.T) {
 	_, s, _, _ := newCachedStack(t)
-	if _, _, err := s.Run("cutoff: 100.5"); err != nil {
+	if _, _, err := s.Run(ctx, "cutoff: 100.5"); err != nil {
 		t.Fatal(err)
 	}
 	const q = "select Price from trades where Price>cutoff"
 	first := runQ(t, s, q)
-	_, stats, err := s.Run(q)
+	_, stats, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +87,10 @@ func TestCacheInvalidatesOnSessionVariableChange(t *testing.T) {
 	}
 
 	// changing the variable the query binds against must invalidate
-	if _, _, err := s.Run("cutoff: 150.5"); err != nil {
+	if _, _, err := s.Run(ctx, "cutoff: 150.5"); err != nil {
 		t.Fatal(err)
 	}
-	second, stats2, err := s.Run(q)
+	second, stats2, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestCacheInvalidatesOnSessionVariableChange(t *testing.T) {
 
 func TestCacheInvalidatesOnServerScopeChange(t *testing.T) {
 	p, s, b, _ := newCachedStack(t)
-	if _, _, err := s.Run("lim:: 100.5"); err != nil {
+	if _, _, err := s.Run(ctx, "lim:: 100.5"); err != nil {
 		t.Fatal(err)
 	}
 	const q = "select Price from trades where Price>lim"
@@ -114,10 +114,10 @@ func TestCacheInvalidatesOnServerScopeChange(t *testing.T) {
 	// a second session mutating the server scope invalidates for everyone
 	s2 := p.NewSession(b, Config{Cache: s.cache})
 	defer s2.Close()
-	if _, _, err := s2.Run("lim:: 150.5"); err != nil {
+	if _, _, err := s2.Run(ctx, "lim:: 150.5"); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := s.Run(q)
+	_, stats, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestCacheInvalidatesOnDDL(t *testing.T) {
 	_, s, b, _ := newCachedStack(t)
 	const q = "select from minidata"
 	small := qval.NewTable([]string{"A"}, []qval.Value{qval.LongVec{1, 2}})
-	if err := LoadQTable(b, "minidata", small); err != nil {
+	if err := LoadQTable(ctx, b, "minidata", small); err != nil {
 		t.Fatal(err)
 	}
 	first := runQ(t, s, q)
@@ -139,16 +139,16 @@ func TestCacheInvalidatesOnDDL(t *testing.T) {
 	}
 
 	// DDL: replace the table with a wider schema, signal via the MDI
-	if _, err := b.Exec("DROP TABLE minidata"); err != nil {
+	if _, err := b.Exec(ctx, "DROP TABLE minidata"); err != nil {
 		t.Fatal(err)
 	}
 	wide := qval.NewTable([]string{"A", "B"}, []qval.Value{qval.LongVec{1, 2}, qval.FloatVec{0.5, 1.5}})
-	if err := LoadQTable(b, "minidata", wide); err != nil {
+	if err := LoadQTable(ctx, b, "minidata", wide); err != nil {
 		t.Fatal(err)
 	}
 	s.MDI().InvalidateAll()
 
-	second, stats, err := s.Run(q)
+	second, stats, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestCacheInvalidatesOnDDL(t *testing.T) {
 func TestCacheSharedAcrossSessions(t *testing.T) {
 	p, s1, b, cache := newCachedStack(t)
 	const q = "select max Price from trades"
-	v1, stats1, err := s1.Run(q)
+	v1, stats1, err := s1.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestCacheSharedAcrossSessions(t *testing.T) {
 
 	s2 := p.NewSession(b, Config{Cache: cache})
 	defer s2.Close()
-	v2, stats2, err := s2.Run(q)
+	v2, stats2, err := s2.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +192,10 @@ func TestCachePrivateStateNotShared(t *testing.T) {
 	loader := NewDirectBackend(db)
 	trades := qval.NewTable([]string{"P"}, []qval.Value{qval.FloatVec{1, 2, 3}})
 	quotes := qval.NewTable([]string{"P"}, []qval.Value{qval.FloatVec{10, 20}})
-	if err := LoadQTable(loader, "trades", trades); err != nil {
+	if err := LoadQTable(ctx, loader, "trades", trades); err != nil {
 		t.Fatal(err)
 	}
-	if err := LoadQTable(loader, "quotes", quotes); err != nil {
+	if err := LoadQTable(ctx, loader, "quotes", quotes); err != nil {
 		t.Fatal(err)
 	}
 	cache := qcache.New(64)
@@ -205,17 +205,17 @@ func TestCachePrivateStateNotShared(t *testing.T) {
 	s2 := p.NewSession(NewDirectBackend(db), Config{Cache: cache})
 	defer s2.Close()
 
-	if _, _, err := s1.Run("x: select from trades"); err != nil {
+	if _, _, err := s1.Run(ctx, "x: select from trades"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s2.Run("x: select from quotes"); err != nil {
+	if _, _, err := s2.Run(ctx, "x: select from quotes"); err != nil {
 		t.Fatal(err)
 	}
-	v1, _, err := s1.Run("select sum P from x")
+	v1, _, err := s1.Run(ctx, "select sum P from x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, _, err := s2.Run("select sum P from x")
+	v2, _, err := s2.Run(ctx, "select sum P from x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,14 +227,14 @@ func TestCachePrivateStateNotShared(t *testing.T) {
 func TestCacheExecUnwrapPreserved(t *testing.T) {
 	_, s, _, _ := newCachedStack(t)
 	const q = "exec Price from trades where Symbol=`GOOG"
-	cold, _, err := s.Run(q)
+	cold, _, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := cold.(qval.FloatVec); !ok {
 		t.Fatalf("exec should yield a bare vector, got %T", cold)
 	}
-	warm, stats, err := s.Run(q)
+	warm, stats, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +252,11 @@ func TestCacheExecUnwrapPreserved(t *testing.T) {
 func TestCacheScalarExprCached(t *testing.T) {
 	_, s, _, cache := newCachedStack(t)
 	const q = "1+2"
-	cold, _, err := s.Run(q)
+	cold, _, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, stats, err := s.Run(q)
+	warm, stats, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestCacheScalarExprCached(t *testing.T) {
 
 func TestCacheSkipsAssignments(t *testing.T) {
 	_, s, _, cache := newCachedStack(t)
-	if _, _, err := s.Run("gg: select from trades where Symbol=`GOOG"); err != nil {
+	if _, _, err := s.Run(ctx, "gg: select from trades where Symbol=`GOOG"); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() != 0 {
@@ -284,7 +284,7 @@ func TestCacheSkipsAssignments(t *testing.T) {
 
 func TestCacheSkipsMultiStatement(t *testing.T) {
 	_, s, _, cache := newCachedStack(t)
-	if _, _, err := s.Run("a: 1.0; select from trades where Price>a"); err != nil {
+	if _, _, err := s.Run(ctx, "a: 1.0; select from trades where Price>a"); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() != 0 {
@@ -295,14 +295,14 @@ func TestCacheSkipsMultiStatement(t *testing.T) {
 func TestTranslateUsesCache(t *testing.T) {
 	_, s, _, _ := newCachedStack(t)
 	const q = "select Price from trades where Symbol=`IBM"
-	sql1, stats1, err := s.Translate(q)
+	sql1, stats1, err := s.Translate(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats1.CacheHit {
 		t.Fatal("cold translate")
 	}
-	sql2, stats2, err := s.Translate(q)
+	sql2, stats2, err := s.Translate(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestTranslateUsesCache(t *testing.T) {
 		t.Fatalf("SQL differs:\n%s\n%s", sql1, sql2)
 	}
 	// Run and Translate share entries
-	_, stats3, err := s.Run(q)
+	_, stats3, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestCacheConcurrentIdenticalQueriesTranslateOnce(t *testing.T) {
 	trades := qval.NewTable([]string{"Symbol", "Price"}, []qval.Value{
 		qval.SymbolVec{"GOOG", "IBM", "GOOG"}, qval.FloatVec{100, 150, 101},
 	})
-	if err := LoadQTable(loader, "trades", trades); err != nil {
+	if err := LoadQTable(ctx, loader, "trades", trades); err != nil {
 		t.Fatal(err)
 	}
 	cache := qcache.New(64)
@@ -346,7 +346,7 @@ func TestCacheConcurrentIdenticalQueriesTranslateOnce(t *testing.T) {
 			defer wg.Done()
 			s := p.NewSession(NewDirectBackend(db), Config{Cache: cache})
 			defer s.Close()
-			v, _, err := s.Run(q)
+			v, _, err := s.Run(ctx, q)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,10 +32,10 @@ func newStack(t *testing.T, cfg Config) (*Platform, *Session, Backend) {
 			qval.FloatVec{99.5, 100.5, 149.5, 101.5},
 			qval.FloatVec{100.5, 101.5, 150.5, 102.5},
 		})
-	if err := LoadQTable(b, "trades", trades); err != nil {
+	if err := LoadQTable(ctx, b, "trades", trades); err != nil {
 		t.Fatal(err)
 	}
-	if err := LoadQTable(b, "quotes", quotes); err != nil {
+	if err := LoadQTable(ctx, b, "quotes", quotes); err != nil {
 		t.Fatal(err)
 	}
 	p := NewPlatform()
@@ -43,9 +44,12 @@ func newStack(t *testing.T, cfg Config) (*Platform, *Session, Backend) {
 	return p, s, b
 }
 
+// ctx for test queries: the happy path carries no deadline.
+var ctx = context.Background()
+
 func runQ(t *testing.T, s *Session, q string) *qval.Table {
 	t.Helper()
-	v, _, err := s.Run(q)
+	v, _, err := s.Run(ctx, q)
 	if err != nil {
 		t.Fatalf("Run(%q): %v", q, err)
 	}
@@ -151,7 +155,7 @@ func TestAsOfJoinUnmatchedYieldsNull(t *testing.T) {
 			qval.SymbolVec{"MSFT"},
 			qval.TemporalVec{T: qval.KTime, V: []int64{34200000}},
 		})
-	if err := LoadQTable(b, "early", early); err != nil {
+	if err := LoadQTable(ctx, b, "early", early); err != nil {
 		t.Fatal(err)
 	}
 	tbl := runQ(t, s, "aj[`Symbol`Time; early; quotes]")
@@ -165,7 +169,7 @@ func TestPaperExample3FunctionUnrolling(t *testing.T) {
 	// Example 3: function with a local variable, eager materialization.
 	_, s, _ := newStack(t, Config{})
 	src := "f:{[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt;}"
-	if _, _, err := s.Run(src); err != nil {
+	if _, _, err := s.Run(ctx, src); err != nil {
 		t.Fatal(err)
 	}
 	tbl := runQ(t, s, "f[`GOOG]")
@@ -185,10 +189,10 @@ func TestEagerMaterializationEmitsTempTables(t *testing.T) {
 	// paper §4.3: translating Example 3 produces CREATE TEMPORARY TABLE.
 	_, s, _ := newStack(t, Config{})
 	src := "f:{[Sym] dt: select Price from trades where Symbol=Sym; :select max Price from dt;}"
-	if _, _, err := s.Run(src); err != nil {
+	if _, _, err := s.Run(ctx, src); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := s.Run("f[`GOOG]")
+	_, stats, err := s.Run(ctx, "f[`GOOG]")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +259,7 @@ func TestDeleteTemplateThroughStack(t *testing.T) {
 
 func TestSessionVariablePromotionOnClose(t *testing.T) {
 	p, s, b := newStack(t, Config{})
-	if _, _, err := s.Run("g:{[x] :select from trades where Symbol=x;}"); err != nil {
+	if _, _, err := s.Run(ctx, "g:{[x] :select from trades where Symbol=x;}"); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -269,10 +273,10 @@ func TestSessionVariablePromotionOnClose(t *testing.T) {
 
 func TestLocalScopeShadowsGlobal(t *testing.T) {
 	_, s, _ := newStack(t, Config{})
-	if _, _, err := s.Run("cut:100.5"); err != nil {
+	if _, _, err := s.Run(ctx, "cut:100.5"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Run("h:{[cut] :select from trades where Price>cut;}"); err != nil {
+	if _, _, err := s.Run(ctx, "h:{[cut] :select from trades where Price>cut;}"); err != nil {
 		t.Fatal(err)
 	}
 	tbl := runQ(t, s, "h[150.5]")
@@ -283,11 +287,11 @@ func TestLocalScopeShadowsGlobal(t *testing.T) {
 
 func TestKdbStyleErrors(t *testing.T) {
 	_, s, _ := newStack(t, Config{})
-	_, _, err := s.Run("select from nosuchtable")
+	_, _, err := s.Run(ctx, "select from nosuchtable")
 	if err == nil || !strings.Contains(err.Error(), "nosuchtable") {
 		t.Fatalf("unknown table error = %v", err)
 	}
-	_, _, err = s.Run("select NoCol from trades")
+	_, _, err = s.Run(ctx, "select NoCol from trades")
 	if err == nil {
 		t.Fatal("unknown column should fail to bind")
 	}
@@ -299,7 +303,7 @@ func TestKdbStyleErrors(t *testing.T) {
 
 func TestTranslateOnlyTimesStages(t *testing.T) {
 	_, s, _ := newStack(t, Config{})
-	sql, stats, err := s.Translate("select mx:max Price by Symbol from trades where Size>15")
+	sql, stats, err := s.Translate(ctx, "select mx:max Price by Symbol from trades where Size>15")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +321,7 @@ func TestTranslateOnlyTimesStages(t *testing.T) {
 func TestNullSemanticsAblation(t *testing.T) {
 	// with NullSemantics disabled, equality serializes as plain '='
 	_, s, _ := newStack(t, Config{})
-	sqlOn, _, err := s.Translate("select from trades where Symbol=`GOOG")
+	sqlOn, _, err := s.Translate(ctx, "select from trades where Symbol=`GOOG")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,13 +331,13 @@ func TestNullSemanticsAblation(t *testing.T) {
 	db := pgdb.NewDB()
 	b := NewDirectBackend(db)
 	trades := qval.NewTable([]string{"Symbol"}, []qval.Value{qval.SymbolVec{"A"}})
-	if err := LoadQTable(b, "trades", trades); err != nil {
+	if err := LoadQTable(ctx, b, "trades", trades); err != nil {
 		t.Fatal(err)
 	}
 	p2 := NewPlatform()
 	s2 := p2.NewSession(b, Config{Xformer: xformerOff()})
 	defer s2.Close()
-	sqlOff, _, err := s2.Translate("select from trades where Symbol=`GOOG")
+	sqlOff, _, err := s2.Translate(ctx, "select from trades where Symbol=`GOOG")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,23 +361,23 @@ func TestColumnPruningShrinksSQL(t *testing.T) {
 		data[i] = qval.LongVec{1, 2, 3}
 	}
 	wide := qval.NewTable(cols, data)
-	if err := LoadQTable(b, "widet", wide); err != nil {
+	if err := LoadQTable(ctx, b, "widet", wide); err != nil {
 		t.Fatal(err)
 	}
 	side := qval.NewTable([]string{"k", "extra"}, []qval.Value{qval.LongVec{1, 2}, qval.LongVec{10, 20}})
-	if err := LoadQTable(b, "sidet", side); err != nil {
+	if err := LoadQTable(ctx, b, "sidet", side); err != nil {
 		t.Fatal(err)
 	}
 	p := NewPlatform()
 	s := p.NewSession(b, Config{})
 	defer s.Close()
-	sqlPruned, _, err := s.Translate("select caa, extra from widet lj sidet")
+	sqlPruned, _, err := s.Translate(ctx, "select caa, extra from widet lj sidet")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := p.NewSession(NewDirectBackend(db), Config{Xformer: pruneOff()})
 	defer s2.Close()
-	sqlFull, _, err := s2.Translate("select caa, extra from widet lj sidet")
+	sqlFull, _, err := s2.Translate(ctx, "select caa, extra from widet lj sidet")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +416,7 @@ func TestResultPivotRoundTrip(t *testing.T) {
 
 func TestLogicalMaterializationUsesViews(t *testing.T) {
 	_, s, _ := newStack(t, Config{Materialization: Logical})
-	_, stats, err := s.Run("gg: select from trades where Symbol=`GOOG; select count Price from gg")
+	_, stats, err := s.Run(ctx, "gg: select from trades where Symbol=`GOOG; select count Price from gg")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +449,7 @@ func TestUnionJoinThroughStack(t *testing.T) {
 	extra := qval.NewTable(
 		[]string{"Symbol", "Venue"},
 		[]qval.Value{qval.SymbolVec{"MSFT"}, qval.SymbolVec{"DARK"}})
-	if err := LoadQTable(b, "extra", extra); err != nil {
+	if err := LoadQTable(ctx, b, "extra", extra); err != nil {
 		t.Fatal(err)
 	}
 	tbl := runQ(t, s, "trades uj extra")
@@ -528,7 +532,7 @@ func TestCountTableVerbThroughStack(t *testing.T) {
 
 func TestScalarExprStatementThroughStack(t *testing.T) {
 	_, s, _ := newStack(t, Config{})
-	v, stats, err := s.Run("1+2")
+	v, stats, err := s.Run(ctx, "1+2")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,16 +15,16 @@ import (
 // implicit ordering using SQL requires database schema changes"). The paper
 // assumes data is loaded into the underlying system independently (§1); this
 // loader is that independent path for examples, tests and benchmarks.
-func LoadQTable(b Backend, name string, t *qval.Table) error {
+func LoadQTable(ctx context.Context, b Backend, name string, t *qval.Table) error {
 	var defs []string
 	defs = append(defs, xtra.OrdCol+" bigint")
 	for i, c := range t.Cols {
 		defs = append(defs, quoteIdent(c)+" "+xtra.SQLTypeFor(t.Data[i].Type()))
 	}
-	if _, err := b.Exec("DROP TABLE IF EXISTS " + quoteIdent(name)); err != nil {
+	if _, err := b.Exec(ctx, "DROP TABLE IF EXISTS "+quoteIdent(name)); err != nil {
 		return err
 	}
-	if _, err := b.Exec("CREATE TABLE " + quoteIdent(name) + " (" + strings.Join(defs, ", ") + ")"); err != nil {
+	if _, err := b.Exec(ctx, "CREATE TABLE "+quoteIdent(name)+" ("+strings.Join(defs, ", ")+")"); err != nil {
 		return err
 	}
 	n := t.Len()
@@ -43,7 +44,7 @@ func LoadQTable(b Backend, name string, t *qval.Table) error {
 			rows = append(rows, "("+strings.Join(vals, ", ")+")")
 		}
 		sql := "INSERT INTO " + quoteIdent(name) + " VALUES " + strings.Join(rows, ", ")
-		if _, err := b.Exec(sql); err != nil {
+		if _, err := b.Exec(ctx, sql); err != nil {
 			return err
 		}
 	}

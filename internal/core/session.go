@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -141,10 +142,10 @@ func (s *Session) Close() error {
 // With a query cache configured, side-effect-free single-statement requests
 // are served from (and populate) the cache, skipping every translation
 // stage on a warm hit.
-func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
+func (s *Session) Run(ctx context.Context, qsrc string) (qval.Value, *RunStats, error) {
 	stats := &RunStats{}
-	if e, ok := s.cachedTranslation(qsrc, stats); ok {
-		v, err := s.execCached(e, stats)
+	if e, ok := s.cachedTranslation(ctx, qsrc, stats); ok {
+		v, err := s.execCached(ctx, e, stats)
 		return v, stats, err
 	}
 	t0 := time.Now()
@@ -155,7 +156,7 @@ func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
 	stats.Stages.Parse += time.Since(t0)
 	var last qval.Value = qval.Identity
 	for _, stmt := range prog.Stmts {
-		v, ret, err := s.execStatement(stmt, stats)
+		v, ret, err := s.execStatement(ctx, stmt, stats)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -171,9 +172,9 @@ func (s *Session) Run(qsrc string) (qval.Value, *RunStats, error) {
 // returning the SQL for the (single) final statement without executing the
 // final query. Materializing assignments still execute, since later
 // statements' binding depends on them (paper §4.3).
-func (s *Session) Translate(qsrc string) (string, *RunStats, error) {
+func (s *Session) Translate(ctx context.Context, qsrc string) (string, *RunStats, error) {
 	stats := &RunStats{}
-	if e, ok := s.cachedTranslation(qsrc, stats); ok && e.Kind == qcache.Select {
+	if e, ok := s.cachedTranslation(ctx, qsrc, stats); ok && e.Kind == qcache.Select {
 		return e.SQL, stats, nil
 	} else if ok {
 		// scalar entries don't satisfy Translate (parity with the uncached
@@ -189,12 +190,12 @@ func (s *Session) Translate(qsrc string) (string, *RunStats, error) {
 	sql := ""
 	for i, stmt := range prog.Stmts {
 		if i < len(prog.Stmts)-1 {
-			if _, _, err := s.execStatement(stmt, stats); err != nil {
+			if _, _, err := s.execStatement(ctx, stmt, stats); err != nil {
 				return "", stats, err
 			}
 			continue
 		}
-		sql, err = s.translateOne(stmt, stats)
+		sql, err = s.translateOne(ctx, stmt, stats)
 		if err != nil {
 			return "", stats, err
 		}
@@ -204,9 +205,9 @@ func (s *Session) Translate(qsrc string) (string, *RunStats, error) {
 
 // translateOne binds, transforms and serializes a single statement without
 // executing it.
-func (s *Session) translateOne(stmt ast.Node, stats *RunStats) (string, error) {
+func (s *Session) translateOne(ctx context.Context, stmt ast.Node, stats *RunStats) (string, error) {
 	t0 := time.Now()
-	bound, err := s.binder.BindStatement(stmt)
+	bound, err := s.binder.BindStatement(ctx, stmt)
 	stats.Stages.Bind += time.Since(t0)
 	if err != nil {
 		return "", err
@@ -225,25 +226,29 @@ func (s *Session) translateOne(stmt ast.Node, stats *RunStats) (string, error) {
 
 // execStatement runs one statement through the full pipeline. The second
 // return is true when the statement was an explicit function return.
-func (s *Session) execStatement(stmt ast.Node, stats *RunStats) (qval.Value, bool, error) {
+func (s *Session) execStatement(ctx context.Context, stmt ast.Node, stats *RunStats) (qval.Value, bool, error) {
+	// a canceled request stops between statements, before more backend work
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	// explicit return inside unrolled function bodies
 	if ret, ok := stmt.(*ast.Return); ok {
-		v, _, err := s.execStatement(ret.Expr, stats)
+		v, _, err := s.execStatement(ctx, ret.Expr, stats)
 		return v, true, err
 	}
 	// function invocation: f[args] where f is a stored function — unrolled
 	// by re-algebrizing the stored definition (paper §4.3)
 	if ap, ok := stmt.(*ast.Apply); ok {
 		if v, isVar := ap.Fn.(*ast.Var); isVar {
-			def, err := s.scopes().Lookup(v.Name)
+			def, err := s.scopes().Lookup(ctx, v.Name)
 			if err == nil && def != nil && def.Kind == binder.KindFunction {
-				val, err := s.unrollFunction(v.Name, def, ap.Args, stats)
+				val, err := s.unrollFunction(ctx, v.Name, def, ap.Args, stats)
 				return val, false, err
 			}
 		}
 	}
 	t0 := time.Now()
-	bound, err := s.binder.BindStatement(stmt)
+	bound, err := s.binder.BindStatement(ctx, stmt)
 	stats.Stages.Bind += time.Since(t0)
 	if err != nil {
 		return nil, false, err
@@ -279,7 +284,7 @@ func (s *Session) execStatement(stmt ast.Node, stats *RunStats) (qval.Value, boo
 			return nil, false, err
 		}
 		t3 := time.Now()
-		res, err := s.backend.Exec(sql)
+		res, err := s.backend.Exec(ctx, sql)
 		stats.Execute += time.Since(t3)
 		stats.SQLs = append(stats.SQLs, sql)
 		if err != nil {
@@ -313,10 +318,10 @@ func (s *Session) execStatement(stmt ast.Node, stats *RunStats) (qval.Value, boo
 			return nil, false, err
 		}
 		if bound.Assign != "" {
-			return s.materialize(bound, root, sql, stats)
+			return s.materialize(ctx, bound, root, sql, stats)
 		}
 		t3 := time.Now()
-		res, err := s.backend.Exec(sql)
+		res, err := s.backend.Exec(ctx, sql)
 		stats.Execute += time.Since(t3)
 		stats.SQLs = append(stats.SQLs, sql)
 		if err != nil {
@@ -344,7 +349,7 @@ func (s *Session) scopes() *binder.Scopes { return s.binder.Scopes }
 // fall back to the full pipeline otherwise. The cache key ties the entry to
 // the exact variable-scope and metadata state it was translated under, so
 // DDL and variable-store mutations invalidate implicitly.
-func (s *Session) cachedTranslation(qsrc string, stats *RunStats) (*qcache.Entry, bool) {
+func (s *Session) cachedTranslation(ctx context.Context, qsrc string, stats *RunStats) (*qcache.Entry, bool) {
 	if s.cache == nil || s.scopes().InFunction() {
 		return nil, false
 	}
@@ -353,8 +358,8 @@ func (s *Session) cachedTranslation(qsrc string, stats *RunStats) (*qcache.Entry
 		Scope: s.scopes().Fingerprint(),
 		Meta:  s.mdi.Generation(),
 	}
-	e, shared, err := s.cache.Do(key, func() (*qcache.Entry, error) {
-		return s.translateCacheable(qsrc)
+	e, shared, err := s.cache.Do(ctx, key, func(ctx context.Context) (*qcache.Entry, error) {
+		return s.translateCacheable(ctx, qsrc)
 	})
 	if err != nil || e == nil {
 		// not cacheable (or the leader's translation failed): take the full
@@ -375,7 +380,7 @@ func (s *Session) cachedTranslation(qsrc string, stats *RunStats) (*qcache.Entry
 // invocation (unrolling executes side effects), producing either a
 // relational plan or a backend-evaluated scalar. Anything else returns
 // (nil, nil) so callers fall back to the ordinary pipeline.
-func (s *Session) translateCacheable(qsrc string) (*qcache.Entry, error) {
+func (s *Session) translateCacheable(ctx context.Context, qsrc string) (*qcache.Entry, error) {
 	var cost qcache.Cost
 	t0 := time.Now()
 	prog, err := parse.Parse(qsrc)
@@ -389,13 +394,13 @@ func (s *Session) translateCacheable(qsrc string) (*qcache.Entry, error) {
 	}
 	if ap, ok := stmt.(*ast.Apply); ok {
 		if v, isVar := ap.Fn.(*ast.Var); isVar {
-			if def, err := s.scopes().Lookup(v.Name); err == nil && def != nil && def.Kind == binder.KindFunction {
+			if def, err := s.scopes().Lookup(ctx, v.Name); err == nil && def != nil && def.Kind == binder.KindFunction {
 				return nil, nil
 			}
 		}
 	}
 	t1 := time.Now()
-	bound, err := s.binder.BindStatement(stmt)
+	bound, err := s.binder.BindStatement(ctx, stmt)
 	cost.Bind = time.Since(t1)
 	if err != nil || bound.Assign != "" || bound.Global || bound.FuncDef != nil || bound.Scalar != nil {
 		return nil, nil
@@ -427,9 +432,9 @@ func (s *Session) translateCacheable(qsrc string) (*qcache.Entry, error) {
 
 // execCached executes a cached translation, mirroring execStatement's
 // result conversion for the cacheable statement shapes.
-func (s *Session) execCached(e *qcache.Entry, stats *RunStats) (qval.Value, error) {
+func (s *Session) execCached(ctx context.Context, e *qcache.Entry, stats *RunStats) (qval.Value, error) {
 	t0 := time.Now()
-	res, err := s.backend.Exec(e.SQL)
+	res, err := s.backend.Exec(ctx, e.SQL)
 	stats.Execute += time.Since(t0)
 	stats.SQLs = append(stats.SQLs, e.SQL)
 	if err != nil {
@@ -460,7 +465,7 @@ func timingFromCost(c qcache.Cost) StageTiming {
 // (paper §4.3): physical (temporary table) or logical (view), and registers
 // the variable in the appropriate scope so subsequent statements bind
 // against it.
-func (s *Session) materialize(bound *binder.Bound, root xtra.Node, sql string, stats *RunStats) (qval.Value, bool, error) {
+func (s *Session) materialize(ctx context.Context, bound *binder.Bound, root xtra.Node, sql string, stats *RunStats) (qval.Value, bool, error) {
 	s.tempN++
 	var backing, ddl string
 	kind := binder.KindTable
@@ -473,7 +478,7 @@ func (s *Session) materialize(bound *binder.Bound, root xtra.Node, sql string, s
 		ddl = "CREATE TEMPORARY TABLE " + backing + " AS " + sql
 	}
 	t0 := time.Now()
-	_, err := s.backend.Exec(ddl)
+	_, err := s.backend.Exec(ctx, ddl)
 	stats.Execute += time.Since(t0)
 	stats.SQLs = append(stats.SQLs, ddl)
 	if err != nil {
@@ -499,7 +504,7 @@ func (s *Session) materialize(bound *binder.Bound, root xtra.Node, sql string, s
 // body with arguments bound in a fresh local scope (paper §4.3 and §5's
 // "unrolling a large class of Q user-defined functions without the need to
 // create user-defined functions in PG").
-func (s *Session) unrollFunction(name string, def *binder.VarDef, args []ast.Node, stats *RunStats) (qval.Value, error) {
+func (s *Session) unrollFunction(ctx context.Context, name string, def *binder.VarDef, args []ast.Node, stats *RunStats) (qval.Value, error) {
 	t0 := time.Now()
 	node, err := parse.ParseExpr(def.Source)
 	stats.Stages.Parse += time.Since(t0)
@@ -519,7 +524,7 @@ func (s *Session) unrollFunction(name string, def *binder.VarDef, args []ast.Nod
 		if a == nil {
 			return nil, fmt.Errorf("'nyi (projection of %s)", name)
 		}
-		ab, err := s.binder.BindStatement(a)
+		ab, err := s.binder.BindStatement(ctx, a)
 		if err != nil {
 			return nil, err
 		}
@@ -536,7 +541,7 @@ func (s *Session) unrollFunction(name string, def *binder.VarDef, args []ast.Nod
 			s.tempN++
 			backing := fmt.Sprintf("hq_temp_%d", s.tempN)
 			t1 := time.Now()
-			_, err = s.backend.Exec("CREATE TEMPORARY TABLE " + backing + " AS " + sql)
+			_, err = s.backend.Exec(ctx, "CREATE TEMPORARY TABLE "+backing+" AS "+sql)
 			stats.Execute += time.Since(t1)
 			stats.SQLs = append(stats.SQLs, "CREATE TEMPORARY TABLE "+backing+" AS "+sql)
 			if err != nil {
@@ -561,7 +566,7 @@ func (s *Session) unrollFunction(name string, def *binder.VarDef, args []ast.Nod
 	}
 	var last qval.Value = qval.Identity
 	for _, stmt := range lam.Body {
-		v, ret, err := s.execStatement(stmt, stats)
+		v, ret, err := s.execStatement(ctx, stmt, stats)
 		if err != nil {
 			return nil, err
 		}

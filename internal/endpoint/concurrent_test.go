@@ -6,6 +6,7 @@
 package endpoint
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -38,7 +39,7 @@ func startPooledStack(t *testing.T, data *taq.Data, poolSize int) (addr string, 
 		name string
 		tbl  *qval.Table
 	}{{"trades", data.Trades}, {"quotes", data.Quotes}, {"daily", data.Daily}} {
-		if err := core.LoadQTable(loader, tb.name, tb.tbl); err != nil {
+		if err := core.LoadQTable(context.Background(), loader, tb.name, tb.tbl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -47,15 +48,15 @@ func startPooledStack(t *testing.T, data *taq.Data, poolSize int) (addr string, 
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pgL.Close() })
-	go pgdb.Serve(pgL, db, pgdb.AuthConfig{
+	go pgdb.Serve(context.Background(), pgL, db, pgdb.AuthConfig{
 		Method: pgv3.AuthMethodMD5,
 		Users:  map[string]string{"hq": "pw"},
 	})
 
 	p = pool.New(pool.Config{
 		Size: poolSize,
-		Dial: func() (pool.Conn, error) {
-			return gateway.Dial(pgL.Addr().String(), "hq", "pw", "db")
+		Dial: func(ctx context.Context) (pool.Conn, error) {
+			return gateway.Dial(ctx, pgL.Addr().String(), "hq", "pw", "db")
 		},
 		HealthCheck:  true,
 		QueryTimeout: 10 * time.Second,
@@ -70,15 +71,15 @@ func startPooledStack(t *testing.T, data *taq.Data, poolSize int) (addr string, 
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { qL.Close() })
-	go Serve(qL, Config{
+	go Serve(context.Background(), qL, Config{
 		NewHandler: func(creds *qipc.Credentials) (Handler, func(), error) {
 			session := platform.NewSession(p.SessionBackend(), core.Config{
 				MDI:   sharedMDI,
 				Cache: cache,
 			})
 			compiler := xc.New(session)
-			return HandlerFunc(func(q string) (qval.Value, error) {
-				v, _, err := compiler.HandleQuery(q)
+			return HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
 				return v, err
 			}), func() { session.Close() }, nil
 		},

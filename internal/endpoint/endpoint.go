@@ -3,29 +3,44 @@
 // handshake, parses incoming messages, extracts the query text and passes it
 // on for algebrization; responses flow back as QIPC messages. Q applications
 // run unchanged while their network packets are routed here instead of kdb+.
+//
+// The endpoint is the origin of the request life cycle: every query runs
+// under a context derived from its client connection — canceled when the
+// client disconnects mid-query or when the server drains — and bounded by
+// the configured per-request timeout. The context flows through the cross
+// compiler into binding, pooling and backend I/O; context failures come back
+// as typed errors and are rendered to the client as kdb+-style terse errors
+// ('timeout, 'canceled).
 package endpoint
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/wire/qipc"
 )
 
-// Handler processes one extracted Q query and returns its result value.
+// Handler processes one extracted Q query and returns its result value. The
+// context is the per-request context: it is canceled when the client
+// disconnects or the server drains, and carries the request deadline.
 // The cross compiler (internal/xc) is the production handler.
 type Handler interface {
-	HandleQuery(q string) (qval.Value, error)
+	HandleQuery(ctx context.Context, q string) (qval.Value, error)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(q string) (qval.Value, error)
+type HandlerFunc func(ctx context.Context, q string) (qval.Value, error)
 
 // HandleQuery implements Handler.
-func (f HandlerFunc) HandleQuery(q string) (qval.Value, error) { return f(q) }
+func (f HandlerFunc) HandleQuery(ctx context.Context, q string) (qval.Value, error) {
+	return f(ctx, q)
+}
 
 // Config configures the endpoint listener.
 type Config struct {
@@ -35,30 +50,85 @@ type Config struct {
 	// NewHandler builds a per-connection handler (one Hyper-Q session per
 	// client connection).
 	NewHandler func(creds *qipc.Credentials) (Handler, func(), error)
+	// RequestTimeout bounds each query's end-to-end life cycle (0 disables);
+	// expiry surfaces to the client as 'timeout.
+	RequestTimeout time.Duration
+	// DrainTimeout is the grace window after shutdown begins: new
+	// connections are refused immediately, in-flight requests may finish
+	// within the window, then their contexts are hard-canceled and the
+	// connections closed (default 5s).
+	DrainTimeout time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
 
-// Serve accepts QIPC connections until the listener closes.
-func Serve(l net.Listener, cfg Config) error {
+// Serve accepts QIPC connections until the listener closes or ctx is
+// canceled. Cancellation triggers a graceful drain: the listener closes at
+// once, in-flight requests get DrainTimeout to finish, stragglers are
+// canceled and their connections closed. Serve returns after every
+// connection goroutine has exited.
+func Serve(ctx context.Context, l net.Listener, cfg Config) error {
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	// reqParent is the parent of every per-request context. It deliberately
+	// detaches from ctx's cancellation: shutdown must not kill in-flight
+	// requests until the drain window lapses.
+	reqParent, hardCancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer hardCancel()
+	stopAccept := context.AfterFunc(ctx, func() { l.Close() })
+	defer stopAccept()
+	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				break // shutdown requested: drain below
+			}
+			wg.Wait() // listener closed externally: legacy exit, no grace window
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		go serveConn(conn, cfg, logf)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(reqParent, conn, cfg, logf)
+		}()
 	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		logf("endpoint: drain window lapsed; canceling in-flight requests")
+		hardCancel()
+	}
+	<-done
+	return nil
 }
 
-func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
+func serveConn(ctx context.Context, conn net.Conn, cfg Config, logf func(string, ...any)) {
 	defer conn.Close()
+	// connCtx is the connection's life: canceled when the client disconnects
+	// (the reader goroutine sees EOF) or when the server hard-cancels.
+	connCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// a hard-cancel must also unblock a reader waiting in ReadMessage
+	stopClose := context.AfterFunc(connCtx, func() { conn.Close() })
+	defer stopClose()
+
 	br := bufio.NewReader(conn)
 	creds, err := qipc.ServerHandshake(br, conn, cfg.Auth)
 	if err != nil {
@@ -74,19 +144,48 @@ func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
 	if cleanup != nil {
 		defer cleanup()
 	}
-	for {
-		msg, err := qipc.ReadMessage(br)
-		if err != nil {
-			return // disconnect
+
+	// The reader goroutine owns the inbound stream. The channel is
+	// unbuffered, so while a query is being handled the reader sits blocked
+	// in ReadMessage on the *next* message — which is exactly where it
+	// observes a mid-query client disconnect and cancels the connection
+	// context, aborting the in-flight query.
+	msgs := make(chan *qipc.Message)
+	go func() {
+		defer cancel()
+		defer close(msgs)
+		for {
+			msg, err := qipc.ReadMessage(br)
+			if err != nil {
+				return // disconnect (or conn closed by hard-cancel)
+			}
+			select {
+			case msgs <- msg:
+			case <-connCtx.Done():
+				return
+			}
 		}
-		qtext, ok := extractQuery(msg.Value)
-		if !ok {
+	}()
+
+	for {
+		var msg *qipc.Message
+		var ok bool
+		select {
+		case msg, ok = <-msgs:
+			if !ok {
+				return // client gone
+			}
+		case <-connCtx.Done():
+			return
+		}
+		qtext, extracted := extractQuery(msg.Value)
+		if !extracted {
 			if msg.Type == qipc.Sync {
 				respondErr(conn, "type")
 			}
 			continue
 		}
-		result, err := handler.HandleQuery(qtext)
+		result, err := handleOne(connCtx, handler, cfg.RequestTimeout, qtext)
 		if msg.Type != qipc.Sync {
 			// async: execute, no response — but a failure would otherwise
 			// vanish silently; surface the dropped work in the log
@@ -96,7 +195,10 @@ func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
 			continue
 		}
 		if err != nil {
-			respondErr(conn, err.Error())
+			if connCtx.Err() != nil {
+				return // client disconnected or server hard-canceled: no one to answer
+			}
+			respondErr(conn, renderError(err))
 			continue
 		}
 		if err := qipc.WriteMessage(conn, qipc.Response, result); err != nil {
@@ -104,6 +206,29 @@ func serveConn(conn net.Conn, cfg Config, logf func(string, ...any)) {
 			return
 		}
 	}
+}
+
+// handleOne runs a single query under its per-request context.
+func handleOne(connCtx context.Context, h Handler, timeout time.Duration, qtext string) (qval.Value, error) {
+	ctx := connCtx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(connCtx, timeout)
+		defer cancel()
+	}
+	return h.HandleQuery(ctx, qtext)
+}
+
+// renderError maps an error to the terse kdb+-style message sent to the
+// client; context failures get stable names a Q client can dispatch on.
+func renderError(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return err.Error()
 }
 
 // extractQuery pulls the query text out of an incoming message: a char

@@ -5,6 +5,7 @@
 package endpoint
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -30,7 +31,7 @@ func startStack(t *testing.T, auth func(u, p string) bool) string {
 		name string
 		tbl  *qval.Table
 	}{{"trades", data.Trades}, {"quotes", data.Quotes}, {"daily", data.Daily}} {
-		if err := core.LoadQTable(loader, tb.name, tb.tbl); err != nil {
+		if err := core.LoadQTable(context.Background(), loader, tb.name, tb.tbl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func startStack(t *testing.T, auth func(u, p string) bool) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pgL.Close() })
-	go pgdb.Serve(pgL, db, pgdb.AuthConfig{
+	go pgdb.Serve(context.Background(), pgL, db, pgdb.AuthConfig{
 		Method: pgv3.AuthMethodMD5,
 		Users:  map[string]string{"hq": "pw"},
 	})
@@ -50,17 +51,17 @@ func startStack(t *testing.T, auth func(u, p string) bool) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { qL.Close() })
-	go Serve(qL, Config{
+	go Serve(context.Background(), qL, Config{
 		Auth: auth,
 		NewHandler: func(creds *qipc.Credentials) (Handler, func(), error) {
-			gw, err := gateway.Dial(pgL.Addr().String(), "hq", "pw", "db")
+			gw, err := gateway.Dial(context.Background(), pgL.Addr().String(), "hq", "pw", "db")
 			if err != nil {
 				return nil, nil, err
 			}
 			session := platform.NewSession(gw, core.Config{})
 			compiler := xc.New(session)
-			return HandlerFunc(func(q string) (qval.Value, error) {
-				v, _, err := compiler.HandleQuery(q)
+			return HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
 				return v, err
 			}), func() { session.Close() }, nil
 		},

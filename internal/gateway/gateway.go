@@ -7,29 +7,37 @@
 package gateway
 
 import (
+	"context"
 	"time"
 
 	"hyperq/internal/core"
 	"hyperq/internal/wire/pgv3"
 )
 
+// pingTimeout bounds the health-probe round trip so a dead backend cannot
+// wedge a pool checkout.
+const pingTimeout = 5 * time.Second
+
 // Gateway is a PG v3 backend connection.
 type Gateway struct {
 	conn *pgv3.ClientConn
 }
 
-// Dial connects and authenticates to a PG v3 server.
-func Dial(addr, user, password, database string) (*Gateway, error) {
-	conn, err := pgv3.Connect(addr, user, password, database)
+// Dial connects and authenticates to a PG v3 server. The context bounds the
+// dial and handshake only; per-query deadlines flow through Exec's context.
+func Dial(ctx context.Context, addr, user, password, database string) (*Gateway, error) {
+	conn, err := pgv3.Connect(ctx, addr, user, password, database)
 	if err != nil {
 		return nil, err
 	}
 	return &Gateway{conn: conn}, nil
 }
 
-// Exec implements core.Backend.
-func (g *Gateway) Exec(sql string) (*core.BackendResult, error) {
-	res, err := g.conn.Query(sql)
+// Exec implements core.Backend. The context's deadline maps onto the socket
+// I/O deadline and cancellation aborts the query; an abort surfaces as a
+// typed error satisfying errors.Is(err, ctx.Err()).
+func (g *Gateway) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	res, err := g.conn.Query(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -49,8 +57,8 @@ func (g *Gateway) Exec(sql string) (*core.BackendResult, error) {
 
 // QueryCatalog implements core.Backend: the binder's metadata lookups run
 // as ordinary catalog queries over the same connection (paper §3.2.3).
-func (g *Gateway) QueryCatalog(sql string) ([][]string, error) {
-	res, err := g.conn.Query(sql)
+func (g *Gateway) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	res, err := g.conn.Query(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -66,16 +74,13 @@ func (g *Gateway) QueryCatalog(sql string) ([][]string, error) {
 }
 
 // Ping performs a trivial round trip, verifying the connection is alive —
-// the pool's checkout health probe.
+// the pool's checkout health probe. It carries its own short deadline.
 func (g *Gateway) Ping() error {
-	_, err := g.conn.Query("SELECT 1")
+	ctx, cancel := context.WithTimeout(context.Background(), pingTimeout)
+	defer cancel()
+	_, err := g.conn.Query(ctx, "SELECT 1")
 	return err
 }
-
-// SetDeadline bounds the I/O of subsequent queries on the underlying
-// socket — how the pool enforces per-query timeouts. The zero time clears
-// the deadline.
-func (g *Gateway) SetDeadline(t time.Time) error { return g.conn.SetDeadline(t) }
 
 // Close implements core.Backend.
 func (g *Gateway) Close() error { return g.conn.Close() }

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"hyperq/internal/wire/pgv3"
 )
 
+var ctx = context.Background()
+
 func startBackend(t *testing.T) (string, *pgdb.DB) {
 	t.Helper()
 	db := pgdb.NewDB()
@@ -18,7 +21,7 @@ func startBackend(t *testing.T) (string, *pgdb.DB) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { l.Close() })
-	go pgdb.Serve(l, db, pgdb.AuthConfig{
+	go pgdb.Serve(ctx, l, db, pgdb.AuthConfig{
 		Method: pgv3.AuthMethodCleartext,
 		Users:  map[string]string{"hq": "pw"},
 	})
@@ -27,18 +30,18 @@ func startBackend(t *testing.T) (string, *pgdb.DB) {
 
 func TestGatewayExecOverWire(t *testing.T) {
 	addr, _ := startBackend(t)
-	gw, err := Dial(addr, "hq", "pw", "db")
+	gw, err := Dial(ctx, addr, "hq", "pw", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
-	if _, err := gw.Exec("CREATE TABLE t (a bigint, b varchar)"); err != nil {
+	if _, err := gw.Exec(ctx, "CREATE TABLE t (a bigint, b varchar)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := gw.Exec("INSERT INTO t VALUES (1, 'x'), (2, NULL)"); err != nil {
+	if _, err := gw.Exec(ctx, "INSERT INTO t VALUES (1, 'x'), (2, NULL)"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := gw.Exec("SELECT a, b FROM t ORDER BY a")
+	res, err := gw.Exec(ctx, "SELECT a, b FROM t ORDER BY a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,15 +58,15 @@ func TestGatewayExecOverWire(t *testing.T) {
 
 func TestGatewayQueryCatalog(t *testing.T) {
 	addr, _ := startBackend(t)
-	gw, err := Dial(addr, "hq", "pw", "db")
+	gw, err := Dial(ctx, addr, "hq", "pw", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
-	if _, err := gw.Exec("CREATE TABLE trades (ordcol bigint, price double precision)"); err != nil {
+	if _, err := gw.Exec(ctx, "CREATE TABLE trades (ordcol bigint, price double precision)"); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := gw.QueryCatalog("SELECT column_name, data_type FROM information_schema.columns WHERE table_name = 'trades' ORDER BY ordinal_position")
+	rows, err := gw.QueryCatalog(ctx, "SELECT column_name, data_type FROM information_schema.columns WHERE table_name = 'trades' ORDER BY ordinal_position")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,19 +80,19 @@ func TestGatewayAsCoreBackend(t *testing.T) {
 	// direct backend (the plugin boundary of §3.1)
 	addr, db := startBackend(t)
 	loader := core.NewDirectBackend(db)
-	if _, err := loader.Exec("CREATE TABLE trades (ordcol bigint, \"Symbol\" varchar, \"Price\" double precision)"); err != nil {
+	if _, err := loader.Exec(ctx, "CREATE TABLE trades (ordcol bigint, \"Symbol\" varchar, \"Price\" double precision)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loader.Exec("INSERT INTO trades VALUES (0, 'A', 1.5), (1, 'B', 2.5)"); err != nil {
+	if _, err := loader.Exec(ctx, "INSERT INTO trades VALUES (0, 'A', 1.5), (1, 'B', 2.5)"); err != nil {
 		t.Fatal(err)
 	}
-	gw, err := Dial(addr, "hq", "pw", "db")
+	gw, err := Dial(ctx, addr, "hq", "pw", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := core.NewPlatform().NewSession(gw, core.Config{})
 	defer s.Close()
-	v, _, err := s.Run("select Price from trades where Symbol=`B")
+	v, _, err := s.Run(ctx, "select Price from trades where Symbol=`B")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +103,12 @@ func TestGatewayAsCoreBackend(t *testing.T) {
 
 func TestGatewayErrorsKeepSQLSTATE(t *testing.T) {
 	addr, _ := startBackend(t)
-	gw, err := Dial(addr, "hq", "pw", "db")
+	gw, err := Dial(ctx, addr, "hq", "pw", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.Close()
-	_, err = gw.Exec("SELECT * FROM missing")
+	_, err = gw.Exec(ctx, "SELECT * FROM missing")
 	se, ok := err.(*pgv3.ServerError)
 	if !ok || se.Code != "42P01" {
 		t.Fatalf("err = %v", err)

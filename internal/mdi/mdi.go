@@ -9,6 +9,7 @@
 package mdi
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -50,7 +51,7 @@ func (t *TableMeta) DataCols() []ColMeta {
 // rows of text values — in the full stack this is the Gateway running SQL
 // over the PG v3 protocol; in-process it is a pgdb session.
 type CatalogQuerier interface {
-	QueryCatalog(sql string) ([][]string, error)
+	QueryCatalog(ctx context.Context, sql string) ([][]string, error)
 }
 
 // Stats reports cache effectiveness, used by the metadata-cache benchmark.
@@ -109,8 +110,9 @@ func New(q CatalogQuerier, opts ...Option) *MDI {
 }
 
 // LookupTable resolves a backend table's metadata, serving from cache when
-// fresh. A miss issues a catalog round trip (an information_schema query).
-func (m *MDI) LookupTable(name string) (*TableMeta, error) {
+// fresh. A miss issues a catalog round trip (an information_schema query)
+// under the request context.
+func (m *MDI) LookupTable(ctx context.Context, name string) (*TableMeta, error) {
 	m.lookups.Add(1)
 	m.mu.RLock()
 	e, ok := m.cache[name]
@@ -125,7 +127,7 @@ func (m *MDI) LookupTable(name string) (*TableMeta, error) {
 	sql := fmt.Sprintf(
 		"SELECT column_name, data_type FROM information_schema.columns WHERE table_name = '%s' ORDER BY ordinal_position",
 		escapeSQLString(name))
-	rows, err := m.q.QueryCatalog(sql)
+	rows, err := m.q.QueryCatalog(ctx, sql)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mdi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -16,7 +17,7 @@ type countingCatalog struct {
 	fail  bool
 }
 
-func (c *countingCatalog) QueryCatalog(sql string) ([][]string, error) {
+func (c *countingCatalog) QueryCatalog(_ context.Context, sql string) ([][]string, error) {
 	c.calls++
 	if c.fail {
 		return nil, fmt.Errorf("backend down")
@@ -34,7 +35,7 @@ func (c *countingCatalog) QueryCatalog(sql string) ([][]string, error) {
 func TestLookupBuildsMeta(t *testing.T) {
 	cat := &countingCatalog{}
 	m := New(cat)
-	meta, err := m.LookupTable("trades")
+	meta, err := m.LookupTable(context.Background(), "trades")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestCacheHitsAvoidRoundTrips(t *testing.T) {
 	cat := &countingCatalog{}
 	m := New(cat, WithTTL(time.Minute))
 	for i := 0; i < 5; i++ {
-		if _, err := m.LookupTable("trades"); err != nil {
+		if _, err := m.LookupTable(context.Background(), "trades"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,14 +71,14 @@ func TestCacheExpiration(t *testing.T) {
 	cat := &countingCatalog{}
 	now := time.Unix(0, 0)
 	m := New(cat, WithTTL(time.Minute), WithClock(func() time.Time { return now }))
-	m.LookupTable("trades")
+	m.LookupTable(context.Background(), "trades")
 	now = now.Add(30 * time.Second)
-	m.LookupTable("trades") // still fresh
+	m.LookupTable(context.Background(), "trades") // still fresh
 	if cat.calls != 1 {
 		t.Fatalf("calls = %d", cat.calls)
 	}
 	now = now.Add(2 * time.Minute) // expired
-	m.LookupTable("trades")
+	m.LookupTable(context.Background(), "trades")
 	if cat.calls != 2 {
 		t.Fatalf("calls after expiry = %d", cat.calls)
 	}
@@ -86,14 +87,14 @@ func TestCacheExpiration(t *testing.T) {
 func TestExplicitInvalidation(t *testing.T) {
 	cat := &countingCatalog{}
 	m := New(cat, WithTTL(time.Hour))
-	m.LookupTable("trades")
+	m.LookupTable(context.Background(), "trades")
 	m.Invalidate("trades")
-	m.LookupTable("trades")
+	m.LookupTable(context.Background(), "trades")
 	if cat.calls != 2 {
 		t.Fatalf("calls = %d, invalidation ignored", cat.calls)
 	}
 	m.InvalidateAll()
-	m.LookupTable("trades")
+	m.LookupTable(context.Background(), "trades")
 	if cat.calls != 3 {
 		t.Fatalf("calls = %d, InvalidateAll ignored", cat.calls)
 	}
@@ -101,14 +102,14 @@ func TestExplicitInvalidation(t *testing.T) {
 
 func TestUnknownTable(t *testing.T) {
 	m := New(&countingCatalog{})
-	if _, err := m.LookupTable("nope"); err == nil {
+	if _, err := m.LookupTable(context.Background(), "nope"); err == nil {
 		t.Fatal("unknown relation should error")
 	}
 }
 
 func TestBackendErrorPropagates(t *testing.T) {
 	m := New(&countingCatalog{fail: true})
-	if _, err := m.LookupTable("trades"); err == nil {
+	if _, err := m.LookupTable(context.Background(), "trades"); err == nil {
 		t.Fatal("backend failure should propagate")
 	}
 }
@@ -117,7 +118,7 @@ func TestSQLInjectionEscaped(t *testing.T) {
 	cat := &countingCatalog{}
 	m := New(cat)
 	// must not panic or produce a broken query; just a not-found
-	if _, err := m.LookupTable("x'; DROP TABLE trades; --"); err == nil {
+	if _, err := m.LookupTable(context.Background(), "x'; DROP TABLE trades; --"); err == nil {
 		t.Fatal("weird name should not resolve")
 	}
 }
@@ -142,7 +143,7 @@ type raceCatalog struct {
 	calls atomic.Int64
 }
 
-func (c *raceCatalog) QueryCatalog(sql string) ([][]string, error) {
+func (c *raceCatalog) QueryCatalog(_ context.Context, sql string) ([][]string, error) {
 	c.calls.Add(1)
 	for _, name := range []string{"trades", "quotes", "daily", "refdata"} {
 		if strings.Contains(sql, "'"+name+"'") {
@@ -178,7 +179,7 @@ func TestConcurrentLookupAndInvalidate(t *testing.T) {
 					m.Stats()
 					m.Generation()
 				default:
-					meta, err := m.LookupTable(name)
+					meta, err := m.LookupTable(context.Background(), name)
 					if err != nil {
 						t.Errorf("lookup %s: %v", name, err)
 						return
@@ -201,7 +202,7 @@ func TestConcurrentLookupAndInvalidate(t *testing.T) {
 func TestGenerationBumpsOnInvalidation(t *testing.T) {
 	m := New(&raceCatalog{})
 	g0 := m.Generation()
-	if _, err := m.LookupTable("trades"); err != nil {
+	if _, err := m.LookupTable(context.Background(), "trades"); err != nil {
 		t.Fatal(err)
 	}
 	if m.Generation() != g0 {

@@ -1,9 +1,12 @@
 package pgdb
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
+
+	"hyperq/internal/pgdb/sqlparse"
 )
 
 // storedTable is a heap table in the catalog.
@@ -39,6 +42,11 @@ func NewDB() *DB {
 type Session struct {
 	db   *DB
 	temp map[string]*storedTable
+	// ctx is the context of the statement currently executing (installed by
+	// ExecContext); tick polls it at row-batch boundaries. A session executes
+	// one statement at a time, so a plain field suffices.
+	ctx   context.Context
+	ticks int
 }
 
 // NewSession opens a session on the database.
@@ -223,7 +231,13 @@ func (s *Session) resolveRelation(schema, name string) (*Result, error) {
 		return &Result{Cols: append([]Column(nil), t.cols...), Rows: t.rows}, nil
 	}
 	if v, ok := s.lookupView(name); ok {
-		return s.Exec(v.sql)
+		// re-execute the view definition under the current statement's
+		// context (s.ctx stays installed; going through Exec would reset it)
+		stmt, err := sqlparse.Parse(v.sql)
+		if err != nil {
+			return nil, errf("42601", "%v", err)
+		}
+		return s.ExecStmt(stmt)
 	}
 	return nil, errf("42P01", "relation %q does not exist", strings.TrimSpace(name))
 }

@@ -1,6 +1,7 @@
 package pgdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,8 +9,19 @@ import (
 )
 
 // Exec parses and executes one SQL statement in the session, returning a
-// result set for queries and a command tag for DML/DDL.
+// result set for queries and a command tag for DML/DDL. It runs without a
+// deadline; request-scoped execution goes through ExecContext.
 func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec bounded by a context: execution checks ctx at
+// row-batch boundaries, so a runaway scan or join over the embedded engine
+// is abortable the same way a networked backend query is.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	prev, prevTicks := s.ctx, s.ticks
+	s.ctx, s.ticks = ctx, 0
+	defer func() { s.ctx, s.ticks = prev, prevTicks }()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, errf("42601", "%v", err)
@@ -17,9 +29,36 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	return s.ExecStmt(stmt)
 }
 
+// ctxCheckRows is how many row visits pass between context checks — the
+// row-batch boundary: frequent enough to abort a runaway scan promptly,
+// rare enough to stay off the per-row hot path.
+const ctxCheckRows = 1024
+
+// tick is called once per row visited by scans, joins and projections; every
+// ctxCheckRows visits it polls the execution context.
+func (s *Session) tick() error {
+	s.ticks++
+	if s.ticks%ctxCheckRows != 0 || s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("pgdb: query aborted: %w", err)
+	}
+	return nil
+}
+
 // ExecScript executes a semicolon-separated batch, returning the result of
 // each statement.
 func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	return s.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext is ExecScript bounded by a context; the whole batch
+// shares one deadline.
+func (s *Session) ExecScriptContext(ctx context.Context, sql string) ([]*Result, error) {
+	prev, prevTicks := s.ctx, s.ticks
+	s.ctx, s.ticks = ctx, 0
+	defer func() { s.ctx, s.ticks = prev, prevTicks }()
 	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
 		return nil, errf("42601", "%v", err)
@@ -289,7 +328,12 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 }
 
 // rowMatches evaluates a WHERE predicate with 3VL: only TRUE keeps the row.
+// Every scan, join and DML loop funnels through here, so it doubles as the
+// row-batch context checkpoint.
 func (s *Session) rowMatches(where sqlparse.Expr, schema []colBinding, row []any) (bool, error) {
+	if err := s.tick(); err != nil {
+		return false, err
+	}
 	if where == nil {
 		return true, nil
 	}

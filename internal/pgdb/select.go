@@ -220,6 +220,9 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 			index[key] = append(index[key], i)
 		}
 		for _, lr := range left.rows {
+			if err := s.tick(); err != nil {
+				return nil, err
+			}
 			key, null := hashKey(lr, lk)
 			matched := false
 			if !null || nullSafe {
@@ -443,6 +446,9 @@ func (s *Session) project(sel *sqlparse.SelectStmt, rel *relation) (*Result, err
 		})
 	}
 	for ri, row := range rel.rows {
+		if err := s.tick(); err != nil {
+			return nil, err
+		}
 		out := make([]any, len(items))
 		for i, item := range items {
 			v, err := s.evalExprWin(item.Expr, rel.schema, row, ri, winVals)

@@ -1,6 +1,7 @@
 package pgdb
 
 import (
+	"context"
 	"errors"
 	"net"
 
@@ -17,21 +18,24 @@ type AuthConfig struct {
 
 // Serve accepts PG v3 connections on l and executes queries against db,
 // one session (with its own temp tables) per connection. It returns when
-// the listener closes.
-func Serve(l net.Listener, db *DB, auth AuthConfig) error {
+// the listener closes or ctx is canceled; ctx also bounds every statement
+// executed by the served sessions, so canceling it aborts in-flight scans.
+func Serve(ctx context.Context, l net.Listener, db *DB, auth AuthConfig) error {
+	stop := context.AfterFunc(ctx, func() { l.Close() })
+	defer stop()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			if errors.Is(err, net.ErrClosed) || ctx.Err() != nil {
 				return nil
 			}
 			return err
 		}
-		go handleConn(conn, db, auth)
+		go handleConn(ctx, conn, db, auth)
 	}
 }
 
-func handleConn(conn net.Conn, db *DB, auth AuthConfig) {
+func handleConn(ctx context.Context, conn net.Conn, db *DB, auth AuthConfig) {
 	sc := pgv3.NewServerConn(conn)
 	defer sc.Close()
 	if err := sc.Startup(); err != nil {
@@ -61,7 +65,7 @@ func handleConn(conn net.Conn, db *DB, auth AuthConfig) {
 		if err != nil {
 			return // EOF on Terminate or broken connection
 		}
-		results, err := session.ExecScript(sql)
+		results, err := session.ExecScriptContext(ctx, sql)
 		for _, res := range results {
 			if sendErr := sendResult(sc, res); sendErr != nil {
 				return

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -38,13 +39,15 @@ func (p *Pool) SessionBackend() *SessionBackend {
 	return &SessionBackend{pool: p}
 }
 
-// Exec implements core.Backend.
-func (b *SessionBackend) Exec(sql string) (*core.BackendResult, error) {
-	c, pinned, err := b.checkout(pinsConnection(sql))
+// Exec implements core.Backend. The request context bounds the checkout
+// wait and the statement itself; a pinned connection runs under the same
+// ctx-derived per-query deadline as a pooled one.
+func (b *SessionBackend) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	c, pinned, err := b.checkout(ctx, pinsConnection(sql))
 	if err != nil {
 		return nil, err
 	}
-	res, err := b.pool.Exec(c, sql)
+	res, err := b.pool.Exec(ctx, c, sql)
 	b.checkin(c, pinned, err)
 	return res, err
 }
@@ -52,12 +55,12 @@ func (b *SessionBackend) Exec(sql string) (*core.BackendResult, error) {
 // QueryCatalog implements core.Backend. Catalog queries never pin, but a
 // session that already pinned keeps using its connection — its temp tables
 // are only visible there.
-func (b *SessionBackend) QueryCatalog(sql string) ([][]string, error) {
-	c, pinned, err := b.checkout(false)
+func (b *SessionBackend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	c, pinned, err := b.checkout(ctx, false)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := b.pool.QueryCatalog(c, sql)
+	rows, err := b.pool.QueryCatalog(ctx, c, sql)
 	b.checkin(c, pinned, err)
 	return rows, err
 }
@@ -79,7 +82,7 @@ func (b *SessionBackend) Close() error {
 
 // checkout obtains the connection for one statement: the pinned connection
 // when present, else a pool checkout (pinning it when pin is set).
-func (b *SessionBackend) checkout(pin bool) (c Conn, pinned bool, err error) {
+func (b *SessionBackend) checkout(ctx context.Context, pin bool) (c Conn, pinned bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch {
@@ -90,7 +93,7 @@ func (b *SessionBackend) checkout(pin bool) (c Conn, pinned bool, err error) {
 	case b.pinned != nil:
 		return b.pinned, true, nil
 	}
-	c, err = b.pool.Get()
+	c, err = b.pool.Get(ctx)
 	if err != nil {
 		return nil, false, err
 	}

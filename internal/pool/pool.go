@@ -7,13 +7,18 @@
 // out per statement and return them immediately.
 //
 // Features: lazy dialing (connections are created on demand up to Size),
-// health checks on checkout, dial retry with exponential backoff, per-query
-// deadlines on connections that support them, and graceful drain on
-// shutdown. See SessionBackend for the session-facing core.Backend wrapper
-// and its temp-table connection-pinning rules.
+// health checks on checkout with a skip window for recently-healthy
+// connections, dial retry with exponential backoff, per-query deadlines
+// derived from the request context, and graceful drain on shutdown. All
+// blocking operations — checkout waits, dial backoff, query execution — are
+// bounded by the caller's context; the pool itself never touches socket
+// deadlines (that mapping lives in the wire client). See SessionBackend for
+// the session-facing core.Backend wrapper and its temp-table
+// connection-pinning rules.
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,33 +40,35 @@ type Conn interface {
 	Ping() error
 }
 
-// deadliner is implemented by connections whose I/O can be bounded (the
-// networked Gateway); in-process backends have no transport to time out.
-type deadliner interface {
-	SetDeadline(t time.Time) error
-}
-
 // Config tunes a pool.
 type Config struct {
 	// Size bounds the number of live backend connections (default 4).
 	Size int
 	// Dial opens a new backend connection; called lazily when a checkout
-	// finds no idle connection.
-	Dial func() (Conn, error)
+	// finds no idle connection. The context is the checking-out request's:
+	// its cancellation aborts the dial.
+	Dial func(ctx context.Context) (Conn, error)
 	// DialAttempts is the number of dial tries per checkout (default 3);
 	// DialBackoff is the initial retry delay, doubling per attempt
 	// (default 50ms).
 	DialAttempts int
 	DialBackoff  time.Duration
 	// CheckoutTimeout bounds how long a checkout waits for a free slot
-	// when all connections are in use (default 30s).
+	// when all connections are in use (default 30s). The request context
+	// can cut the wait shorter but never extends it.
 	CheckoutTimeout time.Duration
-	// QueryTimeout is the per-query I/O deadline applied to connections
-	// that support deadlines (0 disables).
+	// QueryTimeout bounds each statement run through Exec/QueryCatalog:
+	// the pool derives a per-query deadline from the request context,
+	// tightening it to now+QueryTimeout when set (0 disables).
 	QueryTimeout time.Duration
 	// HealthCheck pings idle connections on checkout, discarding dead
 	// ones and dialing replacements.
 	HealthCheck bool
+	// HealthCheckInterval suppresses the checkout ping for a connection
+	// that proved healthy within the interval — returned from a successful
+	// statement or pinged — avoiding a ping round trip per checkout under
+	// steady traffic (default 1s).
+	HealthCheckInterval time.Duration
 	// DrainTimeout bounds how long Close waits for checked-out
 	// connections to come back (default 5s).
 	DrainTimeout time.Duration
@@ -71,14 +78,15 @@ type Config struct {
 
 // Stats reports pool activity.
 type Stats struct {
-	Dials          int64
-	DialErrors     int64
-	Checkouts      int64
-	HealthFailures int64
-	Discards       int64
-	WaitTimeouts   int64
-	InUse          int
-	Idle           int
+	Dials               int64
+	DialErrors          int64
+	Checkouts           int64
+	HealthFailures      int64
+	HealthChecksSkipped int64
+	Discards            int64
+	WaitTimeouts        int64
+	InUse               int
+	Idle                int
 }
 
 // Pool errors.
@@ -97,7 +105,12 @@ type Pool struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 
-	dials, dialErrors, checkouts, healthFailures, discards, waitTimeouts atomic.Int64
+	// lastHealthy records when each live connection last proved healthy,
+	// keyed by identity; entries are dropped when connections are discarded.
+	mu          sync.Mutex
+	lastHealthy map[Conn]time.Time
+
+	dials, dialErrors, checkouts, healthFailures, healthSkips, discards, waitTimeouts atomic.Int64
 }
 
 // New creates a pool; no connection is dialed until the first checkout.
@@ -114,6 +127,9 @@ func New(cfg Config) *Pool {
 	if cfg.CheckoutTimeout <= 0 {
 		cfg.CheckoutTimeout = 30 * time.Second
 	}
+	if cfg.HealthCheckInterval <= 0 {
+		cfg.HealthCheckInterval = time.Second
+	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
@@ -121,26 +137,33 @@ func New(cfg Config) *Pool {
 		cfg.Logf = func(string, ...any) {}
 	}
 	return &Pool{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Size),
-		idle:   make(chan Conn, cfg.Size),
-		closed: make(chan struct{}),
+		cfg:         cfg,
+		sem:         make(chan struct{}, cfg.Size),
+		idle:        make(chan Conn, cfg.Size),
+		closed:      make(chan struct{}),
+		lastHealthy: make(map[Conn]time.Time),
 	}
 }
 
 // Get checks a connection out of the pool, dialing one if no idle
 // connection is available and the bound permits. It blocks up to
-// CheckoutTimeout when the pool is exhausted.
-func (p *Pool) Get() (Conn, error) {
+// CheckoutTimeout when the pool is exhausted; canceling ctx aborts the wait
+// (and any dial backoff) immediately with ctx.Err().
+func (p *Pool) Get(ctx context.Context) (Conn, error) {
 	select {
 	case <-p.closed:
 		return nil, ErrClosed
 	default:
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	timer := time.NewTimer(p.cfg.CheckoutTimeout)
 	defer timer.Stop()
 	select {
 	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-p.closed:
 		return nil, ErrClosed
 	case <-timer.C:
@@ -151,23 +174,24 @@ func (p *Pool) Get() (Conn, error) {
 	for {
 		select {
 		case c := <-p.idle:
-			if p.cfg.HealthCheck {
+			if p.cfg.HealthCheck && !p.recentlyHealthy(c) {
 				if err := c.Ping(); err != nil {
 					p.healthFailures.Add(1)
-					p.discards.Add(1)
-					c.Close()
+					p.discard(c)
 					p.cfg.Logf("pool: discarding unhealthy connection: %v", err)
 					continue
 				}
+				p.markHealthy(c)
 			}
 			p.checkouts.Add(1)
 			return c, nil
 		default:
-			c, err := p.dialWithRetry()
+			c, err := p.dialWithRetry(ctx)
 			if err != nil {
 				<-p.sem
 				return nil, err
 			}
+			p.markHealthy(c)
 			p.checkouts.Add(1)
 			return c, nil
 		}
@@ -176,7 +200,8 @@ func (p *Pool) Get() (Conn, error) {
 
 // Put returns a checked-out connection. reusable=false discards it (broken
 // transport, or connection-local backend state that must not leak into
-// another session).
+// another session). A reusable return counts as proof of health, feeding
+// the checkout skip window.
 func (p *Pool) Put(c Conn, reusable bool) {
 	if c != nil {
 		select {
@@ -185,6 +210,7 @@ func (p *Pool) Put(c Conn, reusable bool) {
 		default:
 		}
 		if reusable {
+			p.markHealthy(c)
 			select {
 			case p.idle <- c:
 				c = nil
@@ -194,44 +220,63 @@ func (p *Pool) Put(c Conn, reusable bool) {
 			}
 		}
 		if c != nil {
-			p.discards.Add(1)
-			c.Close()
+			p.discard(c)
 		}
 	}
 	<-p.sem
 }
 
-// Exec runs one statement on conn, applying the per-query deadline when the
-// connection supports one.
-func (p *Pool) Exec(c Conn, sql string) (*core.BackendResult, error) {
-	p.applyDeadline(c)
-	res, err := c.Exec(sql)
-	p.clearDeadline(c)
-	return res, err
+// Exec runs one statement on conn under a context derived from the
+// request's: QueryTimeout, when set, tightens the deadline. The wire client
+// maps the resulting deadline onto socket I/O.
+func (p *Pool) Exec(ctx context.Context, c Conn, sql string) (*core.BackendResult, error) {
+	ctx, cancel := p.queryContext(ctx)
+	defer cancel()
+	return c.Exec(ctx, sql)
 }
 
-// QueryCatalog runs one catalog query on conn under the per-query deadline.
-func (p *Pool) QueryCatalog(c Conn, sql string) ([][]string, error) {
-	p.applyDeadline(c)
-	rows, err := c.QueryCatalog(sql)
-	p.clearDeadline(c)
-	return rows, err
+// QueryCatalog runs one catalog query on conn under the per-query context.
+func (p *Pool) QueryCatalog(ctx context.Context, c Conn, sql string) ([][]string, error) {
+	ctx, cancel := p.queryContext(ctx)
+	defer cancel()
+	return c.QueryCatalog(ctx, sql)
 }
 
-func (p *Pool) applyDeadline(c Conn) {
+// queryContext derives the per-query context: the caller's, tightened by
+// QueryTimeout when configured.
+func (p *Pool) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
 	if p.cfg.QueryTimeout > 0 {
-		if d, ok := c.(deadliner); ok {
-			d.SetDeadline(time.Now().Add(p.cfg.QueryTimeout))
-		}
+		return context.WithTimeout(ctx, p.cfg.QueryTimeout)
 	}
+	return ctx, func() {}
 }
 
-func (p *Pool) clearDeadline(c Conn) {
-	if p.cfg.QueryTimeout > 0 {
-		if d, ok := c.(deadliner); ok {
-			d.SetDeadline(time.Time{})
-		}
+// recentlyHealthy reports whether c proved healthy within
+// HealthCheckInterval, counting a skipped checkout ping when so.
+func (p *Pool) recentlyHealthy(c Conn) bool {
+	p.mu.Lock()
+	t, ok := p.lastHealthy[c]
+	p.mu.Unlock()
+	if ok && time.Since(t) < p.cfg.HealthCheckInterval {
+		p.healthSkips.Add(1)
+		return true
 	}
+	return false
+}
+
+func (p *Pool) markHealthy(c Conn) {
+	p.mu.Lock()
+	p.lastHealthy[c] = time.Now()
+	p.mu.Unlock()
+}
+
+// discard closes a connection and forgets its health record.
+func (p *Pool) discard(c Conn) {
+	p.mu.Lock()
+	delete(p.lastHealthy, c)
+	p.mu.Unlock()
+	p.discards.Add(1)
+	c.Close()
 }
 
 // Close drains the pool gracefully: new checkouts fail immediately,
@@ -255,6 +300,9 @@ func (p *Pool) Close() error {
 	for {
 		select {
 		case c := <-p.idle:
+			p.mu.Lock()
+			delete(p.lastHealthy, c)
+			p.mu.Unlock()
 			c.Close()
 		default:
 			if timedOut {
@@ -270,36 +318,45 @@ func (p *Pool) Close() error {
 // Stats returns a snapshot of pool statistics.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Dials:          p.dials.Load(),
-		DialErrors:     p.dialErrors.Load(),
-		Checkouts:      p.checkouts.Load(),
-		HealthFailures: p.healthFailures.Load(),
-		Discards:       p.discards.Load(),
-		WaitTimeouts:   p.waitTimeouts.Load(),
-		InUse:          len(p.sem),
-		Idle:           len(p.idle),
+		Dials:               p.dials.Load(),
+		DialErrors:          p.dialErrors.Load(),
+		Checkouts:           p.checkouts.Load(),
+		HealthFailures:      p.healthFailures.Load(),
+		HealthChecksSkipped: p.healthSkips.Load(),
+		Discards:            p.discards.Load(),
+		WaitTimeouts:        p.waitTimeouts.Load(),
+		InUse:               len(p.sem),
+		Idle:                len(p.idle),
 	}
 }
 
-func (p *Pool) dialWithRetry() (Conn, error) {
+func (p *Pool) dialWithRetry(ctx context.Context) (Conn, error) {
 	backoff := p.cfg.DialBackoff
 	var lastErr error
 	for attempt := 1; attempt <= p.cfg.DialAttempts; attempt++ {
 		if attempt > 1 {
+			timer := time.NewTimer(backoff)
 			select {
-			case <-time.After(backoff):
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
 			case <-p.closed:
+				timer.Stop()
 				return nil, ErrClosed
 			}
 			backoff *= 2
 		}
 		p.dials.Add(1)
-		c, err := p.cfg.Dial()
+		c, err := p.cfg.Dial(ctx)
 		if err == nil {
 			return c, nil
 		}
 		p.dialErrors.Add(1)
 		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		p.cfg.Logf("pool: dial attempt %d/%d failed: %v", attempt, p.cfg.DialAttempts, err)
 	}
 	return nil, fmt.Errorf("pool: dial failed after %d attempts: %w", p.cfg.DialAttempts, lastErr)
@@ -307,7 +364,10 @@ func (p *Pool) dialWithRetry() (Conn, error) {
 
 // connBroken classifies an Exec error: transport-level failures poison the
 // connection; clean server errors (a SQL error over a healthy connection)
-// and embedded-engine errors leave it reusable.
+// and embedded-engine errors leave it reusable. A context abort mid-protocol
+// surfaces as a pgv3.AbortError whose transport error keeps it in the broken
+// class; a pure context error (embedded backend, pre-I/O cancellation)
+// leaves the connection intact.
 func connBroken(err error) bool {
 	if err == nil {
 		return false

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,9 @@ import (
 	"hyperq/internal/wire/pgv3"
 )
 
+// ctx for pool operations that should never block on the context.
+var ctx = context.Background()
+
 // fakeConn is an in-memory pool.Conn that records activity.
 type fakeConn struct {
 	id        int
@@ -22,12 +26,14 @@ type fakeConn struct {
 	closed    bool
 	pingErr   error
 	execErr   error
-	deadlines []time.Time
+	deadlines []bool // whether each Exec's ctx carried a deadline
 }
 
-func (f *fakeConn) Exec(sql string) (*core.BackendResult, error) {
+func (f *fakeConn) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	_, hasDeadline := ctx.Deadline()
+	f.deadlines = append(f.deadlines, hasDeadline)
 	f.execs = append(f.execs, sql)
 	if f.execErr != nil {
 		return nil, f.execErr
@@ -35,7 +41,7 @@ func (f *fakeConn) Exec(sql string) (*core.BackendResult, error) {
 	return &core.BackendResult{Tag: "OK"}, nil
 }
 
-func (f *fakeConn) QueryCatalog(sql string) ([][]string, error) {
+func (f *fakeConn) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.execs = append(f.execs, sql)
@@ -48,13 +54,6 @@ func (f *fakeConn) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.closed = true
-	return nil
-}
-
-func (f *fakeConn) SetDeadline(t time.Time) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.deadlines = append(f.deadlines, t)
 	return nil
 }
 
@@ -71,7 +70,7 @@ type dialer struct {
 	fails int // fail this many dials before succeeding
 }
 
-func (d *dialer) dial() (Conn, error) {
+func (d *dialer) dial(ctx context.Context) (Conn, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.fails > 0 {
@@ -95,7 +94,7 @@ func TestLazyDialAndReuse(t *testing.T) {
 	if d.count() != 0 {
 		t.Fatal("pool must not dial before first checkout")
 	}
-	c, err := p.Get()
+	c, err := p.Get(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +102,7 @@ func TestLazyDialAndReuse(t *testing.T) {
 		t.Fatalf("dials = %d, want 1", d.count())
 	}
 	p.Put(c, true)
-	c2, err := p.Get()
+	c2, err := p.Get(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,9 +124,9 @@ func TestLazyDialAndReuse(t *testing.T) {
 func TestBoundAndCheckoutTimeout(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 2, Dial: d.dial, CheckoutTimeout: 50 * time.Millisecond})
-	a, _ := p.Get()
-	b, _ := p.Get()
-	if _, err := p.Get(); !errors.Is(err, ErrCheckoutTimeout) {
+	a, _ := p.Get(ctx)
+	b, _ := p.Get(ctx)
+	if _, err := p.Get(ctx); !errors.Is(err, ErrCheckoutTimeout) {
 		t.Fatalf("err = %v, want ErrCheckoutTimeout", err)
 	}
 	if p.Stats().WaitTimeouts != 1 {
@@ -143,10 +142,10 @@ func TestBoundAndCheckoutTimeout(t *testing.T) {
 func TestBlockedCheckoutUnblocksOnPut(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 1, Dial: d.dial, CheckoutTimeout: 2 * time.Second})
-	a, _ := p.Get()
+	a, _ := p.Get(ctx)
 	got := make(chan Conn)
 	go func() {
-		c, err := p.Get()
+		c, err := p.Get(ctx)
 		if err != nil {
 			t.Error(err)
 		}
@@ -164,11 +163,12 @@ func TestBlockedCheckoutUnblocksOnPut(t *testing.T) {
 
 func TestHealthCheckDiscardsDeadIdle(t *testing.T) {
 	d := &dialer{}
-	p := New(Config{Size: 2, Dial: d.dial, HealthCheck: true})
-	c, _ := p.Get()
+	// a nanosecond health window forces a real ping on every checkout
+	p := New(Config{Size: 2, Dial: d.dial, HealthCheck: true, HealthCheckInterval: time.Nanosecond})
+	c, _ := p.Get(ctx)
 	c.(*fakeConn).pingErr = errors.New("gone")
 	p.Put(c, true)
-	c2, err := p.Get()
+	c2, err := p.Get(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestDialRetryWithBackoff(t *testing.T) {
 	d := &dialer{fails: 2}
 	p := New(Config{Size: 1, Dial: d.dial, DialAttempts: 3, DialBackoff: time.Millisecond})
 	start := time.Now()
-	c, err := p.Get()
+	c, err := p.Get(ctx)
 	if err != nil {
 		t.Fatalf("Get after retries: %v", err)
 	}
@@ -207,14 +207,14 @@ func TestDialRetryWithBackoff(t *testing.T) {
 func TestDialExhaustedReleasesSlot(t *testing.T) {
 	d := &dialer{fails: 100}
 	p := New(Config{Size: 1, Dial: d.dial, DialAttempts: 2, DialBackoff: time.Millisecond})
-	if _, err := p.Get(); err == nil {
+	if _, err := p.Get(ctx); err == nil {
 		t.Fatal("Get should fail when dialing is impossible")
 	}
 	// the slot must have been released: a now-working dial succeeds
 	d.mu.Lock()
 	d.fails = 0
 	d.mu.Unlock()
-	c, err := p.Get()
+	c, err := p.Get(ctx)
 	if err != nil {
 		t.Fatalf("slot leaked: %v", err)
 	}
@@ -224,12 +224,12 @@ func TestDialExhaustedReleasesSlot(t *testing.T) {
 func TestPutDiscard(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 2, Dial: d.dial})
-	c, _ := p.Get()
+	c, _ := p.Get(ctx)
 	p.Put(c, false)
 	if !c.(*fakeConn).isClosed() {
 		t.Fatal("discarded connection should be closed")
 	}
-	c2, _ := p.Get()
+	c2, _ := p.Get(ctx)
 	if c2 == c {
 		t.Fatal("discarded connection must not be reused")
 	}
@@ -239,7 +239,7 @@ func TestPutDiscard(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 2, Dial: d.dial, DrainTimeout: time.Second})
-	c, _ := p.Get()
+	c, _ := p.Get(ctx)
 	go func() {
 		time.Sleep(30 * time.Millisecond)
 		p.Put(c, true)
@@ -250,7 +250,7 @@ func TestGracefulDrain(t *testing.T) {
 	if !c.(*fakeConn).isClosed() {
 		t.Fatal("connection should be closed after drain")
 	}
-	if _, err := p.Get(); !errors.Is(err, ErrClosed) {
+	if _, err := p.Get(ctx); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after Close = %v, want ErrClosed", err)
 	}
 }
@@ -258,7 +258,7 @@ func TestGracefulDrain(t *testing.T) {
 func TestDrainTimeout(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 1, Dial: d.dial, DrainTimeout: 30 * time.Millisecond})
-	c, _ := p.Get() // never returned
+	c, _ := p.Get(ctx) // never returned
 	if err := p.Close(); err == nil {
 		t.Fatal("Close should report the timed-out drain")
 	}
@@ -272,15 +272,15 @@ func TestPerQueryDeadline(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 1, Dial: d.dial, QueryTimeout: time.Second})
 	b := p.SessionBackend()
-	if _, err := b.Exec("SELECT 1"); err != nil {
+	if _, err := b.Exec(ctx, "SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
 	fc := d.conns[0]
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	// one deadline set before the query, one zero clear after
-	if len(fc.deadlines) != 2 || fc.deadlines[0].IsZero() || !fc.deadlines[1].IsZero() {
-		t.Fatalf("deadlines = %v", fc.deadlines)
+	// the query's context must carry the pool's per-query deadline
+	if len(fc.deadlines) != 1 || !fc.deadlines[0] {
+		t.Fatalf("deadlines = %v, want one deadline-bearing context", fc.deadlines)
 	}
 }
 
@@ -289,7 +289,7 @@ func TestSessionBackendPerStatementCheckout(t *testing.T) {
 	p := New(Config{Size: 2, Dial: d.dial})
 	b := p.SessionBackend()
 	for i := 0; i < 5; i++ {
-		if _, err := b.Exec(fmt.Sprintf("SELECT %d", i)); err != nil {
+		if _, err := b.Exec(ctx, fmt.Sprintf("SELECT %d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -306,17 +306,17 @@ func TestSessionBackendPinsOnTempTable(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 2, Dial: d.dial})
 	b := p.SessionBackend()
-	if _, err := b.Exec("SELECT 1"); err != nil {
+	if _, err := b.Exec(ctx, "SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Exec("CREATE TEMPORARY TABLE hq_temp_1 AS SELECT 1"); err != nil {
+	if _, err := b.Exec(ctx, "CREATE TEMPORARY TABLE hq_temp_1 AS SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
 	if st := p.Stats(); st.InUse != 1 {
 		t.Fatalf("temp DDL should pin the connection: %+v", st)
 	}
 	// subsequent statements run on the pinned connection
-	if _, err := b.Exec("SELECT * FROM hq_temp_1"); err != nil {
+	if _, err := b.Exec(ctx, "SELECT * FROM hq_temp_1"); err != nil {
 		t.Fatal(err)
 	}
 	pinned := d.conns[len(d.conns)-1]
@@ -340,17 +340,17 @@ func TestSessionBackendLostPinnedConn(t *testing.T) {
 	d := &dialer{}
 	p := New(Config{Size: 2, Dial: d.dial})
 	b := p.SessionBackend()
-	if _, err := b.Exec("CREATE TEMP TABLE t AS SELECT 1"); err != nil {
+	if _, err := b.Exec(ctx, "CREATE TEMP TABLE t AS SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
 	pinned := d.conns[0]
 	pinned.mu.Lock()
 	pinned.execErr = &net.OpError{Op: "read", Err: io.EOF}
 	pinned.mu.Unlock()
-	if _, err := b.Exec("SELECT * FROM t"); err == nil {
+	if _, err := b.Exec(ctx, "SELECT * FROM t"); err == nil {
 		t.Fatal("broken transport should surface")
 	}
-	if _, err := b.Exec("SELECT 1"); !errors.Is(err, ErrSessionConnLost) {
+	if _, err := b.Exec(ctx, "SELECT 1"); !errors.Is(err, ErrSessionConnLost) {
 		t.Fatalf("err = %v, want ErrSessionConnLost", err)
 	}
 	if st := p.Stats(); st.InUse != 0 {
@@ -392,7 +392,7 @@ func TestConcurrentSessionsShareBoundedPool(t *testing.T) {
 			b := p.SessionBackend()
 			defer b.Close()
 			for i := 0; i < 50; i++ {
-				if _, err := b.Exec("SELECT 1"); err != nil {
+				if _, err := b.Exec(ctx, "SELECT 1"); err != nil {
 					errs.Add(1)
 					return
 				}

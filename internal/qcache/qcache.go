@@ -21,6 +21,8 @@ package qcache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"time"
@@ -108,6 +110,10 @@ type flight struct {
 	done chan struct{}
 	e    *Entry
 	err  error
+	// aborted marks a flight whose leader's own context died mid-translate:
+	// the outcome is specific to the leader, so waiters retry instead of
+	// inheriting a foreign cancellation. Written before done closes.
+	aborted bool
 }
 
 // New creates a cache bounded to maxEntries (minimum 1).
@@ -161,36 +167,53 @@ func (c *Cache) put(k Key, e *Entry) {
 }
 
 // Do returns the cached entry for k or produces one with translate,
-// deduplicating concurrent callers: while one caller runs translate, others
-// asking for the same key wait and share its outcome. The shared return is
-// true when the entry came from the cache or another caller's flight (i.e.
-// this caller skipped translation).
+// deduplicating concurrent callers: while one caller (the leader) runs
+// translate, others asking for the same key wait and share its outcome. The
+// shared return is true when the entry came from the cache or another
+// caller's flight (i.e. this caller skipped translation).
+//
+// The wait is cancellable: a waiter whose ctx is canceled detaches with
+// ctx.Err() while the flight continues undisturbed for everyone else. A
+// leader whose own ctx dies mid-translate hands the flight off — its
+// failure is not stored or propagated; surviving waiters race to become the
+// new leader and retry. Other translate errors propagate to all waiters and
+// are not stored.
 //
 // translate may return (nil, nil) to signal "not cacheable": nothing is
 // stored, and every caller receives a nil entry to fall back on its own
-// uncached path. A translate error is propagated to all waiting callers and
-// not stored.
-func (c *Cache) Do(k Key, translate func() (*Entry, error)) (e *Entry, shared bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[k]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
-		e := el.Value.(*item).e
+// uncached path.
+func (c *Cache) Do(ctx context.Context, k Key, translate func(ctx context.Context) (*Entry, error)) (e *Entry, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[k]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			e := el.Value.(*item).e
+			c.mu.Unlock()
+			return e, true, nil
+		}
+		if f, ok := c.flights[k]; ok {
+			c.dedups++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.aborted {
+					continue // leader bailed on its own ctx; retry as leader
+				}
+				return f.e, true, f.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err() // detach; flight carries on
+			}
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
 		c.mu.Unlock()
-		return e, true, nil
-	}
-	if f, ok := c.flights[k]; ok {
-		c.dedups++
-		c.mu.Unlock()
-		<-f.done
-		return f.e, true, f.err
-	}
-	c.misses++
-	f := &flight{done: make(chan struct{})}
-	c.flights[k] = f
-	c.mu.Unlock()
 
-	defer func() {
+		f.e, f.err = translate(ctx)
+		// A failure caused by the leader's own context is the leader's alone:
+		// mark the flight aborted so live waiters retry rather than inherit it.
+		f.aborted = f.err != nil && ctx.Err() != nil && errors.Is(f.err, ctx.Err())
 		c.mu.Lock()
 		if f.err == nil && f.e != nil {
 			c.put(k, f.e)
@@ -198,9 +221,8 @@ func (c *Cache) Do(k Key, translate func() (*Entry, error)) (e *Entry, shared bo
 		delete(c.flights, k)
 		c.mu.Unlock()
 		close(f.done)
-	}()
-	f.e, f.err = translate()
-	return f.e, false, f.err
+		return f.e, false, f.err
+	}
 }
 
 // Clear drops every entry (explicit invalidation; generation-keyed

@@ -1,12 +1,15 @@
 package qcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+var ctx = context.Background()
 
 func key(q string) Key { return Key{Query: q} }
 
@@ -97,7 +100,7 @@ func TestDoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, shared, err := c.Do(key("hot"), func() (*Entry, error) {
+			e, shared, err := c.Do(ctx, key("hot"), func(context.Context) (*Entry, error) {
 				close(started)
 				translations.Add(1)
 				<-release
@@ -137,7 +140,7 @@ func TestDoSingleFlight(t *testing.T) {
 
 func TestDoNotCacheable(t *testing.T) {
 	c := New(8)
-	e, shared, err := c.Do(key("assign"), func() (*Entry, error) { return nil, nil })
+	e, shared, err := c.Do(ctx, key("assign"), func(context.Context) (*Entry, error) { return nil, nil })
 	if e != nil || shared || err != nil {
 		t.Fatalf("Do = %v, %v, %v", e, shared, err)
 	}
@@ -146,7 +149,7 @@ func TestDoNotCacheable(t *testing.T) {
 	}
 	// a later Do runs translate again (nothing was cached)
 	ran := false
-	c.Do(key("assign"), func() (*Entry, error) { ran = true; return nil, nil })
+	c.Do(ctx, key("assign"), func(context.Context) (*Entry, error) { ran = true; return nil, nil })
 	if !ran {
 		t.Fatal("translate should run again for uncacheable keys")
 	}
@@ -155,7 +158,7 @@ func TestDoNotCacheable(t *testing.T) {
 func TestDoErrorNotCached(t *testing.T) {
 	c := New(8)
 	boom := fmt.Errorf("boom")
-	_, _, err := c.Do(key("bad"), func() (*Entry, error) { return nil, boom })
+	_, _, err := c.Do(ctx, key("bad"), func(context.Context) (*Entry, error) { return nil, boom })
 	if err != boom {
 		t.Fatalf("err = %v", err)
 	}
@@ -191,7 +194,7 @@ func TestConcurrentMixedUse(t *testing.T) {
 				case 1:
 					c.Get(k)
 				case 2:
-					c.Do(k, func() (*Entry, error) { return entry(k.Query), nil })
+					c.Do(ctx, k, func(context.Context) (*Entry, error) { return entry(k.Query), nil })
 				case 3:
 					if i%40 == 3 {
 						c.Clear()

@@ -7,6 +7,7 @@
 package sidebyside
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -32,9 +33,9 @@ func New(kdb *interp.Interp, session *core.Session, backend core.Backend) *Frame
 }
 
 // LoadTable installs a table on both sides.
-func (f *Framework) LoadTable(name string, t *qval.Table) error {
+func (f *Framework) LoadTable(ctx context.Context, name string, t *qval.Table) error {
 	f.Kdb.SetGlobal(name, t)
-	return core.LoadQTable(f.backend, name, t)
+	return core.LoadQTable(ctx, f.backend, name, t)
 }
 
 // Report is the outcome of one comparison.
@@ -56,10 +57,10 @@ func (r *Report) String() string {
 }
 
 // Compare runs q on both sides and diffs the canonicalized results.
-func (f *Framework) Compare(q string) (*Report, error) {
+func (f *Framework) Compare(ctx context.Context, q string) (*Report, error) {
 	rep := &Report{Query: q}
 	kv, kerr := f.Kdb.Eval(q)
-	hv, _, herr := f.Session.Run(q)
+	hv, _, herr := f.Session.Run(ctx, q)
 	if kerr != nil || herr != nil {
 		if kerr != nil && herr != nil {
 			// both sides rejecting the query counts as agreement
@@ -98,8 +99,8 @@ func Diff(kdb, hyperq qval.Value, floatTol float64) []string {
 }
 
 // MustMatch is a convenience for tests: it returns an error on mismatch.
-func (f *Framework) MustMatch(q string) error {
-	rep, err := f.Compare(q)
+func (f *Framework) MustMatch(ctx context.Context, q string) error {
+	rep, err := f.Compare(ctx, q)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package sidebyside
 
 import (
+	"context"
 	"testing"
 
 	"hyperq/internal/core"
@@ -9,6 +10,8 @@ import (
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/taq"
 )
+
+var ctx = context.Background()
 
 func newFramework(t *testing.T) *Framework {
 	t.Helper()
@@ -23,7 +26,7 @@ func newFramework(t *testing.T) *Framework {
 	for name, tbl := range map[string]*qval.Table{
 		"trades": data.Trades, "quotes": data.Quotes, "daily": data.Daily,
 	} {
-		if err := f.LoadTable(name, tbl); err != nil {
+		if err := f.LoadTable(ctx, name, tbl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -38,7 +41,7 @@ func TestSelectAgreement(t *testing.T) {
 		"select from trades where Price>100, Size>2000",
 		"select from quotes where Symbol=`IBM",
 	} {
-		if err := f.MustMatch(q); err != nil {
+		if err := f.MustMatch(ctx, q); err != nil {
 			t.Error(err)
 		}
 	}
@@ -53,7 +56,7 @@ func TestAggregateAgreement(t *testing.T) {
 		"select n:count Price by Symbol from trades",
 		"select h:max Price, l:min Price by Symbol from trades",
 	} {
-		if err := f.MustMatch(q); err != nil {
+		if err := f.MustMatch(ctx, q); err != nil {
 			t.Error(err)
 		}
 	}
@@ -63,21 +66,21 @@ func TestAsOfJoinAgreement(t *testing.T) {
 	// the paper's flagship query shape: prevailing quote as of each trade
 	f := newFramework(t)
 	q := "aj[`Symbol`Time; select Symbol, Time, Price from trades where Symbol=`AAPL; select Symbol, Time, Bid, Ask from quotes]"
-	if err := f.MustMatch(q); err != nil {
+	if err := f.MustMatch(ctx, q); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestUpdateAgreement(t *testing.T) {
 	f := newFramework(t)
-	if err := f.MustMatch("update Notional:Price*Size from trades where Symbol=`IBM"); err != nil {
+	if err := f.MustMatch(ctx, "update Notional:Price*Size from trades where Symbol=`IBM"); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestDeleteAgreement(t *testing.T) {
 	f := newFramework(t)
-	if err := f.MustMatch("delete from trades where Size<1000"); err != nil {
+	if err := f.MustMatch(ctx, "delete from trades where Size<1000"); err != nil {
 		t.Error(err)
 	}
 }
@@ -87,10 +90,10 @@ func TestMismatchIsDetected(t *testing.T) {
 	f := newFramework(t)
 	// poison one side
 	f.Kdb.SetGlobal("poison", qval.NewTable([]string{"a"}, []qval.Value{qval.LongVec{1, 2}}))
-	if err := core.LoadQTable(f.backend, "poison", qval.NewTable([]string{"a"}, []qval.Value{qval.LongVec{1, 99}})); err != nil {
+	if err := core.LoadQTable(ctx, f.backend, "poison", qval.NewTable([]string{"a"}, []qval.Value{qval.LongVec{1, 99}})); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := f.Compare("select from poison")
+	rep, err := f.Compare(ctx, "select from poison")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +104,7 @@ func TestMismatchIsDetected(t *testing.T) {
 
 func TestBothSidesErroringCountsAsAgreement(t *testing.T) {
 	f := newFramework(t)
-	rep, err := f.Compare("select from table_that_does_not_exist")
+	rep, err := f.Compare(ctx, "select from table_that_does_not_exist")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +121,7 @@ func TestWorkloadSubsetAgreement(t *testing.T) {
 		"select vol:sum Size by Symbol from trades where Price>50",
 		"exec Price from trades where Symbol=`IBM",
 	} {
-		if err := f.MustMatch(q); err != nil {
+		if err := f.MustMatch(ctx, q); err != nil {
 			t.Errorf("%s: %v", q, err)
 		}
 	}

@@ -29,18 +29,18 @@ func TestFullWorkloadAgreement(t *testing.T) {
 		"trades": data.Trades, "quotes": data.Quotes,
 		"refdata": data.RefData, "daily": data.Daily,
 	} {
-		if err := fw.LoadTable(name, tbl); err != nil {
+		if err := fw.LoadTable(ctx, name, tbl); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// the prelude query 12 depends on
-	if rep, err := fw.Compare("avgpx: 100.0"); err != nil || !rep.Match {
+	if rep, err := fw.Compare(ctx, "avgpx: 100.0"); err != nil || !rep.Match {
 		t.Fatalf("prelude: %v %v", err, rep)
 	}
 	for _, q := range workload.Queries() {
 		q := q
 		t.Run(q.Name, func(t *testing.T) {
-			rep, err := fw.Compare(q.Q)
+			rep, err := fw.Compare(ctx, q.Q)
 			if err != nil {
 				t.Fatalf("q%d: %v", q.ID, err)
 			}

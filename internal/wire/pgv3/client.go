@@ -2,7 +2,9 @@ package pgv3
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"net"
 	"time"
 )
@@ -23,11 +25,17 @@ type QueryResult struct {
 	Tag  string
 }
 
-// Connect dials a PG v3 server and completes startup + authentication.
-func Connect(addr, user, password, database string) (*ClientConn, error) {
-	conn, err := net.Dial("tcp", addr)
+// Connect dials a PG v3 server and completes startup + authentication. The
+// context bounds the dial and the handshake; it does not outlive Connect.
+func Connect(ctx context.Context, addr, user, password, database string) (*ClientConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+		defer conn.SetDeadline(time.Time{})
 	}
 	c := &ClientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 	if err := c.startup(user, password, database); err != nil {
@@ -113,8 +121,61 @@ func (c *ClientConn) sendPassword(pw string) error {
 
 // Query runs one SQL statement via the simple query protocol and collects
 // the full result (Hyper-Q must buffer the result set anyway before
-// pivoting it to QIPC column format, paper §4.2).
-func (c *ClientConn) Query(sql string) (*QueryResult, error) {
+// pivoting it to QIPC column format, paper §4.2). The context is the single
+// source of truth for the query's deadline and cancellation: its deadline
+// becomes the socket I/O deadline, and cancellation aborts in-flight I/O
+// immediately. An abort surfaces as an *AbortError wrapping ctx.Err() — the
+// connection is mid-protocol at that point and must be discarded.
+func (c *ClientConn) Query(ctx context.Context, sql string) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	finish := c.armContext(ctx)
+	res, err := c.query(sql)
+	return res, finish(err)
+}
+
+// armContext maps ctx onto the socket for the duration of one query. The
+// returned finish must be called exactly once with the query's error: it
+// stops the cancellation watcher, clears the deadline, and attributes an
+// I/O failure caused by the context to the context.
+func (c *ClientConn) armContext(ctx context.Context) func(error) error {
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	}
+	var stop, idle chan struct{}
+	if done := ctx.Done(); done != nil {
+		stop = make(chan struct{})
+		idle = make(chan struct{})
+		go func() {
+			defer close(idle)
+			select {
+			case <-done:
+				// force in-flight I/O to fail now; finish attributes the
+				// failure to ctx.Err()
+				c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+	}
+	return func(err error) error {
+		if stop != nil {
+			close(stop)
+			<-idle // the watcher must not re-arm after the clear below
+		}
+		c.conn.SetDeadline(time.Time{})
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if cerr := ctx.Err(); cerr != nil && !errors.As(err, &se) {
+			return &AbortError{Ctx: cerr, IO: err}
+		}
+		return err
+	}
+}
+
+func (c *ClientConn) query(sql string) (*QueryResult, error) {
 	m := newMsg('Q')
 	m.cstr(sql)
 	if err := m.writeTo(c.w); err != nil {
@@ -163,9 +224,6 @@ func (c *ClientConn) Query(sql string) (*QueryResult, error) {
 		}
 	}
 }
-
-// SetDeadline sets the I/O deadline on the underlying socket (zero clears).
-func (c *ClientConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // Close sends Terminate and closes the socket.
 func (c *ClientConn) Close() error {

@@ -64,6 +64,23 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("%s %s: %s", e.Severity, e.Code, e.Message)
 }
 
+// AbortError reports a query aborted by its context: the context error
+// (context.Canceled or context.DeadlineExceeded) is the cause, and the
+// transport error is what the interrupted I/O surfaced. Both branches
+// unwrap, so errors.Is(err, context.Canceled) sees the cause while net.Error
+// classification still recognizes the connection as broken mid-protocol.
+type AbortError struct {
+	Ctx error
+	IO  error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("pgv3: query aborted: %v (transport: %v)", e.Ctx, e.IO)
+}
+
+// Unwrap exposes both the context cause and the transport error.
+func (e *AbortError) Unwrap() []error { return []error{e.Ctx, e.IO} }
+
 // OID constants for the SQL types the engine produces.
 const (
 	OidBool    = 16

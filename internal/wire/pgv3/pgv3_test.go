@@ -1,6 +1,7 @@
 package pgv3
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -73,12 +74,12 @@ func startEcho(t *testing.T, method AuthMethod, users map[string]string) string 
 
 func TestTrustAuthAndSimpleQuery(t *testing.T) {
 	addr := startEcho(t, AuthMethodTrust, nil)
-	c, err := Connect(addr, "u", "", "db")
+	c, err := Connect(context.Background(), addr, "u", "", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Query("SELECT a, b FROM t")
+	res, err := c.Query(context.Background(), "SELECT a, b FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,42 +99,42 @@ func TestTrustAuthAndSimpleQuery(t *testing.T) {
 
 func TestCleartextAuth(t *testing.T) {
 	addr := startEcho(t, AuthMethodCleartext, map[string]string{"alice": "pw"})
-	c, err := Connect(addr, "alice", "pw", "db")
+	c, err := Connect(context.Background(), addr, "alice", "pw", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := Connect(addr, "alice", "wrong", "db"); err == nil {
+	if _, err := Connect(context.Background(), addr, "alice", "wrong", "db"); err == nil {
 		t.Fatal("wrong password should be rejected")
 	}
 }
 
 func TestMD5Auth(t *testing.T) {
 	addr := startEcho(t, AuthMethodMD5, map[string]string{"bob": "hunter2"})
-	c, err := Connect(addr, "bob", "hunter2", "db")
+	c, err := Connect(context.Background(), addr, "bob", "hunter2", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := Connect(addr, "bob", "nope", "db"); err == nil {
+	if _, err := Connect(context.Background(), addr, "bob", "nope", "db"); err == nil {
 		t.Fatal("wrong MD5 password should be rejected")
 	}
 }
 
 func TestServerErrorSurfaces(t *testing.T) {
 	addr := startEcho(t, AuthMethodTrust, nil)
-	c, err := Connect(addr, "u", "", "db")
+	c, err := Connect(context.Background(), addr, "u", "", "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	_, err = c.Query("boom")
+	_, err = c.Query(context.Background(), "boom")
 	se, ok := err.(*ServerError)
 	if !ok || se.Code != "42P01" {
 		t.Fatalf("err = %v", err)
 	}
 	// connection still usable after an error (ReadyForQuery resumed)
-	if _, err := c.Query("SELECT 1"); err != nil {
+	if _, err := c.Query(context.Background(), "SELECT 1"); err != nil {
 		t.Fatalf("connection dead after error: %v", err)
 	}
 }

@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,18 +66,18 @@ const query12Prelude = "avgpx: 100.0"
 // Setup loads the TAQ data set into a backend and installs workload
 // prerequisites (the avgpx scalar used by query 12 must be defined in the
 // session that runs it — see RunAll).
-func Setup(b core.Backend, cfg taq.Config) (*taq.Data, error) {
+func Setup(ctx context.Context, b core.Backend, cfg taq.Config) (*taq.Data, error) {
 	data := taq.Generate(cfg)
-	if err := core.LoadQTable(b, "trades", data.Trades); err != nil {
+	if err := core.LoadQTable(ctx, b, "trades", data.Trades); err != nil {
 		return nil, fmt.Errorf("loading trades: %w", err)
 	}
-	if err := core.LoadQTable(b, "quotes", data.Quotes); err != nil {
+	if err := core.LoadQTable(ctx, b, "quotes", data.Quotes); err != nil {
 		return nil, fmt.Errorf("loading quotes: %w", err)
 	}
-	if err := core.LoadQTable(b, "refdata", data.RefData); err != nil {
+	if err := core.LoadQTable(ctx, b, "refdata", data.RefData); err != nil {
 		return nil, fmt.Errorf("loading refdata: %w", err)
 	}
-	if err := core.LoadQTable(b, "daily", data.Daily); err != nil {
+	if err := core.LoadQTable(ctx, b, "daily", data.Daily); err != nil {
 		return nil, fmt.Errorf("loading daily: %w", err)
 	}
 	return data, nil
@@ -104,18 +105,18 @@ func (m Measurement) TranslationShare() float64 {
 // RunAll executes every workload query through a Hyper-Q session, timing
 // translation stages and execution separately. Each query runs `reps` times
 // and keeps the median-ish (middle) sample to damp scheduler noise.
-func RunAll(s *core.Session, reps int) ([]Measurement, error) {
+func RunAll(ctx context.Context, s *core.Session, reps int) ([]Measurement, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	if _, _, err := s.Run(query12Prelude); err != nil {
+	if _, _, err := s.Run(ctx, query12Prelude); err != nil {
 		return nil, err
 	}
 	var out []Measurement
 	for _, q := range Queries() {
 		var best Measurement
 		for r := 0; r < reps; r++ {
-			v, stats, err := s.Run(q.Q)
+			v, stats, err := s.Run(ctx, q.Q)
 			if err != nil {
 				return nil, fmt.Errorf("query %d (%s): %w", q.ID, q.Name, err)
 			}
@@ -134,13 +135,13 @@ func RunAll(s *core.Session, reps int) ([]Measurement, error) {
 
 // TranslateAll translates (without executing) every query, for benchmarks
 // isolating translation cost.
-func TranslateAll(s *core.Session) ([]Measurement, error) {
-	if _, _, err := s.Run(query12Prelude); err != nil {
+func TranslateAll(ctx context.Context, s *core.Session) ([]Measurement, error) {
+	if _, _, err := s.Run(ctx, query12Prelude); err != nil {
 		return nil, err
 	}
 	var out []Measurement
 	for _, q := range Queries() {
-		_, stats, err := s.Translate(q.Q)
+		_, stats, err := s.Translate(ctx, q.Q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d (%s): %w", q.ID, q.Name, err)
 		}

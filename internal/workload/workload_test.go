@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"hyperq/internal/core"
@@ -13,7 +14,7 @@ func smallStack(t *testing.T) *core.Session {
 	t.Helper()
 	db := pgdb.NewDB()
 	b := core.NewDirectBackend(db)
-	if _, err := Setup(b, taq.Config{Seed: 1, Trades: 400, Quotes: 800, WideCols: 500}); err != nil {
+	if _, err := Setup(context.Background(), b, taq.Config{Seed: 1, Trades: 400, Quotes: 800, WideCols: 500}); err != nil {
 		t.Fatal(err)
 	}
 	p := core.NewPlatform()
@@ -57,7 +58,7 @@ func TestOutlierQueriesJoinMoreTables(t *testing.T) {
 
 func TestEveryQueryTranslates(t *testing.T) {
 	s := smallStack(t)
-	ms, err := TranslateAll(s)
+	ms, err := TranslateAll(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestEveryQueryTranslates(t *testing.T) {
 
 func TestEveryQueryExecutes(t *testing.T) {
 	s := smallStack(t)
-	ms, err := RunAll(s, 1)
+	ms, err := RunAll(context.Background(), s, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package xc
 
 import (
+	"context"
 	"time"
 
 	"hyperq/internal/core"
@@ -43,7 +44,11 @@ type CrossCompiler struct {
 	pt      *FSM
 	qt      *FSM
 
-	// per-request scratch, written by FSM actions
+	// per-request scratch, written by FSM actions. ctx is the request's
+	// context, installed by HandleQuery for the FSM actions to pick up —
+	// the FSM event payloads stay protocol data, per the paper's PT/QT
+	// interface ("sending out a Q query ... receiving back SQL").
+	ctx       context.Context
 	result    qval.Value
 	stats     *core.RunStats
 	pivotTime time.Duration
@@ -59,7 +64,7 @@ func New(session *core.Session) *CrossCompiler {
 	// (executed) result back to PT.
 	x.qt.On(QTIdle, EvQuery, QTTranslating, func(payload any) ([]Event, error) {
 		qtext := payload.(string)
-		v, stats, err := x.session.Run(qtext)
+		v, stats, err := x.session.Run(x.ctx, qtext)
 		if err != nil {
 			return nil, err
 		}
@@ -98,11 +103,13 @@ func New(session *core.Session) *CrossCompiler {
 }
 
 // HandleQuery drives one complete query life cycle through both FSMs and
-// returns the Q-side result. It is the endpoint plugin's handler.
-func (x *CrossCompiler) HandleQuery(qtext string) (qval.Value, *core.RunStats, error) {
+// returns the Q-side result. It is the endpoint plugin's handler; ctx is the
+// per-request context (deadline, client-disconnect cancellation) and bounds
+// the whole translate-execute-pivot cycle.
+func (x *CrossCompiler) HandleQuery(ctx context.Context, qtext string) (qval.Value, *core.RunStats, error) {
 	x.pt.Reset(PTIdle)
 	x.qt.Reset(QTIdle)
-	x.result, x.stats = nil, nil
+	x.ctx, x.result, x.stats = ctx, nil, nil
 	x.pt.Send(Event{Kind: EvQuery, Payload: qtext})
 	if err := x.pt.Drain(); err != nil {
 		return nil, x.stats, err

@@ -1,6 +1,7 @@
 package xc
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -72,7 +73,7 @@ func newCompiler(t *testing.T) *CrossCompiler {
 	trades := qval.NewTable(
 		[]string{"Symbol", "Price"},
 		[]qval.Value{qval.SymbolVec{"A", "B", "A"}, qval.FloatVec{1, 2, 3}})
-	if err := core.LoadQTable(b, "trades", trades); err != nil {
+	if err := core.LoadQTable(context.Background(), b, "trades", trades); err != nil {
 		t.Fatal(err)
 	}
 	s := core.NewPlatform().NewSession(b, core.Config{})
@@ -82,7 +83,7 @@ func newCompiler(t *testing.T) *CrossCompiler {
 
 func TestCrossCompilerQueryLifeCycle(t *testing.T) {
 	x := newCompiler(t)
-	v, stats, err := x.HandleQuery("select Price from trades where Symbol=`A")
+	v, stats, err := x.HandleQuery(context.Background(), "select Price from trades where Symbol=`A")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestCrossCompilerQueryLifeCycle(t *testing.T) {
 func TestCrossCompilerReuseAcrossQueries(t *testing.T) {
 	x := newCompiler(t)
 	for i := 0; i < 3; i++ {
-		if _, _, err := x.HandleQuery("select from trades"); err != nil {
+		if _, _, err := x.HandleQuery(context.Background(), "select from trades"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,12 +121,12 @@ func TestCrossCompilerReuseAcrossQueries(t *testing.T) {
 
 func TestCrossCompilerErrorPropagation(t *testing.T) {
 	x := newCompiler(t)
-	_, _, err := x.HandleQuery("select from nosuchtable")
+	_, _, err := x.HandleQuery(context.Background(), "select from nosuchtable")
 	if err == nil {
 		t.Fatal("bad query should fail through the FSMs")
 	}
 	// and the compiler recovers for the next query
-	if _, _, err := x.HandleQuery("select from trades"); err != nil {
+	if _, _, err := x.HandleQuery(context.Background(), "select from trades"); err != nil {
 		t.Fatalf("compiler did not recover: %v", err)
 	}
 }
