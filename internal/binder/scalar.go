@@ -253,6 +253,24 @@ func deriveAggType(fn string, arg xtra.Scalar) qval.Type {
 		return qval.KLong
 	case "avg", "median", "stddev", "variance", "wavg", "wsum":
 		return qval.KFloat
+	case "sum":
+		// q's sum promotes: integral inputs widen to long, real stays
+		// real-family, float stays float, temporal keeps its type
+		if arg == nil {
+			return qval.KLong
+		}
+		t := arg.QType()
+		if t < 0 {
+			t = -t
+		}
+		switch {
+		case t == qval.KReal || t == qval.KFloat:
+			return qval.KFloat
+		case qval.IsTemporal(t):
+			return t
+		default:
+			return qval.KLong
+		}
 	default:
 		if arg != nil {
 			return arg.QType()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -155,6 +156,10 @@ func QAtomToSQLText(v qval.Value) (text string, null bool) {
 			return "true", false
 		}
 		return "false", false
+	case qval.Real:
+		return floatText(float64(x)), false
+	case qval.Float:
+		return floatText(float64(x)), false
 	case qval.Symbol:
 		return string(x), false
 	case qval.CharVec:
@@ -178,5 +183,18 @@ func QAtomToSQLText(v qval.Value) (text string, null bool) {
 		s = strings.TrimSuffix(s, "h")
 		s = strings.TrimSuffix(s, "e")
 		return s, false
+	}
+}
+
+// floatText renders a float magnitude as PostgreSQL text input; Q's ±0w
+// spellings are not valid SQL float input, PostgreSQL wants "Infinity".
+func floatText(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
 	}
 }

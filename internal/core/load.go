@@ -59,6 +59,12 @@ func sqlLiteral(v qval.Value) string {
 	switch v.(type) {
 	case qval.Symbol, qval.CharVec, qval.Char:
 		return "'" + strings.ReplaceAll(text, "'", "''") + "'"
+	case qval.Real, qval.Float:
+		// infinities need the quoted-and-cast PostgreSQL spelling
+		if text == "Infinity" || text == "-Infinity" {
+			return "'" + text + "'::double precision"
+		}
+		return text
 	case qval.Temporal:
 		t := v.(qval.Temporal)
 		switch t.T {

@@ -170,6 +170,62 @@ func (s *Session) evalAggExpr(e sqlparse.Expr, schema []colBinding, rows [][]any
 		if x.Over == nil && aggregateNames[x.Name] {
 			return s.computeAggregate(x, schema, rows)
 		}
+		// scalar function over aggregate results, e.g. COALESCE(SUM(x), 0)
+		// or NULLIF(SUM(w), 0) — the shapes Hyper-Q emits to impose Q's
+		// aggregate identities
+		if exprHasAggregate(x) {
+			lits := make([]sqlparse.Expr, len(x.Args))
+			for i, a := range x.Args {
+				v, err := s.evalAggExpr(a, schema, rows)
+				if err != nil {
+					return nil, err
+				}
+				lits[i] = litFor(v)
+			}
+			return s.evalScalarFunc(&sqlparse.FuncCall{Name: x.Name, Args: lits}, nil, nil, -1, nil)
+		}
+	case *sqlparse.CaseExpr:
+		if exprHasAggregate(x) {
+			for _, w := range x.Whens {
+				var hit bool
+				if x.Operand != nil {
+					ov, err := s.evalAggExpr(x.Operand, schema, rows)
+					if err != nil {
+						return nil, err
+					}
+					cv, err := s.evalAggExpr(w.Cond, schema, rows)
+					if err != nil {
+						return nil, err
+					}
+					hit = ov != nil && cv != nil && equalVals(ov, cv)
+				} else {
+					cv, err := s.evalAggExpr(w.Cond, schema, rows)
+					if err != nil {
+						return nil, err
+					}
+					b, ok := cv.(bool)
+					hit = ok && b
+				}
+				if hit {
+					return s.evalAggExpr(w.Then, schema, rows)
+				}
+			}
+			if x.Else != nil {
+				return s.evalAggExpr(x.Else, schema, rows)
+			}
+			return nil, nil
+		}
+	case *sqlparse.IsNullExpr:
+		if exprHasAggregate(x) {
+			v, err := s.evalAggExpr(x.X, schema, rows)
+			if err != nil {
+				return nil, err
+			}
+			if x.Not {
+				return v != nil, nil
+			}
+			return v == nil, nil
+		}
 	case *sqlparse.BinaryExpr:
 		if exprHasAggregate(x) {
 			l, err := s.evalAggExpr(x.L, schema, rows)
@@ -200,9 +256,25 @@ func (s *Session) evalAggExpr(e sqlparse.Expr, schema []colBinding, rows [][]any
 		}
 	}
 	if len(rows) == 0 {
-		return nil, nil
+		// row-independent expressions (literals, arithmetic on literals)
+		// still have a value over an empty group — COALESCE(SUM(x), 0)
+		// relies on the 0 surviving
+		if exprHasColRef(e) {
+			return nil, nil
+		}
+		return s.evalExpr(e, schema, nil)
 	}
 	return s.evalExpr(e, schema, rows[0])
+}
+
+func exprHasColRef(e sqlparse.Expr) bool {
+	found := false
+	walkExpr(e, func(x sqlparse.Expr) {
+		if _, ok := x.(*sqlparse.ColRef); ok {
+			found = true
+		}
+	})
+	return found
 }
 
 // litFor wraps a computed value as a literal for re-evaluation.

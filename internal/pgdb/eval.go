@@ -332,17 +332,18 @@ func arithSQL(op string, l, r any) (any, error) {
 	case "*":
 		return lf * rf, nil
 	case "/":
-		if rf == 0 {
-			return nil, errf("22012", "division by zero")
-		}
 		if lIsInt && rIsInt {
+			if rf == 0 {
+				return nil, errf("22012", "division by zero")
+			}
 			return int64(lf / rf), nil // integer division
 		}
+		// float division follows IEEE 754: ±Infinity for x/0 (honoring the
+		// sign of a zero divisor), NaN for 0/0 — the q dialect depends on
+		// these values surviving rather than raising 22012
 		return lf / rf, nil
 	case "%":
-		if rf == 0 {
-			return nil, errf("22012", "division by zero")
-		}
+		// math.Mod(x, 0) is NaN, the IEEE answer for a float modulus
 		return math.Mod(lf, rf), nil
 	}
 	return nil, errf("0A000", "unsupported arithmetic %q", op)

@@ -84,11 +84,28 @@ func (s *Session) inferType(e sqlparse.Expr, schema []colBinding) string {
 			"floor", "ceil", "ceiling", "round", "median":
 			return "double precision"
 		case "sum", "min", "max", "lag", "lead", "first_value", "last_value",
-			"coalesce", "nullif", "abs", "greatest", "least", "first", "last":
+			"abs", "first", "last":
 			if len(x.Args) > 0 {
 				return s.inferType(x.Args[0], schema)
 			}
 			return "unknown"
+		case "coalesce", "nullif", "greatest", "least":
+			// these return the widest of their arguments, not the first:
+			// LEAST(i, 0.5) is double precision even though i is bigint
+			out := "unknown"
+			for _, a := range x.Args {
+				t := s.inferType(a, schema)
+				switch t {
+				case "unknown":
+				case "double precision", "real", "numeric":
+					return "double precision"
+				default:
+					if out == "unknown" {
+						out = t
+					}
+				}
+			}
+			return out
 		case "upper", "lower", "trim", "btrim", "substring", "substr", "string_agg":
 			return "varchar"
 		case "bool_and", "bool_or":

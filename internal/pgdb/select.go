@@ -585,8 +585,20 @@ func (s *Session) orderKey(e sqlparse.Expr, res *Result, rel *relation, rowIdx i
 }
 
 // refineTypes replaces "unknown" column types by inspecting actual values.
+// It also widens integer columns that turn out to hold float values — shape
+// inference is static and can miss promotions the evaluator performs.
 func refineTypes(res *Result) {
 	for i := range res.Cols {
+		switch res.Cols[i].Type {
+		case "bigint", "integer", "smallint":
+			for _, row := range res.Rows {
+				if _, ok := row[i].(float64); ok {
+					res.Cols[i].Type = "double precision"
+					break
+				}
+			}
+			continue
+		}
 		if res.Cols[i].Type != "" && res.Cols[i].Type != "unknown" {
 			continue
 		}

@@ -100,6 +100,14 @@ func FormatValue(v any, typ string) string {
 		if math.IsNaN(x) {
 			return "NaN"
 		}
+		// PostgreSQL spells infinities "Infinity"/"-Infinity"; Go's
+		// FormatFloat would emit "+Inf"/"-Inf"
+		if math.IsInf(x, 1) {
+			return "Infinity"
+		}
+		if math.IsInf(x, -1) {
+			return "-Infinity"
+		}
 		return strconv.FormatFloat(x, 'g', -1, 64)
 	case string:
 		return x
@@ -167,6 +175,17 @@ func compareVals(a, b any) int {
 	af, aok := toFloat(a)
 	bf, bok := toFloat(b)
 	if aok && bok {
+		// PostgreSQL treats NaN as equal to itself and greater than every
+		// other value; bare float comparison would call them all equal
+		an, bn := math.IsNaN(af), math.IsNaN(bf)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return 1
+		case bn:
+			return -1
+		}
 		switch {
 		case af < bf:
 			return -1

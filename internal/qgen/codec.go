@@ -1,0 +1,236 @@
+package qgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/qlang/qval"
+)
+
+// TableJSON is the persisted form of one table in a qdiff reproducer: every
+// cell is q literal text ("0N", "0n", "0w", "-0w", "09:30:00.000", bare
+// symbols), keeping the regression corpus readable and diffable.
+type TableJSON struct {
+	Name string       `json:"name"`
+	Cols []ColumnJSON `json:"cols"`
+}
+
+// ColumnJSON is one column: Type is the q type name (long/float/symbol/time).
+type ColumnJSON struct {
+	Name  string   `json:"name"`
+	Type  string   `json:"type"`
+	Cells []string `json:"cells"`
+}
+
+// EncodeTable renders a table into its JSON form.
+func EncodeTable(name string, t *qval.Table) (TableJSON, error) {
+	out := TableJSON{Name: name}
+	for ci, cn := range t.Cols {
+		col := t.Data[ci]
+		cj := ColumnJSON{Name: cn, Type: qTypeName(col.Type()), Cells: []string{}}
+		n := t.Len()
+		for i := 0; i < n; i++ {
+			cell, err := encodeCell(qval.Index(col, i))
+			if err != nil {
+				return TableJSON{}, fmt.Errorf("%s.%s[%d]: %w", name, cn, i, err)
+			}
+			cj.Cells = append(cj.Cells, cell)
+		}
+		out.Cols = append(out.Cols, cj)
+	}
+	return out, nil
+}
+
+// DecodeTable rebuilds a table from its JSON form.
+func DecodeTable(tj TableJSON) (*qval.Table, error) {
+	var names []string
+	var data []qval.Value
+	for _, cj := range tj.Cols {
+		names = append(names, cj.Name)
+		col, err := decodeColumn(cj)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", tj.Name, cj.Name, err)
+		}
+		data = append(data, col)
+	}
+	return qval.NewTable(names, data), nil
+}
+
+func qTypeName(t qval.Type) string {
+	switch t {
+	case qval.KLong:
+		return "long"
+	case qval.KFloat:
+		return "float"
+	case qval.KSymbol:
+		return "symbol"
+	case qval.KTime:
+		return "time"
+	case qval.KBool:
+		return "boolean"
+	default:
+		return qval.TypeName(t)
+	}
+}
+
+func encodeCell(v qval.Value) (string, error) {
+	switch x := v.(type) {
+	case qval.Long:
+		if int64(x) == qval.NullLong {
+			return "0N", nil
+		}
+		return strconv.FormatInt(int64(x), 10), nil
+	case qval.Float:
+		f := float64(x)
+		switch {
+		case math.IsNaN(f):
+			return "0n", nil
+		case math.IsInf(f, 1):
+			return "0w", nil
+		case math.IsInf(f, -1):
+			return "-0w", nil
+		default:
+			return strconv.FormatFloat(f, 'g', -1, 64), nil
+		}
+	case qval.Symbol:
+		return string(x), nil
+	case qval.Bool:
+		if x {
+			return "1b", nil
+		}
+		return "0b", nil
+	case qval.Temporal:
+		if x.T != qval.KTime {
+			return "", fmt.Errorf("unsupported temporal type %s", qval.TypeName(x.T))
+		}
+		if x.V == qval.NullLong {
+			return "0N", nil
+		}
+		ms := x.V
+		return fmt.Sprintf("%02d:%02d:%02d.%03d", ms/3600000, ms/60000%60, ms/1000%60, ms%1000), nil
+	default:
+		return "", fmt.Errorf("unsupported cell type %T", v)
+	}
+}
+
+func decodeColumn(cj ColumnJSON) (qval.Value, error) {
+	n := len(cj.Cells)
+	switch cj.Type {
+	case "long":
+		out := make(qval.LongVec, n)
+		for i, c := range cj.Cells {
+			if c == "0N" {
+				out[i] = qval.NullLong
+				continue
+			}
+			v, err := strconv.ParseInt(c, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case "float":
+		out := make(qval.FloatVec, n)
+		for i, c := range cj.Cells {
+			switch c {
+			case "0n":
+				out[i] = math.NaN()
+			case "0w":
+				out[i] = math.Inf(1)
+			case "-0w":
+				out[i] = math.Inf(-1)
+			default:
+				v, err := strconv.ParseFloat(c, 64)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+		}
+		return out, nil
+	case "symbol":
+		out := make(qval.SymbolVec, n)
+		for i, c := range cj.Cells {
+			out[i] = c
+		}
+		return out, nil
+	case "boolean":
+		out := make(qval.BoolVec, n)
+		for i, c := range cj.Cells {
+			out[i] = c == "1b" || c == "1" || c == "true"
+		}
+		return out, nil
+	case "time":
+		out := make([]int64, n)
+		for i, c := range cj.Cells {
+			if c == "0N" || c == "0Nt" {
+				out[i] = qval.NullLong
+				continue
+			}
+			ms, err := parseTimeCell(c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ms
+		}
+		return qval.TemporalVec{T: qval.KTime, V: out}, nil
+	default:
+		return nil, fmt.Errorf("unsupported column type %q", cj.Type)
+	}
+}
+
+func parseTimeCell(s string) (int64, error) {
+	frac := int64(0)
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		fs := s[dot+1:]
+		for len(fs) < 3 {
+			fs += "0"
+		}
+		n, err := strconv.Atoi(fs[:3])
+		if err != nil {
+			return 0, err
+		}
+		frac = int64(n)
+		s = s[:dot]
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	h, e1 := strconv.Atoi(parts[0])
+	m, e2 := strconv.Atoi(parts[1])
+	sec, e3 := strconv.Atoi(parts[2])
+	if e1 != nil || e2 != nil || e3 != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return int64(h)*3600000 + int64(m)*60000 + int64(sec)*1000 + frac, nil
+}
+
+// EncodeDataset renders all tables of a dataset.
+func EncodeDataset(d *Dataset) ([]TableJSON, error) {
+	var out []TableJSON
+	for _, name := range d.Names() {
+		tj, err := EncodeTable(name, d.Tables[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tj)
+	}
+	return out, nil
+}
+
+// DecodeDataset rebuilds a dataset from its JSON tables.
+func DecodeDataset(tjs []TableJSON) (*Dataset, error) {
+	d := &Dataset{Tables: map[string]*qval.Table{}}
+	for _, tj := range tjs {
+		t, err := DecodeTable(tj)
+		if err != nil {
+			return nil, err
+		}
+		d.Tables[tj.Name] = t
+	}
+	return d, nil
+}

@@ -246,6 +246,13 @@ func (in *Interp) evalSelectBy(t *ast.SQLTemplate, table *qval.Table, rows []int
 		}
 	}
 	aggNames := make([]string, len(specs))
+	for i, spec := range specs {
+		// names exist even when the filter leaves zero groups
+		aggNames[i] = spec.Name
+		if aggNames[i] == "" {
+			aggNames[i] = parse.InferColName(spec.Expr)
+		}
+	}
 	aggCols := make([][]qval.Value, len(specs))
 	for i := range aggCols {
 		aggCols[i] = make([]qval.Value, 0, len(order))
@@ -258,11 +265,6 @@ func (in *Interp) evalSelectBy(t *ast.SQLTemplate, table *qval.Table, rows []int
 			if err != nil {
 				return nil, err
 			}
-			name := spec.Name
-			if name == "" {
-				name = parse.InferColName(spec.Expr)
-			}
-			aggNames[i] = name
 			if v.Len() >= 0 && v.Len() == 1 {
 				v = qval.Index(v, 0)
 			}

@@ -6,6 +6,7 @@ package serializer
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"hyperq/internal/qlang/qval"
@@ -367,14 +368,17 @@ func (s *sz) scalar(e xtra.Scalar) (string, error) {
 func (s *sz) aggSQL(a *xtra.AggCall) (string, error) {
 	switch a.Fn {
 	case "count":
-		if a.Arg == nil {
-			return "COUNT(*)", nil
-		}
+		// Q's count is the group size: unlike SQL's COUNT(col) it does NOT
+		// skip nulls, so the argument (if any) is ignored.
+		return "COUNT(*)", nil
+	case "sum":
+		// Q's sum over an empty or all-null input is a typed zero, never
+		// null; SQL's SUM yields NULL there.
 		arg, err := s.scalar(a.Arg)
 		if err != nil {
 			return "", err
 		}
-		return "COUNT(" + arg + ")", nil
+		return "COALESCE(SUM(" + arg + "), 0)", nil
 	case "wavg", "wsum":
 		pair, ok := a.Arg.(*xtra.FnApp)
 		if !ok || pair.Op != "pair" || len(pair.Args) != 2 {
@@ -388,10 +392,16 @@ func (s *sz) aggSQL(a *xtra.AggCall) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		// a NaN product (0 * 0w) is q's null and must not poison the sum
+		prod := nanNull("((" + w + ") * (" + v + "))")
 		if a.Fn == "wsum" {
-			return "SUM((" + w + ") * (" + v + "))", nil
+			// wsum is sum of products: typed zero over empty input
+			return "COALESCE(SUM(" + prod + "), 0)", nil
 		}
-		return "(SUM((" + w + ") * (" + v + ")) / SUM(" + w + "))", nil
+		// zero total weight yields 0n in Q, not a division-by-zero error;
+		// the numerator casts to float so integer weights do not truncate,
+		// and an all-null product sum counts as 0 as q's sum does
+		return "(CAST(COALESCE(SUM(" + prod + "), 0) AS double precision) / NULLIF(SUM(" + w + "), 0))", nil
 	default:
 		arg, err := s.scalar(a.Arg)
 		if err != nil {
@@ -399,6 +409,39 @@ func (s *sz) aggSQL(a *xtra.AggCall) (string, error) {
 		}
 		return strings.ToUpper(a.Fn) + "(" + arg + ")", nil
 	}
+}
+
+// nonNullConst reports whether e is a non-null atom literal, letting the
+// null-safe spellings below fall back to plain SQL operators.
+func nonNullConst(e xtra.Scalar) bool {
+	c, ok := e.(*xtra.ConstExpr)
+	return ok && c.Val.Len() < 0 && !qval.IsNull(c.Val)
+}
+
+// nonZeroConst reports whether e is a non-null numeric literal other than 0,
+// in which case division guards are unnecessary.
+func nonZeroConst(e xtra.Scalar) bool {
+	c, ok := e.(*xtra.ConstExpr)
+	if !ok || qval.IsNull(c.Val) {
+		return false
+	}
+	f, isNum := qval.AsFloat(c.Val)
+	return isNum && f != 0
+}
+
+// nanNull maps a float NaN back to SQL NULL. In q the float null 0n IS NaN,
+// so any expression that can produce NaN (0%0, 0w%0w, 0w+-0w, 0*0w, ...)
+// must yield NULL on the SQL side or aggregates diverge: q's avg skips 0n
+// while SQL's AVG would let a NaN value poison the whole group.
+func nanNull(expr string) string {
+	return "NULLIF(" + expr + ", 'NaN'::double precision)"
+}
+
+// floatDivide renders Q's float division. The backend divides floats by
+// IEEE 754 rules (x%0 is 0w, -x%0 is -0w, division by -0.0 flips the sign),
+// so the only correction needed is NaN -> NULL for the 0%0 and 0w%0w cases.
+func floatDivide(l, r string) string {
+	return nanNull("(CAST(" + l + " AS double precision) / " + r + ")")
 }
 
 func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
@@ -415,7 +458,16 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 	}
 	switch f.Op {
 	case "+", "-", "*":
-		return bin(f.Op)
+		out, err := bin(f.Op)
+		if err != nil {
+			return "", err
+		}
+		// float sums and products can produce NaN (0w + -0w, 0 * 0w) which
+		// q treats as the null 0n
+		if f.Typ == qval.KFloat || f.Typ == qval.KReal {
+			return nanNull(out), nil
+		}
+		return out, nil
 	case "%":
 		l, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -425,10 +477,36 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		// q divide is float division
-		return "(CAST(" + l + " AS double precision) / " + r + ")", nil
+		// q divide is float division; x%0 yields signed infinity / 0n
+		if nonZeroConst(f.Args[1]) {
+			return "(CAST(" + l + " AS double precision) / " + r + ")", nil
+		}
+		return floatDivide(l, r), nil
 	case "mod":
-		return bin("%")
+		l, err := s.scalar(f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		r, err := s.scalar(f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		// q mod is floored — the result takes the divisor's sign — while
+		// SQL % truncates toward zero. Spell out the same correction the
+		// kdb+ kernel applies (add the divisor when the signs disagree) so
+		// infinite divisors agree too: -2 mod 0w is 0w, -2 mod -0w is -2.
+		// Mod-by-zero is a typed null, not an error.
+		rg := r
+		if !nonZeroConst(f.Args[1]) {
+			rg = "NULLIF(" + r + ", 0)"
+		}
+		m := "(" + l + " % " + rg + ")"
+		expr := "(CASE WHEN (" + m + " <> 0) AND ((" + m + " < 0) <> (" + rg + " < 0))" +
+			" THEN (" + m + " + " + rg + ") ELSE " + m + " END)"
+		if f.Typ == qval.KFloat || f.Typ == qval.KReal {
+			return nanNull(expr), nil
+		}
+		return expr, nil
 	case "div":
 		l, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -438,7 +516,17 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return "FLOOR(CAST(" + l + " AS double precision) / " + r + ")", nil
+		if nonZeroConst(f.Args[1]) {
+			return "FLOOR(CAST(" + l + " AS double precision) / " + r + ")", nil
+		}
+		if f.Typ == qval.KFloat || f.Typ == qval.KReal {
+			// float div keeps the signed infinity of the divide; the inner
+			// NULLIF already turned any NaN into NULL, which FLOOR keeps
+			return "FLOOR(" + floatDivide(l, r) + ")", nil
+		}
+		// integral div by zero is a typed null (infinity has no integral
+		// representation)
+		return "FLOOR(CAST(" + l + " AS double precision) / NULLIF(" + r + ", 0))", nil
 	case "xbar":
 		b, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -449,6 +537,14 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 			return "", err
 		}
 		expr := "((" + b + ") * FLOOR(CAST(" + x + " AS double precision) / (" + b + ")))"
+		if f.Typ == qval.KFloat || f.Typ == qval.KReal {
+			// an infinite bucket makes 0w * 0 = NaN, q's null
+			expr = nanNull(expr)
+		}
+		if !nonZeroConst(f.Args[0]) {
+			// q: 0 xbar x is x, not a division error
+			expr = "(CASE WHEN " + b + " = 0 THEN " + x + " ELSE " + expr + " END)"
+		}
 		// bucketing a temporal column keeps the temporal type
 		if qval.IsTemporal(f.Typ) {
 			return "CAST(" + expr + " AS " + xtra.SQLTypeFor(f.Typ) + ")", nil
@@ -460,20 +556,21 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if f.Typ == qval.KBool {
 			return "(" + l + " AND " + r + ")", nil
 		}
-		return "LEAST(" + l + ", " + r + ")", nil
+		// q propagates nulls through min/max; LEAST/GREATEST skip them
+		return "(CASE WHEN (" + l + " IS NULL) OR (" + r + " IS NULL) THEN NULL ELSE LEAST(" + l + ", " + r + ") END)", nil
 	case "|":
 		l, _ := s.scalar(f.Args[0])
 		r, _ := s.scalar(f.Args[1])
 		if f.Typ == qval.KBool {
 			return "(" + l + " OR " + r + ")", nil
 		}
-		return "GREATEST(" + l + ", " + r + ")", nil
-	case "=":
-		return bin("=")
-	case "<>":
-		return bin("<>")
-	case "<", ">", "<=", ">=":
+		return "(CASE WHEN (" + l + " IS NULL) OR (" + r + " IS NULL) THEN NULL ELSE GREATEST(" + l + ", " + r + ") END)", nil
+	case "=", "<>", "<", ">", "<=", ">=":
+		// bare SQL operators; the Xformer's NullSemantics rule rewrites
+		// these to the null-safe q* forms unless ablated
 		return bin(f.Op)
+	case "qlt", "qgt", "qle", "qge":
+		return s.cmpSQL(f)
 	case "indf", "~":
 		return bin("IS NOT DISTINCT FROM")
 	case "idf":
@@ -499,11 +596,20 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		r, err := s.inList(f.Args[1])
+		items, err := s.inItems(f.Args[1])
 		if err != nil {
 			return "", err
 		}
-		return "(" + l + " IN " + r + ")", nil
+		if len(items) == 0 {
+			return "FALSE", nil
+		}
+		// null-safe membership: Q's in matches nulls as equal values, where
+		// SQL's IN turns unknown as soon as a NULL is involved
+		parts := make([]string, len(items))
+		for i, it := range items {
+			parts[i] = "(" + l + " IS NOT DISTINCT FROM " + it + ")"
+		}
+		return "(" + strings.Join(parts, " OR ") + ")", nil
 	case "within":
 		x, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -511,6 +617,7 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		}
 		bounds, ok := f.Args[1].(*xtra.ListExpr)
 		var lo, hi string
+		loNN, hiNN := false, false
 		if ok && len(bounds.Items) == 2 {
 			lo, err = s.scalar(bounds.Items[0])
 			if err != nil {
@@ -520,19 +627,29 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 			if err != nil {
 				return "", err
 			}
+			loNN, hiNN = nonNullConst(bounds.Items[0]), nonNullConst(bounds.Items[1])
 		} else if c, isConst := f.Args[1].(*xtra.ConstExpr); isConst && c.Val.Len() == 2 {
-			lo, err = constSQL(qval.Index(c.Val, 0))
+			loV, hiV := qval.Index(c.Val, 0), qval.Index(c.Val, 1)
+			lo, err = constSQL(loV)
 			if err != nil {
 				return "", err
 			}
-			hi, err = constSQL(qval.Index(c.Val, 1))
+			hi, err = constSQL(hiV)
 			if err != nil {
 				return "", err
 			}
+			loNN, hiNN = !qval.IsNull(loV), !qval.IsNull(hiV)
 		} else {
 			return "", fmt.Errorf("serializer: within requires a 2-element bound")
 		}
-		return "(" + x + " BETWEEN " + lo + " AND " + hi + ")", nil
+		if loNN && hiNN {
+			// non-null bounds: only a null operand diverges from BETWEEN,
+			// and under Q's null-smallest order it falls below lo
+			return "((" + x + " IS NOT NULL) AND (" + x + " BETWEEN " + lo + " AND " + hi + "))", nil
+		}
+		ge := "(CASE WHEN " + lo + " IS NULL THEN TRUE WHEN " + x + " IS NULL THEN FALSE ELSE (" + lo + " <= " + x + ") END)"
+		le := "(CASE WHEN " + x + " IS NULL THEN TRUE WHEN " + hi + " IS NULL THEN FALSE ELSE (" + x + " <= " + hi + ") END)"
+		return "(" + ge + " AND " + le + ")", nil
 	case "like":
 		l, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -542,7 +659,13 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("serializer: like requires a constant pattern")
 		}
-		return "(" + l + " LIKE " + qPatternToSQL(pat.Val) + ")", nil
+		// a null symbol is the empty string to Q's like, not an unknown:
+		// resolve the NULL case to whether the pattern matches ""
+		fallback := "FALSE"
+		if patternMatchesEmpty(pat.Val) {
+			fallback = "TRUE"
+		}
+		return "COALESCE((" + l + " LIKE " + qPatternToSQL(pat.Val) + "), " + fallback + ")", nil
 	case "cond":
 		c, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -596,7 +719,7 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return "(CASE WHEN " + a + " > 0 THEN 1 WHEN " + a + " < 0 THEN -1 ELSE 0 END)", nil
+		return "(CASE WHEN " + a + " IS NULL THEN NULL WHEN " + a + " > 0 THEN 1 WHEN " + a + " < 0 THEN -1 ELSE 0 END)", nil
 	case "null":
 		a, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -608,32 +731,86 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 	}
 }
 
-// inList renders the right operand of IN: a list literal or list expression.
-func (s *sz) inList(e xtra.Scalar) (string, error) {
+// cmpSQL renders a Q comparison under two-valued logic: nulls compare as the
+// smallest value of their type and null = null is true (paper §2.2/§3.3),
+// where the bare SQL operators would go unknown and silently drop rows.
+func (s *sz) cmpSQL(f *xtra.FnApp) (string, error) {
+	l, err := s.scalar(f.Args[0])
+	if err != nil {
+		return "", err
+	}
+	r, err := s.scalar(f.Args[1])
+	if err != nil {
+		return "", err
+	}
+	op := map[string]string{"qlt": "<", "qgt": ">", "qle": "<=", "qge": ">="}[f.Op]
+	if nonNullConst(f.Args[0]) && nonNullConst(f.Args[1]) {
+		return "(" + l + " " + op + " " + r + ")", nil
+	}
+	switch f.Op {
+	case "qlt":
+		return "(CASE WHEN " + l + " IS NULL THEN (" + r + " IS NOT NULL) WHEN " + r + " IS NULL THEN FALSE ELSE (" + l + " < " + r + ") END)", nil
+	case "qgt":
+		return "(CASE WHEN " + r + " IS NULL THEN (" + l + " IS NOT NULL) WHEN " + l + " IS NULL THEN FALSE ELSE (" + l + " > " + r + ") END)", nil
+	case "qle":
+		return "(CASE WHEN " + l + " IS NULL THEN TRUE WHEN " + r + " IS NULL THEN FALSE ELSE (" + l + " <= " + r + ") END)", nil
+	default: // qge
+		return "(CASE WHEN " + r + " IS NULL THEN TRUE WHEN " + l + " IS NULL THEN FALSE ELSE (" + l + " >= " + r + ") END)", nil
+	}
+}
+
+// inItems renders the right operand of Q's in as a slice of SQL literals.
+func (s *sz) inItems(e xtra.Scalar) ([]string, error) {
 	switch x := e.(type) {
 	case *xtra.ListExpr:
-		return s.scalar(x)
+		items := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			sql, err := s.scalar(it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = sql
+		}
+		return items, nil
 	case *xtra.ConstExpr:
 		n := x.Val.Len()
 		if n < 0 {
 			lit, err := constSQL(x.Val)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return "(" + lit + ")", nil
+			return []string{lit}, nil
 		}
 		items := make([]string, n)
 		for i := 0; i < n; i++ {
 			lit, err := constSQL(qval.Index(x.Val, i))
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			items[i] = lit
 		}
-		return "(" + strings.Join(items, ", ") + ")", nil
+		return items, nil
 	default:
-		return "", fmt.Errorf("serializer: IN requires a list")
+		return nil, fmt.Errorf("serializer: IN requires a list")
 	}
+}
+
+// patternMatchesEmpty reports whether a Q glob pattern matches the empty
+// string (i.e. consists only of '*' wildcards).
+func patternMatchesEmpty(v qval.Value) bool {
+	var src string
+	switch x := v.(type) {
+	case qval.CharVec:
+		src = string(x)
+	case qval.Symbol:
+		src = string(x)
+	}
+	for i := 0; i < len(src); i++ {
+		if src[i] != '*' {
+			return false
+		}
+	}
+	return true
 }
 
 // qPatternToSQL converts a Q glob pattern (*, ?) to a SQL LIKE pattern.
@@ -673,9 +850,9 @@ func constSQL(v qval.Value) (string, error) {
 	case qval.Long:
 		return fmt.Sprint(int64(x)), nil
 	case qval.Real:
-		return fmt.Sprint(float32(x)), nil
+		return floatLit(float64(x)), nil
 	case qval.Float:
-		return fmt.Sprint(float64(x)), nil
+		return floatLit(float64(x)), nil
 	case qval.Symbol:
 		return "'" + strings.ReplaceAll(string(x), "'", "''") + "'::varchar", nil
 	case qval.CharVec:
@@ -690,6 +867,24 @@ func constSQL(v qval.Value) (string, error) {
 	default:
 		return "", fmt.Errorf("serializer: cannot render %s literal", qval.TypeName(v.Type()))
 	}
+}
+
+// floatLit renders a float literal; Q's ±0w infinities need PostgreSQL's
+// quoted spelling ('Infinity'), bare tokens are a syntax error.
+func floatLit(f float64) string {
+	if math.IsInf(f, 1) {
+		return "'Infinity'::double precision"
+	}
+	if math.IsInf(f, -1) {
+		return "'-Infinity'::double precision"
+	}
+	s := fmt.Sprint(f)
+	// keep the literal float-typed: a bare "0" would make i*0f integer
+	// arithmetic, losing IEEE signed zeros (-1*0.0 is -0.0, -1*0 is 0)
+	if !strings.ContainsAny(s, ".eE") && !math.IsNaN(f) {
+		s += ".0"
+	}
+	return s
 }
 
 func temporalSQL(t qval.Temporal) (string, error) {

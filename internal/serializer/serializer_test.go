@@ -140,19 +140,19 @@ func TestScalarSpellings(t *testing.T) {
 		{&xtra.ConstExpr{Val: qval.MkDate(2016, 6, 26)}, "'2016-06-26'::date"},
 		{&xtra.ConstExpr{Val: qval.MkTime(9, 30, 0, 0)}, "'09:30:00.000'::time"},
 		{&xtra.FnApp{Op: "%", Typ: qval.KFloat, Args: []xtra.Scalar{
-			&xtra.ColRef{Name: "a", Typ: qval.KLong}, &xtra.ColRef{Name: "b", Typ: qval.KLong}}},
-			"(CAST(a AS double precision) / b)"},
+			&xtra.ColRef{Name: "a", Typ: qval.KLong}, &xtra.ConstExpr{Val: qval.Long(4)}}},
+			"(CAST(a AS double precision) / 4)"},
 		{&xtra.FnApp{Op: "fill", Typ: qval.KFloat, Args: []xtra.Scalar{
 			&xtra.ConstExpr{Val: qval.Long(0)}, &xtra.ColRef{Name: "x", Typ: qval.KFloat}}},
 			"COALESCE(x, 0)"},
 		{&xtra.FnApp{Op: "in", Typ: qval.KBool, Args: []xtra.Scalar{
 			&xtra.ColRef{Name: "s", Typ: qval.KSymbol},
 			&xtra.ConstExpr{Val: qval.SymbolVec{"A", "B"}}}},
-			"(s IN ('A'::varchar, 'B'::varchar))"},
+			"((s IS NOT DISTINCT FROM 'A'::varchar) OR (s IS NOT DISTINCT FROM 'B'::varchar))"},
 		{&xtra.FnApp{Op: "within", Typ: qval.KBool, Args: []xtra.Scalar{
 			&xtra.ColRef{Name: "p", Typ: qval.KFloat},
 			&xtra.ConstExpr{Val: qval.LongVec{1, 9}}}},
-			"(p BETWEEN 1 AND 9)"},
+			"((p IS NOT NULL) AND (p BETWEEN 1 AND 9))"},
 		{&xtra.FnApp{Op: "cond", Typ: qval.KSymbol, Args: []xtra.Scalar{
 			&xtra.ColRef{Name: "c", Typ: qval.KBool},
 			&xtra.ConstExpr{Val: qval.Symbol("y")},
@@ -194,7 +194,8 @@ func TestWavgSerialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(got, `SUM(("Size") * ("Price"))`) || !strings.Contains(got, `SUM("Size")`) {
+	if !strings.Contains(got, `SUM(NULLIF((("Size") * ("Price")), 'NaN'::double precision))`) ||
+		!strings.Contains(got, `NULLIF(SUM("Size"), 0)`) {
 		t.Fatalf("wavg sql = %q", got)
 	}
 }
@@ -228,9 +229,15 @@ func TestMoreScalarSpellings(t *testing.T) {
 		s    xtra.Scalar
 		want string
 	}{
-		{&xtra.FnApp{Op: "mod", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}}, "(a % 3)"},
+		// floored modulo: the truncated remainder is corrected toward the
+		// divisor's sign exactly as the kdb+ kernel does, which also covers
+		// infinite divisors (-2 mod 0w is 0w)
+		{&xtra.FnApp{Op: "mod", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}},
+			"(CASE WHEN ((a % 3) <> 0) AND (((a % 3) < 0) <> (3 < 0)) THEN ((a % 3) + 3) ELSE (a % 3) END)"},
 		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}},
 			"FLOOR(CAST(a AS double precision) / 3)"},
+		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}},
+			"FLOOR(CAST(a AS double precision) / NULLIF(b, 0))"},
 		{&xtra.FnApp{Op: "and", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p"), boolCol("q")}}, "(p AND q)"},
 		{&xtra.FnApp{Op: "or", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p"), boolCol("q")}}, "(p OR q)"},
 		{&xtra.FnApp{Op: "not", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p")}}, "(NOT p)"},
@@ -241,10 +248,26 @@ func TestMoreScalarSpellings(t *testing.T) {
 		{&xtra.FnApp{Op: "null", Typ: qval.KBool, Args: []xtra.Scalar{col("a")}}, "(a IS NULL)"},
 		{&xtra.FnApp{Op: "cast", Typ: qval.KFloat, Args: []xtra.Scalar{col("a"), &xtra.ConstExpr{Val: qval.Symbol("float")}}},
 			"CAST(a AS double precision)"},
-		{&xtra.FnApp{Op: "&", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}}, "LEAST(a, b)"},
-		{&xtra.FnApp{Op: "|", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}}, "GREATEST(a, b)"},
+		// null-propagating min/max: LEAST/GREATEST alone would skip NULLs
+		{&xtra.FnApp{Op: "&", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}},
+			"(CASE WHEN (a IS NULL) OR (b IS NULL) THEN NULL ELSE LEAST(a, b) END)"},
+		{&xtra.FnApp{Op: "|", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}},
+			"(CASE WHEN (a IS NULL) OR (b IS NULL) THEN NULL ELSE GREATEST(a, b) END)"},
+		// a NULL operand is the empty string to q's like, never unknown
 		{&xtra.FnApp{Op: "like", Typ: qval.KBool, Args: []xtra.Scalar{col("s"), &xtra.ConstExpr{Val: qval.CharVec("G*")}}},
-			"(s LIKE 'G%')"},
+			"COALESCE((s LIKE 'G%'), FALSE)"},
+		// bare ops serialize as-is; the Xformer rewrites them to indf/q* forms
+		{&xtra.FnApp{Op: "=", Typ: qval.KBool, Args: []xtra.Scalar{col("a"), long(3)}}, "(a = 3)"},
+		{&xtra.FnApp{Op: "indf", Typ: qval.KBool, Args: []xtra.Scalar{col("a"), long(3)}},
+			"(a IS NOT DISTINCT FROM 3)"},
+		{&xtra.FnApp{Op: "qlt", Typ: qval.KBool, Args: []xtra.Scalar{col("a"), long(3)}},
+			"(CASE WHEN a IS NULL THEN (3 IS NOT NULL) WHEN 3 IS NULL THEN FALSE ELSE (a < 3) END)"},
+		// both sides non-null literals: null-safe spelling is unnecessary
+		{&xtra.FnApp{Op: "qge", Typ: qval.KBool, Args: []xtra.Scalar{long(5), long(3)}}, "(5 >= 3)"},
+		// IEEE division in the backend supplies the signed infinities for
+		// x%0; only NaN (0%0, 0w%0w) needs mapping back to q's null
+		{&xtra.FnApp{Op: "%", Typ: qval.KFloat, Args: []xtra.Scalar{col("a"), col("b")}},
+			"NULLIF((CAST(a AS double precision) / b), 'NaN'::double precision)"},
 	}
 	for _, c := range cases {
 		z := &sz{}

@@ -1,0 +1,97 @@
+package sidebyside
+
+import (
+	"errors"
+	"strings"
+
+	"hyperq/internal/binder"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/qlang/qval"
+)
+
+// ErrClass buckets an error from either engine into a coarse category so
+// that "both sides errored" only counts as agreement when they rejected the
+// query for the same kind of reason (paper §5: the side-by-side framework
+// must not let a missing feature on one side mask a real bug on the other).
+//
+//   - "unsupported": the engine does not implement the construct (kdb+ 'nyi,
+//     serializer gaps, PostgreSQL 0A000/42883)
+//   - "name": an unknown table, column or variable
+//   - "runtime": a semantic error on a supported construct ('type, 'rank,
+//     'length, division errors, cast failures, ...)
+type ErrClass string
+
+const (
+	ClassNone        ErrClass = ""            // no error
+	ClassUnsupported ErrClass = "unsupported" // feature gap
+	ClassName        ErrClass = "name"        // unknown identifier
+	ClassRuntime     ErrClass = "runtime"     // semantic/runtime failure
+)
+
+// qRuntimeCodes are kdb+'s terse error names that signal a semantic error on
+// a supported construct, as opposed to a bare unknown identifier.
+var qRuntimeCodes = map[string]bool{
+	"type": true, "length": true, "rank": true, "domain": true,
+	"mismatch": true, "limit": true, "value": true, "assign": true,
+	"stop": true, "wsfull": true, "par": true, "splay": true,
+	"increment": true, "cast": true,
+}
+
+// Classify maps an error from either engine to its ErrClass. It unwraps
+// through fmt.Errorf("%w") chains to the typed errors each layer produces.
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassNone
+	}
+	var be *binder.BindError
+	if errors.As(err, &be) {
+		switch {
+		case be.Code == "nyi":
+			return ClassUnsupported
+		case qRuntimeCodes[be.Code]:
+			return ClassRuntime
+		default:
+			// binder reports unknown names with the name itself as the code
+			return ClassName
+		}
+	}
+	var pe *pgdb.Error
+	if errors.As(err, &pe) {
+		switch pe.Code {
+		case "0A000", "42883": // feature_not_supported, undefined_function
+			return ClassUnsupported
+		case "42P01", "42703": // undefined_table, undefined_column
+			return ClassName
+		default:
+			return ClassRuntime
+		}
+	}
+	var qe *qval.QError
+	if errors.As(err, &qe) {
+		code := qe.Msg
+		if i := strings.IndexAny(code, " :"); i >= 0 {
+			code = code[:i]
+		}
+		switch {
+		case code == "nyi":
+			return ClassUnsupported
+		case qRuntimeCodes[code]:
+			return ClassRuntime
+		default:
+			// kdb+ reports unknown names as 'name — the message is the
+			// identifier itself
+			return ClassName
+		}
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "nyi") || strings.Contains(msg, "serializer:") ||
+		strings.Contains(msg, "does not translate"):
+		return ClassUnsupported
+	case strings.Contains(msg, "not a defined variable") ||
+		strings.Contains(msg, "neither a column"):
+		return ClassName
+	default:
+		return ClassRuntime
+	}
+}

@@ -1,0 +1,339 @@
+package sidebyside
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/qgen"
+	"hyperq/internal/qlang/interp"
+	"hyperq/internal/qlang/qval"
+)
+
+// NewLocalFramework builds a fresh side-by-side framework over an embedded
+// pgdb backend — one kdb+ substrate, one Hyper-Q session, no shared state
+// with any previous framework. The fuzz driver rebuilds frameworks
+// regularly so a corrupted global cannot poison later iterations.
+func NewLocalFramework() *Framework {
+	db := pgdb.NewDB()
+	b := core.NewDirectBackend(db)
+	p := core.NewPlatform()
+	s := p.NewSession(b, core.Config{})
+	return New(interp.New(), s, b)
+}
+
+// FuzzConfig controls a qdiff run.
+type FuzzConfig struct {
+	Seed int64
+	N    int // number of queries
+	// Shrink minimizes each failing case before reporting it.
+	Shrink bool
+	// ReloadEvery regenerates the dataset and framework every k queries
+	// (default 25), so table shapes vary across one run.
+	ReloadEvery int
+	// MaxRows bounds generated fact tables (default qgen's 12).
+	MaxRows int
+	// ShrinkBudget bounds the number of comparisons one shrink may spend
+	// (default 400).
+	ShrinkBudget int
+}
+
+// FuzzCase is one divergence, minimized if shrinking was on. Tables holds
+// the dataset the query ran against in corpus JSON form, so the case
+// replays standalone.
+type FuzzCase struct {
+	Seed      int64            `json:"seed"`
+	Iteration int              `json:"iteration"`
+	Query     string           `json:"query"`
+	Class     string           `json:"class"`
+	Diffs     []string         `json:"diffs"`
+	Tables    []qgen.TableJSON `json:"tables"`
+}
+
+// FuzzReport summarizes a qdiff run.
+type FuzzReport struct {
+	Seed       int64      `json:"seed"`
+	N          int        `json:"n"`
+	Matches    int        `json:"matches"`
+	BothError  int        `json:"both_error"`
+	Mismatches []FuzzCase `json:"mismatches"`
+}
+
+// divergenceClass buckets a non-matching report for triage.
+func divergenceClass(rep *Report) string {
+	if len(rep.Diffs) == 0 {
+		return "value"
+	}
+	d := rep.Diffs[0]
+	switch {
+	case strings.HasPrefix(d, "error class divergence"):
+		return "error-class"
+	case strings.HasPrefix(d, "error divergence"):
+		return "error"
+	case strings.HasPrefix(d, "row count") || strings.HasPrefix(d, "length mismatch"):
+		return "rowcount"
+	case strings.HasPrefix(d, "column") || strings.HasPrefix(d, "shape mismatch"):
+		return "shape"
+	default:
+		return "value"
+	}
+}
+
+// Fuzz runs cfg.N generated queries through both engines and collects the
+// divergences. Same seed, same report — the generator is the only source of
+// randomness.
+func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
+	if cfg.ReloadEvery <= 0 {
+		cfg.ReloadEvery = 25
+	}
+	if cfg.ShrinkBudget <= 0 {
+		cfg.ShrinkBudget = 400
+	}
+	g := qgen.New(qgen.Config{Seed: cfg.Seed, MaxRows: cfg.MaxRows})
+	rep := &FuzzReport{Seed: cfg.Seed, N: cfg.N, Mismatches: []FuzzCase{}}
+	var f *Framework
+	var ds *qgen.Dataset
+	for i := 0; i < cfg.N; i++ {
+		if f == nil || i%cfg.ReloadEvery == 0 {
+			ds = g.Dataset()
+			var err error
+			f, err = loadDataset(ctx, ds)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d: load dataset: %w", i, err)
+			}
+		}
+		q := g.Query()
+		r, err := f.Compare(ctx, q.Q())
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: %s: %w", i, q.Q(), err)
+		}
+		if r.Match {
+			rep.Matches++
+			if r.KdbErr != ClassNone {
+				rep.BothError++
+			}
+			continue
+		}
+		class := divergenceClass(r)
+		sq, sds := q, ds
+		if cfg.Shrink {
+			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget)
+			// re-derive the diffs for the minimized case
+			if mf, err := loadDataset(ctx, sds); err == nil {
+				if mr, err := mf.Compare(ctx, sq.Q()); err == nil && !mr.Match {
+					r = mr
+				}
+			}
+		}
+		tables, err := qgen.EncodeDataset(sds)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: encode: %w", i, err)
+		}
+		rep.Mismatches = append(rep.Mismatches, FuzzCase{
+			Seed:      cfg.Seed,
+			Iteration: i,
+			Query:     sq.Q(),
+			Class:     class,
+			Diffs:     r.Diffs,
+			Tables:    tables,
+		})
+	}
+	return rep, nil
+}
+
+// loadDataset builds a fresh framework with the dataset installed.
+func loadDataset(ctx context.Context, ds *qgen.Dataset) (*Framework, error) {
+	f := NewLocalFramework()
+	for _, name := range ds.Names() {
+		t, ok := ds.Tables[name]
+		if !ok {
+			continue
+		}
+		if err := f.LoadTable(ctx, name, t); err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+	}
+	return f, nil
+}
+
+// reproduces reports whether the (query, dataset) pair still shows a
+// divergence of the same class.
+func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int) bool {
+	if *budget <= 0 {
+		return false
+	}
+	*budget--
+	f, err := loadDataset(ctx, ds)
+	if err != nil {
+		return false
+	}
+	r, err := f.Compare(ctx, q.Q())
+	if err != nil || r.Match {
+		return false
+	}
+	return divergenceClass(r) == class
+}
+
+// shrinkCase minimizes a failing (query, dataset) pair: alternately shrink
+// the query structure (drop where conjuncts, select columns, by, join;
+// replace expressions by sub-expressions) and the table rows (delta
+// debugging: halves, then single rows), until neither makes progress or the
+// budget runs out.
+func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int) (*qgen.Query, *qgen.Dataset) {
+	for {
+		progressed := false
+		// query-level shrinks to a fixpoint
+		for {
+			var next *qgen.Query
+			for _, cand := range q.Shrinks() {
+				if reproduces(ctx, cand, ds, class, &budget) {
+					next = cand
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			q = next
+			progressed = true
+		}
+		// row-level shrinks, one table at a time
+		for _, name := range ds.Names() {
+			t := ds.Tables[name]
+			if t == nil || t.Len() == 0 {
+				continue
+			}
+			if small := shrinkRows(ctx, q, ds, name, class, &budget); small != nil {
+				ds = small
+				progressed = true
+			}
+		}
+		if !progressed || budget <= 0 {
+			return q, ds
+		}
+	}
+}
+
+// shrinkRows delta-debugs one table's rows; returns a smaller dataset or
+// nil when no deletion reproduces.
+func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int) *qgen.Dataset {
+	cur := ds
+	improved := false
+	for chunk := cur.Tables[name].Len() / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= cur.Tables[name].Len(); {
+			cand := withTableRows(cur, name, deleteRange(cur.Tables[name].Len(), lo, lo+chunk))
+			if reproduces(ctx, q, cand, class, budget) {
+				cur = cand
+				improved = true
+				// same lo now addresses the next chunk
+			} else {
+				lo += chunk
+			}
+			if *budget <= 0 {
+				break
+			}
+		}
+		if *budget <= 0 {
+			break
+		}
+	}
+	if !improved {
+		return nil
+	}
+	return cur
+}
+
+// deleteRange lists the row indexes of 0..n-1 with [lo,hi) removed.
+func deleteRange(n, lo, hi int) []int {
+	out := make([]int, 0, n-(hi-lo))
+	for i := 0; i < n; i++ {
+		if i >= lo && i < hi {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// withTableRows returns a dataset where table name keeps only rows idx.
+func withTableRows(ds *qgen.Dataset, name string, idx []int) *qgen.Dataset {
+	out := &qgen.Dataset{Tables: map[string]*qval.Table{}}
+	for n, t := range ds.Tables {
+		out.Tables[n] = t
+	}
+	t := ds.Tables[name]
+	data := make([]qval.Value, len(t.Data))
+	for c := range t.Data {
+		data[c] = qval.TakeIndexes(t.Data[c], idx)
+	}
+	out.Tables[name] = qval.NewTable(append([]string(nil), t.Cols...), data)
+	return out
+}
+
+// ---------- regression corpus ----------
+
+// CorpusEntry is one checked-in reproducer: a query plus its dataset. The
+// corpus replay test asserts every entry MATCHES — each file documents a
+// divergence that was found by qdiff and then fixed.
+type CorpusEntry struct {
+	Name   string           `json:"name"`
+	Note   string           `json:"note,omitempty"`
+	Query  string           `json:"query"`
+	Tables []qgen.TableJSON `json:"tables"`
+}
+
+// WriteCorpusEntry persists an entry as dir/<name>.json.
+func WriteCorpusEntry(dir string, e *CorpusEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	text, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, e.Name+".json"), append(text, '\n'), 0o644)
+}
+
+// LoadCorpus reads every *.json entry under dir, sorted by name.
+func LoadCorpus(dir string) ([]*CorpusEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*CorpusEntry
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var e CorpusEntry
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, &e)
+	}
+	return out, nil
+}
+
+// ReplayEntry runs one corpus entry through a fresh framework and returns
+// the comparison report.
+func ReplayEntry(ctx context.Context, e *CorpusEntry) (*Report, error) {
+	ds, err := qgen.DecodeDataset(e.Tables)
+	if err != nil {
+		return nil, err
+	}
+	f := NewLocalFramework()
+	for _, tj := range e.Tables {
+		if err := f.LoadTable(ctx, tj.Name, ds.Tables[tj.Name]); err != nil {
+			return nil, fmt.Errorf("load %s: %w", tj.Name, err)
+		}
+	}
+	return f.Compare(ctx, e.Query)
+}

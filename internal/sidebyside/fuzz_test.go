@@ -1,0 +1,48 @@
+package sidebyside
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCorpusReplays runs every checked-in qdiff reproducer through both
+// engines. Each file documents a divergence that qdiff found and that was
+// then fixed — every entry must now MATCH.
+func TestCorpusReplays(t *testing.T) {
+	entries, err := LoadCorpus("testdata/qdiff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries under testdata/qdiff")
+	}
+	for _, e := range entries {
+		t.Run(e.Name, func(t *testing.T) {
+			r, err := ReplayEntry(context.Background(), e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Match {
+				t.Fatalf("regressed divergence:\n  query: %s\n  diffs: %v\n  note: %s",
+					e.Query, r.Diffs, e.Note)
+			}
+		})
+	}
+}
+
+// TestFuzzSmoke is the deterministic-seed qdiff run wired into go test: a
+// short fuzz that must come back with zero divergences. A failure here means
+// a semantic regression between the interp reference and the Hyper-Q -> SQL
+// pipeline; reproduce with `go run ./cmd/qdiff -seed 1 -n 200 -shrink`.
+func TestFuzzSmoke(t *testing.T) {
+	rep, err := Fuzz(context.Background(), FuzzConfig{Seed: 1, N: 200, Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != rep.N {
+		t.Errorf("%d of %d queries matched", rep.Matches, rep.N)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("iteration %d [%s]: %s\n  diffs: %v", m.Iteration, m.Class, m.Query, m.Diffs)
+	}
+}

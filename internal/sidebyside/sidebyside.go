@@ -43,6 +43,10 @@ type Report struct {
 	Query string
 	Match bool
 	Diffs []string
+	// KdbErr and HyperQErr hold each engine's error class when the query
+	// failed on that side (ClassNone when it succeeded).
+	KdbErr    ErrClass
+	HyperQErr ErrClass
 	// KdbResult and HyperQResult hold the canonicalized tables (nil for
 	// non-tabular results).
 	KdbResult    *qval.Table
@@ -62,10 +66,18 @@ func (f *Framework) Compare(ctx context.Context, q string) (*Report, error) {
 	kv, kerr := f.Kdb.Eval(q)
 	hv, _, herr := f.Session.Run(ctx, q)
 	if kerr != nil || herr != nil {
+		rep.KdbErr, rep.HyperQErr = Classify(kerr), Classify(herr)
 		if kerr != nil && herr != nil {
-			// both sides rejecting the query counts as agreement
-			rep.Match = true
-			rep.Diffs = append(rep.Diffs, fmt.Sprintf("both error: kdb=%v hyperq=%v", kerr, herr))
+			// both sides rejecting the query counts as agreement only when
+			// they rejected it for the same kind of reason; a 'nyi on one
+			// side against a 'type on the other is a divergence
+			if rep.KdbErr == rep.HyperQErr {
+				rep.Match = true
+				rep.Diffs = append(rep.Diffs, fmt.Sprintf("both error (%s): kdb=%v hyperq=%v", rep.KdbErr, kerr, herr))
+				return rep, nil
+			}
+			rep.Diffs = append(rep.Diffs, fmt.Sprintf("error class divergence: kdb=%s(%v) hyperq=%s(%v)",
+				rep.KdbErr, kerr, rep.HyperQErr, herr))
 			return rep, nil
 		}
 		rep.Diffs = append(rep.Diffs, fmt.Sprintf("error divergence: kdb=%v hyperq=%v", kerr, herr))
@@ -89,13 +101,41 @@ func Diff(kdb, hyperq qval.Value, floatTol float64) []string {
 	kt, kok := canonicalize(kdb)
 	ht, hok := canonicalize(hyperq)
 	if !kok || !hok {
-		// non-tabular results: compare values directly
-		if qval.EqualValues(kdb, hyperq) {
+		return diffValues(kdb, hyperq, floatTol)
+	}
+	return diffTables(kt, ht, floatTol)
+}
+
+// diffValues compares two non-tabular results: atoms via cellsEqual (so the
+// float tolerance and infinity rules apply) and vectors elementwise.
+func diffValues(kdb, hyperq qval.Value, floatTol float64) []string {
+	kn, hn := kdb.Len(), hyperq.Len()
+	if kn < 0 || hn < 0 {
+		// at least one atom: shape must agree, then compare as one cell
+		if kn != hn {
+			return []string{fmt.Sprintf("shape mismatch: kdb=%v hyperq=%v", kdb, hyperq)}
+		}
+		if cellsEqual(kdb, hyperq, floatTol) {
 			return nil
 		}
 		return []string{fmt.Sprintf("scalar mismatch: kdb=%v hyperq=%v", kdb, hyperq)}
 	}
-	return diffTables(kt, ht, floatTol)
+	if kn != hn {
+		return []string{fmt.Sprintf("length mismatch: kdb=%d hyperq=%d", kn, hn)}
+	}
+	var diffs []string
+	for i := 0; i < kn; i++ {
+		av, bv := qval.Index(kdb, i), qval.Index(hyperq, i)
+		if cellsEqual(av, bv, floatTol) {
+			continue
+		}
+		diffs = append(diffs, fmt.Sprintf("element %d: kdb=%v hyperq=%v", i, av, bv))
+		if len(diffs) > 10 {
+			diffs = append(diffs, "... (truncated)")
+			break
+		}
+	}
+	return diffs
 }
 
 // MustMatch is a convenience for tests: it returns an error on mismatch.
@@ -171,6 +211,14 @@ func cellsEqual(a, b qval.Value, floatTol float64) bool {
 	af, aok := qval.AsFloat(a)
 	bf, bok := qval.AsFloat(b)
 	if aok && bok {
+		// infinities compare exactly: the relative-tolerance formula below
+		// would call 0w equal to any finite value (diff <= tol*Inf)
+		if math.IsInf(af, 0) || math.IsInf(bf, 0) {
+			return af == bf
+		}
+		if math.IsNaN(af) || math.IsNaN(bf) {
+			return math.IsNaN(af) && math.IsNaN(bf)
+		}
 		if af == bf {
 			return true
 		}

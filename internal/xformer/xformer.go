@@ -125,6 +125,12 @@ func rewriteNullSafe(s xtra.Scalar, fired *bool) xtra.Scalar {
 		case "<>":
 			*fired = true
 			return &xtra.FnApp{Op: "idf", Args: x.Args, Typ: qval.KBool}
+		case "<", ">", "<=", ">=":
+			// Q's ordered comparisons are also two-valued: nulls sort below
+			// every value of their type, so 0N<5 is 1b where SQL goes unknown
+			*fired = true
+			qop := map[string]string{"<": "qlt", ">": "qgt", "<=": "qle", ">=": "qge"}[x.Op]
+			return &xtra.FnApp{Op: qop, Args: x.Args, Typ: qval.KBool}
 		}
 		return x
 	case *xtra.AggCall:
