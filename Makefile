@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench qdiff fmt
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+tier1: build vet test race
+
+# bench measures the embedded executor (interpreted vs compiled engine) over
+# a 100k-row fact table and refreshes BENCH_pgdb.json. The file is committed
+# as a non-gating before/after artifact; CI also prints the Go benchmark
+# output for the same cases.
+bench:
+	$(GO) run ./cmd/benchfig -bench -out BENCH_pgdb.json
+	$(GO) test ./internal/pgdb/ -run '^$$' -bench PgdbExec -benchtime 2x
+
+# qdiff replays the differential fuzzer at the CI seeds against the compiled
+# engine, plus one interpreted-engine run to pin the retained AST walker.
+qdiff:
+	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -shrink > /dev/null
+	$(GO) run ./cmd/qdiff -seed 2 -n 10000 -shrink > /dev/null
+	$(GO) run ./cmd/qdiff -seed 7 -n 10000 -shrink > /dev/null
+	$(GO) run ./cmd/qdiff -seed 42 -n 10000 -shrink > /dev/null
+	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -exec interpreted > /dev/null

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hyperq/internal/pgdb"
+)
+
+// BenchEntry is one line of BENCH_pgdb.json: a query shape measured under
+// one execution engine. "interpreted" entries are the before numbers,
+// "compiled" entries the after numbers of the compile-then-execute engine.
+type BenchEntry struct {
+	Op          string  `json:"op"`
+	Mode        string  `json:"mode"`
+	Rows        int     `json:"rows"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchCase is a query shape the executor benchmark measures in both modes.
+type benchCase struct {
+	op  string
+	sql string
+}
+
+var pgdbBenchCases = []benchCase{
+	{"filter", "SELECT sym, price, size FROM bench_trades WHERE price > 500.0 AND size < 100"},
+	{"filter_aggregate", "SELECT sym, count(*), sum(size), avg(price), min(price), max(price) FROM bench_trades WHERE size > 10 GROUP BY sym"},
+	{"projection", "SELECT sym, price * 1.0001 + 0.5, size * 2 + 1, CASE WHEN price > 500.0 THEN 'hi' WHEN price > 100.0 THEN 'mid' ELSE 'lo' END FROM bench_trades"},
+	{"hash_join", "SELECT t.sym, t.price, s.sector FROM bench_trades t JOIN bench_syms s ON t.sym = s.sym WHERE t.size > 900"},
+	{"literal_decode", "SELECT count(*) FROM bench_trades WHERE price > 123.456 AND price < 987.654 AND size <> 17 AND price + 0.125 > 100.001 AND venue < 15"},
+	{"group_by_multi", "SELECT sym, venue, count(*), sum(size) FROM bench_trades GROUP BY sym, venue"},
+}
+
+var benchSymbols = []string{"GOOG", "IBM", "MSFT", "AAPL", "ORCL", "SAP", "TDC", "HPQ"}
+
+// newBenchDB loads the synthetic executor-benchmark tables: a bench_trades
+// fact table of n rows and a small bench_syms dimension. Rows come from a
+// fixed LCG, so every run measures identical data.
+func newBenchDB(n int) (*pgdb.DB, error) {
+	db := pgdb.NewDB()
+	s := db.NewSession()
+	ddl := []string{
+		"CREATE TABLE bench_trades (sym varchar, price double precision, size bigint, venue bigint)",
+		"CREATE TABLE bench_syms (sym varchar, sector varchar, lot bigint)",
+	}
+	for _, stmt := range ddl {
+		if _, err := s.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("%s: %w", stmt, err)
+		}
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 17
+	}
+	var sb strings.Builder
+	const chunk = 500
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sb.Reset()
+		sb.WriteString("INSERT INTO bench_trades VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			sym := benchSymbols[next()%uint64(len(benchSymbols))]
+			price := 50.0 + float64(next()%100000)/100.0
+			size := int64(next()%1000) + 1
+			venue := int64(next() % 16)
+			if next()%97 == 0 {
+				fmt.Fprintf(&sb, "('%s', NULL, %d, %d)", sym, size, venue)
+			} else {
+				fmt.Fprintf(&sb, "('%s', %g, %d, %d)", sym, price, size, venue)
+			}
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			return nil, fmt.Errorf("bench_trades load: %w", err)
+		}
+	}
+	sectors := []string{"tech", "finance", "industrial"}
+	sb.Reset()
+	sb.WriteString("INSERT INTO bench_syms VALUES ")
+	for i, sym := range benchSymbols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "('%s', '%s', %d)", sym, sectors[i%len(sectors)], 100*(i+1))
+	}
+	if _, err := s.Exec(sb.String()); err != nil {
+		return nil, fmt.Errorf("bench_syms load: %w", err)
+	}
+	return db, nil
+}
+
+// measure runs one query under one engine via testing.Benchmark.
+func measure(db *pgdb.DB, op, mode, sql string, rows int) BenchEntry {
+	s := db.NewSession()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return BenchEntry{
+		Op:          op,
+		Mode:        mode,
+		Rows:        rows,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runBench measures every benchmark case under both execution engines plus
+// the compiled parallel-scan case, writes the entries to outPath as JSON,
+// and prints a per-op speedup table. This backs `make bench`, which commits
+// BENCH_pgdb.json as a non-gating artifact.
+func runBench(outPath string, rows int) {
+	db, err := newBenchDB(rows)
+	if err != nil {
+		log.Fatalf("bench setup: %v", err)
+	}
+	var entries []BenchEntry
+	for _, c := range pgdbBenchCases {
+		db.SetExecMode(pgdb.ExecInterpreted)
+		before := measure(db, c.op, "interpreted", c.sql, rows)
+		db.SetExecMode(pgdb.ExecCompiled)
+		after := measure(db, c.op, "compiled", c.sql, rows)
+		entries = append(entries, before, after)
+		fmt.Fprintf(os.Stderr, "%-18s interpreted %12.0f ns/op %8d allocs  compiled %12.0f ns/op %8d allocs  speedup %.2fx\n",
+			c.op, before.NsPerOp, before.AllocsPerOp, after.NsPerOp, after.AllocsPerOp,
+			before.NsPerOp/after.NsPerOp)
+	}
+	// the -parallel path: same compiled scan, 1 worker vs GOMAXPROCS workers
+	parSQL := "SELECT sym, price FROM bench_trades WHERE price > 200.0 AND price < 800.0 AND size > 5"
+	db.SetExecMode(pgdb.ExecCompiled)
+	db.SetParallelism(1)
+	seq := measure(db, "parallel_filter_w1", "compiled", parSQL, rows)
+	db.SetParallelism(runtime.GOMAXPROCS(0))
+	par := measure(db, fmt.Sprintf("parallel_filter_w%d", db.Parallelism()), "compiled", parSQL, rows)
+	db.SetParallelism(1)
+	entries = append(entries, seq, par)
+	fmt.Fprintf(os.Stderr, "%-18s 1 worker    %12.0f ns/op  %d workers %12.0f ns/op  speedup %.2fx\n",
+		"parallel_filter", seq.NsPerOp, runtime.GOMAXPROCS(0), par.NsPerOp, seq.NsPerOp/par.NsPerOp)
+
+	text, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		log.Fatalf("bench encode: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(text, '\n'), 0o644); err != nil {
+		log.Fatalf("bench write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), outPath)
+}

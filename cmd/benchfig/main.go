@@ -7,6 +7,8 @@
 //	-figure 7   split of translation time across stages (parse, bind,
 //	            optimize, serialize) relative to total translation (paper:
 //	            optimization and serialization dominate)
+//	-bench      measure the embedded executor (interpreted vs compiled
+//	            engine) over a 100k-row fact table and write BENCH_pgdb.json
 //
 // Absolute numbers differ from the paper's testbed (Greenplum on customer
 // hardware vs an embedded engine); the shape of the series is the
@@ -31,12 +33,20 @@ import (
 
 func main() {
 	figure := flag.Int("figure", 6, "figure to regenerate (6 or 7)")
+	bench := flag.Bool("bench", false, "run the pgdb executor benchmarks (interpreted vs compiled) instead of a figure")
+	benchOut := flag.String("out", "BENCH_pgdb.json", "output path for -bench results")
+	benchRows := flag.Int("bench-rows", 100000, "fact-table size for -bench")
 	trades := flag.Int("trades", 50000, "trade count of the data set")
 	symbols := flag.Int("symbols", 200, "ticker universe size (rows of the reference tables)")
 	reps := flag.Int("reps", 3, "repetitions per query (best kept)")
 	seed := flag.Int64("seed", 1, "data seed")
 	delay := flag.Duration("delay", 2*time.Millisecond, "per-statement backend dispatch latency, modeling the MPP cluster of the paper's testbed (0 disables)")
 	flag.Parse()
+
+	if *bench {
+		runBench(*benchOut, *benchRows)
+		return
+	}
 
 	db := pgdb.NewDB()
 	b := core.NewDirectBackend(db)

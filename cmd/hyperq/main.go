@@ -53,6 +53,8 @@ func main() {
 	qUser := flag.String("q-user", "", "required Q client user (empty accepts all)")
 	qPass := flag.String("q-password", "", "required Q client password")
 	trades := flag.Int("trades", 10000, "embedded demo trade count")
+	execEngine := flag.String("exec", "compiled", "embedded engine execution mode: compiled or interpreted")
+	parallel := flag.Int("parallel", 1, "embedded engine intra-query worker count (clamped to GOMAXPROCS; 1 disables)")
 	mdiTTL := flag.Duration("mdi-ttl", 5*time.Minute, "metadata cache expiration")
 	poolSize := flag.Int("pool-size", 4, "max pooled backend connections shared by all sessions")
 	cacheEntries := flag.Int("cache-entries", 1024, "query-translation cache capacity (0 disables)")
@@ -69,6 +71,15 @@ func main() {
 	var embeddedDB *pgdb.DB
 	if *embedded {
 		embeddedDB = pgdb.NewDB()
+		switch *execEngine {
+		case "compiled":
+			embeddedDB.SetExecMode(pgdb.ExecCompiled)
+		case "interpreted":
+			embeddedDB.SetExecMode(pgdb.ExecInterpreted)
+		default:
+			log.Fatalf("unknown -exec mode %q (want compiled or interpreted)", *execEngine)
+		}
+		embeddedDB.SetParallelism(*parallel)
 		b := core.NewDirectBackend(embeddedDB)
 		data := taq.Generate(taq.Config{Seed: 1, Trades: *trades})
 		for _, t := range []struct {

@@ -28,6 +28,8 @@ func main() {
 	demo := flag.Bool("demo", false, "preload the synthetic TAQ data set")
 	trades := flag.Int("trades", 10000, "demo trade count")
 	seed := flag.Int64("seed", 1, "demo data seed")
+	execEngine := flag.String("exec", "compiled", "execution engine: compiled or interpreted")
+	parallel := flag.Int("parallel", 1, "intra-query worker count for large scans (clamped to GOMAXPROCS; 1 disables)")
 	flag.Parse()
 
 	// ctx is the server's life: SIGINT/SIGTERM cancels it and Serve drains
@@ -35,6 +37,13 @@ func main() {
 	defer stop()
 
 	db := pgdb.NewDB()
+	mode, err := execModeByName(*execEngine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	db.SetExecMode(mode)
+	db.SetParallelism(*parallel)
 	if *demo {
 		b := core.NewDirectBackend(db)
 		data := taq.Generate(taq.Config{Seed: *seed, Trades: *trades})
@@ -70,11 +79,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("pgserver listening on %s (auth=%s)", *listen, *authMode)
+	log.Printf("pgserver listening on %s (auth=%s exec=%s parallel=%d)",
+		*listen, *authMode, *execEngine, db.Parallelism())
 	if err := pgdb.Serve(ctx, l, db, pgdb.AuthConfig{
 		Method: method,
 		Users:  map[string]string{*user: *password},
 	}); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+}
+
+// execModeByName maps the -exec flag value to a pgdb execution engine.
+func execModeByName(name string) (pgdb.ExecMode, error) {
+	switch name {
+	case "compiled":
+		return pgdb.ExecCompiled, nil
+	case "interpreted":
+		return pgdb.ExecInterpreted, nil
+	}
+	return 0, fmt.Errorf("unknown -exec mode %q (want compiled or interpreted)", name)
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"hyperq/internal/pgdb"
 	"hyperq/internal/sidebyside"
 )
 
@@ -26,13 +27,26 @@ func main() {
 	shrink := flag.Bool("shrink", false, "minimize failing cases before reporting")
 	out := flag.String("out", "", "directory to write failing cases as corpus JSON")
 	maxRows := flag.Int("maxrows", 0, "max fact-table rows (0 = generator default)")
+	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled or interpreted")
 	flag.Parse()
 
+	var mode pgdb.ExecMode
+	switch *execEngine {
+	case "compiled":
+		mode = pgdb.ExecCompiled
+	case "interpreted":
+		mode = pgdb.ExecInterpreted
+	default:
+		fmt.Fprintf(os.Stderr, "qdiff: unknown -exec mode %q (want compiled or interpreted)\n", *execEngine)
+		os.Exit(2)
+	}
+
 	rep, err := sidebyside.Fuzz(context.Background(), sidebyside.FuzzConfig{
-		Seed:    *seed,
-		N:       *n,
-		Shrink:  *shrink,
-		MaxRows: *maxRows,
+		Seed:     *seed,
+		N:        *n,
+		Shrink:   *shrink,
+		MaxRows:  *maxRows,
+		ExecMode: mode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)

@@ -335,6 +335,13 @@ func (s *Session) computeAggregate(fc *sqlparse.FuncCall, schema []colBinding, r
 		}
 		vals = append(vals, v)
 	}
+	return finalizeAggregate(fc, vals)
+}
+
+// finalizeAggregate computes an aggregate from its collected non-null input
+// values. Shared by the interpreter and the compiled engine (compileagg.go)
+// so numeric results are bit-identical between the two.
+func finalizeAggregate(fc *sqlparse.FuncCall, vals []any) (any, error) {
 	switch fc.Name {
 	case "count":
 		return int64(len(vals)), nil

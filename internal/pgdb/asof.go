@@ -226,14 +226,42 @@ func (s *Session) execAsOfFused(p *asOfPattern) (*relation, error) {
 		}
 		out.schema = append(out.schema, colBinding{name: name, typ: typ})
 	}
-	for _, row := range joined.rows {
-		or := make([]any, len(items))
-		for i, item := range items {
-			if fc, isFn := item.Expr.(*sqlparse.FuncCall); isFn && fc.Over != nil {
-				or[i] = int64(1)
-				continue
+	if s.interpretedMode() {
+		for _, row := range joined.rows {
+			or := make([]any, len(items))
+			for i, item := range items {
+				if fc, isFn := item.Expr.(*sqlparse.FuncCall); isFn && fc.Over != nil {
+					or[i] = int64(1)
+					continue
+				}
+				v, err := s.evalExpr(item.Expr, joined.schema, row)
+				if err != nil {
+					return nil, err
+				}
+				or[i] = v
 			}
-			v, err := s.evalExpr(item.Expr, joined.schema, row)
+			out.rows = append(out.rows, or)
+		}
+		return out, nil
+	}
+	// compiled: items lower once; the rank item is 1 by construction
+	fns := make([]exprFn, len(items))
+	for i, item := range items {
+		if fc, isFn := item.Expr.(*sqlparse.FuncCall); isFn && fc.Over != nil {
+			fns[i] = func(*evalCtx, []any) (any, error) { return int64(1), nil }
+			continue
+		}
+		fns[i] = compileExpr(item.Expr, joined.schema).fn
+	}
+	ec := &evalCtx{s: s, rowIdx: -1}
+	out.rows = make([][]any, 0, len(joined.rows))
+	for _, row := range joined.rows {
+		if err := s.tick(); err != nil {
+			return nil, err
+		}
+		or := make([]any, len(items))
+		for i, fn := range fns {
+			v, err := fn(ec, row)
 			if err != nil {
 				return nil, err
 			}

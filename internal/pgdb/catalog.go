@@ -2,11 +2,27 @@ package pgdb
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hyperq/internal/pgdb/sqlparse"
+)
+
+// ExecMode selects which execution engine runs statements.
+type ExecMode int32
+
+const (
+	// ExecCompiled is the default compile-then-execute engine: expressions
+	// are lowered to closure chains once per query (compile.go) and run by
+	// batched operators.
+	ExecCompiled ExecMode = iota
+	// ExecInterpreted retains the per-row AST-walking engine. It is kept as
+	// the reference implementation for differential parity testing against
+	// the compiled path (see internal/sidebyside).
+	ExecInterpreted
 )
 
 // storedTable is a heap table in the catalog.
@@ -29,11 +45,48 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*storedTable
 	views  map[string]*storedView
+	// execMode and parallel are read per statement and settable at any time
+	// (e.g. by a server flag), hence atomics rather than fields under mu.
+	execMode atomic.Int32
+	parallel atomic.Int32
 }
 
-// NewDB creates an empty database.
+// NewDB creates an empty database. The default execution mode is
+// ExecCompiled with no intra-query parallelism.
 func NewDB() *DB {
 	return &DB{tables: map[string]*storedTable{}, views: map[string]*storedView{}}
+}
+
+// SetExecMode selects the execution engine for subsequent statements.
+func (db *DB) SetExecMode(m ExecMode) { db.execMode.Store(int32(m)) }
+
+// ExecutionMode reports the current execution engine.
+func (db *DB) ExecutionMode() ExecMode { return ExecMode(db.execMode.Load()) }
+
+// SetParallelism sets the worker count for intra-query parallelism on large
+// scans. Values are clamped to [1, GOMAXPROCS]; 1 disables parallelism.
+func (db *DB) SetParallelism(n int) {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	db.parallel.Store(int32(n))
+}
+
+// Parallelism reports the current intra-query worker count (minimum 1).
+func (db *DB) Parallelism() int {
+	if n := int(db.parallel.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// interpretedMode reports whether the session's database runs the retained
+// AST-walking engine instead of the compiled one.
+func (s *Session) interpretedMode() bool {
+	return s.db.ExecutionMode() == ExecInterpreted
 }
 
 // Session is a connection-scoped view of the database holding temporary

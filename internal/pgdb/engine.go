@@ -273,31 +273,55 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 		return nil, errf("42P01", "relation %q does not exist", st.Table)
 	}
 	schema := schemaOf(t.cols, "")
+	// the WHERE predicate and SET expressions compile once per statement;
+	// both engines evaluate them per row against the live table, so an
+	// UPDATE observing its own earlier writes behaves identically
+	pred := s.wherePred(st.Where, schema)
+	type setter struct {
+		idx  int
+		col  string
+		eval func(row []any) (any, error)
+	}
+	setters := make([]setter, len(st.Set))
+	for k, set := range st.Set {
+		idx := -1
+		for i, c := range t.cols {
+			if c.Name == set.Col {
+				idx = i
+				break
+			}
+		}
+		// an unresolvable column only errors when a row matches, like the
+		// per-row interpreter loop
+		setters[k].idx = idx
+		setters[k].col = set.Col
+		if s.interpretedMode() {
+			expr := set.Expr
+			setters[k].eval = func(row []any) (any, error) { return s.evalExpr(expr, schema, row) }
+		} else {
+			fn := compileExpr(set.Expr, schema).fn
+			ec := &evalCtx{s: s, rowIdx: -1}
+			setters[k].eval = func(row []any) (any, error) { return fn(ec, row) }
+		}
+	}
 	count := 0
 	for _, row := range t.rows {
-		keep, err := s.rowMatches(st.Where, schema, row)
+		keep, err := pred(row)
 		if err != nil {
 			return nil, err
 		}
 		if !keep {
 			continue
 		}
-		for _, set := range st.Set {
-			idx := -1
-			for i, c := range t.cols {
-				if c.Name == set.Col {
-					idx = i
-					break
-				}
+		for _, set := range setters {
+			if set.idx < 0 {
+				return nil, errf("42703", "column %q does not exist", set.col)
 			}
-			if idx < 0 {
-				return nil, errf("42703", "column %q does not exist", set.Col)
-			}
-			v, err := s.evalExpr(set.Expr, schema, row)
+			v, err := set.eval(row)
 			if err != nil {
 				return nil, err
 			}
-			row[idx] = coerceToColumn(v, t.cols[idx].Type)
+			row[set.idx] = coerceToColumn(v, t.cols[set.idx].Type)
 		}
 		count++
 	}
@@ -310,10 +334,11 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 		return nil, errf("42P01", "relation %q does not exist", st.Table)
 	}
 	schema := schemaOf(t.cols, "")
-	var kept [][]any
+	pred := s.wherePred(st.Where, schema)
+	kept := make([][]any, 0, len(t.rows))
 	deleted := 0
 	for _, row := range t.rows {
-		match, err := s.rowMatches(st.Where, schema, row)
+		match, err := pred(row)
 		if err != nil {
 			return nil, err
 		}

@@ -205,36 +205,14 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 		if err != nil {
 			return nil, err
 		}
-		lb, lok := l.(bool)
-		if x.Op == "AND" && lok && !lb {
-			return false, nil
-		}
-		if x.Op == "OR" && lok && lb {
-			return true, nil
+		if v, done := andOrShortCircuit(x.Op, l); done {
+			return v, nil
 		}
 		r, err := s.evalExprWin(x.R, schema, row, rowIdx, winVals)
 		if err != nil {
 			return nil, err
 		}
-		rb, rok := r.(bool)
-		switch x.Op {
-		case "AND":
-			if rok && !rb {
-				return false, nil
-			}
-			if !lok || !rok {
-				return nil, nil
-			}
-			return lb && rb, nil
-		default: // OR
-			if rok && rb {
-				return true, nil
-			}
-			if !lok || !rok {
-				return nil, nil
-			}
-			return lb || rb, nil
-		}
+		return applyAndOr(x.Op, l, r), nil
 	}
 	l, err := s.evalExprWin(x.L, schema, row, rowIdx, winVals)
 	if err != nil {
@@ -244,7 +222,53 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 	if err != nil {
 		return nil, err
 	}
-	switch x.Op {
+	return applyBinary(x.Op, l, r)
+}
+
+// andOrShortCircuit reports whether the left operand alone decides an
+// AND/OR: FALSE AND x is FALSE, TRUE OR x is TRUE, regardless of x.
+func andOrShortCircuit(op string, l any) (any, bool) {
+	lb, lok := l.(bool)
+	if op == "AND" && lok && !lb {
+		return false, true
+	}
+	if op == "OR" && lok && lb {
+		return true, true
+	}
+	return nil, false
+}
+
+// applyAndOr applies the full 3VL AND/OR truth table to two already
+// evaluated operands (non-bool operands behave as UNKNOWN).
+func applyAndOr(op string, l, r any) any {
+	if v, done := andOrShortCircuit(op, l); done {
+		return v
+	}
+	lb, lok := l.(bool)
+	rb, rok := r.(bool)
+	if op == "AND" {
+		if rok && !rb {
+			return false
+		}
+		if !lok || !rok {
+			return nil
+		}
+		return lb && rb
+	}
+	if rok && rb {
+		return true
+	}
+	if !lok || !rok {
+		return nil
+	}
+	return lb || rb
+}
+
+// applyBinary applies a non-AND/OR binary operator to two evaluated
+// operands. Shared by the interpreter and the compiled engine so the two
+// paths cannot drift.
+func applyBinary(op string, l, r any) (any, error) {
+	switch op {
 	case "IS DISTINCT FROM", "IS NOT DISTINCT FROM":
 		// null-safe equality: NULL IS NOT DISTINCT FROM NULL is TRUE —
 		// exactly Q's two-valued null equality (paper §3.3)
@@ -257,7 +281,7 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 		default:
 			equal = equalVals(l, r)
 		}
-		if x.Op == "IS DISTINCT FROM" {
+		if op == "IS DISTINCT FROM" {
 			return !equal, nil
 		}
 		return equal, nil
@@ -265,10 +289,10 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 	if l == nil || r == nil {
 		return nil, nil // 3VL: everything else is unknown with a null
 	}
-	switch x.Op {
+	switch op {
 	case "=", "<>", "<", ">", "<=", ">=":
 		c := compareVals(l, r)
-		switch x.Op {
+		switch op {
 		case "=":
 			return c == 0, nil
 		case "<>":
@@ -283,7 +307,7 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 			return c >= 0, nil
 		}
 	case "+", "-", "*", "/", "%":
-		return arithSQL(x.Op, l, r)
+		return arithSQL(op, l, r)
 	case "||":
 		return FormatValue(l, "varchar") + FormatValue(r, "varchar"), nil
 	case "LIKE", "ILIKE":
@@ -292,12 +316,12 @@ func (s *Session) evalBinary(x *sqlparse.BinaryExpr, schema []colBinding, row []
 		if !lok || !rok {
 			return nil, errf("42804", "LIKE requires strings")
 		}
-		if x.Op == "ILIKE" {
+		if op == "ILIKE" {
 			ls, rs = strings.ToLower(ls), strings.ToLower(rs)
 		}
 		return likeMatch(rs, ls), nil
 	default:
-		return nil, errf("0A000", "unsupported operator %q", x.Op)
+		return nil, errf("0A000", "unsupported operator %q", op)
 	}
 }
 
@@ -449,7 +473,13 @@ func (s *Session) evalScalarFunc(x *sqlparse.FuncCall, schema []colBinding, row 
 		}
 		args[i] = v
 	}
-	switch x.Name {
+	return applyScalarFunc(x.Name, args)
+}
+
+// applyScalarFunc applies a scalar function to already evaluated arguments.
+// Shared by the interpreter and the compiled engine.
+func applyScalarFunc(name string, args []any) (any, error) {
+	switch name {
 	case "coalesce":
 		for _, a := range args {
 			if a != nil {
@@ -483,13 +513,13 @@ func (s *Session) evalScalarFunc(x *sqlparse.FuncCall, schema []colBinding, row 
 			if len(args) == 1 {
 				return nil, nil
 			}
-			return nil, errf("42883", "%s takes 1 argument", x.Name)
+			return nil, errf("42883", "%s takes 1 argument", name)
 		}
 		f, ok := toFloat(args[0])
 		if !ok {
-			return nil, errf("42804", "%s of non-number", x.Name)
+			return nil, errf("42804", "%s of non-number", name)
 		}
-		switch x.Name {
+		switch name {
 		case "floor":
 			return math.Floor(f), nil
 		case "ceil", "ceiling":
@@ -512,16 +542,16 @@ func (s *Session) evalScalarFunc(x *sqlparse.FuncCall, schema []colBinding, row 
 		return math.Pow(a, b), nil
 	case "upper", "lower", "trim", "btrim":
 		if len(args) != 1 {
-			return nil, errf("42883", "%s takes 1 argument", x.Name)
+			return nil, errf("42883", "%s takes 1 argument", name)
 		}
 		if args[0] == nil {
 			return nil, nil
 		}
 		str, ok := args[0].(string)
 		if !ok {
-			return nil, errf("42804", "%s of non-string", x.Name)
+			return nil, errf("42804", "%s of non-string", name)
 		}
-		switch x.Name {
+		switch name {
 		case "upper":
 			return strings.ToUpper(str), nil
 		case "lower":
@@ -570,14 +600,14 @@ func (s *Session) evalScalarFunc(x *sqlparse.FuncCall, schema []colBinding, row 
 				continue
 			}
 			c := compareVals(a, best)
-			if (x.Name == "greatest" && c > 0) || (x.Name == "least" && c < 0) {
+			if (name == "greatest" && c > 0) || (name == "least" && c < 0) {
 				best = a
 			}
 		}
 		return best, nil
 	case "count", "sum", "avg", "min", "max", "stddev", "stddev_samp", "stddev_pop", "variance", "var_pop", "var_samp":
-		return nil, errf("42803", "aggregate function %s called in non-aggregate context", x.Name)
+		return nil, errf("42803", "aggregate function %s called in non-aggregate context", name)
 	default:
-		return nil, errf("42883", "function %s does not exist", x.Name)
+		return nil, errf("42883", "function %s does not exist", name)
 	}
 }

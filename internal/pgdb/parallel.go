@@ -1,0 +1,133 @@
+package pgdb
+
+import (
+	"fmt"
+	"sync"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// parallelMinRows is the input size below which a parallel scan is not worth
+// the goroutine fan-out; small inputs run the sequential loop.
+const parallelMinRows = 4096
+
+// wherePred compiles a join/DML predicate once and returns a per-row keep
+// test with 3VL semantics (only TRUE keeps). In interpreted mode it defers
+// to rowMatches; both paths poll the statement context per row batch.
+func (s *Session) wherePred(e sqlparse.Expr, schema []colBinding) func(row []any) (bool, error) {
+	if s.interpretedMode() || e == nil {
+		return func(row []any) (bool, error) { return s.rowMatches(e, schema, row) }
+	}
+	pred := compileExpr(e, schema).fn
+	ec := &evalCtx{s: s, rowIdx: -1}
+	return func(row []any) (bool, error) {
+		if err := s.tick(); err != nil {
+			return false, err
+		}
+		v, err := pred(ec, row)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.(bool)
+		return ok && b, nil
+	}
+}
+
+// filterRows is the compiled WHERE operator: the predicate compiles once,
+// the keep buffer is preallocated to the input size, and large scans with a
+// pure predicate fan out across the database's configured parallelism.
+func (s *Session) filterRows(where sqlparse.Expr, schema []colBinding, rows [][]any) ([][]any, error) {
+	pred := compileExpr(where, schema)
+	if workers := s.db.Parallelism(); pred.pure && workers > 1 && len(rows) >= parallelMinRows {
+		return s.filterParallel(pred.fn, rows, workers)
+	}
+	ec := &evalCtx{s: s, rowIdx: -1}
+	kept := make([][]any, 0, len(rows))
+	for _, row := range rows {
+		if err := s.tick(); err != nil {
+			return nil, err
+		}
+		v, err := pred.fn(ec, row)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := v.(bool); ok && b {
+			kept = append(kept, row)
+		}
+	}
+	return kept, nil
+}
+
+// filterParallel partitions the input across workers, each filling a private
+// range of a shared keep-bitmap — no synchronization on the hot path. Only
+// pure predicates reach here (they touch no session state), so the scan is
+// race-free; workers poll the statement context directly at batch
+// boundaries instead of the session tick counter. Errors are reported
+// deterministically: the error of the lowest failing row index wins, which
+// is the row the sequential scan would have failed on.
+func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]any, error) {
+	n := len(rows)
+	keep := make([]bool, n)
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	errRows := make([]int, workers)
+	ctx := s.ctx
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			errRows[w] = -1
+			continue
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errRows[w] = -1
+			for i := lo; i < hi; i++ {
+				if ctx != nil && (i-lo)%ctxCheckRows == ctxCheckRows-1 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = fmt.Errorf("pgdb: query aborted: %w", err)
+						errRows[w] = i
+						return
+					}
+				}
+				v, err := pred(nil, rows[i])
+				if err != nil {
+					errs[w] = err
+					errRows[w] = i
+					return
+				}
+				if b, ok := v.(bool); ok && b {
+					keep[i] = true
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	firstErr := -1
+	for w := range errs {
+		if errs[w] != nil && (firstErr < 0 || errRows[w] < errRows[firstErr]) {
+			firstErr = w
+		}
+	}
+	if firstErr >= 0 {
+		return nil, errs[firstErr]
+	}
+	cnt := 0
+	for _, k := range keep {
+		if k {
+			cnt++
+		}
+	}
+	kept := make([][]any, 0, cnt)
+	for i, k := range keep {
+		if k {
+			kept = append(kept, rows[i])
+		}
+	}
+	return kept, nil
+}

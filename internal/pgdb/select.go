@@ -50,21 +50,33 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 	}
 	// WHERE
 	if sel.Where != nil && !whereConsumed {
-		var kept [][]any
-		for _, row := range rel.rows {
-			ok, err := s.rowMatches(sel.Where, rel.schema, row)
+		if s.interpretedMode() {
+			var kept [][]any
+			for _, row := range rel.rows {
+				ok, err := s.rowMatches(sel.Where, rel.schema, row)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			rel.rows = kept
+		} else {
+			kept, err := s.filterRows(sel.Where, rel.schema, rel.rows)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				kept = append(kept, row)
-			}
+			rel.rows = kept
 		}
-		rel.rows = kept
 	}
 	var res *Result
 	if len(sel.GroupBy) > 0 || selectHasAggregate(sel) {
-		res, err = s.execGrouped(sel, rel)
+		if s.interpretedMode() {
+			res, err = s.execGrouped(sel, rel)
+		} else {
+			res, err = s.execGroupedCompiled(sel, rel)
+		}
 	} else {
 		res, err = s.project(sel, rel)
 	}
@@ -219,6 +231,13 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 			}
 			index[key] = append(index[key], i)
 		}
+		// the residual predicate (e.g. the b.time <= a.time bound of a
+		// translated as-of join) compiles once for the whole probe loop
+		var residualPred func(row []any) (bool, error)
+		if residual != nil {
+			residualPred = s.wherePred(residual, outSchema)
+		}
+		out.rows = make([][]any, 0, len(left.rows))
 		for _, lr := range left.rows {
 			if err := s.tick(); err != nil {
 				return nil, err
@@ -228,8 +247,8 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 			if !null || nullSafe {
 				for _, ri := range index[key] {
 					row := append(append(make([]any, 0, len(lr)+len(right.rows[ri])), lr...), right.rows[ri]...)
-					if residual != nil {
-						ok, err := s.rowMatches(residual, outSchema, row)
+					if residualPred != nil {
+						ok, err := residualPred(row)
 						if err != nil {
 							return nil, err
 						}
@@ -254,11 +273,12 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 	}
 
 	// nested loop
+	onPred := s.wherePred(j.On, outSchema)
 	for _, lr := range left.rows {
 		matched := false
 		for _, rr := range right.rows {
 			row := append(append(make([]any, 0, len(lr)+len(rr)), lr...), rr...)
-			ok, err := s.rowMatches(j.On, outSchema, row)
+			ok, err := onPred(row)
 			if err != nil {
 				return nil, err
 			}
@@ -281,11 +301,12 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 
 func (s *Session) appendUnmatchedRight(out *relation, left, right *relation, on sqlparse.Expr) error {
 	outSchema := out.schema
+	onPred := s.wherePred(on, outSchema)
 	for _, rr := range right.rows {
 		matched := false
 		for _, lr := range left.rows {
 			row := append(append(make([]any, 0, len(lr)+len(rr)), lr...), rr...)
-			ok, err := s.rowMatches(on, outSchema, row)
+			ok, err := onPred(row)
 			if err != nil {
 				return err
 			}
@@ -445,13 +466,39 @@ func (s *Session) project(sel *sqlparse.SelectStmt, rel *relation) (*Result, err
 			Type: s.inferType(item.Expr, rel.schema),
 		})
 	}
+	if s.interpretedMode() {
+		for ri, row := range rel.rows {
+			if err := s.tick(); err != nil {
+				return nil, err
+			}
+			out := make([]any, len(items))
+			for i, item := range items {
+				v, err := s.evalExprWin(item.Expr, rel.schema, row, ri, winVals)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		refineTypes(res)
+		return res, nil
+	}
+	// compiled: each item lowers once; the output buffer is preallocated
+	fns := make([]exprFn, len(items))
+	for i, item := range items {
+		fns[i] = compileExpr(item.Expr, rel.schema).fn
+	}
+	ec := &evalCtx{s: s, winVals: winVals}
+	res.Rows = make([][]any, 0, len(rel.rows))
 	for ri, row := range rel.rows {
 		if err := s.tick(); err != nil {
 			return nil, err
 		}
+		ec.rowIdx = ri
 		out := make([]any, len(items))
-		for i, item := range items {
-			v, err := s.evalExprWin(item.Expr, rel.schema, row, ri, winVals)
+		for i, fn := range fns {
+			v, err := fn(ec, row)
 			if err != nil {
 				return nil, err
 			}
@@ -582,42 +629,4 @@ func (s *Session) orderKey(e sqlparse.Expr, res *Result, rel *relation, rowIdx i
 		return s.evalExpr(e, rel.schema, rel.rows[rowIdx])
 	}
 	return nil, errf("42703", "cannot resolve ORDER BY expression")
-}
-
-// refineTypes replaces "unknown" column types by inspecting actual values.
-// It also widens integer columns that turn out to hold float values — shape
-// inference is static and can miss promotions the evaluator performs.
-func refineTypes(res *Result) {
-	for i := range res.Cols {
-		switch res.Cols[i].Type {
-		case "bigint", "integer", "smallint":
-			for _, row := range res.Rows {
-				if _, ok := row[i].(float64); ok {
-					res.Cols[i].Type = "double precision"
-					break
-				}
-			}
-			continue
-		}
-		if res.Cols[i].Type != "" && res.Cols[i].Type != "unknown" {
-			continue
-		}
-		t := "varchar"
-		for _, row := range res.Rows {
-			switch row[i].(type) {
-			case int64:
-				t = "bigint"
-			case float64:
-				t = "double precision"
-			case bool:
-				t = "boolean"
-			case string:
-				t = "varchar"
-			default:
-				continue
-			}
-			break
-		}
-		res.Cols[i].Type = t
-	}
 }

@@ -437,6 +437,19 @@ func nanNull(expr string) string {
 	return "NULLIF(" + expr + ", 'NaN'::double precision)"
 }
 
+// integralType reports whether t (a vector code or its negation) denotes an
+// integral numeric type, whose values have no signed zero.
+func integralType(t qval.Type) bool {
+	if t < 0 {
+		t = -t
+	}
+	switch t {
+	case qval.KBool, qval.KByte, qval.KShort, qval.KInt, qval.KLong:
+		return true
+	}
+	return false
+}
+
 // floatDivide renders Q's float division. The backend divides floats by
 // IEEE 754 rules (x%0 is 0w, -x%0 is -0w, division by -0.0 flips the sign),
 // so the only correction needed is NaN -> NULL for the 0%0 and 0w%0w cases.
@@ -525,8 +538,10 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 			return "FLOOR(" + floatDivide(l, r) + ")", nil
 		}
 		// integral div by zero is a typed null (infinity has no integral
-		// representation)
-		return "FLOOR(CAST(" + l + " AS double precision) / NULLIF(" + r + ", 0))", nil
+		// representation); the CAST back to bigint collapses IEEE -0.0 to 0
+		// the way the kdb+ kernel's integral repack does, so a downstream
+		// division by this result keeps the infinity sign q produces
+		return "CAST(FLOOR(CAST(" + l + " AS double precision) / NULLIF(" + r + ", 0)) AS bigint)", nil
 	case "xbar":
 		b, err := s.scalar(f.Args[0])
 		if err != nil {
@@ -548,6 +563,12 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 		// bucketing a temporal column keeps the temporal type
 		if qval.IsTemporal(f.Typ) {
 			return "CAST(" + expr + " AS " + xtra.SQLTypeFor(f.Typ) + ")", nil
+		}
+		if integralType(f.Typ) {
+			// the bucket multiply runs in double and -2 * 0.0 is IEEE -0.0;
+			// q types this node long and its repack collapses the signed
+			// zero, so cast back to bigint for divisor-sign parity
+			return "CAST(" + expr + " AS bigint)", nil
 		}
 		return expr, nil
 	case "&":

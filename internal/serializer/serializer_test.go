@@ -237,7 +237,7 @@ func TestMoreScalarSpellings(t *testing.T) {
 		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}},
 			"FLOOR(CAST(a AS double precision) / 3)"},
 		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}},
-			"FLOOR(CAST(a AS double precision) / NULLIF(b, 0))"},
+			"CAST(FLOOR(CAST(a AS double precision) / NULLIF(b, 0)) AS bigint)"},
 		{&xtra.FnApp{Op: "and", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p"), boolCol("q")}}, "(p AND q)"},
 		{&xtra.FnApp{Op: "or", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p"), boolCol("q")}}, "(p OR q)"},
 		{&xtra.FnApp{Op: "not", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p")}}, "(NOT p)"},

@@ -21,7 +21,16 @@ import (
 // with any previous framework. The fuzz driver rebuilds frameworks
 // regularly so a corrupted global cannot poison later iterations.
 func NewLocalFramework() *Framework {
+	return NewLocalFrameworkMode(pgdb.ExecCompiled)
+}
+
+// NewLocalFrameworkMode is NewLocalFramework with the pgdb execution engine
+// pinned: ExecCompiled exercises the closure-compiling engine, and
+// ExecInterpreted the retained AST walker — running the same corpus through
+// both proves the two engines agree (see parity_test.go).
+func NewLocalFrameworkMode(mode pgdb.ExecMode) *Framework {
 	db := pgdb.NewDB()
+	db.SetExecMode(mode)
 	b := core.NewDirectBackend(db)
 	p := core.NewPlatform()
 	s := p.NewSession(b, core.Config{})
@@ -42,6 +51,9 @@ type FuzzConfig struct {
 	// ShrinkBudget bounds the number of comparisons one shrink may spend
 	// (default 400).
 	ShrinkBudget int
+	// ExecMode selects the pgdb execution engine under test (default
+	// ExecCompiled).
+	ExecMode pgdb.ExecMode
 }
 
 // FuzzCase is one divergence, minimized if shrinking was on. Tables holds
@@ -103,7 +115,7 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		if f == nil || i%cfg.ReloadEvery == 0 {
 			ds = g.Dataset()
 			var err error
-			f, err = loadDataset(ctx, ds)
+			f, err = loadDataset(ctx, ds, cfg.ExecMode)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d: load dataset: %w", i, err)
 			}
@@ -123,9 +135,9 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		class := divergenceClass(r)
 		sq, sds := q, ds
 		if cfg.Shrink {
-			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget)
+			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget, cfg.ExecMode)
 			// re-derive the diffs for the minimized case
-			if mf, err := loadDataset(ctx, sds); err == nil {
+			if mf, err := loadDataset(ctx, sds, cfg.ExecMode); err == nil {
 				if mr, err := mf.Compare(ctx, sq.Q()); err == nil && !mr.Match {
 					r = mr
 				}
@@ -148,8 +160,8 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 }
 
 // loadDataset builds a fresh framework with the dataset installed.
-func loadDataset(ctx context.Context, ds *qgen.Dataset) (*Framework, error) {
-	f := NewLocalFramework()
+func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode) (*Framework, error) {
+	f := NewLocalFrameworkMode(mode)
 	for _, name := range ds.Names() {
 		t, ok := ds.Tables[name]
 		if !ok {
@@ -164,12 +176,12 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset) (*Framework, error) {
 
 // reproduces reports whether the (query, dataset) pair still shows a
 // divergence of the same class.
-func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int) bool {
+func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int, mode pgdb.ExecMode) bool {
 	if *budget <= 0 {
 		return false
 	}
 	*budget--
-	f, err := loadDataset(ctx, ds)
+	f, err := loadDataset(ctx, ds, mode)
 	if err != nil {
 		return false
 	}
@@ -185,14 +197,14 @@ func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 // replace expressions by sub-expressions) and the table rows (delta
 // debugging: halves, then single rows), until neither makes progress or the
 // budget runs out.
-func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int) (*qgen.Query, *qgen.Dataset) {
+func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int, mode pgdb.ExecMode) (*qgen.Query, *qgen.Dataset) {
 	for {
 		progressed := false
 		// query-level shrinks to a fixpoint
 		for {
 			var next *qgen.Query
 			for _, cand := range q.Shrinks() {
-				if reproduces(ctx, cand, ds, class, &budget) {
+				if reproduces(ctx, cand, ds, class, &budget, mode) {
 					next = cand
 					break
 				}
@@ -209,7 +221,7 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 			if t == nil || t.Len() == 0 {
 				continue
 			}
-			if small := shrinkRows(ctx, q, ds, name, class, &budget); small != nil {
+			if small := shrinkRows(ctx, q, ds, name, class, &budget, mode); small != nil {
 				ds = small
 				progressed = true
 			}
@@ -222,13 +234,13 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 
 // shrinkRows delta-debugs one table's rows; returns a smaller dataset or
 // nil when no deletion reproduces.
-func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int) *qgen.Dataset {
+func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int, mode pgdb.ExecMode) *qgen.Dataset {
 	cur := ds
 	improved := false
 	for chunk := cur.Tables[name].Len() / 2; chunk >= 1; chunk /= 2 {
 		for lo := 0; lo+chunk <= cur.Tables[name].Len(); {
 			cand := withTableRows(cur, name, deleteRange(cur.Tables[name].Len(), lo, lo+chunk))
-			if reproduces(ctx, q, cand, class, budget) {
+			if reproduces(ctx, q, cand, class, budget, mode) {
 				cur = cand
 				improved = true
 				// same lo now addresses the next chunk
@@ -322,14 +334,19 @@ func LoadCorpus(dir string) ([]*CorpusEntry, error) {
 	return out, nil
 }
 
-// ReplayEntry runs one corpus entry through a fresh framework and returns
-// the comparison report.
+// ReplayEntry runs one corpus entry through a fresh framework (compiled
+// engine) and returns the comparison report.
 func ReplayEntry(ctx context.Context, e *CorpusEntry) (*Report, error) {
+	return ReplayEntryMode(ctx, e, pgdb.ExecCompiled)
+}
+
+// ReplayEntryMode is ReplayEntry with the pgdb execution engine pinned.
+func ReplayEntryMode(ctx context.Context, e *CorpusEntry, mode pgdb.ExecMode) (*Report, error) {
 	ds, err := qgen.DecodeDataset(e.Tables)
 	if err != nil {
 		return nil, err
 	}
-	f := NewLocalFramework()
+	f := NewLocalFrameworkMode(mode)
 	for _, tj := range e.Tables {
 		if err := f.LoadTable(ctx, tj.Name, ds.Tables[tj.Name]); err != nil {
 			return nil, fmt.Errorf("load %s: %w", tj.Name, err)
