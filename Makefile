@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench qdiff fmt
+.PHONY: all build vet test race tier1 bench bench-e2e profile qdiff fmt
 
 all: tier1
 
@@ -28,6 +28,24 @@ tier1: build vet test race
 bench:
 	$(GO) run ./cmd/benchfig -bench -out BENCH_pgdb.json
 	$(GO) test ./internal/pgdb/ -run '^$$' -bench PgdbExec -benchtime 2x
+
+# bench-e2e measures the result pipeline (columnar builders vs text
+# round-trip) end to end — typed conversion, PG v3 wire decode, and a full
+# QIPC serve loop — and refreshes BENCH_e2e.json, the committed non-gating
+# before/after artifact. The go test line prints the same cases as standard
+# benchmark output.
+bench-e2e:
+	$(GO) run ./cmd/benchfig -bench-e2e -out BENCH_e2e.json
+	$(GO) test -run '^$$' -bench 'ResultPipeline|ServeTrade' -benchtime 2x .
+
+# profile captures CPU and allocation profiles of the result-pipeline
+# benchmarks and prints the hottest frames; inspect interactively with
+# `go tool pprof cpu.prof` / `go tool pprof -alloc_objects mem.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'ResultPipeline|ServeTrade' -benchtime 20x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -alloc_objects mem.prof
 
 # qdiff replays the differential fuzzer at the CI seeds against the compiled
 # engine, plus one interpreted-engine run to pin the retained AST walker.

@@ -386,10 +386,135 @@ func BenchmarkTranslationCache(b *testing.B) {
 	}
 }
 
+// BenchmarkResultPipelineDirect compares the two result pipelines on the
+// typed-result conversion alone: "text" renders every cell to text and
+// re-parses it (ResultToQ over the materialized BackendResult), "columnar"
+// streams the typed pgdb values into pooled column builders (FeedResult).
+func BenchmarkResultPipelineDirect(b *testing.B) {
+	stackFor(b, 5000)
+	res, err := benchStacks[5000].NewSession().Exec("SELECT * FROM trades")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ResultToQ(core.ToBackendResult(res)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := core.GetTableSink()
+			if err := core.FeedResult(ctx, res, sink); err != nil {
+				b.Fatal(err)
+			}
+			if sink.Table().Len() != len(res.Rows) {
+				b.Fatal("short result")
+			}
+			sink.Release()
+		}
+	})
+}
+
+// BenchmarkResultPipelinePgv3 compares the result pipelines over the PG v3
+// wire: "text" collects DataRows into a materialized result and re-parses it,
+// "columnar" decodes each DataRow straight into the pooled builders
+// (QueryStream behind Gateway.ExecStream).
+func BenchmarkResultPipelinePgv3(b *testing.B) {
+	stackFor(b, 5000)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	go pgdb.Serve(context.Background(), l, benchStacks[5000], pgdb.AuthConfig{Method: pgv3.AuthMethodTrust})
+	gw, err := gateway.Dial(ctx, l.Addr().String(), "hq", "", "db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gw.Close() })
+	const q = "SELECT * FROM trades"
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			br, err := gw.Exec(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.ResultToQ(br); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := core.GetTableSink()
+			if err := gw.ExecStream(ctx, q, sink); err != nil {
+				b.Fatal(err)
+			}
+			if sink.Table().Len() == 0 {
+				b.Fatal("empty result")
+			}
+			sink.Release()
+		}
+	})
+}
+
+// BenchmarkServeTrade measures one select-all round trip through the full
+// serving runtime (QIPC endpoint -> compiler -> pooled gateway -> backend)
+// under each result path; cmd/benchfig -bench-e2e records the same shape as
+// the committed BENCH_e2e.json artifact.
+func BenchmarkServeTrade(b *testing.B) {
+	const q = "select Symbol, Price, Size from trades"
+	for _, mode := range []struct {
+		name string
+		path core.ResultPath
+	}{{"columnar", core.ColumnarPath}, {"text", core.TextPath}} {
+		b.Run(mode.name, func(b *testing.B) {
+			addr := startServingStack(b, 4, 1024, mode.path)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { conn.Close() })
+			if err := qipc.ClientHandshake(conn, "bench", ""); err != nil {
+				b.Fatal(err)
+			}
+			roundTrip := func() error {
+				if err := qipc.WriteMessage(conn, qipc.Sync, qval.CharVec(q)); err != nil {
+					return err
+				}
+				msg, err := qipc.ReadMessage(conn)
+				if err != nil {
+					return err
+				}
+				if qe, ok := msg.Value.(*qval.QError); ok {
+					return fmt.Errorf("query error: %s", qe.Msg)
+				}
+				return nil
+			}
+			if err := roundTrip(); err != nil { // warm the session outside the timer
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := roundTrip(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // startServingStack brings up the full networked serving runtime for
 // benchmarks: pgdb over TCP, a bounded gateway pool, a shared translation
 // cache and MDI, and the QIPC endpoint, returning its address.
-func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
+func startServingStack(b *testing.B, poolSize, cacheEntries int, path core.ResultPath) string {
 	b.Helper()
 	db := pgdb.NewDB()
 	loader := core.NewDirectBackend(db)
@@ -435,8 +560,9 @@ func startServingStack(b *testing.B, poolSize, cacheEntries int) string {
 	go endpoint.Serve(context.Background(), qL, endpoint.Config{
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
 			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
-				MDI:   sharedMDI,
-				Cache: cache,
+				MDI:        sharedMDI,
+				Cache:      cache,
+				ResultPath: path,
 			})
 			compiler := xc.New(session)
 			return endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
@@ -456,7 +582,7 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 	const q = "select mx:max Price, vol:sum Size by Symbol from trades"
 	for _, clients := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			addr := startServingStack(b, 4, 1024)
+			addr := startServingStack(b, 4, 1024, core.ColumnarPath)
 			conns := make([]net.Conn, clients)
 			for c := range conns {
 				conn, err := net.Dial("tcp", addr)

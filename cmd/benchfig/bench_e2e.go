@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"testing"
+
+	"hyperq/internal/core"
+	"hyperq/internal/endpoint"
+	"hyperq/internal/gateway"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/qlang/qval"
+	"hyperq/internal/taq"
+	"hyperq/internal/wire/pgv3"
+	"hyperq/internal/wire/qipc"
+	"hyperq/internal/xc"
+)
+
+// The end-to-end result-pipeline benchmarks behind `make bench-e2e`: each op
+// is measured under both result paths, "text" (materialize + re-parse via
+// ResultToQ, the fallback) and "columnar" (stream into pooled builders), and
+// the entries are committed as BENCH_e2e.json.
+//
+//	result_pipeline_direct  typed pgdb result -> qval.Table conversion
+//	result_pipeline_pgv3    PG v3 wire bytes -> qval.Table via the client
+//	serve_trade             full QIPC endpoint round trip for one select-all
+
+const e2eSelectAll = "SELECT sym, price, size, venue FROM bench_trades"
+
+// measureFn wraps testing.Benchmark for one (op, mode) pair.
+func measureFn(op, mode string, rows int, fn func(b *testing.B)) BenchEntry {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return BenchEntry{
+		Op:          op,
+		Mode:        mode,
+		Rows:        rows,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchResultPipelineDirect measures the typed-result conversion alone: the
+// backend result is computed once, each iteration converts it to a q table.
+func benchResultPipelineDirect(res *pgdb.Result, rows int) (text, columnar BenchEntry) {
+	text = measureFn("result_pipeline_direct", "text", rows, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ResultToQ(core.ToBackendResult(res)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ctx := context.Background()
+	columnar = measureFn("result_pipeline_direct", "columnar", rows, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink := core.GetTableSink()
+			if err := core.FeedResult(ctx, res, sink); err != nil {
+				b.Fatal(err)
+			}
+			if sink.Table().Len() != rows {
+				b.Fatal("short result")
+			}
+			sink.Release()
+		}
+	})
+	return text, columnar
+}
+
+// frameMsg builds one typed PG v3 message.
+func frameMsg(typ byte, body []byte) []byte {
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, typ)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)+4))
+	return append(out, body...)
+}
+
+// pgStream renders a result as the raw PG v3 byte stream a backend would
+// send for one simple query: RowDescription, DataRows, CommandComplete,
+// ReadyForQuery. Prebuilding it keeps server-side encoding out of the
+// measured client pipeline.
+func pgStream(res *pgdb.Result) []byte {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, uint16(len(res.Cols)))
+	for _, c := range res.Cols {
+		body = append(append(body, c.Name...), 0)
+		body = binary.BigEndian.AppendUint32(body, 0) // table oid
+		body = binary.BigEndian.AppendUint16(body, 0) // attnum
+		body = binary.BigEndian.AppendUint32(body, pgv3.OIDForType(c.Type))
+		body = binary.BigEndian.AppendUint16(body, 0) // typlen
+		body = binary.BigEndian.AppendUint32(body, 0) // typmod
+		body = binary.BigEndian.AppendUint16(body, 0) // text format
+	}
+	stream := frameMsg('T', body)
+	for _, row := range res.Rows {
+		body = body[:0]
+		body = binary.BigEndian.AppendUint16(body, uint16(len(row)))
+		for j, v := range row {
+			if v == nil {
+				body = binary.BigEndian.AppendUint32(body, 0xffffffff)
+				continue
+			}
+			text := pgdb.FormatValue(v, res.Cols[j].Type)
+			body = binary.BigEndian.AppendUint32(body, uint32(len(text)))
+			body = append(body, text...)
+		}
+		stream = append(stream, frameMsg('D', body)...)
+	}
+	stream = append(stream, frameMsg('C', append([]byte(res.Tag), 0))...)
+	stream = append(stream, frameMsg('Z', []byte{'I'})...)
+	return stream
+}
+
+// startReplayServer serves the PG v3 handshake, then answers every query by
+// replaying the prebuilt stream verbatim.
+func startReplayServer(stream []byte) (addr string, stop func(), err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				sc := pgv3.NewServerConn(conn)
+				defer sc.Close()
+				if err := sc.Startup(); err != nil {
+					return
+				}
+				if err := sc.Authenticate(pgv3.AuthMethodTrust, nil); err != nil {
+					return
+				}
+				for {
+					if _, err := sc.ReadQuery(); err != nil {
+						return
+					}
+					if _, err := conn.Write(stream); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String(), func() { l.Close() }, nil
+}
+
+// benchResultPipelinePgv3 measures the client-side wire pipeline: decode the
+// replayed DataRow stream and convert it to a q table, under both paths.
+func benchResultPipelinePgv3(res *pgdb.Result, rows int) (text, columnar BenchEntry, err error) {
+	addr, stop, err := startReplayServer(pgStream(res))
+	if err != nil {
+		return text, columnar, err
+	}
+	defer stop()
+	ctx := context.Background()
+	gw, err := gateway.Dial(ctx, addr, "bench", "", "bench")
+	if err != nil {
+		return text, columnar, err
+	}
+	defer gw.Close()
+	text = measureFn("result_pipeline_pgv3", "text", rows, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			br, err := gw.Exec(ctx, e2eSelectAll)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.ResultToQ(br); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	columnar = measureFn("result_pipeline_pgv3", "columnar", rows, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink := core.GetTableSink()
+			if err := gw.ExecStream(ctx, e2eSelectAll, sink); err != nil {
+				b.Fatal(err)
+			}
+			if sink.Table().Len() != rows {
+				b.Fatal("short result")
+			}
+			sink.Release()
+		}
+	})
+	return text, columnar, nil
+}
+
+// benchServeTrade measures the full serving stack — QIPC endpoint, cross
+// compiler, session, embedded backend — for one select-all round trip per
+// iteration, under the given result path.
+func benchServeTrade(path core.ResultPath, mode string, trades int) (BenchEntry, error) {
+	db := pgdb.NewDB()
+	loader := core.NewDirectBackend(db)
+	data := taq.Generate(taq.Config{Seed: 1, Trades: trades})
+	if err := core.LoadQTable(context.Background(), loader, "trades", data.Trades); err != nil {
+		return BenchEntry{}, err
+	}
+	platform := core.NewPlatform()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	defer l.Close()
+	go endpoint.Serve(context.Background(), l, endpoint.Config{
+		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
+			session := platform.NewSession(core.NewDirectBackend(db), core.Config{ResultPath: path})
+			compiler := xc.New(session)
+			return endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {
+				v, _, err := compiler.HandleQuery(ctx, q)
+				return v, err
+			}), func() { session.Close() }, nil
+		},
+	})
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	defer conn.Close()
+	if err := qipc.ClientHandshake(conn, "bench", ""); err != nil {
+		return BenchEntry{}, err
+	}
+	const q = "select Symbol, Price, Size from trades"
+	roundTrip := func() error {
+		if err := qipc.WriteMessage(conn, qipc.Sync, qval.CharVec(q)); err != nil {
+			return err
+		}
+		msg, err := qipc.ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		if qe, ok := msg.Value.(*qval.QError); ok {
+			return fmt.Errorf("query error: %s", qe.Msg)
+		}
+		if msg.Value.Len() != trades {
+			return fmt.Errorf("short result: %d rows", msg.Value.Len())
+		}
+		return nil
+	}
+	if err := roundTrip(); err != nil { // warm the session outside the timer
+		return BenchEntry{}, err
+	}
+	return measureFn("serve_trade", mode, trades, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := roundTrip(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil
+}
+
+// runBenchE2E measures all three ops under both result paths, writes
+// BENCH_e2e.json, and prints a text-vs-columnar comparison table. This backs
+// `make bench-e2e`; the JSON is committed as a non-gating artifact.
+func runBenchE2E(outPath string, rows int) {
+	db, err := newBenchDB(rows)
+	if err != nil {
+		log.Fatalf("bench-e2e setup: %v", err)
+	}
+	res, err := db.NewSession().Exec(e2eSelectAll)
+	if err != nil {
+		log.Fatalf("bench-e2e select-all: %v", err)
+	}
+
+	report := func(text, columnar BenchEntry) {
+		fmt.Fprintf(os.Stderr, "%-24s text %12.0f ns/op %9d allocs  columnar %12.0f ns/op %9d allocs  speedup %.2fx  allocs %.2fx\n",
+			text.Op, text.NsPerOp, text.AllocsPerOp, columnar.NsPerOp, columnar.AllocsPerOp,
+			text.NsPerOp/columnar.NsPerOp, float64(text.AllocsPerOp)/float64(columnar.AllocsPerOp))
+	}
+
+	var entries []BenchEntry
+	dText, dCol := benchResultPipelineDirect(res, rows)
+	report(dText, dCol)
+	entries = append(entries, dText, dCol)
+
+	pText, pCol, err := benchResultPipelinePgv3(res, rows)
+	if err != nil {
+		log.Fatalf("bench-e2e pgv3: %v", err)
+	}
+	report(pText, pCol)
+	entries = append(entries, pText, pCol)
+
+	const trades = 20000
+	sText, err := benchServeTrade(core.TextPath, "text", trades)
+	if err != nil {
+		log.Fatalf("bench-e2e serve_trade text: %v", err)
+	}
+	sCol, err := benchServeTrade(core.ColumnarPath, "columnar", trades)
+	if err != nil {
+		log.Fatalf("bench-e2e serve_trade columnar: %v", err)
+	}
+	report(sText, sCol)
+	entries = append(entries, sText, sCol)
+
+	text, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		log.Fatalf("bench-e2e encode: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(text, '\n'), 0o644); err != nil {
+		log.Fatalf("bench-e2e write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), outPath)
+}

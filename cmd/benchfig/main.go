@@ -34,8 +34,9 @@ import (
 func main() {
 	figure := flag.Int("figure", 6, "figure to regenerate (6 or 7)")
 	bench := flag.Bool("bench", false, "run the pgdb executor benchmarks (interpreted vs compiled) instead of a figure")
-	benchOut := flag.String("out", "BENCH_pgdb.json", "output path for -bench results")
-	benchRows := flag.Int("bench-rows", 100000, "fact-table size for -bench")
+	benchE2E := flag.Bool("bench-e2e", false, "run the result-pipeline benchmarks (columnar vs text) instead of a figure")
+	benchOut := flag.String("out", "", "output path for -bench / -bench-e2e results (default BENCH_pgdb.json / BENCH_e2e.json)")
+	benchRows := flag.Int("bench-rows", 100000, "fact-table size for -bench and -bench-e2e")
 	trades := flag.Int("trades", 50000, "trade count of the data set")
 	symbols := flag.Int("symbols", 200, "ticker universe size (rows of the reference tables)")
 	reps := flag.Int("reps", 3, "repetitions per query (best kept)")
@@ -44,7 +45,19 @@ func main() {
 	flag.Parse()
 
 	if *bench {
-		runBench(*benchOut, *benchRows)
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_pgdb.json"
+		}
+		runBench(out, *benchRows)
+		return
+	}
+	if *benchE2E {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_e2e.json"
+		}
+		runBenchE2E(out, *benchRows)
 		return
 	}
 

@@ -54,6 +54,7 @@ func main() {
 	qPass := flag.String("q-password", "", "required Q client password")
 	trades := flag.Int("trades", 10000, "embedded demo trade count")
 	execEngine := flag.String("exec", "compiled", "embedded engine execution mode: compiled or interpreted")
+	resultPath := flag.String("result-path", "columnar", "result conversion pipeline: columnar (streaming builders) or text (materialized fallback)")
 	parallel := flag.Int("parallel", 1, "embedded engine intra-query worker count (clamped to GOMAXPROCS; 1 disables)")
 	mdiTTL := flag.Duration("mdi-ttl", 5*time.Minute, "metadata cache expiration")
 	poolSize := flag.Int("pool-size", 4, "max pooled backend connections shared by all sessions")
@@ -62,6 +63,16 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end per-request deadline (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace window for in-flight requests on shutdown")
 	flag.Parse()
+
+	var path core.ResultPath
+	switch *resultPath {
+	case "columnar":
+		path = core.ColumnarPath
+	case "text":
+		path = core.TextPath
+	default:
+		log.Fatalf("unknown -result-path %q (want columnar or text)", *resultPath)
+	}
 
 	// ctx is the server's life: SIGINT/SIGTERM cancels it, starting the drain
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,8 +149,9 @@ func main() {
 		Auth: auth,
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
 			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
-				MDI:   sharedMDI,
-				Cache: cache,
+				MDI:        sharedMDI,
+				Cache:      cache,
+				ResultPath: path,
 			})
 			compiler := xc.New(session)
 			h := endpoint.HandlerFunc(func(ctx context.Context, q string) (qval.Value, error) {

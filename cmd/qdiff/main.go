@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"hyperq/internal/core"
 	"hyperq/internal/pgdb"
 	"hyperq/internal/sidebyside"
 )
@@ -28,6 +29,7 @@ func main() {
 	out := flag.String("out", "", "directory to write failing cases as corpus JSON")
 	maxRows := flag.Int("maxrows", 0, "max fact-table rows (0 = generator default)")
 	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled or interpreted")
+	resultPath := flag.String("result-path", "columnar", "session result pipeline under test: columnar or text")
 	flag.Parse()
 
 	var mode pgdb.ExecMode
@@ -40,13 +42,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qdiff: unknown -exec mode %q (want compiled or interpreted)\n", *execEngine)
 		os.Exit(2)
 	}
+	var path core.ResultPath
+	switch *resultPath {
+	case "columnar":
+		path = core.ColumnarPath
+	case "text":
+		path = core.TextPath
+	default:
+		fmt.Fprintf(os.Stderr, "qdiff: unknown -result-path %q (want columnar or text)\n", *resultPath)
+		os.Exit(2)
+	}
 
 	rep, err := sidebyside.Fuzz(context.Background(), sidebyside.FuzzConfig{
-		Seed:     *seed,
-		N:        *n,
-		Shrink:   *shrink,
-		MaxRows:  *maxRows,
-		ExecMode: mode,
+		Seed:       *seed,
+		N:          *n,
+		Shrink:     *shrink,
+		MaxRows:    *maxRows,
+		ExecMode:   mode,
+		ResultPath: path,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)

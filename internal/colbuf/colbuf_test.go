@@ -1,0 +1,374 @@
+package colbuf
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"hyperq/internal/qlang/qval"
+)
+
+func TestBuildTypedVectors(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	specs := []Spec{
+		{Name: "ord", QType: qval.KLong, Discard: true},
+		{Name: "b", QType: qval.KBool},
+		{Name: "h", QType: qval.KShort},
+		{Name: "i", QType: qval.KInt},
+		{Name: "j", QType: qval.KLong},
+		{Name: "e", QType: qval.KReal},
+		{Name: "f", QType: qval.KFloat},
+		{Name: "s", QType: qval.KSymbol},
+		{Name: "d", QType: qval.KDate},
+		{Name: "t", QType: qval.KTime},
+		{Name: "p", QType: qval.KTimestamp},
+	}
+	b.Reset(specs, 4)
+	for r := 0; r < 2; r++ {
+		if err := b.AppendInt(0, int64(r)); err != nil {
+			t.Fatal(err)
+		}
+		b.AppendBool(1, r == 0)
+		if err := b.AppendInt(2, int64(10+r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendInt(3, int64(100+r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendInt(4, int64(1000+r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendFloat(5, 1.5+float64(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendFloat(6, 2.5+float64(r)); err != nil {
+			t.Fatal(err)
+		}
+		b.AppendSym(7, fmt.Sprintf("s%d", r))
+		if err := b.AppendInt(8, int64(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendInt(9, int64(r)*1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendInt(10, int64(r)*1e9); err != nil {
+			t.Fatal(err)
+		}
+		b.FinishRow()
+	}
+	names, data := b.Build()
+	if len(names) != 10 || len(data) != 10 {
+		t.Fatalf("got %d names %d cols, want 10", len(names), len(data))
+	}
+	if names[0] != "b" || names[9] != "p" {
+		t.Fatalf("names = %v", names)
+	}
+	if v, ok := data[0].(qval.BoolVec); !ok || len(v) != 2 || !v[0] || v[1] {
+		t.Fatalf("bool col = %#v", data[0])
+	}
+	if v, ok := data[1].(qval.ShortVec); !ok || v[1] != 11 {
+		t.Fatalf("short col = %#v", data[1])
+	}
+	if v, ok := data[2].(qval.IntVec); !ok || v[0] != 100 {
+		t.Fatalf("int col = %#v", data[2])
+	}
+	if v, ok := data[3].(qval.LongVec); !ok || v[1] != 1001 {
+		t.Fatalf("long col = %#v", data[3])
+	}
+	if v, ok := data[4].(qval.RealVec); !ok || v[0] != 1.5 {
+		t.Fatalf("real col = %#v", data[4])
+	}
+	if v, ok := data[5].(qval.FloatVec); !ok || v[1] != 3.5 {
+		t.Fatalf("float col = %#v", data[5])
+	}
+	if v, ok := data[6].(qval.SymbolVec); !ok || v[0] != "s0" {
+		t.Fatalf("sym col = %#v", data[6])
+	}
+	if v, ok := data[7].(qval.TemporalVec); !ok || v.T != qval.KDate || v.V[1] != 1 {
+		t.Fatalf("date col = %#v", data[7])
+	}
+	if v, ok := data[8].(qval.TemporalVec); !ok || v.T != qval.KTime || v.V[1] != 1000 {
+		t.Fatalf("time col = %#v", data[8])
+	}
+	if v, ok := data[9].(qval.TemporalVec); !ok || v.T != qval.KTimestamp || v.V[1] != 1e9 {
+		t.Fatalf("timestamp col = %#v", data[9])
+	}
+	if b.Rows() != 2 {
+		t.Fatalf("rows = %d", b.Rows())
+	}
+}
+
+func TestAppendNull(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	specs := []Spec{
+		{Name: "b", QType: qval.KBool},
+		{Name: "h", QType: qval.KShort},
+		{Name: "i", QType: qval.KInt},
+		{Name: "j", QType: qval.KLong},
+		{Name: "e", QType: qval.KReal},
+		{Name: "f", QType: qval.KFloat},
+		{Name: "s", QType: qval.KSymbol},
+		{Name: "p", QType: qval.KTimestamp},
+	}
+	b.Reset(specs, 0)
+	for j := range specs {
+		b.AppendNull(j)
+	}
+	b.FinishRow()
+	_, data := b.Build()
+	for k, col := range data {
+		if specs[k].QType == qval.KBool {
+			// booleans have no null; the convention is false
+			if v := col.(qval.BoolVec); v[0] {
+				t.Errorf("bool null should be false")
+			}
+			continue
+		}
+		if !qval.NullAt(col, 0) {
+			t.Errorf("column %s row 0 not null: %#v", specs[k].Name, col)
+		}
+	}
+}
+
+// TestEmptyColumnsMatchEmptyVec pins the zero-row shape against what the
+// text path produces via qval.EmptyVec.
+func TestEmptyColumnsMatchEmptyVec(t *testing.T) {
+	for _, qt := range []qval.Type{qval.KBool, qval.KShort, qval.KInt, qval.KLong,
+		qval.KReal, qval.KFloat, qval.KSymbol, qval.KDate, qval.KTime, qval.KTimestamp} {
+		b := Get()
+		b.Reset([]Spec{{Name: "c", QType: qt}}, 0)
+		_, data := b.Build()
+		want := qval.EmptyVec(qt)
+		if fmt.Sprintf("%#v", data[0]) != fmt.Sprintf("%#v", want) {
+			t.Errorf("type %d: got %#v want %#v", qt, data[0], want)
+		}
+		b.Release()
+	}
+}
+
+func TestBuildAllDiscardedIsNil(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	b.Reset([]Spec{{Name: "ord", QType: qval.KLong, Discard: true}}, 0)
+	if err := b.AppendInt(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	b.FinishRow()
+	names, data := b.Build()
+	if names != nil || data != nil {
+		t.Fatalf("all-discarded build: names=%v data=%v", names, data)
+	}
+}
+
+func TestAppendIntRange(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	b.Reset([]Spec{{Name: "h", QType: qval.KShort}, {Name: "i", QType: qval.KInt}}, 0)
+	if err := b.AppendInt(0, math.MaxInt16+1); err == nil {
+		t.Error("short overflow not detected")
+	}
+	if err := b.AppendInt(1, math.MinInt32-1); err == nil {
+		t.Error("int underflow not detected")
+	}
+	if err := b.AppendInt(0, math.MinInt16); err != nil {
+		t.Error(err)
+	}
+	if err := b.AppendInt(1, math.MaxInt32); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendFloatNaNCanonical(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	b.Reset([]Spec{{Name: "f", QType: qval.KFloat}}, 0)
+	// an arithmetic NaN with a different payload from math.NaN()
+	weird := math.Float64frombits(0x7FF8000000000000)
+	if err := b.AppendFloat(0, weird); err != nil {
+		t.Fatal(err)
+	}
+	_, data := b.Build()
+	got := math.Float64bits(float64(data[0].(qval.FloatVec)[0]))
+	want := math.Float64bits(math.NaN())
+	if got != want {
+		t.Fatalf("NaN bits %#x, want canonical %#x", got, want)
+	}
+}
+
+func TestParseIntTextMatchesStrconv(t *testing.T) {
+	cases := []string{
+		"0", "1", "-1", "+7", "32767", "32768", "-32768", "-32769",
+		"2147483647", "2147483648", "-2147483648", "-2147483649",
+		"9223372036854775807", "9223372036854775808",
+		"-9223372036854775808", "-9223372036854775809",
+		"", "-", "+", "1.5", "1e3", " 1", "1 ", "007", "99999999999999999999999",
+	}
+	for _, bits := range []int{16, 32, 64} {
+		for _, s := range cases {
+			want, werr := strconv.ParseInt(s, 10, bits)
+			got, gerr := ParseIntText(s, bits)
+			if (werr == nil) != (gerr == nil) {
+				t.Errorf("ParseIntText(%q,%d): err=%v, strconv err=%v", s, bits, gerr, werr)
+				continue
+			}
+			if werr == nil && got != want {
+				t.Errorf("ParseIntText(%q,%d) = %d, want %d", s, bits, got, want)
+			}
+		}
+	}
+}
+
+func TestParseDateTextMatchesTimeParse(t *testing.T) {
+	cases := []string{
+		"2000-01-01", "1999-12-31", "2024-02-29", "2023-02-29", "2023-02-28",
+		"0001-01-01", "9999-12-31", "2024-13-01", "2024-00-10", "2024-06-31",
+		"2024-6-01", "24-06-01", "2024-06-1", "garbage", "", "2024-06-015",
+	}
+	for _, s := range cases {
+		tm, werr := time.Parse("2006-01-02", s)
+		got, gerr := ParseDateText(s)
+		if (werr == nil) != (gerr == nil) {
+			t.Errorf("ParseDateText(%q): err=%v, time.Parse err=%v", s, gerr, werr)
+			continue
+		}
+		if werr == nil {
+			if want := qval.DateFromTime(tm); got != want {
+				t.Errorf("ParseDateText(%q) = %d, want %d", s, got, want)
+			}
+		}
+	}
+}
+
+func TestParseTimestampTextMatchesTimeParse(t *testing.T) {
+	layouts := []string{"2006-01-02 15:04:05.999999999", "2006-01-02T15:04:05.999999999", "2006-01-02"}
+	ref := func(s string) (int64, bool) {
+		for _, l := range layouts {
+			if tm, err := time.Parse(l, s); err == nil {
+				return qval.TimestampFromTime(tm), true
+			}
+		}
+		return 0, false
+	}
+	cases := []string{
+		"2000-01-01 00:00:00", "2000-01-01", "1999-12-31 23:59:59.999999999",
+		"2024-02-29T12:34:56.5", "2024-06-15 06:07:08.123456",
+		"2024-06-15 6:07:08", "2024-06-15 23:59:59", "2024-06-15 24:00:00",
+		"2024-06-15 12:60:00", "2024-06-15 12:00:60", "2024-06-15 12:00",
+		"2024-06-15 12:00:00.", "2024-06-15 12:00:00.1234567891",
+		"2024-06-15x12:00:00", "2024-06-15 12:0:00", "2024-06-15 12:00:0",
+		"", "2024-06-15 ", "not-a-timestamp",
+	}
+	for _, s := range cases {
+		want, wok := ref(s)
+		got, gerr := ParseTimestampText(s)
+		if wok != (gerr == nil) {
+			t.Errorf("ParseTimestampText(%q): err=%v, time.Parse ok=%v", s, gerr, wok)
+			continue
+		}
+		if wok && got != want {
+			t.Errorf("ParseTimestampText(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestParseTimeTextVariants(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"00:00:00", 0, false},
+		{"00:00:00.000", 0, false},
+		{"23:59:59.999", 86399999, false},
+		{"12:34:56.5", 45296500, false},
+		{"12:34:56.50", 45296500, false},
+		{"12:34:56.500999", 45296500, false},
+		{"1:2:3", 3723000, false},
+		{"12:34", 0, true},
+		{"::", 0, true},
+		{"ab:cd:ef", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTimeText(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseTimeText(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseTimeText(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// []byte instantiation decodes identically
+	if got, err := ParseTimeText([]byte("09:08:07.123")); err != nil || got != 32887123 {
+		t.Errorf("ParseTimeText([]byte) = %d, %v", got, err)
+	}
+}
+
+func TestAppendTextPerColumnDecode(t *testing.T) {
+	b := Get()
+	defer b.Release()
+	specs := []Spec{
+		{Name: "b", QType: qval.KBool},
+		{Name: "j", QType: qval.KLong},
+		{Name: "f", QType: qval.KFloat},
+		{Name: "s", QType: qval.KSymbol},
+		{Name: "d", QType: qval.KDate},
+	}
+	b.Reset(specs, 1)
+	for j, cell := range []string{"t", "42", "-Infinity", "hello", "2000-01-02"} {
+		if err := b.AppendText(j, []byte(cell)); err != nil {
+			t.Fatalf("col %d: %v", j, err)
+		}
+	}
+	b.FinishRow()
+	_, data := b.Build()
+	if v := data[0].(qval.BoolVec); !v[0] {
+		t.Error("bool decode")
+	}
+	if v := data[1].(qval.LongVec); v[0] != 42 {
+		t.Error("long decode")
+	}
+	if v := data[2].(qval.FloatVec); !math.IsInf(v[0], -1) {
+		t.Error("float decode")
+	}
+	if v := data[3].(qval.SymbolVec); v[0] != "hello" {
+		t.Error("symbol decode")
+	}
+	if v := data[4].(qval.TemporalVec); v.V[0] != 1 {
+		t.Error("date decode")
+	}
+}
+
+// TestPoolReuseIsolation: building, releasing, and rebuilding must not let
+// the second result alias the first result's storage.
+func TestPoolReuseIsolation(t *testing.T) {
+	b := Get()
+	b.Reset([]Spec{{Name: "j", QType: qval.KLong}}, 2)
+	if err := b.AppendInt(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.FinishRow()
+	_, first := b.Build()
+	b.Release()
+
+	b2 := Get()
+	b2.Reset([]Spec{{Name: "j", QType: qval.KLong}}, 2)
+	if err := b2.AppendInt(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	b2.FinishRow()
+	_, second := b2.Build()
+	b2.Release()
+
+	if v := first[0].(qval.LongVec); v[0] != 1 {
+		t.Fatalf("first result mutated: %v", v)
+	}
+	if v := second[0].(qval.LongVec); v[0] != 99 {
+		t.Fatalf("second result wrong: %v", v)
+	}
+}

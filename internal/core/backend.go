@@ -82,7 +82,27 @@ func (b *DirectBackend) Exec(ctx context.Context, sql string) (*BackendResult, e
 	if err != nil {
 		return nil, err
 	}
-	return toBackendResult(res), nil
+	return ToBackendResult(res), nil
+}
+
+// ExecStream implements StreamBackend: engine-typed values flow straight
+// into the sink with no text rendering. The artificial Delay applies as in
+// Exec.
+func (b *DirectBackend) ExecStream(ctx context.Context, sql string, sink RowSink) error {
+	if b.Delay > 0 {
+		timer := time.NewTimer(b.Delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+	res, err := b.session.ExecContext(ctx, sql)
+	if err != nil {
+		return err
+	}
+	return FeedResult(ctx, res, sink)
 }
 
 // QueryCatalog implements Backend.
@@ -115,7 +135,10 @@ func (b *DirectBackend) Close() error {
 	return nil
 }
 
-func toBackendResult(res *pgdb.Result) *BackendResult {
+// ToBackendResult renders an embedded-engine result into the text form the
+// materialized path consumes — the conversion the columnar pipeline's
+// ExecStream avoids (kept as the fallback and as the benchmark baseline).
+func ToBackendResult(res *pgdb.Result) *BackendResult {
 	out := &BackendResult{Tag: res.Tag}
 	for _, c := range res.Cols {
 		out.Cols = append(out.Cols, BackendCol{Name: c.Name, SQLType: c.Type})

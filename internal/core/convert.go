@@ -5,8 +5,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"time"
 
+	"hyperq/internal/colbuf"
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/xtra"
 )
@@ -94,87 +94,70 @@ func parseQAtom(text string, qt qval.Type) (qval.Value, error) {
 		}
 		return qval.Float(f), nil
 	case qval.KDate:
-		t, err := time.Parse("2006-01-02", text)
+		// colbuf shares these temporal parsers with the streaming pipeline,
+		// so both result paths decode identically by construction (and the
+		// time.Parse allocation churn is gone from this path too)
+		d, err := colbuf.ParseDateText(text)
 		if err != nil {
 			return nil, err
 		}
-		return qval.Temporal{T: qval.KDate, V: qval.DateFromTime(t)}, nil
+		return qval.Temporal{T: qval.KDate, V: d}, nil
 	case qval.KTime:
-		ms, err := parseTimeText(text)
+		ms, err := colbuf.ParseTimeText(text)
 		if err != nil {
 			return nil, err
 		}
 		return qval.Temporal{T: qval.KTime, V: ms}, nil
 	case qval.KTimestamp:
-		for _, layout := range []string{"2006-01-02 15:04:05.999999999", "2006-01-02T15:04:05.999999999", "2006-01-02"} {
-			if t, err := time.Parse(layout, text); err == nil {
-				return qval.Temporal{T: qval.KTimestamp, V: qval.TimestampFromTime(t)}, nil
-			}
+		ns, err := colbuf.ParseTimestampText(text)
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("bad timestamp %q", text)
+		return qval.Temporal{T: qval.KTimestamp, V: ns}, nil
 	default:
 		return qval.Symbol(text), nil
 	}
 }
 
-func parseTimeText(s string) (int64, error) {
-	frac := int64(0)
-	if dot := strings.IndexByte(s, '.'); dot >= 0 {
-		fs := s[dot+1:]
-		for len(fs) < 3 {
-			fs += "0"
-		}
-		n, err := strconv.Atoi(fs[:3])
-		if err != nil {
-			return 0, err
-		}
-		frac = int64(n)
-		s = s[:dot]
-	}
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return 0, fmt.Errorf("bad time %q", s)
-	}
-	h, e1 := strconv.Atoi(parts[0])
-	m, e2 := strconv.Atoi(parts[1])
-	sec, e3 := strconv.Atoi(parts[2])
-	if e1 != nil || e2 != nil || e3 != nil {
-		return 0, fmt.Errorf("bad time %q", s)
-	}
-	return int64(h)*3600000 + int64(m)*60000 + int64(sec)*1000 + frac, nil
-}
-
 // QAtomToSQLText renders a Q atom as PostgreSQL text input for its mapped
 // SQL type, used when loading Q tables into the backend.
 func QAtomToSQLText(v qval.Value) (text string, null bool) {
+	b, null := AppendQAtomSQLText(nil, v)
+	return string(b), null
+}
+
+// AppendQAtomSQLText is QAtomToSQLText into a reusable scratch buffer: the
+// rendering appends to dst, so bulk loaders avoid a string allocation per
+// cell.
+func AppendQAtomSQLText(dst []byte, v qval.Value) (text []byte, null bool) {
 	if qval.IsNull(v) {
-		return "", true
+		return dst, true
 	}
 	switch x := v.(type) {
 	case qval.Bool:
 		if x {
-			return "true", false
+			return append(dst, "true"...), false
 		}
-		return "false", false
+		return append(dst, "false"...), false
 	case qval.Real:
-		return floatText(float64(x)), false
+		return appendFloatText(dst, float64(x)), false
 	case qval.Float:
-		return floatText(float64(x)), false
+		return appendFloatText(dst, float64(x)), false
 	case qval.Symbol:
-		return string(x), false
+		return append(dst, x...), false
 	case qval.CharVec:
-		return string(x), false
+		return append(dst, x...), false
 	case qval.Temporal:
 		switch x.T {
 		case qval.KDate:
-			return qval.TimeFromDate(x.V).Format("2006-01-02"), false
+			return qval.TimeFromDate(x.V).AppendFormat(dst, "2006-01-02"), false
 		case qval.KTime:
 			ms := x.V
-			return fmt.Sprintf("%02d:%02d:%02d.%03d", ms/3600000, ms/60000%60, ms/1000%60, ms%1000), false
+			return fmt.Appendf(dst, "%02d:%02d:%02d.%03d", ms/3600000, ms/60000%60, ms/1000%60, ms%1000), false
 		case qval.KTimestamp:
-			return qval.TimeFromTimestamp(x.V).Format("2006-01-02 15:04:05.999999999"), false
+			return qval.TimeFromTimestamp(x.V).AppendFormat(dst, "2006-01-02 15:04:05.999999999"), false
 		default:
-			return fmt.Sprint(x.V), false
+			return fmt.Appendf(dst, "%v", x.V), false
 		}
 	default:
 		s := v.String()
@@ -182,19 +165,19 @@ func QAtomToSQLText(v qval.Value) (text string, null bool) {
 		s = strings.TrimSuffix(s, "i")
 		s = strings.TrimSuffix(s, "h")
 		s = strings.TrimSuffix(s, "e")
-		return s, false
+		return append(dst, s...), false
 	}
 }
 
-// floatText renders a float magnitude as PostgreSQL text input; Q's ±0w
-// spellings are not valid SQL float input, PostgreSQL wants "Infinity".
-func floatText(f float64) string {
+// appendFloatText renders a float magnitude as PostgreSQL text input; Q's
+// ±0w spellings are not valid SQL float input, PostgreSQL wants "Infinity".
+func appendFloatText(dst []byte, f float64) []byte {
 	switch {
 	case math.IsInf(f, 1):
-		return "Infinity"
+		return append(dst, "Infinity"...)
 	case math.IsInf(f, -1):
-		return "-Infinity"
+		return append(dst, "-Infinity"...)
 	default:
-		return strconv.FormatFloat(f, 'g', -1, 64)
+		return strconv.AppendFloat(dst, f, 'g', -1, 64)
 	}
 }

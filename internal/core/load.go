@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"fmt"
+	"strconv"
 	"strings"
 
 	"hyperq/internal/qlang/qval"
@@ -15,6 +15,8 @@ import (
 // implicit ordering using SQL requires database schema changes"). The paper
 // assumes data is loaded into the underlying system independently (§1); this
 // loader is that independent path for examples, tests and benchmarks.
+// Statements build in reused scratch buffers: one cell rendering and one
+// INSERT per batch, not one string per cell.
 func LoadQTable(ctx context.Context, b Backend, name string, t *qval.Table) error {
 	var defs []string
 	defs = append(defs, xtra.OrdCol+" bigint")
@@ -29,58 +31,77 @@ func LoadQTable(ctx context.Context, b Backend, name string, t *qval.Table) erro
 	}
 	n := t.Len()
 	const batch = 500
+	prefix := "INSERT INTO " + quoteIdent(name) + " VALUES "
+	var sb, cell []byte
 	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		var rows []string
+		sb = append(sb[:0], prefix...)
 		for r := lo; r < hi; r++ {
-			vals := make([]string, 0, len(t.Cols)+1)
-			vals = append(vals, fmt.Sprint(r))
-			for c := range t.Cols {
-				vals = append(vals, sqlLiteral(qval.Index(t.Data[c], r)))
+			if r > lo {
+				sb = append(sb, ", "...)
 			}
-			rows = append(rows, "("+strings.Join(vals, ", ")+")")
+			sb = append(sb, '(')
+			sb = strconv.AppendInt(sb, int64(r), 10)
+			for c := range t.Cols {
+				sb = append(sb, ", "...)
+				sb, cell = appendSQLLiteral(sb, cell, qval.Index(t.Data[c], r))
+			}
+			sb = append(sb, ')')
 		}
-		sql := "INSERT INTO " + quoteIdent(name) + " VALUES " + strings.Join(rows, ", ")
-		if _, err := b.Exec(ctx, sql); err != nil {
+		if _, err := b.Exec(ctx, string(sb)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func sqlLiteral(v qval.Value) string {
-	text, null := QAtomToSQLText(v)
+// appendSQLLiteral appends the SQL literal spelling of a Q atom to dst,
+// rendering the atom's text form into the reused cell scratch first. It
+// returns both buffers (possibly regrown).
+func appendSQLLiteral(dst, cell []byte, v qval.Value) ([]byte, []byte) {
+	cell, null := AppendQAtomSQLText(cell[:0], v)
 	if null {
-		return "NULL"
+		return append(dst, "NULL"...), cell
 	}
 	switch v.(type) {
 	case qval.Symbol, qval.CharVec, qval.Char:
-		return "'" + strings.ReplaceAll(text, "'", "''") + "'"
+		dst = append(dst, '\'')
+		dst = appendEscaped(dst, cell)
+		return append(dst, '\''), cell
 	case qval.Real, qval.Float:
 		// infinities need the quoted-and-cast PostgreSQL spelling
-		if text == "Infinity" || text == "-Infinity" {
-			return "'" + text + "'::double precision"
+		if string(cell) == "Infinity" || string(cell) == "-Infinity" {
+			dst = append(dst, '\'')
+			dst = append(dst, cell...)
+			return append(dst, "'::double precision"...), cell
 		}
-		return text
+		return append(dst, cell...), cell
 	case qval.Temporal:
 		t := v.(qval.Temporal)
+		var cast string
 		switch t.T {
 		case qval.KDate:
-			return "'" + text + "'::date"
+			cast = "'::date"
 		case qval.KTime:
-			return "'" + text + "'::time"
+			cast = "'::time"
 		case qval.KTimestamp:
-			return "'" + text + "'::timestamp"
+			cast = "'::timestamp"
 		default:
-			return text
+			return append(dst, cell...), cell
 		}
+		dst = append(dst, '\'')
+		dst = append(dst, cell...)
+		return append(dst, cast...), cell
 	case qval.Bool:
-		return strings.ToUpper(text)
+		if bool(v.(qval.Bool)) {
+			return append(dst, "TRUE"...), cell
+		}
+		return append(dst, "FALSE"...), cell
 	default:
-		return text
+		return append(dst, cell...), cell
 	}
 }
 
@@ -98,4 +119,16 @@ func quoteIdent(s string) string {
 		return s
 	}
 	return `"` + s + `"`
+}
+
+// appendEscaped copies s into dst doubling single quotes.
+func appendEscaped(dst, s []byte) []byte {
+	for _, c := range s {
+		if c == '\'' {
+			dst = append(dst, '\'', '\'')
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }

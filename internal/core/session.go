@@ -30,10 +30,27 @@ const (
 	Logical
 )
 
+// ResultPath selects how backend results become Q tables.
+type ResultPath int
+
+// Result-path modes.
+const (
+	// ColumnarPath streams rows into pooled typed column builders
+	// (StreamBackend) — the default. Backends without ExecStream fall back
+	// to the text path transparently.
+	ColumnarPath ResultPath = iota
+	// TextPath materializes a text BackendResult and re-parses it via
+	// ResultToQ — the compatibility fallback and differential oracle.
+	TextPath
+)
+
 // Config tunes a platform session.
 type Config struct {
 	Xformer         xformer.Config
 	Materialization Materialization
+	// ResultPath selects the columnar streaming pipeline (default) or the
+	// materialized text path for result conversion.
+	ResultPath ResultPath
 	// MDITTL is the metadata cache expiration (0 disables caching).
 	MDITTL time.Duration
 	// MDI, when set, is a shared (process-wide) metadata interface used
@@ -283,14 +300,7 @@ func (s *Session) execStatement(ctx context.Context, stmt ast.Node, stats *RunSt
 		if err != nil {
 			return nil, false, err
 		}
-		t3 := time.Now()
-		res, err := s.backend.Exec(ctx, sql)
-		stats.Execute += time.Since(t3)
-		stats.SQLs = append(stats.SQLs, sql)
-		if err != nil {
-			return nil, false, err
-		}
-		tbl, err := ResultToQ(res)
+		tbl, err := s.execToQ(ctx, sql, stats)
 		if err != nil {
 			return nil, false, err
 		}
@@ -320,14 +330,7 @@ func (s *Session) execStatement(ctx context.Context, stmt ast.Node, stats *RunSt
 		if bound.Assign != "" {
 			return s.materialize(ctx, bound, root, sql, stats)
 		}
-		t3 := time.Now()
-		res, err := s.backend.Exec(ctx, sql)
-		stats.Execute += time.Since(t3)
-		stats.SQLs = append(stats.SQLs, sql)
-		if err != nil {
-			return nil, false, err
-		}
-		tbl, err := ResultToQ(res)
+		tbl, err := s.execToQ(ctx, sql, stats)
 		if err != nil {
 			return nil, false, err
 		}
@@ -342,6 +345,36 @@ func (s *Session) execStatement(ctx context.Context, stmt ast.Node, stats *RunSt
 }
 
 func (s *Session) scopes() *binder.Scopes { return s.binder.Scopes }
+
+// execToQ runs one query on the backend and pivots the result into a Q
+// table. On the (default) columnar path with a streaming-capable backend,
+// rows flow into pooled typed column builders as they are produced; the
+// text path — also taken when the backend only implements Exec —
+// materializes a text result and re-parses it via ResultToQ.
+func (s *Session) execToQ(ctx context.Context, sql string, stats *RunStats) (*qval.Table, error) {
+	if s.cfg.ResultPath == ColumnarPath {
+		if sb, ok := s.backend.(StreamBackend); ok {
+			sink := GetTableSink()
+			defer sink.Release()
+			t0 := time.Now()
+			err := sb.ExecStream(ctx, sql, sink)
+			stats.Execute += time.Since(t0)
+			stats.SQLs = append(stats.SQLs, sql)
+			if err != nil {
+				return nil, err
+			}
+			return sink.Table(), nil
+		}
+	}
+	t0 := time.Now()
+	res, err := s.backend.Exec(ctx, sql)
+	stats.Execute += time.Since(t0)
+	stats.SQLs = append(stats.SQLs, sql)
+	if err != nil {
+		return nil, err
+	}
+	return ResultToQ(res)
+}
 
 // cachedTranslation consults the query cache for qsrc, translating (once,
 // under single-flight) and populating it on a miss when the request is
@@ -433,14 +466,7 @@ func (s *Session) translateCacheable(ctx context.Context, qsrc string) (*qcache.
 // execCached executes a cached translation, mirroring execStatement's
 // result conversion for the cacheable statement shapes.
 func (s *Session) execCached(ctx context.Context, e *qcache.Entry, stats *RunStats) (qval.Value, error) {
-	t0 := time.Now()
-	res, err := s.backend.Exec(ctx, e.SQL)
-	stats.Execute += time.Since(t0)
-	stats.SQLs = append(stats.SQLs, e.SQL)
-	if err != nil {
-		return nil, err
-	}
-	tbl, err := ResultToQ(res)
+	tbl, err := s.execToQ(ctx, e.SQL, stats)
 	if err != nil {
 		return nil, err
 	}

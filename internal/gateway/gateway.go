@@ -55,6 +55,34 @@ func (g *Gateway) Exec(ctx context.Context, sql string) (*core.BackendResult, er
 	return out, nil
 }
 
+// ExecStream implements core.StreamBackend: DataRow messages decode
+// incrementally into the sink as they arrive off the wire, with no
+// [][]Field materialization in between. Cancellation and abort semantics
+// match Exec's.
+func (g *Gateway) ExecStream(ctx context.Context, sql string, sink core.RowSink) error {
+	return g.conn.QueryStream(ctx, sql, &streamAdapter{sink: sink})
+}
+
+// streamAdapter bridges pgv3.RowReceiver onto core.RowSink, mapping wire
+// OIDs to SQL type names once per result.
+type streamAdapter struct {
+	sink core.RowSink
+	cols []core.BackendCol
+}
+
+func (a *streamAdapter) Describe(cols []pgv3.ColDesc) error {
+	a.cols = a.cols[:0]
+	for _, c := range cols {
+		a.cols = append(a.cols, core.BackendCol{Name: c.Name, SQLType: pgv3.TypeForOID(c.TypeOID)})
+	}
+	// no row-count hint: the wire protocol does not announce result size
+	return a.sink.Schema(a.cols, -1)
+}
+
+func (a *streamAdapter) DataRow(fields [][]byte) error { return a.sink.TextRow(fields) }
+
+func (a *streamAdapter) Complete(tag string) { a.sink.Tag(tag) }
+
 // QueryCatalog implements core.Backend: the binder's metadata lookups run
 // as ordinary catalog queries over the same connection (paper §3.2.3).
 func (g *Gateway) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {

@@ -116,6 +116,84 @@ func FormatValue(v any, typ string) string {
 	}
 }
 
+// AppendValue appends FormatValue's rendering of v to dst, for callers that
+// reuse a scratch buffer instead of allocating a string per cell.
+func AppendValue(dst []byte, v any, typ string) []byte {
+	if v == nil {
+		return dst
+	}
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return append(dst, 't')
+		}
+		return append(dst, 'f')
+	case int64:
+		switch typ {
+		case "date":
+			return pgEpoch.AddDate(0, 0, int(x)).AppendFormat(dst, "2006-01-02")
+		case "time":
+			return appendTimeOfDay(dst, x)
+		case "timestamp", "timestamptz":
+			return pgEpoch.Add(time.Duration(x)).AppendFormat(dst, "2006-01-02 15:04:05.999999999")
+		case "interval":
+			dst = strconv.AppendInt(dst, x, 10)
+			return append(dst, " ns"...)
+		default:
+			return strconv.AppendInt(dst, x, 10)
+		}
+	case float64:
+		switch {
+		case math.IsNaN(x):
+			return append(dst, "NaN"...)
+		case math.IsInf(x, 1):
+			return append(dst, "Infinity"...)
+		case math.IsInf(x, -1):
+			return append(dst, "-Infinity"...)
+		}
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case string:
+		return append(dst, x...)
+	default:
+		return fmt.Appendf(dst, "%v", x)
+	}
+}
+
+// appendTimeOfDay renders ms-since-midnight as "%02d:%02d:%02d.%03d",
+// byte-identical to FormatValue's fmt.Sprintf for the values the engine
+// produces.
+func appendTimeOfDay(dst []byte, ms int64) []byte {
+	pad2 := func(dst []byte, v int64) []byte {
+		if v >= 0 && v < 10 {
+			dst = append(dst, '0')
+		}
+		return strconv.AppendInt(dst, v, 10)
+	}
+	dst = pad2(dst, ms/3600000)
+	dst = append(dst, ':')
+	dst = pad2(dst, ms/60000%60)
+	dst = append(dst, ':')
+	dst = pad2(dst, ms/1000%60)
+	dst = append(dst, '.')
+	// "%03d": zero-pad to total width 3, the sign counting toward the width
+	v := ms % 1000
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+		if v < 10 {
+			dst = append(dst, '0')
+		}
+	} else {
+		if v < 100 {
+			dst = append(dst, '0')
+		}
+		if v < 10 {
+			dst = append(dst, '0')
+		}
+	}
+	return strconv.AppendInt(dst, v, 10)
+}
+
 // ParseValue converts PostgreSQL text input into an engine value for the
 // given column type.
 func ParseValue(s string, typ string) (any, error) {

@@ -52,6 +52,19 @@ func (b *SessionBackend) Exec(ctx context.Context, sql string) (*core.BackendRes
 	return res, err
 }
 
+// ExecStream implements core.StreamBackend with the same checkout, pinning
+// and checkin rules as Exec — a statement that creates a temp table pins the
+// connection whichever result path delivered it.
+func (b *SessionBackend) ExecStream(ctx context.Context, sql string, sink core.RowSink) error {
+	c, pinned, err := b.checkout(ctx, pinsConnection(sql))
+	if err != nil {
+		return err
+	}
+	err = b.pool.ExecStream(ctx, c, sql, sink)
+	b.checkin(c, pinned, err)
+	return err
+}
+
 // QueryCatalog implements core.Backend. Catalog queries never pin, but a
 // session that already pinned keeps using its connection — its temp tables
 // are only visible there.

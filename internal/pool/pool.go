@@ -235,6 +235,23 @@ func (p *Pool) Exec(ctx context.Context, c Conn, sql string) (*core.BackendResul
 	return c.Exec(ctx, sql)
 }
 
+// ExecStream runs one statement on conn, streaming the result into sink,
+// under the same per-query context as Exec. A connection that does not
+// implement core.StreamBackend is bridged: its materialized text result is
+// replayed into the sink.
+func (p *Pool) ExecStream(ctx context.Context, c Conn, sql string, sink core.RowSink) error {
+	ctx, cancel := p.queryContext(ctx)
+	defer cancel()
+	if sb, ok := c.(core.StreamBackend); ok {
+		return sb.ExecStream(ctx, sql, sink)
+	}
+	res, err := c.Exec(ctx, sql)
+	if err != nil {
+		return err
+	}
+	return core.ReplayResult(res, sink)
+}
+
 // QueryCatalog runs one catalog query on conn under the per-query context.
 func (p *Pool) QueryCatalog(ctx context.Context, c Conn, sql string) ([][]string, error) {
 	ctx, cancel := p.queryContext(ctx)

@@ -29,11 +29,19 @@ func NewLocalFramework() *Framework {
 // ExecInterpreted the retained AST walker — running the same corpus through
 // both proves the two engines agree (see parity_test.go).
 func NewLocalFrameworkMode(mode pgdb.ExecMode) *Framework {
+	return NewLocalFrameworkPath(mode, core.ColumnarPath)
+}
+
+// NewLocalFrameworkPath additionally pins the session's result path, so the
+// same corpus can be driven through the columnar streaming pipeline and the
+// text fallback — each acting as the other's differential oracle (see
+// streamparity_test.go).
+func NewLocalFrameworkPath(mode pgdb.ExecMode, path core.ResultPath) *Framework {
 	db := pgdb.NewDB()
 	db.SetExecMode(mode)
 	b := core.NewDirectBackend(db)
 	p := core.NewPlatform()
-	s := p.NewSession(b, core.Config{})
+	s := p.NewSession(b, core.Config{ResultPath: path})
 	return New(interp.New(), s, b)
 }
 
@@ -54,6 +62,9 @@ type FuzzConfig struct {
 	// ExecMode selects the pgdb execution engine under test (default
 	// ExecCompiled).
 	ExecMode pgdb.ExecMode
+	// ResultPath selects the session result pipeline under test (default
+	// ColumnarPath, the streaming builders; TextPath is the fallback).
+	ResultPath core.ResultPath
 }
 
 // FuzzCase is one divergence, minimized if shrinking was on. Tables holds
@@ -115,7 +126,7 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		if f == nil || i%cfg.ReloadEvery == 0 {
 			ds = g.Dataset()
 			var err error
-			f, err = loadDataset(ctx, ds, cfg.ExecMode)
+			f, err = loadDataset(ctx, ds, cfg.ExecMode, cfg.ResultPath)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d: load dataset: %w", i, err)
 			}
@@ -135,9 +146,9 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		class := divergenceClass(r)
 		sq, sds := q, ds
 		if cfg.Shrink {
-			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget, cfg.ExecMode)
+			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget, cfg.ExecMode, cfg.ResultPath)
 			// re-derive the diffs for the minimized case
-			if mf, err := loadDataset(ctx, sds, cfg.ExecMode); err == nil {
+			if mf, err := loadDataset(ctx, sds, cfg.ExecMode, cfg.ResultPath); err == nil {
 				if mr, err := mf.Compare(ctx, sq.Q()); err == nil && !mr.Match {
 					r = mr
 				}
@@ -160,8 +171,8 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 }
 
 // loadDataset builds a fresh framework with the dataset installed.
-func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode) (*Framework, error) {
-	f := NewLocalFrameworkMode(mode)
+func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode, path core.ResultPath) (*Framework, error) {
+	f := NewLocalFrameworkPath(mode, path)
 	for _, name := range ds.Names() {
 		t, ok := ds.Tables[name]
 		if !ok {
@@ -176,12 +187,12 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode) (*Fr
 
 // reproduces reports whether the (query, dataset) pair still shows a
 // divergence of the same class.
-func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int, mode pgdb.ExecMode) bool {
+func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int, mode pgdb.ExecMode, path core.ResultPath) bool {
 	if *budget <= 0 {
 		return false
 	}
 	*budget--
-	f, err := loadDataset(ctx, ds, mode)
+	f, err := loadDataset(ctx, ds, mode, path)
 	if err != nil {
 		return false
 	}
@@ -197,14 +208,14 @@ func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 // replace expressions by sub-expressions) and the table rows (delta
 // debugging: halves, then single rows), until neither makes progress or the
 // budget runs out.
-func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int, mode pgdb.ExecMode) (*qgen.Query, *qgen.Dataset) {
+func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int, mode pgdb.ExecMode, path core.ResultPath) (*qgen.Query, *qgen.Dataset) {
 	for {
 		progressed := false
 		// query-level shrinks to a fixpoint
 		for {
 			var next *qgen.Query
 			for _, cand := range q.Shrinks() {
-				if reproduces(ctx, cand, ds, class, &budget, mode) {
+				if reproduces(ctx, cand, ds, class, &budget, mode, path) {
 					next = cand
 					break
 				}
@@ -221,7 +232,7 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 			if t == nil || t.Len() == 0 {
 				continue
 			}
-			if small := shrinkRows(ctx, q, ds, name, class, &budget, mode); small != nil {
+			if small := shrinkRows(ctx, q, ds, name, class, &budget, mode, path); small != nil {
 				ds = small
 				progressed = true
 			}
@@ -234,13 +245,13 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 
 // shrinkRows delta-debugs one table's rows; returns a smaller dataset or
 // nil when no deletion reproduces.
-func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int, mode pgdb.ExecMode) *qgen.Dataset {
+func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int, mode pgdb.ExecMode, path core.ResultPath) *qgen.Dataset {
 	cur := ds
 	improved := false
 	for chunk := cur.Tables[name].Len() / 2; chunk >= 1; chunk /= 2 {
 		for lo := 0; lo+chunk <= cur.Tables[name].Len(); {
 			cand := withTableRows(cur, name, deleteRange(cur.Tables[name].Len(), lo, lo+chunk))
-			if reproduces(ctx, q, cand, class, budget, mode) {
+			if reproduces(ctx, q, cand, class, budget, mode, path) {
 				cur = cand
 				improved = true
 				// same lo now addresses the next chunk

@@ -1,0 +1,179 @@
+package sidebyside
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+
+	"hyperq/internal/core"
+	"hyperq/internal/gateway"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/qgen"
+	"hyperq/internal/wire/pgv3"
+	"hyperq/internal/wire/qipc"
+)
+
+// The columnar result pipeline and the retained text path must be
+// observationally identical: for any query, the QIPC encoding of the result
+// must agree byte for byte. These tests drive the qdiff corpus and a seeded
+// generated stream through both paths, over both backend shapes — the
+// embedded DirectBackend (typed values into builders) and a loopback PG v3
+// gateway (wire text into builders).
+
+// pathStack is one Hyper-Q session pinned to a result path, over its own
+// freshly loaded database.
+type pathStack struct {
+	session *core.Session
+	cleanup func()
+}
+
+// newPathStack loads ds into a fresh pgdb and opens a session with the given
+// result path over the requested backend kind ("direct" or "pgv3").
+func newPathStack(t *testing.T, ctx context.Context, ds *qgen.Dataset, kind string, path core.ResultPath) *pathStack {
+	t.Helper()
+	db := pgdb.NewDB()
+	loader := core.NewDirectBackend(db)
+	for _, name := range ds.Names() {
+		tbl, ok := ds.Tables[name]
+		if !ok {
+			continue
+		}
+		if err := core.LoadQTable(ctx, loader, name, tbl); err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+	}
+	var backend core.Backend = loader
+	cleanup := func() {}
+	if kind == "pgv3" {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go pgdb.Serve(context.Background(), l, db, pgdb.AuthConfig{Method: pgv3.AuthMethodTrust})
+		gw, err := gateway.Dial(ctx, l.Addr().String(), "hq", "", "db")
+		if err != nil {
+			l.Close()
+			t.Fatal(err)
+		}
+		backend = gw
+		cleanup = func() {
+			gw.Close()
+			l.Close()
+		}
+	}
+	s := core.NewPlatform().NewSession(backend, core.Config{ResultPath: path})
+	stackCleanup := cleanup
+	return &pathStack{session: s, cleanup: func() {
+		s.Close()
+		stackCleanup()
+	}}
+}
+
+// runEncoded evaluates q and returns the QIPC bytes of its result.
+func (ps *pathStack) runEncoded(t *testing.T, ctx context.Context, q string) ([]byte, error) {
+	t.Helper()
+	v, _, err := ps.session.Run(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	b, err := qipc.EncodeValue(v)
+	if err != nil {
+		t.Fatalf("encode result of %q: %v", q, err)
+	}
+	return b, nil
+}
+
+// assertPathsAgree runs one query through both stacks and requires identical
+// outcomes: both error, or both succeed with byte-identical QIPC encodings.
+func assertPathsAgree(t *testing.T, ctx context.Context, col, txt *pathStack, q string) {
+	t.Helper()
+	cb, cerr := col.runEncoded(t, ctx, q)
+	tb, terr := txt.runEncoded(t, ctx, q)
+	switch {
+	case (cerr == nil) != (terr == nil):
+		t.Errorf("path error divergence on %q: columnar=%v text=%v", q, cerr, terr)
+	case cerr == nil && !bytes.Equal(cb, tb):
+		t.Errorf("QIPC bytes diverge on %q: columnar %d bytes, text %d bytes", q, len(cb), len(tb))
+	}
+}
+
+var streamParityBackends = []string{"direct", "pgv3"}
+
+// TestStreamParityCorpus replays every checked-in qdiff reproducer through
+// the columnar pipeline and the text fallback on both backend shapes. Each
+// entry once exposed a semantic edge case (NaN, infinities, nulls, negative
+// zero...), which makes the corpus a sharp oracle for cell conversion.
+func TestStreamParityCorpus(t *testing.T) {
+	entries, err := LoadCorpus("testdata/qdiff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries under testdata/qdiff")
+	}
+	ctx := context.Background()
+	for _, kind := range streamParityBackends {
+		for _, e := range entries {
+			t.Run(kind+"/"+e.Name, func(t *testing.T) {
+				ds, err := qgen.DecodeDataset(e.Tables)
+				if err != nil {
+					t.Fatal(err)
+				}
+				col := newPathStack(t, ctx, ds, kind, core.ColumnarPath)
+				defer col.cleanup()
+				txt := newPathStack(t, ctx, ds, kind, core.TextPath)
+				defer txt.cleanup()
+				assertPathsAgree(t, ctx, col, txt, e.Query)
+			})
+		}
+	}
+}
+
+// TestFuzzTextFallbackPath runs a seeded qdiff stream with the text result
+// path pinned, keeping the fallback verified against the kdb+ reference even
+// though sessions default to the columnar pipeline.
+func TestFuzzTextFallbackPath(t *testing.T) {
+	rep, err := Fuzz(context.Background(), FuzzConfig{Seed: 7, N: 150, ResultPath: core.TextPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != rep.N {
+		t.Errorf("text path: %d of %d queries matched", rep.Matches, rep.N)
+	}
+	for _, c := range rep.Mismatches {
+		t.Errorf("text path, iteration %d [%s]: %s\n  diffs: %v", c.Iteration, c.Class, c.Query, c.Diffs)
+	}
+}
+
+// TestStreamParityFuzz drives a seeded generated query stream through both
+// result paths in lockstep. Both sessions see the identical statement
+// sequence, so even stateful queries stay comparable.
+func TestStreamParityFuzz(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range streamParityBackends {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			n, reload := 150, 25
+			if kind == "pgv3" {
+				n = 60 // real sockets per query: keep the stream shorter
+			}
+			g := qgen.New(qgen.Config{Seed: 11})
+			var col, txt *pathStack
+			for i := 0; i < n; i++ {
+				if i%reload == 0 {
+					if col != nil {
+						col.cleanup()
+						txt.cleanup()
+					}
+					ds := g.Dataset()
+					col = newPathStack(t, ctx, ds, kind, core.ColumnarPath)
+					txt = newPathStack(t, ctx, ds, kind, core.TextPath)
+				}
+				assertPathsAgree(t, ctx, col, txt, g.Query().Q())
+			}
+			col.cleanup()
+			txt.cleanup()
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"time"
 )
@@ -15,6 +16,22 @@ type ClientConn struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// streaming scratch, reused across messages of one query at a time (a
+	// connection serves one query at a time)
+	rbuf   []byte
+	fields [][]byte
+}
+
+// RowReceiver receives one streamed simple-query result: the schema, then
+// each data row as it is decoded off the wire, then the command tag.
+type RowReceiver interface {
+	// Describe delivers the RowDescription.
+	Describe(cols []ColDesc) error
+	// DataRow delivers one row. A nil cell is SQL NULL; non-nil cells point
+	// into the connection's read buffer and are only valid during the call.
+	DataRow(fields [][]byte) error
+	// Complete delivers the command tag once the result finished cleanly.
+	Complete(tag string)
 }
 
 // QueryResult is a collected simple-query result: schema, rows in text
@@ -120,19 +137,58 @@ func (c *ClientConn) sendPassword(pw string) error {
 }
 
 // Query runs one SQL statement via the simple query protocol and collects
-// the full result (Hyper-Q must buffer the result set anyway before
-// pivoting it to QIPC column format, paper §4.2). The context is the single
-// source of truth for the query's deadline and cancellation: its deadline
-// becomes the socket I/O deadline, and cancellation aborts in-flight I/O
-// immediately. An abort surfaces as an *AbortError wrapping ctx.Err() — the
-// connection is mid-protocol at that point and must be discarded.
+// the full result into owned strings — the materialized form the text path
+// consumes. It is QueryStream over a collecting receiver, so it shares the
+// cancellation semantics below: after the statement context is canceled
+// mid-stream, remaining rows are discarded as they drain rather than
+// accumulated.
 func (c *ClientConn) Query(ctx context.Context, sql string) (*QueryResult, error) {
-	if err := ctx.Err(); err != nil {
+	res := &QueryResult{}
+	if err := c.QueryStream(ctx, sql, (*collectReceiver)(res)); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// collectReceiver materializes a streamed result as a QueryResult.
+type collectReceiver QueryResult
+
+func (cr *collectReceiver) Describe(cols []ColDesc) error {
+	cr.Cols = cols
+	return nil
+}
+
+func (cr *collectReceiver) DataRow(fields [][]byte) error {
+	row := make([]Field, len(fields))
+	for j, f := range fields {
+		if f == nil {
+			row[j] = Field{Null: true}
+		} else {
+			row[j] = Field{Text: string(f)}
+		}
+	}
+	cr.Rows = append(cr.Rows, row)
+	return nil
+}
+
+func (cr *collectReceiver) Complete(tag string) { cr.Tag = tag }
+
+// QueryStream runs one SQL statement via the simple query protocol,
+// delivering rows to the receiver incrementally as DataRow messages decode
+// — no [][]Field materialization. The context is the single source of truth
+// for the query's deadline and cancellation: its deadline becomes the
+// socket I/O deadline, and cancellation aborts in-flight I/O immediately.
+// An abort surfaces as an *AbortError wrapping ctx.Err() — the connection
+// is mid-protocol at that point and must be discarded. A receiver error
+// stops delivery but drains the result to ReadyForQuery, keeping the
+// connection protocol-clean (matching the materialized path, where
+// conversion errors surface after the full drain).
+func (c *ClientConn) QueryStream(ctx context.Context, sql string, rr RowReceiver) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	finish := c.armContext(ctx)
-	res, err := c.query(sql)
-	return res, finish(err)
+	return finish(c.queryStream(ctx, sql, rr))
 }
 
 // armContext maps ctx onto the socket for the duration of one query. The
@@ -175,54 +231,129 @@ func (c *ClientConn) armContext(ctx context.Context) func(error) error {
 	}
 }
 
-func (c *ClientConn) query(sql string) (*QueryResult, error) {
+func (c *ClientConn) queryStream(ctx context.Context, sql string, rr RowReceiver) error {
 	m := newMsg('Q')
 	m.cstr(sql)
 	if err := m.writeTo(c.w); err != nil {
-		return nil, err
+		return err
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return err
 	}
-	res := &QueryResult{}
-	var qerr error
+	var qerr, sinkErr error
+	var tag string
+	aborted := false
 	for {
-		typ, body, err := readTyped(c.r)
+		typ, body, err := c.readTypedReuse()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch typ {
 		case 'T':
+			if aborted || sinkErr != nil {
+				continue
+			}
 			cols, err := parseRowDescription(body)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Cols = cols
+			if err := rr.Describe(cols); err != nil {
+				sinkErr = err
+			}
 		case 'D':
-			row, err := parseDataRow(body)
-			if err != nil {
-				return nil, err
+			// a canceled statement stops delivering (and retaining) rows
+			// right away; the remaining stream drains until the context
+			// watcher's poisoned socket deadline or ReadyForQuery ends it
+			if !aborted && ctx.Err() != nil {
+				aborted = true
 			}
-			res.Rows = append(res.Rows, row)
+			if aborted || sinkErr != nil {
+				continue
+			}
+			if err := c.parseDataRowInto(body); err != nil {
+				return err
+			}
+			if err := rr.DataRow(c.fields); err != nil {
+				sinkErr = err
+			}
 		case 'C':
-			tag, _, err := cutCString(body)
+			t, _, err := cutCString(body)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Tag = tag
+			tag = t
 		case 'E':
 			qerr = parseServerError(body)
 		case 'N', 'S', 'K':
 			// notices and parameter updates: ignore
 		case 'Z':
-			if qerr != nil {
-				return nil, qerr
+			switch {
+			case qerr != nil:
+				return qerr
+			case sinkErr != nil:
+				return sinkErr
+			case aborted:
+				return ctx.Err()
 			}
-			return res, nil
+			rr.Complete(tag)
+			return nil
 		default:
-			return nil, errf("unexpected message %q during query", typ)
+			return errf("unexpected message %q during query", typ)
 		}
 	}
+}
+
+// readTypedReuse reads one typed message into the connection's reusable
+// body buffer; the returned body is only valid until the next read.
+func (c *ClientConn) readTypedReuse() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n < 4 || n > 1<<30 {
+		return 0, nil, errf("implausible message length %d", n)
+	}
+	need := int(n - 4)
+	if cap(c.rbuf) < need {
+		c.rbuf = make([]byte, need)
+	}
+	body := c.rbuf[:need]
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+// parseDataRowInto decodes a DataRow into the connection's reusable field
+// slice: nil for NULL, subslices of the read buffer otherwise.
+func (c *ClientConn) parseDataRowInto(b []byte) error {
+	if len(b) < 2 {
+		return errf("short DataRow")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if cap(c.fields) < n {
+		c.fields = make([][]byte, n)
+	}
+	c.fields = c.fields[:n]
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return errf("short field length")
+		}
+		ln := int32(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if ln < 0 {
+			c.fields[i] = nil
+			continue
+		}
+		if int(ln) > len(b) {
+			return errf("field overruns message")
+		}
+		c.fields[i] = b[:ln:ln]
+		b = b[ln:]
+	}
+	return nil
 }
 
 // Close sends Terminate and closes the socket.
@@ -253,32 +384,6 @@ func parseRowDescription(b []byte) ([]ColDesc, error) {
 		b = rest[18:]
 	}
 	return cols, nil
-}
-
-func parseDataRow(b []byte) ([]Field, error) {
-	if len(b) < 2 {
-		return nil, errf("short DataRow")
-	}
-	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	row := make([]Field, 0, n)
-	for i := 0; i < n; i++ {
-		if len(b) < 4 {
-			return nil, errf("short field length")
-		}
-		ln := int32(binary.BigEndian.Uint32(b))
-		b = b[4:]
-		if ln < 0 {
-			row = append(row, Field{Null: true})
-			continue
-		}
-		if int(ln) > len(b) {
-			return nil, errf("field overruns message")
-		}
-		row = append(row, Field{Text: string(b[:ln])})
-		b = b[ln:]
-	}
-	return row, nil
 }
 
 func parseServerError(b []byte) *ServerError {

@@ -83,7 +83,7 @@ func appendValue(b []byte, v qval.Value) ([]byte, error) {
 		return append(b, byte(0x100-10), byte(x)), nil
 	case qval.Symbol:
 		b = append(b, byte(0x100-11))
-		b = append(b, []byte(x)...)
+		b = append(b, x...)
 		return append(b, 0), nil
 	case qval.Temporal:
 		return appendTemporalAtom(b, x)
@@ -139,7 +139,7 @@ func appendValue(b []byte, v qval.Value) ([]byte, error) {
 	case qval.SymbolVec:
 		b = appendVecHeader(b, 11, len(x))
 		for _, e := range x {
-			b = append(b, []byte(e)...)
+			b = append(b, e...)
 			b = append(b, 0)
 		}
 		return b, nil
@@ -164,10 +164,7 @@ func appendValue(b []byte, v qval.Value) ([]byte, error) {
 	case *qval.Table:
 		// table: 0x62, attrs, then a dict of column symbols to column list
 		b = append(b, 98, 0)
-		cols := qval.SymbolVec(x.Cols)
-		vals := make(qval.List, len(x.Data))
-		copy(vals, x.Data)
-		return appendValue(append([]byte{}, b...), &qval.Dict{Keys: cols, Vals: vals})
+		return appendValue(b, &qval.Dict{Keys: qval.SymbolVec(x.Cols), Vals: qval.List(x.Data)})
 	case *qval.Dict:
 		b = append(b, 99)
 		var err error
@@ -184,7 +181,7 @@ func appendValue(b []byte, v qval.Value) ([]byte, error) {
 		return append(b, 101, byte(x)), nil
 	case *qval.QError:
 		b = append(b, 0x80)
-		b = append(b, []byte(x.Msg)...)
+		b = append(b, x.Msg...)
 		return append(b, 0), nil
 	default:
 		return nil, errf("cannot encode %T", v)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"hyperq/internal/qlang/qval"
 )
@@ -29,18 +30,36 @@ type Message struct {
 	Value qval.Value
 }
 
-// WriteMessage frames and writes one message. Payloads above
+// msgBufPool recycles message frame buffers across WriteMessage calls.
+// Buffers whose capacity exceeds maxPooledMsgBuf are dropped rather than
+// pooled, so one huge result does not keep megabytes resident.
+var msgBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledMsgBuf = 1 << 20
+
+// WriteMessage frames and writes one message. The frame buffer comes from a
+// pool and is sized up front from the value's exact encoded length, so the
+// value — typically a column-oriented result table — serializes straight
+// into place with no growth reallocations and no header copy. Payloads above
 // CompressThreshold are compressed when compression actually shrinks them.
 func WriteMessage(w io.Writer, typ MsgType, v qval.Value) error {
-	body, err := EncodeValue(v)
+	bp := msgBufPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bp) <= maxPooledMsgBuf {
+			msgBufPool.Put(bp)
+		}
+	}()
+	raw := (*bp)[:0]
+	if n, ok := encodedSize(v); ok && cap(raw) < headerLen+n {
+		raw = make([]byte, 0, headerLen+n)
+	}
+	raw = append(raw, 1, byte(typ), 0, 0, 0, 0, 0, 0)
+	raw, err := appendValue(raw, v)
 	if err != nil {
 		return err
 	}
-	raw := make([]byte, headerLen+len(body))
-	raw[0] = 1
-	raw[1] = byte(typ)
-	binary.LittleEndian.PutUint32(raw[4:], uint32(len(raw)))
-	copy(raw[headerLen:], body)
+	*bp = raw
+	binary.LittleEndian.PutUint32(raw[4:8], uint32(len(raw)))
 	if len(raw) > CompressThreshold {
 		if z, ok := Compress(raw); ok {
 			_, err = w.Write(z)

@@ -1,0 +1,103 @@
+package qipc
+
+import "hyperq/internal/qlang/qval"
+
+// encodedSize returns the exact number of bytes appendValue will emit for v,
+// letting WriteMessage size its buffer up front — one allocation per message,
+// no append growth while serializing wide result tables. The second return is
+// false for values appendValue cannot encode.
+func encodedSize(v qval.Value) (int, bool) {
+	switch x := v.(type) {
+	case qval.Bool, qval.Byte, qval.Char:
+		return 2, true
+	case qval.Short:
+		return 3, true
+	case qval.Int, qval.Real:
+		return 5, true
+	case qval.Long, qval.Float, qval.Datetime:
+		return 9, true
+	case qval.Symbol:
+		return 2 + len(x), true
+	case qval.Temporal:
+		switch x.T {
+		case qval.KTimestamp, qval.KTimespan:
+			return 9, true
+		case qval.KMonth, qval.KDate, qval.KMinute, qval.KSecond, qval.KTime:
+			return 5, true
+		}
+		return 0, false
+	case qval.BoolVec:
+		return vecHeaderLen + len(x), true
+	case qval.ByteVec:
+		return vecHeaderLen + len(x), true
+	case qval.ShortVec:
+		return vecHeaderLen + 2*len(x), true
+	case qval.IntVec:
+		return vecHeaderLen + 4*len(x), true
+	case qval.LongVec:
+		return vecHeaderLen + 8*len(x), true
+	case qval.RealVec:
+		return vecHeaderLen + 4*len(x), true
+	case qval.FloatVec:
+		return vecHeaderLen + 8*len(x), true
+	case qval.CharVec:
+		return vecHeaderLen + len(x), true
+	case qval.SymbolVec:
+		n := vecHeaderLen
+		for _, s := range x {
+			n += len(s) + 1
+		}
+		return n, true
+	case qval.TemporalVec:
+		switch x.T {
+		case qval.KTimestamp, qval.KTimespan:
+			return vecHeaderLen + 8*len(x.V), true
+		case qval.KMonth, qval.KDate, qval.KMinute, qval.KSecond, qval.KTime:
+			return vecHeaderLen + 4*len(x.V), true
+		}
+		return 0, false
+	case qval.DatetimeVec:
+		return vecHeaderLen + 8*len(x), true
+	case qval.List:
+		n := vecHeaderLen
+		for _, e := range x {
+			m, ok := encodedSize(e)
+			if !ok {
+				return 0, false
+			}
+			n += m
+		}
+		return n, true
+	case *qval.Table:
+		// 0x62 + attrs, then the dict byte, column symbols and column list
+		n := 2 + 1
+		k, _ := encodedSize(qval.SymbolVec(x.Cols))
+		d, ok := encodedSize(qval.List(x.Data))
+		if !ok {
+			return 0, false
+		}
+		return n + k + d, true
+	case *qval.Dict:
+		k, ok := encodedSize(x.Keys)
+		if !ok {
+			return 0, false
+		}
+		v, ok := encodedSize(x.Vals)
+		if !ok {
+			return 0, false
+		}
+		return 1 + k + v, true
+	case *qval.Lambda:
+		// type byte + empty context NUL + char vector body
+		return 2 + vecHeaderLen + len(x.Source), true
+	case qval.Unary:
+		return 2, true
+	case *qval.QError:
+		return 1 + len(x.Msg) + 1, true
+	default:
+		return 0, false
+	}
+}
+
+// vecHeaderLen is the vector prefix: type byte, attribute byte, u32 length.
+const vecHeaderLen = 6
