@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-e2e profile qdiff fmt
+.PHONY: all build vet test race tier1 bench bench-e2e bench-shard profile qdiff fmt
 
 all: tier1
 
@@ -38,6 +38,13 @@ bench-e2e:
 	$(GO) run ./cmd/benchfig -bench-e2e -out BENCH_e2e.json
 	$(GO) test -run '^$$' -bench 'ResultPipeline|ServeTrade' -benchtime 2x .
 
+# bench-shard measures scatter-gather scaling: the same queries against a
+# single backend and 1/2/4/8-shard embedded clusters, each member's
+# per-statement Delay proportional to its data share (modeled remote scan +
+# shipping). Refreshes BENCH_shard.json, committed as a non-gating artifact.
+bench-shard:
+	$(GO) run ./cmd/benchfig -bench-shard -out BENCH_shard.json
+
 # profile captures CPU and allocation profiles of the result-pipeline
 # benchmarks and prints the hottest frames; inspect interactively with
 # `go tool pprof cpu.prof` / `go tool pprof -alloc_objects mem.prof`.
@@ -48,10 +55,12 @@ profile:
 	$(GO) tool pprof -top -nodecount 15 -alloc_objects mem.prof
 
 # qdiff replays the differential fuzzer at the CI seeds against the compiled
-# engine, plus one interpreted-engine run to pin the retained AST walker.
+# engine, plus one interpreted-engine run to pin the retained AST walker and
+# a 3-shard cluster sweep pinning the scatter-gather backend.
 qdiff:
 	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 2 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 7 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 42 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -exec interpreted > /dev/null
+	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -shards 3 -shrink > /dev/null; done

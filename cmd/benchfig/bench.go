@@ -47,14 +47,23 @@ var benchSymbols = []string{"GOOG", "IBM", "MSFT", "AAPL", "ORCL", "SAP", "TDC",
 func newBenchDB(n int) (*pgdb.DB, error) {
 	db := pgdb.NewDB()
 	s := db.NewSession()
-	ddl := []string{
+	for _, stmt := range benchLoadStatements(n) {
+		if _, err := s.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("bench load: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// benchLoadStatements generates the DDL and batched INSERTs that build the
+// benchmark tables, as replayable SQL — newBenchDB runs them on one embedded
+// engine, the shard benchmark routes the identical stream through a
+// scatter-gather cluster. Rows come from a fixed LCG, so every run loads
+// identical data.
+func benchLoadStatements(n int) []string {
+	stmts := []string{
 		"CREATE TABLE bench_trades (sym varchar, price double precision, size bigint, venue bigint)",
 		"CREATE TABLE bench_syms (sym varchar, sector varchar, lot bigint)",
-	}
-	for _, stmt := range ddl {
-		if _, err := s.Exec(stmt); err != nil {
-			return nil, fmt.Errorf("%s: %w", stmt, err)
-		}
 	}
 	seed := uint64(0x9e3779b97f4a7c15)
 	next := func() uint64 {
@@ -84,9 +93,7 @@ func newBenchDB(n int) (*pgdb.DB, error) {
 				fmt.Fprintf(&sb, "('%s', %g, %d, %d)", sym, price, size, venue)
 			}
 		}
-		if _, err := s.Exec(sb.String()); err != nil {
-			return nil, fmt.Errorf("bench_trades load: %w", err)
-		}
+		stmts = append(stmts, sb.String())
 	}
 	sectors := []string{"tech", "finance", "industrial"}
 	sb.Reset()
@@ -97,10 +104,8 @@ func newBenchDB(n int) (*pgdb.DB, error) {
 		}
 		fmt.Fprintf(&sb, "('%s', '%s', %d)", sym, sectors[i%len(sectors)], 100*(i+1))
 	}
-	if _, err := s.Exec(sb.String()); err != nil {
-		return nil, fmt.Errorf("bench_syms load: %w", err)
-	}
-	return db, nil
+	stmts = append(stmts, sb.String())
+	return stmts
 }
 
 // measure runs one query under one engine via testing.Benchmark.

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/shard"
+)
+
+// The scatter-gather benchmarks behind `-bench-shard`: the same data set
+// and queries run against a single embedded backend and against 1/2/4/8-
+// shard clusters. Each backend carries an artificial per-statement Delay
+// proportional to its local share of the fact table (rows × -shard-row-cost),
+// modeling a remote MPP member's scan and result-shipping time — the part
+// of an MPP system that genuinely runs in parallel across members, and the
+// only part that can overlap on a single-core bench host (the embedded
+// engines' own CPU work serializes here). The coordinator's real costs —
+// routing, fan-out, aggregate decomposition, the probe, the ordered merge —
+// are measured live. The entries are committed as BENCH_shard.json.
+//
+//	shard_scan       scatter-gather with streaming merge (filter, ~99% of
+//	                 rows survive) — wall time tracks the largest shard
+//	shard_aggregate  distributed aggregate decomposition (grouped
+//	                 count/sum/min/max over integers): per-shard partials,
+//	                 coordinator re-aggregation
+//	shard_pruned     partition-key equality — the planner routes to the
+//	                 single owning shard, so only 1/N of the modeled work
+//	                 is paid regardless of cluster width
+//
+// Modes are "single" (plain DirectBackend baseline) and "N-shard".
+
+var shardBenchWidths = []int{1, 2, 4, 8}
+
+const (
+	shardScanSQL  = "SELECT sym, price, size FROM bench_trades WHERE size > 10"
+	shardAggSQL   = "SELECT sym, count(*) AS n, sum(size) AS sz, min(size) AS lo, max(size) AS hi FROM bench_trades GROUP BY sym"
+	shardPruneSQL = "SELECT sym, price, size FROM bench_trades WHERE sym = 'GOOG'"
+)
+
+var shardBenchCases = []benchCase{
+	{"shard_scan", shardScanSQL},
+	{"shard_aggregate", shardAggSQL},
+	{"shard_pruned", shardPruneSQL},
+}
+
+// newShardBenchCluster builds a width-shard embedded cluster, loads the
+// benchmark tables through the routing backend (hash on sym, bench_syms
+// replicated), then arms every member's artificial Delay in proportion to
+// the bench_trades rows it holds.
+func newShardBenchCluster(width, rows int, rowCost time.Duration) (*shard.Backend, error) {
+	rules := []shard.TableSpec{
+		{Name: "bench_trades", Kind: shard.Hash, Column: "sym"},
+		{Name: "bench_syms", Kind: shard.Replicated},
+	}
+	var members []*core.DirectBackend
+	factories := make([]func() (core.Backend, error), width)
+	for i := 0; i < width; i++ {
+		db := pgdb.NewDB()
+		factories[i] = func() (core.Backend, error) {
+			m := core.NewDirectBackend(db)
+			members = append(members, m)
+			return m, nil
+		}
+	}
+	cl, err := shard.New(shard.NewCatalog(width, rules), factories)
+	if err != nil {
+		return nil, err
+	}
+	b, err := cl.NewBackend()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	for _, stmt := range benchLoadStatements(rows) {
+		if _, err := b.Exec(ctx, stmt); err != nil {
+			b.Close()
+			return nil, fmt.Errorf("shard bench load: %w", err)
+		}
+	}
+	for _, m := range members {
+		n, err := memberRowCount(ctx, m)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		m.Delay = time.Duration(n) * rowCost
+	}
+	return b, nil
+}
+
+// memberRowCount counts one member's local bench_trades slice.
+func memberRowCount(ctx context.Context, m core.Backend) (int64, error) {
+	res, err := m.Exec(ctx, "SELECT count(*) AS n FROM bench_trades")
+	if err != nil {
+		return 0, fmt.Errorf("shard bench row count: %w", err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, fmt.Errorf("shard bench row count: unexpected result shape")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(res.Rows[0][0].Text, "%d", &n); err != nil {
+		return 0, fmt.Errorf("shard bench row count: %w", err)
+	}
+	return n, nil
+}
+
+// measureBackend runs one query through a core.Backend (single or sharded)
+// via testing.Benchmark.
+func measureBackend(be core.Backend, op, mode, sql string, rows int) BenchEntry {
+	ctx := context.Background()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := be.Exec(ctx, sql); err != nil {
+				// panic, not b.Fatal: testing.Benchmark runs outside a
+				// test binary, where Fatal's logger is nil
+				panic(fmt.Sprintf("%s [%s]: %v", op, mode, err))
+			}
+		}
+	})
+	return BenchEntry{
+		Op:          op,
+		Mode:        mode,
+		Rows:        rows,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runBenchShard measures the scatter-gather cases against a single backend
+// and against each cluster width, writes the entries to outPath as JSON,
+// and prints a per-op scaling table (single-backend time / N-shard time).
+// This backs `make bench-shard`; BENCH_shard.json is committed as a
+// non-gating artifact.
+func runBenchShard(outPath string, rows int, rowCost time.Duration) {
+	db, err := newBenchDB(rows)
+	if err != nil {
+		log.Fatalf("bench-shard setup: %v", err)
+	}
+	single := core.NewDirectBackend(db)
+	single.Delay = time.Duration(rows) * rowCost
+
+	var entries []BenchEntry
+	base := map[string]float64{}
+	for _, c := range shardBenchCases {
+		e := measureBackend(single, c.op, "single", c.sql, rows)
+		base[c.op] = e.NsPerOp
+		entries = append(entries, e)
+	}
+	speedup := map[string][]float64{}
+	for _, width := range shardBenchWidths {
+		b, err := newShardBenchCluster(width, rows, rowCost)
+		if err != nil {
+			log.Fatalf("bench-shard %d-shard setup: %v", width, err)
+		}
+		mode := fmt.Sprintf("%d-shard", width)
+		for _, c := range shardBenchCases {
+			e := measureBackend(b, c.op, mode, c.sql, rows)
+			entries = append(entries, e)
+			speedup[c.op] = append(speedup[c.op], base[c.op]/e.NsPerOp)
+		}
+		b.Close()
+	}
+
+	text, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		log.Fatalf("bench-shard encode: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(text, '\n'), 0o644); err != nil {
+		log.Fatalf("bench-shard write: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, %d rows, %v/row modeled member latency)\n", outPath, len(entries), rows, rowCost)
+	fmt.Printf("%-16s", "op")
+	for _, w := range shardBenchWidths {
+		fmt.Printf("  %8s", fmt.Sprintf("%d-shard", w))
+	}
+	fmt.Println("   (speedup vs single)")
+	for _, c := range shardBenchCases {
+		fmt.Printf("%-16s", c.op)
+		for _, s := range speedup[c.op] {
+			fmt.Printf("  %7.2fx", s)
+		}
+		fmt.Println()
+	}
+}

@@ -23,10 +23,12 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"hyperq/internal/pool"
 	"hyperq/internal/qcache"
 	"hyperq/internal/qlang/qval"
+	"hyperq/internal/shard"
 	"hyperq/internal/taq"
 	"hyperq/internal/wire/qipc"
 	"hyperq/internal/xc"
@@ -62,6 +65,10 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query backend deadline (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end per-request deadline (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace window for in-flight requests on shutdown")
+	shards := flag.Int("shards", 0, "scatter-gather cluster width over embedded engines (0 disables; requires -embedded)")
+	shardBackends := flag.String("shard-backends", "", "comma-separated PG v3 member addresses, one shard per address (scatter-gather over networked members)")
+	shardRules := flag.String("shard-rules", "trades:hash:Symbol,quotes:hash:Symbol",
+		"partitioning rules: table:hash:col, table:range:col:b1|b2|..., or table:replicated")
 	flag.Parse()
 
 	var path core.ResultPath
@@ -79,19 +86,23 @@ func main() {
 	defer stop()
 
 	platform := core.NewPlatform()
-	var embeddedDB *pgdb.DB
-	if *embedded {
-		embeddedDB = pgdb.NewDB()
+
+	rules, err := parseShardRules(*shardRules)
+	if err != nil {
+		log.Fatalf("-shard-rules: %v", err)
+	}
+	tuneEngine := func(db *pgdb.DB) {
 		switch *execEngine {
 		case "compiled":
-			embeddedDB.SetExecMode(pgdb.ExecCompiled)
+			db.SetExecMode(pgdb.ExecCompiled)
 		case "interpreted":
-			embeddedDB.SetExecMode(pgdb.ExecInterpreted)
+			db.SetExecMode(pgdb.ExecInterpreted)
 		default:
 			log.Fatalf("unknown -exec mode %q (want compiled or interpreted)", *execEngine)
 		}
-		embeddedDB.SetParallelism(*parallel)
-		b := core.NewDirectBackend(embeddedDB)
+		db.SetParallelism(*parallel)
+	}
+	loadDemo := func(b core.Backend) int {
 		data := taq.Generate(taq.Config{Seed: 1, Trades: *trades})
 		for _, t := range []struct {
 			name string
@@ -104,24 +115,88 @@ func main() {
 				log.Fatalf("loading %s: %v", t.name, err)
 			}
 		}
-		log.Printf("embedded backend ready with demo TAQ data (%d trades)", data.Trades.Len())
-	} else if *backendAddr == "" {
-		log.Fatal("either -backend or -embedded is required")
+		return data.Trades.Len()
 	}
 
-	backendPool := pool.New(pool.Config{
-		Size: *poolSize,
-		Dial: func(ctx context.Context) (pool.Conn, error) {
-			if *embedded {
-				return core.NewDirectBackend(embeddedDB), nil
-			}
-			return gateway.Dial(ctx, *backendAddr, *bUser, *bPass, *bDB)
-		},
-		QueryTimeout: *queryTimeout,
-		HealthCheck:  true,
-		DrainTimeout: *drainTimeout,
-		Logf:         log.Printf,
-	})
+	var cluster *shard.Cluster
+	var shardPools []*pool.Pool
+	var embeddedDB *pgdb.DB
+	switch {
+	case *shards > 1 && *embedded:
+		var dbs []*pgdb.DB
+		cluster, dbs, err = shard.NewEmbedded(*shards, rules)
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		for _, db := range dbs {
+			tuneEngine(db)
+		}
+		loader, err := cluster.NewBackend()
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		n := loadDemo(loader)
+		loader.Close()
+		log.Printf("embedded %d-shard cluster ready with demo TAQ data (%d trades)", *shards, n)
+	case *shards > 1:
+		log.Fatal("-shards requires -embedded (use -shard-backends for networked members)")
+	case *shardBackends != "":
+		addrs := strings.Split(*shardBackends, ",")
+		factories := make([]func() (core.Backend, error), len(addrs))
+		for i, a := range addrs {
+			addr := strings.TrimSpace(a)
+			p := pool.New(pool.Config{
+				Size: *poolSize,
+				Dial: func(ctx context.Context) (pool.Conn, error) {
+					return gateway.Dial(ctx, addr, *bUser, *bPass, *bDB)
+				},
+				QueryTimeout: *queryTimeout,
+				HealthCheck:  true,
+				DrainTimeout: *drainTimeout,
+				Logf:         log.Printf,
+			})
+			shardPools = append(shardPools, p)
+			factories[i] = func() (core.Backend, error) { return p.SessionBackend(), nil }
+		}
+		cluster, err = shard.New(shard.NewCatalog(len(addrs), rules), factories)
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		log.Printf("networked sharded cluster over %d member backends", len(addrs))
+	case *embedded:
+		embeddedDB = pgdb.NewDB()
+		tuneEngine(embeddedDB)
+		n := loadDemo(core.NewDirectBackend(embeddedDB))
+		log.Printf("embedded backend ready with demo TAQ data (%d trades)", n)
+	case *backendAddr == "":
+		log.Fatal("one of -backend, -embedded or -shard-backends is required")
+	}
+
+	var backendPool *pool.Pool
+	if cluster == nil {
+		backendPool = pool.New(pool.Config{
+			Size: *poolSize,
+			Dial: func(ctx context.Context) (pool.Conn, error) {
+				if *embedded {
+					return core.NewDirectBackend(embeddedDB), nil
+				}
+				return gateway.Dial(ctx, *backendAddr, *bUser, *bPass, *bDB)
+			},
+			QueryTimeout: *queryTimeout,
+			HealthCheck:  true,
+			DrainTimeout: *drainTimeout,
+			Logf:         log.Printf,
+		})
+	}
+
+	// newSessionBackend yields one session's backend: a fresh view of the
+	// sharded cluster, or a per-session wrapper over the shared pool
+	newSessionBackend := func() (core.Backend, error) {
+		if cluster != nil {
+			return cluster.NewBackend()
+		}
+		return backendPool.SessionBackend(), nil
+	}
 
 	// process-wide serving state shared by every session: the metadata
 	// cache (safe for concurrent use) and the query-translation cache
@@ -129,7 +204,11 @@ func main() {
 	if *cacheEntries > 0 {
 		cache = qcache.New(*cacheEntries)
 	}
-	sharedMDI := mdi.New(backendPool.SessionBackend(), mdi.WithTTL(*mdiTTL))
+	mdiBackend, err := newSessionBackend()
+	if err != nil {
+		log.Fatalf("mdi backend: %v", err)
+	}
+	sharedMDI := mdi.New(mdiBackend, mdi.WithTTL(*mdiTTL))
 
 	auth := func(user, password string) bool {
 		if *qUser == "" {
@@ -148,7 +227,11 @@ func main() {
 	err = endpoint.Serve(ctx, l, endpoint.Config{
 		Auth: auth,
 		NewHandler: func(creds *qipc.Credentials) (endpoint.Handler, func(), error) {
-			session := platform.NewSession(backendPool.SessionBackend(), core.Config{
+			sb, err := newSessionBackend()
+			if err != nil {
+				return nil, nil, err
+			}
+			session := platform.NewSession(sb, core.Config{
 				MDI:        sharedMDI,
 				Cache:      cache,
 				ResultPath: path,
@@ -167,17 +250,62 @@ func main() {
 	if err != nil {
 		log.Printf("serve: %v", err)
 	}
-	if err := backendPool.Close(); err != nil {
-		log.Printf("drain: %v", err)
+	if err := mdiBackend.Close(); err != nil {
+		log.Printf("mdi backend close: %v", err)
+	}
+	if backendPool != nil {
+		if err := backendPool.Close(); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}
+	for i, p := range shardPools {
+		if err := p.Close(); err != nil {
+			log.Printf("shard %d drain: %v", i, err)
+		}
 	}
 	if cache != nil {
 		cs := cache.Stats()
 		log.Printf("qcache: %d entries, %d hits, %d misses, %d dedups, %d evictions",
 			cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Evictions)
 	}
-	ps := backendPool.Stats()
-	log.Printf("pool: %d dials (%d errors), %d checkouts, %d health failures (%d checks skipped), %d discards",
-		ps.Dials, ps.DialErrors, ps.Checkouts, ps.HealthFailures, ps.HealthChecksSkipped, ps.Discards)
+	if backendPool != nil {
+		ps := backendPool.Stats()
+		log.Printf("pool: %d dials (%d errors), %d checkouts, %d health failures (%d checks skipped), %d discards",
+			ps.Dials, ps.DialErrors, ps.Checkouts, ps.HealthFailures, ps.HealthChecksSkipped, ps.Discards)
+	}
+}
+
+// parseShardRules parses the -shard-rules flag: a comma-separated list of
+// table:hash:col, table:range:col:bound1|bound2|..., or table:replicated.
+func parseShardRules(s string) ([]shard.TableSpec, error) {
+	var out []shard.TableSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		spec := shard.TableSpec{Name: parts[0]}
+		kind := ""
+		if len(parts) > 1 {
+			kind = strings.ToLower(parts[1])
+		}
+		switch {
+		case kind == "replicated" && len(parts) == 2:
+			spec.Kind = shard.Replicated
+		case kind == "hash" && len(parts) == 3:
+			spec.Kind = shard.Hash
+			spec.Column = parts[2]
+		case kind == "range" && len(parts) == 4:
+			spec.Kind = shard.Range
+			spec.Column = parts[2]
+			spec.Bounds = strings.Split(parts[3], "|")
+		default:
+			return nil, fmt.Errorf("bad rule %q (want table:hash:col, table:range:col:b1|b2, or table:replicated)", item)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
 }
 
 func backendDesc(embedded bool, addr string) string {

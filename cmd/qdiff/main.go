@@ -30,6 +30,7 @@ func main() {
 	maxRows := flag.Int("maxrows", 0, "max fact-table rows (0 = generator default)")
 	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled or interpreted")
 	resultPath := flag.String("result-path", "columnar", "session result pipeline under test: columnar or text")
+	shards := flag.Int("shards", 0, "sharded differential mode: compare a single backend against an N-shard scatter-gather cluster (byte-identical QIPC oracle)")
 	flag.Parse()
 
 	var mode pgdb.ExecMode
@@ -60,6 +61,7 @@ func main() {
 		MaxRows:    *maxRows,
 		ExecMode:   mode,
 		ResultPath: path,
+		Shards:     *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)
@@ -73,6 +75,7 @@ func main() {
 				Note:   fmt.Sprintf("class=%s found by qdiff -seed %d (iteration %d)", c.Class, c.Seed, c.Iteration),
 				Query:  c.Query,
 				Tables: c.Tables,
+				Shards: *shards,
 			}
 			if err := sidebyside.WriteCorpusEntry(*out, e); err != nil {
 				fmt.Fprintf(os.Stderr, "qdiff: write case %d: %v\n", i, err)

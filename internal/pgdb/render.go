@@ -7,6 +7,30 @@ import (
 	"hyperq/internal/pgdb/sqlparse"
 )
 
+// RenderSelect renders a parsed SELECT back to SQL text. Exported for the
+// shard planner, which rewrites translated statements (per-shard partials,
+// coordinator re-aggregation) and needs to turn the edited AST back into SQL.
+func RenderSelect(sel *sqlparse.SelectStmt) string {
+	var b strings.Builder
+	renderSelect(&b, sel)
+	return b.String()
+}
+
+// RenderExpr renders a parsed expression back to SQL text. Exported for the
+// shard planner (see RenderSelect).
+func RenderExpr(e sqlparse.Expr) string {
+	var b strings.Builder
+	renderExpr(&b, e)
+	return b.String()
+}
+
+// RenderIdent renders an identifier, quoting when needed.
+func RenderIdent(s string) string {
+	var b strings.Builder
+	renderIdent(&b, s)
+	return b.String()
+}
+
 // renderSelect renders a parsed SELECT back to SQL text. It is used to store
 // view definitions (views re-execute their definition on every reference).
 func renderSelect(b *strings.Builder, sel *sqlparse.SelectStmt) {

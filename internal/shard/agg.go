@@ -1,0 +1,859 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// partTable is the coordinator-side scratch table holding per-shard
+// partial aggregate rows.
+const partTable = "hq_part"
+
+// gatherTable is the coordinator-side scratch table holding the gathered
+// aggregate input rows when the exactness fallback bypasses decomposition.
+const gatherTable = "hq_gather"
+
+// aggPlan is a decomposed distributed aggregate: one partial query every
+// target shard runs over its slice, and a final statement the coordinator
+// runs over the gathered partial rows.
+//
+// The decomposition table (also in DESIGN.md):
+//
+//	original          per-shard partial         coordinator final
+//	SUM(x)            SUM(x)                    SUM(p)
+//	COUNT(*)/(x)      COUNT(*)/(x)              COALESCE(SUM(p), 0)
+//	MIN(x)/MAX(x)     MIN(x)/MAX(x)             MIN(p)/MAX(p)
+//	AVG(x)            SUM(x), COUNT(x)          CAST(SUM(ps) AS dp) / NULLIF(SUM(pc), 0)
+//	FIRST(x)          FIRST(x), MIN(ordcol)     FIRST(p)  (carrier rows, below)
+//	LAST(x)           LAST(x), MAX(ordcol)      LAST(p)   (carrier rows, below)
+//	BOOL_AND/OR(x)    same                      same over partials
+//
+// wavg needs no rule of its own: the translator already spells it as a
+// SUM/SUM quotient, so the SUM rule distributes it.
+//
+// FIRST and LAST are positional (the engine's toolbox semantics: first and
+// last row in input order, NULLs included), so the coordinator must
+// re-create a scan order in which each group's first row is the globally
+// first and its last row the globally last. Each (shard, group) partial
+// becomes two carrier rows in the scratch table: an A row at the shard's
+// MIN(ordcol) carrying every partial except LAST carriers, and a B row at
+// the shard's MAX(ordcol) carrying only the group keys and LAST carriers
+// (all other partials NULL, so sums don't double-count). Rows insert
+// sorted by (ordcol, A-before-B); within any group the first scanned row
+// is then the A row of the shard holding the globally first row, and the
+// last is the B row of the shard holding the globally last.
+type aggPlan struct {
+	// partial is the per-shard statement, kept as an AST: execution renders
+	// it twice — once with WHERE FALSE against one member (a zero-row probe
+	// for the statically inferred column types, which the single backend's
+	// value-dependent refinement starts from) and once for the real fan-out,
+	// possibly extended with zero-sign carrier columns.
+	partial *sqlparse.SelectStmt
+	final   *sqlparse.SelectStmt
+	grouped bool
+	needAB  bool
+	// ord is the input's implicit order column (nil when absent).
+	ord *sqlparse.ColRef
+	// lastCols names the partial columns that are LAST carriers (ride on B
+	// rows); everything else rides on A rows.
+	lastCols map[string]bool
+	// minmax records MIN/MAX partials: the engine keeps the first-
+	// encountered value among compare-equal ties (only ±0.0 is
+	// distinguishable), so execution ships, per shard and group, the order
+	// positions of the first negative and first positive zero and rewrites
+	// the gathered partials to the sign the single backend's scan order
+	// would have kept.
+	minmax []mmPartial
+	// sumCols names the SUM partials (including AVG's sum component).
+	// Float addition is non-associative, so a sum of per-shard partial
+	// sums cannot reproduce the single backend's sequential fold over
+	// non-exact doubles — such aggregates take the gather fallback.
+	sumCols []string
+	// gather/gatherFinal are the exactness fallback: gather is the
+	// aggregate's input relation (the scan, fanned out per shard), and
+	// gatherFinal is the original aggregate re-targeted at the gathered
+	// rows, which the coordinator replays in global order-column order —
+	// reproducing the single backend's fold exactly, at the cost of full
+	// data motion. Nil when the input has no order column (no global order
+	// to re-create) or references qualified columns the scratch table
+	// cannot resolve.
+	gather      *sqlparse.SelectStmt
+	gatherFinal *sqlparse.SelectStmt
+}
+
+// mmPartial is one MIN/MAX partial column and the aggregate's argument.
+type mmPartial struct {
+	col string
+	arg sqlparse.Expr
+}
+
+// planAggregate decomposes a translated aggregate statement. Two shapes
+// exist: the bare aggregate node (global aggregates translate without a
+// wrapper) and a pure projection wrapper over the aggregate node (grouped
+// selects wrap to reorder columns and ORDER BY ordcol).
+func planAggregate(sel *sqlparse.SelectStmt, cat *catalogView) (*aggPlan, error) {
+	inner := sel
+	var wrapper *sqlparse.SelectStmt
+	if sel.GroupBy == nil && !selectItemsHaveAggregate(sel.Items) {
+		if len(sel.From) != 1 || sel.Where != nil || sel.Distinct ||
+			sel.Limit != nil || sel.Offset != nil || sel.Union != nil || sel.Having != nil {
+			return nil, unsupportedErr("aggregate nested below an unrecognized outer query")
+		}
+		sub, ok := sel.From[0].(*sqlparse.SubqueryRef)
+		if !ok {
+			return nil, unsupportedErr("aggregate nested below an unrecognized outer query")
+		}
+		wrapper, inner = sel, sub.Query
+		if inner.GroupBy == nil && !selectItemsHaveAggregate(inner.Items) {
+			return nil, unsupportedErr("aggregate nested deeper than one projection")
+		}
+	}
+	if inner.Distinct || inner.Union != nil || inner.Limit != nil ||
+		inner.Offset != nil || inner.Having != nil || len(inner.OrderBy) > 0 {
+		return nil, unsupportedErr("aggregate node with DISTINCT/HAVING/LIMIT/ORDER BY/set operation")
+	}
+
+	// the aggregate's input relation must itself be shard-local
+	scan := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Star: true}},
+		From:  inner.From,
+		Where: inner.Where,
+	}
+	info, err := analyzeSelect(scan, cat)
+	if err != nil {
+		return nil, unsupportedErr("aggregate input not shard-local: %v", err)
+	}
+	if !info.sharded {
+		return nil, unsupportedErr("aggregate over replicated input reached the distributed path")
+	}
+	if info.capRows >= 0 {
+		return nil, unsupportedErr("aggregate over a LIMIT subquery")
+	}
+
+	d := &decomposer{plan: &aggPlan{grouped: inner.GroupBy != nil, lastCols: map[string]bool{}}, ord: info.ord}
+
+	// group keys: one hq_k column per GROUP BY expression, matched to
+	// select items by rendered text
+	keyText := make([]string, len(inner.GroupBy))
+	for i, gb := range inner.GroupBy {
+		keyText[i] = pgdb.RenderExpr(gb)
+		d.keys = append(d.keys, sqlparse.SelectItem{Expr: gb, Alias: fmt.Sprintf("hq_k%d", i)})
+	}
+
+	var finalItems []sqlparse.SelectItem
+	for _, it := range inner.Items {
+		if it.Star {
+			return nil, unsupportedErr("star select in aggregate node")
+		}
+		outName := it.Alias
+		if outName == "" {
+			if c, ok := it.Expr.(*sqlparse.ColRef); ok {
+				outName = c.Name
+			} else {
+				return nil, unsupportedErr("unaliased aggregate output %s", pgdb.RenderExpr(it.Expr))
+			}
+		}
+		if !exprHasAgg(it.Expr) {
+			txt := pgdb.RenderExpr(it.Expr)
+			ki := -1
+			for i, kt := range keyText {
+				if kt == txt {
+					ki = i
+					break
+				}
+			}
+			if ki < 0 {
+				return nil, unsupportedErr("non-aggregate output %s is not a group key", txt)
+			}
+			finalItems = append(finalItems, sqlparse.SelectItem{
+				Expr: &sqlparse.ColRef{Name: fmt.Sprintf("hq_k%d", ki)}, Alias: outName})
+			continue
+		}
+		re, err := d.rewrite(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		finalItems = append(finalItems, sqlparse.SelectItem{Expr: re, Alias: outName})
+	}
+
+	items := append([]sqlparse.SelectItem{}, d.keys...)
+	items = append(items, d.partials...)
+	if d.plan.needAB {
+		if d.ord == nil {
+			return nil, unsupportedErr("first/last aggregate over input without an order column")
+		}
+		items = append(items,
+			sqlparse.SelectItem{Expr: &sqlparse.FuncCall{Name: "min", Args: []sqlparse.Expr{d.ord}}, Alias: "hq_fo"},
+			sqlparse.SelectItem{Expr: &sqlparse.FuncCall{Name: "max", Args: []sqlparse.Expr{d.ord}}, Alias: "hq_lo"})
+	}
+	items = append(items, sqlparse.SelectItem{Expr: &sqlparse.FuncCall{Name: "count", Star: true}, Alias: "hq_cnt"})
+
+	d.plan.partial = &sqlparse.SelectStmt{
+		Items:   items,
+		From:    inner.From,
+		Where:   inner.Where,
+		GroupBy: inner.GroupBy,
+	}
+	d.plan.ord = d.ord
+
+	final := &sqlparse.SelectStmt{
+		Items: finalItems,
+		From:  []sqlparse.TableRef{&sqlparse.BaseTable{Name: partTable}},
+	}
+	for i := range inner.GroupBy {
+		final.GroupBy = append(final.GroupBy, &sqlparse.ColRef{Name: fmt.Sprintf("hq_k%d", i)})
+	}
+	if wrapper != nil {
+		w := *wrapper
+		sub := *(wrapper.From[0].(*sqlparse.SubqueryRef))
+		sub.Query = final
+		w.From = []sqlparse.TableRef{&sub}
+		d.plan.final = &w
+	} else {
+		d.plan.final = final
+	}
+
+	// exactness fallback: replay the original aggregate over the gathered
+	// input rows. Possible whenever the input exposes an order column (the
+	// global fold order to re-create) and the aggregate references only
+	// unqualified columns (resolvable against the scratch table, whose name
+	// is not the original's). The translator wraps every aggregate input in
+	// a projected subquery, so SELECT * yields unique unqualified names.
+	if d.ord != nil && selectExprsUnqualified(inner) {
+		d.plan.gather = scan
+		run := *inner
+		run.From = []sqlparse.TableRef{&sqlparse.BaseTable{Name: gatherTable}}
+		run.Where = nil // the gather scan already applied the filter
+		if wrapper != nil {
+			w := *wrapper
+			sub := *(wrapper.From[0].(*sqlparse.SubqueryRef))
+			sub.Query = &run
+			w.From = []sqlparse.TableRef{&sub}
+			d.plan.gatherFinal = &w
+		} else {
+			d.plan.gatherFinal = &run
+		}
+	}
+	return d.plan, nil
+}
+
+// selectExprsUnqualified reports whether every column reference in the
+// select's items and group keys is unqualified (and subquery-free), the
+// precondition for replaying the statement against the gather scratch
+// table.
+func selectExprsUnqualified(sel *sqlparse.SelectStmt) bool {
+	for _, it := range sel.Items {
+		if !exprUnqualified(it.Expr) {
+			return false
+		}
+	}
+	for _, gb := range sel.GroupBy {
+		if !exprUnqualified(gb) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprUnqualified(e sqlparse.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *sqlparse.ColRef:
+		return x.Table == ""
+	case *sqlparse.BinaryExpr:
+		return exprUnqualified(x.L) && exprUnqualified(x.R)
+	case *sqlparse.UnaryExpr:
+		return exprUnqualified(x.X)
+	case *sqlparse.CastExpr:
+		return exprUnqualified(x.X)
+	case *sqlparse.IsNullExpr:
+		return exprUnqualified(x.X)
+	case *sqlparse.CaseExpr:
+		if !exprUnqualified(x.Operand) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !exprUnqualified(w.Cond) || !exprUnqualified(w.Then) {
+				return false
+			}
+		}
+		return exprUnqualified(x.Else)
+	case *sqlparse.FuncCall:
+		if x.Over != nil {
+			return false
+		}
+		for _, a := range x.Args {
+			if !exprUnqualified(a) {
+				return false
+			}
+		}
+		return true
+	case *sqlparse.SubqueryExpr:
+		return false
+	default:
+		return true
+	}
+}
+
+// decomposer accumulates partial columns while rewriting aggregate
+// expressions.
+type decomposer struct {
+	plan     *aggPlan
+	ord      *sqlparse.ColRef
+	keys     []sqlparse.SelectItem
+	partials []sqlparse.SelectItem
+}
+
+func (d *decomposer) addPartial(e sqlparse.Expr, last bool) *sqlparse.ColRef {
+	name := fmt.Sprintf("hq_p%d", len(d.partials))
+	d.partials = append(d.partials, sqlparse.SelectItem{Expr: e, Alias: name})
+	if last {
+		d.plan.lastCols[name] = true
+	}
+	return &sqlparse.ColRef{Name: name}
+}
+
+// rewrite clones an aggregate-bearing expression, replacing every
+// aggregate call with its re-aggregation over a fresh partial column. The
+// surrounding scalar structure (COALESCE, NULLIF, casts, arithmetic — the
+// wavg spelling) is preserved.
+func (d *decomposer) rewrite(e sqlparse.Expr) (sqlparse.Expr, error) {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if x.Over != nil {
+			return nil, unsupportedErr("window function in aggregate item")
+		}
+		if !aggNames[x.Name] {
+			out := &sqlparse.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+			for _, a := range x.Args {
+				ra, err := d.rewrite(a)
+				if err != nil {
+					return nil, err
+				}
+				out.Args = append(out.Args, ra)
+			}
+			return out, nil
+		}
+		if x.Distinct {
+			return nil, unsupportedErr("DISTINCT aggregate %s", x.Name)
+		}
+		sum := func(arg sqlparse.Expr) *sqlparse.FuncCall {
+			return &sqlparse.FuncCall{Name: "sum", Args: []sqlparse.Expr{arg}}
+		}
+		switch x.Name {
+		case "sum":
+			p := d.addPartial(x, false)
+			d.plan.sumCols = append(d.plan.sumCols, p.Name)
+			return sum(p), nil
+		case "count":
+			p := d.addPartial(x, false)
+			return &sqlparse.FuncCall{Name: "coalesce",
+				Args: []sqlparse.Expr{sum(p), &sqlparse.NumberLit{Text: "0"}}}, nil
+		case "min", "max", "bool_and", "bool_or":
+			p := d.addPartial(x, false)
+			if (x.Name == "min" || x.Name == "max") && len(x.Args) == 1 {
+				d.plan.minmax = append(d.plan.minmax, mmPartial{col: p.Name, arg: x.Args[0]})
+			}
+			return &sqlparse.FuncCall{Name: x.Name, Args: []sqlparse.Expr{p}}, nil
+		case "avg":
+			ps := d.addPartial(&sqlparse.FuncCall{Name: "sum", Args: x.Args}, false)
+			d.plan.sumCols = append(d.plan.sumCols, ps.Name)
+			pc := d.addPartial(&sqlparse.FuncCall{Name: "count", Args: x.Args}, false)
+			return &sqlparse.BinaryExpr{
+				Op: "/",
+				L:  &sqlparse.CastExpr{X: sum(ps), Type: "double precision"},
+				R: &sqlparse.FuncCall{Name: "nullif",
+					Args: []sqlparse.Expr{sum(pc), &sqlparse.NumberLit{Text: "0"}}},
+			}, nil
+		case "first":
+			d.plan.needAB = true
+			p := d.addPartial(x, false)
+			return &sqlparse.FuncCall{Name: "first", Args: []sqlparse.Expr{p}}, nil
+		case "last":
+			d.plan.needAB = true
+			p := d.addPartial(x, true)
+			return &sqlparse.FuncCall{Name: "last", Args: []sqlparse.Expr{p}}, nil
+		}
+		return nil, unsupportedErr("aggregate %s has no distributed form", x.Name)
+	case *sqlparse.BinaryExpr:
+		l, err := d.rewrite(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.rewrite(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sqlparse.UnaryExpr:
+		in, err := d.rewrite(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.UnaryExpr{Op: x.Op, X: in}, nil
+	case *sqlparse.CastExpr:
+		in, err := d.rewrite(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.CastExpr{X: in, Type: x.Type}, nil
+	case *sqlparse.IsNullExpr:
+		in, err := d.rewrite(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.IsNullExpr{X: in, Not: x.Not}, nil
+	case *sqlparse.CaseExpr:
+		out := &sqlparse.CaseExpr{}
+		var err error
+		if x.Operand != nil {
+			if out.Operand, err = d.rewrite(x.Operand); err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range x.Whens {
+			cw := sqlparse.CaseWhen{}
+			if cw.Cond, err = d.rewrite(w.Cond); err != nil {
+				return nil, err
+			}
+			if cw.Then, err = d.rewrite(w.Then); err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, cw)
+		}
+		if x.Else != nil {
+			if out.Else, err = d.rewrite(x.Else); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case *sqlparse.SubqueryExpr:
+		return nil, unsupportedErr("scalar subquery in aggregate item")
+	default:
+		// leaves: literals, column references (group keys resolve through
+		// hq_k items, anything else fails loudly on the scratch table)
+		return e, nil
+	}
+}
+
+// probeSQL renders the partial with WHERE FALSE: a zero-row execution
+// whose result columns carry the statically inferred types, before the
+// engine's value-dependent refinement has any values to refine from. The
+// scratch table declares these types so the coordinator's final pass
+// starts from the same static baseline the single backend does.
+func probeSQL(ap *aggPlan) string {
+	probe := *ap.partial
+	probe.Where = &sqlparse.BoolLit{V: false}
+	return pgdb.RenderSelect(&probe)
+}
+
+// zeroOrdCarrier builds MIN(CASE WHEN CAST(arg AS varchar) = '-0' ('0')
+// THEN ord END): the first order position at which arg evaluates to a
+// negative (positive) zero. The engine's varchar cast renders any value
+// through FormatValue, which is the only total (never type-erroring) way
+// SQL can see the sign of a zero that compares equal to its twin — the
+// carriers must be safe to evaluate for non-float arguments too, because
+// they are emitted before the type probe returns.
+func zeroOrdCarrier(arg sqlparse.Expr, ord *sqlparse.ColRef, negative bool) sqlparse.Expr {
+	want := "0"
+	if negative {
+		want = "-0"
+	}
+	cond := &sqlparse.BinaryExpr{
+		Op: "=",
+		L:  &sqlparse.CastExpr{X: arg, Type: "varchar"},
+		R:  &sqlparse.StringLit{V: want},
+	}
+	return &sqlparse.FuncCall{Name: "min", Args: []sqlparse.Expr{
+		&sqlparse.CaseExpr{Whens: []sqlparse.CaseWhen{{Cond: cond, Then: ord}}}}}
+}
+
+// extendZeroCarriers clones the partial select, appending the ±0 carrier
+// pair for every MIN/MAX partial. It returns the select to fan out and,
+// per partial column, the carrier suffix ("3" for hq_p3 → hq_zn3/hq_zp3);
+// whether a column's carriers are acted on is decided later, when the
+// type probe identifies the float-typed partials. Inputs without an order
+// column keep the plain partial: the tie sign is then unreproducible and
+// left to shard order.
+func extendZeroCarriers(ap *aggPlan) (*sqlparse.SelectStmt, map[string]string) {
+	if ap.ord == nil || len(ap.minmax) == 0 {
+		return ap.partial, nil
+	}
+	zero := map[string]string{}
+	sel := *ap.partial
+	items := append([]sqlparse.SelectItem{}, sel.Items...)
+	for _, mm := range ap.minmax {
+		if _, dup := zero[mm.col]; dup {
+			continue
+		}
+		sfx := strings.TrimPrefix(mm.col, "hq_p")
+		zero[mm.col] = sfx
+		items = append(items,
+			sqlparse.SelectItem{Expr: zeroOrdCarrier(mm.arg, ap.ord, true), Alias: "hq_zn" + sfx},
+			sqlparse.SelectItem{Expr: zeroOrdCarrier(mm.arg, ap.ord, false), Alias: "hq_zp" + sfx})
+	}
+	sel.Items = items
+	return &sel, zero
+}
+
+// textToTyped rebuilds engine-typed values from a wire-text result, using
+// each column's reported type. Members without a TypedBackend path (real
+// networked clusters) lose per-value type fidelity at the wire — a shard
+// whose refined column type is double precision reports every value as a
+// float — which is the documented approximation for networked members.
+func textToTyped(br *core.BackendResult) *pgdb.Result {
+	res := &pgdb.Result{Tag: br.Tag}
+	for _, c := range br.Cols {
+		res.Cols = append(res.Cols, pgdb.Column{Name: c.Name, Type: c.SQLType})
+	}
+	for _, row := range br.Rows {
+		r := make([]any, len(row))
+		for j, f := range row {
+			if f.Null {
+				continue
+			}
+			r[j] = parseTextValue(f.Text, br.Cols[j].SQLType)
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	return res
+}
+
+// parseTextValue inverts pgdb.FormatValue for one cell, keeping the text
+// verbatim when the type doesn't parse (varchar and friends).
+func parseTextValue(text, typ string) any {
+	if v, err := pgdb.ParseValue(text, strings.ToLower(typ)); err == nil {
+		return v
+	}
+	return text
+}
+
+// needGather decides, from the probed static types and the gathered
+// partial values, whether exactness requires replaying the aggregate over
+// its input rows instead of re-aggregating partials:
+//
+//   - a SUM partial over floats (static float class, or runtime floats
+//     observed): float addition is non-associative, so a sum of per-shard
+//     partial sums rounds differently than the single backend's
+//     sequential fold over the same values;
+//   - a MIN/MAX partial whose static type is not float but whose runtime
+//     values include floats: a runtime int can tie against a runtime
+//     float that compares equal (CASE arms of mixed types), and the kept
+//     twin decides the observed column type after value-dependent
+//     refinement — the ±0 carriers only arbitrate all-float ties.
+func needGather(ap *aggPlan, static map[string]string, results []*pgdb.Result) bool {
+	if ap.gatherFinal == nil || len(results) == 0 || results[0] == nil {
+		return false
+	}
+	colIdx := func(name string) int {
+		for j, c := range results[0].Cols {
+			if c.Name == name {
+				return j
+			}
+		}
+		return -1
+	}
+	hasFloat := func(j int) bool {
+		if j < 0 {
+			return false
+		}
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			for _, row := range res.Rows {
+				if j < len(row) {
+					if _, ok := row[j].(float64); ok {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, c := range ap.sumCols {
+		if numericClass(static[c]) == 2 || hasFloat(colIdx(c)) {
+			return true
+		}
+	}
+	for _, mm := range ap.minmax {
+		if numericClass(static[mm.col]) != 2 && hasFloat(colIdx(mm.col)) {
+			return true
+		}
+	}
+	return false
+}
+
+// groupKey renders a partial row's hq_k columns into a map key. A float
+// ±0 pair collapses into one key, matching the engine's equality-based
+// grouping.
+func groupKey(row []any, cols []pgdb.Column) string {
+	var sb strings.Builder
+	for j, c := range cols {
+		if !strings.HasPrefix(c.Name, "hq_k") {
+			continue
+		}
+		sb.WriteByte('|')
+		switch v := row[j].(type) {
+		case nil:
+			sb.WriteByte('n')
+		case int64:
+			sb.WriteString("i:")
+			sb.WriteString(strconv.FormatInt(v, 10))
+		case float64:
+			if v == 0 {
+				v = 0
+			}
+			sb.WriteString("f:")
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			sb.WriteString("b:")
+			sb.WriteString(strconv.FormatBool(v))
+		case string:
+			sb.WriteString("s:")
+			sb.WriteString(v)
+		default:
+			fmt.Fprintf(&sb, "%v", v)
+		}
+	}
+	return sb.String()
+}
+
+// runAggregate executes a decomposed aggregate: typed partials gathered
+// from the target shards land in a scratch embedded table (injected
+// directly, preserving each value's runtime type), and the final statement
+// re-aggregates there. static holds the probed static column types the
+// scratch table declares; zero names the MIN/MAX partial columns carrying
+// ±0 sign information.
+func runAggregate(ctx context.Context, ap *aggPlan, results []*pgdb.Result, static, zero map[string]string) (*pgdb.Result, error) {
+	if len(results) == 0 || results[0] == nil {
+		return nil, fmt.Errorf("shard: missing partial results")
+	}
+	cols := results[0].Cols
+	for _, r := range results[1:] {
+		if r == nil {
+			return nil, fmt.Errorf("shard: missing partial result")
+		}
+		if len(r.Cols) != len(cols) {
+			return nil, fmt.Errorf("shard: partial schema width mismatch: %d vs %d", len(r.Cols), len(cols))
+		}
+	}
+	idx := func(name string) int {
+		for j, c := range cols {
+			if c.Name == name {
+				return j
+			}
+		}
+		return -1
+	}
+	cntIdx := idx("hq_cnt")
+	foIdx, loIdx := idx("hq_fo"), idx("hq_lo")
+	if cntIdx < 0 || ap.needAB && (foIdx < 0 || loIdx < 0) {
+		return nil, fmt.Errorf("shard: partial result missing bookkeeping columns")
+	}
+	// the scratch row is the partial minus the trailing carrier columns
+	width := cntIdx + 1
+	getInt := func(row []any, i int) (int64, bool) {
+		switch v := row[i].(type) {
+		case int64:
+			return v, true
+		case float64:
+			return int64(v), true
+		}
+		return 0, false
+	}
+
+	// zero-sign fix: the engine's MIN/MAX keep the first-encountered value
+	// among compare-equal ties, and ±0.0 is the only distinguishable pair.
+	// Per group, find the globally first order position holding a negative
+	// and a positive zero, then rewrite every gathered ±0 partial to the
+	// sign the single backend's scan order would have kept — after which
+	// the coordinator's own tie-keeping cannot pick the wrong twin.
+	for col, sfx := range zero {
+		if numericClass(static[col]) != 2 {
+			// the carriers were emitted before the probe settled the
+			// partial's static type; a non-float MIN/MAX has no signed
+			// zeros to fix
+			continue
+		}
+		vi, ni, pi := idx(col), idx("hq_zn"+sfx), idx("hq_zp"+sfx)
+		if vi < 0 || ni < 0 || pi < 0 {
+			return nil, fmt.Errorf("shard: partial result missing zero carriers for %s", col)
+		}
+		type firstZeros struct {
+			negOrd, posOrd int64
+			hasNeg, hasPos bool
+		}
+		groups := map[string]*firstZeros{}
+		for _, res := range results {
+			for _, row := range res.Rows {
+				k := groupKey(row, cols)
+				g := groups[k]
+				if g == nil {
+					g = &firstZeros{}
+					groups[k] = g
+				}
+				if v, ok := getInt(row, ni); ok && (!g.hasNeg || v < g.negOrd) {
+					g.negOrd, g.hasNeg = v, true
+				}
+				if v, ok := getInt(row, pi); ok && (!g.hasPos || v < g.posOrd) {
+					g.posOrd, g.hasPos = v, true
+				}
+			}
+		}
+		for _, res := range results {
+			for _, row := range res.Rows {
+				f, ok := row[vi].(float64)
+				if !ok || f != 0 {
+					continue
+				}
+				g := groups[groupKey(row, cols)]
+				if g == nil || !g.hasNeg && !g.hasPos {
+					continue
+				}
+				if g.hasNeg && (!g.hasPos || g.negOrd < g.posOrd) {
+					row[vi] = math.Copysign(0, -1)
+				} else {
+					row[vi] = float64(0)
+				}
+			}
+		}
+	}
+
+	type entry struct {
+		ord   int64
+		kind  int // 0 = A (first carriers), 1 = B (last carriers)
+		shard int
+		row   []any
+	}
+	var entries []entry
+	for si, res := range results {
+		for _, row := range res.Rows {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("shard: partial row width mismatch")
+			}
+			cnt, _ := getInt(row, cntIdx)
+			if cnt == 0 {
+				// an empty shard's global-aggregate row: its partials are
+				// identity values, but its FIRST/LAST must not compete
+				continue
+			}
+			if !ap.needAB {
+				entries = append(entries, entry{shard: si, row: append([]any{}, row[:width]...)})
+				continue
+			}
+			fo, ok1 := getInt(row, foIdx)
+			lo, ok2 := getInt(row, loIdx)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("shard: unparseable order bounds in partial row")
+			}
+			a := make([]any, width)
+			b := make([]any, width)
+			for j := 0; j < width; j++ {
+				isKey := strings.HasPrefix(cols[j].Name, "hq_k")
+				isLast := ap.lastCols[cols[j].Name]
+				switch {
+				case isKey:
+					a[j], b[j] = row[j], row[j]
+				case isLast:
+					b[j] = row[j]
+				default:
+					a[j] = row[j]
+				}
+			}
+			entries = append(entries,
+				entry{ord: fo, kind: 0, shard: si, row: a},
+				entry{ord: lo, kind: 1, shard: si, row: b})
+		}
+	}
+	if ap.needAB {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].ord != entries[j].ord {
+				return entries[i].ord < entries[j].ord
+			}
+			if entries[i].kind != entries[j].kind {
+				return entries[i].kind < entries[j].kind
+			}
+			return entries[i].shard < entries[j].shard
+		})
+	}
+
+	scols := make([]pgdb.Column, width)
+	for j := 0; j < width; j++ {
+		name := cols[j].Name
+		typ := static[name]
+		if typ == "" {
+			typ = cols[j].Type
+		}
+		if typ == "varchar" {
+			// the probe cannot tell a static varchar from a statically
+			// unknown type refined over zero rows; when any shard refined
+			// the column to something else, declare it unknown so the
+			// final pass refines from the values, as the single backend's
+			// does
+			for _, r := range results {
+				if r.Cols[j].Type != "varchar" {
+					typ = "unknown"
+					break
+				}
+			}
+		}
+		scols[j] = pgdb.Column{Name: name, Type: typ}
+	}
+
+	db := pgdb.NewDB()
+	db.CreateTable(partTable, scols)
+	rows := make([][]any, len(entries))
+	for i, e := range entries {
+		rows[i] = e.row
+	}
+	if err := db.InsertRows(partTable, rows); err != nil {
+		return nil, fmt.Errorf("shard: scratch load: %w", err)
+	}
+	scratch := db.NewSession()
+	defer scratch.Close()
+	res, err := scratch.ExecContext(ctx, pgdb.RenderSelect(ap.final))
+	if err != nil {
+		return nil, fmt.Errorf("shard: final aggregation: %w", err)
+	}
+	return res, nil
+}
+
+// appendFieldLiteral renders a text field as a cast SQL literal
+// ('text'::type), the spelling that round-trips every engine type
+// including 'Infinity'::double precision.
+func appendFieldLiteral(sb *strings.Builder, f core.Field, sqlType string) {
+	if f.Null {
+		sb.WriteString("NULL")
+		return
+	}
+	sb.WriteByte('\'')
+	for i := 0; i < len(f.Text); i++ {
+		if f.Text[i] == '\'' {
+			sb.WriteByte('\'')
+		}
+		sb.WriteByte(f.Text[i])
+	}
+	sb.WriteString("'::")
+	sb.WriteString(sqlType)
+}
+
+// numericClass buckets SQL types: 1 integer kinds, 2 float kinds, 0 other.
+func numericClass(t string) int {
+	switch strings.ToLower(t) {
+	case "smallint", "integer", "bigint":
+		return 1
+	case "real", "double precision", "numeric":
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,811 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// Cluster owns the shared catalog and knows how to open a member session
+// on every shard. One Cluster serves many platform sessions; each session
+// gets its own Backend (and therefore its own member sessions, keeping
+// temporary tables session-scoped end to end).
+type Cluster struct {
+	cat       *Catalog
+	factories []func() (core.Backend, error)
+}
+
+// New builds a cluster over one member-session factory per shard.
+func New(cat *Catalog, factories []func() (core.Backend, error)) (*Cluster, error) {
+	if len(factories) == 0 {
+		return nil, errors.New("shard: cluster needs at least one member")
+	}
+	if len(factories) != cat.Shards() {
+		return nil, fmt.Errorf("shard: catalog declares %d shards, got %d members", cat.Shards(), len(factories))
+	}
+	return &Cluster{cat: cat, factories: factories}, nil
+}
+
+// NewEmbedded builds a cluster of n embedded engines — the in-process
+// deployment cmd/hyperq and the fuzzer use.
+func NewEmbedded(n int, rules []TableSpec) (*Cluster, []*pgdb.DB, error) {
+	dbs := make([]*pgdb.DB, n)
+	factories := make([]func() (core.Backend, error), n)
+	for i := range dbs {
+		db := pgdb.NewDB()
+		dbs[i] = db
+		factories[i] = func() (core.Backend, error) { return core.NewDirectBackend(db), nil }
+	}
+	cl, err := New(NewCatalog(n, rules), factories)
+	return cl, dbs, err
+}
+
+// Shards returns the cluster width.
+func (c *Cluster) Shards() int { return c.cat.Shards() }
+
+// NewBackend opens one platform session's view of the cluster: a fresh
+// member session per shard plus a private overlay for temp tables.
+func (c *Cluster) NewBackend() (*Backend, error) {
+	b := &Backend{
+		cat:     newCatalogView(c.cat),
+		members: make([]core.Backend, len(c.factories)),
+		streams: make([]core.StreamBackend, len(c.factories)),
+	}
+	for i, f := range c.factories {
+		m, err := f()
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		b.members[i] = m
+		if s, ok := m.(core.StreamBackend); ok {
+			b.streams[i] = s
+		}
+	}
+	return b, nil
+}
+
+// Backend is one session's sharded backend. It implements core.Backend
+// and core.StreamBackend, so a core.Session runs over a cluster exactly
+// as it runs over a single database.
+type Backend struct {
+	cat     *catalogView
+	members []core.Backend
+	streams []core.StreamBackend
+}
+
+// Exec implements core.Backend: plan, route, and materialize the merged
+// result.
+func (b *Backend) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return b.execOther(ctx, stmt, sql)
+	}
+	p, err := planSelect(sel, b.cat)
+	if err != nil {
+		return nil, err
+	}
+	switch p.kind {
+	case classSingle:
+		return b.members[p.shards[0]].Exec(ctx, sql)
+	case classScatter:
+		sink := &resultSink{}
+		if err := b.scatter(ctx, sql, p, sink); err != nil {
+			return nil, err
+		}
+		return &sink.res, nil
+	default:
+		res, err := b.execAggregate(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return core.ToBackendResult(res), nil
+	}
+}
+
+// ExecStream implements core.StreamBackend: single-shard and scatter
+// plans stream end to end; distributed aggregates stream their (small)
+// final result out of the coordinator.
+func (b *Backend) ExecStream(ctx context.Context, sql string, sink core.RowSink) error {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		res, err := b.execOther(ctx, stmt, sql)
+		if err != nil {
+			return err
+		}
+		return core.ReplayResult(res, sink)
+	}
+	p, err := planSelect(sel, b.cat)
+	if err != nil {
+		return err
+	}
+	switch p.kind {
+	case classSingle:
+		return b.streamOn(ctx, p.shards[0], sql, sink)
+	case classScatter:
+		return b.scatter(ctx, sql, p, sink)
+	default:
+		res, err := b.execAggregate(ctx, p)
+		if err != nil {
+			return err
+		}
+		return core.FeedResult(ctx, res, sink)
+	}
+}
+
+// QueryCatalog implements core.Backend. Every shard carries the full
+// schema (sharded tables exist everywhere, holding a slice), so metadata
+// queries go to the designated shard.
+func (b *Backend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	return b.members[0].QueryCatalog(ctx, sql)
+}
+
+// Close implements core.Backend.
+func (b *Backend) Close() error {
+	var first error
+	for _, m := range b.members {
+		if m == nil {
+			continue
+		}
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// streamOn streams from one member, falling back to materialize-and-replay
+// for members without a streaming API.
+func (b *Backend) streamOn(ctx context.Context, shard int, sql string, sink core.RowSink) error {
+	if s := b.streams[shard]; s != nil {
+		return s.ExecStream(ctx, sql, sink)
+	}
+	res, err := b.members[shard].Exec(ctx, sql)
+	if err != nil {
+		return err
+	}
+	return core.ReplayResult(res, sink)
+}
+
+// scatter fans a statement out to the plan's shards and merges the
+// streams into sink. The first shard error cancels every sibling's
+// in-flight query and surfaces as the single attributed error.
+func (b *Backend) scatter(ctx context.Context, sql string, p *plan, sink core.RowSink) error {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var once sync.Once
+	var firstErr error
+	fail := func(shard int, err error) error {
+		attributed := fmt.Errorf("shard %d: %w", shard, err)
+		once.Do(func() {
+			firstErr = attributed
+			cancel()
+		})
+		return attributed
+	}
+	cursors := make([]*streamCursor, len(p.shards))
+	for idx, shard := range p.shards {
+		ch := make(chan shardMsg, chanCap)
+		cursors[idx] = &streamCursor{ctx: sctx, ch: ch, shard: idx}
+		go func(idx, shard int, ch chan shardMsg) {
+			cs := &chanSink{ctx: sctx, ch: ch}
+			err := b.streamOn(sctx, shard, sql, cs)
+			if err == nil {
+				err = cs.flush()
+			}
+			if err != nil {
+				select {
+				case ch <- shardMsg{err: fail(shard, err)}:
+				case <-sctx.Done():
+				}
+				return
+			}
+			select {
+			case ch <- shardMsg{done: true, tag: cs.tag}:
+			case <-sctx.Done():
+			}
+		}(idx, shard, ch)
+	}
+	if err := mergeStreams(sctx, cursors, p, sink); err != nil {
+		cancel()
+		once.Do(func() { firstErr = err })
+		return firstErr
+	}
+	return nil
+}
+
+// execAggregate runs a distributed aggregate. A zero-row probe recovers
+// the statically inferred partial types (the baseline the single backend's
+// value-dependent refinement starts from), the partial — extended with ±0
+// sign carriers for float MIN/MAX — fans out, and the coordinator
+// re-aggregates on a scratch engine. The probe shares the first target
+// shard's member session, and member sessions are not concurrency-safe, so
+// it runs inside that shard's fan goroutine, before its partial — the
+// other shards' partials overlap it.
+func (b *Backend) execAggregate(ctx context.Context, p *plan) (*pgdb.Result, error) {
+	ap := p.agg
+	fanSel, zero := extendZeroCarriers(ap)
+	fanSQL := pgdb.RenderSelect(fanSel)
+	probeStmt := probeSQL(ap)
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*pgdb.Result, len(p.shards))
+	var probe *core.BackendResult
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for idx, shard := range p.shards {
+		wg.Add(1)
+		go func(idx, shard int) {
+			defer wg.Done()
+			m := b.members[shard]
+			if idx == 0 {
+				pr, err := m.Exec(sctx, probeStmt)
+				if err != nil {
+					fail(fmt.Errorf("shard %d: type probe: %w", shard, err))
+					return
+				}
+				probe = pr
+			}
+			var res *pgdb.Result
+			var err error
+			if tb, ok := m.(core.TypedBackend); ok {
+				res, err = tb.ExecTyped(sctx, fanSQL)
+			} else {
+				var br *core.BackendResult
+				if br, err = m.Exec(sctx, fanSQL); err == nil {
+					res = textToTyped(br)
+				}
+			}
+			if err != nil {
+				fail(fmt.Errorf("shard %d: %w", shard, err))
+				return
+			}
+			results[idx] = res
+		}(idx, shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	static := make(map[string]string, len(probe.Cols))
+	for _, c := range probe.Cols {
+		static[c.Name] = c.SQLType
+	}
+	if needGather(ap, static, results) {
+		return b.runGather(ctx, p)
+	}
+	return runAggregate(ctx, ap, results, static, zero)
+}
+
+// runGather executes the aggregate exactness fallback: the aggregate's
+// input scan fans out instead of the partials, the gathered rows are
+// sorted by the order column (re-creating the single backend's scan
+// order), and the original aggregate replays over them on a scratch
+// engine. Costs a full round of data motion; taken only when partial
+// re-aggregation provably cannot match the single backend's fold
+// (needGather).
+func (b *Backend) runGather(ctx context.Context, p *plan) (*pgdb.Result, error) {
+	ap := p.agg
+	results, err := b.fanExecTyped(ctx, p.shards, pgdb.RenderSelect(ap.gather))
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 || results[0] == nil {
+		return nil, fmt.Errorf("shard: missing gather results")
+	}
+	cols := results[0].Cols
+	ordIdx := -1
+	seen := make(map[string]bool, len(cols))
+	for j, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("shard: ambiguous gather column %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Name == ap.ord.Name {
+			ordIdx = j
+		}
+	}
+	if ordIdx < 0 {
+		return nil, fmt.Errorf("shard: gather result missing order column %s", ap.ord.Name)
+	}
+	var rows [][]any
+	for _, res := range results {
+		if res == nil || len(res.Cols) != len(cols) {
+			return nil, fmt.Errorf("shard: gather schema mismatch")
+		}
+		rows = append(rows, res.Rows...)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		oi, iok := rows[i][ordIdx].(int64)
+		oj, jok := rows[j][ordIdx].(int64)
+		return iok && jok && oi < oj
+	})
+	db := pgdb.NewDB()
+	db.CreateTable(gatherTable, cols)
+	if err := db.InsertRows(gatherTable, rows); err != nil {
+		return nil, fmt.Errorf("shard: gather load: %w", err)
+	}
+	scratch := db.NewSession()
+	defer scratch.Close()
+	res, err := scratch.ExecContext(ctx, pgdb.RenderSelect(ap.gatherFinal))
+	if err != nil {
+		return nil, fmt.Errorf("shard: gather aggregation: %w", err)
+	}
+	return res, nil
+}
+
+// fanExecTyped runs one statement per shard in parallel, preferring the
+// engine-typed result path (embedded members) and rebuilding types from
+// wire text otherwise, cancelling siblings on the first error.
+func (b *Backend) fanExecTyped(ctx context.Context, shards []int, sql string) ([]*pgdb.Result, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*pgdb.Result, len(shards))
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	for idx, shard := range shards {
+		wg.Add(1)
+		go func(idx, shard int) {
+			defer wg.Done()
+			var res *pgdb.Result
+			var err error
+			if tb, ok := b.members[shard].(core.TypedBackend); ok {
+				res, err = tb.ExecTyped(sctx, sql)
+			} else {
+				var br *core.BackendResult
+				if br, err = b.members[shard].Exec(sctx, sql); err == nil {
+					res = textToTyped(br)
+				}
+			}
+			if err != nil {
+				once.Do(func() {
+					firstErr = fmt.Errorf("shard %d: %w", shard, err)
+					cancel()
+				})
+				return
+			}
+			results[idx] = res
+		}(idx, shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// fanExec runs one statement per shard in parallel, cancelling siblings
+// on the first error and attributing it to its shard.
+func (b *Backend) fanExec(ctx context.Context, shards []int, sqlFor func(shard int) string) ([]*core.BackendResult, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*core.BackendResult, len(shards))
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	for idx, shard := range shards {
+		wg.Add(1)
+		go func(idx, shard int) {
+			defer wg.Done()
+			res, err := b.members[shard].Exec(sctx, sqlFor(shard))
+			if err != nil {
+				once.Do(func() {
+					firstErr = fmt.Errorf("shard %d: %w", shard, err)
+					cancel()
+				})
+				return
+			}
+			results[idx] = res
+		}(idx, shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// allShardList enumerates every shard.
+func (b *Backend) allShardList() []int {
+	out := make([]int, len(b.members))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// broadcast runs the same statement on every shard and returns the
+// designated shard's result.
+func (b *Backend) broadcast(ctx context.Context, sql string) (*core.BackendResult, error) {
+	results, err := b.fanExec(ctx, b.allShardList(), func(int) string { return sql })
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// execOther routes every non-SELECT statement: DDL broadcasts, DML routes
+// by partition, transactions broadcast.
+func (b *Backend) execOther(ctx context.Context, stmt sqlparse.Stmt, sql string) (*core.BackendResult, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.InsertStmt:
+		return b.routeInsert(ctx, s, sql)
+	case *sqlparse.UpdateStmt:
+		return b.routeDML(ctx, "UPDATE", s.Table, s.Where, sql)
+	case *sqlparse.DeleteStmt:
+		return b.routeDML(ctx, "DELETE", s.Table, s.Where, sql)
+	case *sqlparse.CreateTableStmt:
+		return b.routeCreateTable(ctx, s, sql)
+	case *sqlparse.CreateViewStmt:
+		return b.routeCreateView(ctx, s, sql)
+	case *sqlparse.DropStmt:
+		res, err := b.broadcast(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		b.cat.drop(s.Name)
+		return res, nil
+	default:
+		return b.broadcast(ctx, sql)
+	}
+}
+
+// routeInsert routes INSERT ... VALUES by evaluating each row's partition
+// key; replicated tables broadcast every row.
+func (b *Backend) routeInsert(ctx context.Context, s *sqlparse.InsertStmt, sql string) (*core.BackendResult, error) {
+	ti := b.cat.lookup(s.Table)
+	if s.Select != nil {
+		if ti != nil && ti.spec.Kind.Sharded() {
+			return nil, unsupportedErr("INSERT ... SELECT into sharded table %s", s.Table)
+		}
+		if _, sharded := pruneSelect(s.Select, b.cat); sharded {
+			return nil, unsupportedErr("INSERT ... SELECT from sharded tables")
+		}
+		return b.broadcast(ctx, sql)
+	}
+	if ti == nil || !ti.spec.Kind.Sharded() {
+		return b.broadcast(ctx, sql)
+	}
+	if ti.spec.Kind == ShardedOpaque {
+		return nil, unsupportedErr("INSERT into derived sharded table %s", s.Table)
+	}
+	keyIdx := -1
+	if len(s.Cols) > 0 {
+		for i, c := range s.Cols {
+			if strings.EqualFold(c, ti.spec.Column) {
+				keyIdx = i
+				break
+			}
+		}
+	} else {
+		keyIdx = ti.colIndex(ti.spec.Column)
+	}
+	if keyIdx < 0 {
+		return nil, unsupportedErr("INSERT into %s without partition column %s", s.Table, ti.spec.Column)
+	}
+	n := b.cat.shards()
+	perShard := make([][][]sqlparse.Expr, n)
+	total := 0
+	for _, row := range s.Rows {
+		if keyIdx >= len(row) {
+			return nil, unsupportedErr("INSERT row narrower than partition column position")
+		}
+		v, ok := evalLiteral(row[keyIdx])
+		if !ok {
+			return nil, unsupportedErr("non-literal partition key in INSERT into %s", s.Table)
+		}
+		sh := shardFor(&ti.spec, n, v)
+		perShard[sh] = append(perShard[sh], row)
+		total++
+	}
+	var shards []int
+	for i, rows := range perShard {
+		if len(rows) > 0 {
+			shards = append(shards, i)
+		}
+	}
+	if len(shards) == 0 {
+		return &core.BackendResult{Tag: "INSERT 0 0"}, nil
+	}
+	var prefix strings.Builder
+	prefix.WriteString("INSERT INTO ")
+	prefix.WriteString(pgdb.RenderIdent(s.Table))
+	if len(s.Cols) > 0 {
+		prefix.WriteString(" (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				prefix.WriteString(", ")
+			}
+			prefix.WriteString(pgdb.RenderIdent(c))
+		}
+		prefix.WriteString(")")
+	}
+	prefix.WriteString(" VALUES ")
+	sqlFor := func(shard int) string {
+		var sb strings.Builder
+		sb.WriteString(prefix.String())
+		for i, row := range perShard[shard] {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for j, cell := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(pgdb.RenderExpr(cell))
+			}
+			sb.WriteByte(')')
+		}
+		return sb.String()
+	}
+	if _, err := b.fanExec(ctx, shards, sqlFor); err != nil {
+		return nil, err
+	}
+	return &core.BackendResult{Tag: "INSERT 0 " + strconv.Itoa(total)}, nil
+}
+
+// routeDML broadcasts UPDATE/DELETE to the owning shards and reports the
+// summed rows-affected tag; replicated tables update every copy and
+// report one copy's count.
+func (b *Backend) routeDML(ctx context.Context, word, table string, where sqlparse.Expr, sql string) (*core.BackendResult, error) {
+	target, sharded := pruneTable(table, where, b.cat)
+	if !sharded {
+		return b.broadcast(ctx, sql)
+	}
+	if target.isEmpty() {
+		return &core.BackendResult{Tag: word + " 0"}, nil
+	}
+	shards := target.list(b.cat.shards())
+	results, err := b.fanExec(ctx, shards, func(int) string { return sql })
+	if err != nil {
+		return nil, err
+	}
+	sum := 0
+	for _, r := range results {
+		if n, ok := core.ParseRowsAffected(r.Tag); ok {
+			sum += n
+		}
+	}
+	return &core.BackendResult{Tag: word + " " + strconv.Itoa(sum)}, nil
+}
+
+// routeCreateTable broadcasts plain CREATE TABLE and registers the
+// partitioning rule; CREATE TABLE AS classifies its select:
+//   - replicated-only input: broadcast verbatim (every shard computes the
+//     same content) and register replicated;
+//   - shard-local input: broadcast verbatim — each shard materializes its
+//     slice (pruned-away shards compute empty slices) — and register as a
+//     derived sharded table, keeping the partition column when the
+//     projection exposes it;
+//   - distributed aggregate: run it, then replicate the merged rows to
+//     every shard.
+func (b *Backend) routeCreateTable(ctx context.Context, s *sqlparse.CreateTableStmt, sql string) (*core.BackendResult, error) {
+	if s.AsSelect == nil {
+		res, err := b.broadcast(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = c.Name
+		}
+		b.cat.register(s.Name, cols, nil, s.Temp)
+		return res, nil
+	}
+	p, err := planSelect(s.AsSelect, b.cat)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !p.sharded:
+		res, err := b.broadcast(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		b.cat.register(s.Name, nil, &TableSpec{Kind: Replicated}, s.Temp)
+		return res, nil
+	case p.kind == classAgg:
+		res, err := b.execAggregate(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.replicateResult(ctx, s, core.ToBackendResult(res)); err != nil {
+			return nil, err
+		}
+		b.cat.register(s.Name, colNames(res), &TableSpec{Kind: Replicated}, s.Temp)
+		return &core.BackendResult{Tag: "SELECT " + strconv.Itoa(len(res.Rows))}, nil
+	default:
+		if p.capRows >= 0 {
+			// a per-shard LIMIT is not broadcastable verbatim (each shard
+			// would keep its own first-n); the capped result is small, so
+			// materialize it through the ordered merge and replicate it
+			sink := &resultSink{}
+			if err := b.scatter(ctx, pgdb.RenderSelect(s.AsSelect), p, sink); err != nil {
+				return nil, err
+			}
+			if err := b.replicateResult(ctx, s, &sink.res); err != nil {
+				return nil, err
+			}
+			cols := make([]string, len(sink.res.Cols))
+			for i, c := range sink.res.Cols {
+				cols[i] = c.Name
+			}
+			b.cat.register(s.Name, cols, &TableSpec{Kind: Replicated}, s.Temp)
+			return &core.BackendResult{Tag: "SELECT " + strconv.Itoa(len(sink.res.Rows))}, nil
+		}
+		res, err := b.broadcast(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		spec := &TableSpec{Kind: ShardedOpaque}
+		if info, aerr := analyzeSelect(s.AsSelect, b.cat); aerr == nil && info.sharded &&
+			info.partCol != "" && (info.kind == Hash || info.kind == Range) {
+			spec = &TableSpec{Kind: info.kind, Column: info.partCol, Bounds: info.bounds}
+		}
+		b.cat.register(s.Name, nil, spec, s.Temp)
+		return res, nil
+	}
+}
+
+func colNames(res *pgdb.Result) []string {
+	out := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// replicateResult creates a table with a materialized result's schema on
+// every shard and loads the rows everywhere — the landing step for a
+// distributed aggregate that a CREATE TABLE AS wants to keep.
+func (b *Backend) replicateResult(ctx context.Context, s *sqlparse.CreateTableStmt, res *core.BackendResult) error {
+	var sb strings.Builder
+	sb.WriteString("CREATE ")
+	if s.Temp {
+		sb.WriteString("TEMPORARY ")
+	}
+	sb.WriteString("TABLE ")
+	sb.WriteString(pgdb.RenderIdent(s.Name))
+	sb.WriteString(" (")
+	for j, c := range res.Cols {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(pgdb.RenderIdent(c.Name) + " " + c.SQLType)
+	}
+	sb.WriteString(")")
+	if _, err := b.broadcast(ctx, sb.String()); err != nil {
+		return err
+	}
+	const batch = 200
+	for lo := 0; lo < len(res.Rows); lo += batch {
+		hi := lo + batch
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		sb.Reset()
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(pgdb.RenderIdent(s.Name))
+		sb.WriteString(" VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for j, f := range res.Rows[i] {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				appendFieldLiteral(&sb, f, res.Cols[j].SQLType)
+			}
+			sb.WriteByte(')')
+		}
+		if _, err := b.broadcast(ctx, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routeCreateView handles CREATE VIEW like CREATE TABLE AS minus the
+// aggregate case: a view re-executes its definition on every reference,
+// and a distributed aggregate cannot be re-executed per shard.
+func (b *Backend) routeCreateView(ctx context.Context, s *sqlparse.CreateViewStmt, sql string) (*core.BackendResult, error) {
+	p, err := planSelect(s.AsSelect, b.cat)
+	if err != nil {
+		return nil, err
+	}
+	if p.kind == classAgg {
+		return nil, unsupportedErr("CREATE VIEW over a distributed aggregate")
+	}
+	if p.capRows >= 0 {
+		return nil, unsupportedErr("CREATE VIEW over a LIMIT select on sharded tables")
+	}
+	res, err := b.broadcast(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	spec := &TableSpec{Kind: Replicated}
+	if p.sharded {
+		spec = &TableSpec{Kind: ShardedOpaque}
+		if info, aerr := analyzeSelect(s.AsSelect, b.cat); aerr == nil && info.sharded &&
+			info.partCol != "" && (info.kind == Hash || info.kind == Range) {
+			spec = &TableSpec{Kind: info.kind, Column: info.partCol, Bounds: info.bounds}
+		}
+	}
+	b.cat.register(s.Name, nil, spec, false)
+	return res, nil
+}
+
+// resultSink materializes a streamed merge into the text BackendResult
+// form, rendering typed values exactly as the non-streaming path does.
+type resultSink struct {
+	res   core.BackendResult
+	types []string
+}
+
+func (s *resultSink) Schema(cols []core.BackendCol, hint int) error {
+	s.res.Cols = append([]core.BackendCol{}, cols...)
+	s.types = s.types[:0]
+	for _, c := range cols {
+		s.types = append(s.types, c.SQLType)
+	}
+	if hint > 0 {
+		s.res.Rows = make([][]core.Field, 0, hint)
+	}
+	return nil
+}
+
+func (s *resultSink) Row(vals []any) error {
+	row := make([]core.Field, len(vals))
+	for j, v := range vals {
+		if v == nil {
+			row[j] = core.Field{Null: true}
+		} else {
+			row[j] = core.Field{Text: pgdb.FormatValue(v, s.types[j])}
+		}
+	}
+	s.res.Rows = append(s.res.Rows, row)
+	return nil
+}
+
+func (s *resultSink) TextRow(fields [][]byte) error {
+	row := make([]core.Field, len(fields))
+	for j, f := range fields {
+		if f == nil {
+			row[j] = core.Field{Null: true}
+		} else {
+			row[j] = core.Field{Text: string(f)}
+		}
+	}
+	s.res.Rows = append(s.res.Rows, row)
+	return nil
+}
+
+func (s *resultSink) Tag(tag string) { s.res.Tag = tag }

@@ -1,0 +1,490 @@
+// Package shard is the scatter-gather sharding layer: a core.Backend that
+// spreads tables over N member backends (embedded pgdb engines or pooled
+// PG v3 connections) and makes the cluster look like one database to the
+// platform session. It sits exactly where Hyper-Q sits in the paper —
+// between translation and the wire — so neither the q client nor the
+// member backends know sharding is happening. A catalog declares per-table
+// partitioning (hash by symbol, range by date, or replicated), a planner
+// classifies each translated statement (single-shard via predicate
+// pruning, scatter-gather with a streaming ordered merge, or distributed
+// aggregation with sum/count decomposition), and a coordinator merges
+// partial results into the typed columnar result pipeline.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// Kind is a table's partitioning strategy.
+type Kind int
+
+// Partitioning strategies.
+const (
+	// Replicated keeps a full copy on every shard (dimension tables).
+	Replicated Kind = iota
+	// Hash spreads rows by a hash of one column (fact tables by symbol).
+	Hash
+	// Range spreads rows by comparing one column against sorted bounds
+	// (time-series tables by date).
+	Range
+	// ShardedOpaque marks a derived table (CREATE TABLE AS over a sharded
+	// select) whose rows live sliced across shards but whose partition
+	// column is unknown: scans scatter, pruning and co-partitioned joins
+	// are unavailable.
+	ShardedOpaque
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Replicated:
+		return "replicated"
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	case ShardedOpaque:
+		return "sharded"
+	}
+	return "unknown"
+}
+
+// Sharded reports whether rows of a table with this kind are spread over
+// shards (anything but Replicated).
+func (k Kind) Sharded() bool { return k != Replicated }
+
+// TableSpec declares one table's partitioning. Used both as a catalog rule
+// (what to do when the table is created) and as the registered state.
+type TableSpec struct {
+	Name   string
+	Kind   Kind
+	Column string // partition column for Hash/Range
+	// Bounds are the N-1 sorted split points for Range: shard i holds
+	// rows with Bounds[i-1] <= key < Bounds[i]. Each bound is a literal in
+	// the same text form queries use ("2024-01-02" for dates). Numeric
+	// bounds compare numerically, everything else lexicographically —
+	// which is exactly right for ISO dates, times and timestamps.
+	Bounds []string
+}
+
+// tableInfo is a registered table: its spec plus the column order observed
+// at CREATE TABLE time (needed to route positional INSERT ... VALUES).
+type tableInfo struct {
+	spec TableSpec
+	cols []string
+}
+
+func (ti *tableInfo) colIndex(name string) int {
+	for i, c := range ti.cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Catalog is the cluster-wide table registry: partitioning rules plus the
+// tables actually observed via broadcast DDL. Shared by all sessions of a
+// Cluster, so it is internally locked.
+type Catalog struct {
+	mu     sync.RWMutex
+	shards int
+	rules  map[string]TableSpec
+	tables map[string]*tableInfo
+}
+
+// NewCatalog builds a catalog for a cluster of n shards with the given
+// partitioning rules. Tables without a rule are replicated — the safe
+// default: every shard holds a full copy, any statement over them runs on
+// one designated shard.
+func NewCatalog(n int, rules []TableSpec) *Catalog {
+	c := &Catalog{shards: n, rules: map[string]TableSpec{}, tables: map[string]*tableInfo{}}
+	for _, r := range rules {
+		r.Name = strings.ToLower(r.Name)
+		sort.Strings(r.Bounds)
+		c.rules[r.Name] = r
+		// sharded rules are visible immediately (with unknown columns), so a
+		// cluster over pre-loaded members routes correctly before any DDL
+		// flows through the coordinator; CREATE TABLE re-registers with the
+		// observed column order
+		if r.Kind.Sharded() {
+			c.tables[r.Name] = &tableInfo{spec: r}
+		}
+	}
+	return c
+}
+
+// Shards returns the cluster width.
+func (c *Catalog) Shards() int { return c.shards }
+
+// register records a table at CREATE TABLE time. The partitioning comes
+// from the rule for its name; a rule whose partition column is absent from
+// the created columns degrades to replicated (partitioning needs the key).
+func (c *Catalog) register(name string, cols []string, spec *TableSpec) {
+	lname := strings.ToLower(name)
+	ti := &tableInfo{cols: cols}
+	switch {
+	case spec != nil:
+		ti.spec = *spec
+	default:
+		rule, ok := c.rules[lname]
+		if ok && rule.Kind.Sharded() {
+			ti.spec = rule
+		}
+	}
+	ti.spec.Name = lname
+	if len(cols) > 0 && (ti.spec.Kind == Hash || ti.spec.Kind == Range) {
+		if ti.colIndex(ti.spec.Column) < 0 {
+			ti.spec = TableSpec{Name: lname, Kind: Replicated}
+		}
+	}
+	c.mu.Lock()
+	c.tables[lname] = ti
+	c.mu.Unlock()
+}
+
+func (c *Catalog) drop(name string) {
+	c.mu.Lock()
+	delete(c.tables, strings.ToLower(name))
+	c.mu.Unlock()
+}
+
+func (c *Catalog) lookup(name string) *tableInfo {
+	c.mu.RLock()
+	ti := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
+	return ti
+}
+
+// catalogView is one session's view of the catalog: the shared registry
+// plus a session-private overlay for temporary tables and views, which are
+// visible only to the member sessions this backend owns.
+type catalogView struct {
+	shared  *Catalog
+	overlay map[string]*tableInfo
+}
+
+func newCatalogView(shared *Catalog) *catalogView {
+	return &catalogView{shared: shared, overlay: map[string]*tableInfo{}}
+}
+
+func (v *catalogView) shards() int { return v.shared.shards }
+
+func (v *catalogView) lookup(name string) *tableInfo {
+	if ti, ok := v.overlay[strings.ToLower(name)]; ok {
+		return ti
+	}
+	return v.shared.lookup(name)
+}
+
+func (v *catalogView) register(name string, cols []string, spec *TableSpec, temp bool) {
+	if temp {
+		lname := strings.ToLower(name)
+		ti := &tableInfo{cols: cols}
+		if spec != nil {
+			ti.spec = *spec
+		}
+		ti.spec.Name = lname
+		if len(cols) > 0 && (ti.spec.Kind == Hash || ti.spec.Kind == Range) {
+			if ti.colIndex(ti.spec.Column) < 0 {
+				ti.spec = TableSpec{Name: lname, Kind: Replicated}
+			}
+		}
+		v.overlay[lname] = ti
+		return
+	}
+	v.shared.register(name, cols, spec)
+}
+
+func (v *catalogView) drop(name string) {
+	lname := strings.ToLower(name)
+	if _, ok := v.overlay[lname]; ok {
+		delete(v.overlay, lname)
+		return
+	}
+	v.shared.drop(name)
+}
+
+// partVal is a partition-key value in canonical form, comparable and
+// hashable consistently whether it came from an INSERT literal, a WHERE
+// literal, or a range bound.
+type partVal struct {
+	null  bool
+	isNum bool
+	num   float64
+	str   string
+}
+
+// parseBound turns a range-bound text into a partVal (numeric if it parses
+// as a number, else lexicographic text).
+func parseBound(s string) partVal {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return partVal{isNum: true, num: f}
+	}
+	return partVal{str: s}
+}
+
+// compare orders two partVals: null first, then numerics before text when
+// mixed, NaN last among numerics (the PostgreSQL sort convention).
+func (a partVal) compare(b partVal) int {
+	switch {
+	case a.null && b.null:
+		return 0
+	case a.null:
+		return -1
+	case b.null:
+		return 1
+	}
+	if a.isNum != b.isNum {
+		if a.isNum {
+			return -1
+		}
+		return 1
+	}
+	if a.isNum {
+		an, bn := math.IsNaN(a.num), math.IsNaN(b.num)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return 1
+		case bn:
+			return -1
+		case a.num < b.num:
+			return -1
+		case a.num > b.num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.str, b.str)
+}
+
+// canonical returns the hash text of a partVal. Integral floats print as
+// integers so an INSERT of 2 and a predicate literal 2.0 land on the same
+// shard.
+func (a partVal) canonical() string {
+	if a.isNum {
+		if a.num == math.Trunc(a.num) && !math.IsInf(a.num, 0) && math.Abs(a.num) < 1e15 {
+			return strconv.FormatInt(int64(a.num), 10)
+		}
+		return strconv.FormatFloat(a.num, 'g', -1, 64)
+	}
+	return a.str
+}
+
+// shardFor routes a partition-key value under a spec. NULL keys always
+// live on shard 0 (both routing and pruning agree on this), hash keys go
+// by FNV-1a of the canonical text, range keys by binary search over the
+// bounds.
+func shardFor(spec *TableSpec, n int, v partVal) int {
+	if v.null {
+		return 0
+	}
+	switch spec.Kind {
+	case Hash:
+		h := fnv.New64a()
+		h.Write([]byte(v.canonical()))
+		return int(h.Sum64() % uint64(n))
+	case Range:
+		i := sort.Search(len(spec.Bounds), func(i int) bool {
+			return v.compare(parseBound(spec.Bounds[i])) < 0
+		})
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return 0
+}
+
+// evalLiteral evaluates a literal expression to a partition-key value:
+// numbers, strings, typed string casts ('2024-01-02'::date,
+// 'Infinity'::double precision), booleans and NULL. Anything else — a
+// column reference, arithmetic — is not a literal and reports false.
+func evalLiteral(e sqlparse.Expr) (partVal, bool) {
+	switch x := e.(type) {
+	case *sqlparse.NumberLit:
+		f, err := strconv.ParseFloat(x.Text, 64)
+		if err != nil {
+			return partVal{}, false
+		}
+		return partVal{isNum: true, num: f}, true
+	case *sqlparse.StringLit:
+		return partVal{str: x.V}, true
+	case *sqlparse.BoolLit:
+		if x.V {
+			return partVal{str: "t"}, true
+		}
+		return partVal{str: "f"}, true
+	case *sqlparse.NullLit:
+		return partVal{null: true}, true
+	case *sqlparse.UnaryExpr:
+		if x.Op != "-" {
+			return partVal{}, false
+		}
+		v, ok := evalLiteral(x.X)
+		if !ok || !v.isNum {
+			return partVal{}, false
+		}
+		v.num = -v.num
+		return v, true
+	case *sqlparse.CastExpr:
+		v, ok := evalLiteral(x.X)
+		if !ok {
+			return partVal{}, false
+		}
+		// the quoted-and-cast numeric spellings: 'Infinity'::double
+		// precision and friends become numerics so they compare right
+		if !v.null && !v.isNum && isNumericType(x.Type) {
+			if f, err := strconv.ParseFloat(v.str, 64); err == nil {
+				return partVal{isNum: true, num: f}, true
+			}
+			switch strings.ToLower(v.str) {
+			case "infinity", "+infinity":
+				return partVal{isNum: true, num: math.Inf(1)}, true
+			case "-infinity":
+				return partVal{isNum: true, num: math.Inf(-1)}, true
+			case "nan":
+				return partVal{isNum: true, num: math.NaN()}, true
+			}
+		}
+		return v, true
+	case *sqlparse.ValueLit:
+		switch y := x.V.(type) {
+		case nil:
+			return partVal{null: true}, true
+		case int64:
+			return partVal{isNum: true, num: float64(y)}, true
+		case float64:
+			return partVal{isNum: true, num: y}, true
+		case string:
+			return partVal{str: y}, true
+		case bool:
+			if y {
+				return partVal{str: "t"}, true
+			}
+			return partVal{str: "f"}, true
+		}
+	}
+	return partVal{}, false
+}
+
+func isNumericType(t string) bool {
+	switch strings.ToLower(t) {
+	case "smallint", "integer", "bigint", "real", "double precision", "numeric", "float", "float8", "float4":
+		return true
+	}
+	return false
+}
+
+// shardSet is a set of shard indexes with a distinguished "all shards"
+// top element (nil = all; the planner never prunes what it cannot prove).
+type shardSet struct {
+	all bool
+	m   map[int]bool
+}
+
+func allShards() shardSet         { return shardSet{all: true} }
+func noShards() shardSet          { return shardSet{m: map[int]bool{}} }
+func oneShard(i int) shardSet     { return shardSet{m: map[int]bool{i: true}} }
+func (s shardSet) has(i int) bool { return s.all || s.m[i] }
+func (s shardSet) isAll() bool    { return s.all }
+func (s shardSet) isEmpty() bool  { return !s.all && len(s.m) == 0 }
+func (s shardSet) add(i int)      { s.m[i] = true }
+
+func (s shardSet) union(o shardSet) shardSet {
+	if s.all || o.all {
+		return allShards()
+	}
+	out := noShards()
+	for i := range s.m {
+		out.add(i)
+	}
+	for i := range o.m {
+		out.add(i)
+	}
+	return out
+}
+
+func (s shardSet) intersect(o shardSet) shardSet {
+	if s.all {
+		return o
+	}
+	if o.all {
+		return s
+	}
+	out := noShards()
+	for i := range s.m {
+		if o.m[i] {
+			out.add(i)
+		}
+	}
+	return out
+}
+
+// list returns the members in ascending order (n is the cluster width,
+// used when the set is "all").
+func (s shardSet) list(n int) []int {
+	if s.all {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, len(s.m))
+	for i := range s.m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s shardSet) String() string {
+	if s.all {
+		return "all"
+	}
+	return fmt.Sprint(s.list(0))
+}
+
+// rangeShards returns the shards that can hold keys satisfying `key op
+// lit` for a Range spec: a contiguous run of shards around the bound's
+// position.
+func rangeShards(spec *TableSpec, n int, op string, v partVal) shardSet {
+	if v.null {
+		// comparisons with NULL match no rows; keep the designated shard
+		// so the statement still has somewhere to produce its schema
+		return noShards()
+	}
+	at := shardFor(spec, n, v)
+	out := noShards()
+	switch op {
+	case "=", "IS NOT DISTINCT FROM":
+		out.add(at)
+	case "<", "<=":
+		hi := at
+		// `key < bound` at an exact split point excludes the shard whose
+		// range starts there
+		if op == "<" && at > 0 && v.compare(parseBound(spec.Bounds[at-1])) == 0 {
+			hi = at - 1
+		}
+		for i := 0; i <= hi; i++ {
+			out.add(i)
+		}
+	case ">", ">=":
+		for i := at; i < n; i++ {
+			out.add(i)
+		}
+	default:
+		return allShards()
+	}
+	return out
+}

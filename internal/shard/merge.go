@@ -1,0 +1,530 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/core"
+)
+
+// batchRows is the per-shard row batch size flowing through the merge
+// channels: large enough to amortize channel hops, small enough to keep
+// the merge streaming.
+const batchRows = 256
+
+// chanCap bounds in-flight batches per shard, providing backpressure: a
+// fast shard cannot run unboundedly ahead of the merge.
+const chanCap = 4
+
+// srow is one in-flight row, in whichever form its backend produced:
+// engine-typed values (embedded members) or wire-text cells (networked
+// members). The merge compares keys across both forms.
+type srow struct {
+	typed []any
+	text  [][]byte
+}
+
+// shardMsg is one message from a shard's streaming goroutine to the
+// coordinator.
+type shardMsg struct {
+	schema    []core.BackendCol
+	hint      int
+	hasSchema bool
+	rows      []srow
+	tag       string
+	done      bool
+	err       error
+}
+
+// chanSink adapts core.RowSink onto a channel of batches, deep-copying
+// rows (sink slices are only valid during the call).
+type chanSink struct {
+	ctx   context.Context
+	ch    chan<- shardMsg
+	batch []srow
+	tag   string
+}
+
+func (s *chanSink) send(m shardMsg) error {
+	select {
+	case s.ch <- m:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+func (s *chanSink) Schema(cols []core.BackendCol, hint int) error {
+	c := append([]core.BackendCol{}, cols...)
+	return s.send(shardMsg{schema: c, hint: hint, hasSchema: true})
+}
+
+func (s *chanSink) flush() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	b := s.batch
+	s.batch = nil
+	return s.send(shardMsg{rows: b})
+}
+
+func (s *chanSink) Row(vals []any) error {
+	s.batch = append(s.batch, srow{typed: append([]any{}, vals...)})
+	if len(s.batch) >= batchRows {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *chanSink) TextRow(fields [][]byte) error {
+	cp := make([][]byte, len(fields))
+	for j, f := range fields {
+		if f != nil {
+			cp[j] = append([]byte{}, f...)
+		}
+	}
+	s.batch = append(s.batch, srow{text: cp})
+	if len(s.batch) >= batchRows {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *chanSink) Tag(tag string) { s.tag = tag }
+
+// mergeSchemas reconciles per-shard result schemas into the schema the
+// client sees, mirroring the engine's value-dependent type refinement: a
+// shard with no rows reports weaker types for computed columns, so its
+// schema yields to shards that produced rows; numeric disagreement
+// between row-producing shards widens to double precision (which is what
+// a single backend would have inferred seeing all rows together).
+func mergeSchemas(schemas [][]core.BackendCol, hints []int) ([]core.BackendCol, int, error) {
+	var base []core.BackendCol
+	for _, s := range schemas {
+		if base == nil {
+			base = append(base, s...)
+			continue
+		}
+		if len(s) != len(base) {
+			return nil, 0, fmt.Errorf("shard: result schema width mismatch: %d vs %d", len(s), len(base))
+		}
+	}
+	for j := range base {
+		strong := map[string]bool{}
+		var weak []string
+		for i, s := range schemas {
+			if hints[i] == 0 {
+				weak = append(weak, s[j].SQLType)
+			} else {
+				strong[s[j].SQLType] = true
+			}
+		}
+		switch {
+		case len(strong) == 1:
+			for t := range strong {
+				base[j].SQLType = t
+			}
+		case len(strong) == 0:
+			if len(weak) > 0 {
+				base[j].SQLType = weak[0]
+			}
+		default:
+			widened := ""
+			for t := range strong {
+				switch numericClass(t) {
+				case 1:
+					if widened == "" {
+						widened = "bigint"
+					}
+				case 2:
+					widened = "double precision"
+				default:
+					return nil, 0, fmt.Errorf("shard: conflicting result types for %s: %v", base[j].Name, strong)
+				}
+			}
+			base[j].SQLType = widened
+		}
+	}
+	hint := 0
+	for _, h := range hints {
+		if h < 0 {
+			return base, -1, nil
+		}
+		hint += h
+	}
+	return base, hint, nil
+}
+
+// keyClass buckets a merge key's comparison behavior by SQL type.
+type keyClass int
+
+const (
+	keyText  keyClass = iota // lexicographic (varchar, and ISO dates/times)
+	keyInt                   // integer
+	keyFloat                 // floating point
+)
+
+func classFor(sqlType string) keyClass {
+	switch numericClass(sqlType) {
+	case 1:
+		return keyInt
+	case 2:
+		return keyFloat
+	}
+	return keyText
+}
+
+// cmpKey compares one key cell of two rows. NaN sorts after every number
+// (the backend's sort convention); nulls are handled by the caller.
+func cmpKey(a, b srow, col int, cls keyClass) int {
+	switch cls {
+	case keyInt:
+		av, af, aIsInt := numCell(a, col)
+		bv, bf, bIsInt := numCell(b, col)
+		if aIsInt && bIsInt {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		}
+		return cmpFloat(af, bf)
+	case keyFloat:
+		_, af, _ := numCell(a, col)
+		_, bf, _ := numCell(b, col)
+		return cmpFloat(af, bf)
+	}
+	return strings.Compare(textCellStr(a, col), textCellStr(b, col))
+}
+
+func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func isNullCell(r srow, col int) bool {
+	if r.typed != nil {
+		return r.typed[col] == nil
+	}
+	return r.text[col] == nil
+}
+
+func numCell(r srow, col int) (int64, float64, bool) {
+	if r.typed != nil {
+		switch v := r.typed[col].(type) {
+		case int64:
+			return v, float64(v), true
+		case float64:
+			return 0, v, false
+		case string:
+			if i, err := strconv.ParseInt(v, 10, 64); err == nil {
+				return i, float64(i), true
+			}
+			f, _ := strconv.ParseFloat(v, 64)
+			return 0, f, false
+		}
+		return 0, 0, false
+	}
+	s := string(r.text[col])
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, float64(i), true
+	}
+	f, _ := strconv.ParseFloat(s, 64)
+	return 0, f, false
+}
+
+func textCellStr(r srow, col int) string {
+	if r.typed != nil {
+		switch v := r.typed[col].(type) {
+		case string:
+			return v
+		case bool:
+			if v {
+				return "t"
+			}
+			return "f"
+		default:
+			return fmt.Sprint(v)
+		}
+	}
+	return string(r.text[col])
+}
+
+// resolvedKey is a merge key bound to a column index and comparison class.
+type resolvedKey struct {
+	col        int
+	cls        keyClass
+	desc       bool
+	nullsFirst bool
+}
+
+func resolveKeys(keys []mergeKey, cols []core.BackendCol) ([]resolvedKey, error) {
+	out := make([]resolvedKey, 0, len(keys))
+	for _, k := range keys {
+		col := -1
+		for j, c := range cols {
+			if strings.EqualFold(c.Name, k.name) {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("shard: merge key %s not in result", k.name)
+		}
+		out = append(out, resolvedKey{col: col, cls: classFor(cols[col].SQLType), desc: k.desc, nullsFirst: k.nullsFirst})
+	}
+	return out, nil
+}
+
+// compareRows orders two rows under the resolved keys; ties break by
+// shard index for determinism.
+func compareRows(a, b srow, keys []resolvedKey) int {
+	for _, k := range keys {
+		an, bn := isNullCell(a, k.col), isNullCell(b, k.col)
+		var c int
+		switch {
+		case an && bn:
+			c = 0
+		case an:
+			if k.nullsFirst {
+				c = -1
+			} else {
+				c = 1
+			}
+		case bn:
+			if k.nullsFirst {
+				c = 1
+			} else {
+				c = -1
+			}
+		default:
+			c = cmpKey(a, b, k.col, k.cls)
+			if k.desc {
+				c = -c
+			}
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// streamCursor iterates one shard's message stream row by row.
+type streamCursor struct {
+	ctx   context.Context
+	ch    <-chan shardMsg
+	shard int
+	batch []srow
+	pos   int
+	tag   string
+	done  bool
+}
+
+// next advances to the next row; ok=false means the stream finished.
+func (c *streamCursor) next() (srow, bool, error) {
+	for {
+		if c.pos < len(c.batch) {
+			r := c.batch[c.pos]
+			c.pos++
+			return r, true, nil
+		}
+		if c.done {
+			return srow{}, false, nil
+		}
+		select {
+		case m := <-c.ch:
+			if m.err != nil {
+				return srow{}, false, m.err
+			}
+			if m.done {
+				c.done = true
+				c.tag = m.tag
+				continue
+			}
+			c.batch, c.pos = m.rows, 0
+		case <-c.ctx.Done():
+			return srow{}, false, c.ctx.Err()
+		}
+	}
+}
+
+// cursorHeap is the k-way merge heap over shard cursors; each entry holds
+// the cursor's current head row.
+type cursorHeap struct {
+	keys []resolvedKey
+	cur  []*heapEntry
+}
+
+type heapEntry struct {
+	row srow
+	c   *streamCursor
+}
+
+func (h *cursorHeap) Len() int { return len(h.cur) }
+func (h *cursorHeap) Less(i, j int) bool {
+	c := compareRows(h.cur[i].row, h.cur[j].row, h.keys)
+	if c != 0 {
+		return c < 0
+	}
+	return h.cur[i].c.shard < h.cur[j].c.shard
+}
+func (h *cursorHeap) Swap(i, j int) { h.cur[i], h.cur[j] = h.cur[j], h.cur[i] }
+func (h *cursorHeap) Push(x any)    { h.cur = append(h.cur, x.(*heapEntry)) }
+func (h *cursorHeap) Pop() any {
+	x := h.cur[len(h.cur)-1]
+	h.cur = h.cur[:len(h.cur)-1]
+	return x
+}
+
+// forwardRow delivers a row to the destination sink in its native form.
+func forwardRow(sink core.RowSink, r srow) error {
+	if r.typed != nil {
+		return sink.Row(r.typed)
+	}
+	return sink.TextRow(r.text)
+}
+
+// mergeTag rebuilds the command tag for the merged result: the per-shard
+// tags' trailing counts are replaced with the number of rows actually
+// emitted ("SELECT 12" from three shards' SELECT 4s).
+func mergeTag(tags []string, emitted int64) string {
+	for _, t := range tags {
+		if t == "" {
+			continue
+		}
+		if _, ok := core.ParseRowsAffected(t); ok {
+			fields := strings.Fields(t)
+			fields[len(fields)-1] = strconv.FormatInt(emitted, 10)
+			return strings.Join(fields, " ")
+		}
+		return t
+	}
+	return ""
+}
+
+// mergeStreams is the coordinator side of a scatter: it waits for every
+// shard's schema (the type barrier), emits the reconciled schema, then
+// merges rows — a k-way ordered merge under the plan's keys, or plain
+// shard-order concatenation when the statement has no ORDER BY.
+func mergeStreams(ctx context.Context, cursors []*streamCursor, p *plan, sink core.RowSink) error {
+	schemas := make([][]core.BackendCol, len(cursors))
+	hints := make([]int, len(cursors))
+	heads := make([]*heapEntry, 0, len(cursors))
+	for i, c := range cursors {
+		// the first message of a healthy stream is its schema; rows can
+		// only follow it
+		select {
+		case m := <-c.ch:
+			if m.err != nil {
+				return m.err
+			}
+			if !m.hasSchema {
+				return fmt.Errorf("shard %d: stream produced rows before schema", i)
+			}
+			schemas[i], hints[i] = m.schema, m.hint
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	cols, hint, err := mergeSchemas(schemas, hints)
+	if err != nil {
+		return err
+	}
+	if err := sink.Schema(cols, hint); err != nil {
+		return err
+	}
+
+	var emitted int64
+	capped := func() bool { return p.capRows >= 0 && emitted >= p.capRows }
+
+	if len(p.orderBy) == 0 {
+		for _, c := range cursors {
+			for {
+				r, ok, err := c.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := forwardRow(sink, r); err != nil {
+					return err
+				}
+				emitted++
+			}
+		}
+	} else {
+		keys, err := resolveKeys(p.orderBy, cols)
+		if err != nil {
+			return err
+		}
+		h := &cursorHeap{keys: keys}
+		for _, c := range cursors {
+			r, ok, err := c.next()
+			if err != nil {
+				return err
+			}
+			if ok {
+				heads = append(heads, &heapEntry{row: r, c: c})
+			}
+		}
+		h.cur = heads
+		heap.Init(h)
+		for h.Len() > 0 && !capped() {
+			e := h.cur[0]
+			if err := forwardRow(sink, e.row); err != nil {
+				return err
+			}
+			emitted++
+			r, ok, err := e.c.next()
+			if err != nil {
+				return err
+			}
+			if ok {
+				e.row = r
+				heap.Fix(h, 0)
+			} else {
+				heap.Pop(h)
+			}
+		}
+		// a LIMIT satisfied early: per-shard LIMITs bound the leftovers,
+		// so drain rather than cancel (cancelling would race real errors)
+		for _, c := range cursors {
+			for {
+				_, ok, err := c.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	}
+
+	tags := make([]string, len(cursors))
+	for i, c := range cursors {
+		tags[i] = c.tag
+	}
+	sink.Tag(mergeTag(tags, emitted))
+	return nil
+}

@@ -1,0 +1,522 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/pgdb"
+	"hyperq/internal/pgdb/sqlparse"
+	"hyperq/internal/xtra"
+)
+
+// classKind classifies a planned statement.
+type classKind int
+
+const (
+	// classSingle runs the statement verbatim on one shard: replicated-only
+	// statements on the designated shard, or statements pruned to a single
+	// owner. Correct for every statement shape, which is why pruning is
+	// checked before structural analysis.
+	classSingle classKind = iota
+	// classScatter fans the statement out to the target shards and merges
+	// the streams in ORDER BY order.
+	classScatter
+	// classAgg decomposes aggregates into per-shard partials and
+	// re-aggregates on the coordinator.
+	classAgg
+)
+
+// plan is the routing decision for one SELECT statement.
+type plan struct {
+	kind classKind
+	// sharded reports whether the statement references any sharded table
+	// at all (false means it is a replicated-only statement).
+	sharded bool
+	shards  []int
+	// schemaOnly marks a single-shard plan whose target set pruned to
+	// empty: the designated shard runs the statement only to produce the
+	// right (empty) shape. Counted separately so pruning tests can tell
+	// "owning shard" from "schema carrier".
+	schemaOnly bool
+	// scatter merge spec
+	orderBy []mergeKey
+	capRows int64 // post-merge row cap from a pushed-down LIMIT, -1 none
+	// distributed-aggregate spec
+	agg *aggPlan
+}
+
+// mergeKey is one ORDER BY key by output column name (resolved to a column
+// index once the merged schema is known).
+type mergeKey struct {
+	name       string
+	desc       bool
+	nullsFirst bool
+}
+
+// errAggregate marks "aggregation over a sharded relation" during local
+// analysis — the one structural rejection the planner can retry as a
+// distributed aggregate.
+var errAggregate = errors.New("aggregate over sharded relation")
+
+// unsupportedErr describes a statement the sharding layer cannot
+// distribute (it can still run if pruning finds a single owning shard).
+func unsupportedErr(format string, args ...any) error {
+	return fmt.Errorf("shard: unsupported distributed statement: "+format, args...)
+}
+
+// relInfo is the partitioning status of a relation (a FROM tree or a
+// select node's output).
+type relInfo struct {
+	sharded bool
+	kind    Kind
+	bounds  []string // range split points, for scheme equality
+	// partCol is the output column name carrying the partition key (""
+	// when the key is not exposed — scans still work, co-partitioned
+	// joins above do not).
+	partCol string
+	// aliases are the qualifiers that resolve to the sharded side, so a
+	// qualified column reference can be attributed.
+	aliases map[string]bool
+	// ord references the implicit-order column when the relation exposes
+	// one (qualified for joins); distributed first/last need it.
+	ord *sqlparse.ColRef
+	// capRows carries a pushed-down LIMIT (-1 none): per-shard execution
+	// keeps the LIMIT (a superset of the global answer, because shard
+	// scan order is ordcol-ascending), the merge re-caps globally.
+	capRows int64
+}
+
+func (ri relInfo) hasAlias(q string) bool {
+	return ri.aliases != nil && ri.aliases[strings.ToLower(q)]
+}
+
+func schemeEqual(a, b relInfo) bool {
+	if a.kind == Hash && b.kind == Hash {
+		return true
+	}
+	if a.kind == Range && b.kind == Range {
+		if len(a.bounds) != len(b.bounds) {
+			return false
+		}
+		for i := range a.bounds {
+			if a.bounds[i] != b.bounds[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// planSelect classifies one SELECT. Order matters: pruning first (a
+// single-owner statement is correct verbatim no matter its shape), then
+// local analysis (scatter), then aggregate decomposition.
+func planSelect(sel *sqlparse.SelectStmt, cat *catalogView) (*plan, error) {
+	target, sharded := pruneStmt(sel, cat)
+	if !sharded {
+		return &plan{kind: classSingle, shards: []int{0}}, nil
+	}
+	if target.isEmpty() {
+		return &plan{kind: classSingle, sharded: true, shards: []int{0}, schemaOnly: true}, nil
+	}
+	shards := target.list(cat.shards())
+	if len(shards) == 1 {
+		return &plan{kind: classSingle, sharded: true, shards: shards}, nil
+	}
+
+	info, err := analyzeSelect(sel, cat)
+	if err == nil {
+		p := &plan{kind: classScatter, sharded: true, shards: shards, capRows: info.capRows}
+		if p.orderBy, err = mergeKeys(sel.OrderBy); err != nil {
+			return nil, err
+		}
+		if p.capRows >= 0 && len(p.orderBy) == 0 {
+			return nil, unsupportedErr("LIMIT without a merge order")
+		}
+		return p, nil
+	}
+	if !errors.Is(err, errAggregate) {
+		return nil, err
+	}
+	ap, aerr := planAggregate(sel, cat)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &plan{kind: classAgg, sharded: true, shards: shards, agg: ap}, nil
+}
+
+// mergeKeys extracts the ORDER BY into name-keyed merge keys. Only plain
+// column references are mergeable — which is all the translator emits
+// (ORDER BY ordcol).
+func mergeKeys(items []sqlparse.OrderItem) ([]mergeKey, error) {
+	keys := make([]mergeKey, 0, len(items))
+	for _, it := range items {
+		c, ok := it.Expr.(*sqlparse.ColRef)
+		if !ok {
+			return nil, unsupportedErr("ORDER BY expression %s", pgdb.RenderExpr(it.Expr))
+		}
+		k := mergeKey{name: strings.ToLower(c.Name), desc: it.Desc, nullsFirst: it.Desc}
+		if it.NullsFirst != nil {
+			k.nullsFirst = *it.NullsFirst
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// analyzeSelect determines whether a select node is shard-local: every
+// shard can run it over its slice and the union of the results is the
+// global result. Aggregation, grouping, DISTINCT and set operations over a
+// sharded relation are not local (errAggregate for the first two — the
+// planner may decompose them); a LIMIT is local-with-recap (see
+// relInfo.capRows).
+func analyzeSelect(sel *sqlparse.SelectStmt, cat *catalogView) (relInfo, error) {
+	info, err := analyzeFrom(sel.From, cat)
+	if err != nil {
+		return relInfo{}, err
+	}
+	if !info.sharded {
+		return relInfo{capRows: -1}, nil
+	}
+	if sel.GroupBy != nil || selectItemsHaveAggregate(sel.Items) || sel.Having != nil {
+		return relInfo{}, fmt.Errorf("%w", errAggregate)
+	}
+	if sel.Distinct {
+		return relInfo{}, unsupportedErr("DISTINCT over sharded relation")
+	}
+	if sel.Union != nil {
+		return relInfo{}, unsupportedErr("set operation over sharded relation")
+	}
+	if sel.Offset != nil {
+		return relInfo{}, unsupportedErr("OFFSET over sharded relation")
+	}
+	if err := checkShardedExprs(sel, cat); err != nil {
+		return relInfo{}, err
+	}
+	if sel.Limit != nil {
+		nl, ok := sel.Limit.(*sqlparse.NumberLit)
+		if !ok {
+			return relInfo{}, unsupportedErr("non-literal LIMIT over sharded relation")
+		}
+		n, perr := strconv.ParseInt(nl.Text, 10, 64)
+		if perr != nil || n < 0 {
+			return relInfo{}, unsupportedErr("LIMIT %s over sharded relation", nl.Text)
+		}
+		info.capRows = n // outermost limit wins: set after child propagation
+	}
+	return projectInfo(sel.Items, info), nil
+}
+
+// selectItemsHaveAggregate reports a non-windowed aggregate call anywhere
+// in the select items.
+func selectItemsHaveAggregate(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil && exprHasAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkShardedExprs vets expressions of a sharded-local node: window
+// functions must partition by the implicit-order column (each partition is
+// then a single row's join matches, which are co-located), and scalar
+// subqueries must not reach sharded tables.
+func checkShardedExprs(sel *sqlparse.SelectStmt, cat *catalogView) error {
+	var err error
+	check := func(e sqlparse.Expr) {
+		walkShardExpr(e, func(x sqlparse.Expr) {
+			switch f := x.(type) {
+			case *sqlparse.FuncCall:
+				if f.Over != nil && err == nil {
+					ok := false
+					for _, pe := range f.Over.PartitionBy {
+						if c, isCol := pe.(*sqlparse.ColRef); isCol && strings.EqualFold(c.Name, xtra.OrdCol) {
+							ok = true
+						}
+					}
+					if !ok {
+						err = unsupportedErr("window function not partitioned by %s", xtra.OrdCol)
+					}
+				}
+			case *sqlparse.SubqueryExpr:
+				if err == nil {
+					if _, sub := pruneSelect(f.Query, cat); sub {
+						err = unsupportedErr("scalar subquery over sharded relation")
+					}
+				}
+			}
+		})
+	}
+	for _, it := range sel.Items {
+		check(it.Expr)
+	}
+	check(sel.Where)
+	for _, ob := range sel.OrderBy {
+		check(ob.Expr)
+	}
+	return err
+}
+
+// projectInfo maps a sharded relation's partition metadata through a
+// select node's projection: the partition key and order column survive
+// only if a bare (possibly aliased) reference exposes them.
+func projectInfo(items []sqlparse.SelectItem, in relInfo) relInfo {
+	out := relInfo{sharded: true, kind: in.kind, bounds: in.bounds, capRows: in.capRows}
+	for _, it := range items {
+		if it.Star {
+			if it.StarTable == "" || in.hasAlias(it.StarTable) {
+				out.partCol = in.partCol
+				if in.ord != nil {
+					out.ord = &sqlparse.ColRef{Name: xtra.OrdCol}
+				}
+			}
+			continue
+		}
+		c, ok := it.Expr.(*sqlparse.ColRef)
+		if !ok {
+			continue
+		}
+		if c.Table != "" && !in.hasAlias(c.Table) {
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = c.Name
+		}
+		if in.partCol != "" && strings.EqualFold(c.Name, in.partCol) {
+			out.partCol = name
+		}
+		if in.ord != nil && strings.EqualFold(c.Name, xtra.OrdCol) && strings.EqualFold(name, xtra.OrdCol) {
+			out.ord = &sqlparse.ColRef{Name: xtra.OrdCol}
+		}
+	}
+	return out
+}
+
+// analyzeFrom folds a FROM list (comma entries are cross joins).
+func analyzeFrom(refs []sqlparse.TableRef, cat *catalogView) (relInfo, error) {
+	if len(refs) == 0 {
+		return relInfo{capRows: -1}, nil
+	}
+	info, err := analyzeRef(refs[0], cat)
+	if err != nil {
+		return relInfo{}, err
+	}
+	for _, r := range refs[1:] {
+		ri, err := analyzeRef(r, cat)
+		if err != nil {
+			return relInfo{}, err
+		}
+		info, err = joinInfo(sqlparse.CrossJoin, info, ri, nil)
+		if err != nil {
+			return relInfo{}, err
+		}
+	}
+	return info, nil
+}
+
+func analyzeRef(tr sqlparse.TableRef, cat *catalogView) (relInfo, error) {
+	switch r := tr.(type) {
+	case *sqlparse.BaseTable:
+		ti := cat.lookup(r.Name)
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		if ti == nil || !ti.spec.Kind.Sharded() {
+			return relInfo{capRows: -1}, nil
+		}
+		info := relInfo{
+			sharded: true,
+			kind:    ti.spec.Kind,
+			bounds:  ti.spec.Bounds,
+			partCol: ti.spec.Column,
+			aliases: map[string]bool{strings.ToLower(alias): true},
+			capRows: -1,
+		}
+		if ti.colIndex(xtra.OrdCol) >= 0 {
+			info.ord = &sqlparse.ColRef{Table: alias, Name: xtra.OrdCol}
+		}
+		return info, nil
+	case *sqlparse.SubqueryRef:
+		info, err := analyzeSelect(r.Query, cat)
+		if err != nil {
+			return relInfo{}, err
+		}
+		if info.sharded {
+			info.aliases = map[string]bool{strings.ToLower(r.Alias): true}
+			if info.ord != nil {
+				info.ord = &sqlparse.ColRef{Table: r.Alias, Name: xtra.OrdCol}
+			}
+		}
+		return info, nil
+	case *sqlparse.JoinRef:
+		l, err := analyzeRef(r.Left, cat)
+		if err != nil {
+			return relInfo{}, err
+		}
+		rr, err := analyzeRef(r.Right, cat)
+		if err != nil {
+			return relInfo{}, err
+		}
+		return joinInfo(r.Type, l, rr, r.On)
+	}
+	return relInfo{}, unsupportedErr("unknown table reference")
+}
+
+// joinInfo combines two sides of a join. A sharded side must be on the
+// row-preserved side of an outer join (a preserved replicated side would
+// emit its null-padded rows once per shard). Two sharded sides must be
+// co-partitioned — same scheme and an ON equality over both partition
+// keys — so matching rows are guaranteed co-located.
+func joinInfo(jt sqlparse.JoinType, l, r relInfo, on sqlparse.Expr) (relInfo, error) {
+	// a per-shard LIMIT under a join is not recappable after the merge
+	if l.capRows >= 0 && l.sharded || r.capRows >= 0 && r.sharded {
+		return relInfo{}, unsupportedErr("LIMIT below a join over a sharded relation")
+	}
+	switch {
+	case !l.sharded && !r.sharded:
+		return relInfo{capRows: -1}, nil
+	case l.sharded != r.sharded:
+		sharded := l
+		if r.sharded {
+			sharded = r
+		}
+		switch jt {
+		case sqlparse.InnerJoin, sqlparse.CrossJoin:
+		case sqlparse.LeftJoin:
+			if !l.sharded {
+				return relInfo{}, unsupportedErr("LEFT JOIN preserving a replicated side against a sharded side")
+			}
+		case sqlparse.RightJoin:
+			if !r.sharded {
+				return relInfo{}, unsupportedErr("RIGHT JOIN preserving a replicated side against a sharded side")
+			}
+		default:
+			return relInfo{}, unsupportedErr("FULL JOIN with a sharded side")
+		}
+		out := sharded
+		out.capRows = -1
+		return out, nil
+	}
+	// both sharded: need co-partitioning
+	if !schemeEqual(l, r) || l.partCol == "" || r.partCol == "" {
+		return relInfo{}, unsupportedErr("join of differently partitioned relations")
+	}
+	if jt == sqlparse.FullJoin {
+		return relInfo{}, unsupportedErr("FULL JOIN with a sharded side")
+	}
+	if !onEquatesKeys(on, l, r) {
+		return relInfo{}, unsupportedErr("join of sharded relations without a partition-key equality")
+	}
+	out := relInfo{sharded: true, kind: l.kind, bounds: l.bounds, partCol: l.partCol, capRows: -1}
+	out.aliases = map[string]bool{}
+	for a := range l.aliases {
+		out.aliases[a] = true
+	}
+	if strings.EqualFold(l.partCol, r.partCol) {
+		for a := range r.aliases {
+			out.aliases[a] = true
+		}
+	}
+	out.ord = l.ord
+	if out.ord == nil {
+		out.ord = r.ord
+	}
+	return out, nil
+}
+
+// onEquatesKeys looks for an AND-conjunct of the ON condition equating the
+// two sides' partition columns (plain = or the null-safe IS NOT DISTINCT
+// FROM the translator emits for symbol keys).
+func onEquatesKeys(on sqlparse.Expr, l, r relInfo) bool {
+	if on == nil {
+		return false
+	}
+	if b, ok := on.(*sqlparse.BinaryExpr); ok {
+		switch b.Op {
+		case "AND":
+			return onEquatesKeys(b.L, l, r) || onEquatesKeys(b.R, l, r)
+		case "=", "IS NOT DISTINCT FROM":
+			return keyRef(b.L, l) && keyRef(b.R, r) || keyRef(b.L, r) && keyRef(b.R, l)
+		}
+	}
+	return false
+}
+
+func keyRef(e sqlparse.Expr, side relInfo) bool {
+	c, ok := e.(*sqlparse.ColRef)
+	return ok && strings.EqualFold(c.Name, side.partCol) && c.Table != "" && side.hasAlias(c.Table)
+}
+
+// walkShardExpr visits every sub-expression (the shard-side twin of
+// pgdb's walker, kept local so the planner does not reach into engine
+// internals).
+func walkShardExpr(e sqlparse.Expr, fn func(sqlparse.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		walkShardExpr(x.L, fn)
+		walkShardExpr(x.R, fn)
+	case *sqlparse.UnaryExpr:
+		walkShardExpr(x.X, fn)
+	case *sqlparse.IsNullExpr:
+		walkShardExpr(x.X, fn)
+	case *sqlparse.InExpr:
+		walkShardExpr(x.X, fn)
+		for _, it := range x.List {
+			walkShardExpr(it, fn)
+		}
+	case *sqlparse.BetweenExpr:
+		walkShardExpr(x.X, fn)
+		walkShardExpr(x.Lo, fn)
+		walkShardExpr(x.Hi, fn)
+	case *sqlparse.CaseExpr:
+		walkShardExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkShardExpr(w.Cond, fn)
+			walkShardExpr(w.Then, fn)
+		}
+		walkShardExpr(x.Else, fn)
+	case *sqlparse.FuncCall:
+		for _, a := range x.Args {
+			walkShardExpr(a, fn)
+		}
+		if x.Over != nil {
+			for _, p := range x.Over.PartitionBy {
+				walkShardExpr(p, fn)
+			}
+			for _, o := range x.Over.OrderBy {
+				walkShardExpr(o.Expr, fn)
+			}
+		}
+	case *sqlparse.CastExpr:
+		walkShardExpr(x.X, fn)
+	}
+}
+
+// aggNames mirrors the engine's aggregate registry: the planner must
+// recognize exactly what the executor treats as an aggregate.
+var aggNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"stddev": true, "stddev_samp": true, "stddev_pop": true,
+	"variance": true, "var_samp": true, "var_pop": true,
+	"bool_and": true, "bool_or": true, "string_agg": true,
+	"first": true, "last": true, "median": true,
+}
+
+func exprHasAgg(e sqlparse.Expr) bool {
+	found := false
+	walkShardExpr(e, func(x sqlparse.Expr) {
+		if fc, ok := x.(*sqlparse.FuncCall); ok && fc.Over == nil && aggNames[fc.Name] {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// pruneStmt computes the target shard set of a statement: the union, over
+// every sharded base table it references, of the shards that can hold rows
+// satisfying the predicates scoped to that table. Shards outside the set
+// provably hold no relevant rows of any sharded table, so skipping them
+// cannot change the result. The second return reports whether any sharded
+// table is referenced at all (false means the statement runs on the
+// designated shard as a replicated-only statement).
+func pruneStmt(stmt sqlparse.Stmt, cat *catalogView) (shardSet, bool) {
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		return pruneSelect(s, cat)
+	case *sqlparse.UpdateStmt:
+		return pruneTable(s.Table, s.Where, cat)
+	case *sqlparse.DeleteStmt:
+		return pruneTable(s.Table, s.Where, cat)
+	}
+	return allShards(), true
+}
+
+func pruneTable(table string, where sqlparse.Expr, cat *catalogView) (shardSet, bool) {
+	ti := cat.lookup(table)
+	if ti == nil || !ti.spec.Kind.Sharded() {
+		return allShards(), false
+	}
+	// DML has a single target table, so unqualified references bind to it
+	return predShards(where, table, table, ti, cat.shards()), true
+}
+
+// pruneSelect unions the shard sets of every sharded base table in the
+// select tree. Each base table is constrained by the WHERE of the select
+// node whose FROM it appears in; predicates at other levels are ignored
+// (conservative: missing a constraint only widens the set).
+func pruneSelect(sel *sqlparse.SelectStmt, cat *catalogView) (shardSet, bool) {
+	target := noShards()
+	sharded := false
+	for cur := sel; cur != nil; {
+		single := len(cur.From) == 1 && isLeafRef(cur.From[0])
+		for _, tr := range cur.From {
+			s, any := pruneRef(tr, cur.Where, single, cat)
+			if any {
+				sharded = true
+				target = target.union(s)
+			}
+		}
+		// scalar subqueries inside expressions are not walked: they can
+		// only reference replicated tables in supported plans, and the
+		// planner rejects anything else before pruning matters
+		if cur.Union != nil {
+			cur = cur.Union.Right
+			continue
+		}
+		break
+	}
+	if !sharded {
+		return allShards(), false
+	}
+	return target, true
+}
+
+// isLeafRef reports whether a table ref is a single leaf (base table or
+// subquery), meaning unqualified column references in the enclosing WHERE
+// can only refer to it.
+func isLeafRef(tr sqlparse.TableRef) bool {
+	switch tr.(type) {
+	case *sqlparse.BaseTable, *sqlparse.SubqueryRef:
+		return true
+	}
+	return false
+}
+
+// pruneRef resolves one FROM entry: base tables prune against the
+// enclosing WHERE, subqueries recurse, joins recurse into both sides (the
+// ON condition is not used for pruning — conservative).
+func pruneRef(tr sqlparse.TableRef, where sqlparse.Expr, single bool, cat *catalogView) (shardSet, bool) {
+	switch r := tr.(type) {
+	case *sqlparse.BaseTable:
+		ti := cat.lookup(r.Name)
+		if ti == nil || !ti.spec.Kind.Sharded() {
+			return noShards(), false
+		}
+		if ti.spec.Kind == ShardedOpaque {
+			return allShards(), true
+		}
+		key := r.Alias
+		if key == "" {
+			key = r.Name
+		}
+		loose := ""
+		if single {
+			loose = key // unqualified refs bind to the only table
+		}
+		return predShards(where, key, loose, ti, cat.shards()), true
+	case *sqlparse.SubqueryRef:
+		return pruneSelect(r.Query, cat)
+	case *sqlparse.JoinRef:
+		ls, lany := pruneRef(r.Left, nil, false, cat)
+		rs, rany := pruneRef(r.Right, nil, false, cat)
+		return ls.union(rs), lany || rany
+	}
+	return allShards(), true
+}
+
+// predShards evaluates a predicate against one table's partition spec and
+// returns the shards that can hold satisfying rows. key is the qualifier
+// (alias or table name) that binds a column reference to this table;
+// unqualified references bind only when the table is the sole FROM entry
+// (loose non-empty). Unknown predicate shapes return all shards.
+func predShards(e sqlparse.Expr, key, loose string, ti *tableInfo, n int) shardSet {
+	if e == nil {
+		return allShards()
+	}
+	spec := &ti.spec
+	isKey := func(x sqlparse.Expr) bool {
+		c, ok := x.(*sqlparse.ColRef)
+		if !ok || !strings.EqualFold(c.Name, spec.Column) {
+			return false
+		}
+		if c.Table == "" {
+			return loose != ""
+		}
+		return strings.EqualFold(c.Table, key) || strings.EqualFold(c.Table, loose)
+	}
+
+	var eval func(e sqlparse.Expr) shardSet
+	eval = func(e sqlparse.Expr) shardSet {
+		e = unwrapNullSafeCmp(e)
+		switch x := e.(type) {
+		case *sqlparse.BinaryExpr:
+			switch x.Op {
+			case "AND":
+				return eval(x.L).intersect(eval(x.R))
+			case "OR":
+				return eval(x.L).union(eval(x.R))
+			}
+			l, r := x.L, x.R
+			op := x.Op
+			if !isKey(l) && isKey(r) {
+				l, r = r, l
+				op = flipCmp(op)
+			}
+			if !isKey(l) {
+				return allShards()
+			}
+			v, ok := evalLiteral(r)
+			if !ok {
+				return allShards()
+			}
+			switch spec.Kind {
+			case Hash:
+				switch op {
+				case "=", "IS NOT DISTINCT FROM":
+					if v.null {
+						if op == "=" {
+							return noShards() // = NULL matches nothing
+						}
+						return oneShard(0) // NULL keys live on shard 0
+					}
+					return oneShard(shardFor(spec, n, v))
+				}
+				return allShards()
+			case Range:
+				if op == "IS NOT DISTINCT FROM" && v.null {
+					return oneShard(0)
+				}
+				return rangeShards(spec, n, op, v)
+			}
+			return allShards()
+		case *sqlparse.InExpr:
+			if x.Not || !isKey(x.X) {
+				return allShards()
+			}
+			out := noShards()
+			for _, item := range x.List {
+				v, ok := evalLiteral(item)
+				if !ok {
+					return allShards()
+				}
+				if v.null {
+					continue // IN (NULL) matches nothing
+				}
+				out.add(shardFor(spec, n, v))
+			}
+			return out
+		case *sqlparse.BetweenExpr:
+			if x.Not || !isKey(x.X) {
+				return allShards()
+			}
+			lo, okLo := evalLiteral(x.Lo)
+			hi, okHi := evalLiteral(x.Hi)
+			if !okLo || !okHi || lo.null || hi.null {
+				return allShards()
+			}
+			if spec.Kind == Hash {
+				if lo.compare(hi) == 0 {
+					return oneShard(shardFor(spec, n, lo))
+				}
+				if lo.compare(hi) > 0 {
+					return noShards() // empty interval matches nothing
+				}
+				return allShards()
+			}
+			return rangeShards(spec, n, ">=", lo).intersect(rangeShards(spec, n, "<=", hi))
+		case *sqlparse.IsNullExpr:
+			if x.Not || !isKey(x.X) {
+				return allShards()
+			}
+			return oneShard(0) // NULL keys route to shard 0
+		}
+		return allShards()
+	}
+	return eval(e)
+}
+
+// unwrapNullSafeCmp recognizes the null-safe comparison shape the q
+// translator emits —
+//
+//	CASE WHEN R IS NULL THEN (L IS NOT NULL)
+//	     WHEN L IS NULL THEN FALSE
+//	     ELSE (L op R) END
+//
+// — and returns the inner comparison. This is safe for pruning whenever
+// the comparison side used is a non-NULL literal: the first arm is then
+// unreachable and the CASE implies the ELSE on all matching rows.
+func unwrapNullSafeCmp(e sqlparse.Expr) sqlparse.Expr {
+	c, ok := e.(*sqlparse.CaseExpr)
+	if !ok || c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		return e
+	}
+	if b, ok := c.Whens[1].Then.(*sqlparse.BoolLit); !ok || b.V {
+		return e
+	}
+	inner, ok := c.Else.(*sqlparse.BinaryExpr)
+	if !ok {
+		return e
+	}
+	switch inner.Op {
+	case "=", "<>", "<", ">", "<=", ">=":
+		// callers only act when the non-key side is a literal; a NULL
+		// literal there makes arm one reachable, so refuse that case
+		if v, lit := evalLiteral(inner.L); lit && v.null {
+			return e
+		}
+		if v, lit := evalLiteral(inner.R); lit && v.null {
+			return e
+		}
+		return inner
+	}
+	return e
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	}
+	return op // =, IS NOT DISTINCT FROM are symmetric
+}

@@ -1,0 +1,513 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+)
+
+var bg = context.Background()
+
+// countingBackend wraps a member backend and counts the statements it
+// receives, so pruning tests can assert which shards were queried.
+type countingBackend struct {
+	inner *core.DirectBackend
+	n     atomic.Int64
+}
+
+func (c *countingBackend) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	c.n.Add(1)
+	return c.inner.Exec(ctx, sql)
+}
+
+func (c *countingBackend) ExecStream(ctx context.Context, sql string, sink core.RowSink) error {
+	c.n.Add(1)
+	return c.inner.ExecStream(ctx, sql, sink)
+}
+
+func (c *countingBackend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	return c.inner.QueryCatalog(ctx, sql)
+}
+
+func (c *countingBackend) Close() error { return c.inner.Close() }
+
+var testRules = []TableSpec{
+	{Name: "t", Kind: Hash, Column: "s"},
+	{Name: "q2", Kind: Hash, Column: "s"},
+	{Name: "r", Kind: Range, Column: "k", Bounds: []string{"10", "20"}},
+}
+
+var setupSQL = []string{
+	"CREATE TABLE t (ordcol bigint, s text, i bigint, f double precision)",
+	"INSERT INTO t VALUES (0, 'aa', 1, 1.5), (1, 'bb', 2, 2.5), (2, 'cc', 3, 3.5), (3, 'aa', 4, 4.5), (4, NULL, 5, 0.5), (5, 'bb', 6, 6.5), (6, 'dd', 7, 7.5), (7, 'cc', 8, 8.5)",
+	"CREATE TABLE d (s text, label text)",
+	"INSERT INTO d VALUES ('aa', 'A'), ('bb', 'B'), ('cc', 'C'), ('dd', 'D')",
+	"CREATE TABLE q2 (ordcol bigint, s text, p double precision)",
+	"INSERT INTO q2 VALUES (0, 'aa', 10.25), (1, 'bb', 20.5), (2, 'aa', 11.75), (3, 'cc', 30.125), (4, 'ee', 40.0)",
+	"CREATE TABLE r (ordcol bigint, k bigint, v text)",
+	"INSERT INTO r VALUES (0, 5, 'low'), (1, 12, 'mid'), (2, 25, 'high'), (3, 15, 'mid2'), (4, 8, 'low2'), (5, 22, 'high2')",
+}
+
+// newTestCluster builds an n-shard cluster with counted members, loads the
+// test schema into it and into a single-engine baseline backend.
+func newTestCluster(t *testing.T, n int) (*Backend, []*countingBackend, *core.DirectBackend) {
+	t.Helper()
+	counters := make([]*countingBackend, n)
+	factories := make([]func() (core.Backend, error), n)
+	for i := range factories {
+		db := pgdb.NewDB()
+		cb := &countingBackend{inner: core.NewDirectBackend(db)}
+		counters[i] = cb
+		factories[i] = func() (core.Backend, error) { return cb, nil }
+	}
+	cl, err := New(NewCatalog(n, testRules), factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cl.NewBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sh.Close() })
+	single := core.NewDirectBackend(pgdb.NewDB())
+	t.Cleanup(func() { single.Close() })
+	for _, sql := range setupSQL {
+		if _, err := sh.Exec(bg, sql); err != nil {
+			t.Fatalf("sharded setup %q: %v", sql, err)
+		}
+		if _, err := single.Exec(bg, sql); err != nil {
+			t.Fatalf("single setup %q: %v", sql, err)
+		}
+	}
+	return sh, counters, single
+}
+
+func snap(counters []*countingBackend) []int64 {
+	out := make([]int64, len(counters))
+	for i, c := range counters {
+		out[i] = c.n.Load()
+	}
+	return out
+}
+
+func delta(counters []*countingBackend, before []int64) []int64 {
+	out := make([]int64, len(counters))
+	for i, c := range counters {
+		out[i] = c.n.Load() - before[i]
+	}
+	return out
+}
+
+// checkParity runs sql on the sharded backend (both the materialized and
+// the streaming path) and the single-engine baseline, and requires
+// identical column names, rows, and command tag.
+func checkParity(t *testing.T, sh *Backend, single core.Backend, sql string) *core.BackendResult {
+	t.Helper()
+	got, gerr := sh.Exec(bg, sql)
+	want, werr := single.Exec(bg, sql)
+	if (gerr != nil) != (werr != nil) {
+		t.Fatalf("%q: sharded err=%v single err=%v", sql, gerr, werr)
+	}
+	if gerr != nil {
+		return nil
+	}
+	compareResults(t, sql+" (exec)", got, want)
+	var streamed resultSink
+	if err := sh.ExecStream(bg, sql, &streamed); err != nil {
+		t.Fatalf("%q: stream: %v", sql, err)
+	}
+	compareResults(t, sql+" (stream)", &streamed.res, want)
+	return got
+}
+
+func compareResults(t *testing.T, label string, got, want *core.BackendResult) {
+	t.Helper()
+	if len(got.Cols) != len(want.Cols) {
+		t.Fatalf("%s: %d cols, want %d", label, len(got.Cols), len(want.Cols))
+	}
+	for j := range got.Cols {
+		if !strings.EqualFold(got.Cols[j].Name, want.Cols[j].Name) {
+			t.Fatalf("%s: col %d name %q, want %q", label, j, got.Cols[j].Name, want.Cols[j].Name)
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			g, w := got.Rows[i][j], want.Rows[i][j]
+			if g.Null != w.Null || (!g.Null && g.Text != w.Text) {
+				t.Fatalf("%s: row %d col %d = %+v, want %+v", label, i, j, g, w)
+			}
+		}
+	}
+	if got.Tag != want.Tag {
+		t.Fatalf("%s: tag %q, want %q", label, got.Tag, want.Tag)
+	}
+}
+
+func hashShard(n int, key string) int {
+	return shardFor(&TableSpec{Kind: Hash, Column: "s"}, n, partVal{str: key})
+}
+
+func assertCounts(t *testing.T, label string, got []int64, want map[int]int64) {
+	t.Helper()
+	for i, g := range got {
+		if g != want[i] {
+			t.Fatalf("%s: shard %d saw %d queries, want %d (all: %v)", label, i, g, want[i], got)
+		}
+	}
+}
+
+func TestPruneEquality(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+	before := snap(counters)
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t WHERE s = 'aa' ORDER BY ordcol")
+	own := hashShard(3, "aa")
+	// exec path + stream path each hit the owning shard once
+	assertCounts(t, "equality", delta(counters, before), map[int]int64{own: 2})
+}
+
+func TestPruneNullKey(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+	before := snap(counters)
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t WHERE s IS NULL ORDER BY ordcol")
+	// NULL keys are routed to shard 0 by convention
+	assertCounts(t, "is-null", delta(counters, before), map[int]int64{0: 2})
+}
+
+func TestPruneInList(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+	before := snap(counters)
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t WHERE s IN ('aa', 'bb', 'cc') ORDER BY ordcol")
+	want := map[int]int64{}
+	for _, sym := range []string{"aa", "bb", "cc"} {
+		want[hashShard(3, sym)] += 0 // ensure key exists even on collision
+	}
+	for i := range want {
+		want[i] = 2
+	}
+	assertCounts(t, "in-list", delta(counters, before), want)
+}
+
+func TestPruneNoShard(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+	before := snap(counters)
+	res := checkParity(t, sh, single, "SELECT ordcol, i FROM t WHERE s = NULL ORDER BY ordcol")
+	if len(res.Rows) != 0 {
+		t.Fatalf("expected empty result, got %d rows", len(res.Rows))
+	}
+	// the statement prunes to no shard at all: the designated shard runs it
+	// once per path purely to produce the (empty) result shape, and no data
+	// shard is queried
+	assertCounts(t, "no-shard", delta(counters, before), map[int]int64{0: 2})
+}
+
+func TestPruneRange(t *testing.T) {
+	cases := []struct {
+		where  string
+		shards []int
+	}{
+		{"k < 10", []int{0}},
+		{"k <= 15", []int{0, 1}},
+		{"k >= 10 AND k < 20", []int{1}},
+		{"k = 25", []int{2}},
+		{"k >= 21", []int{2}},
+		{"k BETWEEN 12 AND 18", []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.where, func(t *testing.T) {
+			sh, counters, single := newTestCluster(t, 3)
+			before := snap(counters)
+			checkParity(t, sh, single, "SELECT ordcol, k, v FROM r WHERE "+tc.where+" ORDER BY ordcol")
+			want := map[int]int64{}
+			for _, s := range tc.shards {
+				want[s] = 2
+			}
+			assertCounts(t, tc.where, delta(counters, before), want)
+		})
+	}
+}
+
+func TestScatterOrderedMerge(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+	before := snap(counters)
+	checkParity(t, sh, single, "SELECT ordcol, s, i, f FROM t ORDER BY ordcol")
+	assertCounts(t, "full scan", delta(counters, before), map[int]int64{0: 2, 1: 2, 2: 2})
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t ORDER BY ordcol DESC")
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t WHERE f > 3.0 ORDER BY ordcol")
+}
+
+func TestScatterLimit(t *testing.T) {
+	sh, _, single := newTestCluster(t, 3)
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t ORDER BY ordcol LIMIT 3")
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t ORDER BY ordcol LIMIT 0")
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t ORDER BY ordcol LIMIT 100")
+}
+
+func TestDistributedAggregates(t *testing.T) {
+	sh, _, single := newTestCluster(t, 3)
+	for _, sql := range []string{
+		"SELECT AVG(f) AS f FROM t",
+		"SELECT SUM(i) AS i FROM t",
+		"SELECT COUNT(*) AS n FROM t",
+		"SELECT COUNT(s) AS n FROM t",
+		"SELECT MIN(f) AS mn, MAX(f) AS mx FROM t",
+		"SELECT first(s) AS fs, last(s) AS ls FROM t",
+		"SELECT first(f) AS ff, last(i) AS li, sum(f) AS sf FROM t",
+		"SELECT CAST(SUM(i * f) AS double precision) / NULLIF(CAST(SUM(i) AS double precision), 0) AS w FROM t",
+		// empty input: the global aggregate still yields its one row
+		"SELECT COUNT(*) AS n FROM t WHERE f < 0",
+		"SELECT SUM(i) AS si, AVG(f) AS af FROM t WHERE f < 0",
+		// grouped aggregates in the translator's wrapper shape
+		"SELECT s, sf, ordcol FROM (SELECT s AS s, sum(f) AS sf, min(ordcol) AS ordcol FROM t GROUP BY s) hq_t1 ORDER BY ordcol",
+		"SELECT s, af, n, ordcol FROM (SELECT s AS s, avg(f) AS af, count(*) AS n, min(ordcol) AS ordcol FROM t GROUP BY s) hq_t1 ORDER BY ordcol",
+		"SELECT s, ff, lf, ordcol FROM (SELECT s AS s, first(f) AS ff, last(f) AS lf, min(ordcol) AS ordcol FROM t GROUP BY s) hq_t1 ORDER BY ordcol",
+		"SELECT s, mn, mx, ordcol FROM (SELECT s AS s, min(i) AS mn, max(i) AS mx, min(ordcol) AS ordcol FROM t GROUP BY s) hq_t1 ORDER BY ordcol",
+	} {
+		checkParity(t, sh, single, sql)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	sh, _, single := newTestCluster(t, 3)
+	// sharded fact joined to a replicated dimension
+	checkParity(t, sh, single,
+		"SELECT t.ordcol AS ordcol, t.s AS s, d.label AS label FROM t JOIN d ON t.s = d.s ORDER BY ordcol")
+	checkParity(t, sh, single,
+		"SELECT t.ordcol AS ordcol, d.label AS label FROM t LEFT JOIN d ON t.s = d.s ORDER BY ordcol")
+	// co-partitioned fact-fact join on the partition key
+	checkParity(t, sh, single,
+		"SELECT a.ordcol AS ordcol, a.s AS s, b.p AS p FROM t a JOIN q2 b ON a.s = b.s ORDER BY ordcol")
+	// aggregate over a co-partitioned join
+	checkParity(t, sh, single,
+		"SELECT SUM(b.p) AS sp, COUNT(*) AS n FROM t a JOIN q2 b ON a.s = b.s")
+	// a replicated side preserved against a sharded side is not distributable
+	if _, err := sh.Exec(bg, "SELECT d.s AS s FROM d LEFT JOIN t ON d.s = t.s"); err == nil {
+		t.Fatal("expected unsupported error for replicated-preserving LEFT JOIN")
+	}
+}
+
+func TestDMLRouting(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+
+	before := snap(counters)
+	res, err := sh.Exec(bg, "UPDATE t SET i = 99 WHERE s = 'aa'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tag != "UPDATE 2" {
+		t.Fatalf("single-shard update tag = %q, want UPDATE 2", res.Tag)
+	}
+	assertCounts(t, "pruned update", delta(counters, before), map[int]int64{hashShard(3, "aa"): 1})
+	if _, err := single.Exec(bg, "UPDATE t SET i = 99 WHERE s = 'aa'"); err != nil {
+		t.Fatal(err)
+	}
+
+	// cross-shard DML: every owning shard runs it, rows-affected sums
+	res, err = sh.Exec(bg, "UPDATE t SET f = f + 1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tag != "UPDATE 8" {
+		t.Fatalf("scatter update tag = %q, want UPDATE 8", res.Tag)
+	}
+	if _, err := single.Exec(bg, "UPDATE t SET f = f + 1.0"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = sh.Exec(bg, "DELETE FROM t WHERE s = 'bb'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tag != "DELETE 2" {
+		t.Fatalf("pruned delete tag = %q, want DELETE 2", res.Tag)
+	}
+	if _, err := single.Exec(bg, "DELETE FROM t WHERE s = 'bb'"); err != nil {
+		t.Fatal(err)
+	}
+
+	// replicated DML broadcasts to keep copies identical but reports one
+	// copy's count
+	before = snap(counters)
+	res, err = sh.Exec(bg, "UPDATE d SET label = 'X'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tag != "UPDATE 4" {
+		t.Fatalf("replicated update tag = %q, want UPDATE 4", res.Tag)
+	}
+	assertCounts(t, "replicated update", delta(counters, before), map[int]int64{0: 1, 1: 1, 2: 1})
+	if _, err := single.Exec(bg, "UPDATE d SET label = 'X'"); err != nil {
+		t.Fatal(err)
+	}
+
+	checkParity(t, sh, single, "SELECT ordcol, s, i, f FROM t ORDER BY ordcol")
+	checkParity(t, sh, single, "SELECT s, label FROM d ORDER BY s")
+}
+
+func TestInsertRouting(t *testing.T) {
+	sh, counters, _ := newTestCluster(t, 3)
+
+	// the setup insert distributed 8 rows; verify slices directly on the
+	// members: each shard holds exactly its symbols
+	total := 0
+	for i, c := range counters {
+		res, err := c.inner.Exec(bg, "SELECT COUNT(*) AS n FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := core.RowsAffected("SELECT " + res.Rows[0][0].Text)
+		total += n
+		for _, sym := range []string{"aa", "bb", "cc", "dd"} {
+			r, err := c.inner.Exec(bg, "SELECT COUNT(*) AS n FROM t WHERE s = '"+sym+"'")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if own := hashShard(3, sym); (r.Rows[0][0].Text != "0") != (own == i) {
+				t.Fatalf("shard %d holds %s rows for symbol %s owned by shard %d", i, r.Rows[0][0].Text, sym, own)
+			}
+		}
+	}
+	if total != 8 {
+		t.Fatalf("shards hold %d rows total, want 8", total)
+	}
+
+	before := snap(counters)
+	res, err := sh.Exec(bg, "INSERT INTO t VALUES (100, 'zz', 1, 1.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tag != "INSERT 0 1" {
+		t.Fatalf("insert tag = %q, want INSERT 0 1", res.Tag)
+	}
+	assertCounts(t, "routed insert", delta(counters, before), map[int]int64{hashShard(3, "zz"): 1})
+}
+
+func TestCreateTableAs(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+
+	// CTAS over a shard-local select stays sharded and keeps the partition
+	// column, so later predicates still prune
+	for _, b := range []core.Backend{sh, single} {
+		if _, err := b.Exec(bg, "CREATE TABLE t2 AS SELECT ordcol, s, i FROM t WHERE i > 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := snap(counters)
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t2 WHERE s = 'cc' ORDER BY ordcol")
+	assertCounts(t, "derived prune", delta(counters, before), map[int]int64{hashShard(3, "cc"): 2})
+
+	// CTAS over a distributed aggregate replicates the merged result
+	for _, b := range []core.Backend{sh, single} {
+		if _, err := b.Exec(bg, "CREATE TABLE ta AS SELECT s AS s, sum(f) AS sf, min(ordcol) AS ordcol FROM t GROUP BY s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before = snap(counters)
+	checkParity(t, sh, single, "SELECT s, sf, ordcol FROM ta ORDER BY ordcol")
+	assertCounts(t, "replicated agg result", delta(counters, before), map[int]int64{0: 2})
+
+	// CTAS over a capped scatter materializes through the merge and
+	// replicates, preserving global LIMIT semantics
+	for _, b := range []core.Backend{sh, single} {
+		if _, err := b.Exec(bg, "CREATE TABLE t3 AS SELECT ordcol, s, i FROM t ORDER BY ordcol LIMIT 3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkParity(t, sh, single, "SELECT ordcol, s, i FROM t3 ORDER BY ordcol")
+
+	for _, b := range []core.Backend{sh, single} {
+		if _, err := b.Exec(bg, "DROP TABLE t2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkParity(t, sh, single, "SELECT ordcol, i FROM t ORDER BY ordcol")
+}
+
+// errBackend fails every statement after a short delay, standing in for a
+// member that dies mid-scatter.
+type errBackend struct {
+	delay time.Duration
+}
+
+func (e *errBackend) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	select {
+	case <-time.After(e.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return nil, errors.New("connection reset by peer")
+}
+
+func (e *errBackend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	return nil, errors.New("connection reset by peer")
+}
+
+func (e *errBackend) Close() error { return nil }
+
+// TestKilledMember exercises the partial-failure path: one shard dies
+// mid-scatter, its error surfaces once with shard attribution, and the
+// healthy (slow) siblings are cancelled promptly instead of being drained.
+func TestKilledMember(t *testing.T) {
+	const slowDelay = 5 * time.Second
+	mk := func() *core.DirectBackend {
+		db := pgdb.NewDB()
+		b := core.NewDirectBackend(db)
+		if _, err := b.Exec(bg, "CREATE TABLE t (ordcol bigint, s text, i bigint)"); err != nil {
+			t.Fatal(err)
+		}
+		b.Delay = slowDelay
+		return b
+	}
+	slow0, slow1 := mk(), mk()
+	bad := &errBackend{delay: 30 * time.Millisecond}
+	cv := newCatalogView(NewCatalog(3, []TableSpec{{Name: "t", Kind: Hash, Column: "s"}}))
+	cv.register("t", []string{"ordcol", "s", "i"}, nil, false)
+	b := &Backend{
+		cat:     cv,
+		members: []core.Backend{slow0, slow1, bad},
+		streams: []core.StreamBackend{slow0, slow1, nil},
+	}
+	defer b.Close()
+
+	for _, run := range []func() error{
+		func() error { _, err := b.Exec(bg, "SELECT ordcol, i FROM t ORDER BY ordcol"); return err },
+		func() error {
+			return b.ExecStream(bg, "SELECT ordcol, i FROM t ORDER BY ordcol", &resultSink{})
+		},
+		func() error { _, err := b.Exec(bg, "SELECT SUM(i) AS si FROM t"); return err },
+	} {
+		start := time.Now()
+		err := run()
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatal("expected scatter error from killed member")
+		}
+		if !strings.Contains(err.Error(), "shard 2:") {
+			t.Fatalf("error not attributed to the failing shard: %v", err)
+		}
+		if elapsed >= slowDelay/2 {
+			t.Fatalf("siblings not cancelled promptly: scatter took %v", elapsed)
+		}
+	}
+}
+
+func TestTransactionBroadcast(t *testing.T) {
+	sh, _, single := newTestCluster(t, 3)
+	for _, sql := range []string{"BEGIN", "INSERT INTO t VALUES (50, 'aa', 9, 9.5)", "COMMIT"} {
+		if _, err := sh.Exec(bg, sql); err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if _, err := single.Exec(bg, sql); err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+	}
+	checkParity(t, sh, single, "SELECT ordcol, s, i FROM t ORDER BY ordcol")
+}

@@ -14,6 +14,7 @@ import (
 	"hyperq/internal/qgen"
 	"hyperq/internal/qlang/interp"
 	"hyperq/internal/qlang/qval"
+	"hyperq/internal/shard"
 )
 
 // NewLocalFramework builds a fresh side-by-side framework over an embedded
@@ -45,6 +46,38 @@ func NewLocalFrameworkPath(mode pgdb.ExecMode, path core.ResultPath) *Framework 
 	return New(interp.New(), s, b)
 }
 
+// ShardRules is the partitioning the sharded differential runs use for
+// qgen's fixed schema: the fact table and the quote table co-hashed by
+// symbol, the dimension table replicated (no rule needed).
+func ShardRules() []shard.TableSpec {
+	return []shard.TableSpec{
+		{Name: "t", Kind: shard.Hash, Column: "s"},
+		{Name: "qts", Kind: shard.Hash, Column: "s"},
+	}
+}
+
+// NewShardedFramework builds a framework whose primary Hyper-Q session runs
+// over a single embedded backend and whose shadow session runs over an
+// n-shard scatter-gather cluster of embedded engines. Compare then requires
+// byte-identical QIPC output from the two sessions.
+func NewShardedFramework(shards int, mode pgdb.ExecMode, path core.ResultPath) (*Framework, error) {
+	f := NewLocalFrameworkPath(mode, path)
+	cl, dbs, err := shard.NewEmbedded(shards, ShardRules())
+	if err != nil {
+		return nil, err
+	}
+	for _, db := range dbs {
+		db.SetExecMode(mode)
+	}
+	sb, err := cl.NewBackend()
+	if err != nil {
+		return nil, err
+	}
+	shadow := core.NewPlatform().NewSession(sb, core.Config{ResultPath: path})
+	f.SetShadow(shadow, sb)
+	return f, nil
+}
+
 // FuzzConfig controls a qdiff run.
 type FuzzConfig struct {
 	Seed int64
@@ -65,6 +98,11 @@ type FuzzConfig struct {
 	// ResultPath selects the session result pipeline under test (default
 	// ColumnarPath, the streaming builders; TextPath is the fallback).
 	ResultPath core.ResultPath
+	// Shards, when > 1, switches the run to sharded differential mode: the
+	// same queries execute through a single-backend session and a session
+	// over a Shards-wide embedded cluster, and the two must produce
+	// byte-identical QIPC output.
+	Shards int
 }
 
 // FuzzCase is one divergence, minimized if shrinking was on. Tables holds
@@ -126,7 +164,7 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		if f == nil || i%cfg.ReloadEvery == 0 {
 			ds = g.Dataset()
 			var err error
-			f, err = loadDataset(ctx, ds, cfg.ExecMode, cfg.ResultPath)
+			f, err = loadDataset(ctx, ds, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d: load dataset: %w", i, err)
 			}
@@ -146,9 +184,9 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 		class := divergenceClass(r)
 		sq, sds := q, ds
 		if cfg.Shrink {
-			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget, cfg.ExecMode, cfg.ResultPath)
+			sq, sds = shrinkCase(ctx, q, ds, class, cfg.ShrinkBudget, cfg)
 			// re-derive the diffs for the minimized case
-			if mf, err := loadDataset(ctx, sds, cfg.ExecMode, cfg.ResultPath); err == nil {
+			if mf, err := loadDataset(ctx, sds, cfg); err == nil {
 				if mr, err := mf.Compare(ctx, sq.Q()); err == nil && !mr.Match {
 					r = mr
 				}
@@ -171,8 +209,16 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 }
 
 // loadDataset builds a fresh framework with the dataset installed.
-func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode, path core.ResultPath) (*Framework, error) {
-	f := NewLocalFrameworkPath(mode, path)
+func loadDataset(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framework, error) {
+	var f *Framework
+	if cfg.Shards > 1 {
+		var err error
+		if f, err = NewShardedFramework(cfg.Shards, cfg.ExecMode, cfg.ResultPath); err != nil {
+			return nil, err
+		}
+	} else {
+		f = NewLocalFrameworkPath(cfg.ExecMode, cfg.ResultPath)
+	}
 	for _, name := range ds.Names() {
 		t, ok := ds.Tables[name]
 		if !ok {
@@ -187,12 +233,12 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset, mode pgdb.ExecMode, path
 
 // reproduces reports whether the (query, dataset) pair still shows a
 // divergence of the same class.
-func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int, mode pgdb.ExecMode, path core.ResultPath) bool {
+func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget *int, cfg FuzzConfig) bool {
 	if *budget <= 0 {
 		return false
 	}
 	*budget--
-	f, err := loadDataset(ctx, ds, mode, path)
+	f, err := loadDataset(ctx, ds, cfg)
 	if err != nil {
 		return false
 	}
@@ -208,14 +254,14 @@ func reproduces(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 // replace expressions by sub-expressions) and the table rows (delta
 // debugging: halves, then single rows), until neither makes progress or the
 // budget runs out.
-func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int, mode pgdb.ExecMode, path core.ResultPath) (*qgen.Query, *qgen.Dataset) {
+func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class string, budget int, cfg FuzzConfig) (*qgen.Query, *qgen.Dataset) {
 	for {
 		progressed := false
 		// query-level shrinks to a fixpoint
 		for {
 			var next *qgen.Query
 			for _, cand := range q.Shrinks() {
-				if reproduces(ctx, cand, ds, class, &budget, mode, path) {
+				if reproduces(ctx, cand, ds, class, &budget, cfg) {
 					next = cand
 					break
 				}
@@ -232,7 +278,7 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 			if t == nil || t.Len() == 0 {
 				continue
 			}
-			if small := shrinkRows(ctx, q, ds, name, class, &budget, mode, path); small != nil {
+			if small := shrinkRows(ctx, q, ds, name, class, &budget, cfg); small != nil {
 				ds = small
 				progressed = true
 			}
@@ -245,13 +291,13 @@ func shrinkCase(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, class stri
 
 // shrinkRows delta-debugs one table's rows; returns a smaller dataset or
 // nil when no deletion reproduces.
-func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int, mode pgdb.ExecMode, path core.ResultPath) *qgen.Dataset {
+func shrinkRows(ctx context.Context, q *qgen.Query, ds *qgen.Dataset, name, class string, budget *int, cfg FuzzConfig) *qgen.Dataset {
 	cur := ds
 	improved := false
 	for chunk := cur.Tables[name].Len() / 2; chunk >= 1; chunk /= 2 {
 		for lo := 0; lo+chunk <= cur.Tables[name].Len(); {
 			cand := withTableRows(cur, name, deleteRange(cur.Tables[name].Len(), lo, lo+chunk))
-			if reproduces(ctx, q, cand, class, budget, mode, path) {
+			if reproduces(ctx, q, cand, class, budget, cfg) {
 				cur = cand
 				improved = true
 				// same lo now addresses the next chunk
@@ -309,6 +355,10 @@ type CorpusEntry struct {
 	Note   string           `json:"note,omitempty"`
 	Query  string           `json:"query"`
 	Tables []qgen.TableJSON `json:"tables"`
+	// Shards, when > 1, replays the entry in sharded differential mode
+	// (single backend vs a Shards-wide cluster) — the mode in which the
+	// divergence was originally found.
+	Shards int `json:"shards,omitempty"`
 }
 
 // WriteCorpusEntry persists an entry as dir/<name>.json.
@@ -358,6 +408,11 @@ func ReplayEntryMode(ctx context.Context, e *CorpusEntry, mode pgdb.ExecMode) (*
 		return nil, err
 	}
 	f := NewLocalFrameworkMode(mode)
+	if e.Shards > 1 {
+		if f, err = NewShardedFramework(e.Shards, mode, core.ColumnarPath); err != nil {
+			return nil, err
+		}
+	}
 	for _, tj := range e.Tables {
 		if err := f.LoadTable(ctx, tj.Name, ds.Tables[tj.Name]); err != nil {
 			return nil, fmt.Errorf("load %s: %w", tj.Name, err)

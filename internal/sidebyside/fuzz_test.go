@@ -46,3 +46,20 @@ func TestFuzzSmoke(t *testing.T) {
 		t.Errorf("iteration %d [%s]: %s\n  diffs: %v", m.Iteration, m.Class, m.Query, m.Diffs)
 	}
 }
+
+// TestFuzzSmokeSharded is the sharded differential smoke: the same query
+// stream runs on a single backend and on a 3-shard scatter-gather cluster,
+// under the byte-identical QIPC oracle. Reproduce failures with
+// `go run ./cmd/qdiff -seed 2 -n 200 -shards 3 -shrink`.
+func TestFuzzSmokeSharded(t *testing.T) {
+	rep, err := Fuzz(context.Background(), FuzzConfig{Seed: 2, N: 200, Shrink: true, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != rep.N {
+		t.Errorf("%d of %d queries matched", rep.Matches, rep.N)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("iteration %d [%s]: %s\n  diffs: %v", m.Iteration, m.Class, m.Query, m.Diffs)
+	}
+}
