@@ -141,7 +141,14 @@ func planAggregate(sel *sqlparse.SelectStmt, cat *catalogView) (*aggPlan, error)
 	d := &decomposer{plan: &aggPlan{grouped: inner.GroupBy != nil, lastCols: map[string]bool{}}, ord: info.ord}
 
 	// group keys: one hq_k column per GROUP BY expression, matched to
-	// select items by rendered text
+	// select items by rendered text. A sharded scalar subquery in a key
+	// would evaluate per shard, splitting one global group into per-shard
+	// groups — reject before decomposition.
+	for _, gb := range inner.GroupBy {
+		if _, any := exprSubqueryShards(gb, cat); any {
+			return nil, unsupportedErr("scalar subquery over sharded relation in GROUP BY")
+		}
+	}
 	keyText := make([]string, len(inner.GroupBy))
 	for i, gb := range inner.GroupBy {
 		keyText[i] = pgdb.RenderExpr(gb)

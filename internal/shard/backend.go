@@ -339,10 +339,17 @@ func (b *Backend) runGather(ctx context.Context, p *plan) (*pgdb.Result, error) 
 		}
 		rows = append(rows, res.Rows...)
 	}
+	// the whole point of the gather path is re-creating the global fold
+	// order; an ord cell that is not int64 would silently degrade the sort
+	// to shard order, so fail loudly instead
+	for _, row := range rows {
+		if _, ok := row[ordIdx].(int64); !ok {
+			return nil, fmt.Errorf("shard: gather order column %s: non-integer value %v (%T)",
+				ap.ord.Name, row[ordIdx], row[ordIdx])
+		}
+	}
 	sort.SliceStable(rows, func(i, j int) bool {
-		oi, iok := rows[i][ordIdx].(int64)
-		oj, jok := rows[j][ordIdx].(int64)
-		return iok && jok && oi < oj
+		return rows[i][ordIdx].(int64) < rows[j][ordIdx].(int64)
 	})
 	db := pgdb.NewDB()
 	db.CreateTable(gatherTable, cols)
@@ -456,8 +463,18 @@ func (b *Backend) execOther(ctx context.Context, stmt sqlparse.Stmt, sql string)
 	case *sqlparse.InsertStmt:
 		return b.routeInsert(ctx, s, sql)
 	case *sqlparse.UpdateStmt:
+		exprs := []sqlparse.Expr{s.Where}
+		for _, sc := range s.Set {
+			exprs = append(exprs, sc.Expr)
+		}
+		if err := rejectDMLSubqueries(b.cat, exprs); err != nil {
+			return nil, err
+		}
 		return b.routeDML(ctx, "UPDATE", s.Table, s.Where, sql)
 	case *sqlparse.DeleteStmt:
+		if err := rejectDMLSubqueries(b.cat, []sqlparse.Expr{s.Where}); err != nil {
+			return nil, err
+		}
 		return b.routeDML(ctx, "DELETE", s.Table, s.Where, sql)
 	case *sqlparse.CreateTableStmt:
 		return b.routeCreateTable(ctx, s, sql)
@@ -478,6 +495,11 @@ func (b *Backend) execOther(ctx context.Context, stmt sqlparse.Stmt, sql string)
 // routeInsert routes INSERT ... VALUES by evaluating each row's partition
 // key; replicated tables broadcast every row.
 func (b *Backend) routeInsert(ctx context.Context, s *sqlparse.InsertStmt, sql string) (*core.BackendResult, error) {
+	for _, row := range s.Rows {
+		if err := rejectDMLSubqueries(b.cat, row); err != nil {
+			return nil, err
+		}
+	}
 	ti := b.cat.lookup(s.Table)
 	if s.Select != nil {
 		if ti != nil && ti.spec.Kind.Sharded() {

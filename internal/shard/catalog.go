@@ -108,7 +108,22 @@ func NewCatalog(n int, rules []TableSpec) *Catalog {
 	c := &Catalog{shards: n, rules: map[string]TableSpec{}, tables: map[string]*tableInfo{}}
 	for _, r := range rules {
 		r.Name = strings.ToLower(r.Name)
-		sort.Strings(r.Bounds)
+		if len(r.Bounds) > 0 {
+			// sort with the same comparison routing uses (numeric when a
+			// bound parses as a number), on a copy of the caller's slice:
+			// lexicographic order would put "9" after "10" and silently
+			// break the Bounds[i-1] <= key < Bounds[i] contract. Bounds
+			// past shards-1 can never be selected (shardFor clamps to the
+			// last shard), so drop them.
+			b := append([]string(nil), r.Bounds...)
+			sort.Slice(b, func(i, j int) bool {
+				return parseBound(b[i]).compare(parseBound(b[j])) < 0
+			})
+			if n > 0 && len(b) > n-1 {
+				b = b[:n-1]
+			}
+			r.Bounds = b
+		}
 		c.rules[r.Name] = r
 		// sharded rules are visible immediately (with unknown columns), so a
 		// cluster over pre-loaded members routes correctly before any DDL

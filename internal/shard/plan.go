@@ -178,6 +178,13 @@ func analyzeSelect(sel *sqlparse.SelectStmt, cat *catalogView) (relInfo, error) 
 		return relInfo{}, err
 	}
 	if !info.sharded {
+		// a replicated FROM does not make the node replicated-computable:
+		// expression subqueries and union arms may still reach sharded
+		// tables, and re-executing the node per shard would both multiply
+		// its rows and evaluate those subqueries over each shard's slice
+		if err := checkReplicatedExprs(sel, cat); err != nil {
+			return relInfo{}, err
+		}
 		return relInfo{capRows: -1}, nil
 	}
 	if sel.GroupBy != nil || selectItemsHaveAggregate(sel.Items) || sel.Having != nil {
@@ -257,7 +264,59 @@ func checkShardedExprs(sel *sqlparse.SelectStmt, cat *catalogView) error {
 	for _, ob := range sel.OrderBy {
 		check(ob.Expr)
 	}
+	for _, on := range joinConds(sel.From) {
+		check(on)
+	}
 	return err
+}
+
+// checkReplicatedExprs vets a select node whose FROM is replicated-only
+// but whose pruning still found sharded references: they can only live in
+// expression subqueries or union arms, neither of which survives
+// per-shard re-execution.
+func checkReplicatedExprs(sel *sqlparse.SelectStmt, cat *catalogView) error {
+	exprs := []sqlparse.Expr{sel.Where, sel.Having, sel.Limit, sel.Offset}
+	for _, it := range sel.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, gb := range sel.GroupBy {
+		exprs = append(exprs, gb)
+	}
+	for _, ob := range sel.OrderBy {
+		exprs = append(exprs, ob.Expr)
+	}
+	exprs = append(exprs, joinConds(sel.From)...)
+	for _, e := range exprs {
+		if _, any := exprSubqueryShards(e, cat); any {
+			return unsupportedErr("scalar subquery over sharded relation")
+		}
+	}
+	if sel.Union != nil {
+		if _, any := pruneSelect(sel.Union.Right, cat); any {
+			return unsupportedErr("set operation over sharded relation")
+		}
+	}
+	return nil
+}
+
+// joinConds collects the ON conditions of every join in a FROM tree
+// (subquery refs recurse through their own analysis, not here).
+func joinConds(refs []sqlparse.TableRef) []sqlparse.Expr {
+	var out []sqlparse.Expr
+	var walk func(tr sqlparse.TableRef)
+	walk = func(tr sqlparse.TableRef) {
+		if j, ok := tr.(*sqlparse.JoinRef); ok {
+			if j.On != nil {
+				out = append(out, j.On)
+			}
+			walk(j.Left)
+			walk(j.Right)
+		}
+	}
+	for _, r := range refs {
+		walk(r)
+	}
+	return out
 }
 
 // projectInfo maps a sharded relation's partition metadata through a

@@ -3,6 +3,7 @@ package shard
 import (
 	"strings"
 
+	"hyperq/internal/pgdb"
 	"hyperq/internal/pgdb/sqlparse"
 )
 
@@ -35,24 +36,41 @@ func pruneTable(table string, where sqlparse.Expr, cat *catalogView) (shardSet, 
 }
 
 // pruneSelect unions the shard sets of every sharded base table in the
-// select tree. Each base table is constrained by the WHERE of the select
-// node whose FROM it appears in; predicates at other levels are ignored
-// (conservative: missing a constraint only widens the set).
+// select tree — both the FROM trees and the scalar subqueries nested in
+// any expression position. Each base table is constrained by the WHERE of
+// the select node whose FROM it appears in; predicates at other levels
+// are ignored (conservative: missing a constraint only widens the set).
+// Expression subqueries must be unioned here: a statement is replicated
+// (or single-shard) only when ALL sharded rows it can touch live on that
+// one shard, and a subquery like (SELECT count(*) FROM fact) reaches
+// every shard even when the enclosing FROM is replicated.
 func pruneSelect(sel *sqlparse.SelectStmt, cat *catalogView) (shardSet, bool) {
 	target := noShards()
 	sharded := false
+	merge := func(s shardSet, any bool) {
+		if any {
+			sharded = true
+			target = target.union(s)
+		}
+	}
 	for cur := sel; cur != nil; {
 		single := len(cur.From) == 1 && isLeafRef(cur.From[0])
 		for _, tr := range cur.From {
-			s, any := pruneRef(tr, cur.Where, single, cat)
-			if any {
-				sharded = true
-				target = target.union(s)
-			}
+			merge(pruneRef(tr, cur.Where, single, cat))
 		}
-		// scalar subqueries inside expressions are not walked: they can
-		// only reference replicated tables in supported plans, and the
-		// planner rejects anything else before pruning matters
+		merge(exprSubqueryShards(cur.Where, cat))
+		for _, it := range cur.Items {
+			merge(exprSubqueryShards(it.Expr, cat))
+		}
+		for _, gb := range cur.GroupBy {
+			merge(exprSubqueryShards(gb, cat))
+		}
+		merge(exprSubqueryShards(cur.Having, cat))
+		for _, ob := range cur.OrderBy {
+			merge(exprSubqueryShards(ob.Expr, cat))
+		}
+		merge(exprSubqueryShards(cur.Limit, cat))
+		merge(exprSubqueryShards(cur.Offset, cat))
 		if cur.Union != nil {
 			cur = cur.Union.Right
 			continue
@@ -63,6 +81,39 @@ func pruneSelect(sel *sqlparse.SelectStmt, cat *catalogView) (shardSet, bool) {
 		return allShards(), false
 	}
 	return target, true
+}
+
+// exprSubqueryShards unions the shard sets of every sharded scalar
+// subquery inside an expression tree. The second return reports whether
+// any sharded subquery was found at all.
+func exprSubqueryShards(e sqlparse.Expr, cat *catalogView) (shardSet, bool) {
+	if e == nil {
+		return noShards(), false
+	}
+	target := noShards()
+	sharded := false
+	walkShardExpr(e, func(x sqlparse.Expr) {
+		if sq, ok := x.(*sqlparse.SubqueryExpr); ok {
+			if s, any := pruneSelect(sq.Query, cat); any {
+				sharded = true
+				target = target.union(s)
+			}
+		}
+	})
+	return target, sharded
+}
+
+// rejectDMLSubqueries refuses DML carrying a scalar subquery over sharded
+// tables: DML runs verbatim on each target shard, so such a subquery
+// would evaluate against that shard's slice alone — diverging replicated
+// copies on broadcast and computing shard-local values on fan-out.
+func rejectDMLSubqueries(cat *catalogView, exprs []sqlparse.Expr) error {
+	for _, e := range exprs {
+		if _, any := exprSubqueryShards(e, cat); any {
+			return unsupportedErr("DML with a scalar subquery over sharded tables")
+		}
+	}
+	return nil
 }
 
 // isLeafRef reports whether a table ref is a single leaf (base table or
@@ -103,7 +154,13 @@ func pruneRef(tr sqlparse.TableRef, where sqlparse.Expr, single bool, cat *catal
 	case *sqlparse.JoinRef:
 		ls, lany := pruneRef(r.Left, nil, false, cat)
 		rs, rany := pruneRef(r.Right, nil, false, cat)
-		return ls.union(rs), lany || rany
+		out, any := ls.union(rs), lany || rany
+		// the ON condition is not used to narrow the set, but subqueries
+		// inside it still reach sharded tables and must widen it
+		if s, sub := exprSubqueryShards(r.On, cat); sub {
+			out, any = out.union(s), true
+		}
+		return out, any
 	}
 	return allShards(), true
 }
@@ -131,7 +188,17 @@ func predShards(e sqlparse.Expr, key, loose string, ti *tableInfo, n int) shardS
 
 	var eval func(e sqlparse.Expr) shardSet
 	eval = func(e sqlparse.Expr) shardSet {
-		e = unwrapNullSafeCmp(e)
+		if c, isCase := e.(*sqlparse.CaseExpr); isCase {
+			inner, nullArm, ok := unwrapNullSafeCmp(c)
+			if !ok {
+				return allShards()
+			}
+			s := eval(inner)
+			if nullArm != nil {
+				s = s.union(eval(nullArm))
+			}
+			return s
+		}
 		switch x := e.(type) {
 		case *sqlparse.BinaryExpr:
 			switch x.Op {
@@ -219,41 +286,68 @@ func predShards(e sqlparse.Expr, key, loose string, ti *tableInfo, n int) shardS
 	return eval(e)
 }
 
-// unwrapNullSafeCmp recognizes the null-safe comparison shape the q
+// unwrapNullSafeCmp recognizes the null-safe comparison shapes the q
 // translator emits —
 //
-//	CASE WHEN R IS NULL THEN (L IS NOT NULL)
-//	     WHEN L IS NULL THEN FALSE
+//	CASE WHEN F IS NULL THEN (S IS NOT NULL) | TRUE
+//	     WHEN S IS NULL THEN FALSE
 //	     ELSE (L op R) END
 //
-// — and returns the inner comparison. This is safe for pruning whenever
-// the comparison side used is a non-NULL literal: the first arm is then
-// unreachable and the CASE implies the ELSE on all matching rows.
-func unwrapNullSafeCmp(e sqlparse.Expr) sqlparse.Expr {
-	c, ok := e.(*sqlparse.CaseExpr)
-	if !ok || c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
-		return e
+// where F and S are exactly the two comparison operands — and returns the
+// inner comparison. Every arm is validated structurally: a CASE that only
+// resembles the shape (a different first-arm condition, different null
+// handling) is not unwrapped, because pruning on its ELSE alone would
+// drop rows the other arms admit. When the first arm can fire (F is not
+// a non-NULL literal and its THEN is not FALSE), rows with F NULL also
+// satisfy the CASE, so nullArm returns the F IS NULL condition for the
+// caller to union in — on the partition key that evaluates to the
+// NULL-key shard, anywhere else it safely widens to all shards.
+func unwrapNullSafeCmp(c *sqlparse.CaseExpr) (inner sqlparse.Expr, nullArm sqlparse.Expr, ok bool) {
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		return nil, nil, false
 	}
-	if b, ok := c.Whens[1].Then.(*sqlparse.BoolLit); !ok || b.V {
-		return e
+	cmp, isCmp := c.Else.(*sqlparse.BinaryExpr)
+	if !isCmp {
+		return nil, nil, false
 	}
-	inner, ok := c.Else.(*sqlparse.BinaryExpr)
-	if !ok {
-		return e
-	}
-	switch inner.Op {
+	switch cmp.Op {
 	case "=", "<>", "<", ">", "<=", ">=":
-		// callers only act when the non-key side is a literal; a NULL
-		// literal there makes arm one reachable, so refuse that case
-		if v, lit := evalLiteral(inner.L); lit && v.null {
-			return e
-		}
-		if v, lit := evalLiteral(inner.R); lit && v.null {
-			return e
-		}
-		return inner
+	default:
+		return nil, nil, false
 	}
-	return e
+	c0, ok0 := c.Whens[0].Cond.(*sqlparse.IsNullExpr)
+	c1, ok1 := c.Whens[1].Cond.(*sqlparse.IsNullExpr)
+	if !ok0 || !ok1 || c0.Not || c1.Not {
+		return nil, nil, false
+	}
+	// the arm conditions must test exactly the two comparison operands,
+	// one each (compared by rendered text — the AST has no identity)
+	lTxt, rTxt := pgdb.RenderExpr(cmp.L), pgdb.RenderExpr(cmp.R)
+	fTxt, sTxt := pgdb.RenderExpr(c0.X), pgdb.RenderExpr(c1.X)
+	if !(fTxt == lTxt && sTxt == rTxt) && !(fTxt == rTxt && sTxt == lTxt) {
+		return nil, nil, false
+	}
+	if b, isBool := c.Whens[1].Then.(*sqlparse.BoolLit); !isBool || b.V {
+		return nil, nil, false
+	}
+	firstArmFalse := false
+	switch th := c.Whens[0].Then.(type) {
+	case *sqlparse.BoolLit:
+		firstArmFalse = !th.V
+	case *sqlparse.IsNullExpr:
+		if !th.Not || pgdb.RenderExpr(th.X) != sTxt {
+			return nil, nil, false
+		}
+	default:
+		return nil, nil, false
+	}
+	// the first arm is unreachable when F is a non-NULL literal, and
+	// admits no rows when its THEN is FALSE; otherwise its matches must
+	// stay in the pruned set
+	if v, lit := evalLiteral(c0.X); (lit && !v.null) || firstArmFalse {
+		return cmp, nil, true
+	}
+	return cmp, c0, true
 }
 
 func flipCmp(op string) string {

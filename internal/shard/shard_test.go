@@ -499,6 +499,121 @@ func TestKilledMember(t *testing.T) {
 	}
 }
 
+func TestShardedScalarSubquery(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+
+	// a subquery pinned to one shard makes the whole statement single-shard:
+	// every sharded row it can touch lives there, so verbatim execution on
+	// that shard is exact — and NOT the designated shard 0, which would see
+	// only its own slice
+	before := snap(counters)
+	checkParity(t, sh, single,
+		"SELECT s, (SELECT COUNT(*) FROM t WHERE t.s = 'aa') AS n FROM d ORDER BY s")
+	assertCounts(t, "pinned subquery", delta(counters, before), map[int]int64{hashShard(3, "aa"): 2})
+
+	// a multi-shard subquery under a replicated FROM must be rejected, not
+	// silently run on one shard (a shard-local count)
+	for _, sql := range []string{
+		"SELECT (SELECT COUNT(*) FROM t) AS n FROM d",
+		"SELECT s FROM d WHERE (SELECT COUNT(*) FROM t) > 0",
+		"SELECT s FROM d ORDER BY (SELECT COUNT(*) FROM t)",
+	} {
+		if _, err := sh.Exec(bg, sql); err == nil || !strings.Contains(err.Error(), "unsupported") {
+			t.Fatalf("%q: want unsupported error, got %v", sql, err)
+		}
+	}
+
+	// DML carrying a sharded subquery runs verbatim per shard and would
+	// evaluate it over each shard's slice: rejected in every position
+	for _, sql := range []string{
+		"UPDATE d SET label = (SELECT MAX(s) FROM t)",
+		"UPDATE t SET i = 0 WHERE i = (SELECT MAX(i) FROM t)",
+		"DELETE FROM t WHERE i = (SELECT MAX(i) FROM t)",
+		"INSERT INTO d VALUES ('zz', (SELECT MAX(s) FROM t))",
+		"INSERT INTO d SELECT s, (SELECT MAX(s) FROM t) FROM d",
+	} {
+		if _, err := sh.Exec(bg, sql); err == nil || !strings.Contains(err.Error(), "unsupported") {
+			t.Fatalf("%q: want unsupported error, got %v", sql, err)
+		}
+	}
+
+	// replicated copies and sharded slices must be untouched by the rejected
+	// statements
+	checkParity(t, sh, single, "SELECT s, label FROM d ORDER BY s")
+	checkParity(t, sh, single, "SELECT ordcol, s, i FROM t ORDER BY ordcol")
+}
+
+func TestNullSafeCmpShapeValidation(t *testing.T) {
+	sh, counters, single := newTestCluster(t, 3)
+
+	// not the translator's null-safe shape: the first arm admits rows that
+	// live on other shards, so no unwrap may happen (regression: the partial
+	// shape check unwrapped this and dropped the first-arm rows)
+	other := ""
+	for _, sym := range []string{"bb", "cc", "dd"} {
+		if hashShard(3, sym) != hashShard(3, "aa") {
+			other = sym
+			break
+		}
+	}
+	if other == "" {
+		t.Fatal("test data degenerate: all symbols hash to one shard")
+	}
+	iOf := map[string]string{"bb": "2", "cc": "3", "dd": "7"}[other]
+	res := checkParity(t, sh, single,
+		"SELECT ordcol, s, i FROM t WHERE CASE WHEN i = "+iOf+" THEN TRUE WHEN s IS NULL THEN FALSE ELSE s = 'aa' END ORDER BY ordcol")
+	if len(res.Rows) != 3 { // both 'aa' rows plus the first-arm row on the other shard
+		t.Fatalf("crafted CASE returned %d rows, want 3", len(res.Rows))
+	}
+
+	// the translator's genuine shape with the literal in the first arm: the
+	// arm is unreachable, so the inner comparison prunes tightly
+	before := snap(counters)
+	checkParity(t, sh, single,
+		"SELECT ordcol, k, v FROM r WHERE CASE WHEN 21 IS NULL THEN (k IS NOT NULL) WHEN k IS NULL THEN FALSE ELSE (k > 21) END ORDER BY ordcol")
+	assertCounts(t, "literal-first-arm", delta(counters, before), map[int]int64{2: 2})
+
+	// a key-first-arm shape admits NULL keys, which live on shard 0: the
+	// pruned set must keep it alongside the comparison's shards
+	for _, b := range []core.Backend{sh, single} {
+		if _, err := b.Exec(bg, "INSERT INTO r VALUES (6, NULL, 'nil')"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before = snap(counters)
+	res = checkParity(t, sh, single,
+		"SELECT ordcol, k, v FROM r WHERE CASE WHEN k IS NULL THEN TRUE WHEN 21 IS NULL THEN FALSE ELSE (k > 21) END ORDER BY ordcol")
+	if len(res.Rows) != 3 { // k=25, k=22, and the NULL-k row
+		t.Fatalf("key-first-arm CASE returned %d rows, want 3", len(res.Rows))
+	}
+	assertCounts(t, "key-first-arm", delta(counters, before), map[int]int64{0: 2, 2: 2})
+}
+
+func TestRangeBoundsNumericSort(t *testing.T) {
+	bounds := []string{"10", "9"}
+	cat := NewCatalog(3, []TableSpec{{Name: "nr", Kind: Range, Column: "k", Bounds: bounds}})
+	ti := cat.lookup("nr")
+	if got := strings.Join(ti.spec.Bounds, ","); got != "9,10" {
+		t.Fatalf("bounds sorted to %q, want \"9,10\"", got)
+	}
+	if bounds[0] != "10" || bounds[1] != "9" {
+		t.Fatalf("caller's bounds slice mutated: %v", bounds)
+	}
+	for _, tc := range []struct {
+		key   float64
+		shard int
+	}{{5, 0}, {9, 1}, {9.5, 1}, {10, 2}, {50, 2}} {
+		if got := shardFor(&ti.spec, 3, partVal{isNum: true, num: tc.key}); got != tc.shard {
+			t.Fatalf("key %v routed to shard %d, want %d", tc.key, got, tc.shard)
+		}
+	}
+	// bounds beyond shards-1 are unreachable (shardFor clamps) and dropped
+	cat2 := NewCatalog(2, []TableSpec{{Name: "nr", Kind: Range, Column: "k", Bounds: []string{"3", "1", "2"}}})
+	if got := strings.Join(cat2.lookup("nr").spec.Bounds, ","); got != "1" {
+		t.Fatalf("excess bounds kept: %q", got)
+	}
+}
+
 func TestTransactionBroadcast(t *testing.T) {
 	sh, _, single := newTestCluster(t, 3)
 	for _, sql := range []string{"BEGIN", "INSERT INTO t VALUES (50, 'aa', 9, 9.5)", "COMMIT"} {
