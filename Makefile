@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-e2e bench-shard profile qdiff fmt
+.PHONY: all build vet test race tier1 bench bench-storage bench-e2e bench-shard profile qdiff fmt
 
 all: tier1
 
@@ -21,13 +21,19 @@ fmt:
 
 tier1: build vet test race
 
-# bench measures the embedded executor (interpreted vs compiled engine) over
-# a 100k-row fact table and refreshes BENCH_pgdb.json. The file is committed
-# as a non-gating before/after artifact; CI also prints the Go benchmark
-# output for the same cases.
+# bench measures the embedded executor (interpreted vs compiled vs
+# vectorized engine) over a 100k-row fact table and refreshes
+# BENCH_pgdb.json. The file is committed as a non-gating before/after
+# artifact; CI also prints the Go benchmark output for the same cases.
 bench:
 	$(GO) run ./cmd/benchfig -bench -out BENCH_pgdb.json
 	$(GO) test ./internal/pgdb/ -run '^$$' -bench PgdbExec -benchtime 2x
+
+# bench-storage is the columnar-storage acceptance view of the same
+# measurement: it refreshes BENCH_pgdb.json and prints the per-op speedup of
+# the vectorized engine over the compiled row engine.
+bench-storage:
+	$(GO) run ./cmd/benchfig -bench -out BENCH_pgdb.json
 
 # bench-e2e measures the result pipeline (columnar builders vs text
 # round-trip) end to end — typed conversion, PG v3 wire decode, and a full
@@ -55,12 +61,14 @@ profile:
 	$(GO) tool pprof -top -nodecount 15 -alloc_objects mem.prof
 
 # qdiff replays the differential fuzzer at the CI seeds against the compiled
-# engine, plus one interpreted-engine run to pin the retained AST walker and
-# a 3-shard cluster sweep pinning the scatter-gather backend.
+# engine, plus one interpreted-engine run to pin the retained AST walker,
+# a vectorized sweep pinning the columnar batch executor, and a 3-shard
+# cluster sweep pinning the scatter-gather backend.
 qdiff:
 	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 2 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 7 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 42 -n 10000 -shrink > /dev/null
 	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -exec interpreted > /dev/null
+	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -exec vectorized -shrink > /dev/null; done
 	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -shards 3 -shrink > /dev/null; done

@@ -129,10 +129,11 @@ func measure(db *pgdb.DB, op, mode, sql string, rows int) BenchEntry {
 	}
 }
 
-// runBench measures every benchmark case under both execution engines plus
-// the compiled parallel-scan case, writes the entries to outPath as JSON,
-// and prints a per-op speedup table. This backs `make bench`, which commits
-// BENCH_pgdb.json as a non-gating artifact.
+// runBench measures every benchmark case under all three execution engines
+// plus the compiled parallel-scan case, writes the entries to outPath as
+// JSON, and prints a per-op speedup table. This backs `make bench` and
+// `make bench-storage`, which commit BENCH_pgdb.json as a non-gating
+// artifact.
 func runBench(outPath string, rows int) {
 	db, err := newBenchDB(rows)
 	if err != nil {
@@ -144,10 +145,12 @@ func runBench(outPath string, rows int) {
 		before := measure(db, c.op, "interpreted", c.sql, rows)
 		db.SetExecMode(pgdb.ExecCompiled)
 		after := measure(db, c.op, "compiled", c.sql, rows)
-		entries = append(entries, before, after)
-		fmt.Fprintf(os.Stderr, "%-18s interpreted %12.0f ns/op %8d allocs  compiled %12.0f ns/op %8d allocs  speedup %.2fx\n",
-			c.op, before.NsPerOp, before.AllocsPerOp, after.NsPerOp, after.AllocsPerOp,
-			before.NsPerOp/after.NsPerOp)
+		db.SetExecMode(pgdb.ExecVectorized)
+		vec := measure(db, c.op, "vectorized", c.sql, rows)
+		entries = append(entries, before, after, vec)
+		fmt.Fprintf(os.Stderr, "%-18s interpreted %12.0f ns/op  compiled %12.0f ns/op (%.2fx)  vectorized %12.0f ns/op (%.2fx over compiled)\n",
+			c.op, before.NsPerOp, after.NsPerOp, before.NsPerOp/after.NsPerOp,
+			vec.NsPerOp, after.NsPerOp/vec.NsPerOp)
 	}
 	// the -parallel path: same compiled scan, 1 worker vs GOMAXPROCS workers
 	parSQL := "SELECT sym, price FROM bench_trades WHERE price > 200.0 AND price < 800.0 AND size > 5"

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	figure := flag.Int("figure", 6, "figure to regenerate (6 or 7)")
-	bench := flag.Bool("bench", false, "run the pgdb executor benchmarks (interpreted vs compiled) instead of a figure")
+	bench := flag.Bool("bench", false, "run the pgdb executor benchmarks (interpreted vs compiled vs vectorized) instead of a figure")
 	benchE2E := flag.Bool("bench-e2e", false, "run the result-pipeline benchmarks (columnar vs text) instead of a figure")
 	benchShard := flag.Bool("bench-shard", false, "run the scatter-gather scaling benchmarks (single backend vs 1/2/4/8-shard clusters) instead of a figure")
 	benchOut := flag.String("out", "", "output path for -bench / -bench-e2e results (default BENCH_pgdb.json / BENCH_e2e.json)")

@@ -56,7 +56,7 @@ func main() {
 	qUser := flag.String("q-user", "", "required Q client user (empty accepts all)")
 	qPass := flag.String("q-password", "", "required Q client password")
 	trades := flag.Int("trades", 10000, "embedded demo trade count")
-	execEngine := flag.String("exec", "compiled", "embedded engine execution mode: compiled or interpreted")
+	execEngine := flag.String("exec", "compiled", "embedded engine execution mode: compiled, interpreted, or vectorized")
 	resultPath := flag.String("result-path", "columnar", "result conversion pipeline: columnar (streaming builders) or text (materialized fallback)")
 	parallel := flag.Int("parallel", 1, "embedded engine intra-query worker count (clamped to GOMAXPROCS; 1 disables)")
 	mdiTTL := flag.Duration("mdi-ttl", 5*time.Minute, "metadata cache expiration")
@@ -97,8 +97,10 @@ func main() {
 			db.SetExecMode(pgdb.ExecCompiled)
 		case "interpreted":
 			db.SetExecMode(pgdb.ExecInterpreted)
+		case "vectorized":
+			db.SetExecMode(pgdb.ExecVectorized)
 		default:
-			log.Fatalf("unknown -exec mode %q (want compiled or interpreted)", *execEngine)
+			log.Fatalf("unknown -exec mode %q (want compiled, interpreted, or vectorized)", *execEngine)
 		}
 		db.SetParallelism(*parallel)
 	}

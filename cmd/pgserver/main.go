@@ -28,7 +28,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload the synthetic TAQ data set")
 	trades := flag.Int("trades", 10000, "demo trade count")
 	seed := flag.Int64("seed", 1, "demo data seed")
-	execEngine := flag.String("exec", "compiled", "execution engine: compiled or interpreted")
+	execEngine := flag.String("exec", "compiled", "execution engine: compiled, interpreted, or vectorized")
 	parallel := flag.Int("parallel", 1, "intra-query worker count for large scans (clamped to GOMAXPROCS; 1 disables)")
 	flag.Parse()
 
@@ -96,6 +96,8 @@ func execModeByName(name string) (pgdb.ExecMode, error) {
 		return pgdb.ExecCompiled, nil
 	case "interpreted":
 		return pgdb.ExecInterpreted, nil
+	case "vectorized":
+		return pgdb.ExecVectorized, nil
 	}
-	return 0, fmt.Errorf("unknown -exec mode %q (want compiled or interpreted)", name)
+	return 0, fmt.Errorf("unknown -exec mode %q (want compiled, interpreted, or vectorized)", name)
 }

@@ -28,7 +28,7 @@ func main() {
 	shrink := flag.Bool("shrink", false, "minimize failing cases before reporting")
 	out := flag.String("out", "", "directory to write failing cases as corpus JSON")
 	maxRows := flag.Int("maxrows", 0, "max fact-table rows (0 = generator default)")
-	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled or interpreted")
+	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled, interpreted, or vectorized")
 	resultPath := flag.String("result-path", "columnar", "session result pipeline under test: columnar or text")
 	shards := flag.Int("shards", 0, "sharded differential mode: compare a single backend against an N-shard scatter-gather cluster (byte-identical QIPC oracle)")
 	flag.Parse()
@@ -39,8 +39,10 @@ func main() {
 		mode = pgdb.ExecCompiled
 	case "interpreted":
 		mode = pgdb.ExecInterpreted
+	case "vectorized":
+		mode = pgdb.ExecVectorized
 	default:
-		fmt.Fprintf(os.Stderr, "qdiff: unknown -exec mode %q (want compiled or interpreted)\n", *execEngine)
+		fmt.Fprintf(os.Stderr, "qdiff: unknown -exec mode %q (want compiled, interpreted, or vectorized)\n", *execEngine)
 		os.Exit(2)
 	}
 	var path core.ResultPath

@@ -23,13 +23,29 @@ const (
 	// the reference implementation for differential parity testing against
 	// the compiled path (see internal/sidebyside).
 	ExecInterpreted
+	// ExecVectorized is the compiled engine plus vector fast paths: WHERE
+	// clauses that lower to bitmap kernels scan the column vectors directly
+	// with zone-map segment skipping, and lowerable aggregations run fused
+	// over the selection bitmap without materializing filtered rows. Shapes
+	// that do not lower behave exactly as ExecCompiled.
+	ExecVectorized
 )
 
-// storedTable is a heap table in the catalog.
+// storedTable is a heap table in the catalog. Data lives in a columnar
+// store (colstore.go); row-at-a-time consumers read the memoized row view.
 type storedTable struct {
-	name string
-	cols []Column
-	rows [][]any
+	name  string
+	cols  []Column
+	store *colStore
+}
+
+// newStoredTable creates a table and bulk-loads the given rows.
+func newStoredTable(name string, cols []Column, rows [][]any) *storedTable {
+	t := &storedTable{name: name, cols: cols, store: newColStore(cols)}
+	for _, r := range rows {
+		t.store.appendRow(r)
+	}
+	return t
 }
 
 // storedView is a named view definition.
@@ -89,6 +105,12 @@ func (s *Session) interpretedMode() bool {
 	return s.db.ExecutionMode() == ExecInterpreted
 }
 
+// vectorizedMode reports whether vector fast paths are enabled on top of
+// the compiled engine.
+func (s *Session) vectorizedMode() bool {
+	return s.db.ExecutionMode() == ExecVectorized
+}
+
 // Session is a connection-scoped view of the database holding temporary
 // tables, which shadow catalog tables by name and disappear with the
 // session — the substrate for Hyper-Q's physical materialization (§4.3).
@@ -144,7 +166,7 @@ func (s *Session) lookupView(name string) (*storedView, bool) {
 func (db *DB) CreateTable(name string, cols []Column) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.tables[name] = &storedTable{name: name, cols: cols}
+	db.tables[name] = newStoredTable(name, cols, nil)
 }
 
 // InsertRows bulk-loads rows into a permanent table.
@@ -160,7 +182,9 @@ func (db *DB) InsertRows(name string, rows [][]any) error {
 			return errf("42601", "row width %d != %d columns", len(r), len(t.cols))
 		}
 	}
-	t.rows = append(t.rows, rows...)
+	for _, r := range rows {
+		t.store.appendRow(r)
+	}
 	return nil
 }
 
@@ -240,10 +264,15 @@ func (s *Session) informationSchema(rel string) (*Result, error) {
 
 func sortRowsByCol(rows [][]any, col int) {
 	sort.SliceStable(rows, func(i, j int) bool {
-		a, _ := rows[i][col].(string)
-		b, _ := rows[j][col].(string)
-		if a != b {
-			return a < b
+		a, b := rows[i][col], rows[j][col]
+		// NULLs first, then the engines' typed total order — bare string
+		// assertions here used to collapse every non-string key to "" and
+		// silently leave the rows unsorted.
+		if a == nil || b == nil {
+			return a == nil && b != nil
+		}
+		if c := compareVals(a, b); c != 0 {
+			return c < 0
 		}
 		// secondary: ordinal position when present
 		if len(rows[i]) > 3 {
@@ -281,7 +310,7 @@ func (s *Session) resolveRelation(schema, name string) (*Result, error) {
 		return nil, errf("42P01", "relation pg_catalog.%s does not exist", name)
 	}
 	if t, ok := s.lookupTable(name); ok {
-		return &Result{Cols: append([]Column(nil), t.cols...), Rows: t.rows}, nil
+		return &Result{Cols: append([]Column(nil), t.cols...), Rows: t.store.rows(), store: t.store}, nil
 	}
 	if v, ok := s.lookupView(name); ok {
 		// re-execute the view definition under the current statement's

@@ -1,0 +1,412 @@
+package pgdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Columnar table storage: a storedTable keeps its data as typed column
+// vectors organized into fixed-size segments, each column carrying a null
+// bitmap and a per-segment min/max zone map. The vectorized executor
+// (vector.go, vecagg.go) scans these vectors batch-at-a-time; every other
+// consumer — the interpreter, the compiled row engine, joins, DML — reads
+// through a memoized row-view adapter (rows()), which materializes boxed
+// rows once and keeps them write-through-coherent with the vectors.
+
+// segSize is the number of rows per segment. It is a multiple of 64 so a
+// segment's slice of the global selection bitmap is word-aligned, and it
+// matches parallelMinRows so parallel scans chunk on segment boundaries.
+const segSize = 4096
+
+// vecKind is the storage class of one column vector within a segment.
+type vecKind uint8
+
+const (
+	vkEmpty vecKind = iota // no non-null value appended yet
+	vkInt
+	vkFloat
+	vkStr
+	vkBool
+	vkAny // mixed value types: boxed storage, no zone map
+)
+
+// vecKindName returns the %T name compareVals sees for values of a kind,
+// so constant-result mixed-type comparisons match the row engines exactly.
+func vecKindName(k vecKind) string {
+	switch k {
+	case vkInt:
+		return "int64"
+	case vkFloat:
+		return "float64"
+	case vkStr:
+		return "string"
+	case vkBool:
+		return "bool"
+	default:
+		return ""
+	}
+}
+
+// colVec is one column of one segment: a typed vector chosen from the first
+// non-null value, with dynamic degradation to boxed storage on a type
+// mismatch, a null bitmap, and a conservative min/max zone map.
+type colVec struct {
+	kind   vecKind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	anys   []any
+	nulls  []uint64 // bit i set ⇒ row i is NULL
+	// nullCnt is exact: appends and in-place updates maintain it.
+	nullCnt int
+	// minV/maxV bound the non-null values in compareVals order. They only
+	// widen (appends, updates), so after deletes rebuild the bounds may be
+	// wider than the data — sound for pruning, never narrower. nil when the
+	// vector holds no non-null values or has degraded to vkAny.
+	minV, maxV any
+}
+
+func (v *colVec) isNull(i int) bool {
+	w := i >> 6
+	return w < len(v.nulls) && v.nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// nullWord returns word w of the null bitmap (0 if never allocated).
+func (v *colVec) nullWord(w int) uint64 {
+	if w < len(v.nulls) {
+		return v.nulls[w]
+	}
+	return 0
+}
+
+func (v *colVec) setNullBit(i int) {
+	w := i >> 6
+	for len(v.nulls) <= w {
+		v.nulls = append(v.nulls, 0)
+	}
+	v.nulls[w] |= 1 << (uint(i) & 63)
+}
+
+func (v *colVec) clearNullBit(i int) {
+	w := i >> 6
+	if w < len(v.nulls) {
+		v.nulls[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// pad extends the typed storage with one zero placeholder (for a NULL row).
+func (v *colVec) pad() {
+	switch v.kind {
+	case vkInt:
+		v.ints = append(v.ints, 0)
+	case vkFloat:
+		v.floats = append(v.floats, 0)
+	case vkStr:
+		v.strs = append(v.strs, "")
+	case vkBool:
+		v.bools = append(v.bools, false)
+	case vkAny:
+		v.anys = append(v.anys, nil)
+	}
+}
+
+// degrade converts the vector to boxed storage (n values appended so far);
+// the zone map is dropped — mixed-type bounds cannot prune soundly.
+func (v *colVec) degrade(n int) {
+	anys := make([]any, n)
+	for i := 0; i < n; i++ {
+		if v.isNull(i) {
+			continue
+		}
+		switch v.kind {
+		case vkInt:
+			anys[i] = v.ints[i]
+		case vkFloat:
+			anys[i] = v.floats[i]
+		case vkStr:
+			anys[i] = v.strs[i]
+		case vkBool:
+			anys[i] = v.bools[i]
+		}
+	}
+	v.kind = vkAny
+	v.ints, v.floats, v.strs, v.bools = nil, nil, nil, nil
+	v.anys = anys
+	v.minV, v.maxV = nil, nil
+}
+
+// widenZone extends the min/max bounds to cover a new non-null value.
+func (v *colVec) widenZone(val any) {
+	if v.kind == vkAny {
+		return
+	}
+	if v.minV == nil {
+		v.minV, v.maxV = val, val
+		return
+	}
+	if compareVals(val, v.minV) < 0 {
+		v.minV = val
+	}
+	if compareVals(val, v.maxV) > 0 {
+		v.maxV = val
+	}
+}
+
+// appendVal appends one value at position pos (== values appended so far).
+func (v *colVec) appendVal(val any, pos int) {
+	if val == nil {
+		v.setNullBit(pos)
+		v.nullCnt++
+		v.pad()
+		return
+	}
+	switch x := val.(type) {
+	case int64:
+		switch v.kind {
+		case vkEmpty:
+			v.kind = vkInt
+			v.ints = append(make([]int64, pos, pos+1), x)
+		case vkInt:
+			v.ints = append(v.ints, x)
+		case vkAny:
+			v.anys = append(v.anys, x)
+		default:
+			v.degrade(pos)
+			v.anys = append(v.anys, x)
+		}
+	case float64:
+		switch v.kind {
+		case vkEmpty:
+			v.kind = vkFloat
+			v.floats = append(make([]float64, pos, pos+1), x)
+		case vkFloat:
+			v.floats = append(v.floats, x)
+		case vkAny:
+			v.anys = append(v.anys, x)
+		default:
+			v.degrade(pos)
+			v.anys = append(v.anys, x)
+		}
+	case string:
+		switch v.kind {
+		case vkEmpty:
+			v.kind = vkStr
+			v.strs = append(make([]string, pos, pos+1), x)
+		case vkStr:
+			v.strs = append(v.strs, x)
+		case vkAny:
+			v.anys = append(v.anys, x)
+		default:
+			v.degrade(pos)
+			v.anys = append(v.anys, x)
+		}
+	case bool:
+		switch v.kind {
+		case vkEmpty:
+			v.kind = vkBool
+			v.bools = append(make([]bool, pos, pos+1), x)
+		case vkBool:
+			v.bools = append(v.bools, x)
+		case vkAny:
+			v.anys = append(v.anys, x)
+		default:
+			v.degrade(pos)
+			v.anys = append(v.anys, x)
+		}
+	default:
+		// a value outside the engine's domain: store boxed
+		if v.kind != vkAny {
+			v.degrade(pos)
+		}
+		v.anys = append(v.anys, val)
+	}
+	v.widenZone(val)
+}
+
+// setVal overwrites the value at position i in place (UPDATE write-through).
+// segN is the segment's row count, needed if the vector must degrade.
+func (v *colVec) setVal(i int, val any, segN int) {
+	if v.isNull(i) {
+		if val == nil {
+			return
+		}
+		v.clearNullBit(i)
+		v.nullCnt--
+	} else if val == nil {
+		v.setNullBit(i)
+		v.nullCnt++
+		// leave the stale typed cell in place; the null bit masks it
+		if v.kind == vkAny {
+			v.anys[i] = nil
+		}
+		return
+	}
+	stored := false
+	switch x := val.(type) {
+	case int64:
+		if v.kind == vkInt {
+			v.ints[i] = x
+			stored = true
+		}
+	case float64:
+		if v.kind == vkFloat {
+			v.floats[i] = x
+			stored = true
+		}
+	case string:
+		if v.kind == vkStr {
+			v.strs[i] = x
+			stored = true
+		}
+	case bool:
+		if v.kind == vkBool {
+			v.bools[i] = x
+			stored = true
+		}
+	}
+	if !stored {
+		if v.kind != vkAny {
+			v.degrade(segN)
+		}
+		v.anys[i] = val
+	}
+	v.widenZone(val)
+}
+
+// get boxes the value at position i.
+func (v *colVec) get(i int) any {
+	if v.isNull(i) {
+		return nil
+	}
+	switch v.kind {
+	case vkInt:
+		return v.ints[i]
+	case vkFloat:
+		return v.floats[i]
+	case vkStr:
+		return v.strs[i]
+	case vkBool:
+		return v.bools[i]
+	case vkAny:
+		return v.anys[i]
+	default:
+		return nil
+	}
+}
+
+// segment holds up to segSize rows of every column.
+type segment struct {
+	n    int
+	vecs []colVec
+}
+
+// colStore is the columnar storage of one table.
+type colStore struct {
+	cols []Column
+	segs []*segment
+	n    int
+
+	// cache is the memoized row-view adapter: boxed rows materialized once
+	// and kept coherent with the vectors (appends extend it, UPDATE writes
+	// through, DELETE replaces it). Readers load it lock-free; the build is
+	// serialized by cacheMu so concurrent first readers do not race.
+	cacheMu sync.Mutex
+	cache   atomic.Pointer[[][]any]
+}
+
+func newColStore(cols []Column) *colStore {
+	return &colStore{cols: cols}
+}
+
+func (st *colStore) numRows() int { return st.n }
+
+// lastSeg returns the open segment, appending a new one when full.
+func (st *colStore) lastSeg() *segment {
+	if len(st.segs) > 0 {
+		if seg := st.segs[len(st.segs)-1]; seg.n < segSize {
+			return seg
+		}
+	}
+	seg := &segment{vecs: make([]colVec, len(st.cols))}
+	st.segs = append(st.segs, seg)
+	return seg
+}
+
+// appendVecs appends one row to the vectors only (no cache maintenance).
+func (st *colStore) appendVecs(row []any) {
+	seg := st.lastSeg()
+	pos := seg.n
+	for c := range st.cols {
+		var v any
+		if c < len(row) {
+			v = row[c]
+		}
+		seg.vecs[c].appendVal(v, pos)
+	}
+	seg.n++
+	st.n++
+}
+
+// appendRow appends one row; a materialized row cache extends with the same
+// slice so handed-out row views stay coherent, like the former [][]any
+// storage did.
+func (st *colStore) appendRow(row []any) {
+	st.appendVecs(row)
+	if p := st.cache.Load(); p != nil {
+		rows := append(*p, row)
+		st.cache.Store(&rows)
+	}
+}
+
+// rows materializes the boxed row view, memoized across calls. The first
+// call boxes every cell; later calls return the cached slice, so row-at-a-
+// time consumers (interpreter, joins, DML, as-of) pay materialization once
+// per table lifetime.
+func (st *colStore) rows() [][]any {
+	if p := st.cache.Load(); p != nil {
+		return *p
+	}
+	st.cacheMu.Lock()
+	defer st.cacheMu.Unlock()
+	if p := st.cache.Load(); p != nil {
+		return *p
+	}
+	out := make([][]any, 0, st.n)
+	for _, seg := range st.segs {
+		for i := 0; i < seg.n; i++ {
+			row := make([]any, len(st.cols))
+			for c := range seg.vecs {
+				row[c] = seg.vecs[c].get(i)
+			}
+			out = append(out, row)
+		}
+	}
+	st.cache.Store(&out)
+	return out
+}
+
+// cellAt boxes the value at a global row index.
+func (st *colStore) cellAt(i, col int) any {
+	seg := st.segs[i/segSize]
+	return seg.vecs[col].get(i % segSize)
+}
+
+// setCell overwrites one cell in the vectors (UPDATE write-through; the
+// caller mutates the cached row itself, keeping both views coherent).
+func (st *colStore) setCell(rowIdx, col int, val any) {
+	seg := st.segs[rowIdx/segSize]
+	seg.vecs[col].setVal(rowIdx%segSize, val, seg.n)
+}
+
+// compact rebuilds the store from the kept rows (DELETE): segments are
+// re-packed densely and zone maps recomputed from the survivors, and the
+// row cache becomes exactly the kept slice.
+func (st *colStore) compact(kept [][]any) {
+	st.segs = nil
+	st.n = 0
+	for _, row := range kept {
+		st.appendVecs(row)
+	}
+	st.cache.Store(&kept)
+}

@@ -121,9 +121,9 @@ func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		t = &storedTable{name: st.Name, cols: res.Cols, rows: res.Rows}
+		t = newStoredTable(st.Name, res.Cols, res.Rows)
 	} else {
-		t = &storedTable{name: st.Name, cols: append([]Column(nil), columnDefs(st.Cols)...)}
+		t = newStoredTable(st.Name, append([]Column(nil), columnDefs(st.Cols)...), nil)
 	}
 	if st.Temp {
 		s.temp[st.Name] = t
@@ -243,7 +243,7 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 		for k, p := range pos {
 			full[p] = coerceToColumn(src[k], t.cols[p].Type)
 		}
-		t.rows = append(t.rows, full)
+		t.store.appendRow(full)
 	}
 	return &Result{Tag: fmt.Sprintf("INSERT 0 %d", len(incoming))}, nil
 }
@@ -305,7 +305,7 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 		}
 	}
 	count := 0
-	for _, row := range t.rows {
+	for ri, row := range t.store.rows() {
 		keep, err := pred(row)
 		if err != nil {
 			return nil, err
@@ -321,7 +321,12 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			row[set.idx] = coerceToColumn(v, t.cols[set.idx].Type)
+			coerced := coerceToColumn(v, t.cols[set.idx].Type)
+			// mutate the cached row in place (later predicate evaluations —
+			// e.g. subqueries over the same table — observe the write, as the
+			// row storage did) and write through to the column vectors
+			row[set.idx] = coerced
+			t.store.setCell(ri, set.idx, coerced)
 		}
 		count++
 	}
@@ -335,9 +340,10 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 	}
 	schema := schemaOf(t.cols, "")
 	pred := s.wherePred(st.Where, schema)
-	kept := make([][]any, 0, len(t.rows))
+	rows := t.store.rows()
+	kept := make([][]any, 0, len(rows))
 	deleted := 0
-	for _, row := range t.rows {
+	for _, row := range rows {
 		match, err := pred(row)
 		if err != nil {
 			return nil, err
@@ -348,7 +354,7 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 			kept = append(kept, row)
 		}
 	}
-	t.rows = kept
+	t.store.compact(kept)
 	return &Result{Tag: fmt.Sprintf("DELETE %d", deleted)}, nil
 }
 

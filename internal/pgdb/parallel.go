@@ -68,7 +68,12 @@ func (s *Session) filterRows(where sqlparse.Expr, schema []colBinding, rows [][]
 func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]any, error) {
 	n := len(rows)
 	keep := make([]bool, n)
+	// Chunks round up to segment multiples so each worker's row range maps to
+	// whole segments of the columnar store the rows were materialized from.
 	chunk := (n + workers - 1) / workers
+	if rem := chunk % segSize; rem != 0 {
+		chunk += segSize - rem
+	}
 	errs := make([]error, workers)
 	errRows := make([]int, workers)
 	ctx := s.ctx
@@ -130,4 +135,63 @@ func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]an
 		}
 	}
 	return kept, nil
+}
+
+// evalVecPred runs a lowered predicate over every segment of a column store,
+// returning the global selection bitmap. Large multi-segment stores fan out
+// across the configured parallelism; segment windows of the bitmap are
+// disjoint word ranges, so workers never share a word.
+func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
+	n := st.numRows()
+	out := make([]uint64, (n+63)/64)
+	if workers := s.db.Parallelism(); workers > 1 && n >= parallelMinRows && len(st.segs) > 1 {
+		if err := s.evalVecPredParallel(p, st, out, workers); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	ctx := s.ctx
+	for si, seg := range st.segs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pgdb: query aborted: %w", err)
+			}
+		}
+		base := si * segWords
+		p.evalSeg(seg, out[base:base+(seg.n+63)/64])
+	}
+	return out, nil
+}
+
+// evalVecPredParallel assigns segments round-robin to workers. Lowered
+// kernels cannot error, so the only failure is statement cancellation —
+// every worker reports the same error class, no ordering needed.
+func (s *Session) evalVecPredParallel(p vecPred, st *colStore, out []uint64, workers int) error {
+	ctx := s.ctx
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := w; si < len(st.segs); si += workers {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs[w] = fmt.Errorf("pgdb: query aborted: %w", err)
+						return
+					}
+				}
+				seg := st.segs[si]
+				base := si * segWords
+				p.evalSeg(seg, out[base:base+(seg.n+63)/64])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package pgdb
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -25,9 +26,12 @@ func schemaOf(cols []Column, alias string) []colBinding {
 }
 
 // relation is an intermediate result: bound columns plus materialized rows.
+// store is non-nil only for an unfiltered base-table scan, where rows is the
+// columnar store's row view and the vectorized executor may scan vectors.
 type relation struct {
 	schema []colBinding
 	rows   [][]any
+	store  *colStore
 }
 
 // execSelect runs the full select pipeline: FROM (with joins) → WHERE →
@@ -48,8 +52,24 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 	if err != nil {
 		return nil, err
 	}
-	// WHERE
-	if sel.Where != nil && !whereConsumed {
+	// WHERE — vectorized fast path first: a fully-lowerable predicate over a
+	// base-table scan fills a selection bitmap straight from the column
+	// vectors (zone maps skip segments). The bitmap either feeds the fused
+	// aggregation below or late-materializes only the selected positions.
+	var selBits []uint64
+	vecScan := false
+	if s.vectorizedMode() && rel.store != nil && !whereConsumed {
+		if sel.Where == nil {
+			vecScan = true
+		} else if p, ok := lowerVecPred(sel.Where, rel.schema, rel.store); ok {
+			selBits, err = s.evalVecPred(p, rel.store)
+			if err != nil {
+				return nil, err
+			}
+			vecScan = true
+		}
+	}
+	if sel.Where != nil && !whereConsumed && !vecScan {
 		if s.interpretedMode() {
 			var kept [][]any
 			for _, row := range rel.rows {
@@ -72,13 +92,51 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 	}
 	var res *Result
 	if len(sel.GroupBy) > 0 || selectHasAggregate(sel) {
-		if s.interpretedMode() {
+		switch {
+		case vecScan:
+			fused, ok, ferr := s.execGroupedVec(sel, rel, selBits)
+			if ferr != nil {
+				return nil, ferr
+			}
+			rel.store = nil
+			if ok {
+				// ORDER BY probes the relation for alignment, so it must
+				// see the filtered rows; otherwise the fused result is
+				// self-contained and the filter need not materialize
+				if len(sel.OrderBy) > 0 {
+					rel.rows = materializeSel(rel.rows, selBits)
+				}
+				res = fused
+			} else {
+				rel.rows = materializeSel(rel.rows, selBits)
+				res, err = s.execGroupedCompiled(sel, rel)
+			}
+		case s.interpretedMode():
 			res, err = s.execGrouped(sel, rel)
-		} else {
+		default:
 			res, err = s.execGroupedCompiled(sel, rel)
 		}
 	} else {
-		res, err = s.project(sel, rel)
+		if vecScan {
+			rel.store = nil
+			fast, ok, ferr := s.projectVec(sel, rel, selBits)
+			if ferr != nil {
+				return nil, ferr
+			}
+			if ok {
+				// ORDER BY may reference non-projected columns via the
+				// aligned row view, so the filter must still materialize
+				if len(sel.OrderBy) > 0 {
+					rel.rows = materializeSel(rel.rows, selBits)
+				}
+				res = fast
+			} else {
+				rel.rows = materializeSel(rel.rows, selBits)
+				res, err = s.project(sel, rel)
+			}
+		} else {
+			res, err = s.project(sel, rel)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -187,7 +245,7 @@ func (s *Session) buildRef(ref sqlparse.TableRef) (*relation, error) {
 		if alias == "" {
 			alias = r.Name
 		}
-		return &relation{schema: schemaOf(res.Cols, alias), rows: res.Rows}, nil
+		return &relation{schema: schemaOf(res.Cols, alias), rows: res.Rows, store: res.store}, nil
 	case *sqlparse.SubqueryRef:
 		res, err := s.execSelect(r.Query, nil)
 		if err != nil {
@@ -508,6 +566,75 @@ func (s *Session) project(sel *sqlparse.SelectStmt, rel *relation) (*Result, err
 	}
 	refineTypes(res)
 	return res, nil
+}
+
+// projectVec is the late-materialization fast path for a vectorized scan:
+// when every output item is a bare column reference, the result is built
+// straight from the selection bitmap over the row view — one arena-backed
+// output row per selected position, no intermediate filtered slice and no
+// per-row closure dispatch. Returns ok=false (and no error) for any shape
+// it does not handle, deferring both work and error surfacing to the
+// generic projection path.
+func (s *Session) projectVec(sel *sqlparse.SelectStmt, rel *relation, selBits []uint64) (*Result, bool, error) {
+	items, err := expandStars(sel.Items, rel.schema)
+	if err != nil {
+		return nil, false, nil
+	}
+	cols := make([]int, len(items))
+	for i, item := range items {
+		cr, ok := item.Expr.(*sqlparse.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		c, err := findCol(rel.schema, cr)
+		if err != nil {
+			return nil, false, nil
+		}
+		cols[i] = c
+	}
+	res := &Result{}
+	for _, item := range items {
+		res.Cols = append(res.Cols, Column{
+			Name: itemName(item, rel.schema),
+			Type: s.inferType(item.Expr, rel.schema),
+		})
+	}
+	src := rel.rows
+	nsel := len(src)
+	if selBits != nil {
+		nsel = popCount(selBits)
+	}
+	backing := make([]any, nsel*len(cols))
+	res.Rows = make([][]any, 0, nsel)
+	emit := func(row []any) {
+		out := backing[:len(cols):len(cols)]
+		backing = backing[len(cols):]
+		for i, c := range cols {
+			out[i] = row[c]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if selBits == nil {
+		for _, row := range src {
+			if err := s.tick(); err != nil {
+				return nil, false, err
+			}
+			emit(row)
+		}
+	} else {
+		for w, word := range selBits {
+			for word != 0 {
+				i := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if err := s.tick(); err != nil {
+					return nil, false, err
+				}
+				emit(src[i])
+			}
+		}
+	}
+	refineTypes(res)
+	return res, true, nil
 }
 
 // expandStars replaces * and t.* with explicit column refs.

@@ -33,6 +33,10 @@ type Result struct {
 	Cols []Column
 	Rows [][]any
 	Tag  string // command tag, e.g. "SELECT 5"
+	// store is set when Rows is the row view of a base table's columnar
+	// storage, letting the vectorized executor scan the typed vectors
+	// instead of the boxed rows.
+	store *colStore
 }
 
 // Error is an execution error, carrying a PostgreSQL-style SQLSTATE code.

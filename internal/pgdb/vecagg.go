@@ -1,0 +1,862 @@
+package pgdb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// Fused filter+aggregate execution: when every aggregate slot of a grouped
+// query is a plain single-column call and every GROUP BY key is a column
+// reference, the aggregation folds directly over the column vectors and the
+// selection bitmap — filtered rows are never materialized, group keys are
+// encoded without fmt, and the accumulators run typed. The result assembly
+// reuses the compiled path's machinery (compileAggExpr over pre-computed
+// slot values, itemName/inferType/refineTypes, items-then-HAVING order), so
+// output and error behavior are indistinguishable from execGroupedCompiled.
+
+type fusedKind uint8
+
+const (
+	fStar fusedKind = iota // COUNT(*)
+	fCount
+	fSum
+	fAvg
+	fMin
+	fMax
+	fBoolAnd
+	fBoolOr
+	fFirst
+	fLast
+)
+
+// fusedSlot is the vectorizable plan of one aggregate slot.
+type fusedSlot struct {
+	kind fusedKind
+	col  int
+	name string // the SQL function name, for error messages
+}
+
+// planFusedSlots maps every aggregate slot to a fused kind over a storage
+// column; any slot outside the fusable set (DISTINCT, expression arguments,
+// the stddev/median tail, argument-count errors) aborts fusion and the
+// caller falls back to execGroupedCompiled.
+func planFusedSlots(slots []aggSlot, schema []colBinding, st *colStore) ([]fusedSlot, bool) {
+	out := make([]fusedSlot, len(slots))
+	for i, slot := range slots {
+		fc := slot.fc
+		if fc.Star {
+			out[i] = fusedSlot{kind: fStar}
+			continue
+		}
+		if fc.Distinct || len(fc.Args) != 1 {
+			return nil, false
+		}
+		var kind fusedKind
+		switch fc.Name {
+		case "count":
+			kind = fCount
+		case "sum":
+			kind = fSum
+		case "avg":
+			kind = fAvg
+		case "min":
+			kind = fMin
+		case "max":
+			kind = fMax
+		case "bool_and":
+			kind = fBoolAnd
+		case "bool_or":
+			kind = fBoolOr
+		case "first":
+			kind = fFirst
+		case "last":
+			kind = fLast
+		default:
+			return nil, false
+		}
+		cr, ok := fc.Args[0].(*sqlparse.ColRef)
+		if !ok {
+			return nil, false
+		}
+		col, err := findCol(schema, cr)
+		if err != nil || col >= len(st.cols) {
+			return nil, false
+		}
+		out[i] = fusedSlot{kind: kind, col: col, name: fc.Name}
+	}
+	return out, true
+}
+
+// slotAcc is the running state of one fused aggregate within one group. The
+// update methods replicate computeAggSlot's fold exactly: sum advances isum
+// and fsum together with an all-int flag, avg folds in float, min/max keep
+// the incumbent and replace only on strict compareVals improvement, the
+// bool folds type-check every value, and the first error freezes the slot
+// (surfaced lazily, only if the slot is referenced).
+type slotAcc struct {
+	n        int64 // non-null values folded
+	isum     int64
+	fsum     float64
+	allInt   bool
+	bacc     bool
+	bestSet  bool
+	bestKind vecKind
+	besti    int64
+	bestf    float64
+	bests    string
+	bestb    bool
+	bestAny  any
+	err      error
+}
+
+func (a *slotAcc) updSum(v *colVec, i int) {
+	switch v.kind {
+	case vkInt:
+		x := v.ints[i]
+		a.isum += x
+		a.fsum += float64(x)
+		a.n++
+	case vkFloat:
+		a.allInt = false
+		a.fsum += v.floats[i]
+		a.n++
+	case vkBool:
+		a.allInt = false
+		if v.bools[i] {
+			a.fsum++
+		}
+		a.n++
+	case vkStr:
+		a.err = errf("42804", "sum of non-number")
+	case vkAny:
+		if x, ok := v.anys[i].(int64); ok {
+			a.isum += x
+			a.fsum += float64(x)
+			a.n++
+			return
+		}
+		a.allInt = false
+		f, ok := toFloat(v.anys[i])
+		if !ok {
+			a.err = errf("42804", "sum of non-number")
+			return
+		}
+		a.fsum += f
+		a.n++
+	}
+}
+
+func (a *slotAcc) updAvg(v *colVec, i int) {
+	switch v.kind {
+	case vkInt:
+		a.fsum += float64(v.ints[i])
+	case vkFloat:
+		a.fsum += v.floats[i]
+	case vkBool:
+		if v.bools[i] {
+			a.fsum++
+		}
+	case vkStr:
+		a.err = errf("42804", "avg of non-number")
+		return
+	case vkAny:
+		f, ok := toFloat(v.anys[i])
+		if !ok {
+			a.err = errf("42804", "avg of non-number")
+			return
+		}
+		a.fsum += f
+	}
+	a.n++
+}
+
+// cmpFloatVals is compareVals restricted to two floats (NaN equals itself
+// and sorts above everything).
+func cmpFloatVals(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func (a *slotAcc) boxedBest() any {
+	switch a.bestKind {
+	case vkInt:
+		return a.besti
+	case vkFloat:
+		return a.bestf
+	case vkStr:
+		return a.bests
+	case vkBool:
+		return a.bestb
+	default:
+		return a.bestAny
+	}
+}
+
+func (a *slotAcc) updMinMax(isMin bool, v *colVec, i int) {
+	if !a.bestSet {
+		a.bestSet = true
+		a.bestKind = v.kind
+		switch v.kind {
+		case vkInt:
+			a.besti = v.ints[i]
+		case vkFloat:
+			a.bestf = v.floats[i]
+		case vkStr:
+			a.bests = v.strs[i]
+		case vkBool:
+			a.bestb = v.bools[i]
+		default:
+			a.bestAny = v.anys[i]
+		}
+		return
+	}
+	if v.kind == a.bestKind {
+		switch v.kind {
+		case vkInt:
+			// compareVals compares ints through float64, precision loss
+			// included; replicated so ties break identically
+			x, b := float64(v.ints[i]), float64(a.besti)
+			if (isMin && x < b) || (!isMin && x > b) {
+				a.besti = v.ints[i]
+			}
+			return
+		case vkFloat:
+			c := cmpFloatVals(v.floats[i], a.bestf)
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				a.bestf = v.floats[i]
+			}
+			return
+		case vkStr:
+			c := strings.Compare(v.strs[i], a.bests)
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				a.bests = v.strs[i]
+			}
+			return
+		case vkBool:
+			x, b := v.bools[i], a.bestb
+			if (isMin && !x && b) || (!isMin && x && !b) {
+				a.bestb = x
+			}
+			return
+		}
+	}
+	// cross-kind (segment degradation, vkAny storage): full compareVals
+	val := v.get(i)
+	c := compareVals(val, a.boxedBest())
+	if (isMin && c < 0) || (!isMin && c > 0) {
+		a.bestKind = vkAny
+		a.bestAny = val
+	}
+}
+
+func (a *slotAcc) updBool(isAnd bool, name string, v *colVec, i int) {
+	var b bool
+	switch v.kind {
+	case vkBool:
+		b = v.bools[i]
+	case vkAny:
+		x, ok := v.anys[i].(bool)
+		if !ok {
+			a.err = errf("42804", "%s of non-boolean", name)
+			return
+		}
+		b = x
+	default:
+		a.err = errf("42804", "%s of non-boolean", name)
+		return
+	}
+	a.n++
+	if isAnd {
+		a.bacc = a.bacc && b
+	} else {
+		a.bacc = a.bacc || b
+	}
+}
+
+// appendKeyCell appends one group-key cell in keyString's exact encoding
+// ("%T:%v;", "\x00N;" for NULL) without going through fmt, so the fused
+// path partitions and orders groups identically to the compiled path —
+// including any collisions keyString itself would produce.
+func appendKeyCell(buf []byte, v *colVec, i int) []byte {
+	if v.isNull(i) {
+		return append(buf, "\x00N;"...)
+	}
+	switch v.kind {
+	case vkInt:
+		buf = append(buf, "int64:"...)
+		buf = strconv.AppendInt(buf, v.ints[i], 10)
+	case vkFloat:
+		buf = append(buf, "float64:"...)
+		buf = strconv.AppendFloat(buf, v.floats[i], 'g', -1, 64)
+	case vkStr:
+		buf = append(buf, "string:"...)
+		buf = append(buf, v.strs[i]...)
+	case vkBool:
+		buf = append(buf, "bool:"...)
+		buf = strconv.AppendBool(buf, v.bools[i])
+	case vkAny:
+		switch x := v.anys[i].(type) {
+		case int64:
+			buf = append(buf, "int64:"...)
+			buf = strconv.AppendInt(buf, x, 10)
+		case float64:
+			buf = append(buf, "float64:"...)
+			buf = strconv.AppendFloat(buf, x, 'g', -1, 64)
+		case string:
+			buf = append(buf, "string:"...)
+			buf = append(buf, x...)
+		case bool:
+			buf = append(buf, "bool:"...)
+			buf = strconv.AppendBool(buf, x)
+		default:
+			// out-of-domain value: defer to fmt for the identical bytes
+			buf = append(buf, fmt.Sprintf("%T:%v", x, x)...)
+		}
+	}
+	return append(buf, ';')
+}
+
+// vecGroup is one group's fused state: selection bookkeeping for COUNT(*),
+// first/last and the representative row, plus one accumulator per slot.
+type vecGroup struct {
+	firstIdx int // global row index of the first selected row (-1: none)
+	lastIdx  int
+	n        int64
+	accs     []slotAcc
+}
+
+// execGroupedVec runs the fused filter+aggregate path over the column store.
+// ok=false means the query's shape is not fusable and the caller must
+// materialize and fall back; err is a genuine execution error.
+func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBits []uint64) (*Result, bool, error) {
+	st := rel.store
+	items, err := expandStars(sel.Items, rel.schema)
+	if err != nil {
+		return nil, false, err
+	}
+	slots, index := collectAggSlots(items, sel.Having, rel.schema)
+	fused, ok := planFusedSlots(slots, rel.schema, st)
+	if !ok {
+		return nil, false, nil
+	}
+	keyCols := make([]int, len(sel.GroupBy))
+	for i, ge := range sel.GroupBy {
+		cr, ok := ge.(*sqlparse.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		col, ferr := findCol(rel.schema, cr)
+		if ferr != nil || col >= len(st.cols) {
+			return nil, false, nil
+		}
+		keyCols[i] = col
+	}
+
+	newGroup := func(idx int) *vecGroup {
+		g := &vecGroup{firstIdx: idx, lastIdx: idx, accs: make([]slotAcc, len(fused))}
+		for i := range fused {
+			g.accs[i].allInt = true
+			g.accs[i].bacc = fused[i].kind == fBoolAnd
+		}
+		return g
+	}
+	groups := map[string]*vecGroup{}
+	var order []*vecGroup
+	global := len(sel.GroupBy) == 0
+	if global {
+		// a global aggregate over empty input still yields one row
+		g := newGroup(-1)
+		order = append(order, g)
+	}
+
+	// The scan buffers each 64-row block's selected rows — in-segment
+	// positions plus resolved groups — then folds slot by slot with the
+	// aggregate/vector-kind dispatch hoisted out of the row loop. A block
+	// never straddles a null-bitmap word, so each slot loads its null word
+	// once per block. Per (group, slot) the fold order is unchanged from
+	// row-at-a-time: ascending row within a block, blocks ascending.
+	var ibuf [64]int32
+	var gbuf [64]*vecGroup
+	flushSlot := func(seg *segment, fs *fusedSlot, si, cnt int) {
+		v := &seg.vecs[fs.col]
+		nw := v.nullWord(int(ibuf[0]) >> 6)
+		switch {
+		case fs.kind == fCount:
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err == nil {
+					acc.n++
+				}
+			}
+		case fs.kind == fSum && v.kind == vkInt:
+			xs := v.ints
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				x := xs[i]
+				acc.isum += x
+				acc.fsum += float64(x)
+				acc.n++
+			}
+		case fs.kind == fSum && v.kind == vkFloat:
+			flt := v.floats
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				acc.allInt = false
+				acc.fsum += flt[i]
+				acc.n++
+			}
+		case fs.kind == fAvg && v.kind == vkInt:
+			xs := v.ints
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				acc.fsum += float64(xs[i])
+				acc.n++
+			}
+		case fs.kind == fAvg && v.kind == vkFloat:
+			flt := v.floats
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				acc.fsum += flt[i]
+				acc.n++
+			}
+		case (fs.kind == fMin || fs.kind == fMax) && v.kind == vkInt:
+			isMin := fs.kind == fMin
+			xs := v.ints
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				x := xs[i]
+				if !acc.bestSet {
+					acc.bestSet = true
+					acc.bestKind = vkInt
+					acc.besti = x
+					continue
+				}
+				if acc.bestKind == vkInt {
+					// float64 compare, replicating compareVals' precision
+					xf, bf := float64(x), float64(acc.besti)
+					if (isMin && xf < bf) || (!isMin && xf > bf) {
+						acc.besti = x
+					}
+					continue
+				}
+				acc.updMinMax(isMin, v, i)
+			}
+		case (fs.kind == fMin || fs.kind == fMax) && v.kind == vkFloat:
+			isMin := fs.kind == fMin
+			flt := v.floats
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				f := flt[i]
+				if !acc.bestSet {
+					acc.bestSet = true
+					acc.bestKind = vkFloat
+					acc.bestf = f
+					continue
+				}
+				if acc.bestKind == vkFloat {
+					c := cmpFloatVals(f, acc.bestf)
+					if (isMin && c < 0) || (!isMin && c > 0) {
+						acc.bestf = f
+					}
+					continue
+				}
+				acc.updMinMax(isMin, v, i)
+			}
+		default:
+			// string/bool/degraded vectors, bool_and/bool_or: per-row fold
+			for k := 0; k < cnt; k++ {
+				i := int(ibuf[k])
+				if nw&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				acc := &gbuf[k].accs[si]
+				if acc.err != nil {
+					continue
+				}
+				switch fs.kind {
+				case fSum:
+					acc.updSum(v, i)
+				case fAvg:
+					acc.updAvg(v, i)
+				case fMin:
+					acc.updMinMax(true, v, i)
+				case fMax:
+					acc.updMinMax(false, v, i)
+				case fBoolAnd:
+					acc.updBool(true, fs.name, v, i)
+				case fBoolOr:
+					acc.updBool(false, fs.name, v, i)
+				}
+			}
+		}
+	}
+	flush := func(seg *segment, cnt int) {
+		if cnt == 0 {
+			return
+		}
+		for si := range fused {
+			fs := &fused[si]
+			if fs.kind == fStar || fs.kind == fFirst || fs.kind == fLast {
+				continue
+			}
+			flushSlot(seg, fs, si, cnt)
+		}
+	}
+
+	// Single-column keys skip the keyString encoding entirely: the raw typed
+	// value indexes a typed map. This partitions identically to keyString —
+	// per value class the encoding is injective (shortest-round-trip float
+	// formatting, raw string, decimal int), the classes land in disjoint
+	// maps exactly like the "%T:" prefix separates them, every NaN bit
+	// pattern collapses into one group just as "%v" renders them all "NaN",
+	// and ±0.0 stay distinct ("0" vs "-0") because their bit patterns do.
+	single := len(keyCols) == 1 && !global
+	var (
+		gInt                       map[int64]*vecGroup
+		gFlt                       map[uint64]*vecGroup
+		gStr                       map[string]*vecGroup
+		gNaN, gNull, gTrue, gFalse *vecGroup
+	)
+	if single {
+		gInt = map[int64]*vecGroup{}
+		gFlt = map[uint64]*vecGroup{}
+		gStr = map[string]*vecGroup{}
+	}
+	mkGroup := func(gi int) *vecGroup {
+		g := newGroup(gi)
+		order = append(order, g)
+		return g
+	}
+	var keyBuf []byte
+	ctx := s.ctx
+	base := 0
+	for segIdx, seg := range st.segs {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, true, fmt.Errorf("pgdb: query aborted: %w", cerr)
+			}
+		}
+		groupGeneric := func(i, gi int) *vecGroup {
+			keyBuf = keyBuf[:0]
+			for _, kc := range keyCols {
+				keyBuf = appendKeyCell(keyBuf, &seg.vecs[kc], i)
+			}
+			g, ok := groups[string(keyBuf)]
+			if !ok {
+				g = newGroup(gi)
+				groups[string(keyBuf)] = g
+				order = append(order, g)
+			}
+			return g
+		}
+		var kv *colVec
+		if single {
+			kv = &seg.vecs[keyCols[0]]
+		}
+		groupTyped := func(val any, i, gi int) *vecGroup {
+			switch x := val.(type) {
+			case int64:
+				g := gInt[x]
+				if g == nil {
+					g = mkGroup(gi)
+					gInt[x] = g
+				}
+				return g
+			case float64:
+				if math.IsNaN(x) {
+					if gNaN == nil {
+						gNaN = mkGroup(gi)
+					}
+					return gNaN
+				}
+				b := math.Float64bits(x)
+				g := gFlt[b]
+				if g == nil {
+					g = mkGroup(gi)
+					gFlt[b] = g
+				}
+				return g
+			case string:
+				g := gStr[x]
+				if g == nil {
+					g = mkGroup(gi)
+					gStr[x] = g
+				}
+				return g
+			case bool:
+				if x {
+					if gTrue == nil {
+						gTrue = mkGroup(gi)
+					}
+					return gTrue
+				}
+				if gFalse == nil {
+					gFalse = mkGroup(gi)
+				}
+				return gFalse
+			default:
+				// out-of-domain value: such values only live in boxed
+				// vectors, so the generic keyed map needs no unification
+				// with the typed maps
+				return groupGeneric(i, gi)
+			}
+		}
+		groupOf := func(i int) *vecGroup {
+			gi := base + i
+			if global {
+				g := order[0]
+				if g.firstIdx < 0 {
+					g.firstIdx = gi
+				}
+				return g
+			}
+			if single {
+				if kv.isNull(i) {
+					if gNull == nil {
+						gNull = mkGroup(gi)
+					}
+					return gNull
+				}
+				switch kv.kind {
+				case vkInt:
+					x := kv.ints[i]
+					g := gInt[x]
+					if g == nil {
+						g = mkGroup(gi)
+						gInt[x] = g
+					}
+					return g
+				case vkStr:
+					s := kv.strs[i]
+					g := gStr[s]
+					if g == nil {
+						g = mkGroup(gi)
+						gStr[s] = g
+					}
+					return g
+				case vkFloat:
+					f := kv.floats[i]
+					if math.IsNaN(f) {
+						if gNaN == nil {
+							gNaN = mkGroup(gi)
+						}
+						return gNaN
+					}
+					b := math.Float64bits(f)
+					g := gFlt[b]
+					if g == nil {
+						g = mkGroup(gi)
+						gFlt[b] = g
+					}
+					return g
+				case vkBool:
+					return groupTyped(kv.bools[i], i, gi)
+				default: // vkAny: dispatch on the boxed cell's dynamic type
+					return groupTyped(kv.anys[i], i, gi)
+				}
+			}
+			return groupGeneric(i, gi)
+		}
+		if selBits == nil {
+			for blk := 0; blk < seg.n; blk += 64 {
+				end := min(blk+64, seg.n)
+				cnt := 0
+				for i := blk; i < end; i++ {
+					g := groupOf(i)
+					g.lastIdx = base + i
+					g.n++
+					ibuf[cnt] = int32(i)
+					gbuf[cnt] = g
+					cnt++
+				}
+				flush(seg, cnt)
+			}
+		} else {
+			wbase := segIdx * segWords
+			words := (seg.n + 63) / 64
+			for wi := 0; wi < words; wi++ {
+				w := selBits[wbase+wi]
+				if w == 0 {
+					continue
+				}
+				cnt := 0
+				for ; w != 0; w &= w - 1 {
+					i := wi*64 + bits.TrailingZeros64(w)
+					g := groupOf(i)
+					g.lastIdx = base + i
+					g.n++
+					ibuf[cnt] = int32(i)
+					gbuf[cnt] = g
+					cnt++
+				}
+				flush(seg, cnt)
+			}
+		}
+		base += seg.n
+	}
+
+	// finalize every slot into the pre-computed form of a groupAgg; errors
+	// stay lazy, surfacing only through slots the items/HAVING reference
+	doneAll := make([]bool, len(slots))
+	for i := range doneAll {
+		doneAll[i] = true
+	}
+	finalize := func(g *vecGroup) ([]any, []error) {
+		vals := make([]any, len(slots))
+		errs := make([]error, len(slots))
+		for i := range fused {
+			fs := &fused[i]
+			acc := &g.accs[i]
+			switch fs.kind {
+			case fStar:
+				vals[i] = g.n
+			case fCount:
+				vals[i] = acc.n
+			case fSum:
+				switch {
+				case acc.err != nil:
+					errs[i] = acc.err
+				case acc.n == 0:
+				case acc.allInt:
+					vals[i] = acc.isum
+				default:
+					vals[i] = acc.fsum
+				}
+			case fAvg:
+				if acc.err != nil {
+					errs[i] = acc.err
+				} else if acc.n > 0 {
+					vals[i] = acc.fsum / float64(acc.n)
+				}
+			case fMin, fMax:
+				if acc.bestSet {
+					vals[i] = acc.boxedBest()
+				}
+			case fBoolAnd, fBoolOr:
+				if acc.err != nil {
+					errs[i] = acc.err
+				} else if acc.n > 0 {
+					vals[i] = acc.bacc
+				}
+			case fFirst:
+				if g.firstIdx >= 0 {
+					vals[i] = st.cellAt(g.firstIdx, fs.col)
+				}
+			case fLast:
+				if g.lastIdx >= 0 {
+					vals[i] = st.cellAt(g.lastIdx, fs.col)
+				}
+			}
+		}
+		return vals, errs
+	}
+
+	itemFns := make([]exprFn, len(items))
+	for i := range items {
+		itemFns[i] = compileAggExpr(items[i].Expr, rel.schema, index)
+	}
+	var havingFn exprFn
+	if sel.Having != nil {
+		havingFn = compileAggExpr(sel.Having, rel.schema, index)
+	}
+	res := &Result{}
+	for _, item := range items {
+		res.Cols = append(res.Cols, Column{
+			Name: itemName(item, rel.schema),
+			Type: s.inferType(item.Expr, rel.schema),
+		})
+	}
+	res.Rows = make([][]any, 0, len(order))
+	rows := rel.rows // full row view; firstIdx indexes into it
+	for _, g := range order {
+		vals, errs := finalize(g)
+		gec := &evalCtx{s: s, rowIdx: -1, agg: &groupAgg{slots: slots, vals: vals, errs: errs, done: doneAll}}
+		var rep []any
+		if g.firstIdx >= 0 {
+			rep = rows[g.firstIdx]
+		}
+		out := make([]any, len(items))
+		for i, fn := range itemFns {
+			v, ierr := fn(gec, rep)
+			if ierr != nil {
+				return nil, true, ierr
+			}
+			out[i] = v
+		}
+		if havingFn != nil {
+			hv, herr := havingFn(gec, rep)
+			if herr != nil {
+				return nil, true, herr
+			}
+			if b, ok := hv.(bool); !ok || !b {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	refineTypes(res)
+	return res, true, nil
+}

@@ -1,0 +1,790 @@
+package pgdb
+
+import (
+	"math"
+	"math/bits"
+	"strings"
+
+	"hyperq/internal/pgdb/sqlparse"
+)
+
+// Vectorized predicate execution: lowerVecPred compiles a WHERE tree into a
+// program of typed kernels that fill a selection bitmap over the column
+// vectors, one segment at a time. Only shapes whose evaluation can never
+// error are lowered (column-vs-constant comparisons, IS [NOT] NULL, IN and
+// BETWEEN over constants, AND/OR composition), so the compiled row engine's
+// error surface is preserved exactly: anything else falls back to the
+// row-at-a-time filter.
+//
+// Soundness of the bitmap encoding: a WHERE keeps a row only when it
+// evaluates to TRUE, so NULL and FALSE both map to an unset bit. That
+// mapping commutes with AND/OR composition (NULL AND x, NULL OR FALSE are
+// never TRUE; NULL OR TRUE is TRUE and the OR of the bitmaps sets the bit)
+// — but not with NOT, which is therefore never lowered.
+//
+// Zone maps prune at the leaves: a comparison kernel skips a whole segment
+// when the per-segment min/max bounds prove no row can match, and fills it
+// without scanning when they prove every row matches and the segment has no
+// nulls. The bounds are compared with compareVals — the same total order
+// the row engines use — so pruning is exact by construction.
+
+// segWords is the bitmap words per full segment (segSize is a multiple of
+// 64, so each segment owns a word-aligned window of the global bitmap).
+const segWords = segSize / 64
+
+// vecPred evaluates one predicate node over a segment, writing the result
+// into the segment's (zeroed) bitmap window.
+type vecPred interface {
+	evalSeg(seg *segment, out []uint64)
+}
+
+// --- bitmap helpers ---
+
+func fillOnes(out []uint64, n int) {
+	full := n / 64
+	for w := 0; w < full; w++ {
+		out[w] = ^uint64(0)
+	}
+	if rem := n % 64; rem > 0 {
+		out[full] = (uint64(1) << uint(rem)) - 1
+	}
+}
+
+// clearNulls unsets bits at the vector's null positions.
+func clearNulls(out []uint64, v *colVec) {
+	if v.nullCnt == 0 {
+		return
+	}
+	for w := range out {
+		out[w] &^= v.nullWord(w)
+	}
+}
+
+func windowAllZero(out []uint64) bool {
+	for _, w := range out {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// popCount counts set bits in a bitmap.
+func popCount(sel []uint64) int {
+	n := 0
+	for _, w := range sel {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// materializeSel late-materializes the selected positions: only rows whose
+// bit is set are gathered (by reference) from the row view. A nil bitmap
+// selects everything.
+func materializeSel(rows [][]any, sel []uint64) [][]any {
+	if sel == nil {
+		return rows
+	}
+	out := make([][]any, 0, popCount(sel))
+	for wi, w := range sel {
+		base := wi * 64
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			out = append(out, rows[i])
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// --- predicate nodes ---
+
+type vecAnd struct{ l, r vecPred }
+
+func (p *vecAnd) evalSeg(seg *segment, out []uint64) {
+	p.l.evalSeg(seg, out)
+	if windowAllZero(out) {
+		return
+	}
+	var tmp [segWords]uint64
+	t := tmp[:len(out)]
+	p.r.evalSeg(seg, t)
+	for w := range out {
+		out[w] &= t[w]
+	}
+}
+
+type vecOr struct{ l, r vecPred }
+
+func (p *vecOr) evalSeg(seg *segment, out []uint64) {
+	p.l.evalSeg(seg, out)
+	var tmp [segWords]uint64
+	t := tmp[:len(out)]
+	p.r.evalSeg(seg, t)
+	for w := range out {
+		out[w] |= t[w]
+	}
+}
+
+// vecConst is a row-independent predicate: TRUE selects the whole segment,
+// FALSE/NULL select nothing.
+type vecConst struct{ all bool }
+
+func (p *vecConst) evalSeg(seg *segment, out []uint64) {
+	if p.all {
+		fillOnes(out, seg.n)
+	}
+}
+
+// vecIsNull lowers col IS [NOT] NULL straight off the null bitmap.
+type vecIsNull struct {
+	col int
+	not bool
+}
+
+func (p *vecIsNull) evalSeg(seg *segment, out []uint64) {
+	v := &seg.vecs[p.col]
+	if p.not {
+		if v.nullCnt == 0 {
+			fillOnes(out, seg.n)
+			return
+		}
+		fillOnes(out, seg.n)
+		for w := range out {
+			out[w] &^= v.nullWord(w)
+		}
+		return
+	}
+	if v.nullCnt == 0 {
+		return
+	}
+	var mask [segWords]uint64
+	fillOnes(mask[:len(out)], seg.n)
+	for w := range out {
+		out[w] = v.nullWord(w) & mask[w]
+	}
+}
+
+// vecColTrue lowers a bare boolean column predicate (WHERE flag): a row is
+// kept only when the cell is boolean TRUE — non-bool values reject like the
+// row engines' `b, ok := v.(bool); ok && b` keep test.
+type vecColTrue struct{ col int }
+
+func (p *vecColTrue) evalSeg(seg *segment, out []uint64) {
+	v := &seg.vecs[p.col]
+	switch v.kind {
+	case vkBool:
+		for i, b := range v.bools[:seg.n] {
+			if b {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		clearNulls(out, v)
+	case vkAny:
+		for i, cell := range v.anys[:seg.n] {
+			if b, ok := cell.(bool); ok && b {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	// other kinds: no cell is boolean TRUE
+}
+
+// vecCmp is a column-vs-constant comparison. The constant is pre-classified
+// (numeric via toFloat, or string) so each segment scan runs a typed loop;
+// kind/constant combinations that compareVals resolves by type name reduce
+// to a constant verdict for the whole vector.
+type vecCmp struct {
+	col   int
+	op    string // "=", "<>", "<", ">", "<=", ">="
+	konst any    // non-nil
+	test  func(int) bool
+	kf    float64 // numeric form (int64/float64/bool constants)
+	kfOK  bool
+	kNaN  bool
+	ks    string // string form
+	ksOK  bool
+	ktn   string // %T name of the constant, for mixed-type ordering
+}
+
+func newVecCmp(col int, op string, konst any) *vecCmp {
+	p := &vecCmp{col: col, op: op, konst: konst}
+	switch op {
+	case "=":
+		p.test = func(c int) bool { return c == 0 }
+	case "<>":
+		p.test = func(c int) bool { return c != 0 }
+	case "<":
+		p.test = func(c int) bool { return c < 0 }
+	case ">":
+		p.test = func(c int) bool { return c > 0 }
+	case "<=":
+		p.test = func(c int) bool { return c <= 0 }
+	default:
+		p.test = func(c int) bool { return c >= 0 }
+	}
+	if f, ok := toFloat(konst); ok {
+		p.kf, p.kfOK = f, true
+		p.kNaN = math.IsNaN(f)
+	}
+	if s, ok := konst.(string); ok {
+		p.ks, p.ksOK = s, true
+	}
+	switch konst.(type) {
+	case int64:
+		p.ktn = "int64"
+	case float64:
+		p.ktn = "float64"
+	case string:
+		p.ktn = "string"
+	case bool:
+		p.ktn = "bool"
+	}
+	return p
+}
+
+// zoneSkip reports whether the zone bounds prove no non-null row matches;
+// zoneAll reports whether they prove every non-null row matches. Both use
+// compareVals(min/max, konst), so the verdicts agree with the per-row
+// kernels for any value/constant type mix.
+func (p *vecCmp) zoneVerdict(v *colVec) (skip, all bool) {
+	if v.kind == vkAny || v.minV == nil {
+		return false, false
+	}
+	lo := compareVals(v.minV, p.konst)
+	hi := compareVals(v.maxV, p.konst)
+	switch p.op {
+	case "=":
+		return lo > 0 || hi < 0, lo == 0 && hi == 0
+	case "<>":
+		return lo == 0 && hi == 0, hi < 0 || lo > 0
+	case "<":
+		return lo >= 0, hi < 0
+	case "<=":
+		return lo > 0, hi <= 0
+	case ">":
+		return hi <= 0, lo > 0
+	default: // >=
+		return hi < 0, lo >= 0
+	}
+}
+
+// constVerdict fills the window for a comparison whose outcome is the same
+// for every non-null row (mixed-type ordering, or NaN constants vs ints).
+func (p *vecCmp) constVerdict(v *colVec, seg *segment, out []uint64, c int) {
+	if !p.test(c) {
+		return
+	}
+	fillOnes(out, seg.n)
+	clearNulls(out, v)
+}
+
+func (p *vecCmp) evalSeg(seg *segment, out []uint64) {
+	v := &seg.vecs[p.col]
+	if v.kind == vkEmpty || v.nullCnt == seg.n {
+		return // no non-null values: a comparison is never TRUE
+	}
+	if skip, all := p.zoneVerdict(v); skip {
+		return
+	} else if all && v.nullCnt == 0 {
+		fillOnes(out, seg.n)
+		return
+	}
+	test := p.test
+	switch v.kind {
+	case vkInt:
+		switch {
+		case p.kfOK && p.kNaN:
+			p.constVerdict(v, seg, out, -1) // every number < NaN
+		case p.kfOK:
+			cmpIntKernel(p.op, v.ints[:seg.n], p.kf, out)
+			clearNulls(out, v)
+		default:
+			p.constVerdict(v, seg, out, strings.Compare("int64", p.ktn))
+		}
+	case vkFloat:
+		switch {
+		case p.kfOK && p.kNaN:
+			// NaN constant (rare): per-row compareVals verdict — NaN equals
+			// NaN and exceeds every other value
+			for i, f := range v.floats[:seg.n] {
+				c := -1
+				if math.IsNaN(f) {
+					c = 0
+				}
+				if test(c) {
+					out[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			clearNulls(out, v)
+		case p.kfOK:
+			cmpFloatKernel(p.op, v.floats[:seg.n], p.kf, out)
+			clearNulls(out, v)
+		default:
+			p.constVerdict(v, seg, out, strings.Compare("float64", p.ktn))
+		}
+	case vkStr:
+		if p.ksOK {
+			cmpStrKernel(p.op, v.strs[:seg.n], p.ks, out)
+			clearNulls(out, v)
+		} else {
+			p.constVerdict(v, seg, out, strings.Compare("string", p.ktn))
+		}
+	case vkBool:
+		if p.kfOK {
+			kf, kNaN := p.kf, p.kNaN
+			for i, b := range v.bools[:seg.n] {
+				f := 0.0
+				if b {
+					f = 1.0
+				}
+				var c int
+				switch {
+				case kNaN:
+					c = -1
+				case f < kf:
+					c = -1
+				case f > kf:
+					c = 1
+				}
+				if test(c) {
+					out[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			clearNulls(out, v)
+		} else {
+			p.constVerdict(v, seg, out, strings.Compare("bool", p.ktn))
+		}
+	case vkAny:
+		konst := p.konst
+		for i, cell := range v.anys[:seg.n] {
+			if cell == nil {
+				continue
+			}
+			if test(compareVals(cell, konst)) {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+}
+
+// b2u turns a comparison result into a bitmap bit without a data-dependent
+// branch: the compiler lowers this pattern to a flag-set instruction, so
+// the kernels below stay fast on 50%-selective data where a branchy
+// `if cond { set bit }` loop pays a mispredict per row.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cmpFamily reduces the six comparison operators to three loop bodies plus
+// a bitwise complement: "<>" is ^"=", ">=" is ^"<", ">" is ^"<=". The
+// complement identities hold for NaN cells too — in compareVals order NaN
+// compares greater than every non-NaN value, and the IEEE comparisons
+// (f==k, f<k, f<=k with non-NaN k) are all false for a NaN cell, so the
+// inverted families (">", ">=", "<>") correctly accept it.
+func cmpFamily(op string) (family int, invert bool) {
+	switch op {
+	case "=":
+		return 0, false
+	case "<>":
+		return 0, true
+	case "<":
+		return 1, false
+	case ">=":
+		return 1, true
+	case "<=":
+		return 2, false
+	default: // ">"
+		return 2, true
+	}
+}
+
+// cmpIntKernel sets a bit per int cell whose comparison with the numeric
+// constant holds. Cells are compared as float64, exactly like compareVals'
+// toFloat path; the constant is known non-NaN here. Each 64-row block
+// accumulates its bitmap word in a register — no per-element store and no
+// data-dependent branch — then complements and masks the tail for the
+// inverted operator families.
+func cmpIntKernel(op string, xs []int64, k float64, out []uint64) {
+	family, invert := cmpFamily(op)
+	n := len(xs)
+	for w := 0; w*64 < n; w++ {
+		blk := xs[w*64 : min((w+1)*64, n)]
+		var bw uint64
+		switch family {
+		case 0:
+			for j, x := range blk {
+				bw |= b2u(float64(x) == k) << uint(j)
+			}
+		case 1:
+			for j, x := range blk {
+				bw |= b2u(float64(x) < k) << uint(j)
+			}
+		case 2:
+			for j, x := range blk {
+				bw |= b2u(float64(x) <= k) << uint(j)
+			}
+		}
+		if invert {
+			bw = ^bw
+			if len(blk) < 64 {
+				bw &= 1<<uint(len(blk)) - 1
+			}
+		}
+		out[w] |= bw
+	}
+}
+
+// cmpFloatKernel is the float-column twin; see cmpFamily for why the
+// complemented families give the right NaN verdicts.
+func cmpFloatKernel(op string, fs []float64, k float64, out []uint64) {
+	family, invert := cmpFamily(op)
+	n := len(fs)
+	for w := 0; w*64 < n; w++ {
+		blk := fs[w*64 : min((w+1)*64, n)]
+		var bw uint64
+		switch family {
+		case 0:
+			for j, f := range blk {
+				bw |= b2u(f == k) << uint(j)
+			}
+		case 1:
+			for j, f := range blk {
+				bw |= b2u(f < k) << uint(j)
+			}
+		case 2:
+			for j, f := range blk {
+				bw |= b2u(f <= k) << uint(j)
+			}
+		}
+		if invert {
+			bw = ^bw
+			if len(blk) < 64 {
+				bw &= 1<<uint(len(blk)) - 1
+			}
+		}
+		out[w] |= bw
+	}
+}
+
+// cmpStrKernel compares string cells with Go's native operators, which
+// order byte-wise exactly like strings.Compare in compareVals. String
+// comparison is not branch-predictable anyway, so the plain branchy form
+// is kept here.
+func cmpStrKernel(op string, ss []string, k string, out []uint64) {
+	switch op {
+	case "=":
+		for i, s := range ss {
+			if s == k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case "<>":
+		for i, s := range ss {
+			if s != k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case "<":
+		for i, s := range ss {
+			if s < k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case "<=":
+		for i, s := range ss {
+			if s <= k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case ">":
+		for i, s := range ss {
+			if s > k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case ">=":
+		for i, s := range ss {
+			if s >= k {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+}
+
+// vecIn is col [NOT] IN (constants). A NULL member makes NOT IN never TRUE
+// (handled at lowering); a plain IN ignores NULL members for the bitmap,
+// since "no match but saw NULL" evaluates to NULL → unset either way.
+type vecIn struct {
+	col     int
+	members []any // non-null members
+	not     bool
+	kfs     []float64 // numeric members (non-NaN)
+	hasNaN  bool      // a NaN member (matches NaN cells: compareVals NaN = NaN)
+	kss     []string  // string members
+}
+
+func newVecIn(col int, members []any, not bool) *vecIn {
+	p := &vecIn{col: col, members: members, not: not}
+	for _, m := range members {
+		if f, ok := toFloat(m); ok {
+			if math.IsNaN(f) {
+				p.hasNaN = true
+			} else {
+				p.kfs = append(p.kfs, f)
+			}
+		} else if s, ok := m.(string); ok {
+			p.kss = append(p.kss, s)
+		}
+	}
+	return p
+}
+
+func (p *vecIn) matchNum(f float64) bool {
+	if math.IsNaN(f) {
+		return p.hasNaN
+	}
+	for _, kf := range p.kfs {
+		if f == kf {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *vecIn) matchStr(s string) bool {
+	for _, ks := range p.kss {
+		if s == ks {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *vecIn) zoneSkip(v *colVec) bool {
+	if v.kind == vkAny || v.minV == nil {
+		return false
+	}
+	for _, m := range p.members {
+		if compareVals(m, v.minV) >= 0 && compareVals(m, v.maxV) <= 0 {
+			return false
+		}
+	}
+	return true // every member outside [min,max]: no cell can equal one
+}
+
+func (p *vecIn) evalSeg(seg *segment, out []uint64) {
+	v := &seg.vecs[p.col]
+	var match [segWords]uint64
+	m := match[:len(out)]
+	if v.kind != vkEmpty && v.nullCnt != seg.n && !p.zoneSkip(v) {
+		switch v.kind {
+		case vkInt:
+			for i, x := range v.ints[:seg.n] {
+				if p.matchNum(float64(x)) {
+					m[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		case vkFloat:
+			for i, f := range v.floats[:seg.n] {
+				if p.matchNum(f) {
+					m[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		case vkStr:
+			for i, s := range v.strs[:seg.n] {
+				if p.matchStr(s) {
+					m[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		case vkBool:
+			for i, b := range v.bools[:seg.n] {
+				f := 0.0
+				if b {
+					f = 1.0
+				}
+				if p.matchNum(f) {
+					m[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		case vkAny:
+			for i, cell := range v.anys[:seg.n] {
+				if cell == nil {
+					continue
+				}
+				for _, mem := range p.members {
+					if equalVals(cell, mem) {
+						m[i>>6] |= 1 << (uint(i) & 63)
+						break
+					}
+				}
+			}
+		}
+		clearNulls(m, v)
+	}
+	if !p.not {
+		copy(out, m)
+		return
+	}
+	// NOT IN: non-null and no match
+	var mask [segWords]uint64
+	fillOnes(mask[:len(out)], seg.n)
+	for w := range out {
+		out[w] = mask[w] &^ (m[w] | v.nullWord(w))
+	}
+}
+
+// --- lowering ---
+
+// vecConstOf folds a row-independent subexpression to its constant value
+// (literal decoding, negation, casts over literals). Anything that is not
+// provably constant and error-free — or that folds outside the engine's
+// value domain, which the kernels' type dispatch assumes — refuses to lower.
+func vecConstOf(e sqlparse.Expr, schema []colBinding) (any, bool) {
+	c := compileExpr(e, schema)
+	if !c.konst || !c.pure {
+		return nil, false
+	}
+	v, err := c.fn(nil, nil)
+	if err != nil {
+		return nil, false
+	}
+	switch v.(type) {
+	case nil, int64, float64, string, bool:
+		return v, true
+	}
+	return nil, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	default: // =, <> are symmetric
+		return op
+	}
+}
+
+// lowerColRef resolves a ColRef against the scan schema, which is
+// positionally identical to the store's columns for a base-table scan.
+func lowerColRef(e sqlparse.Expr, schema []colBinding, st *colStore) (int, bool) {
+	c, ok := e.(*sqlparse.ColRef)
+	if !ok {
+		return 0, false
+	}
+	i, err := findCol(schema, c)
+	if err != nil || i >= len(st.cols) {
+		return 0, false
+	}
+	return i, true
+}
+
+// lowerVecPred lowers a WHERE tree to a bitmap program. ok=false means some
+// shape is unsupported (or could error at run time) and the caller must use
+// the row-at-a-time filter.
+func lowerVecPred(e sqlparse.Expr, schema []colBinding, st *colStore) (vecPred, bool) {
+	switch x := e.(type) {
+	case *sqlparse.BoolLit:
+		return &vecConst{all: x.V}, true
+	case *sqlparse.NullLit:
+		return &vecConst{}, true
+	case *sqlparse.ColRef:
+		if col, ok := lowerColRef(x, schema, st); ok {
+			return &vecColTrue{col: col}, true
+		}
+		return nil, false
+	case *sqlparse.IsNullExpr:
+		if col, ok := lowerColRef(x.X, schema, st); ok {
+			return &vecIsNull{col: col, not: x.Not}, true
+		}
+		return nil, false
+	case *sqlparse.InExpr:
+		col, ok := lowerColRef(x.X, schema, st)
+		if !ok {
+			return nil, false
+		}
+		members := make([]any, 0, len(x.List))
+		sawNull := false
+		for _, le := range x.List {
+			v, ok := vecConstOf(le, schema)
+			if !ok {
+				return nil, false
+			}
+			if v == nil {
+				sawNull = true
+				continue
+			}
+			members = append(members, v)
+		}
+		if x.Not && sawNull {
+			// NOT IN with a NULL member is never TRUE (match → FALSE, no
+			// match → NULL)
+			return &vecConst{}, true
+		}
+		return newVecIn(col, members, x.Not), true
+	case *sqlparse.BetweenExpr:
+		col, ok := lowerColRef(x.X, schema, st)
+		if !ok {
+			return nil, false
+		}
+		lo, okLo := vecConstOf(x.Lo, schema)
+		hi, okHi := vecConstOf(x.Hi, schema)
+		if !okLo || !okHi {
+			return nil, false
+		}
+		if lo == nil || hi == nil {
+			return &vecConst{}, true // NULL bound: BETWEEN and NOT BETWEEN both yield NULL
+		}
+		if x.Not {
+			return &vecOr{l: newVecCmp(col, "<", lo), r: newVecCmp(col, ">", hi)}, true
+		}
+		return &vecAnd{l: newVecCmp(col, ">=", lo), r: newVecCmp(col, "<=", hi)}, true
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			l, ok := lowerVecPred(x.L, schema, st)
+			if !ok {
+				return nil, false
+			}
+			r, ok := lowerVecPred(x.R, schema, st)
+			if !ok {
+				return nil, false
+			}
+			if x.Op == "AND" {
+				return &vecAnd{l: l, r: r}, true
+			}
+			return &vecOr{l: l, r: r}, true
+		case "=", "<>", "<", ">", "<=", ">=":
+			if col, ok := lowerColRef(x.L, schema, st); ok {
+				if k, ok := vecConstOf(x.R, schema); ok {
+					if k == nil {
+						return &vecConst{}, true // comparison with NULL is never TRUE
+					}
+					return newVecCmp(col, x.Op, k), true
+				}
+				return nil, false
+			}
+			if col, ok := lowerColRef(x.R, schema, st); ok {
+				if k, ok := vecConstOf(x.L, schema); ok {
+					if k == nil {
+						return &vecConst{}, true
+					}
+					return newVecCmp(col, flipOp(x.Op), k), true
+				}
+			}
+			return nil, false
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,451 @@
+package pgdb
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// requireVecParity runs one statement on three identical databases — one per
+// execution engine — and asserts the vectorized engine agrees with both the
+// interpreter oracle and the compiled engine on results, errors, and error
+// text. mkdb builds a fresh database per engine (bulk-loaded data included,
+// so NaN and mixed-type cells the SQL grammar cannot express are covered).
+func requireVecParity(t *testing.T, mkdb func(t *testing.T) *DB, sql string) *Result {
+	t.Helper()
+	run := func(mode ExecMode) (*Result, error) {
+		db := mkdb(t)
+		db.SetExecMode(mode)
+		return db.NewSession().Exec(sql)
+	}
+	vec, vecErr := run(ExecVectorized)
+	interp, interpErr := run(ExecInterpreted)
+	comp, compErr := run(ExecCompiled)
+	for _, o := range []struct {
+		name string
+		res  *Result
+		err  error
+	}{{"interpreted", interp, interpErr}, {"compiled", comp, compErr}} {
+		if (vecErr == nil) != (o.err == nil) {
+			t.Fatalf("%s:\n  vectorized err: %v\n  %s err: %v", sql, vecErr, o.name, o.err)
+		}
+		if vecErr != nil {
+			if vecErr.Error() != o.err.Error() {
+				t.Fatalf("%s: error text diverges:\n  vectorized: %v\n  %s: %v", sql, vecErr, o.name, o.err)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(vec.Cols, o.res.Cols) {
+			t.Fatalf("%s: column divergence vs %s:\n  vectorized: %+v\n  oracle:     %+v", sql, o.name, vec.Cols, o.res.Cols)
+		}
+		if len(vec.Rows) != len(o.res.Rows) {
+			t.Fatalf("%s: row count %d (vectorized) vs %d (%s)", sql, len(vec.Rows), len(o.res.Rows), o.name)
+		}
+		for i := range vec.Rows {
+			if !rowsEqualNaN(vec.Rows[i], o.res.Rows[i]) {
+				t.Fatalf("%s: row %d divergence vs %s:\n  vectorized: %v\n  oracle:     %v", sql, i, o.name, vec.Rows[i], o.res.Rows[i])
+			}
+		}
+	}
+	return vec
+}
+
+// rowsEqualNaN is reflect.DeepEqual with NaN == NaN, which DeepEqual (like
+// IEEE) rejects; the engines treat NaN as a self-equal value.
+func rowsEqualNaN(a, b []any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		af, aok := a[i].(float64)
+		bf, bok := b[i].(float64)
+		if aok && bok {
+			if math.IsNaN(af) && math.IsNaN(bf) {
+				continue
+			}
+			if math.Float64bits(af) != math.Float64bits(bf) {
+				return false
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mkSegDB bulk-loads n deterministic rows into an ordered-ish table: ts is
+// strictly increasing (zone maps prune hard on it), price cycles with ~1/50
+// NULLs, cat has 7 distinct values, flag is a three-state boolean column.
+func mkSegDB(n int) func(t *testing.T) *DB {
+	return func(t *testing.T) *DB {
+		t.Helper()
+		db := NewDB()
+		db.CreateTable("seg", []Column{
+			{Name: "ts", Type: "bigint"},
+			{Name: "price", Type: "double precision"},
+			{Name: "cat", Type: "varchar"},
+			{Name: "flag", Type: "boolean"},
+		})
+		rows := make([][]any, n)
+		for i := 0; i < n; i++ {
+			var price any = float64(i%1000) + 0.25
+			if i%50 == 7 {
+				price = nil
+			}
+			var flag any
+			switch i % 3 {
+			case 0:
+				flag = true
+			case 1:
+				flag = false
+			}
+			rows[i] = []any{int64(i), price, fmt.Sprintf("c%d", i%7), flag}
+		}
+		if err := db.InsertRows("seg", rows); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+}
+
+// TestVecSegmentBoundaries drives filters and aggregates over tables sized
+// exactly at, just under, and just over segment edges, with predicates whose
+// match ranges straddle those edges.
+func TestVecSegmentBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, segSize - 1, segSize, segSize + 1, 2*segSize + 17} {
+		mk := mkSegDB(n)
+		queries := []string{
+			"SELECT count(*) FROM seg",
+			"SELECT * FROM seg WHERE ts >= 4090 AND ts < 4100",
+			fmt.Sprintf("SELECT * FROM seg WHERE ts = %d", segSize),
+			fmt.Sprintf("SELECT * FROM seg WHERE ts = %d", segSize-1),
+			"SELECT * FROM seg WHERE ts BETWEEN 4000 AND 4200",
+			"SELECT cat, count(*), sum(ts), min(price), max(price) FROM seg GROUP BY cat",
+			"SELECT count(*), avg(price), first(cat), last(cat) FROM seg WHERE ts > 100",
+			"SELECT * FROM seg WHERE price IS NULL",
+			"SELECT count(price) FROM seg WHERE flag",
+		}
+		for _, q := range queries {
+			t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+				requireVecParity(t, mk, q)
+			})
+		}
+	}
+}
+
+// TestVecZonePruning checks zone-map skip and fill-all verdicts give exact
+// results: out-of-range literals (whole-table skip), one-segment ranges, and
+// predicates every row passes (bitmap fill without scanning).
+func TestVecZonePruning(t *testing.T) {
+	mk := mkSegDB(2*segSize + 100)
+	for _, q := range []string{
+		"SELECT count(*) FROM seg WHERE ts > 9000000",                  // above global max: all segments skip
+		"SELECT count(*) FROM seg WHERE ts < 0",                        // below global min
+		"SELECT count(*) FROM seg WHERE ts >= 0",                       // all-true fill
+		"SELECT * FROM seg WHERE ts = 5000",                            // single segment survives pruning
+		"SELECT * FROM seg WHERE ts <> 5000 AND ts > 8250",             // <> plus range
+		"SELECT count(*) FROM seg WHERE ts IN (1, 4096, 8191, 999999)", // IN member pruning
+		"SELECT count(*) FROM seg WHERE price > 999999.0",              // nullable column: no all-true fill
+		"SELECT sum(ts) FROM seg WHERE ts BETWEEN 4000 AND 4100",       // fused over pruned scan
+	} {
+		requireVecParity(t, mk, q)
+	}
+}
+
+// TestVecPredicateLowering covers every lowered leaf shape plus shapes that
+// must fall back, each against all three engines.
+func TestVecPredicateLowering(t *testing.T) {
+	mk := mkSegDB(500)
+	for _, q := range []string{
+		"SELECT count(*) FROM seg WHERE ts = 250",
+		"SELECT count(*) FROM seg WHERE 250 > ts", // constant on the left: op flips
+		"SELECT count(*) FROM seg WHERE ts <> 250",
+		"SELECT count(*) FROM seg WHERE price <= 10.25",
+		"SELECT count(*) FROM seg WHERE price >= 999.25",
+		"SELECT count(*) FROM seg WHERE cat = 'c3'",
+		"SELECT count(*) FROM seg WHERE cat > 'c5'",
+		"SELECT count(*) FROM seg WHERE cat = 3",      // mixed-type comparison: constant verdict
+		"SELECT count(*) FROM seg WHERE price = NULL", // NULL comparand: empty
+		"SELECT count(*) FROM seg WHERE flag",         // bare boolean column
+		"SELECT count(*) FROM seg WHERE flag = true",
+		"SELECT count(*) FROM seg WHERE flag IS NULL",
+		"SELECT count(*) FROM seg WHERE price IS NOT NULL",
+		"SELECT count(*) FROM seg WHERE cat IN ('c1', 'c4')",
+		"SELECT count(*) FROM seg WHERE cat NOT IN ('c1', 'c4')",
+		"SELECT count(*) FROM seg WHERE cat NOT IN ('c1', NULL)", // NULL member: never TRUE
+		"SELECT count(*) FROM seg WHERE cat IN ('c1', NULL)",
+		"SELECT count(*) FROM seg WHERE ts IN (1, 2.0, 3)", // mixed numeric members
+		"SELECT count(*) FROM seg WHERE ts BETWEEN 100 AND 200",
+		"SELECT count(*) FROM seg WHERE ts NOT BETWEEN 100 AND 200",
+		"SELECT count(*) FROM seg WHERE ts BETWEEN 200 AND 100",  // empty range
+		"SELECT count(*) FROM seg WHERE ts BETWEEN NULL AND 200", // NULL bound
+		"SELECT count(*) FROM seg WHERE ts > 100 AND (price < 50.0 OR cat = 'c2')",
+		"SELECT count(*) FROM seg WHERE true",
+		"SELECT count(*) FROM seg WHERE false",
+		"SELECT count(*) FROM seg WHERE NULL",
+		"SELECT count(*) FROM seg WHERE ts > -5",
+		"SELECT count(*) FROM seg WHERE price > 10.0 + 5.0", // folded constant arithmetic
+		// fallback shapes: NOT, LIKE, column-vs-column, subquery
+		"SELECT count(*) FROM seg WHERE NOT (ts > 100)",
+		"SELECT count(*) FROM seg WHERE cat LIKE 'c%'",
+		"SELECT count(*) FROM seg WHERE ts > price",
+		"SELECT count(*) FROM seg WHERE ts = (SELECT min(ts) FROM seg)",
+	} {
+		requireVecParity(t, mk, q)
+	}
+}
+
+// mkOddDB bulk-loads data the SQL grammar cannot write: NaN and signed
+// zeros, a column that degrades to mixed types mid-segment, an all-null
+// column, and strings that collide under keyString's ';' separator.
+func mkOddDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.CreateTable("odd", []Column{
+		{Name: "k", Type: "varchar"},
+		{Name: "f", Type: "double precision"},
+		{Name: "m", Type: "varchar"}, // receives mixed types via bulk load
+		{Name: "z", Type: "bigint"},  // all NULL
+	})
+	nan := math.NaN()
+	rows := [][]any{
+		{"a", 1.5, "s1", nil},
+		{"a", nan, int64(7), nil},
+		{"b", math.Copysign(0, -1), "s2", nil},
+		{"b", 0.0, 2.5, nil},
+		{"a;string:b", nan, true, nil},
+		{"a", 2.5, nil, nil},
+		{nil, -1.0, int64(9), nil},
+	}
+	if err := db.InsertRows("odd", rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestVecFusedAggregateOddities pins the fused accumulators on the cases
+// that historically diverge engines: NaN in min/max/avg/grouping, -0.0 vs
+// 0.0, mixed-type columns (degraded segments), all-null inputs, empty global
+// groups, sum/bool type errors surfacing lazily, and first/last not
+// skipping NULLs.
+func TestVecFusedAggregateOddities(t *testing.T) {
+	for _, q := range []string{
+		"SELECT k, count(*), count(f), min(f), max(f), avg(f), sum(f) FROM odd GROUP BY k",
+		"SELECT min(f), max(f), sum(f), avg(f) FROM odd",
+		"SELECT f, count(*) FROM odd GROUP BY f", // NaN and ±0 as group keys
+		"SELECT k, first(f), last(f), first(m), last(m) FROM odd GROUP BY k",
+		"SELECT count(z), sum(z), min(z), max(z), avg(z) FROM odd", // all-null column
+		"SELECT count(*) FROM odd WHERE k = 'nope'",                // empty global group
+		"SELECT sum(z), first(k) FROM odd WHERE f > 100.0",
+		"SELECT min(m), max(m), count(m) FROM odd",  // mixed-kind min/max via compareVals
+		"SELECT k, sum(m) FROM odd GROUP BY k",      // sum over strings: lazy 42804
+		"SELECT k, bool_and(m) FROM odd GROUP BY k", // bool_and over non-boolean
+		"SELECT sum(f) FROM odd HAVING sum(f) > 0.0",
+		"SELECT k, count(*) FROM odd GROUP BY k HAVING count(*) > 1",
+		"SELECT k, CASE WHEN count(*) > 1 THEN sum(m) ELSE count(*) END FROM odd GROUP BY k", // error slot behind untaken CASE arm
+		"SELECT COALESCE(sum(z), 0) FROM odd WHERE f IS NULL",
+		// non-fusable shapes exercising the fallback-after-vec-filter path
+		"SELECT k, sum(f + 0.0) FROM odd WHERE f IS NOT NULL GROUP BY k",
+		"SELECT count(DISTINCT k) FROM odd",
+		"SELECT k || 'x', count(*) FROM odd GROUP BY k || 'x'",
+	} {
+		requireVecParity(t, mkOddDB, q)
+	}
+}
+
+// TestVecDMLAcrossSegments checks UPDATE write-through and DELETE compaction
+// with row sets straddling segment boundaries, then re-queries under the
+// vectorized engine (zone maps must stay sound after both).
+func TestVecDMLAcrossSegments(t *testing.T) {
+	n := segSize + 300
+	for _, script := range [][]string{
+		{"UPDATE seg SET price = 99999.5 WHERE ts BETWEEN 4000 AND 4200"},
+		{"UPDATE seg SET price = NULL WHERE cat = 'c1'"},
+		{"UPDATE seg SET cat = 'zz' WHERE ts > 4090"},
+		{"DELETE FROM seg WHERE ts BETWEEN 4000 AND 4200"},
+		{"DELETE FROM seg WHERE price IS NULL"},
+		{"DELETE FROM seg WHERE ts >= 0"}, // delete everything
+		{
+			"UPDATE seg SET price = 12345.5 WHERE ts = 4096",
+			"DELETE FROM seg WHERE ts < 100",
+			"UPDATE seg SET flag = NULL WHERE cat = 'c2'",
+		},
+	} {
+		script := script
+		mk := func(t *testing.T) *DB {
+			db := mkSegDB(n)(t)
+			db.SetExecMode(ExecVectorized)
+			s := db.NewSession()
+			for _, stmt := range script {
+				if _, err := s.Exec(stmt); err != nil {
+					t.Fatalf("%s: %v", stmt, err)
+				}
+			}
+			return db
+		}
+		for _, q := range []string{
+			"SELECT count(*), min(ts), max(ts), sum(ts) FROM seg",
+			"SELECT * FROM seg WHERE price > 99999.0",
+			"SELECT * FROM seg WHERE ts BETWEEN 4090 AND 4110",
+			"SELECT cat, count(*), max(price) FROM seg GROUP BY cat",
+			"SELECT count(*) FROM seg WHERE flag IS NULL",
+			"SELECT count(*) FROM seg WHERE cat = 'zz'",
+		} {
+			// the DML above already ran per-engine inside mk; every engine
+			// sees the same post-DML table
+			requireVecParity(t, mk, q)
+		}
+	}
+}
+
+// TestVecUpdateDegradesColumn writes an int into a varchar column cell via
+// the bulk API path and checks the segment degrades to boxed storage while
+// scans stay exact.
+func TestVecUpdateDegradesColumn(t *testing.T) {
+	mk := func(t *testing.T) *DB {
+		db := mkSegDB(200)(t)
+		if err := db.InsertRows("seg", [][]any{{int64(9999), 1.0, int64(42), true}}); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	for _, q := range []string{
+		"SELECT count(*) FROM seg WHERE cat = 'c3'",
+		"SELECT count(*) FROM seg WHERE cat = 42",
+		"SELECT min(cat), max(cat) FROM seg",
+		"SELECT cat, count(*) FROM seg GROUP BY cat",
+	} {
+		requireVecParity(t, mk, q)
+	}
+}
+
+// TestVecParallelSegments forces multi-worker bitmap evaluation over many
+// segments and checks it matches the sequential engines.
+func TestVecParallelSegments(t *testing.T) {
+	n := 3*segSize + 123
+	mkPar := func(t *testing.T) *DB {
+		db := mkSegDB(n)(t)
+		db.SetParallelism(4)
+		return db
+	}
+	for _, q := range []string{
+		"SELECT count(*) FROM seg WHERE price > 500.0 AND ts < 9000",
+		"SELECT cat, count(*), sum(ts) FROM seg WHERE price > 100.0 GROUP BY cat",
+		"SELECT * FROM seg WHERE ts BETWEEN 8000 AND 8200",
+	} {
+		requireVecParity(t, mkPar, q)
+	}
+}
+
+// TestVecRowViewCoherence checks the row-view adapter stays coherent with
+// the vectors across a SELECT/DML interleaving: a SELECT materializes the
+// cache, and subsequent INSERT/UPDATE/DELETE must be visible to both the
+// vectorized scan and the row view it feeds other operators from.
+func TestVecRowViewCoherence(t *testing.T) {
+	db := NewDB()
+	db.SetExecMode(ExecVectorized)
+	s := db.NewSession()
+	mustExec := func(sql string) *Result {
+		t.Helper()
+		res, err := s.Exec(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	mustExec("CREATE TABLE c (a bigint, b varchar)")
+	mustExec("INSERT INTO c VALUES (1, 'x'), (2, 'y')")
+	mustExec("SELECT * FROM c") // materialize the row cache
+	mustExec("INSERT INTO c VALUES (3, 'w')")
+	if res := mustExec("SELECT count(*) FROM c"); res.Rows[0][0] != int64(3) {
+		t.Fatalf("append after cache build invisible: %v", res.Rows)
+	}
+	mustExec("UPDATE c SET b = 'z' WHERE a = 2")
+	// vectorized scan (vectors) and join path (row view) must agree
+	if res := mustExec("SELECT count(*) FROM c WHERE b = 'z'"); res.Rows[0][0] != int64(1) {
+		t.Fatalf("UPDATE invisible to vector scan: %v", res.Rows)
+	}
+	if res := mustExec("SELECT count(*) FROM c x JOIN c y ON x.b = y.b WHERE x.a = 2"); res.Rows[0][0] != int64(1) {
+		t.Fatalf("UPDATE invisible to row view: %v", res.Rows)
+	}
+	mustExec("DELETE FROM c WHERE a = 1")
+	res := mustExec("SELECT * FROM c WHERE a <= 3")
+	if len(res.Rows) != 2 || res.Rows[0][0] != int64(2) || res.Rows[0][1] != "z" {
+		t.Fatalf("post-DML table wrong: %v", res.Rows)
+	}
+}
+
+// TestColVecZoneMaps unit-tests the storage layer directly: per-segment
+// min/max bounds, null bitmap counts, degradation, and compaction.
+func TestColVecZoneMaps(t *testing.T) {
+	st := newColStore([]Column{{Name: "x", Type: "bigint"}})
+	for i := 0; i < segSize+10; i++ {
+		st.appendRow([]any{int64(i)})
+	}
+	if len(st.segs) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(st.segs))
+	}
+	v0, v1 := &st.segs[0].vecs[0], &st.segs[1].vecs[0]
+	if v0.minV != int64(0) || v0.maxV != int64(segSize-1) {
+		t.Fatalf("seg0 zone [%v,%v]", v0.minV, v0.maxV)
+	}
+	if v1.minV != int64(segSize) || v1.maxV != int64(segSize+9) {
+		t.Fatalf("seg1 zone [%v,%v]", v1.minV, v1.maxV)
+	}
+	// widen-only on update: shrinking writes leave bounds stale but sound
+	st.rows()
+	st.setCell(0, 0, int64(-100))
+	if v0.minV != int64(-100) {
+		t.Fatalf("zone must widen on update: %v", v0.minV)
+	}
+	st.setCell(0, 0, int64(5))
+	if v0.minV != int64(-100) {
+		t.Fatalf("zone must not shrink: %v", v0.minV)
+	}
+	// nulls tracked exactly
+	st.setCell(3, 0, nil)
+	if v0.nullCnt != 1 || !v0.isNull(3) {
+		t.Fatalf("null bookkeeping: cnt=%d", v0.nullCnt)
+	}
+	st.setCell(3, 0, int64(3))
+	if v0.nullCnt != 0 {
+		t.Fatalf("null clear: cnt=%d", v0.nullCnt)
+	}
+	// degradation on type mismatch drops the zone map
+	st.setCell(1, 0, "oops")
+	if v0.kind != vkAny || v0.minV != nil {
+		t.Fatalf("degrade: kind=%d zone=%v", v0.kind, v0.minV)
+	}
+	if st.cellAt(2, 0) != int64(2) || st.cellAt(1, 0) != "oops" {
+		t.Fatalf("cells after degrade: %v %v", st.cellAt(2, 0), st.cellAt(1, 0))
+	}
+	// compaction rebuilds fresh bounds
+	st.compact([][]any{{int64(7)}, {int64(9)}})
+	if st.numRows() != 2 || len(st.segs) != 1 {
+		t.Fatalf("compact: n=%d segs=%d", st.numRows(), len(st.segs))
+	}
+	nv := &st.segs[0].vecs[0]
+	if nv.kind != vkInt || nv.minV != int64(7) || nv.maxV != int64(9) {
+		t.Fatalf("compact zone: kind=%d [%v,%v]", nv.kind, nv.minV, nv.maxV)
+	}
+}
+
+// TestSortRowsByColTyped pins the satellite fix: information_schema ordering
+// must sort numeric and string keys correctly (it used to coerce non-string
+// keys to "" and not sort at all).
+func TestSortRowsByColTyped(t *testing.T) {
+	rows := [][]any{{int64(30)}, {nil}, {int64(4)}, {int64(100)}}
+	sortRowsByCol(rows, 0)
+	want := [][]any{{nil}, {int64(4)}, {int64(30)}, {int64(100)}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("numeric sort: %v", rows)
+	}
+	srows := [][]any{{"b"}, {"a"}, {"c"}}
+	sortRowsByCol(srows, 0)
+	if !reflect.DeepEqual(srows, [][]any{{"a"}, {"b"}, {"c"}}) {
+		t.Fatalf("string sort: %v", srows)
+	}
+}

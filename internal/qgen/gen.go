@@ -313,6 +313,23 @@ func (g *Generator) predicate(cols []*Col) Expr {
 			ms := int64(9*3600000 + r.Intn(3600000))
 			return &Bin{Op: op, L: c, R: &ConstTime{Ms: ms}, T: Bool}
 		}
+	case 5: // zone-map probe: boundary and out-of-range constants, so the
+		// vectorized engine's segment skip / all-true verdicts fire against
+		// the data domain (i ∈ [-2,5], f ∈ [-2.5,100]∪{±0w}, tm ≥ 09:00)
+		// and must agree with the row engines' per-row answers
+		if c := g.pick(cols, Time); c != nil && r.Intn(4) == 0 {
+			op := cmpOps[2+r.Intn(4)]
+			probes := []int64{0, 8 * 3600000, 23*3600000 + 3599999}
+			return &Bin{Op: op, L: c, R: &ConstTime{Ms: probes[r.Intn(len(probes))]}, T: Bool}
+		}
+		if c := g.pick(cols, Num); c != nil {
+			op := cmpOps[r.Intn(len(cmpOps))]
+			probes := []Expr{
+				&ConstInt{V: -50}, &ConstInt{V: 100}, &ConstInt{V: -2}, &ConstInt{V: 5},
+				&ConstFloat{V: -1e9}, &ConstFloat{V: 1e9}, &ConstFloat{V: 100}, &ConstFloat{V: -2.5},
+			}
+			return &Bin{Op: op, L: c, R: probes[r.Intn(len(probes))], T: Bool}
+		}
 	}
 	// numeric comparison, possibly column vs column
 	l := g.numAtom(cols, true)

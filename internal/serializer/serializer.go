@@ -530,7 +530,14 @@ func (s *sz) fnSQL(f *xtra.FnApp) (string, error) {
 			return "", err
 		}
 		if nonZeroConst(f.Args[1]) {
-			return "FLOOR(CAST(" + l + " AS double precision) / " + r + ")", nil
+			expr := "FLOOR(CAST(" + l + " AS double precision) / " + r + ")"
+			if f.Typ == qval.KFloat || f.Typ == qval.KReal {
+				return expr, nil
+			}
+			// integral results must repack like the kdb+ kernel does: FLOOR
+			// can yield IEEE -0.0 (e.g. 0 div -1), and a downstream division
+			// by that float would flip the infinity sign q produces
+			return "CAST(" + expr + " AS bigint)", nil
 		}
 		if f.Typ == qval.KFloat || f.Typ == qval.KReal {
 			// float div keeps the signed infinity of the divide; the inner

@@ -235,7 +235,7 @@ func TestMoreScalarSpellings(t *testing.T) {
 		{&xtra.FnApp{Op: "mod", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}},
 			"(CASE WHEN ((a % 3) <> 0) AND (((a % 3) < 0) <> (3 < 0)) THEN ((a % 3) + 3) ELSE (a % 3) END)"},
 		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), long(3)}},
-			"FLOOR(CAST(a AS double precision) / 3)"},
+			"CAST(FLOOR(CAST(a AS double precision) / 3) AS bigint)"},
 		{&xtra.FnApp{Op: "div", Typ: qval.KLong, Args: []xtra.Scalar{col("a"), col("b")}},
 			"CAST(FLOOR(CAST(a AS double precision) / NULLIF(b, 0)) AS bigint)"},
 		{&xtra.FnApp{Op: "and", Typ: qval.KBool, Args: []xtra.Scalar{boolCol("p"), boolCol("q")}}, "(p AND q)"},

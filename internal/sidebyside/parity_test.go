@@ -8,9 +8,9 @@ import (
 )
 
 // TestCorpusParityBothEngines replays every checked-in qdiff reproducer
-// through the compiled AND the retained interpreted pgdb engine. Both must
-// MATCH the kdb+ reference — which also proves the two engines agree with
-// each other on every query the corpus pinned down.
+// through the compiled, the retained interpreted, AND the vectorized pgdb
+// engine. All must MATCH the kdb+ reference — which also proves the three
+// engines agree with each other on every query the corpus pinned down.
 func TestCorpusParityBothEngines(t *testing.T) {
 	entries, err := LoadCorpus("testdata/qdiff")
 	if err != nil {
@@ -25,6 +25,7 @@ func TestCorpusParityBothEngines(t *testing.T) {
 	}{
 		{"compiled", pgdb.ExecCompiled},
 		{"interpreted", pgdb.ExecInterpreted},
+		{"vectorized", pgdb.ExecVectorized},
 	}
 	for _, m := range modes {
 		for _, e := range entries {
@@ -42,11 +43,11 @@ func TestCorpusParityBothEngines(t *testing.T) {
 	}
 }
 
-// TestFuzzParityBothEngines runs the same seeded query stream through both
-// pgdb engines. Every query must match the kdb+ reference under both, so a
-// semantic difference between the compiled and interpreted executors cannot
-// hide: the stream that is clean under one engine must be clean under the
-// other.
+// TestFuzzParityBothEngines runs the same seeded query stream through every
+// pgdb engine. Every query must match the kdb+ reference under each, so a
+// semantic difference between the compiled, interpreted, and vectorized
+// executors cannot hide: the stream that is clean under one engine must be
+// clean under the others.
 func TestFuzzParityBothEngines(t *testing.T) {
 	modes := []struct {
 		name string
@@ -54,6 +55,7 @@ func TestFuzzParityBothEngines(t *testing.T) {
 	}{
 		{"compiled", pgdb.ExecCompiled},
 		{"interpreted", pgdb.ExecInterpreted},
+		{"vectorized", pgdb.ExecVectorized},
 	}
 	for _, m := range modes {
 		m := m
