@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-storage bench-e2e bench-shard profile qdiff fmt
+.PHONY: all build vet test race tier1 bench bench-storage bench-e2e bench-shard bench-persist profile qdiff fmt
 
 all: tier1
 
@@ -51,6 +51,16 @@ bench-e2e:
 bench-shard:
 	$(GO) run ./cmd/benchfig -bench-shard -out BENCH_shard.json
 
+# bench-persist measures the durable-storage layer over a 1M-row
+# date-partitioned table: WAL append throughput per sync mode, the cold-open
+# pruned scan against the fully resident baseline (zone maps from the
+# manifest prune to one partition before any column data is read), the
+# unpruned cold scan for contrast, catalog-open latency, and the
+# evict/reload steady state. Refreshes BENCH_persist.json, committed as a
+# non-gating artifact.
+bench-persist:
+	$(GO) run ./cmd/benchfig -bench-persist -bench-rows 1000000 -out BENCH_persist.json
+
 # profile captures CPU and allocation profiles of the result-pipeline
 # benchmarks and prints the hottest frames; inspect interactively with
 # `go tool pprof cpu.prof` / `go tool pprof -alloc_objects mem.prof`.
@@ -72,3 +82,4 @@ qdiff:
 	$(GO) run ./cmd/qdiff -seed 1 -n 10000 -exec interpreted > /dev/null
 	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -exec vectorized -shrink > /dev/null; done
 	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -shards 3 -shrink > /dev/null; done
+	for s in 1 2 7 42; do $(GO) run ./cmd/qdiff -seed $$s -n 10000 -persist -shrink > /dev/null; done

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperq/internal/persist"
+	"hyperq/internal/pgdb"
+)
+
+// The durable-storage benchmarks behind `-bench-persist`: a date-partitioned
+// fact table is checkpointed to splayed column files, and the entries
+// measure the three costs the persistence layer adds or removes. The
+// artifact is committed as BENCH_persist.json.
+//
+//	wal_append    journaled 500-row INSERT statements under each sync mode
+//	              ("none", "batch", "always") — the WAL's write amplification
+//	              and group-commit behavior
+//	pruned_scan   a single-date aggregate in three states: "memory" (fully
+//	              resident, the baseline), "cold_open" (first query after a
+//	              restart — zone maps from the manifest prune to one
+//	              partition, whose segments fault in from disk), and
+//	              "evict_reload" (a 1-byte memory budget evicts every
+//	              checkpointed segment after each statement, so every
+//	              iteration re-reads the partition from disk)
+//	full_scan     the same aggregate without the date filter after a cold
+//	              open — the contrast that shows pruning is real: it faults
+//	              all partitions instead of one
+//	catalog_open  persist.Open on the checkpointed directory — manifest
+//	              decode and stub installation only, no column data
+var persistBenchDates = []string{
+	"2024-07-01", "2024-07-02", "2024-07-03", "2024-07-04",
+	"2024-07-05", "2024-07-06", "2024-07-07", "2024-07-08",
+}
+
+const persistPrunedSQL = "SELECT count(*), sum(size), min(price), max(price) FROM bench_pt WHERE d = '2024-07-03'"
+const persistFullSQL = "SELECT count(*), sum(size), min(price), max(price) FROM bench_pt"
+
+// benchPersistLoadStatements builds the date-partitioned fact table: n rows
+// over the 8-day window, dates non-decreasing so the checkpoint splits the
+// table into one directory per day. Rows come from the same fixed LCG as
+// the executor benchmarks.
+func benchPersistLoadStatements(n int) []string {
+	stmts := []string{
+		"CREATE TABLE bench_pt (d date, sym varchar, price double precision, size bigint)",
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 17
+	}
+	var sb strings.Builder
+	const chunk = 500
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sb.Reset()
+		sb.WriteString("INSERT INTO bench_pt VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			d := persistBenchDates[i*len(persistBenchDates)/n]
+			sym := benchSymbols[next()%uint64(len(benchSymbols))]
+			price := 50.0 + float64(next()%100000)/100.0
+			size := int64(next()%1000) + 1
+			fmt.Fprintf(&sb, "('%s', '%s', %g, %d)", d, sym, price, size)
+		}
+		stmts = append(stmts, sb.String())
+	}
+	return stmts
+}
+
+// buildPersistDir loads the fact table through a journaled database and
+// checkpoints it, returning the data directory ready for cold opens.
+func buildPersistDir(dir string, rows int) error {
+	db := pgdb.NewDB()
+	db.SetExecMode(pgdb.ExecVectorized)
+	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone})
+	if err != nil {
+		return err
+	}
+	s := db.NewSession()
+	for _, stmt := range benchPersistLoadStatements(rows) {
+		if _, err := s.Exec(stmt); err != nil {
+			return fmt.Errorf("persist bench load: %w", err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		return fmt.Errorf("persist bench checkpoint: %w", err)
+	}
+	return st.Close()
+}
+
+// measureWALAppend measures journaled 500-row INSERTs under one sync mode.
+func measureWALAppend(mode persist.SyncMode, modeName string, rows int) BenchEntry {
+	dir, err := os.MkdirTemp("", "bench-wal-")
+	if err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	db := pgdb.NewDB()
+	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: mode})
+	if err != nil {
+		log.Fatalf("bench-persist wal open: %v", err)
+	}
+	defer st.Close()
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE bench_wal (a bigint, b double precision, c varchar)"); err != nil {
+		log.Fatalf("bench-persist wal ddl: %v", err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO bench_wal VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %g, 'v%d')", i, float64(i)*1.5, i%7)
+	}
+	stmt := sb.String()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(stmt); err != nil {
+				panic(fmt.Sprintf("wal_append [%s]: %v", modeName, err))
+			}
+		}
+	})
+	return BenchEntry{
+		Op:          "wal_append",
+		Mode:        modeName,
+		Rows:        rows,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// coldOpen opens a fresh database on dir and returns it with its store.
+// Parallelism is on for every mode — in-memory scans and fault-in reloads
+// both use the engine's segment-granular workers, so the comparison is fair.
+func coldOpen(dir string, budget int64) (*pgdb.DB, *persist.Store) {
+	db := pgdb.NewDB()
+	db.SetExecMode(pgdb.ExecVectorized)
+	db.SetParallelism(runtime.NumCPU())
+	st, err := persist.Open(db, persist.Options{Dir: dir, MemBudget: budget})
+	if err != nil {
+		log.Fatalf("bench-persist cold open: %v", err)
+	}
+	return db, st
+}
+
+// measureColdOnce times one operation against a freshly opened database,
+// best of reps (the page cache stays warm across reps; what varies is the
+// decode work, which is the cost under measurement).
+func measureColdOnce(dir, op, sql string, rows, reps int) BenchEntry {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		db, st := coldOpen(dir, 0)
+		s := db.NewSession()
+		start := time.Now()
+		res, err := s.Exec(sql)
+		el := time.Since(start)
+		st.Close()
+		if err != nil {
+			log.Fatalf("bench-persist %s: %v", op, err)
+		}
+		if len(res.Rows) != 1 {
+			log.Fatalf("bench-persist %s: unexpected shape", op)
+		}
+		if el < best {
+			best = el
+		}
+	}
+	return BenchEntry{Op: op, Mode: "cold_open", Rows: rows, NsPerOp: float64(best.Nanoseconds())}
+}
+
+// runBenchPersist builds the date-partitioned table, measures the WAL and
+// reload paths, writes the entries to outPath as JSON, and prints a summary
+// with the cold-open/in-memory ratio for the pruned scan. This backs
+// `make bench-persist`; BENCH_persist.json is committed as a non-gating
+// artifact.
+func runBenchPersist(outPath string, rows int) {
+	dir, err := os.MkdirTemp("", "bench-persist-")
+	if err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	if err := buildPersistDir(dir, rows); err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+
+	var entries []BenchEntry
+
+	// WAL append throughput per sync mode.
+	for _, m := range []struct {
+		mode persist.SyncMode
+		name string
+	}{
+		{persist.SyncNone, "none"},
+		{persist.SyncBatch, "batch"},
+		{persist.SyncAlways, "always"},
+	} {
+		entries = append(entries, measureWALAppend(m.mode, m.name, 500))
+	}
+
+	// In-memory baseline: fully resident after faulting everything in once.
+	memDB, memSt := coldOpen(dir, 0)
+	memSess := memDB.NewSession()
+	if _, err := memSess.Exec(persistFullSQL); err != nil {
+		log.Fatalf("bench-persist warmup: %v", err)
+	}
+	memEntry := measure(memDB, "pruned_scan", "memory", persistPrunedSQL, rows)
+	entries = append(entries, memEntry)
+	memSt.Close()
+
+	// Cold open: catalog restore alone, then the pruned and full scans.
+	start := time.Now()
+	db, st := coldOpen(dir, 0)
+	openNs := time.Since(start)
+	st.Close()
+	_ = db
+	entries = append(entries, BenchEntry{Op: "catalog_open", Mode: "cold_open", Rows: rows, NsPerOp: float64(openNs.Nanoseconds())})
+	coldPruned := measureColdOnce(dir, "pruned_scan", persistPrunedSQL, rows, 3)
+	entries = append(entries, coldPruned)
+	entries = append(entries, measureColdOnce(dir, "full_scan", persistFullSQL, rows, 3))
+
+	// Evicted-partition reload: a 1-byte budget evicts every checkpointed
+	// segment after each statement, so each iteration re-faults from disk.
+	evDB, evSt := coldOpen(dir, 1)
+	entries = append(entries, measure(evDB, "pruned_scan", "evict_reload", persistPrunedSQL, rows))
+	evSt.Close()
+
+	text, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		log.Fatalf("bench-persist encode: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(text, '\n'), 0o644); err != nil {
+		log.Fatalf("bench-persist write: %v", err)
+	}
+	ratio := coldPruned.NsPerOp / memEntry.NsPerOp
+	fmt.Printf("wrote %s (%d entries, %d rows over %d date partitions)\n", outPath, len(entries), rows, len(persistBenchDates))
+	fmt.Printf("pruned scan: memory %.2fms, cold open %.2fms (%.2fx)\n",
+		memEntry.NsPerOp/1e6, coldPruned.NsPerOp/1e6, ratio)
+}

@@ -39,6 +39,7 @@ func main() {
 	bench := flag.Bool("bench", false, "run the pgdb executor benchmarks (interpreted vs compiled vs vectorized) instead of a figure")
 	benchE2E := flag.Bool("bench-e2e", false, "run the result-pipeline benchmarks (columnar vs text) instead of a figure")
 	benchShard := flag.Bool("bench-shard", false, "run the scatter-gather scaling benchmarks (single backend vs 1/2/4/8-shard clusters) instead of a figure")
+	benchPersist := flag.Bool("bench-persist", false, "run the durable-storage benchmarks (WAL append throughput, cold-open pruned scan, evicted-partition reload) instead of a figure")
 	benchOut := flag.String("out", "", "output path for -bench / -bench-e2e results (default BENCH_pgdb.json / BENCH_e2e.json)")
 	benchRows := flag.Int("bench-rows", 100000, "fact-table size for -bench and -bench-e2e")
 	trades := flag.Int("trades", 50000, "trade count of the data set")
@@ -71,6 +72,14 @@ func main() {
 			out = "BENCH_shard.json"
 		}
 		runBenchShard(out, *benchRows, *shardRowCost)
+		return
+	}
+	if *benchPersist {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_persist.json"
+		}
+		runBenchPersist(out, *benchRows)
 		return
 	}
 

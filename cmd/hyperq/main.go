@@ -36,6 +36,7 @@ import (
 	"hyperq/internal/endpoint"
 	"hyperq/internal/gateway"
 	"hyperq/internal/mdi"
+	"hyperq/internal/persist"
 	"hyperq/internal/pgdb"
 	"hyperq/internal/pool"
 	"hyperq/internal/qcache"
@@ -69,6 +70,9 @@ func main() {
 	shardBackends := flag.String("shard-backends", "", "comma-separated PG v3 member addresses, one shard per address (scatter-gather over networked members)")
 	shardRules := flag.String("shard-rules", "trades:hash:Symbol,quotes:hash:Symbol",
 		"partitioning rules: table:hash:col, table:range:col:b1|b2|..., or table:replicated")
+	dataDir := flag.String("data-dir", "", "durable storage directory for the embedded engine (empty = memory only)")
+	walSync := flag.String("wal-sync", "batch", "WAL durability: always (fsync per statement), batch (group commit), none")
+	memBudget := flag.Int64("mem-budget", 0, "resident column-data budget in bytes for the embedded engine (0 = unlimited; needs -data-dir)")
 	flag.Parse()
 
 	var path core.ResultPath
@@ -123,6 +127,7 @@ func main() {
 	var cluster *shard.Cluster
 	var shardPools []*pool.Pool
 	var embeddedDB *pgdb.DB
+	var persistStore *persist.Store
 	switch {
 	case *shards > 1 && *embedded:
 		var dbs []*pgdb.DB
@@ -168,6 +173,24 @@ func main() {
 	case *embedded:
 		embeddedDB = pgdb.NewDB()
 		tuneEngine(embeddedDB)
+		if *dataDir != "" {
+			mode, err := persist.ParseSyncMode(*walSync)
+			if err != nil {
+				log.Fatalf("-wal-sync: %v", err)
+			}
+			store, err := persist.Open(embeddedDB, persist.Options{
+				Dir: *dataDir, Sync: mode, MemBudget: *memBudget,
+			})
+			if err != nil {
+				log.Fatalf("persist: %v", err)
+			}
+			persistStore = store
+			if len(embeddedDB.TableNames()) > 0 {
+				log.Printf("embedded backend restored from %s (wal-sync=%s)", *dataDir, *walSync)
+				break
+			}
+			log.Printf("embedded backend durable at %s (wal-sync=%s)", *dataDir, *walSync)
+		}
 		n := loadDemo(core.NewDirectBackend(embeddedDB))
 		log.Printf("embedded backend ready with demo TAQ data (%d trades)", n)
 	case *backendAddr == "":
@@ -211,6 +234,12 @@ func main() {
 		log.Fatalf("mdi backend: %v", err)
 	}
 	sharedMDI := mdi.New(mdiBackend, mdi.WithTTL(*mdiTTL))
+	if persistStore != nil && persistStore.ReplayedChanges() {
+		// the WAL replay moved the catalog past the last checkpoint: any
+		// metadata or translation cached against the old state is stale
+		sharedMDI.InvalidateAll()
+		log.Printf("persist: WAL replay changed the catalog; metadata cache invalidated")
+	}
 
 	auth := func(user, password string) bool {
 		if *qUser == "" {
@@ -254,6 +283,14 @@ func main() {
 	}
 	if err := mdiBackend.Close(); err != nil {
 		log.Printf("mdi backend close: %v", err)
+	}
+	if persistStore != nil {
+		if err := persistStore.Checkpoint(); err != nil {
+			log.Printf("persist: final checkpoint: %v", err)
+		}
+		if err := persistStore.Close(); err != nil {
+			log.Printf("persist: close: %v", err)
+		}
 	}
 	if backendPool != nil {
 		if err := backendPool.Close(); err != nil {

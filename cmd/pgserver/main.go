@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"hyperq/internal/core"
+	"hyperq/internal/persist"
 	"hyperq/internal/pgdb"
 	"hyperq/internal/taq"
 	"hyperq/internal/wire/pgv3"
@@ -30,6 +31,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "demo data seed")
 	execEngine := flag.String("exec", "compiled", "execution engine: compiled, interpreted, or vectorized")
 	parallel := flag.Int("parallel", 1, "intra-query worker count for large scans (clamped to GOMAXPROCS; 1 disables)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = memory only)")
+	walSync := flag.String("wal-sync", "batch", "WAL durability: always (fsync per statement), batch (group commit), none")
+	memBudget := flag.Int64("mem-budget", 0, "resident column-data budget in bytes (0 = unlimited; needs -data-dir)")
 	flag.Parse()
 
 	// ctx is the server's life: SIGINT/SIGTERM cancels it and Serve drains
@@ -44,6 +48,22 @@ func main() {
 	}
 	db.SetExecMode(mode)
 	db.SetParallelism(*parallel)
+	var store *persist.Store
+	if *dataDir != "" {
+		sync, err := persist.ParseSyncMode(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		store, err = persist.Open(db, persist.Options{Dir: *dataDir, Sync: sync, MemBudget: *memBudget})
+		if err != nil {
+			log.Fatalf("persist: %v", err)
+		}
+		if len(db.TableNames()) > 0 {
+			*demo = false // restored catalog wins over reseeding
+			log.Printf("restored durable catalog from %s (wal-sync=%s)", *dataDir, *walSync)
+		}
+	}
 	if *demo {
 		b := core.NewDirectBackend(db)
 		data := taq.Generate(taq.Config{Seed: *seed, Trades: *trades})
@@ -86,6 +106,14 @@ func main() {
 		Users:  map[string]string{*user: *password},
 	}); err != nil {
 		log.Fatalf("serve: %v", err)
+	}
+	if store != nil {
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("persist: final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("persist: close: %v", err)
+		}
 	}
 }
 

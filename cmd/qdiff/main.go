@@ -31,6 +31,7 @@ func main() {
 	execEngine := flag.String("exec", "compiled", "pgdb execution engine under test: compiled, interpreted, or vectorized")
 	resultPath := flag.String("result-path", "columnar", "session result pipeline under test: columnar or text")
 	shards := flag.Int("shards", 0, "sharded differential mode: compare a single backend against an N-shard scatter-gather cluster (byte-identical QIPC oracle)")
+	persistMode := flag.Bool("persist", false, "disk-backed mode: checkpoint every dataset to splayed column files and force each query to fault its segments back from disk")
 	flag.Parse()
 
 	var mode pgdb.ExecMode
@@ -56,6 +57,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	var persistDir string
+	if *persistMode {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "qdiff: -persist is incompatible with -shards")
+			os.Exit(2)
+		}
+		dir, err := os.MkdirTemp("", "qdiff-persist-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qdiff:", err)
+			os.Exit(2)
+		}
+		defer os.RemoveAll(dir)
+		persistDir = dir
+	}
+
 	rep, err := sidebyside.Fuzz(context.Background(), sidebyside.FuzzConfig{
 		Seed:       *seed,
 		N:          *n,
@@ -64,6 +80,7 @@ func main() {
 		ExecMode:   mode,
 		ResultPath: path,
 		Shards:     *shards,
+		PersistDir: persistDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)

@@ -1,0 +1,430 @@
+// Package persist gives the embedded pgdb engine kdb+-style durable
+// storage: a date-partitioned splayed on-disk layout (one directory per
+// partition, one file per column) written straight from the columnar
+// store's segments, a write-ahead log for DML with fsync batching, crash
+// recovery via replay-on-open, and bounded-memory eviction that drops cold
+// segments and reloads them on demand through the engine's segment read
+// path.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"hyperq/internal/pgdb"
+)
+
+// hostLE reports whether the host stores multi-byte integers little-endian,
+// which is the on-disk byte order; on such hosts typed vectors decode by
+// bulk copy instead of a per-element loop.
+var hostLE = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Value domain: pgdb cells are nil, int64, float64, string or bool — the
+// SQL literal domain. Everything on disk (WAL rows, vkAny cells, zone
+// bounds) uses one tagged encoding for them.
+
+const (
+	tagNil byte = iota
+	tagInt
+	tagFloat
+	tagStr
+	tagBool
+)
+
+func appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, tagNil), nil
+	case int64:
+		buf = append(buf, tagInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(x)), nil
+	case float64:
+		buf = append(buf, tagFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case string:
+		buf = append(buf, tagStr)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case bool:
+		buf = append(buf, tagBool)
+		if x {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	default:
+		return nil, fmt.Errorf("persist: value %T outside the storable domain", v)
+	}
+}
+
+func readValue(b []byte, off int) (any, int, error) {
+	if off >= len(b) {
+		return nil, 0, fmt.Errorf("persist: truncated value")
+	}
+	tag := b[off]
+	off++
+	switch tag {
+	case tagNil:
+		return nil, off, nil
+	case tagInt:
+		if off+8 > len(b) {
+			return nil, 0, fmt.Errorf("persist: truncated int")
+		}
+		return int64(binary.LittleEndian.Uint64(b[off:])), off + 8, nil
+	case tagFloat:
+		if off+8 > len(b) {
+			return nil, 0, fmt.Errorf("persist: truncated float")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[off:])), off + 8, nil
+	case tagStr:
+		if off+4 > len(b) {
+			return nil, 0, fmt.Errorf("persist: truncated string header")
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+n > len(b) {
+			return nil, 0, fmt.Errorf("persist: truncated string")
+		}
+		return string(b[off : off+n]), off + n, nil
+	case tagBool:
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("persist: truncated bool")
+		}
+		return b[off] != 0, off + 1, nil
+	default:
+		return nil, 0, fmt.Errorf("persist: unknown value tag %d", tag)
+	}
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte, off int) (string, int, error) {
+	if off+4 > len(b) {
+		return "", 0, fmt.Errorf("persist: truncated string header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+n > len(b) {
+		return "", 0, fmt.Errorf("persist: truncated string")
+	}
+	return string(b[off : off+n]), off + n, nil
+}
+
+// --- column files ---
+//
+// One file per (partition, column), holding the partition's slice of that
+// column as a sequence of chunks. A chunk is the part of one global store
+// segment that falls inside the partition, so a segment reload splices the
+// chunks with its segment index — possibly from two partitions when a
+// partition boundary crosses a segment. Layout:
+//
+//	"HQP1" | u32 chunkCount
+//	chunk directory: chunkCount × { u32 segIdx | u32 startInSeg | u32 rows |
+//	                                u64 offset | u64 size }
+//	chunk payloads (offset is absolute within the file)
+//
+// chunk payload:
+//
+//	u8 kind | u32 rows | u32 nullWords | nullWords × u64 | data
+//	  vkInt/vkFloat: rows × u64 (LE; floats as IEEE bits)
+//	  vkBool:        rows bytes
+//	  vkStr:         (rows+1) × u64 offsets | bytes
+//	  vkAny:         (rows+1) × u64 offsets | tagged cells
+//	  vkEmpty:       nothing
+//
+// Null bits are re-based to chunk-local positions. Typed vectors, null
+// bitmaps and (manifest-held) zone maps round-trip without re-inference.
+
+var colMagic = [4]byte{'H', 'Q', 'P', '1'}
+
+// vec kinds mirror pgdb's storage classes (persist only sees them as the
+// Kind byte of pgdb.VecData).
+const (
+	vkEmpty uint8 = iota
+	vkInt
+	vkFloat
+	vkStr
+	vkBool
+	vkAny
+)
+
+// chunkRef is one chunk directory entry.
+type chunkRef struct {
+	SegIdx     int
+	StartInSeg int
+	Rows       int
+	Offset     int64
+	Size       int64
+}
+
+// encodeChunk serializes rows [lo, hi) of one segment's vector.
+func encodeChunk(v pgdb.VecData, segN, lo, hi int) ([]byte, error) {
+	rows := hi - lo
+	nullWords := (rows + 63) / 64
+	buf := make([]byte, 0, 16+nullWords*8+rows*8)
+	buf = append(buf, v.Kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nullWords))
+	// re-base null bits to chunk-local positions
+	words := make([]uint64, nullWords)
+	for i := 0; i < rows; i++ {
+		gi := lo + i
+		w := gi >> 6
+		if w < len(v.Nulls) && v.Nulls[w]&(1<<(uint(gi)&63)) != 0 {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	switch v.Kind {
+	case vkEmpty:
+	case vkInt:
+		for _, x := range v.Ints[lo:hi] {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		}
+	case vkFloat:
+		for _, f := range v.Floats[lo:hi] {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+	case vkBool:
+		for _, b := range v.Bools[lo:hi] {
+			if b {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	case vkStr:
+		offs := make([]uint64, 0, rows+1)
+		var data []byte
+		for _, s := range v.Strs[lo:hi] {
+			offs = append(offs, uint64(len(data)))
+			data = append(data, s...)
+		}
+		offs = append(offs, uint64(len(data)))
+		for _, o := range offs {
+			buf = binary.LittleEndian.AppendUint64(buf, o)
+		}
+		buf = append(buf, data...)
+	case vkAny:
+		offs := make([]uint64, 0, rows+1)
+		var data []byte
+		var err error
+		for _, cell := range v.Anys[lo:hi] {
+			offs = append(offs, uint64(len(data)))
+			data, err = appendValue(data, cell)
+			if err != nil {
+				return nil, err
+			}
+		}
+		offs = append(offs, uint64(len(data)))
+		for _, o := range offs {
+			buf = binary.LittleEndian.AppendUint64(buf, o)
+		}
+		buf = append(buf, data...)
+	default:
+		return nil, fmt.Errorf("persist: unknown vector kind %d", v.Kind)
+	}
+	return buf, nil
+}
+
+// decodeChunkInto parses one chunk payload directly into dst's segment
+// slices at row offset start — no intermediate chunk-local vectors, so a
+// segment reload is one read and one decode pass per chunk. rows is the
+// chunk's expected row count from the directory entry.
+func decodeChunkInto(dst *pgdb.VecData, start, rows int, b []byte) error {
+	if len(b) < 9 {
+		return fmt.Errorf("persist: chunk too short")
+	}
+	if b[0] != dst.Kind {
+		return fmt.Errorf("persist: chunk kind %d != segment kind %d", b[0], dst.Kind)
+	}
+	if int(binary.LittleEndian.Uint32(b[1:])) != rows {
+		return fmt.Errorf("persist: chunk row count mismatch")
+	}
+	nullWords := int(binary.LittleEndian.Uint32(b[5:]))
+	off := 9
+	if off+nullWords*8 > len(b) {
+		return fmt.Errorf("persist: truncated null bitmap")
+	}
+	for w := 0; w < nullWords; w++ {
+		word := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		if word == 0 {
+			continue
+		}
+		for i := 0; i < 64; i++ {
+			if word&(1<<uint(i)) == 0 {
+				continue
+			}
+			ri := w*64 + i
+			if ri >= rows {
+				return fmt.Errorf("persist: null bit beyond chunk rows")
+			}
+			gi := start + ri
+			if gi>>6 >= len(dst.Nulls) {
+				return fmt.Errorf("persist: null bit beyond segment")
+			}
+			dst.Nulls[gi>>6] |= 1 << (uint(gi) & 63)
+		}
+	}
+	need := func(n int) error {
+		if off+n > len(b) {
+			return fmt.Errorf("persist: truncated chunk data")
+		}
+		return nil
+	}
+	switch dst.Kind {
+	case vkEmpty:
+	case vkInt:
+		if err := need(rows * 8); err != nil {
+			return err
+		}
+		if start+rows > len(dst.Ints) {
+			return fmt.Errorf("persist: chunk shape mismatch")
+		}
+		if hostLE && rows > 0 {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst.Ints[start])), rows*8), b[off:off+rows*8])
+			off += rows * 8
+		} else {
+			for i := 0; i < rows; i++ {
+				dst.Ints[start+i] = int64(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+		}
+	case vkFloat:
+		if err := need(rows * 8); err != nil {
+			return err
+		}
+		if start+rows > len(dst.Floats) {
+			return fmt.Errorf("persist: chunk shape mismatch")
+		}
+		if hostLE && rows > 0 {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst.Floats[start])), rows*8), b[off:off+rows*8])
+			off += rows * 8
+		} else {
+			for i := 0; i < rows; i++ {
+				dst.Floats[start+i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+		}
+	case vkBool:
+		if err := need(rows); err != nil {
+			return err
+		}
+		if start+rows > len(dst.Bools) {
+			return fmt.Errorf("persist: chunk shape mismatch")
+		}
+		for i := 0; i < rows; i++ {
+			dst.Bools[start+i] = b[off] != 0
+			off++
+		}
+	case vkStr, vkAny:
+		if err := need((rows + 1) * 8); err != nil {
+			return err
+		}
+		offs := b[off : off+(rows+1)*8]
+		data := b[off+(rows+1)*8:]
+		if dst.Kind == vkStr {
+			if start+rows > len(dst.Strs) {
+				return fmt.Errorf("persist: chunk shape mismatch")
+			}
+			// One backing allocation for the whole chunk: every cell is a
+			// substring of blob, so the loop allocates string headers only.
+			// Run-length deduplication on top keeps repeated values (date
+			// columns are constant within a partition) sharing one header.
+			blob := string(data)
+			var last string
+			for i := 0; i < rows; i++ {
+				lo := binary.LittleEndian.Uint64(offs[i*8:])
+				hi := binary.LittleEndian.Uint64(offs[(i+1)*8:])
+				if hi < lo || hi > uint64(len(data)) {
+					return fmt.Errorf("persist: bad string offsets")
+				}
+				if cell := blob[lo:hi]; i == 0 || cell != last {
+					last = cell
+				}
+				dst.Strs[start+i] = last
+			}
+		} else {
+			if start+rows > len(dst.Anys) {
+				return fmt.Errorf("persist: chunk shape mismatch")
+			}
+			for i := 0; i < rows; i++ {
+				lo := binary.LittleEndian.Uint64(offs[i*8:])
+				hi := binary.LittleEndian.Uint64(offs[(i+1)*8:])
+				if hi < lo || hi > uint64(len(data)) {
+					return fmt.Errorf("persist: bad cell offsets")
+				}
+				cell, _, err := readValue(data[lo:hi], 0)
+				if err != nil {
+					return err
+				}
+				dst.Anys[start+i] = cell
+			}
+		}
+	default:
+		return fmt.Errorf("persist: unknown vector kind %d", dst.Kind)
+	}
+	return nil
+}
+
+// encodeColFile assembles a whole column file from chunks (payloads aligned
+// with refs; refs' Offset/Size are filled in here).
+func encodeColFile(refs []chunkRef, payloads [][]byte) []byte {
+	const dirEntry = 4 + 4 + 4 + 8 + 8
+	hdr := 4 + 4 + len(refs)*dirEntry
+	size := hdr
+	for _, p := range payloads {
+		size += len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, colMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(refs)))
+	off := int64(hdr)
+	for i := range refs {
+		refs[i].Offset = off
+		refs[i].Size = int64(len(payloads[i]))
+		off += refs[i].Size
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(refs[i].SegIdx))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(refs[i].StartInSeg))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(refs[i].Rows))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(refs[i].Offset))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(refs[i].Size))
+	}
+	for _, p := range payloads {
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// readColDir parses a column file's chunk directory from its head bytes.
+func readColDir(b []byte) ([]chunkRef, error) {
+	if len(b) < 8 || [4]byte(b[:4]) != colMagic {
+		return nil, fmt.Errorf("persist: bad column file magic")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	const dirEntry = 4 + 4 + 4 + 8 + 8
+	if 8+n*dirEntry > len(b) {
+		return nil, fmt.Errorf("persist: truncated chunk directory")
+	}
+	refs := make([]chunkRef, n)
+	off := 8
+	for i := range refs {
+		refs[i].SegIdx = int(binary.LittleEndian.Uint32(b[off:]))
+		refs[i].StartInSeg = int(binary.LittleEndian.Uint32(b[off+4:]))
+		refs[i].Rows = int(binary.LittleEndian.Uint32(b[off+8:]))
+		refs[i].Offset = int64(binary.LittleEndian.Uint64(b[off+12:]))
+		refs[i].Size = int64(binary.LittleEndian.Uint64(b[off+20:]))
+		off += dirEntry
+	}
+	return refs, nil
+}

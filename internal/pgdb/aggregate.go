@@ -90,6 +90,7 @@ func walkExpr(e sqlparse.Expr, fn func(sqlparse.Expr)) {
 // expressions (one global group when absent), evaluate each select item per
 // group with aggregate calls bound to the group's rows, then apply HAVING.
 func (s *Session) execGrouped(sel *sqlparse.SelectStmt, rel *relation) (*Result, error) {
+	rel.rowsView() // row-at-a-time grouping
 	items, err := expandStars(sel.Items, rel.schema)
 	if err != nil {
 		return nil, err

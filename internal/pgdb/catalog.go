@@ -55,8 +55,10 @@ type storedView struct {
 }
 
 // DB is the embedded database: a catalog of tables and views plus the query
-// engine. It is safe for concurrent use; statements take a coarse lock,
-// which is adequate for the analytics workloads this reproduction runs.
+// engine. It is safe for concurrent use; statements take a coarse
+// reader/writer lock — catalog-writing statements run exclusively, reads run
+// concurrently — which is adequate for the analytics workloads this
+// reproduction runs.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*storedTable
@@ -65,6 +67,19 @@ type DB struct {
 	// (e.g. by a server flag), hence atomics rather than fields under mu.
 	execMode atomic.Int32
 	parallel atomic.Int32
+
+	// stmtMu is the coarse statement lock: statements that mutate permanent
+	// relations (DML, DDL) hold it exclusively for their whole execution;
+	// everything else holds it shared. This closes the window where a
+	// concurrent scan could observe a half-applied append or in-place
+	// update — segment-granular parallel scans read vectors lock-free and
+	// rely on it.
+	stmtMu sync.RWMutex
+	// journal, when set, receives every permanent-relation change under the
+	// exclusive statement lock (see persist.go). afterStmt runs after each
+	// top-level statement outside the lock.
+	journal   Journal
+	afterStmt func()
 }
 
 // NewDB creates an empty database. The default execution mode is
@@ -122,6 +137,9 @@ type Session struct {
 	// one statement at a time, so a plain field suffices.
 	ctx   context.Context
 	ticks int
+	// lockDepth tracks nested ExecStmt calls (view expansion re-enters the
+	// executor): only the outermost acquires the database's statement lock.
+	lockDepth int
 }
 
 // NewSession opens a session on the database.
@@ -164,16 +182,23 @@ func (s *Session) lookupView(name string) (*storedView, bool) {
 // CreateTable registers a permanent table with the given schema, replacing
 // any previous definition.
 func (db *DB) CreateTable(name string, cols []Column) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.tables[name] = newStoredTable(name, cols, nil)
+	db.mu.Unlock()
+	if db.journal != nil {
+		db.journal.JournalCreateTable(name, cols)
+	}
 }
 
 // InsertRows bulk-loads rows into a permanent table.
 func (db *DB) InsertRows(name string, rows [][]any) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	t, ok := db.tables[name]
+	db.mu.Unlock()
 	if !ok {
 		return errf("42P01", "relation %q does not exist", name)
 	}
@@ -184,6 +209,9 @@ func (db *DB) InsertRows(name string, rows [][]any) error {
 	}
 	for _, r := range rows {
 		t.store.appendRow(r)
+	}
+	if db.journal != nil && len(rows) > 0 {
+		return db.journal.JournalAppend(name, rows)
 	}
 	return nil
 }
@@ -310,6 +338,13 @@ func (s *Session) resolveRelation(schema, name string) (*Result, error) {
 		return nil, errf("42P01", "relation pg_catalog.%s does not exist", name)
 	}
 	if t, ok := s.lookupTable(name); ok {
+		if s.vectorizedMode() {
+			// lazy: the vectorized planner scans column vectors directly and
+			// prunes segments by zone map, so the boxed row view — which
+			// would fault every evicted segment — materializes only if a
+			// consumer actually needs rows (relation.rowsView).
+			return &Result{Cols: append([]Column(nil), t.cols...), store: t.store, lazy: true}, nil
+		}
 		return &Result{Cols: append([]Column(nil), t.cols...), Rows: t.store.rows(), store: t.store}, nil
 	}
 	if v, ok := s.lookupView(name); ok {

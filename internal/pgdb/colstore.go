@@ -1,6 +1,7 @@
 package pgdb
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -153,6 +154,40 @@ func (v *colVec) widenZone(val any) {
 	}
 }
 
+// recomputeZone rebuilds the exact min/max bounds and null count from the
+// first n values. widenZone only ever widens, so this is the narrow-again
+// counterpart the UPDATE path runs once per statement on touched vectors.
+func (v *colVec) recomputeZone(n int) {
+	nulls := 0
+	for w := 0; w*64 < n; w++ {
+		word := v.nullWord(w)
+		if rem := n - w*64; rem < 64 {
+			word &= 1<<uint(rem) - 1
+		}
+		nulls += popCount([]uint64{word})
+	}
+	v.nullCnt = nulls
+	v.minV, v.maxV = nil, nil
+	if v.kind == vkAny || v.kind == vkEmpty {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if v.isNull(i) {
+			continue
+		}
+		switch v.kind {
+		case vkInt:
+			v.widenZone(v.ints[i])
+		case vkFloat:
+			v.widenZone(v.floats[i])
+		case vkStr:
+			v.widenZone(v.strs[i])
+		case vkBool:
+			v.widenZone(v.bools[i])
+		}
+	}
+}
+
 // appendVal appends one value at position pos (== values appended so far).
 func (v *colVec) appendVal(val any, pos int) {
 	if val == nil {
@@ -295,17 +330,44 @@ func (v *colVec) get(i int) any {
 	}
 }
 
-// segment holds up to segSize rows of every column.
+// segment holds up to segSize rows of every column. A stub segment is the
+// evicted form: it keeps the per-vector metadata the planner prunes on
+// (kind, null count, zone bounds) but no data slices; touching its cells
+// faults the full segment back in through the store's loader.
 type segment struct {
 	n    int
+	stub bool
 	vecs []colVec
+}
+
+// storeFault carries an I/O error out of a cold-segment fault. Segment reads
+// happen deep inside scan loops with no error return path, so the fault
+// panics and the statement boundary (ExecStmt, parallel scan workers)
+// recovers it into a statement error.
+type storeFault struct{ err error }
+
+func (f *storeFault) Error() string { return f.err.Error() }
+
+// segSlot is one segment position; the pointer swaps atomically between the
+// resident segment and its evicted stub, so concurrent readers never observe
+// a half-built segment.
+type segSlot struct {
+	p atomic.Pointer[segment]
+	// mu serializes faults of this slot only, so parallel scan workers can
+	// reload distinct evicted segments concurrently.
+	mu sync.Mutex
 }
 
 // colStore is the columnar storage of one table.
 type colStore struct {
-	cols []Column
-	segs []*segment
-	n    int
+	cols  []Column
+	slots []*segSlot
+	n     int
+
+	// loader faults evicted (stub) segments back in; nil for memory-only
+	// stores, which never evict. Faults of the same segment serialize on
+	// the slot's own mutex.
+	loader SegLoader
 
 	// cache is the memoized row-view adapter: boxed rows materialized once
 	// and kept coherent with the vectors (appends extend it, UPDATE writes
@@ -320,16 +382,57 @@ func newColStore(cols []Column) *colStore {
 }
 
 func (st *colStore) numRows() int { return st.n }
+func (st *colStore) numSegs() int { return len(st.slots) }
+
+// peekSeg returns the segment as resident in memory — possibly a stub — for
+// metadata-only inspection (zone pruning, row counts). It never faults.
+func (st *colStore) peekSeg(si int) *segment { return st.slots[si].p.Load() }
+
+// seg returns segment si with its data resident, faulting it in from the
+// loader when evicted. I/O failures surface as a storeFault panic, recovered
+// at the statement boundary.
+func (st *colStore) seg(si int) *segment {
+	if s := st.slots[si].p.Load(); !s.stub {
+		return s
+	}
+	return st.fault(si)
+}
+
+func (st *colStore) fault(si int) *segment {
+	slot := st.slots[si]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if s := slot.p.Load(); !s.stub {
+		return s // a concurrent fault won
+	}
+	if st.loader == nil {
+		panic(&storeFault{err: fmt.Errorf("segment %d is evicted and the store has no loader", si)})
+	}
+	data, err := st.loader(si)
+	if err != nil {
+		panic(&storeFault{err: fmt.Errorf("reloading segment %d: %w", si, err)})
+	}
+	s := segmentFromData(data)
+	slot.p.Store(s)
+	return s
+}
+
+// addSeg appends a fresh segment slot holding seg.
+func (st *colStore) addSeg(seg *segment) {
+	slot := &segSlot{}
+	slot.p.Store(seg)
+	st.slots = append(st.slots, slot)
+}
 
 // lastSeg returns the open segment, appending a new one when full.
 func (st *colStore) lastSeg() *segment {
-	if len(st.segs) > 0 {
-		if seg := st.segs[len(st.segs)-1]; seg.n < segSize {
+	if n := len(st.slots); n > 0 {
+		if seg := st.seg(n - 1); seg.n < segSize {
 			return seg
 		}
 	}
 	seg := &segment{vecs: make([]colVec, len(st.cols))}
-	st.segs = append(st.segs, seg)
+	st.addSeg(seg)
 	return seg
 }
 
@@ -373,7 +476,8 @@ func (st *colStore) rows() [][]any {
 		return *p
 	}
 	out := make([][]any, 0, st.n)
-	for _, seg := range st.segs {
+	for si := range st.slots {
+		seg := st.seg(si)
 		for i := 0; i < seg.n; i++ {
 			row := make([]any, len(st.cols))
 			for c := range seg.vecs {
@@ -388,14 +492,26 @@ func (st *colStore) rows() [][]any {
 
 // cellAt boxes the value at a global row index.
 func (st *colStore) cellAt(i, col int) any {
-	seg := st.segs[i/segSize]
+	seg := st.seg(i / segSize)
 	return seg.vecs[col].get(i % segSize)
+}
+
+// rowAt boxes one full row at a global row index (lazy scans use this in
+// place of the materialized row view).
+func (st *colStore) rowAt(i int) []any {
+	seg := st.seg(i / segSize)
+	pos := i % segSize
+	row := make([]any, len(st.cols))
+	for c := range seg.vecs {
+		row[c] = seg.vecs[c].get(pos)
+	}
+	return row
 }
 
 // setCell overwrites one cell in the vectors (UPDATE write-through; the
 // caller mutates the cached row itself, keeping both views coherent).
 func (st *colStore) setCell(rowIdx, col int, val any) {
-	seg := st.segs[rowIdx/segSize]
+	seg := st.seg(rowIdx / segSize)
 	seg.vecs[col].setVal(rowIdx%segSize, val, seg.n)
 }
 
@@ -403,10 +519,76 @@ func (st *colStore) setCell(rowIdx, col int, val any) {
 // re-packed densely and zone maps recomputed from the survivors, and the
 // row cache becomes exactly the kept slice.
 func (st *colStore) compact(kept [][]any) {
-	st.segs = nil
+	st.slots = nil
 	st.n = 0
 	for _, row := range kept {
 		st.appendVecs(row)
 	}
 	st.cache.Store(&kept)
+}
+
+// refreshZones recomputes exact zone bounds and null counts for the given
+// (segment, column) pairs. UPDATE write-through only widens bounds (setVal →
+// widenZone), so after a successful UPDATE the touched vectors' bounds can
+// be arbitrarily loose — still sound for pruning, but they would also be
+// serialized loose by a checkpoint and never tighten again. The DML paths
+// call this once per statement over the touched pairs.
+func (st *colStore) refreshZones(touched map[[2]int]struct{}) {
+	for sc := range touched {
+		seg := st.seg(sc[0])
+		seg.vecs[sc[1]].recomputeZone(seg.n)
+	}
+}
+
+// evictSeg swaps segment si for a metadata-only stub, dropping its data
+// vectors. The caller (the persistence layer) must guarantee the segment is
+// durable and clean, and must hold the database's exclusive statement lock.
+// Returns false if the segment is already a stub.
+func (st *colStore) evictSeg(si int) bool {
+	s := st.slots[si].p.Load()
+	if s.stub {
+		return false
+	}
+	stub := &segment{n: s.n, stub: true, vecs: make([]colVec, len(s.vecs))}
+	for c := range s.vecs {
+		v := &s.vecs[c]
+		stub.vecs[c] = colVec{kind: v.kind, nullCnt: v.nullCnt, minV: v.minV, maxV: v.maxV}
+	}
+	st.slots[si].p.Store(stub)
+	return true
+}
+
+// residentBytes estimates the heap footprint of the resident (non-stub)
+// segment data, the quantity the -mem-budget eviction policy bounds.
+func (st *colStore) residentBytes() int64 {
+	var b int64
+	for _, sl := range st.slots {
+		s := sl.p.Load()
+		if s.stub {
+			continue
+		}
+		for c := range s.vecs {
+			b += s.vecs[c].memBytes()
+		}
+	}
+	return b
+}
+
+func (v *colVec) memBytes() int64 {
+	b := int64(len(v.nulls) * 8)
+	switch v.kind {
+	case vkInt:
+		b += int64(len(v.ints) * 8)
+	case vkFloat:
+		b += int64(len(v.floats) * 8)
+	case vkStr:
+		for _, s := range v.strs {
+			b += int64(len(s)) + 16
+		}
+	case vkBool:
+		b += int64(len(v.bools))
+	case vkAny:
+		b += int64(len(v.anys) * 16)
+	}
+	return b
 }

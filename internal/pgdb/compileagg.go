@@ -421,6 +421,7 @@ func repRowFn(e sqlparse.Expr, schema []colBinding) exprFn {
 // by compiled key extractors in one hash pass, then evaluate the compiled
 // items per group against the lazy aggregate slots.
 func (s *Session) execGroupedCompiled(sel *sqlparse.SelectStmt, rel *relation) (*Result, error) {
+	rel.rowsView() // row-at-a-time grouping
 	items, err := expandStars(sel.Items, rel.schema)
 	if err != nil {
 		return nil, err

@@ -74,8 +74,71 @@ func (s *Session) ExecScriptContext(ctx context.Context, sql string) ([]*Result,
 	return out, nil
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement. The outermost call takes the
+// database's coarse statement lock — exclusively for statements that mutate
+// permanent relations, shared otherwise — so concurrent sessions never race
+// a scan against a half-applied append or in-place update. Nested calls
+// (view expansion) run under the outer statement's lock.
 func (s *Session) ExecStmt(stmt sqlparse.Stmt) (*Result, error) {
+	if s.lockDepth > 0 {
+		return s.execStmt(stmt)
+	}
+	res, err := func() (*Result, error) {
+		if s.stmtWrites(stmt) {
+			s.db.stmtMu.Lock()
+			defer s.db.stmtMu.Unlock()
+		} else {
+			s.db.stmtMu.RLock()
+			defer s.db.stmtMu.RUnlock()
+		}
+		s.lockDepth++
+		defer func() { s.lockDepth-- }()
+		return s.execStmt(stmt)
+	}()
+	// the after-statement hook (checkpoint scheduling, memory-budget
+	// eviction) runs outside the lock: it may take it exclusively itself
+	if after := s.db.afterStmt; after != nil {
+		after()
+	}
+	return res, err
+}
+
+// stmtWrites reports whether a statement mutates shared (non-temp) catalog
+// state and therefore needs the exclusive statement lock. DML against a
+// session temp table stays shared: temp tables are session-local.
+func (s *Session) stmtWrites(stmt sqlparse.Stmt) bool {
+	isTemp := func(name string) bool { _, ok := s.temp[name]; return ok }
+	switch st := stmt.(type) {
+	case *sqlparse.InsertStmt:
+		return !isTemp(st.Table)
+	case *sqlparse.UpdateStmt:
+		return !isTemp(st.Table)
+	case *sqlparse.DeleteStmt:
+		return !isTemp(st.Table)
+	case *sqlparse.CreateTableStmt:
+		return !st.Temp
+	case *sqlparse.CreateViewStmt:
+		return true
+	case *sqlparse.DropStmt:
+		return st.View || !isTemp(st.Name)
+	}
+	return false
+}
+
+// trapFault converts a storeFault panic (cold-segment reload failure) into
+// a statement error at a boundary that has an error return.
+func trapFault(err *error) {
+	if r := recover(); r != nil {
+		if f, ok := r.(*storeFault); ok {
+			*err = errf("58030", "storage fault: %v", f.err)
+			return
+		}
+		panic(r)
+	}
+}
+
+func (s *Session) execStmt(stmt sqlparse.Stmt) (res *Result, err error) {
+	defer trapFault(&err)
 	switch st := stmt.(type) {
 	case *sqlparse.SelectStmt:
 		res, err := s.execSelect(st, nil)
@@ -87,9 +150,15 @@ func (s *Session) ExecStmt(stmt sqlparse.Stmt) (*Result, error) {
 	case *sqlparse.CreateTableStmt:
 		return s.execCreateTable(st)
 	case *sqlparse.CreateViewStmt:
+		sql := selectToSQL(st.AsSelect)
 		s.db.mu.Lock()
-		s.db.views[st.Name] = &storedView{name: st.Name, sql: selectToSQL(st.AsSelect)}
+		s.db.views[st.Name] = &storedView{name: st.Name, sql: sql}
 		s.db.mu.Unlock()
+		if j := s.db.journal; j != nil {
+			if jerr := j.JournalCreateView(st.Name, sql); jerr != nil {
+				return nil, errf("58030", "journal: %v", jerr)
+			}
+		}
 		return &Result{Tag: "CREATE VIEW"}, nil
 	case *sqlparse.DropStmt:
 		return s.execDrop(st)
@@ -116,11 +185,13 @@ func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error)
 		}
 	}
 	var t *storedTable
+	var initRows [][]any
 	if st.AsSelect != nil {
 		res, err := s.execSelect(st.AsSelect, nil)
 		if err != nil {
 			return nil, err
 		}
+		initRows = res.Rows
 		t = newStoredTable(st.Name, res.Cols, res.Rows)
 	} else {
 		t = newStoredTable(st.Name, append([]Column(nil), columnDefs(st.Cols)...), nil)
@@ -131,6 +202,18 @@ func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error)
 		s.db.mu.Lock()
 		s.db.tables[st.Name] = t
 		s.db.mu.Unlock()
+		if j := s.db.journal; j != nil {
+			// CTAS journals as CREATE + APPEND; both records fsync before
+			// the statement acknowledges
+			if jerr := j.JournalCreateTable(st.Name, t.cols); jerr != nil {
+				return nil, errf("58030", "journal: %v", jerr)
+			}
+			if len(initRows) > 0 {
+				if jerr := j.JournalAppend(st.Name, initRows); jerr != nil {
+					return nil, errf("58030", "journal: %v", jerr)
+				}
+			}
+		}
 	}
 	return &Result{Tag: "CREATE TABLE"}, nil
 }
@@ -173,6 +256,11 @@ func (s *Session) execDrop(st *sqlparse.DropStmt) (*Result, error) {
 		if !ok && !st.IfExists {
 			return nil, errf("42P01", "view %q does not exist", st.Name)
 		}
+		if j := s.db.journal; j != nil && ok {
+			if jerr := j.JournalDrop(st.Name, true); jerr != nil {
+				return nil, errf("58030", "journal: %v", jerr)
+			}
+		}
 		return &Result{Tag: "DROP VIEW"}, nil
 	}
 	if _, ok := s.temp[st.Name]; ok {
@@ -185,6 +273,11 @@ func (s *Session) execDrop(st *sqlparse.DropStmt) (*Result, error) {
 	s.db.mu.Unlock()
 	if !ok && !st.IfExists {
 		return nil, errf("42P01", "table %q does not exist", st.Name)
+	}
+	if j := s.db.journal; j != nil && ok {
+		if jerr := j.JournalDrop(st.Name, false); jerr != nil {
+			return nil, errf("58030", "journal: %v", jerr)
+		}
 	}
 	return &Result{Tag: "DROP TABLE"}, nil
 }
@@ -235,6 +328,8 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 			incoming = append(incoming, row)
 		}
 	}
+	_, isTemp := s.temp[st.Table]
+	appended := make([][]any, 0, len(incoming))
 	for _, src := range incoming {
 		if len(src) != len(pos) {
 			return nil, errf("42601", "INSERT has %d expressions but %d target columns", len(src), len(pos))
@@ -244,6 +339,12 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 			full[p] = coerceToColumn(src[k], t.cols[p].Type)
 		}
 		t.store.appendRow(full)
+		appended = append(appended, full)
+	}
+	if j := s.db.journal; j != nil && !isTemp && len(appended) > 0 {
+		if jerr := j.JournalAppend(st.Table, appended); jerr != nil {
+			return nil, errf("58030", "journal: %v", jerr)
+		}
 	}
 	return &Result{Tag: fmt.Sprintf("INSERT 0 %d", len(incoming))}, nil
 }
@@ -305,6 +406,9 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 		}
 	}
 	count := 0
+	_, isTemp := s.temp[st.Table]
+	var cells []CellUpdate
+	touched := map[[2]int]struct{}{}
 	for ri, row := range t.store.rows() {
 		keep, err := pred(row)
 		if err != nil {
@@ -327,8 +431,19 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 			// row storage did) and write through to the column vectors
 			row[set.idx] = coerced
 			t.store.setCell(ri, set.idx, coerced)
+			cells = append(cells, CellUpdate{Row: ri, Col: set.idx, Val: coerced})
+			touched[[2]int{ri / segSize, set.idx}] = struct{}{}
 		}
 		count++
+	}
+	// setCell only widens zone bounds; recompute exact min/max and null
+	// counts for the touched vectors so later scans prune as tightly as a
+	// freshly-built segment would (and checkpoints serialize tight bounds)
+	t.store.refreshZones(touched)
+	if j := s.db.journal; j != nil && !isTemp && len(cells) > 0 {
+		if jerr := j.JournalUpdate(st.Table, cells); jerr != nil {
+			return nil, errf("58030", "journal: %v", jerr)
+		}
 	}
 	return &Result{Tag: fmt.Sprintf("UPDATE %d", count)}, nil
 }
@@ -342,20 +457,26 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 	pred := s.wherePred(st.Where, schema)
 	rows := t.store.rows()
 	kept := make([][]any, 0, len(rows))
-	deleted := 0
-	for _, row := range rows {
+	var removed []int
+	for ri, row := range rows {
 		match, err := pred(row)
 		if err != nil {
 			return nil, err
 		}
 		if match {
-			deleted++
+			removed = append(removed, ri)
 		} else {
 			kept = append(kept, row)
 		}
 	}
 	t.store.compact(kept)
-	return &Result{Tag: fmt.Sprintf("DELETE %d", deleted)}, nil
+	_, isTemp := s.temp[st.Table]
+	if j := s.db.journal; j != nil && !isTemp && len(removed) > 0 {
+		if jerr := j.JournalDelete(st.Table, removed); jerr != nil {
+			return nil, errf("58030", "journal: %v", jerr)
+		}
+	}
+	return &Result{Tag: fmt.Sprintf("DELETE %d", len(removed))}, nil
 }
 
 // rowMatches evaluates a WHERE predicate with 3VL: only TRUE keeps the row.

@@ -141,31 +141,60 @@ func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]an
 // returning the global selection bitmap. Large multi-segment stores fan out
 // across the configured parallelism; segment windows of the bitmap are
 // disjoint word ranges, so workers never share a word.
+//
+// Evicted (stub) segments answer from metadata when the predicate's
+// stubSeg verdict is decisive — a zone-pruned cold segment costs no I/O —
+// and fault their data in only when a per-row scan is unavoidable.
 func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
 	n := st.numRows()
 	out := make([]uint64, (n+63)/64)
-	if workers := s.db.Parallelism(); workers > 1 && n >= parallelMinRows && len(st.segs) > 1 {
+	if workers := s.db.Parallelism(); workers > 1 && n >= parallelMinRows && st.numSegs() > 1 {
 		if err := s.evalVecPredParallel(p, st, out, workers); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
 	ctx := s.ctx
-	for si, seg := range st.segs {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("pgdb: query aborted: %w", err)
+	var err error
+	func() {
+		defer trapFault(&err)
+		for si := 0; si < st.numSegs(); si++ {
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					err = fmt.Errorf("pgdb: query aborted: %w", cerr)
+					return
+				}
 			}
+			evalPredSeg(p, st, si, out)
 		}
-		base := si * segWords
-		p.evalSeg(seg, out[base:base+(seg.n+63)/64])
+	}()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// evalPredSeg evaluates the predicate over one segment's bitmap window,
+// trying the metadata-only stub path first so pruned cold segments stay on
+// disk.
+func evalPredSeg(p vecPred, st *colStore, si int, out []uint64) {
+	seg := st.peekSeg(si)
+	base := si * segWords
+	window := out[base : base+(seg.n+63)/64]
+	if seg.stub {
+		if done := p.stubSeg(seg, window); done {
+			return
+		}
+		seg = st.seg(si)
+	}
+	p.evalSeg(seg, window)
+}
+
 // evalVecPredParallel assigns segments round-robin to workers. Lowered
-// kernels cannot error, so the only failure is statement cancellation —
-// every worker reports the same error class, no ordering needed.
+// kernels cannot error, so the failures are statement cancellation — every
+// worker reports the same error class, no ordering needed — and cold-
+// segment reload faults, which the workers trap locally (a panic would
+// escape the goroutine and kill the process).
 func (s *Session) evalVecPredParallel(p vecPred, st *colStore, out []uint64, workers int) error {
 	ctx := s.ctx
 	errs := make([]error, workers)
@@ -174,16 +203,15 @@ func (s *Session) evalVecPredParallel(p vecPred, st *colStore, out []uint64, wor
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for si := w; si < len(st.segs); si += workers {
+			defer trapFault(&errs[w])
+			for si := w; si < st.numSegs(); si += workers {
 				if ctx != nil {
 					if err := ctx.Err(); err != nil {
 						errs[w] = fmt.Errorf("pgdb: query aborted: %w", err)
 						return
 					}
 				}
-				seg := st.segs[si]
-				base := si * segWords
-				p.evalSeg(seg, out[base:base+(seg.n+63)/64])
+				evalPredSeg(p, st, si, out)
 			}
 		}(w)
 	}

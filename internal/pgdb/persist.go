@@ -1,0 +1,375 @@
+package pgdb
+
+// Persistence API: the narrow surface internal/persist uses to journal DML,
+// snapshot and restore tables, evict cold segments, and replay a WAL. The
+// engine stays storage-agnostic — everything durable lives behind the
+// Journal interface and the Apply*/Snapshot*/Restore* entry points below.
+
+// SegmentSize exposes the store's fixed segment length so persistence
+// layers can map row counts to segment boundaries.
+const SegmentSize = segSize
+
+// CellUpdate is one cell overwrite recorded by an UPDATE statement: the
+// coerced value actually stored, addressed by global row index and column.
+type CellUpdate struct {
+	Row, Col int
+	Val      any
+}
+
+// Journal receives every catalog- or data-changing event on permanent
+// relations, after the change has been applied in memory but before the
+// statement acknowledges. Calls arrive under the database's exclusive
+// statement lock, so implementations see a serial history. A returned error
+// fails the statement (memory then runs ahead of the journal until the next
+// checkpoint reconciles them).
+type Journal interface {
+	JournalCreateTable(name string, cols []Column) error
+	JournalDrop(name string, view bool) error
+	JournalCreateView(name, sql string) error
+	JournalAppend(table string, rows [][]any) error
+	JournalUpdate(table string, cells []CellUpdate) error
+	// JournalDelete records the deleted original row indexes (ascending);
+	// survivors are renumbered densely, exactly like colStore.compact.
+	JournalDelete(table string, removed []int) error
+}
+
+// SetJournal installs the DML/DDL journal. Pass nil to detach.
+func (db *DB) SetJournal(j Journal) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.journal = j
+}
+
+// SetAfterStmt installs a hook that runs after every top-level statement,
+// outside the statement lock — the persistence layer uses it for checkpoint
+// scheduling and memory-budget eviction.
+func (db *DB) SetAfterStmt(fn func()) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.afterStmt = fn
+}
+
+// Exclusive runs fn while holding the database's statement lock exclusively:
+// no statement executes concurrently. Checkpoints run under it so the
+// snapshot and the WAL position are mutually consistent.
+func (db *DB) Exclusive(fn func()) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	fn()
+}
+
+// VecData is the serializable form of one column vector of one segment:
+// the typed slices, null bitmap, and zone metadata round-trip verbatim, so
+// a restore re-infers nothing.
+type VecData struct {
+	Kind    uint8
+	Ints    []int64
+	Floats  []float64
+	Strs    []string
+	Bools   []bool
+	Anys    []any
+	Nulls   []uint64
+	NullCnt int
+	Min     any
+	Max     any
+}
+
+// SegmentData is the serializable form of one segment.
+type SegmentData struct {
+	N    int
+	Vecs []VecData
+}
+
+// VecMeta is the metadata-only form of a vector — what a stub segment
+// carries so zone pruning works without faulting the data in.
+type VecMeta struct {
+	Kind    uint8
+	NullCnt int
+	Min     any
+	Max     any
+}
+
+// SegMeta is the metadata-only form of a segment.
+type SegMeta struct {
+	N    int
+	Vecs []VecMeta
+}
+
+func vecToData(v *colVec) VecData {
+	return VecData{
+		Kind:    uint8(v.kind),
+		Ints:    v.ints,
+		Floats:  v.floats,
+		Strs:    v.strs,
+		Bools:   v.bools,
+		Anys:    v.anys,
+		Nulls:   v.nulls,
+		NullCnt: v.nullCnt,
+		Min:     v.minV,
+		Max:     v.maxV,
+	}
+}
+
+func vecFromData(d VecData) colVec {
+	return colVec{
+		kind:    vecKind(d.Kind),
+		ints:    d.Ints,
+		floats:  d.Floats,
+		strs:    d.Strs,
+		bools:   d.Bools,
+		anys:    d.Anys,
+		nulls:   d.Nulls,
+		nullCnt: d.NullCnt,
+		minV:    d.Min,
+		maxV:    d.Max,
+	}
+}
+
+func segmentFromData(d SegmentData) *segment {
+	seg := &segment{n: d.N, vecs: make([]colVec, len(d.Vecs))}
+	for i, vd := range d.Vecs {
+		seg.vecs[i] = vecFromData(vd)
+	}
+	return seg
+}
+
+// SegLoader reloads one evicted segment of a table from durable storage.
+type SegLoader func(si int) (SegmentData, error)
+
+// SnapshotTable returns the live segments of a permanent table. It must run
+// inside Exclusive — it takes no locks itself — and faults any evicted
+// segments back in (snapshot needs the data). ok is false for an unknown
+// table.
+func (db *DB) SnapshotTable(name string) (cols []Column, segs []SegmentData, ok bool) {
+	t, found := db.tables[name]
+	if !found {
+		return nil, nil, false
+	}
+	st := t.store
+	segs = make([]SegmentData, st.numSegs())
+	for si := range segs {
+		seg := st.seg(si)
+		sd := SegmentData{N: seg.n, Vecs: make([]VecData, len(seg.vecs))}
+		for c := range seg.vecs {
+			sd.Vecs[c] = vecToData(&seg.vecs[c])
+		}
+		segs[si] = sd
+	}
+	return append([]Column(nil), t.cols...), segs, true
+}
+
+// SnapshotViews returns the view definitions (name → SQL). Must run inside
+// Exclusive.
+func (db *DB) SnapshotViews() map[string]string {
+	out := make(map[string]string, len(db.views))
+	for n, v := range db.views {
+		out[n] = v.sql
+	}
+	return out
+}
+
+// TableRowCount reports the row count of a permanent table without
+// materializing anything. Must run inside Exclusive.
+func (db *DB) TableRowCount(name string) (int, bool) {
+	t, ok := db.tables[name]
+	if !ok {
+		return 0, false
+	}
+	return t.store.numRows(), true
+}
+
+// RestoreTableLazy registers a permanent table whose segments are all stubs:
+// the metadata (row counts, vector kinds, zone bounds, null counts) is
+// resident, and segment data faults in through loader on first touch. Used
+// at open so a cold start does no data I/O until a scan needs it.
+func (db *DB) RestoreTableLazy(name string, cols []Column, segs []SegMeta, loader SegLoader) {
+	st := newColStore(cols)
+	st.loader = loader
+	for _, sm := range segs {
+		seg := &segment{n: sm.N, stub: true, vecs: make([]colVec, len(sm.Vecs))}
+		for c, vm := range sm.Vecs {
+			seg.vecs[c] = colVec{kind: vecKind(vm.Kind), nullCnt: vm.NullCnt, minV: vm.Min, maxV: vm.Max}
+		}
+		st.addSeg(seg)
+		st.n += sm.N
+	}
+	t := &storedTable{name: name, cols: cols, store: st}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.mu.Lock()
+	db.tables[name] = t
+	db.mu.Unlock()
+}
+
+// EvictSegments swaps resident segments [from, to) of a table for stubs,
+// dropping their data and the table's memoized row view. The caller must
+// guarantee the range is durable and clean, and must run inside Exclusive —
+// that makes the clean-check and the eviction atomic with respect to DML.
+// Returns the estimated bytes released.
+func (db *DB) EvictSegments(name string, from, to int) int64 {
+	t, ok := db.tables[name]
+	if !ok {
+		return 0
+	}
+	st := t.store
+	if st.loader == nil {
+		return 0 // memory-only store: nothing could reload the data
+	}
+	if to > st.numSegs() {
+		to = st.numSegs()
+	}
+	var freed int64
+	evicted := false
+	for si := from; si < to; si++ {
+		s := st.peekSeg(si)
+		if s.stub {
+			continue
+		}
+		for c := range s.vecs {
+			freed += s.vecs[c].memBytes()
+		}
+		st.evictSeg(si)
+		evicted = true
+	}
+	if evicted {
+		st.cache.Store(nil) // the row view pins boxed copies of every cell
+	}
+	return freed
+}
+
+// SetTableLoader attaches (or replaces) the segment loader of a table —
+// checkpoints re-point tables at the new checkpoint's files. Must run
+// inside Exclusive.
+func (db *DB) SetTableLoader(name string, loader SegLoader) {
+	if t, ok := db.tables[name]; ok {
+		t.store.loader = loader
+	}
+}
+
+// ResidentBytes estimates the heap bytes held by resident segment data
+// across all permanent tables. Must run inside Exclusive.
+func (db *DB) ResidentBytes() map[string]int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]int64, len(db.tables))
+	for n, t := range db.tables {
+		out[n] = t.store.residentBytes()
+	}
+	return out
+}
+
+// --- WAL replay entry points ---
+//
+// The Apply* functions re-execute journaled changes without re-journaling
+// them. Each takes the exclusive statement lock and traps segment faults
+// like a statement would.
+
+func (db *DB) applyLocked(fn func() error) (err error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	defer trapFault(&err)
+	return fn()
+}
+
+// ApplyCreateTable creates (or replaces) a permanent table.
+func (db *DB) ApplyCreateTable(name string, cols []Column) error {
+	return db.applyLocked(func() error {
+		db.mu.Lock()
+		db.tables[name] = newStoredTable(name, cols, nil)
+		db.mu.Unlock()
+		return nil
+	})
+}
+
+// ApplyDrop drops a permanent table or view; missing relations are a no-op
+// (replay is idempotent past a checkpoint boundary).
+func (db *DB) ApplyDrop(name string, view bool) error {
+	return db.applyLocked(func() error {
+		db.mu.Lock()
+		if view {
+			delete(db.views, name)
+		} else {
+			delete(db.tables, name)
+		}
+		db.mu.Unlock()
+		return nil
+	})
+}
+
+// ApplyCreateView registers a view definition.
+func (db *DB) ApplyCreateView(name, sql string) error {
+	return db.applyLocked(func() error {
+		db.mu.Lock()
+		db.views[name] = &storedView{name: name, sql: sql}
+		db.mu.Unlock()
+		return nil
+	})
+}
+
+// ApplyAppend appends rows to a permanent table.
+func (db *DB) ApplyAppend(name string, rows [][]any) error {
+	return db.applyLocked(func() error {
+		db.mu.RLock()
+		t, ok := db.tables[name]
+		db.mu.RUnlock()
+		if !ok {
+			return errf("42P01", "relation %q does not exist", name)
+		}
+		for _, r := range rows {
+			t.store.appendRow(r)
+		}
+		return nil
+	})
+}
+
+// ApplyUpdate replays cell overwrites, then refreshes the touched zones
+// exactly like the UPDATE statement path.
+func (db *DB) ApplyUpdate(name string, cells []CellUpdate) error {
+	return db.applyLocked(func() error {
+		db.mu.RLock()
+		t, ok := db.tables[name]
+		db.mu.RUnlock()
+		if !ok {
+			return errf("42P01", "relation %q does not exist", name)
+		}
+		st := t.store
+		rows := st.rows()
+		touched := make(map[[2]int]struct{}, len(cells))
+		for _, c := range cells {
+			if c.Row < 0 || c.Row >= st.numRows() || c.Col < 0 || c.Col >= len(st.cols) {
+				return errf("58030", "update replay out of range: row %d col %d", c.Row, c.Col)
+			}
+			rows[c.Row][c.Col] = c.Val
+			st.setCell(c.Row, c.Col, c.Val)
+			touched[[2]int{c.Row / segSize, c.Col}] = struct{}{}
+		}
+		st.refreshZones(touched)
+		return nil
+	})
+}
+
+// ApplyDelete replays a DELETE given the removed original row indexes
+// (ascending), compacting survivors densely.
+func (db *DB) ApplyDelete(name string, removed []int) error {
+	return db.applyLocked(func() error {
+		db.mu.RLock()
+		t, ok := db.tables[name]
+		db.mu.RUnlock()
+		if !ok {
+			return errf("42P01", "relation %q does not exist", name)
+		}
+		st := t.store
+		rows := st.rows()
+		kept := make([][]any, 0, len(rows)-len(removed))
+		ri := 0
+		for i, row := range rows {
+			if ri < len(removed) && removed[ri] == i {
+				ri++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		st.compact(kept)
+		return nil
+	})
+}

@@ -28,10 +28,25 @@ func schemaOf(cols []Column, alias string) []colBinding {
 // relation is an intermediate result: bound columns plus materialized rows.
 // store is non-nil only for an unfiltered base-table scan, where rows is the
 // columnar store's row view and the vectorized executor may scan vectors.
+// lazy marks a vectorized base-table scan whose row view has not been
+// materialized yet (rows is nil); consumers that need boxed rows call
+// rowsView first, so fully-pruned vector scans never fault evicted
+// segments or box a cell.
 type relation struct {
 	schema []colBinding
 	rows   [][]any
 	store  *colStore
+	lazy   bool
+}
+
+// rowsView returns the boxed row view, materializing it on first use for a
+// lazy scan.
+func (r *relation) rowsView() [][]any {
+	if r.lazy {
+		r.rows = r.store.rows()
+		r.lazy = false
+	}
+	return r.rows
 }
 
 // execSelect runs the full select pipeline: FROM (with joins) → WHERE →
@@ -72,7 +87,7 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 	if sel.Where != nil && !whereConsumed && !vecScan {
 		if s.interpretedMode() {
 			var kept [][]any
-			for _, row := range rel.rows {
+			for _, row := range rel.rowsView() {
 				ok, err := s.rowMatches(sel.Where, rel.schema, row)
 				if err != nil {
 					return nil, err
@@ -82,12 +97,14 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 				}
 			}
 			rel.rows = kept
+			rel.lazy = false
 		} else {
-			kept, err := s.filterRows(sel.Where, rel.schema, rel.rows)
+			kept, err := s.filterRows(sel.Where, rel.schema, rel.rowsView())
 			if err != nil {
 				return nil, err
 			}
 			rel.rows = kept
+			rel.lazy = false
 		}
 	}
 	var res *Result
@@ -98,19 +115,21 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 			if ferr != nil {
 				return nil, ferr
 			}
-			rel.store = nil
 			if ok {
 				// ORDER BY probes the relation for alignment, so it must
 				// see the filtered rows; otherwise the fused result is
 				// self-contained and the filter need not materialize
 				if len(sel.OrderBy) > 0 {
-					rel.rows = materializeSel(rel.rows, selBits)
+					rel.rows = materializeSel(rel.rowsView(), selBits)
+					rel.lazy = false
 				}
 				res = fused
 			} else {
-				rel.rows = materializeSel(rel.rows, selBits)
+				rel.rows = materializeSel(rel.rowsView(), selBits)
+				rel.lazy = false
 				res, err = s.execGroupedCompiled(sel, rel)
 			}
+			rel.store = nil
 		case s.interpretedMode():
 			res, err = s.execGrouped(sel, rel)
 		default:
@@ -118,7 +137,6 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 		}
 	} else {
 		if vecScan {
-			rel.store = nil
 			fast, ok, ferr := s.projectVec(sel, rel, selBits)
 			if ferr != nil {
 				return nil, ferr
@@ -127,13 +145,16 @@ func (s *Session) execSelect(sel *sqlparse.SelectStmt, outer *relation) (*Result
 				// ORDER BY may reference non-projected columns via the
 				// aligned row view, so the filter must still materialize
 				if len(sel.OrderBy) > 0 {
-					rel.rows = materializeSel(rel.rows, selBits)
+					rel.rows = materializeSel(rel.rowsView(), selBits)
+					rel.lazy = false
 				}
 				res = fast
 			} else {
-				rel.rows = materializeSel(rel.rows, selBits)
+				rel.rows = materializeSel(rel.rowsView(), selBits)
+				rel.lazy = false
 				res, err = s.project(sel, rel)
 			}
+			rel.store = nil
 		} else {
 			res, err = s.project(sel, rel)
 		}
@@ -223,8 +244,8 @@ func (s *Session) buildFrom(refs []sqlparse.TableRef) (*relation, error) {
 
 func crossJoin(l, r *relation) *relation {
 	out := &relation{schema: append(append([]colBinding{}, l.schema...), r.schema...)}
-	for _, lr := range l.rows {
-		for _, rr := range r.rows {
+	for _, lr := range l.rowsView() {
+		for _, rr := range r.rowsView() {
 			row := make([]any, 0, len(lr)+len(rr))
 			row = append(row, lr...)
 			row = append(row, rr...)
@@ -245,7 +266,7 @@ func (s *Session) buildRef(ref sqlparse.TableRef) (*relation, error) {
 		if alias == "" {
 			alias = r.Name
 		}
-		return &relation{schema: schemaOf(res.Cols, alias), rows: res.Rows, store: res.store}, nil
+		return &relation{schema: schemaOf(res.Cols, alias), rows: res.Rows, store: res.store, lazy: res.lazy}, nil
 	case *sqlparse.SubqueryRef:
 		res, err := s.execSelect(r.Query, nil)
 		if err != nil {
@@ -273,6 +294,9 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 	if j.Type == sqlparse.CrossJoin {
 		return crossJoin(left, right), nil
 	}
+	// joins are row-at-a-time: materialize lazy scans up front
+	left.rowsView()
+	right.rowsView()
 	outSchema := append(append([]colBinding{}, left.schema...), right.schema...)
 	out := &relation{schema: outSchema}
 
@@ -513,6 +537,7 @@ func (s *Session) project(sel *sqlparse.SelectStmt, rel *relation) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	rel.rowsView() // generic projection is row-at-a-time
 	winVals, err := s.computeWindows(items, rel)
 	if err != nil {
 		return nil, err
@@ -599,27 +624,46 @@ func (s *Session) projectVec(sel *sqlparse.SelectStmt, rel *relation, selBits []
 			Type: s.inferType(item.Expr, rel.schema),
 		})
 	}
-	src := rel.rows
-	nsel := len(src)
+	// A lazy scan projects straight from the column store: only segments
+	// holding selected rows are touched, so a selection the zone maps fully
+	// pruned leaves evicted segments on disk and boxes nothing else.
+	lazy := rel.lazy
+	var src [][]any
+	nsrc := 0
+	if lazy {
+		nsrc = rel.store.numRows()
+	} else {
+		src = rel.rows
+		nsrc = len(src)
+	}
+	nsel := nsrc
 	if selBits != nil {
 		nsel = popCount(selBits)
 	}
+	st := rel.store
 	backing := make([]any, nsel*len(cols))
 	res.Rows = make([][]any, 0, nsel)
-	emit := func(row []any) {
+	emit := func(i int) {
 		out := backing[:len(cols):len(cols)]
 		backing = backing[len(cols):]
-		for i, c := range cols {
-			out[i] = row[c]
+		if lazy {
+			for k, c := range cols {
+				out[k] = st.cellAt(i, c)
+			}
+		} else {
+			row := src[i]
+			for k, c := range cols {
+				out[k] = row[c]
+			}
 		}
 		res.Rows = append(res.Rows, out)
 	}
 	if selBits == nil {
-		for _, row := range src {
+		for i := 0; i < nsrc; i++ {
 			if err := s.tick(); err != nil {
 				return nil, false, err
 			}
-			emit(row)
+			emit(i)
 		}
 	} else {
 		for w, word := range selBits {
@@ -629,7 +673,7 @@ func (s *Session) projectVec(sel *sqlparse.SelectStmt, rel *relation, selBits []
 				if err := s.tick(); err != nil {
 					return nil, false, err
 				}
-				emit(src[i])
+				emit(i)
 			}
 		}
 	}

@@ -35,8 +35,12 @@ type Result struct {
 	Tag  string // command tag, e.g. "SELECT 5"
 	// store is set when Rows is the row view of a base table's columnar
 	// storage, letting the vectorized executor scan the typed vectors
-	// instead of the boxed rows.
+	// instead of the boxed rows. lazy marks a vectorized base-table scan
+	// whose Rows is deliberately nil: consumers that need boxed rows
+	// materialize through relation.rowsView, so scans the planner fully
+	// prunes never touch evicted segments.
 	store *colStore
+	lazy  bool
 }
 
 // Error is an execution error, carrying a PostgreSQL-style SQLSTATE code.

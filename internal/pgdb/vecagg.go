@@ -593,12 +593,23 @@ func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBit
 	var keyBuf []byte
 	ctx := s.ctx
 	base := 0
-	for segIdx, seg := range st.segs {
+	for segIdx := 0; segIdx < st.numSegs(); segIdx++ {
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, true, fmt.Errorf("pgdb: query aborted: %w", cerr)
 			}
 		}
+		segN := st.peekSeg(segIdx).n
+		if selBits != nil {
+			// a segment the selection bitmap fully prunes contributes no
+			// rows: skip it before seg() faults an evicted segment in
+			wbase := segIdx * segWords
+			if windowAllZero(selBits[wbase : wbase+(segN+63)/64]) {
+				base += segN
+				continue
+			}
+		}
+		seg := st.seg(segIdx)
 		groupGeneric := func(i, gi int) *vecGroup {
 			keyBuf = keyBuf[:0]
 			for _, kc := range keyCols {
@@ -830,13 +841,17 @@ func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBit
 		})
 	}
 	res.Rows = make([][]any, 0, len(order))
-	rows := rel.rows // full row view; firstIdx indexes into it
+	rows := rel.rows // full row view; firstIdx indexes into it (nil: lazy scan)
 	for _, g := range order {
 		vals, errs := finalize(g)
 		gec := &evalCtx{s: s, rowIdx: -1, agg: &groupAgg{slots: slots, vals: vals, errs: errs, done: doneAll}}
 		var rep []any
 		if g.firstIdx >= 0 {
-			rep = rows[g.firstIdx]
+			if rows != nil {
+				rep = rows[g.firstIdx]
+			} else {
+				rep = st.rowAt(g.firstIdx)
+			}
 		}
 		out := make([]any, len(items))
 		for i, fn := range itemFns {

@@ -34,8 +34,17 @@ const segWords = segSize / 64
 
 // vecPred evaluates one predicate node over a segment, writing the result
 // into the segment's (zeroed) bitmap window.
+//
+// stubSeg is the metadata-only variant for evicted segments: it may use
+// only per-vector metadata (kind, null count, zone bounds) and the row
+// count. It returns true when that metadata fully decides the window —
+// in which case the window holds the result — and false when a per-row
+// scan is needed; a false return must leave the window untouched, since
+// the caller then faults the segment in and runs evalSeg on the same
+// window.
 type vecPred interface {
 	evalSeg(seg *segment, out []uint64)
+	stubSeg(seg *segment, out []uint64) bool
 }
 
 // --- bitmap helpers ---
@@ -114,6 +123,25 @@ func (p *vecAnd) evalSeg(seg *segment, out []uint64) {
 	}
 }
 
+func (p *vecAnd) stubSeg(seg *segment, out []uint64) bool {
+	var lt, rt [segWords]uint64
+	l := lt[:len(out)]
+	if !p.l.stubSeg(seg, l) {
+		return false
+	}
+	if windowAllZero(l) {
+		return true // AND with an empty side: the (zeroed) window is final
+	}
+	r := rt[:len(out)]
+	if !p.r.stubSeg(seg, r) {
+		return false
+	}
+	for w := range out {
+		out[w] = l[w] & r[w]
+	}
+	return true
+}
+
 type vecOr struct{ l, r vecPred }
 
 func (p *vecOr) evalSeg(seg *segment, out []uint64) {
@@ -126,6 +154,22 @@ func (p *vecOr) evalSeg(seg *segment, out []uint64) {
 	}
 }
 
+func (p *vecOr) stubSeg(seg *segment, out []uint64) bool {
+	var lt, rt [segWords]uint64
+	l := lt[:len(out)]
+	if !p.l.stubSeg(seg, l) {
+		return false
+	}
+	r := rt[:len(out)]
+	if !p.r.stubSeg(seg, r) {
+		return false
+	}
+	for w := range out {
+		out[w] = l[w] | r[w]
+	}
+	return true
+}
+
 // vecConst is a row-independent predicate: TRUE selects the whole segment,
 // FALSE/NULL select nothing.
 type vecConst struct{ all bool }
@@ -134,6 +178,11 @@ func (p *vecConst) evalSeg(seg *segment, out []uint64) {
 	if p.all {
 		fillOnes(out, seg.n)
 	}
+}
+
+func (p *vecConst) stubSeg(seg *segment, out []uint64) bool {
+	p.evalSeg(seg, out) // row-independent: needs only the row count
+	return true
 }
 
 // vecIsNull lowers col IS [NOT] NULL straight off the null bitmap.
@@ -165,6 +214,23 @@ func (p *vecIsNull) evalSeg(seg *segment, out []uint64) {
 	}
 }
 
+func (p *vecIsNull) stubSeg(seg *segment, out []uint64) bool {
+	v := &seg.vecs[p.col]
+	if v.nullCnt == 0 {
+		if p.not {
+			fillOnes(out, seg.n)
+		}
+		return true
+	}
+	if v.nullCnt == seg.n {
+		if !p.not {
+			fillOnes(out, seg.n)
+		}
+		return true
+	}
+	return false // mixed: needs the null bitmap
+}
+
 // vecColTrue lowers a bare boolean column predicate (WHERE flag): a row is
 // kept only when the cell is boolean TRUE — non-bool values reject like the
 // row engines' `b, ok := v.(bool); ok && b` keep test.
@@ -188,6 +254,28 @@ func (p *vecColTrue) evalSeg(seg *segment, out []uint64) {
 		}
 	}
 	// other kinds: no cell is boolean TRUE
+}
+
+func (p *vecColTrue) stubSeg(seg *segment, out []uint64) bool {
+	v := &seg.vecs[p.col]
+	switch v.kind {
+	case vkBool:
+		if v.nullCnt == seg.n {
+			return true
+		}
+		if mx, ok := v.maxV.(bool); ok && !mx {
+			return true // every non-null cell is FALSE
+		}
+		if mn, ok := v.minV.(bool); ok && mn && v.nullCnt == 0 {
+			fillOnes(out, seg.n)
+			return true
+		}
+		return false
+	case vkAny:
+		return false
+	default:
+		return true // no cell of this kind is boolean TRUE
+	}
 }
 
 // vecCmp is a column-vs-constant comparison. The constant is pre-classified
@@ -277,6 +365,20 @@ func (p *vecCmp) constVerdict(v *colVec, seg *segment, out []uint64, c int) {
 	}
 	fillOnes(out, seg.n)
 	clearNulls(out, v)
+}
+
+func (p *vecCmp) stubSeg(seg *segment, out []uint64) bool {
+	v := &seg.vecs[p.col]
+	if v.kind == vkEmpty || v.nullCnt == seg.n {
+		return true // no non-null values: a comparison is never TRUE
+	}
+	if skip, all := p.zoneVerdict(v); skip {
+		return true
+	} else if all && v.nullCnt == 0 {
+		fillOnes(out, seg.n)
+		return true
+	}
+	return false
 }
 
 func (p *vecCmp) evalSeg(seg *segment, out []uint64) {
@@ -574,6 +676,21 @@ func (p *vecIn) zoneSkip(v *colVec) bool {
 		}
 	}
 	return true // every member outside [min,max]: no cell can equal one
+}
+
+func (p *vecIn) stubSeg(seg *segment, out []uint64) bool {
+	v := &seg.vecs[p.col]
+	noMatch := v.kind == vkEmpty || v.nullCnt == seg.n || p.zoneSkip(v)
+	if !p.not {
+		return noMatch // IN with no possible match: window stays zero
+	}
+	if noMatch && v.nullCnt == 0 && v.kind != vkEmpty {
+		// NOT IN where no member can match and every cell is non-null:
+		// every row passes
+		fillOnes(out, seg.n)
+		return true
+	}
+	return false
 }
 
 func (p *vecIn) evalSeg(seg *segment, out []uint64) {

@@ -385,10 +385,10 @@ func TestColVecZoneMaps(t *testing.T) {
 	for i := 0; i < segSize+10; i++ {
 		st.appendRow([]any{int64(i)})
 	}
-	if len(st.segs) != 2 {
-		t.Fatalf("want 2 segments, got %d", len(st.segs))
+	if st.numSegs() != 2 {
+		t.Fatalf("want 2 segments, got %d", st.numSegs())
 	}
-	v0, v1 := &st.segs[0].vecs[0], &st.segs[1].vecs[0]
+	v0, v1 := &st.seg(0).vecs[0], &st.seg(1).vecs[0]
 	if v0.minV != int64(0) || v0.maxV != int64(segSize-1) {
 		t.Fatalf("seg0 zone [%v,%v]", v0.minV, v0.maxV)
 	}
@@ -424,10 +424,10 @@ func TestColVecZoneMaps(t *testing.T) {
 	}
 	// compaction rebuilds fresh bounds
 	st.compact([][]any{{int64(7)}, {int64(9)}})
-	if st.numRows() != 2 || len(st.segs) != 1 {
-		t.Fatalf("compact: n=%d segs=%d", st.numRows(), len(st.segs))
+	if st.numRows() != 2 || st.numSegs() != 1 {
+		t.Fatalf("compact: n=%d segs=%d", st.numRows(), st.numSegs())
 	}
-	nv := &st.segs[0].vecs[0]
+	nv := &st.seg(0).vecs[0]
 	if nv.kind != vkInt || nv.minV != int64(7) || nv.maxV != int64(9) {
 		t.Fatalf("compact zone: kind=%d [%v,%v]", nv.kind, nv.minV, nv.maxV)
 	}

@@ -99,10 +99,19 @@ func (b *Backend) Exec(ctx context.Context, sql string) (*core.BackendResult, er
 	}
 	switch p.kind {
 	case classSingle:
-		return b.members[p.shards[0]].Exec(ctx, sql)
+		res, err := b.members[p.shards[0]].Exec(ctx, sql)
+		if err != nil && shouldRetry(ctx, err, 0) {
+			res, err = b.members[p.shards[0]].Exec(ctx, sql)
+		}
+		return res, err
 	case classScatter:
 		sink := &resultSink{}
-		if err := b.scatter(ctx, sql, p, sink); err != nil {
+		err := b.scatter(ctx, sql, p, sink)
+		if err != nil && shouldRetry(ctx, err, len(sink.res.Rows)) {
+			sink = &resultSink{}
+			err = b.scatter(ctx, sql, p, sink)
+		}
+		if err != nil {
 			return nil, err
 		}
 		return &sink.res, nil
@@ -137,9 +146,19 @@ func (b *Backend) ExecStream(ctx context.Context, sql string, sink core.RowSink)
 	}
 	switch p.kind {
 	case classSingle:
-		return b.streamOn(ctx, p.shards[0], sql, sink)
+		cs := &countingSink{sink: sink}
+		err := b.streamOn(ctx, p.shards[0], sql, cs)
+		if err != nil && shouldRetry(ctx, err, cs.events) {
+			err = b.streamOn(ctx, p.shards[0], sql, sink)
+		}
+		return err
 	case classScatter:
-		return b.scatter(ctx, sql, p, sink)
+		cs := &countingSink{sink: sink}
+		err := b.scatter(ctx, sql, p, cs)
+		if err != nil && shouldRetry(ctx, err, cs.events) {
+			err = b.scatter(ctx, sql, p, sink)
+		}
+		return err
 	default:
 		res, err := b.execAggregate(ctx, p)
 		if err != nil {

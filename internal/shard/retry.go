@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"syscall"
+	"time"
+
+	"hyperq/internal/core"
+)
+
+// Transient-failure handling for read-only plans. A shard member reached
+// over the wire can fail at connection level (refused, reset, dial
+// timeout) without the statement ever running; a SELECT is idempotent, so
+// the coordinator retries the plan once after a short backoff before
+// surfacing the attributed "shard N:" error. Retries never apply to DML or
+// DDL (the statement may have executed before the connection died), and a
+// scatter is only retried while zero events have reached the user's sink —
+// once merged output has been delivered, a restart could duplicate rows.
+
+// retryBackoff is the pause before the single retry attempt.
+const retryBackoff = 50 * time.Millisecond
+
+// isTransient classifies connection-level failures worth one retry:
+// anything carrying a *net.OpError (dial/read/write failures) or a
+// connection-refused/reset errno. Context cancellation is never transient.
+func isTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection refused") || strings.Contains(s, "connection reset")
+}
+
+// retryWait sleeps the backoff, aborting early if ctx dies.
+func retryWait(ctx context.Context) bool {
+	t := time.NewTimer(retryBackoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// shouldRetry decides whether a failed read-only attempt gets its one
+// retry: transient error, live context, and nothing delivered downstream.
+func shouldRetry(ctx context.Context, err error, delivered int) bool {
+	return isTransient(err) && delivered == 0 && ctx.Err() == nil && retryWait(ctx)
+}
+
+// countingSink wraps a RowSink and counts every event delivered to it, so
+// retry logic can prove the downstream consumer saw nothing yet.
+type countingSink struct {
+	sink   core.RowSink
+	events int
+}
+
+func (c *countingSink) Schema(cols []core.BackendCol, hint int) error {
+	c.events++
+	return c.sink.Schema(cols, hint)
+}
+
+func (c *countingSink) Row(vals []any) error {
+	c.events++
+	return c.sink.Row(vals)
+}
+
+func (c *countingSink) TextRow(fields [][]byte) error {
+	c.events++
+	return c.sink.TextRow(fields)
+}
+
+func (c *countingSink) Tag(tag string) {
+	c.events++
+	c.sink.Tag(tag)
+}

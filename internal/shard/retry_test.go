@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
+)
+
+// flakyBackend wraps a member and fails the next `failures` read statements
+// with a transient connection error, counting attempts.
+type flakyBackend struct {
+	inner    *core.DirectBackend
+	failures atomic.Int64
+	attempts atomic.Int64
+	// permanent switches the injected error to a non-transient one.
+	permanent bool
+}
+
+func (f *flakyBackend) injected() error {
+	if f.permanent {
+		return fmt.Errorf("syntax error near SELECT")
+	}
+	return &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("connection refused")}
+}
+
+func (f *flakyBackend) fail(sql string) error {
+	if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT") {
+		return nil // only disturb reads; setup DDL/DML must pass
+	}
+	f.attempts.Add(1)
+	if f.failures.Load() > 0 {
+		f.failures.Add(-1)
+		return f.injected()
+	}
+	return nil
+}
+
+func (f *flakyBackend) Exec(ctx context.Context, sql string) (*core.BackendResult, error) {
+	if err := f.fail(sql); err != nil {
+		return nil, err
+	}
+	return f.inner.Exec(ctx, sql)
+}
+
+func (f *flakyBackend) ExecStream(ctx context.Context, sql string, sink core.RowSink) error {
+	if err := f.fail(sql); err != nil {
+		return err
+	}
+	return f.inner.ExecStream(ctx, sql, sink)
+}
+
+func (f *flakyBackend) QueryCatalog(ctx context.Context, sql string) ([][]string, error) {
+	return f.inner.QueryCatalog(ctx, sql)
+}
+
+func (f *flakyBackend) Close() error { return f.inner.Close() }
+
+func newFlakyCluster(t *testing.T, n int) (*Backend, []*flakyBackend) {
+	t.Helper()
+	flaky := make([]*flakyBackend, n)
+	factories := make([]func() (core.Backend, error), n)
+	for i := range factories {
+		fb := &flakyBackend{inner: core.NewDirectBackend(pgdb.NewDB())}
+		flaky[i] = fb
+		factories[i] = func() (core.Backend, error) { return fb, nil }
+	}
+	cl, err := New(NewCatalog(n, testRules), factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cl.NewBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sh.Close() })
+	for _, sql := range setupSQL {
+		if _, err := sh.Exec(bg, sql); err != nil {
+			t.Fatalf("setup %q: %v", sql, err)
+		}
+	}
+	return sh, flaky
+}
+
+func TestRetrySingleShardTransient(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	for _, fb := range flaky {
+		fb.failures.Store(1)
+	}
+	// Single-shard point read: the owning member fails once, the retry
+	// succeeds, the user never sees the failure.
+	res, err := sh.Exec(bg, "SELECT i FROM t WHERE s = 'aa' ORDER BY ordcol")
+	if err != nil {
+		t.Fatalf("retry should have absorbed the transient failure: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestRetryScatterTransient(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	for _, fb := range flaky {
+		fb.failures.Store(1)
+	}
+	res, err := sh.Exec(bg, "SELECT ordcol, s, i FROM t ORDER BY ordcol")
+	if err != nil {
+		t.Fatalf("scatter retry: %v", err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestRetryGivesUpAfterOne(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	for _, fb := range flaky {
+		fb.failures.Store(100) // always failing: one retry, then surface
+	}
+	before := flaky[0].attempts.Load() + flaky[1].attempts.Load() + flaky[2].attempts.Load()
+	_, err := sh.Exec(bg, "SELECT ordcol, s, i FROM t ORDER BY ordcol")
+	if err == nil {
+		t.Fatalf("expected error from persistently failing shards")
+	}
+	if !strings.Contains(err.Error(), "shard ") {
+		t.Fatalf("error must attribute the shard: %v", err)
+	}
+	after := flaky[0].attempts.Load() + flaky[1].attempts.Load() + flaky[2].attempts.Load()
+	// one scatter = 3 shard attempts; exactly one retry doubles it. Sibling
+	// cancellation may spare some members, so bound instead of equate.
+	if after-before > 6 {
+		t.Fatalf("more than one retry: %d attempts", after-before)
+	}
+}
+
+func TestNoRetryOnPermanentError(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	for _, fb := range flaky {
+		fb.permanent = true
+		fb.failures.Store(100)
+	}
+	start := flaky[0].attempts.Load()
+	_, err := sh.Exec(bg, "SELECT i FROM t WHERE s = 'aa'")
+	if err == nil {
+		t.Fatalf("expected permanent error to surface")
+	}
+	total := flaky[0].attempts.Load() + flaky[1].attempts.Load() + flaky[2].attempts.Load() - start
+	if total > 1 {
+		t.Fatalf("permanent error must not be retried: %d attempts", total)
+	}
+}
+
+func TestNoRetryForDML(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	// DML is not idempotent: a transient failure must surface immediately.
+	for _, fb := range flaky {
+		fb.failures.Store(0)
+	}
+	if _, err := sh.Exec(bg, "INSERT INTO t VALUES (8, 'aa', 9, 9.5)"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Sanity: the fail hook ignores non-SELECT statements entirely, so the
+	// only retry surface is the read path — assert UPDATE flows through the
+	// non-retrying fanExec by checking it still works with failures armed.
+	for _, fb := range flaky {
+		fb.failures.Store(5)
+	}
+	if _, err := sh.Exec(bg, "UPDATE t SET i = i + 1 WHERE s = 'zz'"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+}
+
+func TestRetryStreamOnlyWhenNothingDelivered(t *testing.T) {
+	sh, flaky := newFlakyCluster(t, 3)
+	for _, fb := range flaky {
+		fb.failures.Store(1)
+	}
+	sink := &resultSink{}
+	if err := sh.ExecStream(bg, "SELECT ordcol, s, i FROM t ORDER BY ordcol", sink); err != nil {
+		t.Fatalf("stream retry: %v", err)
+	}
+	if len(sink.res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(sink.res.Rows))
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{fmt.Errorf("syntax error"), false},
+		{&net.OpError{Op: "dial", Err: fmt.Errorf("refused")}, true},
+		{fmt.Errorf("shard 2: %w", &net.OpError{Op: "read", Err: fmt.Errorf("reset")}), true},
+		{fmt.Errorf("pq: connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := isTransient(c.err); got != c.want {
+			t.Fatalf("isTransient(%v) = %v", c.err, got)
+		}
+	}
+}

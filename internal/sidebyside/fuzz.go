@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"hyperq/internal/core"
+	"hyperq/internal/persist"
 	"hyperq/internal/pgdb"
 	"hyperq/internal/qgen"
 	"hyperq/internal/qlang/interp"
@@ -98,6 +100,13 @@ type FuzzConfig struct {
 	// ResultPath selects the session result pipeline under test (default
 	// ColumnarPath, the streaming builders; TextPath is the fallback).
 	ResultPath core.ResultPath
+	// PersistDir, when non-empty, backs every framework's pgdb database
+	// with the durable store under a fresh subdirectory of this path: the
+	// dataset is checkpointed to splayed column files after loading and the
+	// framework under test is cold-opened from that directory, so every
+	// query faults its vectors back through the persist codec. Incompatible
+	// with sharded mode (Shards > 1).
+	PersistDir string
 	// Shards, when > 1, switches the run to sharded differential mode: the
 	// same queries execute through a single-backend session and a session
 	// over a Shards-wide embedded cluster, and the two must produce
@@ -156,6 +165,9 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 	if cfg.ShrinkBudget <= 0 {
 		cfg.ShrinkBudget = 400
 	}
+	if cfg.PersistDir != "" && cfg.Shards > 1 {
+		return nil, fmt.Errorf("PersistDir is incompatible with sharded mode")
+	}
 	g := qgen.New(qgen.Config{Seed: cfg.Seed, MaxRows: cfg.MaxRows})
 	rep := &FuzzReport{Seed: cfg.Seed, N: cfg.N, Mismatches: []FuzzCase{}}
 	var f *Framework
@@ -208,6 +220,10 @@ func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzReport, error) {
 	return rep, nil
 }
 
+// persistSeq numbers the per-framework data directories of one process, so
+// shrink reloads never reuse (and re-replay) an earlier framework's WAL.
+var persistSeq atomic.Int64
+
 // loadDataset builds a fresh framework with the dataset installed.
 func loadDataset(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framework, error) {
 	var f *Framework
@@ -216,6 +232,8 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framew
 		if f, err = NewShardedFramework(cfg.Shards, cfg.ExecMode, cfg.ResultPath); err != nil {
 			return nil, err
 		}
+	} else if cfg.PersistDir != "" {
+		return loadDatasetPersist(ctx, ds, cfg)
 	} else {
 		f = NewLocalFrameworkPath(cfg.ExecMode, cfg.ResultPath)
 	}
@@ -229,6 +247,57 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framew
 		}
 	}
 	return f, nil
+}
+
+// loadDatasetPersist is loadDataset's disk-backed variant: the dataset is
+// loaded through a staging database opened on a fresh durable store,
+// checkpointed to splayed column files, and then a second database is
+// cold-opened on the same directory — every table in the framework under
+// test starts as on-disk stubs, so each query faults its vectors back
+// through the persist codec. The kdb substrate is loaded once and shared
+// by the staging and final frameworks, since both sides see the same data.
+func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framework, error) {
+	dir := filepath.Join(cfg.PersistDir, fmt.Sprintf("db%06d", persistSeq.Add(1)))
+	kdb := interp.New()
+	db := pgdb.NewDB()
+	db.SetExecMode(cfg.ExecMode)
+	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone})
+	if err != nil {
+		return nil, fmt.Errorf("open persist dir %s: %w", dir, err)
+	}
+	b := core.NewDirectBackend(db)
+	s := core.NewPlatform().NewSession(b, core.Config{ResultPath: cfg.ResultPath})
+	loader := New(kdb, s, b)
+	for _, name := range ds.Names() {
+		t, ok := ds.Tables[name]
+		if !ok {
+			continue
+		}
+		if err := loader.LoadTable(ctx, name, t); err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("checkpoint dataset: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return nil, fmt.Errorf("close store: %w", err)
+	}
+	// Cold reopen: a fresh database restored purely from the on-disk
+	// catalog. The corpus is read-only after load, so the reopened store's
+	// WAL handle can be released immediately too.
+	db2 := pgdb.NewDB()
+	db2.SetExecMode(cfg.ExecMode)
+	st2, err := persist.Open(db2, persist.Options{Dir: dir, Sync: persist.SyncNone})
+	if err != nil {
+		return nil, fmt.Errorf("cold reopen %s: %w", dir, err)
+	}
+	if err := st2.Close(); err != nil {
+		return nil, fmt.Errorf("close reopened store: %w", err)
+	}
+	b2 := core.NewDirectBackend(db2)
+	s2 := core.NewPlatform().NewSession(b2, core.Config{ResultPath: cfg.ResultPath})
+	return New(kdb, s2, b2), nil
 }
 
 // reproduces reports whether the (query, dataset) pair still shows a

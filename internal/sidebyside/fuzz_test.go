@@ -47,6 +47,25 @@ func TestFuzzSmoke(t *testing.T) {
 	}
 }
 
+// TestFuzzSmokeDiskBacked is the disk-backed differential smoke: every
+// dataset round-trips through splayed column files and a cold reopen, so
+// each query reads vectors the persist codec decoded. Reproduce failures
+// with `go run ./cmd/qdiff -seed 7 -n 200 -persist -shrink`.
+func TestFuzzSmokeDiskBacked(t *testing.T) {
+	rep, err := Fuzz(context.Background(), FuzzConfig{
+		Seed: 7, N: 200, Shrink: true, PersistDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != rep.N {
+		t.Errorf("%d of %d queries matched", rep.Matches, rep.N)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("iteration %d [%s]: %s\n  diffs: %v", m.Iteration, m.Class, m.Query, m.Diffs)
+	}
+}
+
 // TestFuzzSmokeSharded is the sharded differential smoke: the same query
 // stream runs on a single backend and on a 3-shard scatter-gather cluster,
 // under the byte-identical QIPC oracle. Reproduce failures with
