@@ -22,6 +22,8 @@ type BenchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	IOBytes     int64   `json:"io_bytes,omitempty"`   // column-file bytes read from disk (0 under mmap: chunks decode zero-copy)
+	DiskBytes   int64   `json:"disk_bytes,omitempty"` // total on-disk size of the checkpoint's column files
 }
 
 // benchCase is a query shape the executor benchmark measures in both modes.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -183,6 +184,130 @@ func measureColdOnce(dir, op, sql string, rows, reps int) BenchEntry {
 	return BenchEntry{Op: op, Mode: "cold_open", Rows: rows, NsPerOp: float64(best.Nanoseconds())}
 }
 
+// The column-projection benchmark: a 10-column fact table where the pruned
+// aggregate touches 2 columns (predicate + aggregate input), measured cold
+// across the write format (raw vs compressed column files) and the read path
+// (pread vs mmap). io_bytes is persist.Stats.BytesRead for the query;
+// disk_bytes is the checkpoint's total column-file size. The headline
+// contrast is col_projection vs col_projection_full: same table, same
+// predicate, but the full-width aggregate faults all 10 columns where the
+// 2-column one faults only what it references.
+const persistWidePrunedSQL = "SELECT sum(c6) FROM bench_wide WHERE c1 > 500000"
+const persistWideFullSQL = "SELECT min(sym), max(d), min(c1), max(c2), sum(c3), sum(c4), min(c5), max(c6), sum(c7), sum(c8) FROM bench_wide WHERE c1 > 500000"
+
+// benchWideLoadStatements builds the wide fact table. Column value shapes
+// deliberately span the codec's encodings: sym is low-cardinality (dict), c2
+// is sorted (delta), c3/c5/c7 are narrow-range (frame-of-reference), c1/c4/
+// c6/c8 are wide-range randoms (bitpacked near raw width or left raw).
+func benchWideLoadStatements(n int) []string {
+	stmts := []string{
+		"CREATE TABLE bench_wide (d date, sym varchar, c1 bigint, c2 bigint, c3 bigint, c4 bigint, c5 bigint, c6 bigint, c7 bigint, c8 bigint)",
+	}
+	seed := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 17
+	}
+	var sb strings.Builder
+	const chunk = 500
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sb.Reset()
+		sb.WriteString("INSERT INTO bench_wide VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			d := persistBenchDates[i*len(persistBenchDates)/n]
+			sym := benchSymbols[next()%uint64(len(benchSymbols))]
+			fmt.Fprintf(&sb, "('%s', '%s', %d, %d, %d, %d, %d, %d, %d, %d)",
+				d, sym,
+				next()%1000000, // c1: predicate column, ~half the rows pass
+				i,              // c2: sorted
+				next()%100,     // c3: narrow
+				next(),         // c4: wide
+				next()%50,      // c5: narrow
+				next()%1000000, // c6: aggregate input
+				next()%128,     // c7: narrow
+				next())         // c8: wide
+		}
+		stmts = append(stmts, sb.String())
+	}
+	return stmts
+}
+
+// buildWidePersistDir loads and checkpoints bench_wide with the given column
+// file format.
+func buildWidePersistDir(dir string, rows int, compress bool) error {
+	db := pgdb.NewDB()
+	db.SetExecMode(pgdb.ExecVectorized)
+	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone, Compress: compress})
+	if err != nil {
+		return err
+	}
+	s := db.NewSession()
+	for _, stmt := range benchWideLoadStatements(rows) {
+		if _, err := s.Exec(stmt); err != nil {
+			return fmt.Errorf("wide bench load: %w", err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		return fmt.Errorf("wide bench checkpoint: %w", err)
+	}
+	return st.Close()
+}
+
+// colFileBytes sums the on-disk size of every column file under dir.
+func colFileBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".col") {
+			if fi, err := d.Info(); err == nil {
+				total += fi.Size()
+			}
+		}
+		return nil
+	})
+	return total
+}
+
+// measureWideCold times one cold run of sql against dir and captures the
+// store's I/O counters for that single query. Best-of-reps on time; the I/O
+// byte count is identical across reps by construction (same stubs, same
+// chunks).
+func measureWideCold(dir, op, mode, sql string, rows, reps int, mmap bool) BenchEntry {
+	best := time.Duration(1<<63 - 1)
+	var ioBytes int64
+	for i := 0; i < reps; i++ {
+		db := pgdb.NewDB()
+		db.SetExecMode(pgdb.ExecVectorized)
+		db.SetParallelism(runtime.NumCPU())
+		st, err := persist.Open(db, persist.Options{Dir: dir, MMap: mmap})
+		if err != nil {
+			log.Fatalf("bench-persist wide open: %v", err)
+		}
+		s := db.NewSession()
+		start := time.Now()
+		if _, err := s.Exec(sql); err != nil {
+			log.Fatalf("bench-persist %s [%s]: %v", op, mode, err)
+		}
+		el := time.Since(start)
+		ioBytes = st.Stats().Snapshot().BytesRead
+		st.Close()
+		if el < best {
+			best = el
+		}
+	}
+	return BenchEntry{
+		Op: op, Mode: mode, Rows: rows,
+		NsPerOp: float64(best.Nanoseconds()),
+		IOBytes: ioBytes, DiskBytes: colFileBytes(dir),
+	}
+}
+
 // runBenchPersist builds the date-partitioned table, measures the WAL and
 // reload paths, writes the entries to outPath as JSON, and prints a summary
 // with the cold-open/in-memory ratio for the pruned scan. This backs
@@ -239,6 +364,47 @@ func runBenchPersist(outPath string, rows int) {
 	entries = append(entries, measure(evDB, "pruned_scan", "evict_reload", persistPrunedSQL, rows))
 	evSt.Close()
 
+	// Column projection: the 2-of-10-column aggregate, cold, across write
+	// format × read path, plus the full-width contrast on the raw files.
+	rawDir, err := os.MkdirTemp("", "bench-wide-raw-")
+	if err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	defer os.RemoveAll(rawDir)
+	compDir, err := os.MkdirTemp("", "bench-wide-comp-")
+	if err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	defer os.RemoveAll(compDir)
+	if err := buildWidePersistDir(rawDir, rows, false); err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	if err := buildWidePersistDir(compDir, rows, true); err != nil {
+		log.Fatalf("bench-persist: %v", err)
+	}
+	var prunedRaw, fullRaw, compRead BenchEntry
+	for _, cell := range []struct {
+		mode string
+		dir  string
+		mmap bool
+	}{
+		{"raw+read", rawDir, false},
+		{"raw+mmap", rawDir, true},
+		{"compressed+read", compDir, false},
+		{"compressed+mmap", compDir, true},
+	} {
+		e := measureWideCold(cell.dir, "col_projection", cell.mode, persistWidePrunedSQL, rows, 3, cell.mmap)
+		entries = append(entries, e)
+		switch cell.mode {
+		case "raw+read":
+			prunedRaw = e
+		case "compressed+read":
+			compRead = e
+		}
+	}
+	fullRaw = measureWideCold(rawDir, "col_projection_full", "raw+read", persistWideFullSQL, rows, 3, false)
+	entries = append(entries, fullRaw)
+
 	text, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		log.Fatalf("bench-persist encode: %v", err)
@@ -250,4 +416,24 @@ func runBenchPersist(outPath string, rows int) {
 	fmt.Printf("wrote %s (%d entries, %d rows over %d date partitions)\n", outPath, len(entries), rows, len(persistBenchDates))
 	fmt.Printf("pruned scan: memory %.2fms, cold open %.2fms (%.2fx)\n",
 		memEntry.NsPerOp/1e6, coldPruned.NsPerOp/1e6, ratio)
+	if prunedRaw.IOBytes > 0 {
+		fmt.Printf("col projection: 2-of-10 cols read %s vs full-width %s (%.2fx less I/O)\n",
+			fmtBytes(prunedRaw.IOBytes), fmtBytes(fullRaw.IOBytes),
+			float64(fullRaw.IOBytes)/float64(prunedRaw.IOBytes))
+	}
+	fmt.Printf("on-disk columns: raw %s, compressed %s (%.2fx smaller); compressed cold read %s\n",
+		fmtBytes(prunedRaw.DiskBytes), fmtBytes(compRead.DiskBytes),
+		float64(prunedRaw.DiskBytes)/float64(compRead.DiskBytes),
+		fmtBytes(compRead.IOBytes))
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }

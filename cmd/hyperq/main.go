@@ -73,6 +73,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory for the embedded engine (empty = memory only)")
 	walSync := flag.String("wal-sync", "batch", "WAL durability: always (fsync per statement), batch (group commit), none")
 	memBudget := flag.Int64("mem-budget", 0, "resident column-data budget in bytes for the embedded engine (0 = unlimited; needs -data-dir)")
+	compress := flag.Bool("compress", false, "compress checkpoint column files (FOR/delta ints, dict strings, RLE bools; needs -data-dir)")
+	useMMap := flag.Bool("mmap", false, "mmap checkpoint column files for zero-copy cold reads (needs -data-dir)")
+	statsAddr := flag.String("stats-addr", "", "HTTP address serving persist I/O counters at /debug/vars (empty = off)")
 	flag.Parse()
 
 	var path core.ResultPath
@@ -180,11 +183,19 @@ func main() {
 			}
 			store, err := persist.Open(embeddedDB, persist.Options{
 				Dir: *dataDir, Sync: mode, MemBudget: *memBudget,
+				Compress: *compress, MMap: *useMMap,
 			})
 			if err != nil {
 				log.Fatalf("persist: %v", err)
 			}
 			persistStore = store
+			if *statsAddr != "" {
+				addr, err := persist.ServeStats(*statsAddr, store.Stats())
+				if err != nil {
+					log.Fatalf("stats: %v", err)
+				}
+				log.Printf("persist stats on http://%s/debug/vars", addr)
+			}
 			if len(embeddedDB.TableNames()) > 0 {
 				log.Printf("embedded backend restored from %s (wal-sync=%s)", *dataDir, *walSync)
 				break

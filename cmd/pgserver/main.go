@@ -34,6 +34,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = memory only)")
 	walSync := flag.String("wal-sync", "batch", "WAL durability: always (fsync per statement), batch (group commit), none")
 	memBudget := flag.Int64("mem-budget", 0, "resident column-data budget in bytes (0 = unlimited; needs -data-dir)")
+	compress := flag.Bool("compress", false, "compress checkpoint column files (FOR/delta ints, dict strings, RLE bools; needs -data-dir)")
+	useMMap := flag.Bool("mmap", false, "mmap checkpoint column files for zero-copy cold reads (needs -data-dir)")
+	statsAddr := flag.String("stats-addr", "", "HTTP address serving persist I/O counters at /debug/vars (empty = off)")
 	flag.Parse()
 
 	// ctx is the server's life: SIGINT/SIGTERM cancels it and Serve drains
@@ -55,9 +58,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		store, err = persist.Open(db, persist.Options{Dir: *dataDir, Sync: sync, MemBudget: *memBudget})
+		store, err = persist.Open(db, persist.Options{
+			Dir: *dataDir, Sync: sync, MemBudget: *memBudget,
+			Compress: *compress, MMap: *useMMap,
+		})
 		if err != nil {
 			log.Fatalf("persist: %v", err)
+		}
+		if *statsAddr != "" {
+			addr, err := persist.ServeStats(*statsAddr, store.Stats())
+			if err != nil {
+				log.Fatalf("stats: %v", err)
+			}
+			log.Printf("persist stats on http://%s/debug/vars", addr)
 		}
 		if len(db.TableNames()) > 0 {
 			*demo = false // restored catalog wins over reseeding

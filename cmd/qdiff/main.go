@@ -32,6 +32,9 @@ func main() {
 	resultPath := flag.String("result-path", "columnar", "session result pipeline under test: columnar or text")
 	shards := flag.Int("shards", 0, "sharded differential mode: compare a single backend against an N-shard scatter-gather cluster (byte-identical QIPC oracle)")
 	persistMode := flag.Bool("persist", false, "disk-backed mode: checkpoint every dataset to splayed column files and force each query to fault its segments back from disk")
+	persistCompress := flag.Bool("persist-compress", false, "with -persist: checkpoint with compressed column chunks")
+	persistMMap := flag.Bool("persist-mmap", false, "with -persist: serve cold reads through memory-mapped column files")
+	persistMemBudget := flag.Int64("persist-mem-budget", 0, "with -persist: resident column-byte budget forcing eviction churn (0 = unlimited)")
 	flag.Parse()
 
 	var mode pgdb.ExecMode
@@ -73,14 +76,17 @@ func main() {
 	}
 
 	rep, err := sidebyside.Fuzz(context.Background(), sidebyside.FuzzConfig{
-		Seed:       *seed,
-		N:          *n,
-		Shrink:     *shrink,
-		MaxRows:    *maxRows,
-		ExecMode:   mode,
-		ResultPath: path,
-		Shards:     *shards,
-		PersistDir: persistDir,
+		Seed:             *seed,
+		N:                *n,
+		Shrink:           *shrink,
+		MaxRows:          *maxRows,
+		ExecMode:         mode,
+		ResultPath:       path,
+		Shards:           *shards,
+		PersistDir:       persistDir,
+		PersistCompress:  *persistCompress,
+		PersistMMap:      *persistMMap,
+		PersistMemBudget: *persistMemBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)

@@ -125,24 +125,58 @@ func readString(b []byte, off int) (string, int, error) {
 // chunks with its segment index — possibly from two partitions when a
 // partition boundary crosses a segment. Layout:
 //
-//	"HQP1" | u32 chunkCount
+//	"HQP2" | u32 chunkCount
 //	chunk directory: chunkCount × { u32 segIdx | u32 startInSeg | u32 rows |
 //	                                u64 offset | u64 size }
 //	chunk payloads (offset is absolute within the file)
 //
 // chunk payload:
 //
-//	u8 kind | u32 rows | u32 nullWords | nullWords × u64 | data
+//	u8 kind | u32 rows | u8 nullEnc | null section | u8 dataEnc | data
+//
+// null section (bits re-based to chunk-local positions):
+//
+//	nullNone: nothing (no null rows in the chunk)
+//	nullRaw:  u32 words | words × u64
+//	nullRLE:  u32 runs  | runs × { u32 start | u32 len } of set-bit ranges
+//
+// data section:
+//
+//	dataRaw — the kind's natural layout:
 //	  vkInt/vkFloat: rows × u64 (LE; floats as IEEE bits)
 //	  vkBool:        rows bytes
 //	  vkStr:         (rows+1) × u64 offsets | bytes
 //	  vkAny:         (rows+1) × u64 offsets | tagged cells
 //	  vkEmpty:       nothing
+//	dataForInt  (vkInt):  u64 frame | u8 width | rows × width bits
+//	dataDeltaInt(vkInt):  u64 first | u64 frame | u8 width | (rows-1) × width bits
+//	dataDictStr (vkStr):  u32 dictN | dictN × { u32 len | bytes } |
+//	                      u8 width | rows × width bits (dict indexes)
+//	dataRLEBool (vkBool): u32 runs | runs × { u8 val | u32 len }
 //
-// Null bits are re-based to chunk-local positions. Typed vectors, null
-// bitmaps and (manifest-held) zone maps round-trip without re-inference.
+// Compressed encodings are chosen per chunk, only when smaller than raw;
+// the decoder accepts every encoding regardless of the store's compression
+// option, so compressed checkpoints reopen losslessly anywhere. Typed
+// vectors, null bitmaps and (manifest-held) zone maps round-trip without
+// re-inference.
 
-var colMagic = [4]byte{'H', 'Q', 'P', '1'}
+var colMagic = [4]byte{'H', 'Q', 'P', '2'}
+
+// null-section encodings
+const (
+	nullNone byte = iota
+	nullRaw
+	nullRLE
+)
+
+// data-section encodings
+const (
+	dataRaw byte = iota
+	dataForInt
+	dataDeltaInt
+	dataDictStr
+	dataRLEBool
+)
 
 // vec kinds mirror pgdb's storage classes (persist only sees them as the
 // Kind byte of pgdb.VecData).
@@ -164,37 +198,77 @@ type chunkRef struct {
 	Size       int64
 }
 
-// encodeChunk serializes rows [lo, hi) of one segment's vector.
-func encodeChunk(v pgdb.VecData, segN, lo, hi int) ([]byte, error) {
+// encodeChunk serializes rows [lo, hi) of one segment's vector. With
+// compress set, int, string and bool sections (and null bitmaps) use the
+// lightweight encodings above whenever they come out smaller than raw;
+// floats and boxed cells always stay raw.
+func encodeChunk(v pgdb.VecData, segN, lo, hi int, compress bool) ([]byte, error) {
 	rows := hi - lo
-	nullWords := (rows + 63) / 64
-	buf := make([]byte, 0, 16+nullWords*8+rows*8)
+	buf := make([]byte, 0, 16+rows*8)
 	buf = append(buf, v.Kind)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(rows))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(nullWords))
+
 	// re-base null bits to chunk-local positions
-	words := make([]uint64, nullWords)
+	words := make([]uint64, (rows+63)/64)
+	anyNull := false
 	for i := 0; i < rows; i++ {
 		gi := lo + i
 		w := gi >> 6
 		if w < len(v.Nulls) && v.Nulls[w]&(1<<(uint(gi)&63)) != 0 {
 			words[i>>6] |= 1 << (uint(i) & 63)
+			anyNull = true
 		}
 	}
-	for _, w := range words {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
+	switch {
+	case !anyNull:
+		buf = append(buf, nullNone)
+	case compress:
+		if rle := encodeNullRLE(words, rows); len(rle) < 4+len(words)*8 {
+			buf = append(buf, nullRLE)
+			buf = append(buf, rle...)
+			break
+		}
+		fallthrough
+	default:
+		buf = append(buf, nullRaw)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(words)))
+		for _, w := range words {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
 	}
+
+	raw, err := encodeDataRaw(v, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if compress {
+		if enc, body := encodeDataCompressed(v, lo, hi); body != nil && len(body) < len(raw) {
+			buf = append(buf, enc)
+			return append(buf, body...), nil
+		}
+	}
+	buf = append(buf, dataRaw)
+	return append(buf, raw...), nil
+}
+
+// encodeDataRaw serializes the data section in the kind's natural layout.
+func encodeDataRaw(v pgdb.VecData, lo, hi int) ([]byte, error) {
+	rows := hi - lo
+	var buf []byte
 	switch v.Kind {
 	case vkEmpty:
 	case vkInt:
+		buf = make([]byte, 0, rows*8)
 		for _, x := range v.Ints[lo:hi] {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
 		}
 	case vkFloat:
+		buf = make([]byte, 0, rows*8)
 		for _, f := range v.Floats[lo:hi] {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
 		}
 	case vkBool:
+		buf = make([]byte, 0, rows)
 		for _, b := range v.Bools[lo:hi] {
 			if b {
 				buf = append(buf, 1)
@@ -210,6 +284,7 @@ func encodeChunk(v pgdb.VecData, segN, lo, hi int) ([]byte, error) {
 			data = append(data, s...)
 		}
 		offs = append(offs, uint64(len(data)))
+		buf = make([]byte, 0, len(offs)*8+len(data))
 		for _, o := range offs {
 			buf = binary.LittleEndian.AppendUint64(buf, o)
 		}
@@ -226,6 +301,7 @@ func encodeChunk(v pgdb.VecData, segN, lo, hi int) ([]byte, error) {
 			}
 		}
 		offs = append(offs, uint64(len(data)))
+		buf = make([]byte, 0, len(offs)*8+len(data))
 		for _, o := range offs {
 			buf = binary.LittleEndian.AppendUint64(buf, o)
 		}
@@ -239,9 +315,11 @@ func encodeChunk(v pgdb.VecData, segN, lo, hi int) ([]byte, error) {
 // decodeChunkInto parses one chunk payload directly into dst's segment
 // slices at row offset start — no intermediate chunk-local vectors, so a
 // segment reload is one read and one decode pass per chunk. rows is the
-// chunk's expected row count from the directory entry.
-func decodeChunkInto(dst *pgdb.VecData, start, rows int, b []byte) error {
-	if len(b) < 9 {
+// chunk's expected row count from the directory entry. With zeroCopy set,
+// b is an immutable mmap-backed region that outlives the store, so string
+// cells alias it directly instead of copying the blob.
+func decodeChunkInto(dst *pgdb.VecData, start, rows int, b []byte, zeroCopy bool) error {
+	if len(b) < 7 {
 		return fmt.Errorf("persist: chunk too short")
 	}
 	if b[0] != dst.Kind {
@@ -250,131 +328,215 @@ func decodeChunkInto(dst *pgdb.VecData, start, rows int, b []byte) error {
 	if int(binary.LittleEndian.Uint32(b[1:])) != rows {
 		return fmt.Errorf("persist: chunk row count mismatch")
 	}
-	nullWords := int(binary.LittleEndian.Uint32(b[5:]))
-	off := 9
-	if off+nullWords*8 > len(b) {
-		return fmt.Errorf("persist: truncated null bitmap")
-	}
-	for w := 0; w < nullWords; w++ {
-		word := binary.LittleEndian.Uint64(b[off:])
-		off += 8
-		if word == 0 {
-			continue
+	off := 6
+	setNull := func(ri int) error {
+		if ri >= rows {
+			return fmt.Errorf("persist: null bit beyond chunk rows")
 		}
-		for i := 0; i < 64; i++ {
-			if word&(1<<uint(i)) == 0 {
-				continue
-			}
-			ri := w*64 + i
-			if ri >= rows {
-				return fmt.Errorf("persist: null bit beyond chunk rows")
-			}
-			gi := start + ri
-			if gi>>6 >= len(dst.Nulls) {
-				return fmt.Errorf("persist: null bit beyond segment")
-			}
-			dst.Nulls[gi>>6] |= 1 << (uint(gi) & 63)
+		gi := start + ri
+		if gi>>6 >= len(dst.Nulls) {
+			return fmt.Errorf("persist: null bit beyond segment")
 		}
-	}
-	need := func(n int) error {
-		if off+n > len(b) {
-			return fmt.Errorf("persist: truncated chunk data")
-		}
+		dst.Nulls[gi>>6] |= 1 << (uint(gi) & 63)
 		return nil
 	}
+	switch b[5] {
+	case nullNone:
+	case nullRaw:
+		if off+4 > len(b) {
+			return fmt.Errorf("persist: truncated null bitmap")
+		}
+		nullWords := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+nullWords*8 > len(b) {
+			return fmt.Errorf("persist: truncated null bitmap")
+		}
+		for w := 0; w < nullWords; w++ {
+			word := binary.LittleEndian.Uint64(b[off:])
+			off += 8
+			if word == 0 {
+				continue
+			}
+			for i := 0; i < 64; i++ {
+				if word&(1<<uint(i)) == 0 {
+					continue
+				}
+				if err := setNull(w*64 + i); err != nil {
+					return err
+				}
+			}
+		}
+	case nullRLE:
+		if off+4 > len(b) {
+			return fmt.Errorf("persist: truncated null runs")
+		}
+		runs := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+runs*8 > len(b) {
+			return fmt.Errorf("persist: truncated null runs")
+		}
+		for r := 0; r < runs; r++ {
+			rs := int(binary.LittleEndian.Uint32(b[off:]))
+			rl := int(binary.LittleEndian.Uint32(b[off+4:]))
+			off += 8
+			for i := 0; i < rl; i++ {
+				if err := setNull(rs + i); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("persist: unknown null encoding %d", b[5])
+	}
+	if off >= len(b) {
+		return fmt.Errorf("persist: missing data encoding byte")
+	}
+	dataEnc := b[off]
+	off++
+	data := b[off:]
 	switch dst.Kind {
 	case vkEmpty:
-	case vkInt:
-		if err := need(rows * 8); err != nil {
-			return err
+		if dataEnc != dataRaw {
+			return fmt.Errorf("persist: encoding %d invalid for empty vector", dataEnc)
 		}
+	case vkInt:
 		if start+rows > len(dst.Ints) {
 			return fmt.Errorf("persist: chunk shape mismatch")
 		}
-		if hostLE && rows > 0 {
-			copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst.Ints[start])), rows*8), b[off:off+rows*8])
-			off += rows * 8
-		} else {
-			for i := 0; i < rows; i++ {
-				dst.Ints[start+i] = int64(binary.LittleEndian.Uint64(b[off:]))
-				off += 8
+		out := dst.Ints[start : start+rows]
+		switch dataEnc {
+		case dataRaw:
+			if rows*8 > len(data) {
+				return fmt.Errorf("persist: truncated chunk data")
 			}
+			if hostLE && rows > 0 {
+				copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), rows*8), data[:rows*8])
+			} else {
+				for i := 0; i < rows; i++ {
+					out[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+				}
+			}
+		case dataForInt:
+			return decodeForInt(out, data)
+		case dataDeltaInt:
+			return decodeDeltaInt(out, data)
+		default:
+			return fmt.Errorf("persist: encoding %d invalid for int vector", dataEnc)
 		}
 	case vkFloat:
-		if err := need(rows * 8); err != nil {
-			return err
+		if dataEnc != dataRaw {
+			return fmt.Errorf("persist: encoding %d invalid for float vector", dataEnc)
+		}
+		if rows*8 > len(data) {
+			return fmt.Errorf("persist: truncated chunk data")
 		}
 		if start+rows > len(dst.Floats) {
 			return fmt.Errorf("persist: chunk shape mismatch")
 		}
+		out := dst.Floats[start : start+rows]
 		if hostLE && rows > 0 {
-			copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst.Floats[start])), rows*8), b[off:off+rows*8])
-			off += rows * 8
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), rows*8), data[:rows*8])
 		} else {
 			for i := 0; i < rows; i++ {
-				dst.Floats[start+i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
-				off += 8
+				out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
 			}
 		}
 	case vkBool:
-		if err := need(rows); err != nil {
-			return err
-		}
 		if start+rows > len(dst.Bools) {
 			return fmt.Errorf("persist: chunk shape mismatch")
 		}
-		for i := 0; i < rows; i++ {
-			dst.Bools[start+i] = b[off] != 0
-			off++
-		}
-	case vkStr, vkAny:
-		if err := need((rows + 1) * 8); err != nil {
-			return err
-		}
-		offs := b[off : off+(rows+1)*8]
-		data := b[off+(rows+1)*8:]
-		if dst.Kind == vkStr {
-			if start+rows > len(dst.Strs) {
-				return fmt.Errorf("persist: chunk shape mismatch")
+		out := dst.Bools[start : start+rows]
+		switch dataEnc {
+		case dataRaw:
+			if rows > len(data) {
+				return fmt.Errorf("persist: truncated chunk data")
 			}
+			for i := 0; i < rows; i++ {
+				out[i] = data[i] != 0
+			}
+		case dataRLEBool:
+			return decodeRLEBool(out, data)
+		default:
+			return fmt.Errorf("persist: encoding %d invalid for bool vector", dataEnc)
+		}
+	case vkStr:
+		if start+rows > len(dst.Strs) {
+			return fmt.Errorf("persist: chunk shape mismatch")
+		}
+		out := dst.Strs[start : start+rows]
+		switch dataEnc {
+		case dataRaw:
+			if (rows+1)*8 > len(data) {
+				return fmt.Errorf("persist: truncated chunk data")
+			}
+			offs := data[: (rows+1)*8 : (rows+1)*8]
+			body := data[(rows+1)*8:]
 			// One backing allocation for the whole chunk: every cell is a
 			// substring of blob, so the loop allocates string headers only.
 			// Run-length deduplication on top keeps repeated values (date
 			// columns are constant within a partition) sharing one header.
-			blob := string(data)
+			// Zero-copy decode skips even that allocation: blob aliases the
+			// mapped file bytes.
+			blob := blobString(body, zeroCopy)
 			var last string
 			for i := 0; i < rows; i++ {
 				lo := binary.LittleEndian.Uint64(offs[i*8:])
 				hi := binary.LittleEndian.Uint64(offs[(i+1)*8:])
-				if hi < lo || hi > uint64(len(data)) {
+				if hi < lo || hi > uint64(len(body)) {
 					return fmt.Errorf("persist: bad string offsets")
 				}
 				if cell := blob[lo:hi]; i == 0 || cell != last {
 					last = cell
 				}
-				dst.Strs[start+i] = last
+				out[i] = last
 			}
-		} else {
-			if start+rows > len(dst.Anys) {
-				return fmt.Errorf("persist: chunk shape mismatch")
+		case dataDictStr:
+			return decodeDictStr(out, data, zeroCopy)
+		default:
+			return fmt.Errorf("persist: encoding %d invalid for string vector", dataEnc)
+		}
+	case vkAny:
+		if dataEnc != dataRaw {
+			return fmt.Errorf("persist: encoding %d invalid for boxed vector", dataEnc)
+		}
+		if (rows+1)*8 > len(data) {
+			return fmt.Errorf("persist: truncated chunk data")
+		}
+		if start+rows > len(dst.Anys) {
+			return fmt.Errorf("persist: chunk shape mismatch")
+		}
+		offs := data[: (rows+1)*8 : (rows+1)*8]
+		body := data[(rows+1)*8:]
+		for i := 0; i < rows; i++ {
+			lo := binary.LittleEndian.Uint64(offs[i*8:])
+			hi := binary.LittleEndian.Uint64(offs[(i+1)*8:])
+			if hi < lo || hi > uint64(len(body)) {
+				return fmt.Errorf("persist: bad cell offsets")
 			}
-			for i := 0; i < rows; i++ {
-				lo := binary.LittleEndian.Uint64(offs[i*8:])
-				hi := binary.LittleEndian.Uint64(offs[(i+1)*8:])
-				if hi < lo || hi > uint64(len(data)) {
-					return fmt.Errorf("persist: bad cell offsets")
-				}
-				cell, _, err := readValue(data[lo:hi], 0)
-				if err != nil {
-					return err
-				}
-				dst.Anys[start+i] = cell
+			cell, _, err := readValue(body[lo:hi], 0)
+			if err != nil {
+				return err
 			}
+			dst.Anys[start+i] = cell
 		}
 	default:
 		return fmt.Errorf("persist: unknown vector kind %d", dst.Kind)
 	}
 	return nil
+}
+
+// blobString turns a decoded blob region into the string cells alias. With
+// zeroCopy the returned string shares the mmap-backed bytes (immutable for
+// the process lifetime — checkpoint files are never rewritten in place);
+// otherwise it copies so the chunk buffer can be released.
+func blobString(b []byte, zeroCopy bool) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if zeroCopy {
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
 }
 
 // encodeColFile assembles a whole column file from chunks (payloads aligned

@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"os"
+	"sync"
+)
+
+// fdCacheSize bounds the open descriptors the read path holds. Column
+// faults under a tight memory budget reopen the same few checkpoint files
+// over and over; caching the descriptors removes the per-fault open/close
+// syscall pair without letting a wide table exhaust the process fd limit.
+const fdCacheSize = 16
+
+// fdCache is a bounded, refcounted cache of read-only column files shared
+// by every concurrent fault. Entries are pinned while a read is in flight
+// (refs > 0) and evicted LRU among the unpinned when the cache is full; if
+// every slot is pinned the overflow descriptor is returned uncached and
+// closed on release.
+type fdCache struct {
+	mu      sync.Mutex
+	entries map[string]*fdEntry
+	tick    int64
+}
+
+type fdEntry struct {
+	f        *os.File
+	refs     int
+	lastUsed int64
+	uncached bool
+}
+
+func newFDCache() *fdCache {
+	return &fdCache{entries: make(map[string]*fdEntry)}
+}
+
+// acquire returns an open descriptor for path, pinned until release.
+func (c *fdCache) acquire(path string) (*fdEntry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[path]; ok {
+		e.refs++
+		c.tick++
+		e.lastUsed = c.tick
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A concurrent fault may have cached the same path while we were in
+	// os.Open; join its entry and drop our duplicate descriptor.
+	if e, ok := c.entries[path]; ok {
+		f.Close()
+		e.refs++
+		c.tick++
+		e.lastUsed = c.tick
+		return e, nil
+	}
+	if len(c.entries) >= fdCacheSize && !c.evictOneLocked() {
+		// Every cached descriptor is pinned by an in-flight read: hand out
+		// an uncached one that closes on release.
+		return &fdEntry{f: f, refs: 1, uncached: true}, nil
+	}
+	c.tick++
+	e := &fdEntry{f: f, refs: 1, lastUsed: c.tick}
+	c.entries[path] = e
+	return e, nil
+}
+
+// evictOneLocked drops the least-recently-used unpinned entry.
+func (c *fdCache) evictOneLocked() bool {
+	var victimPath string
+	var victim *fdEntry
+	for p, e := range c.entries {
+		if e.refs > 0 {
+			continue
+		}
+		if victim == nil || e.lastUsed < victim.lastUsed {
+			victim, victimPath = e, p
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.f.Close()
+	delete(c.entries, victimPath)
+	return true
+}
+
+// release unpins an entry returned by acquire.
+func (c *fdCache) release(e *fdEntry) {
+	if e.uncached {
+		e.f.Close()
+		return
+	}
+	c.mu.Lock()
+	e.refs--
+	c.mu.Unlock()
+}
+
+// closeAll closes every unpinned descriptor; pinned ones close on release.
+// The cache stays usable afterwards.
+func (c *fdCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p, e := range c.entries {
+		if e.refs == 0 {
+			e.f.Close()
+			delete(c.entries, p)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package persist
+
+import "fmt"
+
+// mmapFile is unavailable off unix; the store falls back to file reads.
+func mmapFile(path string) ([]byte, error) {
+	return nil, fmt.Errorf("persist: mmap unsupported on this platform")
+}
+
+func madviseWillNeed(data []byte) {}

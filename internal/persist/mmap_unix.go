@@ -1,0 +1,41 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is intentionally never
+// unmapped: zero-copy string cells decoded from it escape into table
+// vectors that outlive the Store, and checkpoint switchover only unlinks
+// superseded files — POSIX keeps the pages of an unlinked mapped file
+// valid, and checkpoints never rewrite a file in place.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return []byte{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// madviseWillNeed hints the kernel to read the mapping ahead of the
+// first faulting access; errors are advisory-only and ignored.
+func madviseWillNeed(data []byte) {
+	if len(data) > 0 {
+		syscall.Madvise(data, syscall.MADV_WILLNEED)
+	}
+}

@@ -39,6 +39,15 @@ type Options struct {
 	// CheckpointBytes triggers an automatic checkpoint once the WAL grows
 	// past it; 0 means the 64 MB default. Negative disables auto-checkpoint.
 	CheckpointBytes int64
+	// Compress enables lightweight per-chunk column encodings (FOR/delta
+	// bitpacking, string dictionaries, bool RLE) in checkpoint files. The
+	// read path decodes every encoding regardless, so stores with and
+	// without Compress open each other's checkpoints.
+	Compress bool
+	// MMap serves cold chunk reads from read-only memory maps of the column
+	// files instead of per-fault pread, decoding string chunks zero-copy.
+	// Falls back to file reads when mapping fails.
+	MMap bool
 }
 
 const defaultCheckpointBytes = 64 << 20
@@ -46,9 +55,14 @@ const defaultCheckpointBytes = 64 << 20
 // Store is the durable backend for one pgdb.DB: it implements pgdb.Journal,
 // owns the WAL and checkpoints, and drives bounded-memory eviction.
 type Store struct {
-	db   *pgdb.DB
-	opts Options
-	wal  *walWriter
+	db    *pgdb.DB
+	opts  Options
+	wal   *walWriter
+	stats Stats
+	fds   *fdCache
+
+	warmMu sync.Mutex
+	warmed map[string]bool // column files already streamed for read-ahead
 
 	mu            sync.Mutex
 	ckptSeq       uint64
@@ -90,7 +104,7 @@ func Open(db *pgdb.DB, opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := &Store{db: db, opts: opts, tables: make(map[string]*tableState)}
+	st := &Store{db: db, opts: opts, tables: make(map[string]*tableState), fds: newFDCache()}
 
 	var m *manifest
 	cur, err := os.ReadFile(filepath.Join(opts.Dir, "CURRENT"))
@@ -274,8 +288,11 @@ func (st *Store) applyRecord(rec walRecord) error {
 // must be invalidated.
 func (st *Store) ReplayedChanges() bool { return st.replayed }
 
-// Close syncs and closes the WAL. The database keeps running in memory.
+// Close syncs and closes the WAL and drops cached column descriptors. The
+// database keeps running in memory; memory maps stay in place because
+// zero-copy cells decoded from them may still be referenced.
 func (st *Store) Close() error {
+	st.fds.closeAll()
 	return st.wal.close()
 }
 
@@ -354,49 +371,41 @@ func (st *Store) JournalDelete(table string, removed []int) error {
 // --- segment fault-in ---
 
 func (st *Store) loaderFor(name string) pgdb.SegLoader {
-	return func(si int) (pgdb.SegmentData, error) {
+	return func(si int, cols []int) (pgdb.SegmentData, error) {
 		st.mu.Lock()
 		ts := st.tables[name]
 		st.mu.Unlock()
 		if ts == nil {
 			return pgdb.SegmentData{}, fmt.Errorf("persist: no state for table %s", name)
 		}
-		return st.loadSegment(ts, si)
+		return st.loadSegment(ts, si, cols)
 	}
 }
 
-func (st *Store) loadSegment(ts *tableState, si int) (pgdb.SegmentData, error) {
+// loadSegment materializes the requested columns (all when cols is nil) of
+// one checkpointed segment. Each column decodes independently from its own
+// chunks, so a pruned scan's I/O is proportional to the columns it touches,
+// and concurrent faults of different columns never contend on a shared
+// descriptor: chunk reads go through the store-wide bounded fd cache, or
+// zero-copy through the per-path memory map when MMap is on.
+func (st *Store) loadSegment(ts *tableState, si int, cols []int) (pgdb.SegmentData, error) {
 	if si >= len(ts.segs) {
 		return pgdb.SegmentData{}, fmt.Errorf("persist: segment %d beyond checkpoint", si)
 	}
 	meta := ts.segs[si]
 	sd := pgdb.SegmentData{N: meta.N, Vecs: make([]pgdb.VecData, len(ts.cols))}
-	var buf []byte // chunk read buffer, reused across columns
-	// One column file stays open across consecutive chunks that live in it
-	// (opening per chunk costs more than the read for small partitions).
-	var f *os.File
-	var fPath string
-	defer func() {
-		if f != nil {
-			f.Close()
+	if cols == nil {
+		cols = make([]int, len(ts.cols))
+		for c := range cols {
+			cols[c] = c
 		}
-	}()
-	readChunk := func(path string, off int64, buf []byte) error {
-		if f == nil || fPath != path {
-			if f != nil {
-				f.Close()
-			}
-			var err error
-			if f, err = os.Open(path); err != nil {
-				f = nil
-				return err
-			}
-			fPath = path
-		}
-		_, err := f.ReadAt(buf, off)
-		return err
 	}
-	for c := range ts.cols {
+	st.stats.SegmentsFaulted.Add(1)
+	var buf []byte // chunk read buffer, reused across columns
+	for _, c := range cols {
+		if c < 0 || c >= len(ts.cols) {
+			return sd, fmt.Errorf("persist: segment %d: column %d out of range", si, c)
+		}
 		vm := meta.Vecs[c]
 		dst := pgdb.VecData{
 			Kind:    vm.Kind,
@@ -419,24 +428,133 @@ func (st *Store) loadSegment(ts *tableState, si int) (pgdb.SegmentData, error) {
 		}
 		covered := 0
 		for _, loc := range chunksForSeg(ts.chunks[c], si) {
-			if int64(cap(buf)) < loc.ref.Size {
-				buf = make([]byte, loc.ref.Size)
-			}
-			payload := buf[:loc.ref.Size]
-			if err := readChunk(loc.path, loc.ref.Offset, payload); err != nil {
+			payload, zeroCopy, err := st.readChunk(loc, &buf)
+			if err != nil {
 				return sd, err
 			}
-			if err := decodeChunkInto(&dst, loc.ref.StartInSeg, loc.ref.Rows, payload); err != nil {
+			if err := decodeChunkInto(&dst, loc.ref.StartInSeg, loc.ref.Rows, payload, zeroCopy); err != nil {
 				return sd, err
 			}
+			st.stats.ChunksDecoded.Add(1)
 			covered += loc.ref.Rows
 		}
 		if covered != meta.N {
 			return sd, fmt.Errorf("persist: segment %d column %d: chunks cover %d of %d rows", si, c, covered, meta.N)
 		}
 		sd.Vecs[c] = dst
+		st.stats.ColumnsFaulted.Add(1)
 	}
 	return sd, nil
+}
+
+// readChunk returns one chunk payload: a slice of the path's memory map
+// (zeroCopy=true) when MMap is on and the file maps, else a read into the
+// caller's reusable buffer through the bounded fd cache.
+func (st *Store) readChunk(loc chunkLoc, buf *[]byte) ([]byte, bool, error) {
+	if st.opts.MMap {
+		if data, ok := mappedFile(loc.path, &st.stats); ok {
+			if loc.ref.Offset < 0 || loc.ref.Offset+loc.ref.Size > int64(len(data)) {
+				return nil, false, fmt.Errorf("persist: chunk beyond mapped file %s", loc.path)
+			}
+			st.stats.MMapHits.Add(1)
+			return data[loc.ref.Offset : loc.ref.Offset+loc.ref.Size], true, nil
+		}
+	}
+	st.warmFile(loc.path)
+	if int64(cap(*buf)) < loc.ref.Size {
+		*buf = make([]byte, loc.ref.Size)
+	}
+	payload := (*buf)[:loc.ref.Size]
+	e, err := st.fds.acquire(loc.path)
+	if err != nil {
+		return nil, false, err
+	}
+	_, err = e.f.ReadAt(payload, loc.ref.Offset)
+	st.fds.release(e)
+	if err != nil {
+		return nil, false, err
+	}
+	st.stats.BytesRead.Add(loc.ref.Size)
+	return payload, false, nil
+}
+
+// mmapPool caches read-only mappings by path for the process lifetime.
+// Mappings are deliberately never unmapped: zero-copy string cells decoded
+// from them escape into table vectors that can outlive the Store, and a
+// checkpoint switch only unlinks superseded files (whose pages stay valid
+// under an existing map). Checkpoint sequence numbers only move forward
+// within a data dir, so a path that was ever mapped is never rewritten.
+var mmapPool = struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	failed map[string]bool
+}{m: make(map[string][]byte), failed: make(map[string]bool)}
+
+// mappedFile returns the cached mapping for path, mapping it on first use.
+// A path that failed to map once is not retried (the store falls back to
+// file reads for it permanently).
+func mappedFile(path string, stats *Stats) ([]byte, bool) {
+	mmapPool.mu.Lock()
+	if data, ok := mmapPool.m[path]; ok {
+		mmapPool.mu.Unlock()
+		return data, true
+	}
+	failed := mmapPool.failed[path]
+	mmapPool.mu.Unlock()
+	if failed {
+		return nil, false
+	}
+	data, err := mmapFile(path)
+	mmapPool.mu.Lock()
+	defer mmapPool.mu.Unlock()
+	if err != nil {
+		mmapPool.failed[path] = true
+		return nil, false
+	}
+	if prev, ok := mmapPool.m[path]; ok {
+		// A concurrent fault mapped the same file first; both mappings view
+		// identical immutable bytes, ours is simply redundant.
+		return prev, true
+	}
+	mmapPool.m[path] = data
+	// Read-ahead: a first chunk access to a partition's column predicts the
+	// scan will want the rest of the file shortly.
+	madviseWillNeed(data)
+	if stats != nil {
+		stats.ReadAheads.Add(1)
+	}
+	return data, true
+}
+
+// warmFile streams a column file through the OS page cache in the
+// background the first time the pread path touches it — partition-level
+// read-ahead, so a parallel chunked scan faulting distinct partitions'
+// columns finds warm pages instead of seeking per chunk.
+func (st *Store) warmFile(path string) {
+	st.warmMu.Lock()
+	if st.warmed == nil {
+		st.warmed = make(map[string]bool)
+	}
+	if st.warmed[path] {
+		st.warmMu.Unlock()
+		return
+	}
+	st.warmed[path] = true
+	st.warmMu.Unlock()
+	st.stats.ReadAheads.Add(1)
+	go func() {
+		f, err := os.Open(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		buf := make([]byte, 256<<10)
+		for {
+			if _, err := f.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
 }
 
 func chunksForSeg(chunks []chunkLoc, si int) []chunkLoc {
@@ -545,7 +663,11 @@ func (st *Store) evictToBudget() {
 				if hi > c.segs {
 					hi = c.segs
 				}
-				total -= st.db.EvictSegments(c.name, lo, hi)
+				freed, ncols := st.db.EvictSegments(c.name, lo, hi)
+				total -= freed
+				if ncols > 0 {
+					st.stats.Evictions.Add(int64(ncols))
+				}
 			}
 			if total <= budget {
 				break
@@ -690,7 +812,7 @@ func (st *Store) checkpointLocked(seq uint64, oldDir string) error {
 			}
 			tm.Parts = append(tm.Parts, manifestPart{Name: p.name, Key: p.key, Start: p.start, Rows: p.rows})
 			for c := range cols {
-				refs, payloads, err := buildColChunks(segs, c, p.start, p.start+p.rows)
+				refs, payloads, err := buildColChunks(segs, c, p.start, p.start+p.rows, st.opts.Compress)
 				if err != nil {
 					return err
 				}
@@ -764,7 +886,7 @@ func (st *Store) checkpointLocked(seq uint64, oldDir string) error {
 
 // buildColChunks slices column c of the snapshot into the chunks that fall
 // inside partition rows [pstart, pend).
-func buildColChunks(segs []pgdb.SegmentData, c, pstart, pend int) ([]chunkRef, [][]byte, error) {
+func buildColChunks(segs []pgdb.SegmentData, c, pstart, pend int, compress bool) ([]chunkRef, [][]byte, error) {
 	var refs []chunkRef
 	var payloads [][]byte
 	for si := pstart / pgdb.SegmentSize; si*pgdb.SegmentSize < pend && si < len(segs); si++ {
@@ -780,7 +902,7 @@ func buildColChunks(segs []pgdb.SegmentData, c, pstart, pend int) ([]chunkRef, [
 		if hi <= lo {
 			continue
 		}
-		payload, err := encodeChunk(segs[si].Vecs[c], segs[si].N, lo, hi)
+		payload, err := encodeChunk(segs[si].Vecs[c], segs[si].N, lo, hi, compress)
 		if err != nil {
 			return nil, nil, err
 		}

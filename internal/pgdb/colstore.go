@@ -2,6 +2,7 @@ package pgdb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -52,7 +53,11 @@ func vecKindName(k vecKind) string {
 // non-null value, with dynamic degradation to boxed storage on a type
 // mismatch, a null bitmap, and a conservative min/max zone map.
 type colVec struct {
-	kind   vecKind
+	kind vecKind
+	// stub marks an evicted column: the metadata below (kind, null count,
+	// zone bounds) is valid but the data slices are absent; touching its
+	// cells must fault this column back in through the store's loader.
+	stub   bool
 	ints   []int64
 	floats []float64
 	strs   []string
@@ -330,10 +335,15 @@ func (v *colVec) get(i int) any {
 	}
 }
 
-// segment holds up to segSize rows of every column. A stub segment is the
-// evicted form: it keeps the per-vector metadata the planner prunes on
-// (kind, null count, zone bounds) but no data slices; touching its cells
-// faults the full segment back in through the store's loader.
+// segment holds up to segSize rows of every column. Residency is tracked
+// per column: each colVec carries its own stub flag, and the segment-level
+// stub flag is the OR of them — set when at least one column is evicted.
+// A fully evicted segment keeps only the per-vector metadata the planner
+// prunes on (kind, null count, zone bounds); touching a stub column's cells
+// faults that column back in through the store's loader. Segments are
+// immutable once published through the slot pointer while stubbed; faults
+// install a copy-on-write replacement, so readers never observe a
+// half-built column.
 type segment struct {
 	n    int
 	stub bool
@@ -349,13 +359,18 @@ type storeFault struct{ err error }
 func (f *storeFault) Error() string { return f.err.Error() }
 
 // segSlot is one segment position; the pointer swaps atomically between the
-// resident segment and its evicted stub, so concurrent readers never observe
-// a half-built segment.
+// resident segment and its (possibly partially) evicted form, so concurrent
+// readers never observe a half-built segment.
 type segSlot struct {
 	p atomic.Pointer[segment]
-	// mu serializes faults of this slot only, so parallel scan workers can
-	// reload distinct evicted segments concurrently.
+	// mu serializes segment installs (the copy-on-write pointer swap) so
+	// concurrent faults of disjoint column sets compose instead of losing
+	// each other's columns.
 	mu sync.Mutex
+	// colMu serializes faults per column, so parallel scan workers can
+	// reload distinct columns of the same segment concurrently while two
+	// faults of the same column do the I/O only once.
+	colMu []sync.Mutex
 }
 
 // colStore is the columnar storage of one table.
@@ -388,38 +403,110 @@ func (st *colStore) numSegs() int { return len(st.slots) }
 // metadata-only inspection (zone pruning, row counts). It never faults.
 func (st *colStore) peekSeg(si int) *segment { return st.slots[si].p.Load() }
 
-// seg returns segment si with its data resident, faulting it in from the
-// loader when evicted. I/O failures surface as a storeFault panic, recovered
+// seg returns segment si with every column resident, faulting missing ones
+// in from the loader. I/O failures surface as a storeFault panic, recovered
 // at the statement boundary.
 func (st *colStore) seg(si int) *segment {
 	if s := st.slots[si].p.Load(); !s.stub {
 		return s
 	}
-	return st.fault(si)
+	return st.fault(si, nil)
 }
 
-func (st *colStore) fault(si int) *segment {
+// segCols returns segment si with at least the given columns resident
+// (nil ⇒ all columns). The vectorized scan paths pass their referenced
+// column set here so a pruned cold scan faults only the WHERE + projected
+// columns of each segment.
+func (st *colStore) segCols(si int, cols []int) *segment {
+	s := st.slots[si].p.Load()
+	if !s.stub {
+		return s
+	}
+	if cols == nil {
+		return st.fault(si, nil)
+	}
+	for _, c := range cols {
+		if s.vecs[c].stub {
+			return st.fault(si, cols)
+		}
+	}
+	return s
+}
+
+// fault loads the stub columns among cols (nil ⇒ all columns) of segment si
+// and installs a copy-on-write replacement segment. Per-column mutexes are
+// taken in ascending column order (deadlock-free); the brief install section
+// under slot.mu composes concurrent faults of disjoint column sets.
+func (st *colStore) fault(si int, cols []int) *segment {
 	slot := st.slots[si]
-	slot.mu.Lock()
-	defer slot.mu.Unlock()
-	if s := slot.p.Load(); !s.stub {
-		return s // a concurrent fault won
+	var req []int
+	if cols == nil {
+		req = make([]int, len(st.cols))
+		for c := range req {
+			req[c] = c
+		}
+	} else {
+		req = append([]int(nil), cols...)
+		sort.Ints(req)
+		// drop duplicates so a column's mutex is not locked twice
+		w := 0
+		for i, c := range req {
+			if i == 0 || c != req[w-1] {
+				req[w] = c
+				w++
+			}
+		}
+		req = req[:w]
+	}
+	for _, c := range req {
+		slot.colMu[c].Lock()
+	}
+	defer func() {
+		for _, c := range req {
+			slot.colMu[c].Unlock()
+		}
+	}()
+	s := slot.p.Load()
+	missing := make([]int, 0, len(req))
+	for _, c := range req {
+		if s.vecs[c].stub {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return s // concurrent faults won every requested column
 	}
 	if st.loader == nil {
 		panic(&storeFault{err: fmt.Errorf("segment %d is evicted and the store has no loader", si)})
 	}
-	data, err := st.loader(si)
+	data, err := st.loader(si, missing)
 	if err != nil {
 		panic(&storeFault{err: fmt.Errorf("reloading segment %d: %w", si, err)})
 	}
-	s := segmentFromData(data)
-	slot.p.Store(s)
-	return s
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	cur := slot.p.Load()
+	ns := &segment{n: cur.n, vecs: make([]colVec, len(cur.vecs))}
+	copy(ns.vecs, cur.vecs)
+	for _, c := range missing {
+		if c >= len(data.Vecs) {
+			panic(&storeFault{err: fmt.Errorf("reloading segment %d: loader returned %d vectors, need column %d", si, len(data.Vecs), c)})
+		}
+		ns.vecs[c] = vecFromData(data.Vecs[c])
+	}
+	for c := range ns.vecs {
+		if ns.vecs[c].stub {
+			ns.stub = true
+			break
+		}
+	}
+	slot.p.Store(ns)
+	return ns
 }
 
 // addSeg appends a fresh segment slot holding seg.
 func (st *colStore) addSeg(seg *segment) {
-	slot := &segSlot{}
+	slot := &segSlot{colMu: make([]sync.Mutex, len(st.cols))}
 	slot.p.Store(seg)
 	st.slots = append(st.slots, slot)
 }
@@ -490,10 +577,15 @@ func (st *colStore) rows() [][]any {
 	return out
 }
 
-// cellAt boxes the value at a global row index.
+// cellAt boxes the value at a global row index, faulting in only that
+// column of the segment when it is evicted.
 func (st *colStore) cellAt(i, col int) any {
-	seg := st.seg(i / segSize)
-	return seg.vecs[col].get(i % segSize)
+	si := i / segSize
+	s := st.slots[si].p.Load()
+	if s.stub && s.vecs[col].stub {
+		s = st.fault(si, []int{col})
+	}
+	return s.vecs[col].get(i % segSize)
 }
 
 // rowAt boxes one full row at a global row index (lazy scans use this in
@@ -503,6 +595,19 @@ func (st *colStore) rowAt(i int) []any {
 	pos := i % segSize
 	row := make([]any, len(st.cols))
 	for c := range seg.vecs {
+		row[c] = seg.vecs[c].get(pos)
+	}
+	return row
+}
+
+// rowAtCols boxes the given columns of one row (others stay nil), faulting
+// only those columns. Aggregate finalization uses this for the group's
+// representative row when the referenced-column analysis succeeds.
+func (st *colStore) rowAtCols(i int, cols []int) []any {
+	seg := st.segCols(i/segSize, cols)
+	pos := i % segSize
+	row := make([]any, len(st.cols))
+	for _, c := range cols {
 		row[c] = seg.vecs[c].get(pos)
 	}
 	return row
@@ -540,33 +645,40 @@ func (st *colStore) refreshZones(touched map[[2]int]struct{}) {
 	}
 }
 
-// evictSeg swaps segment si for a metadata-only stub, dropping its data
-// vectors. The caller (the persistence layer) must guarantee the segment is
+// evictSeg swaps segment si for a metadata-only stub, dropping the data of
+// every resident column (partially resident segments evict their remaining
+// columns). The caller (the persistence layer) must guarantee the segment is
 // durable and clean, and must hold the database's exclusive statement lock.
-// Returns false if the segment is already a stub.
-func (st *colStore) evictSeg(si int) bool {
+// Returns the number of columns whose data was dropped (0 if the segment was
+// already fully evicted).
+func (st *colStore) evictSeg(si int) int {
 	s := st.slots[si].p.Load()
-	if s.stub {
-		return false
+	dropped := 0
+	for c := range s.vecs {
+		if !s.vecs[c].stub {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return 0
 	}
 	stub := &segment{n: s.n, stub: true, vecs: make([]colVec, len(s.vecs))}
 	for c := range s.vecs {
 		v := &s.vecs[c]
-		stub.vecs[c] = colVec{kind: v.kind, nullCnt: v.nullCnt, minV: v.minV, maxV: v.maxV}
+		stub.vecs[c] = colVec{kind: v.kind, stub: true, nullCnt: v.nullCnt, minV: v.minV, maxV: v.maxV}
 	}
 	st.slots[si].p.Store(stub)
-	return true
+	return dropped
 }
 
-// residentBytes estimates the heap footprint of the resident (non-stub)
-// segment data, the quantity the -mem-budget eviction policy bounds.
+// residentBytes estimates the heap footprint of the resident segment data,
+// the quantity the -mem-budget eviction policy bounds. Stub columns carry no
+// data slices, so partially resident segments are accounted at column
+// granularity for free.
 func (st *colStore) residentBytes() int64 {
 	var b int64
 	for _, sl := range st.slots {
 		s := sl.p.Load()
-		if s.stub {
-			continue
-		}
 		for c := range s.vecs {
 			b += s.vecs[c].memBytes()
 		}

@@ -148,8 +148,9 @@ func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]an
 func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
 	n := st.numRows()
 	out := make([]uint64, (n+63)/64)
+	pcols := predCols(p)
 	if workers := s.db.Parallelism(); workers > 1 && n >= parallelMinRows && st.numSegs() > 1 {
-		if err := s.evalVecPredParallel(p, st, out, workers); err != nil {
+		if err := s.evalVecPredParallel(p, pcols, st, out, workers); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -165,7 +166,7 @@ func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
 					return
 				}
 			}
-			evalPredSeg(p, st, si, out)
+			evalPredSeg(p, pcols, st, si, out)
 		}
 	}()
 	if err != nil {
@@ -176,8 +177,9 @@ func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
 
 // evalPredSeg evaluates the predicate over one segment's bitmap window,
 // trying the metadata-only stub path first so pruned cold segments stay on
-// disk.
-func evalPredSeg(p vecPred, st *colStore, si int, out []uint64) {
+// disk; when a per-row scan is unavoidable it faults in only the predicate's
+// referenced columns (pcols).
+func evalPredSeg(p vecPred, pcols []int, st *colStore, si int, out []uint64) {
 	seg := st.peekSeg(si)
 	base := si * segWords
 	window := out[base : base+(seg.n+63)/64]
@@ -185,7 +187,7 @@ func evalPredSeg(p vecPred, st *colStore, si int, out []uint64) {
 		if done := p.stubSeg(seg, window); done {
 			return
 		}
-		seg = st.seg(si)
+		seg = st.segCols(si, pcols)
 	}
 	p.evalSeg(seg, window)
 }
@@ -194,8 +196,11 @@ func evalPredSeg(p vecPred, st *colStore, si int, out []uint64) {
 // kernels cannot error, so the failures are statement cancellation — every
 // worker reports the same error class, no ordering needed — and cold-
 // segment reload faults, which the workers trap locally (a panic would
-// escape the goroutine and kill the process).
-func (s *Session) evalVecPredParallel(p vecPred, st *colStore, out []uint64, workers int) error {
+// escape the goroutine and kill the process). Workers fault distinct
+// segments' columns concurrently: fault serialization is per (segment,
+// column), so a cold parallel scan keeps the I/O paths of different
+// partitions independent.
+func (s *Session) evalVecPredParallel(p vecPred, pcols []int, st *colStore, out []uint64, workers int) error {
 	ctx := s.ctx
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -211,7 +216,7 @@ func (s *Session) evalVecPredParallel(p vecPred, st *colStore, out []uint64, wor
 						return
 					}
 				}
-				evalPredSeg(p, st, si, out)
+				evalPredSeg(p, pcols, st, si, out)
 			}
 		}(w)
 	}

@@ -125,16 +125,13 @@ func vecFromData(d VecData) colVec {
 	}
 }
 
-func segmentFromData(d SegmentData) *segment {
-	seg := &segment{n: d.N, vecs: make([]colVec, len(d.Vecs))}
-	for i, vd := range d.Vecs {
-		seg.vecs[i] = vecFromData(vd)
-	}
-	return seg
-}
-
-// SegLoader reloads one evicted segment of a table from durable storage.
-type SegLoader func(si int) (SegmentData, error)
+// SegLoader reloads evicted columns of one segment of a table from durable
+// storage. cols is the sorted set of column indexes to load, or nil for all
+// columns; the returned SegmentData.Vecs must have one entry per table
+// column, with at least the requested indexes populated (the rest are
+// ignored). Faulting is column-granular: a pruned scan requests only the
+// columns it references.
+type SegLoader func(si int, cols []int) (SegmentData, error)
 
 // SnapshotTable returns the live segments of a permanent table. It must run
 // inside Exclusive — it takes no locks itself — and faults any evicted
@@ -188,7 +185,7 @@ func (db *DB) RestoreTableLazy(name string, cols []Column, segs []SegMeta, loade
 	for _, sm := range segs {
 		seg := &segment{n: sm.N, stub: true, vecs: make([]colVec, len(sm.Vecs))}
 		for c, vm := range sm.Vecs {
-			seg.vecs[c] = colVec{kind: vecKind(vm.Kind), nullCnt: vm.NullCnt, minV: vm.Min, maxV: vm.Max}
+			seg.vecs[c] = colVec{kind: vecKind(vm.Kind), stub: true, nullCnt: vm.NullCnt, minV: vm.Min, maxV: vm.Max}
 		}
 		st.addSeg(seg)
 		st.n += sm.N
@@ -202,39 +199,39 @@ func (db *DB) RestoreTableLazy(name string, cols []Column, segs []SegMeta, loade
 }
 
 // EvictSegments swaps resident segments [from, to) of a table for stubs,
-// dropping their data and the table's memoized row view. The caller must
-// guarantee the range is durable and clean, and must run inside Exclusive —
-// that makes the clean-check and the eviction atomic with respect to DML.
-// Returns the estimated bytes released.
-func (db *DB) EvictSegments(name string, from, to int) int64 {
+// dropping their data and the table's memoized row view. Partially resident
+// segments (only some columns faulted back in) are evicted too, and the
+// accounting is column-granular. The caller must guarantee the range is
+// durable and clean, and must run inside Exclusive — that makes the
+// clean-check and the eviction atomic with respect to DML. Returns the
+// estimated bytes released and the number of column vectors dropped.
+func (db *DB) EvictSegments(name string, from, to int) (int64, int) {
 	t, ok := db.tables[name]
 	if !ok {
-		return 0
+		return 0, 0
 	}
 	st := t.store
 	if st.loader == nil {
-		return 0 // memory-only store: nothing could reload the data
+		return 0, 0 // memory-only store: nothing could reload the data
 	}
 	if to > st.numSegs() {
 		to = st.numSegs()
 	}
 	var freed int64
-	evicted := false
+	cols := 0
 	for si := from; si < to; si++ {
 		s := st.peekSeg(si)
-		if s.stub {
-			continue
-		}
 		for c := range s.vecs {
-			freed += s.vecs[c].memBytes()
+			if !s.vecs[c].stub {
+				freed += s.vecs[c].memBytes()
+			}
 		}
-		st.evictSeg(si)
-		evicted = true
+		cols += st.evictSeg(si)
 	}
-	if evicted {
+	if cols > 0 {
 		st.cache.Store(nil) // the row view pins boxed copies of every cell
 	}
-	return freed
+	return freed, cols
 }
 
 // SetTableLoader attaches (or replaces) the segment loader of a table —

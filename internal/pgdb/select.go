@@ -647,8 +647,12 @@ func (s *Session) projectVec(sel *sqlparse.SelectStmt, rel *relation, selBits []
 		out := backing[:len(cols):len(cols)]
 		backing = backing[len(cols):]
 		if lazy {
+			// fault only the projected columns of the row's segment, in one
+			// loader call per cold segment
+			seg := st.segCols(i/segSize, cols)
+			pos := i % segSize
 			for k, c := range cols {
-				out[k] = st.cellAt(i, c)
+				out[k] = seg.vecs[c].get(pos)
 			}
 		} else {
 			row := src[i]

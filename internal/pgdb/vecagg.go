@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -333,6 +334,87 @@ func appendKeyCell(buf []byte, v *colVec, i int) []byte {
 	return append(buf, ';')
 }
 
+// repRowCols computes the set of storage columns the compiled group items
+// and HAVING clause can read from a group's representative row, mirroring
+// compileAggExpr's dispatch exactly: aggregate calls read their slot (their
+// arguments never touch the representative row), the scalar shapes it
+// recurses into are analyzed structurally, and any other subtree evaluates
+// whole against the representative row, contributing every column reference
+// inside it. ok=false means the analysis met a shape it cannot bound
+// (subqueries, unresolvable references) and the caller must materialize the
+// full row.
+func repRowCols(items []sqlparse.SelectItem, having sqlparse.Expr, schema []colBinding, st *colStore) ([]int, bool) {
+	seen := map[int]struct{}{}
+	ok := true
+	collectAll := func(e sqlparse.Expr) {
+		walkExpr(e, func(x sqlparse.Expr) {
+			switch cr := x.(type) {
+			case *sqlparse.ColRef:
+				col, err := findCol(schema, cr)
+				if err != nil || col >= len(st.cols) {
+					ok = false
+					return
+				}
+				seen[col] = struct{}{}
+			case *sqlparse.SubqueryExpr:
+				// walkExpr does not descend into the subquery's select, so
+				// a correlated outer reference would be invisible here
+				ok = false
+			}
+		})
+	}
+	var visit func(e sqlparse.Expr)
+	visit = func(e sqlparse.Expr) {
+		if e == nil {
+			return
+		}
+		if fc, isAgg := e.(*sqlparse.FuncCall); isAgg && fc.Over == nil && aggregateNames[fc.Name] {
+			return // slot lookup: no representative-row access
+		}
+		if !exprHasAggregate(e) {
+			collectAll(e)
+			return
+		}
+		switch x := e.(type) {
+		case *sqlparse.FuncCall:
+			for _, a := range x.Args {
+				visit(a)
+			}
+		case *sqlparse.CaseExpr:
+			visit(x.Operand)
+			for _, cw := range x.Whens {
+				visit(cw.Cond)
+				visit(cw.Then)
+			}
+			visit(x.Else)
+		case *sqlparse.IsNullExpr:
+			visit(x.X)
+		case *sqlparse.BinaryExpr:
+			visit(x.L)
+			visit(x.R)
+		case *sqlparse.CastExpr:
+			visit(x.X)
+		case *sqlparse.UnaryExpr:
+			visit(x.X)
+		default:
+			collectAll(e)
+		}
+	}
+	for _, item := range items {
+		visit(item.Expr)
+	}
+	visit(having)
+	if !ok {
+		return nil, false
+	}
+	cols := make([]int, 0, len(seen))
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols, true
+}
+
 // vecGroup is one group's fused state: selection bookkeeping for COUNT(*),
 // first/last and the representative row, plus one accumulator per slot.
 type vecGroup struct {
@@ -368,6 +450,29 @@ func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBit
 		}
 		keyCols[i] = col
 	}
+
+	// scanCols is the referenced-column set of the fused scan: group keys
+	// plus every slot's input column. COUNT(*) reads no column, and
+	// first/last read a single cell at finalize through cellAt, which is
+	// already column-granular — so a pruned cold aggregate faults in only
+	// these columns of each surviving segment.
+	scanCols := append([]int(nil), keyCols...)
+	for i := range fused {
+		fs := &fused[i]
+		if fs.kind == fStar || fs.kind == fFirst || fs.kind == fLast {
+			continue
+		}
+		scanCols = append(scanCols, fs.col)
+	}
+	sort.Ints(scanCols)
+	w := 0
+	for i, c := range scanCols {
+		if i == 0 || c != scanCols[w-1] {
+			scanCols[w] = c
+			w++
+		}
+	}
+	scanCols = scanCols[:w]
 
 	newGroup := func(idx int) *vecGroup {
 		g := &vecGroup{firstIdx: idx, lastIdx: idx, accs: make([]slotAcc, len(fused))}
@@ -609,7 +714,7 @@ func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBit
 				continue
 			}
 		}
-		seg := st.seg(segIdx)
+		seg := st.segCols(segIdx, scanCols)
 		groupGeneric := func(i, gi int) *vecGroup {
 			keyBuf = keyBuf[:0]
 			for _, kc := range keyCols {
@@ -842,14 +947,20 @@ func (s *Session) execGroupedVec(sel *sqlparse.SelectStmt, rel *relation, selBit
 	}
 	res.Rows = make([][]any, 0, len(order))
 	rows := rel.rows // full row view; firstIdx indexes into it (nil: lazy scan)
+	repCols, repOK := repRowCols(items, sel.Having, rel.schema, st)
 	for _, g := range order {
 		vals, errs := finalize(g)
 		gec := &evalCtx{s: s, rowIdx: -1, agg: &groupAgg{slots: slots, vals: vals, errs: errs, done: doneAll}}
 		var rep []any
 		if g.firstIdx >= 0 {
-			if rows != nil {
+			switch {
+			case rows != nil:
 				rep = rows[g.firstIdx]
-			} else {
+			case repOK:
+				// only the columns the items/HAVING actually evaluate
+				// against the representative row are materialized
+				rep = st.rowAtCols(g.firstIdx, repCols)
+			default:
 				rep = st.rowAt(g.firstIdx)
 			}
 		}

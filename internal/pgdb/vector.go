@@ -3,6 +3,7 @@ package pgdb
 import (
 	"math"
 	"math/bits"
+	"sort"
 	"strings"
 
 	"hyperq/internal/pgdb/sqlparse"
@@ -42,9 +43,26 @@ const segWords = segSize / 64
 // scan is needed; a false return must leave the window untouched, since
 // the caller then faults the segment in and runs evalSeg on the same
 // window.
+// cols reports every column index the predicate's evalSeg may touch, so the
+// scan can fault in exactly those columns of an evicted segment (stubSeg
+// needs only metadata and never faults).
 type vecPred interface {
 	evalSeg(seg *segment, out []uint64)
 	stubSeg(seg *segment, out []uint64) bool
+	cols(add func(int))
+}
+
+// predCols collects the sorted, de-duplicated referenced-column set of a
+// lowered predicate.
+func predCols(p vecPred) []int {
+	seen := map[int]struct{}{}
+	p.cols(func(c int) { seen[c] = struct{}{} })
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // --- bitmap helpers ---
@@ -110,6 +128,8 @@ func materializeSel(rows [][]any, sel []uint64) [][]any {
 
 type vecAnd struct{ l, r vecPred }
 
+func (p *vecAnd) cols(add func(int)) { p.l.cols(add); p.r.cols(add) }
+
 func (p *vecAnd) evalSeg(seg *segment, out []uint64) {
 	p.l.evalSeg(seg, out)
 	if windowAllZero(out) {
@@ -144,6 +164,8 @@ func (p *vecAnd) stubSeg(seg *segment, out []uint64) bool {
 
 type vecOr struct{ l, r vecPred }
 
+func (p *vecOr) cols(add func(int)) { p.l.cols(add); p.r.cols(add) }
+
 func (p *vecOr) evalSeg(seg *segment, out []uint64) {
 	p.l.evalSeg(seg, out)
 	var tmp [segWords]uint64
@@ -174,6 +196,8 @@ func (p *vecOr) stubSeg(seg *segment, out []uint64) bool {
 // FALSE/NULL select nothing.
 type vecConst struct{ all bool }
 
+func (p *vecConst) cols(func(int)) {}
+
 func (p *vecConst) evalSeg(seg *segment, out []uint64) {
 	if p.all {
 		fillOnes(out, seg.n)
@@ -190,6 +214,8 @@ type vecIsNull struct {
 	col int
 	not bool
 }
+
+func (p *vecIsNull) cols(add func(int)) { add(p.col) }
 
 func (p *vecIsNull) evalSeg(seg *segment, out []uint64) {
 	v := &seg.vecs[p.col]
@@ -235,6 +261,8 @@ func (p *vecIsNull) stubSeg(seg *segment, out []uint64) bool {
 // kept only when the cell is boolean TRUE — non-bool values reject like the
 // row engines' `b, ok := v.(bool); ok && b` keep test.
 type vecColTrue struct{ col int }
+
+func (p *vecColTrue) cols(add func(int)) { add(p.col) }
 
 func (p *vecColTrue) evalSeg(seg *segment, out []uint64) {
 	v := &seg.vecs[p.col]
@@ -294,6 +322,8 @@ type vecCmp struct {
 	ksOK  bool
 	ktn   string // %T name of the constant, for mixed-type ordering
 }
+
+func (p *vecCmp) cols(add func(int)) { add(p.col) }
 
 func newVecCmp(col int, op string, konst any) *vecCmp {
 	p := &vecCmp{col: col, op: op, konst: konst}
@@ -628,6 +658,8 @@ type vecIn struct {
 	hasNaN  bool      // a NaN member (matches NaN cells: compareVals NaN = NaN)
 	kss     []string  // string members
 }
+
+func (p *vecIn) cols(add func(int)) { add(p.col) }
 
 func newVecIn(col int, members []any, not bool) *vecIn {
 	p := &vecIn{col: col, members: members, not: not}

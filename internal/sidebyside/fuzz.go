@@ -107,6 +107,16 @@ type FuzzConfig struct {
 	// query faults its vectors back through the persist codec. Incompatible
 	// with sharded mode (Shards > 1).
 	PersistDir string
+	// PersistCompress checkpoints with compressed column chunks (persist
+	// Options.Compress); only meaningful with PersistDir.
+	PersistCompress bool
+	// PersistMMap serves cold reads through memory-mapped column files
+	// (persist Options.MMap); only meaningful with PersistDir.
+	PersistMMap bool
+	// PersistMemBudget caps resident column bytes in the framework under
+	// test (persist Options.MemBudget), forcing eviction-and-refault churn
+	// during the run; only meaningful with PersistDir.
+	PersistMemBudget int64
 	// Shards, when > 1, switches the run to sharded differential mode: the
 	// same queries execute through a single-backend session and a session
 	// over a Shards-wide embedded cluster, and the two must produce
@@ -261,7 +271,7 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 	kdb := interp.New()
 	db := pgdb.NewDB()
 	db.SetExecMode(cfg.ExecMode)
-	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone})
+	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone, Compress: cfg.PersistCompress})
 	if err != nil {
 		return nil, fmt.Errorf("open persist dir %s: %w", dir, err)
 	}
@@ -288,7 +298,12 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 	// WAL handle can be released immediately too.
 	db2 := pgdb.NewDB()
 	db2.SetExecMode(cfg.ExecMode)
-	st2, err := persist.Open(db2, persist.Options{Dir: dir, Sync: persist.SyncNone})
+	st2, err := persist.Open(db2, persist.Options{
+		Dir: dir, Sync: persist.SyncNone,
+		Compress:  cfg.PersistCompress,
+		MMap:      cfg.PersistMMap,
+		MemBudget: cfg.PersistMemBudget,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cold reopen %s: %w", dir, err)
 	}
