@@ -166,6 +166,17 @@ func runBench(outPath string, rows int) {
 	fmt.Fprintf(os.Stderr, "%-18s 1 worker    %12.0f ns/op  %d workers %12.0f ns/op  speedup %.2fx\n",
 		"parallel_filter", seq.NsPerOp, runtime.GOMAXPROCS(0), par.NsPerOp, seq.NsPerOp/par.NsPerOp)
 
+	// access-path benches: point lookup, as-of join, and the lazy index
+	// build itself, with secondary indexes on vs off, at the base size and
+	// at 1M rows (the acceptance scale for the speedup targets)
+	sizes := []int{rows}
+	if rows != 1_000_000 {
+		sizes = append(sizes, 1_000_000)
+	}
+	for _, n := range sizes {
+		entries = append(entries, runIndexBenches(n)...)
+	}
+
 	text, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		log.Fatalf("bench encode: %v", err)
@@ -174,4 +185,120 @@ func runBench(outPath string, rows int) {
 		log.Fatalf("bench write: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), outPath)
+}
+
+// newIndexBenchDB builds the access-path benchmark tables: a keyed fact
+// table of n rows whose k column is a shuffled high-cardinality key (unsorted,
+// so only the hash index can avoid a scan) and sym cycles a small universe
+// with heavy duplication, plus a 2000-row probe table for as-of joins. Rows
+// come from a fixed LCG, so every run measures identical data.
+func newIndexBenchDB(n int) (*pgdb.DB, error) {
+	db := pgdb.NewDB()
+	s := db.NewSession()
+	for _, ddl := range []string{
+		"CREATE TABLE keyed (k bigint, sym varchar, tm bigint, px double precision)",
+		"CREATE TABLE probes (id bigint, sym varchar, tm bigint)",
+	} {
+		if _, err := s.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("index bench load: %w", err)
+		}
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 17
+	}
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{
+			int64(next() % uint64(n)),
+			benchSymbols[next()%uint64(len(benchSymbols))],
+			int64(next() % uint64(4*n)),
+			50.0 + float64(next()%100000)/100.0,
+		}
+	}
+	if err := db.InsertRows("keyed", rows); err != nil {
+		return nil, err
+	}
+	probes := make([][]any, 2000)
+	for i := range probes {
+		probes[i] = []any{
+			int64(i),
+			benchSymbols[next()%uint64(len(benchSymbols))],
+			int64(next() % uint64(4*n)),
+		}
+	}
+	if err := db.InsertRows("probes", probes); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// asofBenchSQL is the rank-filter shape the fused as-of executor recognizes:
+// latest quote at or before each probe's time, per probe row.
+const asofBenchSQL = `SELECT id, sym, tm, px FROM (
+  SELECT a.id, a.sym, a.tm, b.px,
+         ROW_NUMBER() OVER (PARTITION BY a.id ORDER BY b.tm DESC) AS rn
+  FROM probes a LEFT JOIN keyed b ON a.sym IS NOT DISTINCT FROM b.sym AND b.tm <= a.tm
+) x WHERE rn = 1`
+
+// runIndexBenches measures the index-accelerated paths against their
+// scan-only baselines at one table size. Each (op, toggle) pair gets a fresh
+// database so resident index state never leaks across entries; index_on
+// point lookups are warmed once so the measurement is the steady-state hit,
+// while index_build measures exactly the drop-and-rebuild cycle.
+func runIndexBenches(n int) []BenchEntry {
+	var out []BenchEntry
+	pointSQL := fmt.Sprintf("SELECT count(*) FROM keyed WHERE k = %d", n/3)
+	run := func(op, mode string, minRows int, warm bool, sql string, pre func(db *pgdb.DB)) BenchEntry {
+		db, err := newIndexBenchDB(n)
+		if err != nil {
+			log.Fatalf("bench setup: %v", err)
+		}
+		db.SetExecMode(pgdb.ExecVectorized)
+		db.SetIndexMinRows(minRows)
+		s := db.NewSession()
+		if warm {
+			if _, err := s.Exec(sql); err != nil {
+				log.Fatalf("bench warm: %v", err)
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if pre != nil {
+					pre(db)
+				}
+				if _, err := s.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return BenchEntry{
+			Op:          op,
+			Mode:        mode,
+			Rows:        n,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	report := func(op string, off, on BenchEntry) {
+		fmt.Fprintf(os.Stderr, "%-18s %8d rows  index off %12.0f ns/op  index on %12.0f ns/op (%.2fx)\n",
+			op, n, off.NsPerOp, on.NsPerOp, off.NsPerOp/on.NsPerOp)
+	}
+
+	pointOff := run("point_lookup", "index_off", -1, false, pointSQL, nil)
+	pointOn := run("point_lookup", "index_on", 0, true, pointSQL, nil)
+	report("point_lookup", pointOff, pointOn)
+
+	asofOff := run("asof_join", "index_off", -1, false, asofBenchSQL, nil)
+	asofOn := run("asof_join", "index_on", 0, true, asofBenchSQL, nil)
+	report("asof_join", asofOff, asofOn)
+
+	build := run("index_build", "index_on", 0, false, pointSQL, func(db *pgdb.DB) {
+		db.DropTableIndexes("keyed")
+	})
+	fmt.Fprintf(os.Stderr, "%-18s %8d rows  build+lookup %12.0f ns/op\n", "index_build", n, build.NsPerOp)
+	return append(out, pointOff, pointOn, asofOff, asofOn, build)
 }

@@ -76,6 +76,8 @@ func main() {
 	compress := flag.Bool("compress", false, "compress checkpoint column files (FOR/delta ints, dict strings, RLE bools; needs -data-dir)")
 	useMMap := flag.Bool("mmap", false, "mmap checkpoint column files for zero-copy cold reads (needs -data-dir)")
 	statsAddr := flag.String("stats-addr", "", "HTTP address serving persist I/O counters at /debug/vars (empty = off)")
+	indexMinRows := flag.Int("index-min-rows", pgdb.DefaultIndexMinRows,
+		"min table rows before the embedded engine builds a lazy secondary index (0 = always, -1 = disable indexes)")
 	flag.Parse()
 
 	var path core.ResultPath
@@ -110,6 +112,7 @@ func main() {
 			log.Fatalf("unknown -exec mode %q (want compiled, interpreted, or vectorized)", *execEngine)
 		}
 		db.SetParallelism(*parallel)
+		db.SetIndexMinRows(*indexMinRows)
 	}
 	loadDemo := func(b core.Backend) int {
 		data := taq.Generate(taq.Config{Seed: 1, Trades: *trades})
@@ -189,13 +192,6 @@ func main() {
 				log.Fatalf("persist: %v", err)
 			}
 			persistStore = store
-			if *statsAddr != "" {
-				addr, err := persist.ServeStats(*statsAddr, store.Stats())
-				if err != nil {
-					log.Fatalf("stats: %v", err)
-				}
-				log.Printf("persist stats on http://%s/debug/vars", addr)
-			}
 			if len(embeddedDB.TableNames()) > 0 {
 				log.Printf("embedded backend restored from %s (wal-sync=%s)", *dataDir, *walSync)
 				break
@@ -206,6 +202,18 @@ func main() {
 		log.Printf("embedded backend ready with demo TAQ data (%d trades)", n)
 	case *backendAddr == "":
 		log.Fatal("one of -backend, -embedded or -shard-backends is required")
+	}
+
+	if *statsAddr != "" && embeddedDB != nil {
+		var pstats *persist.Stats
+		if persistStore != nil {
+			pstats = persistStore.Stats()
+		}
+		addr, err := persist.ServeStats(*statsAddr, pstats, embeddedDB.IndexStats().Vars)
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		log.Printf("stats on http://%s/debug/vars", addr)
 	}
 
 	var backendPool *pool.Pool

@@ -37,6 +37,8 @@ func main() {
 	compress := flag.Bool("compress", false, "compress checkpoint column files (FOR/delta ints, dict strings, RLE bools; needs -data-dir)")
 	useMMap := flag.Bool("mmap", false, "mmap checkpoint column files for zero-copy cold reads (needs -data-dir)")
 	statsAddr := flag.String("stats-addr", "", "HTTP address serving persist I/O counters at /debug/vars (empty = off)")
+	indexMinRows := flag.Int("index-min-rows", pgdb.DefaultIndexMinRows,
+		"min table rows before a lazy secondary index builds (0 = always, -1 = disable indexes)")
 	flag.Parse()
 
 	// ctx is the server's life: SIGINT/SIGTERM cancels it and Serve drains
@@ -51,6 +53,7 @@ func main() {
 	}
 	db.SetExecMode(mode)
 	db.SetParallelism(*parallel)
+	db.SetIndexMinRows(*indexMinRows)
 	var store *persist.Store
 	if *dataDir != "" {
 		sync, err := persist.ParseSyncMode(*walSync)
@@ -65,17 +68,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("persist: %v", err)
 		}
-		if *statsAddr != "" {
-			addr, err := persist.ServeStats(*statsAddr, store.Stats())
-			if err != nil {
-				log.Fatalf("stats: %v", err)
-			}
-			log.Printf("persist stats on http://%s/debug/vars", addr)
-		}
 		if len(db.TableNames()) > 0 {
 			*demo = false // restored catalog wins over reseeding
 			log.Printf("restored durable catalog from %s (wal-sync=%s)", *dataDir, *walSync)
 		}
+	}
+	if *statsAddr != "" {
+		var pstats *persist.Stats
+		if store != nil {
+			pstats = store.Stats()
+		}
+		addr, err := persist.ServeStats(*statsAddr, pstats, db.IndexStats().Vars)
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		log.Printf("stats on http://%s/debug/vars", addr)
 	}
 	if *demo {
 		b := core.NewDirectBackend(db)

@@ -35,6 +35,7 @@ func main() {
 	persistCompress := flag.Bool("persist-compress", false, "with -persist: checkpoint with compressed column chunks")
 	persistMMap := flag.Bool("persist-mmap", false, "with -persist: serve cold reads through memory-mapped column files")
 	persistMemBudget := flag.Int64("persist-mem-budget", 0, "with -persist: resident column-byte budget forcing eviction churn (0 = unlimited)")
+	index := flag.Bool("index", false, "force-enable secondary indexes and load tables in halves around an index-building probe, so queries run against incrementally-maintained indexes")
 	flag.Parse()
 
 	var mode pgdb.ExecMode
@@ -87,6 +88,7 @@ func main() {
 		PersistCompress:  *persistCompress,
 		PersistMMap:      *persistMMap,
 		PersistMemBudget: *persistMemBudget,
+		Index:            *index,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdiff:", err)

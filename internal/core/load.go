@@ -18,6 +18,15 @@ import (
 // Statements build in reused scratch buffers: one cell rendering and one
 // INSERT per batch, not one string per cell.
 func LoadQTable(ctx context.Context, b Backend, name string, t *qval.Table) error {
+	if err := CreateQTable(ctx, b, name, t); err != nil {
+		return err
+	}
+	return LoadQTableRows(ctx, b, name, t, 0, t.Len())
+}
+
+// CreateQTable drops and recreates the backend table for a Q table without
+// loading any rows.
+func CreateQTable(ctx context.Context, b Backend, name string, t *qval.Table) error {
 	var defs []string
 	defs = append(defs, xtra.OrdCol+" bigint")
 	for i, c := range t.Cols {
@@ -26,21 +35,29 @@ func LoadQTable(ctx context.Context, b Backend, name string, t *qval.Table) erro
 	if _, err := b.Exec(ctx, "DROP TABLE IF EXISTS "+quoteIdent(name)); err != nil {
 		return err
 	}
-	if _, err := b.Exec(ctx, "CREATE TABLE "+quoteIdent(name)+" ("+strings.Join(defs, ", ")+")"); err != nil {
-		return err
+	_, err := b.Exec(ctx, "CREATE TABLE "+quoteIdent(name)+" ("+strings.Join(defs, ", ")+")")
+	return err
+}
+
+// LoadQTableRows bulk-inserts rows [lo, hi) of a Q table into an existing
+// backend table. The implicit-order value of each row is its global index in
+// t, so loading a table in stages produces exactly the rows a single
+// LoadQTable call would.
+func LoadQTableRows(ctx context.Context, b Backend, name string, t *qval.Table, lo, hi int) error {
+	if hi > t.Len() {
+		hi = t.Len()
 	}
-	n := t.Len()
 	const batch = 500
 	prefix := "INSERT INTO " + quoteIdent(name) + " VALUES "
 	var sb, cell []byte
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
+	for bl := lo; bl < hi; bl += batch {
+		bh := bl + batch
+		if bh > hi {
+			bh = hi
 		}
 		sb = append(sb[:0], prefix...)
-		for r := lo; r < hi; r++ {
-			if r > lo {
+		for r := bl; r < bh; r++ {
+			if r > bl {
 				sb = append(sb, ", "...)
 			}
 			sb = append(sb, '(')

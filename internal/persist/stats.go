@@ -51,25 +51,36 @@ func (st *Store) Stats() *Stats { return &st.stats }
 // ServeStats serves the counters expvar-style as a flat JSON object at
 // /debug/vars on addr. It binds synchronously (so address errors surface
 // to the caller and ":0" resolves to a concrete port in the returned
-// address) and serves in the background for the process lifetime.
-func ServeStats(addr string, s *Stats) (string, error) {
+// address) and serves in the background for the process lifetime. Extra
+// counter sources (e.g. the engine's index stats) merge into the same
+// document; later sources win on key collisions.
+func ServeStats(addr string, s *Stats, extras ...func() map[string]int64) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
-		snap := s.Snapshot()
+		vars := map[string]int64{}
+		if s != nil { // nil when serving a memory-only engine's counters
+			snap := s.Snapshot()
+			vars = map[string]int64{
+				"persist.segments_faulted": snap.SegmentsFaulted,
+				"persist.columns_faulted":  snap.ColumnsFaulted,
+				"persist.bytes_read":       snap.BytesRead,
+				"persist.chunks_decoded":   snap.ChunksDecoded,
+				"persist.mmap_hits":        snap.MMapHits,
+				"persist.read_aheads":      snap.ReadAheads,
+				"persist.evictions":        snap.Evictions,
+			}
+		}
+		for _, fn := range extras {
+			for k, v := range fn() {
+				vars[k] = v
+			}
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		json.NewEncoder(w).Encode(map[string]int64{
-			"persist.segments_faulted": snap.SegmentsFaulted,
-			"persist.columns_faulted":  snap.ColumnsFaulted,
-			"persist.bytes_read":       snap.BytesRead,
-			"persist.chunks_decoded":   snap.ChunksDecoded,
-			"persist.mmap_hits":        snap.MMapHits,
-			"persist.read_aheads":      snap.ReadAheads,
-			"persist.evictions":        snap.Evictions,
-		})
+		json.NewEncoder(w).Encode(vars)
 	})
 	go http.Serve(l, mux)
 	return l.Addr().String(), nil

@@ -205,6 +205,9 @@ func (st *Store) restoreManifest(m *manifest) error {
 		}
 		st.tables[tm.Name] = ts
 		st.db.RestoreTableLazy(tm.Name, cols, segs, st.loaderFor(tm.Name))
+		if tm.Sorted != nil || tm.Indexed != nil {
+			st.db.RestoreAccessMeta(tm.Name, tm.Sorted, tm.Indexed)
+		}
 	}
 	viewNames := make([]string, 0, len(m.Views))
 	for n := range m.Views {
@@ -784,6 +787,9 @@ func (st *Store) checkpointLocked(seq uint64, oldDir string) error {
 		partCol, parts := partitionRanges(cols, segs, nrows)
 
 		tm := manifestTable{Name: name, Rows: nrows, PartCol: partCol}
+		if sorted, indexed, ok := st.db.TableAccessMeta(name); ok {
+			tm.Sorted, tm.Indexed = sorted, indexed
+		}
 		for _, c := range cols {
 			tm.Cols = append(tm.Cols, manifestCol{Name: c.Name, Type: c.Type})
 		}
@@ -1106,6 +1112,12 @@ type manifestTable struct {
 	PartCol int            `json:"part_col"`
 	Parts   []manifestPart `json:"parts,omitempty"`
 	Segs    []manifestSeg  `json:"segs,omitempty"`
+	// Sorted/Indexed record each column's access paths at checkpoint time:
+	// Sorted columns restore their sorted attribute without a scan, Indexed
+	// columns are rebuilt on the first qualifying lookup after a cold open.
+	// Absent in old manifests (nil → all false), which is always sound.
+	Sorted  []bool `json:"sorted,omitempty"`
+	Indexed []bool `json:"indexed,omitempty"`
 }
 
 type manifestCol struct {

@@ -1,8 +1,6 @@
 package pgdb
 
 import (
-	"sort"
-
 	"hyperq/internal/pgdb/sqlparse"
 )
 
@@ -166,23 +164,28 @@ func (s *Session) execAsOfFused(p *asOfPattern) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	// bucket right rows by key, sort each bucket by time ascending
-	buckets := map[string][]int{}
-	for i, rr := range right.rows {
-		key, _ := hashKey(rr, rKeys)
-		buckets[key] = append(buckets[key], i)
-	}
-	for _, idx := range buckets {
-		sort.SliceStable(idx, func(a, b int) bool {
-			av, bv := right.rows[idx[a]][rt], right.rows[idx[b]][rt]
-			if av == nil {
-				return bv != nil
-			}
-			if bv == nil {
-				return false
-			}
-			return compareVals(av, bv) < 0
-		})
+	left.rowsView()
+	right.rowsView()
+	// bucket right rows by key, each bucket sorted by time ascending. When
+	// the right side is an unfiltered base scan, the store caches the bucket
+	// index keyed on (rKeys, rt) and its mutation version, so repeated as-of
+	// joins skip the per-query re-sort; subqueries rebuild per query.
+	var buckets map[string][]int
+	cacheable := !s.interpretedMode() && s.db.IndexMinRows() >= 0
+	switch {
+	case cacheable && right.store != nil:
+		buckets = right.store.asofBuckets(rKeys, rt, right.rows)
+	case cacheable && right.base != nil:
+		// the translated shape wraps the build side in a pass-through
+		// projection; cache on the base store, keyed in base column space so
+		// differently-shaped wrappers over the same table share the entry
+		baseKeys := make([]int, len(rKeys))
+		for i, k := range rKeys {
+			baseKeys[i] = right.baseCols[k]
+		}
+		buckets = right.base.asofBucketsKeyed(baseKeys, right.baseCols[rt], right.rows, rKeys, rt)
+	default:
+		buckets = buildAsofBuckets(right.rows, rKeys, rt)
 	}
 	joined := &relation{schema: append(append([]colBinding{}, left.schema...), right.schema...)}
 	for _, lr := range left.rows {

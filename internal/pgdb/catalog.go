@@ -2,6 +2,7 @@ package pgdb
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -39,9 +40,11 @@ type storedTable struct {
 	store *colStore
 }
 
-// newStoredTable creates a table and bulk-loads the given rows.
-func newStoredTable(name string, cols []Column, rows [][]any) *storedTable {
+// newStoredTable creates a table and bulk-loads the given rows. The table's
+// access paths report to db's index counters.
+func newStoredTable(db *DB, name string, cols []Column, rows [][]any) *storedTable {
 	t := &storedTable{name: name, cols: cols, store: newColStore(cols)}
+	t.store.ix.stats = &db.idxStats
 	for _, r := range rows {
 		t.store.appendRow(r)
 	}
@@ -80,13 +83,41 @@ type DB struct {
 	// top-level statement outside the lock.
 	journal   Journal
 	afterStmt func()
+
+	// indexMinRows gates lazy hash-index builds (see SetIndexMinRows);
+	// idxStats collects database-wide access-path counters.
+	indexMinRows atomic.Int32
+	idxStats     IndexStats
 }
 
 // NewDB creates an empty database. The default execution mode is
-// ExecCompiled with no intra-query parallelism.
+// ExecCompiled with no intra-query parallelism; secondary indexes build
+// lazily once a table reaches DefaultIndexMinRows rows.
 func NewDB() *DB {
-	return &DB{tables: map[string]*storedTable{}, views: map[string]*storedView{}}
+	db := &DB{tables: map[string]*storedTable{}, views: map[string]*storedView{}}
+	db.indexMinRows.Store(DefaultIndexMinRows)
+	return db
 }
+
+// SetIndexMinRows sets the minimum table row count before a lazy hash-index
+// build triggers on a qualifying lookup. 0 indexes every table; n < 0
+// disables secondary indexes and the as-of bucket cache entirely.
+func (db *DB) SetIndexMinRows(n int) {
+	if n > math.MaxInt32 {
+		n = math.MaxInt32
+	}
+	if n < 0 {
+		n = -1
+	}
+	db.indexMinRows.Store(int32(n))
+}
+
+// IndexMinRows reports the lazy index-build threshold (-1 = disabled).
+func (db *DB) IndexMinRows() int { return int(db.indexMinRows.Load()) }
+
+// IndexStats exposes the database's access-path counters; the pointer stays
+// valid for the database's lifetime.
+func (db *DB) IndexStats() *IndexStats { return &db.idxStats }
 
 // SetExecMode selects the execution engine for subsequent statements.
 func (db *DB) SetExecMode(m ExecMode) { db.execMode.Store(int32(m)) }
@@ -185,7 +216,7 @@ func (db *DB) CreateTable(name string, cols []Column) {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
-	db.tables[name] = newStoredTable(name, cols, nil)
+	db.tables[name] = newStoredTable(db, name, cols, nil)
 	db.mu.Unlock()
 	if db.journal != nil {
 		db.journal.JournalCreateTable(name, cols)

@@ -390,10 +390,16 @@ type colStore struct {
 	// serialized by cacheMu so concurrent first readers do not race.
 	cacheMu sync.Mutex
 	cache   atomic.Pointer[[][]any]
+
+	// ix holds the table's access paths: per-column sorted attributes, lazy
+	// hash indexes, and the as-of bucket cache (index.go).
+	ix indexState
 }
 
 func newColStore(cols []Column) *colStore {
-	return &colStore{cols: cols}
+	st := &colStore{cols: cols}
+	st.ix.init(len(cols))
+	return st
 }
 
 func (st *colStore) numRows() int { return st.n }
@@ -533,9 +539,11 @@ func (st *colStore) appendVecs(row []any) {
 			v = row[c]
 		}
 		seg.vecs[c].appendVal(v, pos)
+		st.noteAppend(c, v)
 	}
 	seg.n++
 	st.n++
+	st.noteMutation()
 }
 
 // appendRow appends one row; a materialized row cache extends with the same
@@ -617,7 +625,14 @@ func (st *colStore) rowAtCols(i int, cols []int) []any {
 // caller mutates the cached row itself, keeping both views coherent).
 func (st *colStore) setCell(rowIdx, col int, val any) {
 	seg := st.seg(rowIdx / segSize)
+	var old any
+	ix := st.ix.idx[col].Load()
+	if ix != nil && ix != notIndexable {
+		old = seg.vecs[col].get(rowIdx % segSize)
+	}
 	seg.vecs[col].setVal(rowIdx%segSize, val, seg.n)
+	st.noteMutation()
+	st.noteSet(rowIdx, col, val, old, ix)
 }
 
 // compact rebuilds the store from the kept rows (DELETE): segments are
@@ -626,6 +641,7 @@ func (st *colStore) setCell(rowIdx, col int, val any) {
 func (st *colStore) compact(kept [][]any) {
 	st.slots = nil
 	st.n = 0
+	st.resetAccessPaths()
 	for _, row := range kept {
 		st.appendVecs(row)
 	}

@@ -192,9 +192,9 @@ func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error)
 			return nil, err
 		}
 		initRows = res.Rows
-		t = newStoredTable(st.Name, res.Cols, res.Rows)
+		t = newStoredTable(s.db, st.Name, res.Cols, res.Rows)
 	} else {
-		t = newStoredTable(st.Name, append([]Column(nil), columnDefs(st.Cols)...), nil)
+		t = newStoredTable(s.db, st.Name, append([]Column(nil), columnDefs(st.Cols)...), nil)
 	}
 	if st.Temp {
 		s.temp[st.Name] = t

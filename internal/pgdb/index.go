@@ -1,0 +1,831 @@
+package pgdb
+
+// Access paths: per-column sorted attributes and lazy secondary hash
+// indexes over colStore, in the spirit of kdb+'s `s#`/`p#` attributes.
+//
+// A sorted attribute records that a column is non-decreasing under
+// compareVals and holds no NULLs; it is verified-or-maintained through every
+// mutation (appendRow, setCell, compact) and invalidated on the first
+// violation, never re-derived by scanning. Sorted columns answer whole
+// comparison predicates by binary search over the boxed cell accessor —
+// column-granular fault-in means a cold probe touches O(log n) cells of one
+// column — instead of a full bitmap scan.
+//
+// A hash index maps each distinct value of a column to its ascending row-id
+// postings. It is built lazily on the first qualifying lookup, maintained
+// incrementally by DML, dropped wholesale on DELETE-compaction and on
+// segment eviction (the postings pin value memory the eviction is trying to
+// release), and rebuilt on the next qualifying lookup. The vectorized
+// filter answers `=` and IN predicates from it, and equi-joins use it as a
+// prebuilt build side.
+//
+// All lookup-side decisions replicate the engines' comparison semantics
+// exactly: predicate lookups match the vectorized kernels (numeric
+// compare-as-float with the 2^53 guard, NaN = NaN), join lookups match
+// keyString (type-tagged equality, so int64 2 and float64 2.0 never join).
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultIndexMinRows is the default minimum table row count before a lazy
+// hash-index build triggers: one full segment, so small working tables never
+// pay index maintenance.
+const DefaultIndexMinRows = segSize
+
+// maxExactFloatInt is 2^53, the bound beyond which float64 cannot represent
+// every int64 exactly; equality lookups against an int column fall back to
+// the scan kernels there rather than guess which ints collide.
+const maxExactFloatInt = float64(1 << 53)
+
+// IndexStats counts access-path activity database-wide. All fields are
+// atomics: lookups happen under the shared statement lock.
+type IndexStats struct {
+	Builds        atomic.Int64 // hash-index builds (lazy or hint-driven)
+	Hits          atomic.Int64 // lookups answered from an index or sorted attribute
+	Misses        atomic.Int64 // qualifying lookups with no usable index
+	Invalidations atomic.Int64 // indexes dropped by DML, eviction, or type degradation
+	BytesResident atomic.Int64 // estimated heap bytes held by built indexes
+	AsofBuilds    atomic.Int64 // as-of bucket-index builds
+	AsofHits      atomic.Int64 // as-of joins answered from a cached bucket index
+}
+
+// Vars returns the counters in /debug/vars form, keyed like persist.Stats.
+func (s *IndexStats) Vars() map[string]int64 {
+	return map[string]int64{
+		"pgdb.index_builds":         s.Builds.Load(),
+		"pgdb.index_hits":           s.Hits.Load(),
+		"pgdb.index_misses":         s.Misses.Load(),
+		"pgdb.index_invalidations":  s.Invalidations.Load(),
+		"pgdb.index_bytes_resident": s.BytesResident.Load(),
+		"pgdb.asof_builds":          s.AsofBuilds.Load(),
+		"pgdb.asof_hits":            s.AsofHits.Load(),
+	}
+}
+
+func (s *IndexStats) add(c *atomic.Int64, n int64) {
+	if s != nil {
+		c.Add(n)
+	}
+}
+
+// sortAttr is the per-column sorted attribute: ok means every row so far is
+// non-NULL and non-decreasing under compareVals; last is the final value
+// (the comparison anchor for the next append), nil when the store is empty.
+type sortAttr struct {
+	ok   bool
+	last any
+}
+
+// hashIdx is one column's secondary index: value → ascending row-id
+// postings, typed by the column's uniform vector kind. nulls collects the
+// NULL rows for null-safe join probes. A hashIdx is immutable to readers
+// once published except under the exclusive statement lock (DML), matching
+// the vectors' own coherence rule.
+type hashIdx struct {
+	col    int
+	kind   vecKind // vkInt, vkStr, vkFloat, or vkEmpty (all-NULL so far)
+	ints   map[int64][]int32
+	floats map[float64][]int32
+	strs   map[string][]int32
+	nan    []int32 // float NaN postings (compareVals: NaN = NaN)
+	nulls  []int32
+	bytes  int64 // estimated heap footprint, mirrored into BytesResident
+}
+
+// notIndexable is the negative-cache sentinel: the column's kind mix (vkAny,
+// vkBool, or int/float across segments) cannot be indexed. The conditions
+// are sticky until compact rebuilds the store, so the sentinel never goes
+// stale.
+var notIndexable = &hashIdx{col: -1, kind: vkAny}
+
+// indexState is the per-table access-path state hanging off colStore.
+type indexState struct {
+	sorted []sortAttr
+	// idx[c] swaps atomically between nil, a built index, and the
+	// notIndexable sentinel, so shared-lock readers never see a half-built
+	// index; buildMu serializes concurrent lazy builds.
+	idx     []atomic.Pointer[hashIdx]
+	buildMu sync.Mutex
+	// hint marks columns the persist manifest recorded as indexed: the next
+	// qualifying lookup rebuilds them regardless of the row threshold.
+	hint []bool
+	// version counts mutations; cached derived structures (the as-of bucket
+	// cache) key their validity on it.
+	version uint64
+	asofMu  sync.Mutex
+	asof    map[string]*asofEntry
+	stats   *IndexStats
+}
+
+func (ix *indexState) init(cols int) {
+	ix.sorted = make([]sortAttr, cols)
+	ix.idx = make([]atomic.Pointer[hashIdx], cols)
+	ix.hint = make([]bool, cols)
+	for c := range ix.sorted {
+		ix.sorted[c].ok = true // an empty column is trivially sorted
+	}
+}
+
+// noteAppend maintains the sorted attribute and hash index of column c for a
+// value being appended as row id st.n (called before the count bumps).
+func (st *colStore) noteAppend(c int, v any) {
+	if sa := &st.ix.sorted[c]; sa.ok {
+		if v == nil || (st.n > 0 && compareVals(v, sa.last) < 0) {
+			sa.ok, sa.last = false, nil
+		} else {
+			sa.last = v
+		}
+	}
+	if ix := st.ix.idx[c].Load(); ix != nil && ix != notIndexable {
+		if !ix.insert(int32(st.n), v) {
+			st.dropIndex(c)
+		}
+	}
+}
+
+// noteMutation bumps the version counter; every data change runs through it.
+func (st *colStore) noteMutation() { st.ix.version++ }
+
+// noteSet maintains column c's access paths after row rowIdx was overwritten
+// in place. old is the prior cell value (only read when an index is built).
+func (st *colStore) noteSet(rowIdx, c int, val, old any, ix *hashIdx) {
+	if sa := &st.ix.sorted[c]; sa.ok {
+		switch {
+		case val == nil:
+			sa.ok, sa.last = false, nil
+		case rowIdx > 0 && compareVals(st.cellAt(rowIdx-1, c), val) > 0:
+			sa.ok, sa.last = false, nil
+		case rowIdx < st.n-1 && compareVals(val, st.cellAt(rowIdx+1, c)) > 0:
+			sa.ok, sa.last = false, nil
+		case rowIdx == st.n-1:
+			sa.last = val
+		}
+	}
+	if ix != nil && ix != notIndexable {
+		ix.remove(int32(rowIdx), old)
+		if !ix.insert(int32(rowIdx), val) {
+			st.dropIndex(c)
+		}
+	}
+}
+
+// dropIndex discards column c's built index (type degradation mid-DML).
+func (st *colStore) dropIndex(c int) {
+	if ix := st.ix.idx[c].Load(); ix != nil && ix != notIndexable {
+		st.ix.stats.add(&st.ix.stats.Invalidations, 1)
+		st.ix.stats.add(&st.ix.stats.BytesResident, -ix.bytes)
+	}
+	st.ix.idx[c].Store(notIndexable)
+}
+
+// dropIndexes discards every built index and the as-of cache: DELETE
+// compaction renumbers rows, and eviction wants the memory back. Unlike
+// dropIndex the columns stay indexable — the next qualifying lookup
+// rebuilds.
+func (st *colStore) dropIndexes() {
+	for c := range st.ix.idx {
+		if ix := st.ix.idx[c].Load(); ix != nil {
+			if ix != notIndexable {
+				st.ix.stats.add(&st.ix.stats.Invalidations, 1)
+				st.ix.stats.add(&st.ix.stats.BytesResident, -ix.bytes)
+			}
+			st.ix.idx[c].Store(nil)
+		}
+	}
+	st.ix.asofMu.Lock()
+	st.ix.asof = nil
+	st.ix.asofMu.Unlock()
+}
+
+// resetAccessPaths clears all access-path state before compact re-appends
+// the surviving rows (which rebuild the sorted attributes as they go).
+func (st *colStore) resetAccessPaths() {
+	st.dropIndexes()
+	for c := range st.ix.sorted {
+		st.ix.sorted[c] = sortAttr{ok: true}
+	}
+	st.noteMutation()
+}
+
+// sortedCol reports whether column c carries a valid sorted attribute.
+func (st *colStore) sortedCol(c int) bool { return st.ix.sorted[c].ok }
+
+// --- hash index build and maintenance ---
+
+// kindOfVal maps a non-nil engine value to its vector kind.
+func kindOfVal(v any) vecKind {
+	switch v.(type) {
+	case int64:
+		return vkInt
+	case float64:
+		return vkFloat
+	case string:
+		return vkStr
+	case bool:
+		return vkBool
+	}
+	return vkAny
+}
+
+// insert adds one (row, value) posting. Row ids arrive in ascending order
+// (appends) or replace a removed posting in place (updates), so postings
+// lists are kept sorted by a positioned insert. Returns false when the value
+// does not fit the index's kind — the caller drops the index.
+func (ix *hashIdx) insert(row int32, v any) bool {
+	if v == nil {
+		ix.nulls = insertPosting(ix.nulls, row)
+		ix.bytes += 4
+		return true
+	}
+	k := kindOfVal(v)
+	if ix.kind == vkEmpty && (k == vkInt || k == vkFloat || k == vkStr) {
+		// an all-NULL column adopts the kind of its first non-null value
+		ix.kind = k
+	}
+	if k != ix.kind {
+		return false
+	}
+	switch k {
+	case vkInt:
+		if ix.ints == nil {
+			ix.ints = map[int64][]int32{}
+		}
+		x := v.(int64)
+		ix.ints[x] = insertPosting(ix.ints[x], row)
+		ix.bytes += 12
+	case vkFloat:
+		f := v.(float64)
+		if math.IsNaN(f) {
+			ix.nan = insertPosting(ix.nan, row)
+			ix.bytes += 4
+			return true
+		}
+		if ix.floats == nil {
+			ix.floats = map[float64][]int32{}
+		}
+		ix.floats[f] = insertPosting(ix.floats[f], row)
+		ix.bytes += 12
+	case vkStr:
+		if ix.strs == nil {
+			ix.strs = map[string][]int32{}
+		}
+		x := v.(string)
+		ix.strs[x] = insertPosting(ix.strs[x], row)
+		ix.bytes += int64(len(x)) + 20
+	default:
+		return false
+	}
+	return true
+}
+
+// remove deletes one (row, value) posting; absent postings are a no-op (a
+// value the index never saw cannot have a posting).
+func (ix *hashIdx) remove(row int32, v any) {
+	if v == nil {
+		ix.nulls = removePosting(ix.nulls, row)
+		return
+	}
+	switch x := v.(type) {
+	case int64:
+		if ix.ints != nil {
+			ix.ints[x] = removePosting(ix.ints[x], row)
+		}
+	case float64:
+		if math.IsNaN(x) {
+			ix.nan = removePosting(ix.nan, row)
+		} else if ix.floats != nil {
+			ix.floats[x] = removePosting(ix.floats[x], row)
+		}
+	case string:
+		if ix.strs != nil {
+			ix.strs[x] = removePosting(ix.strs[x], row)
+		}
+	}
+}
+
+func insertPosting(list []int32, row int32) []int32 {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= row })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = row
+	return list
+}
+
+func removePosting(list []int32, row int32) []int32 {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= row })
+	if i < len(list) && list[i] == row {
+		return append(list[:i], list[i+1:]...)
+	}
+	return list
+}
+
+// hashIdxFor returns column col's hash index, building it lazily when the
+// table qualifies (row threshold, or a persisted index hint from a cold
+// open). nil means no index applies — the caller scans.
+func (s *Session) hashIdxFor(st *colStore, col int) *hashIdx {
+	minRows := s.db.IndexMinRows()
+	if minRows < 0 {
+		return nil
+	}
+	if ix := st.ix.idx[col].Load(); ix != nil {
+		if ix == notIndexable {
+			return nil
+		}
+		st.ix.stats.add(&st.ix.stats.Hits, 1)
+		return ix
+	}
+	if st.n < minRows && !st.ix.hint[col] {
+		st.ix.stats.add(&st.ix.stats.Misses, 1)
+		return nil
+	}
+	st.ix.buildMu.Lock()
+	defer st.ix.buildMu.Unlock()
+	if ix := st.ix.idx[col].Load(); ix != nil { // lost the build race
+		if ix == notIndexable {
+			return nil
+		}
+		st.ix.stats.add(&st.ix.stats.Hits, 1)
+		return ix
+	}
+	ix := buildHashIdx(st, col)
+	if ix == nil {
+		st.ix.idx[col].Store(notIndexable)
+		st.ix.stats.add(&st.ix.stats.Misses, 1)
+		return nil
+	}
+	st.ix.idx[col].Store(ix)
+	st.ix.stats.add(&st.ix.stats.Builds, 1)
+	st.ix.stats.add(&st.ix.stats.BytesResident, ix.bytes)
+	return ix
+}
+
+// buildHashIdx scans one column (faulting it in segment by segment, other
+// columns untouched) and returns its index, or nil when the column's kind
+// mix is not indexable.
+func buildHashIdx(st *colStore, col int) *hashIdx {
+	if st.n >= math.MaxInt32 {
+		return nil
+	}
+	kind := vkEmpty
+	for si := 0; si < st.numSegs(); si++ {
+		k := st.peekSeg(si).vecs[col].kind
+		if k == vkEmpty {
+			continue
+		}
+		if k == vkAny || k == vkBool || (kind != vkEmpty && k != kind) {
+			return nil
+		}
+		kind = k
+	}
+	ix := &hashIdx{col: col, kind: kind}
+	for si := 0; si < st.numSegs(); si++ {
+		seg := st.segCols(si, []int{col})
+		v := &seg.vecs[col]
+		base := int32(si * segSize)
+		for i := 0; i < seg.n; i++ {
+			if v.isNull(i) {
+				ix.nulls = append(ix.nulls, base+int32(i))
+				ix.bytes += 4
+				continue
+			}
+			row := base + int32(i)
+			switch kind {
+			case vkInt:
+				x := v.ints[i]
+				ix.ints = lazyAppend(ix.ints, x, row)
+				ix.bytes += 12
+			case vkFloat:
+				f := v.floats[i]
+				if math.IsNaN(f) {
+					ix.nan = append(ix.nan, row)
+					ix.bytes += 4
+					continue
+				}
+				ix.floats = lazyAppendF(ix.floats, f, row)
+				ix.bytes += 12
+			case vkStr:
+				x := v.strs[i]
+				ix.strs = lazyAppendS(ix.strs, x, row)
+				ix.bytes += int64(len(x)) + 20
+			}
+		}
+	}
+	return ix
+}
+
+func lazyAppend(m map[int64][]int32, k int64, row int32) map[int64][]int32 {
+	if m == nil {
+		m = map[int64][]int32{}
+	}
+	m[k] = append(m[k], row)
+	return m
+}
+
+func lazyAppendF(m map[float64][]int32, k float64, row int32) map[float64][]int32 {
+	if m == nil {
+		m = map[float64][]int32{}
+	}
+	m[k] = append(m[k], row)
+	return m
+}
+
+func lazyAppendS(m map[string][]int32, k string, row int32) map[string][]int32 {
+	if m == nil {
+		m = map[string][]int32{}
+	}
+	m[k] = append(m[k], row)
+	return m
+}
+
+// --- predicate-side lookups (vectorized kernel semantics) ---
+
+// lookupEq returns the rows whose cells equal konst under the comparison
+// kernels' semantics. ok=false means the index cannot answer soundly (the
+// 2^53 int/float collision zone) and the caller must scan.
+func (ix *hashIdx) lookupEq(konst any) (rows []int32, ok bool) {
+	kf, kfOK := toFloat(konst)
+	ks, ksOK := konst.(string)
+	switch ix.kind {
+	case vkInt:
+		if !kfOK || math.IsNaN(kf) {
+			return nil, true // type-name or NaN inequality: no int cell matches
+		}
+		if kf != math.Trunc(kf) {
+			return nil, true
+		}
+		if math.Abs(kf) >= maxExactFloatInt {
+			return nil, false // distinct int64s collide as float64 here
+		}
+		return ix.ints[int64(kf)], true
+	case vkFloat:
+		if !kfOK {
+			return nil, true
+		}
+		if math.IsNaN(kf) {
+			return ix.nan, true // compareVals: NaN = NaN
+		}
+		return ix.floats[kf], true
+	case vkStr:
+		if !ksOK {
+			return nil, true
+		}
+		return ix.strs[ks], true
+	case vkEmpty:
+		return nil, true // only NULLs: equality never matches
+	}
+	return nil, false
+}
+
+// --- join-side lookups (keyString semantics) ---
+
+// joinable reports whether the index can serve as a hash-join build side.
+// Floats are excluded: keyString distinguishes +0 from -0 and NaN from NaN,
+// which the float map cannot reproduce.
+func (ix *hashIdx) joinable() bool {
+	return ix.kind == vkInt || ix.kind == vkStr || ix.kind == vkEmpty
+}
+
+// probeJoin returns the build-side rows matching one probe value under
+// keyString equality: same dynamic type, same value. NULL probes match the
+// NULL postings only under null-safe equality.
+func (ix *hashIdx) probeJoin(v any, nullSafe bool) []int32 {
+	if v == nil {
+		if nullSafe {
+			return ix.nulls
+		}
+		return nil
+	}
+	switch x := v.(type) {
+	case int64:
+		if ix.kind == vkInt {
+			return ix.ints[x]
+		}
+	case string:
+		if ix.kind == vkStr {
+			return ix.strs[x]
+		}
+	}
+	return nil
+}
+
+// --- whole-predicate fast paths over the selection bitmap ---
+
+// tryIndexPred attempts to answer a lowered predicate without scanning:
+// first by reducing it to one contiguous row range over sorted columns
+// (binary search), then by hash-index equality postings. Returns true when
+// out holds the final selection bitmap.
+func (s *Session) tryIndexPred(p vecPred, st *colStore, out []uint64) bool {
+	if lo, hi, ok := sortedPredRange(p, st); ok {
+		fillRange(out, lo, hi)
+		if _, isConst := p.(*vecConst); !isConst {
+			st.ix.stats.add(&st.ix.stats.Hits, 1)
+		}
+		return true
+	}
+	return s.idxPredBits(p, st, out)
+}
+
+// sortedPredRange reduces a predicate tree to a single contiguous row range
+// [lo, hi) when every leaf resolves over sorted columns. Comparison leaves
+// binary-search the global row order (compareVals is a total order and the
+// column is non-decreasing, so every operator's row set is a prefix, suffix,
+// or contiguous middle); AND intersects ranges, OR unions overlapping ones.
+func sortedPredRange(p vecPred, st *colStore) (lo, hi int, ok bool) {
+	n := st.numRows()
+	switch x := p.(type) {
+	case *vecConst:
+		if x.all {
+			return 0, n, true
+		}
+		return 0, 0, true
+	case *vecIsNull:
+		if !st.sortedCol(x.col) {
+			return 0, 0, false
+		}
+		// sorted ⇒ no NULLs
+		if x.not {
+			return 0, n, true
+		}
+		return 0, 0, true
+	case *vecCmp:
+		if !st.sortedCol(x.col) {
+			return 0, 0, false
+		}
+		return sortedCmpRange(st, x.col, x.op, x.konst)
+	case *vecAnd:
+		llo, lhi, lok := sortedPredRange(x.l, st)
+		if !lok {
+			return 0, 0, false
+		}
+		rlo, rhi, rok := sortedPredRange(x.r, st)
+		if !rok {
+			return 0, 0, false
+		}
+		if rlo > llo {
+			llo = rlo
+		}
+		if rhi < lhi {
+			lhi = rhi
+		}
+		if llo > lhi {
+			llo, lhi = 0, 0
+		}
+		return llo, lhi, true
+	case *vecOr:
+		llo, lhi, lok := sortedPredRange(x.l, st)
+		if !lok {
+			return 0, 0, false
+		}
+		rlo, rhi, rok := sortedPredRange(x.r, st)
+		if !rok {
+			return 0, 0, false
+		}
+		if llo == lhi {
+			return rlo, rhi, true
+		}
+		if rlo == rhi {
+			return llo, lhi, true
+		}
+		if rlo > lhi || llo > rhi {
+			return 0, 0, false // disjoint ranges: not contiguous
+		}
+		if rlo < llo {
+			llo = rlo
+		}
+		if rhi > lhi {
+			lhi = rhi
+		}
+		return llo, lhi, true
+	}
+	return 0, 0, false
+}
+
+// sortedBound returns the first row index of a sorted column whose cell is
+// >= konst (or > konst when strict) under compareVals. Segments are pruned
+// first through their resident zone metadata — stubs carry min/max, so the
+// walk does no I/O — and only the one segment that can contain the bound has
+// its cells probed, faulting at most that segment of this column. A constant
+// outside every zone resolves with zero faults. Zone maps only widen under
+// in-place updates, so both prune directions stay sound: a segment whose max
+// is below the bound holds no qualifying cell, and one whose min is past it
+// holds only qualifying cells; a spuriously wide max just falls through to
+// the next segment after an empty probe.
+func sortedBound(st *colStore, col int, konst any, strict bool) int {
+	over := func(v any) bool {
+		c := compareVals(v, konst)
+		if strict {
+			return c > 0
+		}
+		return c >= 0
+	}
+	nsegs := st.numSegs()
+	for si := 0; si < nsegs; si++ {
+		sg := st.peekSeg(si)
+		mn, mx := sg.vecs[col].minV, sg.vecs[col].maxV
+		if mx != nil && !over(mx) {
+			continue // every cell here is below the bound
+		}
+		lo := si * segSize
+		if mn != nil && over(mn) {
+			return lo // every cell here is at or past the bound
+		}
+		k := sort.Search(sg.n, func(i int) bool { return over(st.cellAt(lo+i, col)) })
+		if k < sg.n {
+			return lo + k
+		}
+	}
+	return st.n
+}
+
+// sortedCmpRange locates the rows satisfying `cell op konst` on a sorted
+// column by two zone-guided binary searches.
+func sortedCmpRange(st *colStore, col int, op string, konst any) (lo, hi int, ok bool) {
+	n := st.numRows()
+	lb := sortedBound(st, col, konst, false)
+	ub := lb
+	if lb < n {
+		ub = sortedBound(st, col, konst, true)
+	}
+	switch op {
+	case "=":
+		return lb, ub, true
+	case "<":
+		return 0, lb, true
+	case "<=":
+		return 0, ub, true
+	case ">":
+		return ub, n, true
+	case ">=":
+		return lb, n, true
+	case "<>":
+		if lb == ub {
+			return 0, n, true // no equal rows: everything matches
+		}
+		if lb == 0 {
+			return ub, n, true
+		}
+		if ub == n {
+			return 0, lb, true
+		}
+		return 0, 0, false // a middle run of equals: not contiguous
+	}
+	return 0, 0, false
+}
+
+// idxPredBits answers top-level `col = const` and IN predicates from the
+// column's hash index, setting the postings' bits in out.
+func (s *Session) idxPredBits(p vecPred, st *colStore, out []uint64) bool {
+	switch x := p.(type) {
+	case *vecCmp:
+		if x.op != "=" {
+			return false
+		}
+		ix := s.hashIdxFor(st, x.col)
+		if ix == nil {
+			return false
+		}
+		rows, ok := ix.lookupEq(x.konst)
+		if !ok {
+			return false
+		}
+		setBits(out, rows)
+		return true
+	case *vecIn:
+		if x.not {
+			return false
+		}
+		ix := s.hashIdxFor(st, x.col)
+		if ix == nil {
+			return false
+		}
+		for _, m := range x.members {
+			rows, ok := ix.lookupEq(m)
+			if !ok {
+				return false
+			}
+			// members may alias (2 and 2.0 hit the same int postings); the
+			// bitmap union deduplicates for free
+			setBits(out, rows)
+		}
+		return true
+	}
+	return false
+}
+
+func setBits(out []uint64, rows []int32) {
+	for _, r := range rows {
+		out[r>>6] |= 1 << (uint32(r) & 63)
+	}
+}
+
+// fillRange sets bits [lo, hi) word-at-a-time.
+func fillRange(out []uint64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if lw == hw {
+		out[lw] |= loMask & hiMask
+		return
+	}
+	out[lw] |= loMask
+	for w := lw + 1; w < hw; w++ {
+		out[w] = ^uint64(0)
+	}
+	out[hw] |= hiMask
+}
+
+// --- as-of bucket cache ---
+
+// asofEntry caches one as-of join's build side: right rows bucketed by key,
+// each bucket ascending by the time column, valid while the store's version
+// stands still.
+type asofEntry struct {
+	version uint64
+	buckets map[string][]int
+}
+
+// asofBuckets returns the per-key time-sorted row buckets for (keys, tcol),
+// serving repeated as-of joins from the cache instead of re-sorting the
+// build side per query. rows must be the store's own row view (the caller
+// checks relation.store). Bucket contents are immutable after publication;
+// a version bump replaces the entry, it never mutates it.
+func (st *colStore) asofBuckets(keys []int, tcol int, rows [][]any) map[string][]int {
+	return st.asofBucketsKeyed(keys, tcol, rows, keys, tcol)
+}
+
+// asofBucketsKeyed caches under (cacheKeys, cacheT) — the store's own column
+// space — while building from rows addressed by (rowKeys, rowT). The spaces
+// differ when a pass-through projection sits between the store and the join:
+// rows then hold a column subset of the base rows in base order, so bucket
+// row ids stay valid for both views and the cache entry is shared by every
+// wrapper shape over the same underlying columns.
+func (st *colStore) asofBucketsKeyed(cacheKeys []int, cacheT int, rows [][]any, rowKeys []int, rowT int) map[string][]int {
+	desc := asofCacheKey(cacheKeys, cacheT)
+	st.ix.asofMu.Lock()
+	defer st.ix.asofMu.Unlock()
+	if e, ok := st.ix.asof[desc]; ok && e.version == st.ix.version {
+		st.ix.stats.add(&st.ix.stats.AsofHits, 1)
+		return e.buckets
+	}
+	buckets := buildAsofBuckets(rows, rowKeys, rowT)
+	if st.ix.asof == nil {
+		st.ix.asof = map[string]*asofEntry{}
+	}
+	st.ix.asof[desc] = &asofEntry{version: st.ix.version, buckets: buckets}
+	st.ix.stats.add(&st.ix.stats.AsofBuilds, 1)
+	return buckets
+}
+
+func asofCacheKey(keys []int, tcol int) string {
+	b := make([]byte, 0, 2*(len(keys)+1))
+	for _, k := range keys {
+		b = append(b, byte(k), byte(k>>8))
+	}
+	b = append(b, '|', byte(tcol), byte(tcol>>8))
+	return string(b)
+}
+
+// buildAsofBuckets groups rows by hashKey over the key columns and sorts
+// each bucket ascending by the time column, NULL times first — exactly the
+// order the fused as-of binary search expects.
+func buildAsofBuckets(rows [][]any, keys []int, tcol int) map[string][]int {
+	buckets := map[string][]int{}
+	for i, rr := range rows {
+		key, _ := hashKey(rr, keys)
+		buckets[key] = append(buckets[key], i)
+	}
+	for _, idx := range buckets {
+		sort.SliceStable(idx, func(a, b int) bool {
+			av, bv := rows[idx[a]][tcol], rows[idx[b]][tcol]
+			if av == nil {
+				return bv != nil
+			}
+			if bv == nil {
+				return false
+			}
+			return compareVals(av, bv) < 0
+		})
+	}
+	return buckets
+}
+
+// DropTableIndexes drops every built hash index on one table, so the next
+// qualifying lookup rebuilds from scratch — benchmarks use it to measure the
+// lazy build in isolation. Sorted attributes and the as-of bucket cache are
+// untouched.
+func (db *DB) DropTableIndexes(name string) {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok || t.store == nil {
+		return
+	}
+	t.store.dropIndexes()
+}

@@ -148,6 +148,21 @@ func (s *Session) filterParallel(pred exprFn, rows [][]any, workers int) ([][]an
 func (s *Session) evalVecPred(p vecPred, st *colStore) ([]uint64, error) {
 	n := st.numRows()
 	out := make([]uint64, (n+63)/64)
+	// access-path pre-pass: a predicate over sorted columns resolves to one
+	// contiguous range by binary search, and a top-level equality or IN on an
+	// indexed column reads its postings — either way no segment is scanned
+	var idxErr error
+	var idxDone bool
+	func() {
+		defer trapFault(&idxErr)
+		idxDone = s.tryIndexPred(p, st, out)
+	}()
+	if idxErr != nil {
+		return nil, idxErr
+	}
+	if idxDone {
+		return out, nil
+	}
 	pcols := predCols(p)
 	if workers := s.db.Parallelism(); workers > 1 && n >= parallelMinRows && st.numSegs() > 1 {
 		if err := s.evalVecPredParallel(p, pcols, st, out, workers); err != nil {

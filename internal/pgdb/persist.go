@@ -182,6 +182,12 @@ func (db *DB) TableRowCount(name string) (int, bool) {
 func (db *DB) RestoreTableLazy(name string, cols []Column, segs []SegMeta, loader SegLoader) {
 	st := newColStore(cols)
 	st.loader = loader
+	st.ix.stats = &db.idxStats
+	// the rows bypass appendVecs, so sorted attributes are unknown until the
+	// manifest's RestoreAccessMeta re-establishes them
+	for c := range st.ix.sorted {
+		st.ix.sorted[c] = sortAttr{}
+	}
 	for _, sm := range segs {
 		seg := &segment{n: sm.N, stub: true, vecs: make([]colVec, len(sm.Vecs))}
 		for c, vm := range sm.Vecs {
@@ -230,8 +236,63 @@ func (db *DB) EvictSegments(name string, from, to int) (int64, int) {
 	}
 	if cols > 0 {
 		st.cache.Store(nil) // the row view pins boxed copies of every cell
+		// indexes and as-of buckets pin value copies of the evicted columns;
+		// drop them too and let the next qualifying lookup rebuild
+		st.dropIndexes()
 	}
 	return freed, cols
+}
+
+// TableAccessMeta reports per-column access-path state for checkpointing:
+// the sorted attribute and whether the column has (or is hinted to rebuild)
+// a hash index. A sorted flag is only exported when the last segment carries
+// usable zone bounds — the restore path re-derives the append anchor from
+// them. Must run inside Exclusive.
+func (db *DB) TableAccessMeta(name string) (sorted, indexed []bool, ok bool) {
+	t, found := db.tables[name]
+	if !found {
+		return nil, nil, false
+	}
+	st := t.store
+	sorted = make([]bool, len(st.cols))
+	indexed = make([]bool, len(st.cols))
+	for c := range st.cols {
+		sorted[c] = st.ix.sorted[c].ok &&
+			(st.numSegs() == 0 || st.peekSeg(st.numSegs() - 1).vecs[c].maxV != nil)
+		ix := st.ix.idx[c].Load()
+		indexed[c] = (ix != nil && ix != notIndexable) || st.ix.hint[c]
+	}
+	return sorted, indexed, true
+}
+
+// RestoreAccessMeta re-establishes the access-path state a checkpoint
+// recorded on a lazily restored table: sorted attributes resume maintenance
+// with their append anchor taken from the last segment's zone max (sorted ⇒
+// no NULLs ⇒ the segment max is the last value), and indexed columns are
+// hinted so the first qualifying lookup rebuilds them — the postings
+// themselves are cheaper to rebuild column-granularly than to serialize.
+func (db *DB) RestoreAccessMeta(name string, sorted, indexed []bool) {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok {
+		return
+	}
+	st := t.store
+	for c := range st.cols {
+		if c < len(sorted) && sorted[c] {
+			var last any
+			if n := st.numSegs(); n > 0 {
+				last = st.peekSeg(n - 1).vecs[c].maxV
+			}
+			if st.n == 0 || last != nil {
+				st.ix.sorted[c] = sortAttr{ok: true, last: last}
+			}
+		}
+		if c < len(indexed) && indexed[c] {
+			st.ix.hint[c] = true
+		}
+	}
 }
 
 // SetTableLoader attaches (or replaces) the segment loader of a table —
@@ -272,7 +333,7 @@ func (db *DB) applyLocked(fn func() error) (err error) {
 func (db *DB) ApplyCreateTable(name string, cols []Column) error {
 	return db.applyLocked(func() error {
 		db.mu.Lock()
-		db.tables[name] = newStoredTable(name, cols, nil)
+		db.tables[name] = newStoredTable(db, name, cols, nil)
 		db.mu.Unlock()
 		return nil
 	})

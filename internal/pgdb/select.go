@@ -2,6 +2,7 @@ package pgdb
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -37,6 +38,13 @@ type relation struct {
 	rows   [][]any
 	store  *colStore
 	lazy   bool
+	// pass-through projection over a base table (the wrapper the Hyper-Q
+	// translator puts around every q table expression): rows are the base
+	// rows in base order with columns remapped — baseCols[i] names the base
+	// column behind output column i — so store-backed access paths (the
+	// as-of bucket cache, the prebuilt join side) survive the wrapper.
+	base     *colStore
+	baseCols []int
 }
 
 // rowsView returns the boxed row view, materializing it on first use for a
@@ -272,12 +280,57 @@ func (s *Session) buildRef(ref sqlparse.TableRef) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &relation{schema: schemaOf(res.Cols, r.Alias), rows: res.Rows}, nil
+		rel := &relation{schema: schemaOf(res.Cols, r.Alias), rows: res.Rows}
+		rel.base, rel.baseCols = s.passThroughBase(r.Query)
+		return rel, nil
 	case *sqlparse.JoinRef:
 		return s.buildJoin(r)
 	default:
 		return nil, errf("0A000", "unsupported table ref %T", ref)
 	}
+}
+
+// passThroughBase reports whether a subquery is a bare column projection over
+// a single base table — no filter, grouping, ordering, set op, or computed
+// item — and if so returns the table's store plus the base column behind each
+// output column. Such a subquery's rows are the base rows in base order, so
+// row ids from the store's access paths stay valid against the projected view.
+func (s *Session) passThroughBase(q *sqlparse.SelectStmt) (*colStore, []int) {
+	if q.Distinct || q.Where != nil || len(q.GroupBy) != 0 || q.Having != nil ||
+		len(q.OrderBy) != 0 || q.Limit != nil || q.Offset != nil || q.Union != nil ||
+		len(q.From) != 1 {
+		return nil, nil
+	}
+	bt, ok := q.From[0].(*sqlparse.BaseTable)
+	if !ok || bt.Schema == "information_schema" || bt.Schema == "pg_catalog" {
+		return nil, nil
+	}
+	t, ok := s.lookupTable(bt.Name)
+	if !ok || t.store == nil {
+		return nil, nil
+	}
+	alias := bt.Alias
+	if alias == "" {
+		alias = bt.Name
+	}
+	schema := schemaOf(t.cols, alias)
+	items, err := expandStars(q.Items, schema)
+	if err != nil {
+		return nil, nil
+	}
+	cols := make([]int, len(items))
+	for i, item := range items {
+		cr, isCol := item.Expr.(*sqlparse.ColRef)
+		if !isCol {
+			return nil, nil
+		}
+		ci, err := findCol(schema, cr)
+		if err != nil || ci >= len(t.store.cols) {
+			return nil, nil
+		}
+		cols[i] = ci
+	}
+	return t.store, cols
 }
 
 // buildJoin executes a join tree. Equality joins use a hash table on the
@@ -305,13 +358,33 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 	// a.time bound of a translated as-of join — evaluate as a residual
 	// predicate over each candidate pair
 	if lk, rk, nullSafe, residual, ok := extractHashKeys(j.On, left.schema, right.schema); ok {
-		index := make(map[string][]int, len(right.rows))
-		for i, rr := range right.rows {
-			key, null := hashKey(rr, rk)
-			if null && !nullSafe {
-				continue // SQL: NULL keys never match under plain equality
+		// prebuilt build side: a single-key join against an unfiltered base
+		// scan — direct or behind a pass-through projection — probes the
+		// column's hash index (built lazily, maintained by DML) instead of
+		// hashing the right side per query. Postings are ascending row ids,
+		// so match order is identical to the map build.
+		var probeIdx *hashIdx
+		if len(rk) == 1 && !s.interpretedMode() {
+			ist, icol := right.store, rk[0]
+			if ist == nil && right.base != nil {
+				ist, icol = right.base, right.baseCols[rk[0]]
 			}
-			index[key] = append(index[key], i)
+			if ist != nil {
+				if ix := s.hashIdxFor(ist, icol); ix != nil && ix.joinable() {
+					probeIdx = ix
+				}
+			}
+		}
+		var index map[string][]int
+		if probeIdx == nil {
+			index = make(map[string][]int, len(right.rows))
+			for i, rr := range right.rows {
+				key, null := hashKey(rr, rk)
+				if null && !nullSafe {
+					continue // SQL: NULL keys never match under plain equality
+				}
+				index[key] = append(index[key], i)
+			}
 		}
 		// the residual predicate (e.g. the b.time <= a.time bound of a
 		// translated as-of join) compiles once for the whole probe loop
@@ -319,27 +392,44 @@ func (s *Session) buildJoin(j *sqlparse.JoinRef) (*relation, error) {
 		if residual != nil {
 			residualPred = s.wherePred(residual, outSchema)
 		}
+		emit := func(lr []any, ri int) (bool, error) {
+			row := append(append(make([]any, 0, len(lr)+len(right.rows[ri])), lr...), right.rows[ri]...)
+			if residualPred != nil {
+				ok, err := residualPred(row)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return false, nil
+				}
+			}
+			out.rows = append(out.rows, row)
+			return true, nil
+		}
 		out.rows = make([][]any, 0, len(left.rows))
 		for _, lr := range left.rows {
 			if err := s.tick(); err != nil {
 				return nil, err
 			}
-			key, null := hashKey(lr, lk)
 			matched := false
-			if !null || nullSafe {
-				for _, ri := range index[key] {
-					row := append(append(make([]any, 0, len(lr)+len(right.rows[ri])), lr...), right.rows[ri]...)
-					if residualPred != nil {
-						ok, err := residualPred(row)
+			if probeIdx != nil {
+				for _, ri := range probeIdx.probeJoin(lr[lk[0]], nullSafe) {
+					m, err := emit(lr, int(ri))
+					if err != nil {
+						return nil, err
+					}
+					matched = matched || m
+				}
+			} else {
+				key, null := hashKey(lr, lk)
+				if !null || nullSafe {
+					for _, ri := range index[key] {
+						m, err := emit(lr, ri)
 						if err != nil {
 							return nil, err
 						}
-						if !ok {
-							continue
-						}
+						matched = matched || m
 					}
-					out.rows = append(out.rows, row)
-					matched = true
 				}
 			}
 			if !matched && (j.Type == sqlparse.LeftJoin || j.Type == sqlparse.FullJoin) {
@@ -730,14 +820,19 @@ func itemName(item sqlparse.SelectItem, schema []colBinding) string {
 
 // orderResult sorts the result rows. Order keys may reference output aliases
 // or positions; otherwise they are evaluated against the source relation,
-// whose rows are index-aligned with the output before ordering.
+// whose rows are index-aligned with the output before ordering. Single-key
+// sorts take a typed fast path (orderSingle); multi-key sorts run the
+// generic boxed comparator below.
 func (s *Session) orderResult(res *Result, rel *relation, sel *sqlparse.SelectStmt) error {
 	n := len(res.Rows)
+	aligned := len(rel.rows) == n
+	if len(sel.OrderBy) == 1 {
+		return s.orderSingle(res, rel, sel, aligned)
+	}
 	type keyed struct {
 		out  []any
 		keys []any
 	}
-	aligned := len(rel.rows) == n
 	rows := make([]keyed, n)
 	for i := range res.Rows {
 		rows[i].out = res.Rows[i]
@@ -781,6 +876,129 @@ func (s *Session) orderResult(res *Result, rel *relation, sel *sqlparse.SelectSt
 		res.Rows[i] = rows[i].out
 	}
 	return nil
+}
+
+// orderSingle is the single-key ORDER BY path: keys extract once into a flat
+// slice, an O(n) pre-check skips the sort entirely when the input is already
+// ordered (a scan over a sorted attribute arrives that way), and otherwise a
+// typed comparator sorts a row permutation — no per-row key slices, no boxed
+// comparison when the key column is uniformly numeric or string.
+func (s *Session) orderSingle(res *Result, rel *relation, sel *sqlparse.SelectStmt, aligned bool) error {
+	n := len(res.Rows)
+	ob := sel.OrderBy[0]
+	keys := make([]any, n)
+	for i := range res.Rows {
+		v, err := s.orderKey(ob.Expr, res, rel, i, aligned)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	nullsFirst := ob.Desc // PG default: NULLS LAST asc, NULLS FIRST desc
+	if ob.NullsFirst != nil {
+		nullsFirst = *ob.NullsFirst
+	}
+	less := singleKeyLess(keys, ob.Desc, nullsFirst)
+	// already ordered ⇒ a stable sort is the identity permutation: skip it
+	sortedAlready := true
+	for i := 1; i < n; i++ {
+		if less(i, i-1) {
+			sortedAlready = false
+			break
+		}
+	}
+	if sortedAlready {
+		return nil
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) })
+	out := make([][]any, n)
+	for i, p := range perm {
+		out[i] = res.Rows[p]
+	}
+	copy(res.Rows, out)
+	return nil
+}
+
+// singleKeyLess builds the comparison the generic multi-key path would apply
+// to one key, specialized by the keys' uniform type. Numeric keys (int64,
+// float64, bool — everything toFloat accepts) compare exactly like
+// compareVals does for them: as float64 with NaN equal to NaN and above all;
+// string keys via strings.Compare. Mixed-type keys fall back to compareVals.
+func singleKeyLess(keys []any, desc, nullsFirst bool) func(a, b int) bool {
+	allNum, allStr := true, true
+	for _, k := range keys {
+		if k == nil {
+			continue
+		}
+		if _, ok := toFloat(k); !ok {
+			allNum = false
+		}
+		if _, ok := k.(string); !ok {
+			allStr = false
+		}
+		if !allNum && !allStr {
+			break
+		}
+	}
+	var cmp func(a, b int) int
+	switch {
+	case allNum:
+		fs := make([]float64, len(keys))
+		nan := make([]bool, len(keys))
+		for i, k := range keys {
+			if k == nil {
+				continue
+			}
+			f, _ := toFloat(k)
+			fs[i], nan[i] = f, math.IsNaN(f)
+		}
+		cmp = func(a, b int) int {
+			switch {
+			case nan[a] && nan[b]:
+				return 0
+			case nan[a]:
+				return 1
+			case nan[b]:
+				return -1
+			case fs[a] < fs[b]:
+				return -1
+			case fs[a] > fs[b]:
+				return 1
+			}
+			return 0
+		}
+	case allStr:
+		ss := make([]string, len(keys))
+		for i, k := range keys {
+			if k != nil {
+				ss[i] = k.(string)
+			}
+		}
+		cmp = func(a, b int) int { return strings.Compare(ss[a], ss[b]) }
+	default:
+		cmp = func(a, b int) int { return compareVals(keys[a], keys[b]) }
+	}
+	return func(a, b int) bool {
+		av, bv := keys[a], keys[b]
+		if av == nil || bv == nil {
+			if av == nil && bv == nil {
+				return false
+			}
+			if av == nil {
+				return nullsFirst
+			}
+			return !nullsFirst
+		}
+		c := cmp(a, b)
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	}
 }
 
 func (s *Session) orderKey(e sqlparse.Expr, res *Result, rel *relation, rowIdx int, aligned bool) (any, error) {

@@ -931,6 +931,33 @@ func lowerVecPred(e sqlparse.Expr, schema []colBinding, st *colStore) (vecPred, 
 				}
 			}
 			return nil, false
+		case "IS NOT DISTINCT FROM", "IS DISTINCT FROM":
+			// null-safe equality — the shape the Hyper-Q translator emits for
+			// every q equality. The bitmap tracks TRUE rows only, so against a
+			// non-NULL constant the NOT variant has exactly the "=" kernel's
+			// TRUE set (a NULL cell is FALSE here, NULL there — unset either
+			// way), while the plain variant additionally matches NULL cells.
+			// The operator is symmetric, so no flip is needed.
+			col, ok := lowerColRef(x.L, schema, st)
+			ke := x.R
+			if !ok {
+				if col, ok = lowerColRef(x.R, schema, st); !ok {
+					return nil, false
+				}
+				ke = x.L
+			}
+			k, ok := vecConstOf(ke, schema)
+			if !ok {
+				return nil, false
+			}
+			notDistinct := x.Op == "IS NOT DISTINCT FROM"
+			if k == nil {
+				return &vecIsNull{col: col, not: !notDistinct}, true
+			}
+			if notDistinct {
+				return newVecCmp(col, "=", k), true
+			}
+			return &vecOr{l: newVecCmp(col, "<>", k), r: &vecIsNull{col: col}}, true
 		}
 		return nil, false
 	default:

@@ -34,6 +34,12 @@ func New(cfg Config) *Generator {
 // symDomain is the symbol universe; the empty symbol is q's null.
 var symDomain = []string{"a", "b", "c", ""}
 
+// hiDupDomain is the shrunk symbol universe of high-duplicate datasets: a
+// couple of distinct keys spread over every row, the distribution where a
+// secondary index's postings lists grow long and equality predicates select
+// large fractions of the table.
+var hiDupDomain = []string{"a", ""}
+
 // floatDomain seeds float columns with the adversarial values: zeros for
 // division, null (0n), both infinities (±0w), and negatives.
 var floatDomain = []float64{-2.5, 0, 0, 1.5, 3.25, 100,
@@ -58,13 +64,19 @@ func (g *Generator) Dataset() *Dataset {
 	if r.Intn(8) == 0 {
 		n = 0 // force the empty-table corner regularly
 	}
+	// occasionally shrink the key domain so the fact and quote tables carry
+	// high-duplicate keys (the dim table keeps its unique full-domain keys)
+	pool := symDomain
+	if r.Intn(4) == 0 {
+		pool = hiDupDomain
+	}
 	syms := make(qval.SymbolVec, n)
 	is := make(qval.LongVec, n)
 	fs := make(qval.FloatVec, n)
 	tms := make([]int64, n)
 	tm := int64(9 * 3600000)
 	for j := 0; j < n; j++ {
-		syms[j] = symDomain[r.Intn(len(symDomain))]
+		syms[j] = pool[r.Intn(len(pool))]
 		if r.Intn(5) == 0 {
 			is[j] = qval.NullLong
 		} else {
@@ -107,7 +119,7 @@ func (g *Generator) Dataset() *Dataset {
 	qps := make(qval.FloatVec, qn)
 	last := map[string]int64{}
 	for j := 0; j < qn; j++ {
-		s := symDomain[r.Intn(len(symDomain))]
+		s := pool[r.Intn(len(pool))]
 		base, ok := last[s]
 		if !ok {
 			base = 9 * 3600000
@@ -282,7 +294,7 @@ var cmpOps = []string{"=", "<>", "<", ">", "<=", ">="}
 // shards only — while the remaining arms keep the scatter path covered.
 func (g *Generator) predicate(cols []*Col) Expr {
 	r := g.rng
-	switch r.Intn(8) {
+	switch r.Intn(9) {
 	case 0: // symbol membership
 		if c := g.pick(cols, Sym); c != nil {
 			k := 1 + r.Intn(3)
@@ -329,6 +341,16 @@ func (g *Generator) predicate(cols []*Col) Expr {
 				&ConstFloat{V: -1e9}, &ConstFloat{V: 1e9}, &ConstFloat{V: 100}, &ConstFloat{V: -2.5},
 			}
 			return &Bin{Op: op, L: c, R: probes[r.Intn(len(probes))], T: Bool}
+		}
+	case 6: // numeric membership: the IN-list shape a hash index answers by
+		// unioning postings, mixing in-domain, boundary and absent keys
+		if c := g.pick(cols, Num); c != nil {
+			k := 1 + r.Intn(3)
+			items := make([]Expr, k)
+			for j := range items {
+				items[j] = &ConstInt{V: int64(r.Intn(10) - 3)}
+			}
+			return &In{X: c, Items: items}
 		}
 	}
 	// numeric comparison, possibly column vs column

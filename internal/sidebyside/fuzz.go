@@ -45,7 +45,9 @@ func NewLocalFrameworkPath(mode pgdb.ExecMode, path core.ResultPath) *Framework 
 	b := core.NewDirectBackend(db)
 	p := core.NewPlatform()
 	s := p.NewSession(b, core.Config{ResultPath: path})
-	return New(interp.New(), s, b)
+	f := New(interp.New(), s, b)
+	f.dbs = []*pgdb.DB{db}
+	return f
 }
 
 // ShardRules is the partitioning the sharded differential runs use for
@@ -71,6 +73,7 @@ func NewShardedFramework(shards int, mode pgdb.ExecMode, path core.ResultPath) (
 	for _, db := range dbs {
 		db.SetExecMode(mode)
 	}
+	f.dbs = append(f.dbs, dbs...)
 	sb, err := cl.NewBackend()
 	if err != nil {
 		return nil, err
@@ -122,6 +125,13 @@ type FuzzConfig struct {
 	// over a Shards-wide embedded cluster, and the two must produce
 	// byte-identical QIPC output.
 	Shards int
+	// Index force-enables secondary indexes in every embedded database
+	// (IndexMinRows 0, so even the tiny generated tables index) and loads
+	// each table in two halves around an index-building probe: the first
+	// half is inserted, a self-join on the key column builds its hash index,
+	// and the second half's inserts then dirty that index — so the run
+	// exercises incrementally-maintained indexes, not freshly built ones.
+	Index bool
 }
 
 // FuzzCase is one divergence, minimized if shrinking was on. Tables holds
@@ -247,16 +257,36 @@ func loadDataset(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (*Framew
 	} else {
 		f = NewLocalFrameworkPath(cfg.ExecMode, cfg.ResultPath)
 	}
+	if cfg.Index {
+		for _, db := range f.dbs {
+			db.SetIndexMinRows(0)
+		}
+	}
 	for _, name := range ds.Names() {
 		t, ok := ds.Tables[name]
 		if !ok {
 			continue
 		}
-		if err := f.LoadTable(ctx, name, t); err != nil {
+		var err error
+		if cfg.Index {
+			err = f.LoadTableStaged(ctx, name, t, indexProbe(name))
+		} else {
+			err = f.LoadTable(ctx, name, t)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", name, err)
 		}
 	}
 	return f, nil
+}
+
+// indexProbe is the SQL statement an index-enabled load runs between the two
+// halves of a table: a self-join on the symbol key column, which builds the
+// column's hash index in both the compiled engine (join build side) and the
+// vectorized engine (same path), so the tail inserts maintain a live index.
+// Every generated table (t, d, qts) keys on column s.
+func indexProbe(name string) string {
+	return fmt.Sprintf("SELECT count(*) FROM %s a JOIN %s b ON a.s = b.s WHERE a.s = 'a'", name, name)
 }
 
 // loadDatasetPersist is loadDataset's disk-backed variant: the dataset is
@@ -271,6 +301,9 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 	kdb := interp.New()
 	db := pgdb.NewDB()
 	db.SetExecMode(cfg.ExecMode)
+	if cfg.Index {
+		db.SetIndexMinRows(0)
+	}
 	st, err := persist.Open(db, persist.Options{Dir: dir, Sync: persist.SyncNone, Compress: cfg.PersistCompress})
 	if err != nil {
 		return nil, fmt.Errorf("open persist dir %s: %w", dir, err)
@@ -283,7 +316,16 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 		if !ok {
 			continue
 		}
-		if err := loader.LoadTable(ctx, name, t); err != nil {
+		// index-enabled runs build each table's index mid-load, so the
+		// checkpoint records it and the cold reopen exercises the
+		// manifest's access-path round-trip
+		var err error
+		if cfg.Index {
+			err = loader.LoadTableStaged(ctx, name, t, indexProbe(name))
+		} else {
+			err = loader.LoadTable(ctx, name, t)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", name, err)
 		}
 	}
@@ -298,6 +340,9 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 	// WAL handle can be released immediately too.
 	db2 := pgdb.NewDB()
 	db2.SetExecMode(cfg.ExecMode)
+	if cfg.Index {
+		db2.SetIndexMinRows(0)
+	}
 	st2, err := persist.Open(db2, persist.Options{
 		Dir: dir, Sync: persist.SyncNone,
 		Compress:  cfg.PersistCompress,
@@ -312,7 +357,9 @@ func loadDatasetPersist(ctx context.Context, ds *qgen.Dataset, cfg FuzzConfig) (
 	}
 	b2 := core.NewDirectBackend(db2)
 	s2 := core.NewPlatform().NewSession(b2, core.Config{ResultPath: cfg.ResultPath})
-	return New(kdb, s2, b2), nil
+	f := New(kdb, s2, b2)
+	f.dbs = []*pgdb.DB{db2}
+	return f, nil
 }
 
 // reproduces reports whether the (query, dataset) pair still shows a

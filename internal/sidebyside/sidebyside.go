@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"hyperq/internal/core"
+	"hyperq/internal/pgdb"
 	"hyperq/internal/qlang/interp"
 	"hyperq/internal/qlang/qval"
 	"hyperq/internal/wire/qipc"
@@ -33,6 +34,10 @@ type Framework struct {
 	// FloatTol is the relative tolerance for float comparison (the two
 	// engines may legitimately differ in summation order).
 	FloatTol float64
+	// dbs holds every embedded pgdb database behind this framework's
+	// backends (primary and shadow), so fuzz configurations can retune
+	// engine knobs — e.g. force-enable secondary indexes — after build.
+	dbs []*pgdb.DB
 }
 
 // New builds a framework over an existing interpreter and session.
@@ -55,6 +60,36 @@ func (f *Framework) LoadTable(ctx context.Context, name string, t *qval.Table) e
 		}
 	}
 	return core.LoadQTable(ctx, f.backend, name, t)
+}
+
+// LoadTableStaged installs a table like LoadTable, but loads the primary
+// backend in two halves with probe (a SQL statement against the primary
+// backend) executed in between. Index-enabled fuzz runs use it to build a
+// secondary index over the first half of the data and then dirty it with the
+// second half's inserts, so every generated query runs against an
+// incrementally-maintained index rather than a freshly built one. The
+// implicit-order values are global row indexes either way, so the loaded
+// table is identical to a LoadTable result.
+func (f *Framework) LoadTableStaged(ctx context.Context, name string, t *qval.Table, probe string) error {
+	f.Kdb.SetGlobal(name, t)
+	if f.shadowBackend != nil {
+		if err := core.LoadQTable(ctx, f.shadowBackend, name, t); err != nil {
+			return err
+		}
+	}
+	if err := core.CreateQTable(ctx, f.backend, name, t); err != nil {
+		return err
+	}
+	half := t.Len() / 2
+	if err := core.LoadQTableRows(ctx, f.backend, name, t, 0, half); err != nil {
+		return err
+	}
+	if probe != "" {
+		if _, err := f.backend.Exec(ctx, probe); err != nil {
+			return err
+		}
+	}
+	return core.LoadQTableRows(ctx, f.backend, name, t, half, t.Len())
 }
 
 // Report is the outcome of one comparison.
